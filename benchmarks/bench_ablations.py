@@ -1,0 +1,135 @@
+"""Ablation benches for the design choices DESIGN.md §6 calls out.
+
+- α in Eq. 3 (the paper picks 0.1 "empirically" — we sweep it),
+- per-layer vs global clustering scale,
+- Lloyd iterations vs plain range-matched rounding,
+- crossbar size t in Eq. 1.
+"""
+
+import numpy as np
+
+from benchmarks.conftest import BENCH_SETTINGS, save_result
+from repro.analysis.experiments import get_cache, _data_for
+from repro.analysis.metrics import evaluate_accuracy
+from repro.analysis.tables import render_dict_table
+from repro.core.deployment import DeploymentConfig, deploy_model
+from repro.core.qat import Trainer, TrainerConfig
+from repro.models import build_model
+from repro.models.specs import paper_specs
+from repro.snc.cost import aggregate_network
+
+
+def test_ablation_alpha(benchmark):
+    """Sweep the sparsity slope α at fixed strength (LeNet, M=4)."""
+    train, test = _data_for("lenet", BENCH_SETTINGS)
+
+    def run():
+        rows = []
+        for alpha in (0.0, 0.01, 0.1, 0.3):
+            model = build_model("lenet", width_multiplier=1.0,
+                                rng=np.random.default_rng(17))
+            Trainer(
+                TrainerConfig(epochs=10, penalty="proposed", bits=4,
+                              strength=1e-2, alpha=alpha, seed=0)
+            ).fit(model, train)
+            fp32 = evaluate_accuracy(model, test) * 100
+            deployed, _ = deploy_model(
+                model, DeploymentConfig(signal_bits=4, weight_bits=None, weight_mode="none")
+            )
+            quantized = evaluate_accuracy(deployed, test) * 100
+            rows.append({"alpha": alpha, "fp32": round(fp32, 2),
+                         "quantized_4bit": round(quantized, 2)})
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    text = render_dict_table(
+        rows, ["alpha", "fp32", "quantized_4bit"],
+        title="Ablation: Eq. 3 sparsity slope α (LeNet, M=4, strength 1e-2)",
+    )
+    save_result("ablation_alpha", text)
+
+    by_alpha = {r["alpha"]: r for r in rows}
+    # Some sparsity pressure should not destroy fp32 accuracy ...
+    assert by_alpha[0.01]["fp32"] > 80.0
+    # ... while a huge α visibly hurts the float model.
+    assert by_alpha[0.3]["fp32"] <= by_alpha[0.01]["fp32"] + 2.0
+    # Quantized accuracy is decent across the tame range.
+    assert max(r["quantized_4bit"] for r in rows) > 85.0
+
+
+def test_ablation_clustering_scope(benchmark):
+    """Per-layer vs global clustering scale, and vs range-matched rounding."""
+    train, test = _data_for("lenet", BENCH_SETTINGS)
+    cache = get_cache(BENCH_SETTINGS)
+    baseline = cache.get_or_train("lenet", "none", 4, BENCH_SETTINGS, train)
+
+    def run():
+        rows = []
+        for bits in (4, 3):
+            for mode, scope in (
+                ("clustered", "per_layer"),
+                ("clustered", "global"),
+                ("naive_range", "per_layer"),
+                ("naive", "per_layer"),
+            ):
+                deployed, _ = deploy_model(
+                    baseline,
+                    DeploymentConfig(signal_bits=None, weight_bits=bits,
+                                     weight_mode=mode, clustering_scope=scope),
+                )
+                accuracy = evaluate_accuracy(deployed, test) * 100
+                label = mode if mode != "clustered" else f"clustered/{scope}"
+                rows.append({"bits": bits, "mode": label, "accuracy": round(accuracy, 2)})
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    text = render_dict_table(
+        rows, ["bits", "mode", "accuracy"],
+        title="Ablation: weight clustering scope and solver (LeNet)",
+    )
+    save_result("ablation_clustering_scope", text)
+
+    def acc(bits, mode):
+        return next(r["accuracy"] for r in rows if r["bits"] == bits and r["mode"] == mode)
+
+    # Per-layer clustering beats (or matches) the global single scale.
+    assert acc(3, "clustered/per_layer") >= acc(3, "clustered/global") - 3.0
+    # The Lloyd solver beats the fixed grid at 3 bits.
+    assert acc(3, "clustered/per_layer") >= acc(3, "naive") - 1.0
+
+
+def test_ablation_crossbar_size(benchmark):
+    """Eq. 1 crossbar counts and array utilization vs crossbar size t."""
+
+    def run():
+        rows = []
+        for size in (16, 32, 64, 128):
+            for spec in paper_specs():
+                aggregates = aggregate_network(spec, crossbar_size=size)
+                cells = aggregates.num_crossbars * size * size
+                utilization = spec.total_weights / cells
+                rows.append(
+                    {
+                        "model": spec.name,
+                        "t": size,
+                        "crossbars": aggregates.num_crossbars,
+                        "utilization": round(utilization, 3),
+                    }
+                )
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    text = render_dict_table(
+        rows, ["model", "t", "crossbars", "utilization"],
+        title="Ablation: crossbar size t (Eq. 1 tile counts and utilization)",
+    )
+    save_result("ablation_crossbar_size", text)
+
+    # Crossbar count decreases monotonically with t for every model.
+    for model in ("lenet", "alexnet", "resnet"):
+        counts = [r["crossbars"] for r in rows if r["model"] == model]
+        assert all(a >= b for a, b in zip(counts, counts[1:]))
+    # Small layers waste big arrays: LeNet utilization at t=128 is poor.
+    lenet_128 = next(r for r in rows if r["model"] == "lenet" and r["t"] == 128)
+    lenet_32 = next(r for r in rows if r["model"] == "lenet" and r["t"] == 32)
+    assert lenet_128["utilization"] < lenet_32["utilization"]

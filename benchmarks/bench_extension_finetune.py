@@ -1,0 +1,48 @@
+"""Extension bench — STE fine-tuning through the quantizers.
+
+The paper stops at post-training quantization; this bench measures how
+much additional accuracy quantization-aware *fine-tuning*
+(:mod:`repro.core.finetune`) buys at the lowest precision (M = N = 3 and
+2 bits) on LeNet.
+"""
+
+from benchmarks.conftest import BENCH_SETTINGS, save_result
+from repro.analysis.experiments import _data_for, get_cache
+from repro.analysis.tables import render_dict_table
+from repro.core.finetune import FineTuneConfig, finetune_accuracy_gain
+
+
+def test_finetune_extension(benchmark):
+    train, test = _data_for("lenet", BENCH_SETTINGS)
+    cache = get_cache(BENCH_SETTINGS)
+
+    def run():
+        rows = []
+        for bits in (3, 2):
+            trained = cache.get_or_train("lenet", "proposed", bits, BENCH_SETTINGS, train)
+            gains = finetune_accuracy_gain(
+                trained, train, test,
+                FineTuneConfig(signal_bits=bits, weight_bits=bits, epochs=4, seed=0),
+            )
+            rows.append(
+                {
+                    "bits": bits,
+                    "post_training": round(gains["post_training"], 2),
+                    "fine_tuned": round(gains["fine_tuned"], 2),
+                    "gain": round(gains["gain"], 2),
+                }
+            )
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    text = render_dict_table(
+        rows, ["bits", "post_training", "fine_tuned", "gain"],
+        title="Extension: STE fine-tuning vs post-training quantization (LeNet)",
+    )
+    save_result("extension_finetune", text)
+
+    # Fine-tuning never hurts much, and at 2 bits (beyond the paper's range,
+    # where post-training quantization struggles) it should help.
+    for row in rows:
+        assert row["fine_tuned"] >= row["post_training"] - 3.0
+    assert rows[-1]["bits"] == 2

@@ -1,0 +1,107 @@
+"""Extension benches — device variation: robust training and chip yield.
+
+Beyond the paper (motivated by its ref. [16]):
+
+1. **Variation-aware training** — fine-tuning the deployed network under
+   multiplicative weight noise flattens it against programming variation.
+2. **Monte-Carlo yield** — fraction of simulated dies meeting an accuracy
+   spec at each programming-variation level.
+"""
+
+import numpy as np
+
+from benchmarks.conftest import BENCH_SETTINGS, save_result
+from repro.analysis.experiments import _data_for, get_cache
+from repro.analysis.tables import render_dict_table
+from repro.core.surgery import clone_module
+from repro.core.variation_training import (
+    VariationTrainingConfig,
+    train_with_variation,
+    variation_robustness,
+)
+from repro.snc.montecarlo import yield_vs_variation
+from repro.snc.system import SpikingSystemConfig, build_spiking_system
+
+
+def test_variation_aware_training(benchmark):
+    train, test = _data_for("lenet", BENCH_SETTINGS)
+    cache = get_cache(BENCH_SETTINGS)
+    base = cache.get_or_train("lenet", "proposed", 4, BENCH_SETTINGS, train)
+
+    def run():
+        control = clone_module(base)
+        robust = clone_module(base)
+        train_with_variation(
+            control, train, VariationTrainingConfig(noise_sigma=0.0, epochs=3, seed=2)
+        )
+        train_with_variation(
+            robust, train, VariationTrainingConfig(noise_sigma=0.25, epochs=3, seed=2)
+        )
+        sigmas = [0.0, 0.1, 0.2, 0.3]
+        control_rows = variation_robustness(control, test, sigmas, trials=5)
+        robust_rows = variation_robustness(robust, test, sigmas, trials=5)
+        rows = []
+        for c, r in zip(control_rows, robust_rows):
+            rows.append(
+                {
+                    "sigma": c["sigma"],
+                    "control_acc": round(c["mean_accuracy"], 2),
+                    "robust_acc": round(r["mean_accuracy"], 2),
+                    "gain": round(r["mean_accuracy"] - c["mean_accuracy"], 2),
+                }
+            )
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    text = render_dict_table(
+        rows, ["sigma", "control_acc", "robust_acc", "gain"],
+        title="Extension: variation-aware training (LeNet, weight noise)",
+    )
+    save_result("extension_variation_training", text)
+
+    by_sigma = {r["sigma"]: r for r in rows}
+    # Both arms near-equal on a clean die ...
+    assert abs(by_sigma[0.0]["gain"]) < 6.0
+    # ... and the noise-trained model holds up at least as well at the
+    # highest variation level.
+    assert by_sigma[0.3]["robust_acc"] >= by_sigma[0.3]["control_acc"] - 2.0
+
+
+def test_chip_yield(benchmark):
+    train, test = _data_for("lenet", BENCH_SETTINGS)
+    cache = get_cache(BENCH_SETTINGS)
+    model = cache.get_or_train("lenet", "proposed", 4, BENCH_SETTINGS, train)
+    system = build_spiking_system(
+        model,
+        SpikingSystemConfig(signal_bits=4, weight_bits=4, input_bits=8),
+        train.images[:128],
+    )
+    spec = system.accuracy(test.subset(200)) - 0.05  # spec: within 5 pts of clean
+
+    def run():
+        reports = yield_vs_variation(
+            system, test, sigmas=[0.0, 0.05, 0.1, 0.2],
+            threshold=spec, n_dies=6, eval_samples=200,
+        )
+        return [
+            {
+                "sigma": r.variation_sigma,
+                "yield_pct": round(r.yield_fraction * 100, 1),
+                "mean_acc": round(r.mean_accuracy * 100, 2),
+                "worst_die": round(r.worst_die * 100, 2),
+            }
+            for r in reports
+        ]
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    text = render_dict_table(
+        rows, ["sigma", "yield_pct", "mean_acc", "worst_die"],
+        title=f"Extension: Monte-Carlo chip yield (LeNet 4-bit, spec ≥{spec:.0%})",
+    )
+    save_result("extension_chip_yield", text)
+
+    by_sigma = {r["sigma"]: r for r in rows}
+    assert by_sigma[0.0]["yield_pct"] == 100.0
+    # Yield and mean accuracy degrade (weakly) with variation.
+    assert by_sigma[0.2]["mean_acc"] <= by_sigma[0.0]["mean_acc"] + 0.5
+    assert by_sigma[0.2]["yield_pct"] <= by_sigma[0.0]["yield_pct"]

@@ -1,0 +1,48 @@
+"""Figure 3 — the four regularizer forms at bit width 2.
+
+Analytic curves: no training.  Checks each form's defining shape property
+and renders an ASCII version of the figure.
+"""
+
+import numpy as np
+
+from benchmarks.conftest import save_result
+from repro.analysis.experiments import fig3_regularizer_forms
+
+
+def render_curves(curves) -> str:
+    o = curves["o"]
+    lines = ["Fig 3: regularization forms, M=2 (threshold 2^(M-1) = 2)"]
+    lines.append(f"{'o':>8} | {'none':>7} | {'l1':>7} | {'trunc_l1':>8} | {'proposed':>8}")
+    for i in range(0, len(o), len(o) // 16):
+        lines.append(
+            f"{o[i]:8.2f} | {curves['none'][i]:7.3f} | {curves['l1'][i]:7.3f} | "
+            f"{curves['truncated_l1'][i]:8.3f} | {curves['proposed'][i]:8.3f}"
+        )
+    return "\n".join(lines)
+
+
+def test_fig3_forms(benchmark):
+    curves = benchmark.pedantic(fig3_regularizer_forms, rounds=1, iterations=1)
+    save_result("fig3_regularizer_forms", render_curves(curves))
+
+    o = curves["o"]
+    threshold = 2.0
+    inside = np.abs(o) < threshold
+    outside = np.abs(o) > threshold + 0.1
+
+    # none: identically zero.
+    assert np.all(curves["none"] == 0)
+    # l1: the absolute value everywhere.
+    np.testing.assert_allclose(curves["l1"], np.abs(o))
+    # truncated l1: equals l1 inside, flat at T outside.
+    np.testing.assert_allclose(curves["truncated_l1"][inside], np.abs(o)[inside])
+    np.testing.assert_allclose(curves["truncated_l1"][outside], threshold)
+    # proposed: gentle (slope α) inside, steep (slope 1+α) outside.
+    np.testing.assert_allclose(curves["proposed"][inside], 0.1 * np.abs(o)[inside])
+    steep = curves["proposed"][outside] - 0.1 * np.abs(o)[outside]
+    np.testing.assert_allclose(steep, np.abs(o)[outside] - threshold)
+    # The proposed form is the only one both finite-sloped at 0 and
+    # unbounded outside — the Fig. 3 visual argument.
+    assert curves["proposed"][np.abs(o) < 0.5].max() < 0.06
+    assert curves["proposed"][-1] > curves["truncated_l1"][-1]

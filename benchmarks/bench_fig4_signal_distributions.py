@@ -1,0 +1,57 @@
+"""Figure 4 — 1st-hidden-layer signal distributions under each regularizer.
+
+Trains LeNet four times (none / l1 / truncated-l1 / proposed, M=4) and
+compares the tapped first-hidden-layer distributions.  The paper's claim:
+only the proposed regularizer yields signals that are simultaneously
+*sparse* and *contained in the uniform range* [0, 2^(M−1)].
+"""
+
+import numpy as np
+
+from benchmarks.conftest import BENCH_SETTINGS, save_result
+from repro.analysis.experiments import fig4_signal_distributions
+from repro.analysis.tables import render_dict_table, render_histogram
+from repro.core.neuron_convergence import fraction_outside_range
+
+
+def test_fig4_distributions(benchmark):
+    distributions = benchmark.pedantic(
+        lambda: fig4_signal_distributions(BENCH_SETTINGS, bits=4),
+        rounds=1,
+        iterations=1,
+    )
+
+    rows = []
+    for name, values in distributions.items():
+        rows.append(
+            {
+                "regularizer": name,
+                "max": round(float(values.max()), 2),
+                "mean": round(float(values.mean()), 3),
+                "sparsity": round(float((values < 0.5).mean()), 3),
+                "frac_outside_T": round(fraction_outside_range(values, 4), 4),
+            }
+        )
+    text = render_dict_table(
+        rows,
+        ["regularizer", "max", "mean", "sparsity", "frac_outside_T"],
+        title="Fig 4: 1st-hidden-layer signals, LeNet, M=4 (T = 8)",
+    )
+    histograms = "\n\n".join(
+        render_histogram(values, bins=24, title=f"--- {name} ---")
+        for name, values in distributions.items()
+    )
+    save_result("fig4_signal_distributions", text + "\n\n" + histograms)
+
+    stats = {r["regularizer"]: r for r in rows}
+    # The proposed regularizer contains the distribution best.
+    assert stats["proposed"]["frac_outside_T"] <= stats["none"]["frac_outside_T"]
+    assert stats["proposed"]["frac_outside_T"] < 0.05
+    # ... and sparsifies at least as well as no regularization.
+    assert stats["proposed"]["sparsity"] >= stats["none"]["sparsity"] - 0.05
+    # Truncated l1 fails to bound the range (its gradient dies above T) —
+    # it cannot beat the proposed form at containment.
+    assert (
+        stats["proposed"]["frac_outside_T"]
+        <= stats["truncated_l1"]["frac_outside_T"] + 1e-9
+    )

@@ -1,0 +1,75 @@
+"""Hardware non-ideality benches (Sec. 1's implicit arguments, quantified).
+
+Two studies the paper argues qualitatively and this library models:
+
+1. **Programming cost vs weight precision** — why 3–4-bit weights despite
+   64-level devices ("the heavy programming cost in speed and circuit
+   design are not acceptable").
+2. **IR drop vs crossbar size** — why crossbars are tiled at 32×32 rather
+   than mapped as one large array (Eq. 1 exists for a physical reason).
+"""
+
+from benchmarks.conftest import save_result
+from repro.analysis.tables import render_dict_table
+from repro.models.specs import paper_specs
+from repro.snc.irdrop import ir_drop_error_vs_size
+from repro.snc.programming import programming_cost
+
+
+def test_programming_cost_vs_bits(benchmark):
+    def run():
+        rows = []
+        for spec in paper_specs():
+            for bits in (2, 3, 4, 6, 8):
+                cost = programming_cost(spec, bits)
+                rows.append(
+                    {
+                        "model": spec.name,
+                        "bits": bits,
+                        "levels": 2 ** (bits - 1) + 1,
+                        "pulses_per_device": round(cost.pulses_per_device, 1),
+                        "time_ms": round(cost.time_ms, 3),
+                        "energy_uj": round(cost.energy_uj, 2),
+                    }
+                )
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    text = render_dict_table(
+        rows,
+        ["model", "bits", "levels", "pulses_per_device", "time_ms", "energy_uj"],
+        title="Programming (write) cost vs weight precision",
+    )
+    save_result("hw_programming_cost", text)
+
+    for model in ("lenet", "alexnet", "resnet"):
+        series = {r["bits"]: r for r in rows if r["model"] == model}
+        # Monotone growth with precision.
+        times = [series[b]["time_ms"] for b in (2, 3, 4, 6, 8)]
+        assert all(a <= b for a, b in zip(times, times[1:]))
+        # The paper's objection: 6-bit devices cost ≥2× the 4-bit write time.
+        assert series[6]["time_ms"] >= 2.0 * series[4]["time_ms"]
+
+
+def test_ir_drop_vs_crossbar_size(benchmark):
+    rows = benchmark.pedantic(
+        lambda: ir_drop_error_vs_size([8, 16, 32, 64, 128]),
+        rounds=1,
+        iterations=1,
+    )
+    table = [
+        {"size": size, "relative_error_pct": round(error * 100, 3)}
+        for size, error in rows
+    ]
+    text = render_dict_table(
+        table, ["size", "relative_error_pct"],
+        title="Worst-corner IR-drop error vs crossbar size (full-on array)",
+    )
+    save_result("hw_ir_drop", text)
+
+    errors = dict(rows)
+    # Error grows superlinearly with array size ...
+    assert errors[16] > errors[8]
+    assert errors[128] > 3 * errors[32]
+    # ... and the paper's t=32 stays within a few percent.
+    assert errors[32] < 0.05

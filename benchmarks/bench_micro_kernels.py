@@ -1,0 +1,92 @@
+"""Micro-benchmarks of the performance-critical kernels.
+
+These are conventional pytest-benchmark timings (multiple rounds) of the
+inner loops everything else stands on: im2col convolution
+forward/backward, crossbar analog MVM, Eq. 6 clustering, rate coding, and
+a full quantized-LeNet inference.
+"""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.core.weight_clustering import cluster_weights
+from repro.models import LeNet
+from repro.nn.tensor import Tensor, no_grad
+from repro.snc.crossbar import CrossbarArray
+from repro.snc.ifc import IntegrateAndFire
+from repro.snc.spikes import decode_counts, encode_uniform
+
+
+@pytest.fixture(scope="module")
+def rng():
+    return np.random.default_rng(0)
+
+
+def test_conv2d_forward(benchmark, rng):
+    x = Tensor(rng.normal(size=(16, 16, 16, 16)))
+    conv = nn.Conv2d(16, 32, 3, padding=1, rng=rng)
+    with no_grad():
+        benchmark(lambda: conv(x))
+
+
+def test_conv2d_backward(benchmark, rng):
+    conv = nn.Conv2d(8, 16, 3, padding=1, rng=rng)
+
+    def step():
+        x = Tensor(rng.normal(size=(8, 8, 12, 12)), requires_grad=True)
+        conv(x).sum().backward()
+        conv.zero_grad()
+
+    benchmark(step)
+
+
+def test_crossbar_analog_mvm(benchmark, rng):
+    codes = rng.integers(-8, 9, size=(256, 128))
+    array = CrossbarArray(codes, bits=4, size=32)
+    inputs = rng.integers(0, 16, size=(64, 256)).astype(float)
+    benchmark(lambda: array.multiply_analog(inputs))
+
+
+def test_weight_clustering_kernel(benchmark, rng):
+    weights = rng.normal(size=50_000) * 0.2
+    benchmark(lambda: cluster_weights(weights, bits=4))
+
+
+def test_rate_coding_roundtrip(benchmark, rng):
+    values = rng.integers(0, 16, size=(32, 1024))
+    benchmark(lambda: decode_counts(encode_uniform(values, bits=4)))
+
+
+def test_ifc_stepped_window(benchmark, rng):
+    ifc = IntegrateAndFire(threshold=1.0, max_spikes=15)
+    charges = rng.uniform(0, 0.3, size=(15, 4096))
+    benchmark(lambda: ifc.run(charges))
+
+
+def test_quantized_lenet_inference(benchmark, rng):
+    from repro.core.deployment import DeploymentConfig, deploy_model
+
+    model = LeNet(rng=rng)
+    deployed, _ = deploy_model(model, DeploymentConfig(signal_bits=4, weight_bits=4))
+    images = Tensor(rng.normal(size=(32, 1, 28, 28)))
+    with no_grad():
+        benchmark(lambda: deployed(images))
+
+
+def test_training_step_lenet(benchmark, rng):
+    from repro.nn.losses import cross_entropy
+    from repro.nn.optim import Adam
+
+    model = LeNet(rng=rng)
+    opt = Adam(model.parameters(), lr=1e-3)
+    images = Tensor(rng.normal(size=(32, 1, 28, 28)))
+    labels = rng.integers(0, 10, size=32)
+
+    def step():
+        loss = cross_entropy(model(images), labels)
+        opt.zero_grad()
+        loss.backward()
+        opt.step()
+
+    benchmark(step)

@@ -1,0 +1,38 @@
+"""The title claim as one curve: accuracy vs speed/energy across bit widths.
+
+Synthesizes Tables 4 and 5: for each M = N the proposed pipeline's
+accuracy (LeNet) against the cost model's speed and energy.  The paper's
+thesis is that 4 bits is the knee — near-ideal accuracy at an order of
+magnitude better speed/energy than the 8-bit dynamic fixed point design.
+"""
+
+from benchmarks.conftest import BENCH_SETTINGS, save_result
+from repro.analysis.experiments import pareto_tradeoff
+from repro.analysis.tables import render_dict_table
+
+
+def test_pareto_tradeoff(benchmark):
+    rows = benchmark.pedantic(
+        lambda: pareto_tradeoff(BENCH_SETTINGS), rounds=1, iterations=1
+    )
+    for row in rows:
+        row["accuracy"] = round(row["accuracy"], 2)
+        row["speed_mhz"] = round(row["speed_mhz"], 2)
+        row["energy_uj"] = round(row["energy_uj"], 3)
+    text = render_dict_table(
+        rows, ["bits", "accuracy", "speed_mhz", "energy_uj"],
+        title="Accuracy vs speed/energy across bit widths (LeNet, M = N)",
+    )
+    save_result("pareto_tradeoff", text)
+
+    by_bits = {r["bits"]: r for r in rows}
+    # Speed strictly improves as bits shrink; energy strictly falls.
+    ordered = [by_bits[b] for b in sorted(by_bits, reverse=True)]
+    assert all(a["speed_mhz"] < b["speed_mhz"] for a, b in zip(ordered, ordered[1:]))
+    assert all(a["energy_uj"] > b["energy_uj"] for a, b in zip(ordered, ordered[1:]))
+    # The knee: 4 bits keeps accuracy within a few points of the 8-bit
+    # baseline while being ≳10× faster.
+    assert by_bits[4]["accuracy"] > by_bits[8]["accuracy"] - 6.0
+    assert by_bits[4]["speed_mhz"] > 10 * by_bits[8]["speed_mhz"]
+    # 2 bits finally pays a visible accuracy price (the curve bends).
+    assert by_bits[2]["accuracy"] < by_bits[4]["accuracy"]

@@ -1,0 +1,77 @@
+"""Cycle-level pipeline simulation: validate Table 5 speeds, study mixed M.
+
+Two results:
+1. the simulated uniform-precision pipeline reproduces the analytic
+   (calibrated) Table 5 speeds, and
+2. mixed per-layer precisions are bottlenecked by the slowest stage —
+   the quantitative case for the paper's *uniform* signal bit width.
+"""
+
+from benchmarks.conftest import save_result
+from repro.analysis.tables import render_dict_table
+from repro.models.specs import lenet_spec, paper_specs
+from repro.snc.cost import PAPER_SPEED_PROFILES
+from repro.snc.pipeline_sim import mixed_precision_speed_mhz, uniform_pipeline_speed_mhz
+
+
+def test_simulated_vs_analytic_speed(benchmark):
+    def run():
+        rows = []
+        for spec in paper_specs():
+            profile = PAPER_SPEED_PROFILES[spec.name]
+            for bits in (8, 4, 3):
+                rows.append(
+                    {
+                        "model": spec.name,
+                        "bits": bits,
+                        "analytic_mhz": round(profile.speed_mhz(bits), 3),
+                        "simulated_mhz": round(
+                            uniform_pipeline_speed_mhz(spec, bits, profile), 3
+                        ),
+                    }
+                )
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    text = render_dict_table(
+        rows, ["model", "bits", "analytic_mhz", "simulated_mhz"],
+        title="Cycle-level simulation vs analytic speed model",
+    )
+    save_result("pipeline_sim_validation", text)
+    for row in rows:
+        assert abs(row["simulated_mhz"] - row["analytic_mhz"]) / row["analytic_mhz"] < 0.05
+
+
+def test_mixed_precision_study(benchmark):
+    spec = lenet_spec()
+
+    def run():
+        cases = {
+            "uniform 8-bit": [8, 8, 8, 8],
+            "uniform 4-bit": [4, 4, 4, 4],
+            "uniform 3-bit": [3, 3, 3, 3],
+            "first layer 8-bit": [8, 3, 3, 3],
+            "last layer 8-bit": [3, 3, 3, 8],
+            "graded 5/4/4/3": [5, 4, 4, 3],
+        }
+        return [
+            {"configuration": name,
+             "speed_mhz": round(mixed_precision_speed_mhz(spec, bits), 3)}
+            for name, bits in cases.items()
+        ]
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    text = render_dict_table(
+        rows, ["configuration", "speed_mhz"],
+        title="Mixed-precision pipeline throughput (LeNet)",
+    )
+    save_result("pipeline_sim_mixed_precision", text)
+
+    speeds = {r["configuration"]: r["speed_mhz"] for r in rows}
+    # One slow stage pins the whole pipeline at its rate.
+    assert abs(speeds["first layer 8-bit"] - speeds["uniform 8-bit"]) < 0.05
+    assert abs(speeds["last layer 8-bit"] - speeds["uniform 8-bit"]) < 0.05
+    # Uniform low precision is the only way to the headline speedup.
+    assert speeds["uniform 3-bit"] > 5 * speeds["first layer 8-bit"]
+    # A graded profile sits at its worst stage (5-bit here).
+    assert speeds["graded 5/4/4/3"] < speeds["uniform 4-bit"]

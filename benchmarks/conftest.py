@@ -1,0 +1,43 @@
+"""Shared benchmark configuration.
+
+Every bench regenerates one of the paper's tables or figures at the
+CPU-budget scale defined here, asserts its *shape* claims (who wins, by
+roughly how much — see DESIGN.md §4), and writes the rendered table to
+``benchmarks/results/<name>.txt`` so the output survives pytest's capture.
+
+Trained models are cached on disk under ``.bench_cache/`` by
+:mod:`repro.analysis.experiments`; the first full run trains everything
+(≈15 minutes on one core), subsequent runs are fast.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.analysis.experiments import ExperimentSettings
+
+RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+
+# Full benchmark scale (see DESIGN.md §2 for why widths are reduced).
+BENCH_SETTINGS = ExperimentSettings(
+    train_size=1500,
+    test_size=500,
+    widths=(("lenet", 1.0), ("alexnet", 0.25), ("resnet", 0.125)),
+    epochs=(("lenet", 12), ("alexnet", 14), ("resnet", 10)),
+)
+
+
+def save_result(name: str, text: str) -> str:
+    """Persist a rendered table/figure under benchmarks/results/."""
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    path = os.path.join(RESULTS_DIR, f"{name}.txt")
+    with open(path, "w") as handle:
+        handle.write(text + "\n")
+    return path
+
+
+@pytest.fixture(scope="session")
+def bench_settings() -> ExperimentSettings:
+    return BENCH_SETTINGS

@@ -1,0 +1,66 @@
+"""Bit-width study on the CIFAR-like task: how low can the precision go?
+
+Sweeps M = N over {5, 4, 3, 2} bits on the AlexNet-style network, training
+one Neuron-Convergence model per bit width and comparing against naive
+quantization of a traditionally trained model — the deeper-network,
+harder-dataset regime where the paper's method earns its keep
+(Table 4's AlexNet block, plus a 2-bit point beyond the paper).
+
+Usage:  python examples/cifar_quantization_study.py [--fast]
+"""
+
+import sys
+import time
+
+import numpy as np
+
+from repro import datasets, models
+from repro.analysis import evaluate_accuracy, render_table
+from repro.core import DeploymentConfig, Trainer, TrainerConfig, deploy_model
+
+
+def main(fast: bool = False) -> None:
+    start = time.time()
+    train_size, epochs, width = (1000, 8, 0.2) if fast else (1500, 14, 0.25)
+    train, test = datasets.cifar_like(train_size=train_size, test_size=500, seed=0)
+
+    print(f"Training traditional AlexNet (width ×{width}) ...")
+    baseline = models.AlexNetCifar(width_multiplier=width, rng=np.random.default_rng(3))
+    Trainer(TrainerConfig(epochs=epochs, penalty="none", seed=2)).fit(baseline, train)
+    ideal = evaluate_accuracy(baseline, test) * 100
+    print(f"  ideal fp32 accuracy: {ideal:.2f}%")
+
+    rows = []
+    for bits in (5, 4, 3, 2):
+        print(f"Training Neuron-Convergence AlexNet for M={bits} ...")
+        proposed = models.AlexNetCifar(width_multiplier=width, rng=np.random.default_rng(3))
+        Trainer(
+            TrainerConfig(epochs=epochs, penalty="proposed", bits=bits, seed=2)
+        ).fit(proposed, train)
+
+        without_deployed, _ = deploy_model(
+            baseline, DeploymentConfig(signal_bits=bits, weight_bits=bits, weight_mode="naive")
+        )
+        with_deployed, _ = deploy_model(
+            proposed,
+            DeploymentConfig(signal_bits=bits, weight_bits=bits, weight_mode="clustered"),
+        )
+        without_acc = evaluate_accuracy(without_deployed, test) * 100
+        with_acc = evaluate_accuracy(with_deployed, test) * 100
+        rows.append(
+            [bits, without_acc, with_acc, with_acc - without_acc, ideal - with_acc]
+        )
+
+    print()
+    print(
+        render_table(
+            ["bits (M=N)", "w/o [%]", "w/ [%]", "recovered [%]", "drop vs ideal [%]"],
+            rows,
+            title=f"AlexNet on CIFAR-like (ideal {ideal:.2f}%)",
+        )
+    )
+    print(f"\nDone in {time.time() - start:.0f}s")
+
+
+if __name__ == "__main__":
+    main(fast="--fast" in sys.argv)

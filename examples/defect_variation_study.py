@@ -1,0 +1,59 @@
+"""Memristor programming-variation study (beyond the paper's tables).
+
+The paper's reference [16] ("Rescuing memristor-based neuromorphic design
+with high defects") motivates why device non-ideality matters.  This
+example sweeps lognormal programming variation σ from 0 to 30% on a
+deployed 4-bit LeNet and reports hardware accuracy — showing (a) the
+bit-exact regime at σ=0 and (b) how much imprecision the differential-pair
+crossbar mapping tolerates before accuracy collapses.
+
+Usage:  python examples/defect_variation_study.py
+"""
+
+import numpy as np
+
+from repro import datasets, models
+from repro.analysis import render_table
+from repro.core import Trainer, TrainerConfig
+from repro.snc import SpikingSystemConfig, build_spiking_system
+
+
+def main() -> None:
+    train, test = datasets.mnist_like(train_size=1200, test_size=400, seed=0)
+
+    print("Training LeNet with Neuron Convergence (M=4) ...")
+    model = models.LeNet(rng=np.random.default_rng(7))
+    Trainer(TrainerConfig(epochs=12, penalty="proposed", bits=4, seed=1)).fit(model, train)
+
+    rows = []
+    for sigma in (0.0, 0.02, 0.05, 0.10, 0.20, 0.30):
+        accuracies = []
+        for seed in (1, 2, 3):
+            system = build_spiking_system(
+                model,
+                SpikingSystemConfig(
+                    signal_bits=4, weight_bits=4, input_bits=8,
+                    variation_sigma=sigma, seed=seed,
+                ),
+                train.images[:200],
+            )
+            accuracies.append(system.accuracy(test) * 100)
+        accuracies = np.array(accuracies)
+        exact = sigma == 0.0
+        rows.append(
+            [f"{sigma * 100:.0f}%", accuracies.mean(), accuracies.std(),
+             "yes" if exact else "no"]
+        )
+
+    print()
+    print(
+        render_table(
+            ["variation σ", "mean acc [%]", "std [%]", "bit-exact"],
+            rows,
+            title="LeNet 4-bit on the memristor SNC under programming variation",
+        )
+    )
+
+
+if __name__ == "__main__":
+    main()

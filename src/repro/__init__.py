@@ -1,0 +1,35 @@
+"""repro — reproduction of "Towards Accurate and High-Speed Spiking
+Neuromorphic Systems with Data Quantization-Aware Deep Networks"
+(F. Liu and C. Liu, DAC 2018).
+
+The package is organised in five layers:
+
+- :mod:`repro.nn` — a from-scratch numpy autograd deep-learning framework
+  (the paper's Torch substrate).
+- :mod:`repro.models` — the three network families evaluated by the paper
+  (LeNet, AlexNet-for-CIFAR, ResNet-for-CIFAR).
+- :mod:`repro.datasets` — deterministic synthetic MNIST-like and CIFAR-like
+  datasets (this environment has no network access to the real ones).
+- :mod:`repro.core` — the paper's contribution: Neuron Convergence
+  (activation-range regularization, Sec. 3.1), Weight Clustering (fixed-point
+  weight quantization, Sec. 3.2), the baseline quantizers, and the end-to-end
+  quantization-aware pipeline.
+- :mod:`repro.snc` — the memristor-based spiking neuromorphic substrate:
+  device model, crossbar arrays, network-to-crossbar mapping, rate-coded
+  spiking inference, and the speed/energy/area cost model behind Table 5.
+
+Quickstart::
+
+    from repro import datasets, models
+    from repro.core import QuantizationPipeline, PipelineConfig
+
+    train, test = datasets.mnist_like(train_size=2000, test_size=500)
+    model = models.LeNet(width_multiplier=0.5)
+    pipeline = QuantizationPipeline(PipelineConfig(signal_bits=4, weight_bits=4))
+    report = pipeline.run(model, train, test)
+    print(report.summary())
+"""
+
+from repro.version import __version__
+
+__all__ = ["__version__"]

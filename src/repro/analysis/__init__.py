@@ -1,0 +1,61 @@
+"""repro.analysis — metrics, tables, sweeps and experiment orchestration."""
+
+from repro.analysis.experiments import (
+    FAST_SETTINGS,
+    ExperimentSettings,
+    ModelCache,
+    fig1a_speed_vs_precision,
+    fig1b_accuracy_loss,
+    fig3_regularizer_forms,
+    fig4_signal_distributions,
+    table1_ideal_accuracy,
+    table2_neuron_convergence,
+    table3_weight_clustering,
+    table4_combined,
+    table5_system,
+)
+from repro.analysis.error_propagation import (
+    LayerError,
+    compare_propagation,
+    error_amplification,
+    measure_error_propagation,
+)
+from repro.analysis.metrics import (
+    QuantizationOutcome,
+    confusion_matrix,
+    evaluate_accuracy,
+    top_k_accuracy,
+)
+from repro.analysis.plots import line_plot
+from repro.analysis.sweep import SweepResult, grid, run_sweep
+from repro.analysis.tables import render_dict_table, render_histogram, render_table
+
+__all__ = [
+    "evaluate_accuracy",
+    "top_k_accuracy",
+    "confusion_matrix",
+    "QuantizationOutcome",
+    "ExperimentSettings",
+    "FAST_SETTINGS",
+    "ModelCache",
+    "table1_ideal_accuracy",
+    "table2_neuron_convergence",
+    "table3_weight_clustering",
+    "table4_combined",
+    "table5_system",
+    "fig1a_speed_vs_precision",
+    "fig1b_accuracy_loss",
+    "fig3_regularizer_forms",
+    "fig4_signal_distributions",
+    "render_table",
+    "render_dict_table",
+    "render_histogram",
+    "line_plot",
+    "SweepResult",
+    "grid",
+    "run_sweep",
+    "LayerError",
+    "measure_error_propagation",
+    "error_amplification",
+    "compare_propagation",
+]

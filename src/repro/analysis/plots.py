@@ -1,0 +1,79 @@
+"""ASCII plotting — terminal-renderable stand-ins for the paper's figures.
+
+No plotting library is available in this environment, so figures render as
+character matrices: :func:`line_plot` for series (Fig. 1a, the Pareto
+curve), building on :func:`repro.analysis.tables.render_histogram` for
+distributions (Fig. 4).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Sequence
+
+import numpy as np
+
+_MARKERS = "*o+x#@"
+
+
+def line_plot(
+    series: Dict[str, Sequence[float]],
+    x_values: Sequence[float],
+    width: int = 60,
+    height: int = 16,
+    title: str = "",
+    logy: bool = False,
+) -> str:
+    """Render one or more named series on a shared character canvas.
+
+    Each series gets a marker from ``*o+x#@``; the legend maps them back.
+    ``logy`` plots log10 of the values (for the Fig. 1a-style exponential
+    curves).
+    """
+    if not series:
+        raise ValueError("no series to plot")
+    x_values = np.asarray(x_values, dtype=np.float64)
+    for name, ys in series.items():
+        if len(ys) != len(x_values):
+            raise ValueError(f"series {name!r} has {len(ys)} points for "
+                             f"{len(x_values)} x values")
+    if len(x_values) < 2:
+        raise ValueError("need at least 2 points")
+
+    transformed = {}
+    for name, ys in series.items():
+        ys = np.asarray(ys, dtype=np.float64)
+        if logy:
+            if np.any(ys <= 0):
+                raise ValueError("logy requires positive values")
+            ys = np.log10(ys)
+        transformed[name] = ys
+
+    all_y = np.concatenate(list(transformed.values()))
+    y_min, y_max = float(all_y.min()), float(all_y.max())
+    y_span = y_max - y_min or 1.0
+    x_min, x_max = float(x_values.min()), float(x_values.max())
+    x_span = x_max - x_min or 1.0
+
+    canvas = [[" "] * width for _ in range(height)]
+    for index, (name, ys) in enumerate(transformed.items()):
+        marker = _MARKERS[index % len(_MARKERS)]
+        for x, y in zip(x_values, ys):
+            col = int(round((x - x_min) / x_span * (width - 1)))
+            row = int(round((y_max - y) / y_span * (height - 1)))
+            canvas[row][col] = marker
+
+    lines = []
+    if title:
+        lines.append(title)
+    top_label = f"{y_max:.3g}" if not logy else f"1e{y_max:.2f}"
+    bottom_label = f"{y_min:.3g}" if not logy else f"1e{y_min:.2f}"
+    lines.append(f"{top_label:>10} ┤" + "".join(canvas[0]))
+    for row in canvas[1:-1]:
+        lines.append(" " * 10 + " │" + "".join(row))
+    lines.append(f"{bottom_label:>10} ┤" + "".join(canvas[-1]))
+    lines.append(" " * 12 + f"{x_min:<.3g}" + " " * max(width - 12, 1) + f"{x_max:.3g}")
+    legend = "  ".join(
+        f"{_MARKERS[i % len(_MARKERS)]} {name}" for i, name in enumerate(series)
+    )
+    lines.append(" " * 12 + legend)
+    return "\n".join(lines)

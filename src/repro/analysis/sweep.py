@@ -1,0 +1,51 @@
+"""Parameter sweep utilities for benchmarks and ablations."""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Iterable, List, Sequence
+
+
+@dataclass
+class SweepResult:
+    """All points of one sweep, each a (params, value) pair."""
+
+    parameter_names: Sequence[str]
+    points: List[Dict[str, Any]] = field(default_factory=list)
+
+    def add(self, params: Dict[str, Any], **metrics: Any) -> None:
+        self.points.append({**params, **metrics})
+
+    def column(self, name: str) -> List[Any]:
+        return [point[name] for point in self.points]
+
+    def best(self, metric: str, maximize: bool = True) -> Dict[str, Any]:
+        if not self.points:
+            raise ValueError("sweep has no points")
+        chooser = max if maximize else min
+        return chooser(self.points, key=lambda p: p[metric])
+
+
+def grid(**axes: Iterable) -> List[Dict[str, Any]]:
+    """Cartesian product of named axes as a list of param dicts.
+
+    >>> grid(bits=[3, 4], scope=["per_layer"])
+    [{'bits': 3, 'scope': 'per_layer'}, {'bits': 4, 'scope': 'per_layer'}]
+    """
+    names = list(axes)
+    combos = itertools.product(*(list(axes[name]) for name in names))
+    return [dict(zip(names, combo)) for combo in combos]
+
+
+def run_sweep(
+    fn: Callable[..., Dict[str, Any]], params_list: Sequence[Dict[str, Any]]
+) -> SweepResult:
+    """Evaluate ``fn(**params) -> metrics dict`` over every param set."""
+    if not params_list:
+        raise ValueError("empty parameter list")
+    result = SweepResult(parameter_names=list(params_list[0]))
+    for params in params_list:
+        metrics = fn(**params)
+        result.add(params, **metrics)
+    return result

@@ -1,0 +1,66 @@
+"""Plain-text table rendering for benchmark output.
+
+The benches print the same rows the paper's tables report; these helpers
+keep the formatting consistent and dependency-free.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Union
+
+Cell = Union[str, int, float]
+
+
+def format_cell(value: Cell, precision: int = 2) -> str:
+    if isinstance(value, float):
+        return f"{value:.{precision}f}"
+    return str(value)
+
+
+def render_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[Cell]],
+    title: str = "",
+    precision: int = 2,
+) -> str:
+    """Render an aligned ASCII table."""
+    text_rows = [[format_cell(cell, precision) for cell in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in text_rows:
+        if len(row) != len(headers):
+            raise ValueError(f"row has {len(row)} cells for {len(headers)} headers")
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = []
+    if title:
+        lines.append(title)
+    header_line = " | ".join(h.ljust(widths[i]) for i, h in enumerate(headers))
+    lines.append(header_line)
+    lines.append("-+-".join("-" * w for w in widths))
+    for row in text_rows:
+        lines.append(" | ".join(cell.ljust(widths[i]) for i, cell in enumerate(row)))
+    return "\n".join(lines)
+
+
+def render_dict_table(
+    rows: List[Dict[str, Cell]], columns: Sequence[str], title: str = "", precision: int = 2
+) -> str:
+    """Render a list of dicts, selecting and ordering ``columns``."""
+    body = [[row.get(col, "") for col in columns] for row in rows]
+    return render_table(columns, body, title=title, precision=precision)
+
+
+def render_histogram(
+    values, bins: int = 30, width: int = 50, title: str = ""
+) -> str:
+    """ASCII histogram — stands in for the paper's Fig. 4 panels."""
+    import numpy as np
+
+    values = np.asarray(values).ravel()
+    counts, edges = np.histogram(values, bins=bins)
+    peak = counts.max() if counts.size else 1
+    lines = [title] if title else []
+    for count, left, right in zip(counts, edges[:-1], edges[1:]):
+        bar = "#" * int(round(width * count / max(peak, 1)))
+        lines.append(f"[{left:8.2f}, {right:8.2f}) {count:7d} {bar}")
+    return "\n".join(lines)

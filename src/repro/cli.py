@@ -1,0 +1,219 @@
+"""Command-line interface: regenerate any of the paper's tables/figures.
+
+Examples::
+
+    python -m repro.cli table5
+    python -m repro.cli table2 --models lenet --bits 4 3 --fast
+    python -m repro.cli fig1a
+    python -m repro.cli list
+
+Training-backed commands cache trained models under ``.bench_cache`` (same
+cache the benchmark harness uses), so repeated invocations are fast.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.analysis import experiments as E
+from repro.analysis.tables import render_dict_table, render_histogram
+
+COMMANDS = (
+    "table1", "table2", "table3", "table4", "table5",
+    "fig1a", "fig1b", "fig3", "fig4",
+    "breakdown", "programming", "irdrop", "list",
+)
+
+
+def _settings(args: argparse.Namespace) -> E.ExperimentSettings:
+    return E.FAST_SETTINGS if args.fast else E.ExperimentSettings()
+
+
+def _models(args: argparse.Namespace):
+    return tuple(args.models)
+
+
+def _bits(args: argparse.Namespace):
+    return tuple(args.bits)
+
+
+def run_command(args: argparse.Namespace) -> str:
+    """Execute one CLI command and return its rendered output."""
+    if args.command == "list":
+        return "\n".join(COMMANDS[:-1])
+
+    if args.command == "table1":
+        rows = E.table1_ideal_accuracy(_settings(args))
+        for row in rows:
+            row["measured_ideal_acc"] = round(row["measured_ideal_acc"], 2)
+        return render_dict_table(
+            rows,
+            ["model", "dataset", "conv_layers", "fc_layers",
+             "paper_weights", "paper_ideal_acc", "measured_ideal_acc"],
+            title="Table 1",
+        )
+
+    if args.command == "table2":
+        outcomes = E.table2_neuron_convergence(_settings(args), _bits(args), _models(args))
+        return render_dict_table(
+            [o.row() for o in outcomes],
+            ["model", "bits", "without", "with", "recovered", "drop", "ideal"],
+            title="Table 2: Neuron Convergence",
+        )
+
+    if args.command == "table3":
+        outcomes = E.table3_weight_clustering(_settings(args), _bits(args), _models(args))
+        return render_dict_table(
+            [o.row() for o in outcomes],
+            ["model", "bits", "without", "with", "recovered", "drop", "ideal"],
+            title="Table 3: Weight Clustering",
+        )
+
+    if args.command == "table4":
+        results = E.table4_combined(_settings(args), _bits(args), _models(args))
+        rows = []
+        for model, entry in results.items():
+            rows.append({"model": model, "bits": "dyn-8",
+                         "with": round(entry["dynamic8"], 2),
+                         "ideal": round(entry["ideal"], 2)})
+            rows.extend(o.row() for o in entry["outcomes"])
+        return render_dict_table(
+            rows,
+            ["model", "bits", "without", "with", "recovered", "drop", "ideal"],
+            title="Table 4: combined quantization",
+        )
+
+    if args.command == "table5":
+        rows = E.table5_system()
+        for row in rows:
+            for key in ("speed_mhz", "energy_uj", "area_mm2"):
+                row[key] = round(row[key], 2)
+            row["speedup"] = round(row["speedup"], 1)
+            row["energy_saving"] = round(row["energy_saving"] * 100, 1)
+            row["area_saving"] = round(row["area_saving"] * 100, 1)
+        return render_dict_table(
+            rows,
+            ["model", "bits", "speed_mhz", "speedup", "energy_uj",
+             "energy_saving", "area_mm2", "area_saving"],
+            title="Table 5: SNC system evaluation",
+        )
+
+    if args.command == "fig1a":
+        rows = E.fig1a_speed_vs_precision()
+        for row in rows:
+            row["speed_mhz"] = round(row["speed_mhz"], 2)
+        return render_dict_table(rows, ["bits", "speed_mhz"], title="Fig 1a")
+
+    if args.command == "fig1b":
+        rows = E.fig1b_accuracy_loss(_settings(args))
+        for row in rows:
+            row["neuron_loss"] = round(row["neuron_loss"], 2)
+            row["weight_loss"] = round(row["weight_loss"], 2)
+        return render_dict_table(
+            rows, ["bits", "neuron_loss", "weight_loss"], title="Fig 1b"
+        )
+
+    if args.command == "fig3":
+        curves = E.fig3_regularizer_forms()
+        rows = []
+        o = curves["o"]
+        for i in range(0, len(o), max(len(o) // 12, 1)):
+            rows.append(
+                {"o": round(float(o[i]), 2),
+                 "l1": round(float(curves["l1"][i]), 3),
+                 "truncated_l1": round(float(curves["truncated_l1"][i]), 3),
+                 "proposed": round(float(curves["proposed"][i]), 3)}
+            )
+        return render_dict_table(
+            rows, ["o", "l1", "truncated_l1", "proposed"], title="Fig 3 (M=2)"
+        )
+
+    if args.command == "fig4":
+        distributions = E.fig4_signal_distributions(_settings(args))
+        return "\n\n".join(
+            render_histogram(values, bins=20, title=f"--- {name} ---")
+            for name, values in distributions.items()
+        )
+
+    if args.command == "breakdown":
+        from repro.models.registry import get_spec
+        from repro.snc.cost import layer_breakdown
+
+        rows = []
+        for model in args.models:
+            for entry in layer_breakdown(get_spec(model), args.bits[0]):
+                entry = dict(entry)
+                entry["model"] = model
+                entry["energy_uj"] = round(entry["energy_uj"], 3)
+                entry["area_mm2"] = round(entry["area_mm2"], 3)
+                entry["output_events"] = round(entry["output_events"])
+                rows.append(entry)
+        return render_dict_table(
+            rows,
+            ["model", "index", "kind", "rows", "cols", "crossbars",
+             "output_events", "energy_uj", "area_mm2"],
+            title=f"Per-layer cost breakdown at M={args.bits[0]}",
+        )
+
+    if args.command == "programming":
+        from repro.models.registry import get_spec
+        from repro.snc.programming import programming_cost
+
+        rows = []
+        for model in args.models:
+            for bits in args.bits:
+                cost = programming_cost(get_spec(model), bits)
+                rows.append(
+                    {"model": model, "bits": bits,
+                     "pulses_per_device": round(cost.pulses_per_device, 1),
+                     "time_ms": round(cost.time_ms, 3),
+                     "energy_uj": round(cost.energy_uj, 2)}
+                )
+        return render_dict_table(
+            rows, ["model", "bits", "pulses_per_device", "time_ms", "energy_uj"],
+            title="Programming (write) cost",
+        )
+
+    if args.command == "irdrop":
+        from repro.snc.irdrop import ir_drop_error_vs_size
+
+        rows = [
+            {"size": size, "relative_error_pct": round(error * 100, 3)}
+            for size, error in ir_drop_error_vs_size([8, 16, 32, 64, 128])
+        ]
+        return render_dict_table(
+            rows, ["size", "relative_error_pct"],
+            title="Worst-corner IR-drop error vs crossbar size",
+        )
+
+    raise SystemExit(f"unknown command {args.command!r}")
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Regenerate tables/figures from Liu & Liu, DAC 2018.",
+    )
+    parser.add_argument("command", choices=COMMANDS)
+    parser.add_argument(
+        "--fast", action="store_true",
+        help="use the small/fast experiment settings (less faithful)",
+    )
+    parser.add_argument(
+        "--models", nargs="+", default=["lenet", "alexnet", "resnet"],
+        choices=["lenet", "alexnet", "resnet"],
+    )
+    parser.add_argument("--bits", nargs="+", type=int, default=[5, 4, 3])
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    print(run_command(args))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

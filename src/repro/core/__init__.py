@@ -1,0 +1,129 @@
+"""repro.core — the paper's contribution (Sec. 3).
+
+- :mod:`repro.core.regularizers` / :mod:`repro.core.neuron_convergence` —
+  Neuron Convergence: the Eq. 2–3 activation regularizer that pins every
+  layer's signals into the uniform range ``[0, 2^(M−1)]``.
+- :mod:`repro.core.weight_clustering` — Weight Clustering: the Eq. 6
+  linear-codebook solver for N-bit fixed-point weights.
+- :mod:`repro.core.quantizers` — the fixed-integer / fixed-point / dynamic
+  fixed point quantization primitives.
+- :mod:`repro.core.deployment` / :mod:`repro.core.pipeline` — turn trained
+  float networks into quantized deployable ones and run the full
+  train→quantize→evaluate comparison.
+"""
+
+from repro.core.variation_training import (
+    VariationTrainingConfig,
+    train_with_variation,
+    variation_robustness,
+)
+from repro.core.finetune import (
+    FineTuneConfig,
+    FineTuneResult,
+    finetune_accuracy_gain,
+    finetune_quantized,
+)
+from repro.core.deployment import (
+    DeploymentConfig,
+    DeploymentInfo,
+    DynamicQuantizedActivation,
+    calibrate_signal_gain,
+    deploy_dynamic_fixed_point,
+    deploy_model,
+)
+from repro.core.modules import InputQuantizer, QuantizedActivation, calibrate_input_quantizer
+from repro.core.neuron_convergence import NeuronConvergence, fraction_outside_range
+from repro.core.pipeline import PipelineConfig, PipelineReport, QuantizationPipeline
+from repro.core.qat import Trainer, TrainerConfig, TrainingHistory, train_model
+from repro.core.quantizers import (
+    DynamicFixedPointFormat,
+    fit_dynamic_fixed_point,
+    quantize_dynamic,
+    quantize_dynamic_fixed_point,
+    quantize_signals,
+    quantize_weights_fixed_point,
+    signal_levels,
+    weight_grid,
+)
+from repro.core.regularizers import (
+    DEFAULT_ALPHA,
+    convergence_threshold,
+    l1_penalty,
+    make_penalty,
+    neuron_convergence_penalty,
+    regularizer_curve,
+    truncated_l1_penalty,
+)
+from repro.core.ste import ste_quantize_signals, ste_quantize_weights
+from repro.core.surgery import clone_module, fold_batchnorm, replace_modules, weight_bearing_modules
+from repro.core.taps import SignalTap, default_signal_modules
+from repro.core.weight_clustering import (
+    ClusteringResult,
+    ModelClusteringReport,
+    apply_weight_clustering,
+    cluster_weights,
+    naive_weight_quantization,
+)
+
+__all__ = [
+    # regularization / training
+    "NeuronConvergence",
+    "fraction_outside_range",
+    "Trainer",
+    "TrainerConfig",
+    "TrainingHistory",
+    "train_model",
+    "DEFAULT_ALPHA",
+    "convergence_threshold",
+    "neuron_convergence_penalty",
+    "l1_penalty",
+    "truncated_l1_penalty",
+    "make_penalty",
+    "regularizer_curve",
+    # quantizers
+    "quantize_signals",
+    "signal_levels",
+    "quantize_weights_fixed_point",
+    "weight_grid",
+    "DynamicFixedPointFormat",
+    "fit_dynamic_fixed_point",
+    "quantize_dynamic_fixed_point",
+    "quantize_dynamic",
+    "ste_quantize_signals",
+    "ste_quantize_weights",
+    # clustering
+    "cluster_weights",
+    "apply_weight_clustering",
+    "naive_weight_quantization",
+    "ClusteringResult",
+    "ModelClusteringReport",
+    # surgery / taps / modules
+    "SignalTap",
+    "default_signal_modules",
+    "clone_module",
+    "replace_modules",
+    "fold_batchnorm",
+    "weight_bearing_modules",
+    "QuantizedActivation",
+    "InputQuantizer",
+    "calibrate_input_quantizer",
+    # deployment / pipeline
+    "DeploymentConfig",
+    "DeploymentInfo",
+    "calibrate_signal_gain",
+    "deploy_model",
+    "deploy_dynamic_fixed_point",
+    "DynamicQuantizedActivation",
+    "QuantizationPipeline",
+    "PipelineConfig",
+    "PipelineReport",
+    # fine-tuning extension
+    "FineTuneConfig",
+    "FineTuneResult",
+    "finetune_quantized",
+    "finetune_accuracy_gain",
+    # variation-aware training extension
+    "VariationTrainingConfig",
+    "train_with_variation",
+    "variation_robustness",
+]

@@ -1,0 +1,99 @@
+"""Quantization wrapper modules inserted by model surgery.
+
+:class:`QuantizedActivation` replaces each activation module when a network
+is deployed with M-bit fixed-integer inter-layer signals; it is the software
+twin of the IFC + counter pair on the SNC (relu → spike train → counted
+integer).
+"""
+
+from __future__ import annotations
+
+from repro.core import quantizers as Q
+from repro.core.ste import ste_quantize_signals
+from repro.nn.modules import Module
+from repro.nn.tensor import Tensor
+
+
+class QuantizedActivation(Module):
+    """Wrap an activation module and quantize its output to M-bit integers.
+
+    Parameters
+    ----------
+    inner:
+        The original activation module (usually ReLU).
+    bits:
+        Target signal bit width M.
+    gain:
+        IFC conversion gain — spike count = ``round(gain · signal)``.
+        Must be the *same* for every activation in a network (it is one
+        hardware design constant, realized in the IFC threshold); the
+        deployment layer enforces this.  Default 1.0 = the paper's literal
+        integers-as-counts scheme.
+    enabled:
+        When False the wrapper is transparent (useful for A/B evaluation
+        without re-building the model).
+    """
+
+    def __init__(
+        self, inner: Module, bits: int, gain: float = 1.0, enabled: bool = True
+    ) -> None:
+        super().__init__()
+        if bits < 1:
+            raise ValueError(f"bits must be >= 1, got {bits}")
+        if gain <= 0:
+            raise ValueError(f"gain must be positive, got {gain}")
+        self.inner = inner
+        self.bits = bits
+        self.gain = gain
+        self.enabled = enabled
+
+    def forward(self, x: Tensor) -> Tensor:
+        out = self.inner(x)
+        if not self.enabled:
+            return out
+        return ste_quantize_signals(out, self.bits, self.gain)
+
+    def __repr__(self) -> str:
+        return (
+            f"QuantizedActivation({self.inner!r}, bits={self.bits}, "
+            f"gain={self.gain:.4g}, enabled={self.enabled})"
+        )
+
+
+class InputQuantizer(Module):
+    """Quantize network inputs to M-bit integers (spike-coded input layer).
+
+    Inputs are shifted/scaled to the non-negative spike-count range first:
+    ``q = quantize((x − offset) · gain)``, then mapped back so downstream
+    layers see the original scale.  Used by the SNC deployment, where even
+    the first layer's inputs arrive as spikes.
+    """
+
+    def __init__(self, bits: int, offset: float = 0.0, gain: float = 1.0) -> None:
+        super().__init__()
+        if gain <= 0:
+            raise ValueError(f"gain must be positive, got {gain}")
+        self.bits = bits
+        self.offset = offset
+        self.gain = gain
+
+    def forward(self, x: Tensor) -> Tensor:
+        shifted = (x - self.offset) * self.gain
+        quantized = ste_quantize_signals(shifted, self.bits)
+        return quantized * (1.0 / self.gain) + self.offset
+
+    def __repr__(self) -> str:
+        return f"InputQuantizer(bits={self.bits}, offset={self.offset}, gain={self.gain})"
+
+
+def calibrate_input_quantizer(images, bits: int) -> InputQuantizer:
+    """Fit an :class:`InputQuantizer` covering the data range of ``images``.
+
+    The gain maps ``[min, max]`` onto ``[0, 2^M − 1]`` so the spike window
+    is fully used.
+    """
+    low = float(images.min())
+    high = float(images.max())
+    span = max(high - low, 1e-12)
+    gain = (Q.signal_levels(bits) - 1) / span
+    return InputQuantizer(bits=bits, offset=low, gain=gain)

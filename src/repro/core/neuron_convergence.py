@@ -1,0 +1,136 @@
+"""Neuron Convergence — training-side activation regularization (Sec. 3.1).
+
+:class:`NeuronConvergence` wires the Eq. 3 penalty into a training loop:
+it taps every inter-layer signal (ReLU output) during the forward pass and
+exposes the summed regularization term ``Σ_i λ_i · Rg(O^i)`` of Eq. 2 as a
+differentiable tensor to add to the data loss.
+
+Normalization note: Eq. 2 sums ``rg`` over every element of every layer
+(``Rg(O^i) = Σ_r Σ_c Σ_d rg(o)``); the paper's ``O^i`` is one sample's
+activation map, so we divide the summed penalty by the batch size only —
+keeping the per-element gradient at ``λ_i·(1 + α)`` for out-of-range
+signals, strong enough to actually contain the distribution.  (Dividing by
+the full tensor size instead would scale the gradient by ~1e-5 and turn
+the regularizer into a no-op.)
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.regularizers import DEFAULT_ALPHA, make_penalty
+from repro.core.taps import SignalTap, default_signal_modules
+from repro.nn.modules import Module
+from repro.nn.tensor import Tensor
+
+
+class NeuronConvergence:
+    """Attach the proposed regularizer (or a Fig. 3 baseline) to a model.
+
+    Parameters
+    ----------
+    model:
+        Network to regularize.
+    bits:
+        Target signal bit width M (sets the range threshold ``2^(M−1)``).
+    strength:
+        λ — overall weight of the regularization term (per-element).
+    alpha:
+        The sparsity slope α of Eq. 3 (paper: 0.1).
+    penalty:
+        One of ``"proposed"``, ``"l1"``, ``"truncated_l1"``, ``"none"``.
+    layer_weights:
+        Optional per-layer λ_i multipliers (defaults to all ones).
+    selector:
+        Which modules emit inter-layer signals (default: all ReLUs).
+
+    Use as a context manager around the training loop so hooks are removed
+    afterwards::
+
+        with NeuronConvergence(model, bits=4, strength=1e-3) as reg:
+            for batch in loader:
+                logits = model(x)                  # tap records signals
+                loss = ce(logits, y) + reg.term()  # Eq. 2
+                ...
+    """
+
+    def __init__(
+        self,
+        model: Module,
+        bits: int,
+        strength: float = 1e-3,
+        alpha: float = DEFAULT_ALPHA,
+        penalty: str = "proposed",
+        layer_weights: Optional[Sequence[float]] = None,
+        selector: Callable[[Module], List[Tuple[str, Module]]] = default_signal_modules,
+    ) -> None:
+        if strength < 0:
+            raise ValueError(f"strength must be >= 0, got {strength}")
+        self.model = model
+        self.bits = bits
+        self.strength = strength
+        self.alpha = alpha
+        self.penalty_name = penalty
+        self._penalty = make_penalty(penalty, bits, alpha)
+        self.tap = SignalTap(model, selector)
+        if layer_weights is None:
+            self.layer_weights = [1.0] * len(self.tap.targets)
+        else:
+            if len(layer_weights) != len(self.tap.targets):
+                raise ValueError(
+                    f"{len(layer_weights)} layer weights for "
+                    f"{len(self.tap.targets)} tapped layers"
+                )
+            self.layer_weights = list(layer_weights)
+
+    # -- lifecycle ----------------------------------------------------------
+    def __enter__(self) -> "NeuronConvergence":
+        self.tap.attach()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.tap.detach()
+
+    # -- the Eq. 2 regularization term ---------------------------------------
+    def term(self) -> Tensor:
+        """Σ_i λ_i · Rg(O^i), averaged over the batch, for the last forward.
+
+        Clears the captured signals, so call exactly once per forward pass.
+        """
+        signals = self.tap.signals
+        if not signals:
+            raise RuntimeError(
+                "no signals captured — run a forward pass inside the context first"
+            )
+        total: Optional[Tensor] = None
+        for weight, signal in zip(self.layer_weights, signals):
+            batch = signal.shape[0] if signal.ndim > 0 else 1
+            layer_term = self._penalty(signal) * (weight / batch)
+            total = layer_term if total is None else total + layer_term
+        self.tap.clear()
+        assert total is not None
+        return total * self.strength
+
+    # -- diagnostics ----------------------------------------------------------
+    def signal_statistics(self) -> List[dict]:
+        """Per-layer summary of the last captured forward (before clear)."""
+        stats = []
+        for name, signal in zip(self.tap.names, self.tap.signals):
+            data = signal.data
+            stats.append(
+                {
+                    "layer": name,
+                    "max": float(data.max()),
+                    "mean": float(data.mean()),
+                    "sparsity": float((data == 0).mean()),
+                    "fraction_in_range": float((data <= 2 ** (self.bits - 1)).mean()),
+                }
+            )
+        return stats
+
+
+def fraction_outside_range(signals: np.ndarray, bits: int) -> float:
+    """Fraction of signal values above the 2^(M−1) convergence bound."""
+    return float((signals > 2 ** (bits - 1)).mean())

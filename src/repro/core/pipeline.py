@@ -1,0 +1,168 @@
+"""End-to-end quantization pipeline: train → quantize → evaluate.
+
+One :class:`QuantizationPipeline` run reproduces one cell group of the
+paper's Table 4 for a chosen network and bit widths:
+
+1. train a *traditional* model (no regularizer) — its fp32 accuracy is the
+   "Ideal Acc." reference, and its quantized accuracy is the "w/o" arm;
+2. train a *proposed* model with Neuron Convergence at M bits;
+3. deploy both with M-bit fixed-integer signals and N-bit fixed-point
+   weights (naive grid for the traditional model, Weight Clustering for
+   the proposed one);
+4. evaluate everything and report with/without/recovered/drop.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Optional, Union
+
+import numpy as np
+
+from repro.analysis.metrics import QuantizationOutcome, evaluate_accuracy
+from repro.core.deployment import DeploymentConfig, deploy_model
+from repro.core.qat import Trainer, TrainerConfig
+from repro.models.registry import build_model
+from repro.nn.data import Dataset
+from repro.nn.modules import Module
+
+ModelSource = Union[str, Callable[[], Module]]
+
+
+@dataclass
+class PipelineConfig:
+    """Bit widths plus training hyper-parameters for one pipeline run."""
+
+    signal_bits: Optional[int] = 4
+    weight_bits: Optional[int] = 4
+    epochs: int = 10
+    batch_size: int = 32
+    lr: float = 2e-3
+    weight_decay: float = 1e-5
+    alpha: float = 0.01
+    strength: float = 1e-2
+    clustering_scope: str = "per_layer"
+    width_multiplier: float = 1.0
+    seed: int = 0
+    verbose: bool = False
+
+
+@dataclass
+class PipelineReport:
+    """All accuracies from one run (percentages, like the paper's tables)."""
+
+    model_name: str
+    signal_bits: Optional[int]
+    weight_bits: Optional[int]
+    ideal_accuracy: float
+    without_accuracy: float
+    with_accuracy: float
+    proposed_fp32_accuracy: float
+    info: dict = field(default_factory=dict)
+
+    @property
+    def outcome(self) -> QuantizationOutcome:
+        bits = self.signal_bits if self.signal_bits is not None else self.weight_bits
+        return QuantizationOutcome(
+            model=self.model_name,
+            bits=bits if bits is not None else 32,
+            accuracy_without=self.without_accuracy,
+            accuracy_with=self.with_accuracy,
+            ideal=self.ideal_accuracy,
+        )
+
+    def summary(self) -> str:
+        o = self.outcome
+        return (
+            f"{self.model_name} (M={self.signal_bits}, N={self.weight_bits}): "
+            f"ideal={o.ideal:.2f}%  w/o={o.accuracy_without:.2f}%  "
+            f"w/={o.accuracy_with:.2f}%  recovered={o.recovered:.2f}%  "
+            f"drop={o.drop:.2f}%"
+        )
+
+
+class QuantizationPipeline:
+    """Run the full with/without comparison for one configuration."""
+
+    def __init__(self, config: PipelineConfig) -> None:
+        self.config = config
+
+    def _make_model(self, source: ModelSource) -> Module:
+        if callable(source):
+            return source()
+        return build_model(
+            source,
+            width_multiplier=self.config.width_multiplier,
+            rng=np.random.default_rng(self.config.seed),
+        )
+
+    def _trainer(self, penalty: str) -> Trainer:
+        cfg = self.config
+        bits = cfg.signal_bits if cfg.signal_bits is not None else 4
+        return Trainer(
+            TrainerConfig(
+                epochs=cfg.epochs,
+                batch_size=cfg.batch_size,
+                lr=cfg.lr,
+                weight_decay=cfg.weight_decay,
+                penalty=penalty,
+                bits=bits,
+                alpha=cfg.alpha,
+                strength=cfg.strength,
+                seed=cfg.seed,
+                verbose=cfg.verbose,
+            )
+        )
+
+    def run(
+        self,
+        model_source: ModelSource,
+        train_set: Dataset,
+        test_set: Dataset,
+        model_name: Optional[str] = None,
+    ) -> PipelineReport:
+        """Train both arms, deploy, and measure (slow: two trainings)."""
+        cfg = self.config
+        name = model_name or (model_source if isinstance(model_source, str) else "model")
+
+        baseline = self._make_model(model_source)
+        self._trainer("none").fit(baseline, train_set)
+        ideal = evaluate_accuracy(baseline, test_set) * 100.0
+
+        proposed = self._make_model(model_source)
+        self._trainer("proposed").fit(proposed, train_set)
+        proposed_fp32 = evaluate_accuracy(proposed, test_set) * 100.0
+
+        without_model, _ = deploy_model(
+            baseline,
+            DeploymentConfig(
+                signal_bits=cfg.signal_bits,
+                weight_bits=cfg.weight_bits,
+                weight_mode="naive" if cfg.weight_bits is not None else "none",
+            ),
+        )
+        with_model, info = deploy_model(
+            proposed,
+            DeploymentConfig(
+                signal_bits=cfg.signal_bits,
+                weight_bits=cfg.weight_bits,
+                weight_mode="clustered" if cfg.weight_bits is not None else "none",
+                clustering_scope=cfg.clustering_scope,
+            ),
+        )
+        without_accuracy = evaluate_accuracy(without_model, test_set) * 100.0
+        with_accuracy = evaluate_accuracy(with_model, test_set) * 100.0
+
+        return PipelineReport(
+            model_name=name,
+            signal_bits=cfg.signal_bits,
+            weight_bits=cfg.weight_bits,
+            ideal_accuracy=ideal,
+            without_accuracy=without_accuracy,
+            with_accuracy=with_accuracy,
+            proposed_fp32_accuracy=proposed_fp32,
+            info={
+                "quantized_activations": info.quantized_activations,
+                "folded_batchnorms": info.folded_batchnorms,
+            },
+        )

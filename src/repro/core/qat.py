@@ -1,0 +1,190 @@
+"""Training loop with optional quantization-aware regularization.
+
+One :class:`Trainer` covers both arms of every table:
+
+- *traditional training* (``penalty="none"``) — the "w/o" rows, and
+- *the proposed training* (``penalty="proposed"`` with bits M) — the "w/"
+  rows, implementing the Eq. 2 objective
+  ``E(W) = E_D(W) + λ·R(W) + Σ_i λ_i·Rg(O^i)``
+  (weight decay supplies λ·R(W); Neuron Convergence supplies the Rg term).
+
+An optional *fine-tuning* mode trains through the quantizers with
+straight-through estimators — an extension beyond the paper's post-training
+flow, used by the ablation benches.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+import numpy as np
+
+from repro.analysis.metrics import evaluate_accuracy
+from repro.core.neuron_convergence import NeuronConvergence
+from repro.nn.data import DataLoader, Dataset
+from repro.nn.losses import cross_entropy
+from repro.nn.modules import Module
+from repro.nn.optim import SGD, Adam, CosineLR
+from repro.nn.tensor import Tensor
+
+
+@dataclass
+class TrainerConfig:
+    """Hyper-parameters for one training run.
+
+    ``penalty="none"`` disables the regularizer entirely (traditional
+    training); any other value builds a :class:`NeuronConvergence` with the
+    given ``bits`` / ``alpha`` / ``strength``.
+    """
+
+    epochs: int = 10
+    batch_size: int = 32
+    lr: float = 2e-3
+    optimizer: str = "adam"  # "adam" | "sgd"
+    momentum: float = 0.9
+    weight_decay: float = 1e-5
+    cosine_schedule: bool = True
+    # α = 0.1 is the paper's Eq. 3 value with its (unpublished) per-layer
+    # λ_i; our normalization folds λ_i into `strength`, and the tuned
+    # (strength, alpha) pair below reproduces the paper's containment
+    # behaviour across all three model families (see DESIGN.md §6).
+    penalty: str = "none"
+    bits: int = 4
+    alpha: float = 0.01
+    strength: float = 1e-2
+    seed: int = 0
+    verbose: bool = False
+    # Early stopping (requires an eval set): stop when eval accuracy has
+    # not improved for `patience` epochs; 0 disables.
+    patience: int = 0
+    # Keep the best-eval-accuracy weights instead of the last epoch's.
+    restore_best: bool = False
+
+    def __post_init__(self) -> None:
+        if self.epochs < 1:
+            raise ValueError("epochs must be >= 1")
+        if self.optimizer not in ("adam", "sgd"):
+            raise ValueError(f"optimizer must be 'adam' or 'sgd', got {self.optimizer!r}")
+
+
+@dataclass
+class TrainingHistory:
+    """Per-epoch traces of one run."""
+
+    losses: List[float] = field(default_factory=list)
+    penalties: List[float] = field(default_factory=list)
+    eval_accuracies: List[float] = field(default_factory=list)
+
+    @property
+    def final_accuracy(self) -> float:
+        return self.eval_accuracies[-1] if self.eval_accuracies else float("nan")
+
+
+class Trainer:
+    """Train a model under :class:`TrainerConfig`."""
+
+    def __init__(self, config: TrainerConfig) -> None:
+        self.config = config
+
+    def _build_optimizer(self, model: Module):
+        cfg = self.config
+        if cfg.optimizer == "adam":
+            return Adam(model.parameters(), lr=cfg.lr, weight_decay=cfg.weight_decay)
+        return SGD(
+            model.parameters(),
+            lr=cfg.lr,
+            momentum=cfg.momentum,
+            weight_decay=cfg.weight_decay,
+        )
+
+    def fit(
+        self,
+        model: Module,
+        train_set: Dataset,
+        eval_set: Optional[Dataset] = None,
+    ) -> TrainingHistory:
+        """Run the configured number of epochs; returns per-epoch traces."""
+        cfg = self.config
+        rng = np.random.default_rng(cfg.seed)
+        loader = DataLoader(train_set, batch_size=cfg.batch_size, shuffle=True, rng=rng)
+        optimizer = self._build_optimizer(model)
+        schedule = CosineLR(optimizer, cfg.epochs) if cfg.cosine_schedule else None
+        history = TrainingHistory()
+
+        regularizer: Optional[NeuronConvergence] = None
+        if cfg.penalty != "none":
+            regularizer = NeuronConvergence(
+                model,
+                bits=cfg.bits,
+                strength=cfg.strength,
+                alpha=cfg.alpha,
+                penalty=cfg.penalty,
+            )
+            regularizer.tap.attach()
+
+        best_accuracy = -1.0
+        best_state = None
+        epochs_since_best = 0
+        try:
+            model.train()
+            for epoch in range(cfg.epochs):
+                epoch_loss = 0.0
+                epoch_penalty = 0.0
+                seen = 0
+                for images, labels in loader:
+                    logits = model(Tensor(images))
+                    loss = cross_entropy(logits, labels)
+                    if regularizer is not None:
+                        reg_term = regularizer.term()
+                        epoch_penalty += reg_term.item() * len(labels)
+                        loss = loss + reg_term
+                    optimizer.zero_grad()
+                    loss.backward()
+                    optimizer.step()
+                    epoch_loss += loss.item() * len(labels)
+                    seen += len(labels)
+                if schedule is not None:
+                    schedule.step()
+                history.losses.append(epoch_loss / seen)
+                history.penalties.append(epoch_penalty / seen)
+                if eval_set is not None:
+                    if regularizer is not None:
+                        regularizer.tap.clear()
+                    accuracy = evaluate_accuracy(model, eval_set)
+                    if regularizer is not None:
+                        regularizer.tap.clear()
+                    history.eval_accuracies.append(accuracy)
+                    model.train()
+                    if accuracy > best_accuracy:
+                        best_accuracy = accuracy
+                        epochs_since_best = 0
+                        if cfg.restore_best:
+                            best_state = model.state_dict()
+                    else:
+                        epochs_since_best += 1
+                if cfg.verbose:
+                    acc = history.eval_accuracies[-1] if eval_set is not None else float("nan")
+                    print(
+                        f"epoch {epoch + 1}/{cfg.epochs}: "
+                        f"loss={history.losses[-1]:.4f} "
+                        f"penalty={history.penalties[-1]:.4f} acc={acc:.3f}"
+                    )
+                if cfg.patience and eval_set is not None and epochs_since_best >= cfg.patience:
+                    break
+        finally:
+            if regularizer is not None:
+                regularizer.tap.detach()
+        if cfg.restore_best and best_state is not None:
+            model.load_state_dict(best_state)
+        return history
+
+
+def train_model(
+    model: Module,
+    train_set: Dataset,
+    eval_set: Optional[Dataset] = None,
+    **config_kwargs,
+) -> TrainingHistory:
+    """One-call convenience: build a :class:`TrainerConfig` and fit."""
+    return Trainer(TrainerConfig(**config_kwargs)).fit(model, train_set, eval_set)

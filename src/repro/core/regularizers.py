@@ -1,0 +1,117 @@
+"""Activation regularizers — the heart of Neuron Convergence (Sec. 3.1).
+
+The paper's Eq. 3 defines, for each inter-layer signal ``o`` and target bit
+width ``M`` (threshold ``T = 2^(M−1)``):
+
+    rg(o) = α·|o|                         if |o| <  T
+    rg(o) = (|o| − T) + α·|o|             if |o| >= T
+
+i.e. a gentle L1 pull toward zero everywhere (sparsity) plus a strong
+linear penalty on anything escaping the fixed range (uniform across all
+layers).  Figure 3 contrasts this with plain L1 and truncated L1; those
+baselines are implemented here too so Fig. 4's four-way comparison can be
+regenerated.
+
+Each penalty has two forms:
+
+- a differentiable :class:`~repro.nn.tensor.Tensor` version used inside the
+  training loss, and
+- a plain-numpy ``*_curve`` version used to draw the Figure 3 shapes.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict
+
+import numpy as np
+
+from repro.nn import functional as F
+from repro.nn.tensor import Tensor
+
+DEFAULT_ALPHA = 0.1  # the paper sets α = 0.1 "empirically"
+
+
+def convergence_threshold(bits: int) -> float:
+    """The uniform range bound ``T = 2^(M−1)`` for M-bit signals."""
+    if bits < 1:
+        raise ValueError(f"bits must be >= 1, got {bits}")
+    return float(2 ** (bits - 1))
+
+
+# ---------------------------------------------------------------------------
+# Differentiable penalties (sum over all elements)
+# ---------------------------------------------------------------------------
+
+def neuron_convergence_penalty(
+    signals: Tensor, bits: int, alpha: float = DEFAULT_ALPHA
+) -> Tensor:
+    """Eq. 3 summed over a whole activation tensor.
+
+    ``rg(o) = α|o| + max(|o| − 2^(M−1), 0)``.
+    """
+    threshold = convergence_threshold(bits)
+    magnitude = signals.abs()
+    overflow = F.relu(magnitude - threshold)
+    return (magnitude * alpha + overflow).sum()
+
+
+def l1_penalty(signals: Tensor) -> Tensor:
+    """Plain L1: ``|o|`` summed (Fig. 3b / Fig. 4b baseline)."""
+    return signals.abs().sum()
+
+
+def truncated_l1_penalty(signals: Tensor, bits: int) -> Tensor:
+    """Truncated L1: ``min(|o|, T)`` summed (Fig. 3c / Fig. 4c baseline).
+
+    Gradient is 1 below the threshold, 0 above — it restricts range pressure
+    to small signals, which is why it fails to contain the distribution.
+    """
+    threshold = convergence_threshold(bits)
+    return signals.abs().clip(0.0, threshold).sum()
+
+
+def zero_penalty(signals: Tensor) -> Tensor:
+    """No regularization (Fig. 3a / Fig. 4a baseline)."""
+    return Tensor(np.zeros(()))
+
+
+PENALTIES: Dict[str, Callable[..., Tensor]] = {
+    "none": zero_penalty,
+    "l1": l1_penalty,
+    "truncated_l1": truncated_l1_penalty,
+    "proposed": neuron_convergence_penalty,
+}
+
+
+def make_penalty(name: str, bits: int, alpha: float = DEFAULT_ALPHA) -> Callable[[Tensor], Tensor]:
+    """Return ``penalty(signals) -> Tensor`` for one of the four Fig. 3 forms."""
+    if name == "none":
+        return zero_penalty
+    if name == "l1":
+        return l1_penalty
+    if name == "truncated_l1":
+        return lambda signals: truncated_l1_penalty(signals, bits)
+    if name == "proposed":
+        return lambda signals: neuron_convergence_penalty(signals, bits, alpha)
+    raise KeyError(f"unknown penalty {name!r}; available: {sorted(PENALTIES)}")
+
+
+# ---------------------------------------------------------------------------
+# Analytic curves for Figure 3
+# ---------------------------------------------------------------------------
+
+def regularizer_curve(
+    name: str, values: np.ndarray, bits: int = 2, alpha: float = DEFAULT_ALPHA
+) -> np.ndarray:
+    """Pointwise penalty value of each Fig. 3 form (for plotting/printing)."""
+    magnitude = np.abs(values)
+    threshold = convergence_threshold(bits)
+    if name == "none":
+        return np.zeros_like(magnitude)
+    if name == "l1":
+        return magnitude
+    if name == "truncated_l1":
+        return np.minimum(magnitude, threshold)
+    if name == "proposed":
+        return alpha * magnitude + np.maximum(magnitude - threshold, 0.0)
+    raise KeyError(f"unknown penalty {name!r}; available: {sorted(PENALTIES)}")

@@ -1,0 +1,48 @@
+"""Straight-through estimators (STE) for quantization inside autograd.
+
+Post-training quantization (what the paper's tables measure) never needs
+gradients through the rounding step, but the pipeline also supports an
+optional quantization-aware *fine-tuning* stage, which does.  The STE
+passes gradients through unchanged wherever the input lies inside the
+representable range and blocks them where the quantizer saturates.
+"""
+
+from __future__ import annotations
+
+from repro.core import quantizers as Q
+from repro.nn.tensor import Tensor
+
+
+def ste_quantize_signals(x: Tensor, bits: int, gain: float = 1.0) -> Tensor:
+    """M-bit fixed-integer signal quantization with straight-through grads.
+
+    ``gain`` is the IFC conversion gain: the spike count is
+    ``round(gain · x)`` and the next layer interprets counts at ``1/gain``
+    — a single *network-wide* hardware constant (the IFC threshold scale),
+    not a per-layer format.  ``gain = 1`` is the paper's literal scheme
+    where signal values are spike counts directly.
+    """
+    if gain <= 0:
+        raise ValueError(f"gain must be positive, got {gain}")
+    out_data = Q.quantize_signals(x.data * gain, bits) / gain
+    top = (Q.signal_levels(bits) - 1) / gain
+
+    def backward(grad) -> None:
+        if x.requires_grad:
+            mask = (x.data >= 0) & (x.data <= top)
+            x._accumulate(grad * mask)
+
+    return Tensor._make(out_data, (x,), backward)
+
+
+def ste_quantize_weights(w: Tensor, bits: int, scale: float = 1.0) -> Tensor:
+    """N-bit fixed-point weight quantization with straight-through grads."""
+    out_data = Q.quantize_weights_fixed_point(w.data, bits, scale)
+    limit = scale * 0.5  # grid saturates at ±scale·2^(N−1)/2^N
+
+    def backward(grad) -> None:
+        if w.requires_grad:
+            mask = (w.data >= -limit) & (w.data <= limit)
+            w._accumulate(grad * mask)
+
+    return Tensor._make(out_data, (w,), backward)

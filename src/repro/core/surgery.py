@@ -1,0 +1,112 @@
+"""Model surgery: module replacement and batch-norm folding.
+
+Used by the quantization pipeline to
+
+- swap every ReLU for a :class:`~repro.core.modules.QuantizedActivation`
+  when building the deployed (fixed-integer-signal) network, and
+- fold batch normalization into the preceding convolution before weight
+  quantization, since the memristor crossbar stores one weight matrix per
+  layer and has no separate normalization hardware.
+"""
+
+from __future__ import annotations
+
+import copy
+from typing import Callable, List, Tuple
+
+import numpy as np
+
+from repro.nn.modules import BatchNorm2d, Conv2d, Identity, Module, Sequential
+from repro.nn.tensor import Tensor
+
+
+def clone_module(module: Module) -> Module:
+    """Deep-copy a module (parameters, buffers, structure).
+
+    Forward hooks are dropped from the clone — they typically close over
+    external state that must not be shared.
+    """
+    cloned = copy.deepcopy(module)
+    for sub in cloned.modules():
+        sub.clear_forward_hooks()
+    return cloned
+
+
+def replace_modules(
+    root: Module,
+    predicate: Callable[[Module], bool],
+    factory: Callable[[Module], Module],
+) -> int:
+    """Replace every descendant matching ``predicate`` with ``factory(old)``.
+
+    Returns the number of replacements.  Handles both attribute-registered
+    children and :class:`Sequential` position lists.  The root itself is
+    never replaced.
+    """
+    count = 0
+    for module in list(root.modules()):
+        for name, child in list(module._modules.items()):
+            if predicate(child):
+                replacement = factory(child)
+                module._modules[name] = replacement
+                # Keep the attribute reference coherent when it exists.
+                if getattr(module, name, None) is child:
+                    object.__setattr__(module, name, replacement)
+                if isinstance(module, Sequential):
+                    index = int(name)
+                    module.layers[index] = replacement
+                count += 1
+    return count
+
+
+def _fold_pair(conv: Conv2d, bn: BatchNorm2d) -> None:
+    """Fold eval-mode batchnorm statistics into the convolution, in place.
+
+    ``y = γ·(conv(x) − μ)/σ + β``  becomes  ``conv'(x)`` with
+    ``w' = w·γ/σ`` and ``b' = (b − μ)·γ/σ + β``.
+    """
+    std = np.sqrt(bn.running_var + bn.eps)
+    scale = bn.gamma.data / std
+    conv.weight.data *= scale[:, None, None, None]
+    bias = conv.bias.data if conv.bias is not None else np.zeros(conv.out_channels)
+    new_bias = (bias - bn.running_mean) * scale + bn.beta.data
+    if conv.bias is None:
+        conv.bias = Tensor(new_bias, requires_grad=True)
+    else:
+        conv.bias.data[...] = new_bias
+
+
+def fold_batchnorm(root: Module) -> int:
+    """Fold every Conv2d→BatchNorm2d pair; replace the BN with Identity.
+
+    Pairing is positional: within each container, a BatchNorm2d immediately
+    following a Conv2d in registration order is folded into it.  All models
+    in :mod:`repro.models` register in forward order, so this matches the
+    dataflow.  Returns the number of folds; the model must be in eval mode
+    semantics (running stats are used).
+    """
+    folds = 0
+    for module in list(root.modules()):
+        children = list(module._modules.items())
+        for (name_a, child_a), (name_b, child_b) in zip(children, children[1:]):
+            if isinstance(child_a, Conv2d) and isinstance(child_b, BatchNorm2d):
+                _fold_pair(child_a, child_b)
+                identity = Identity()
+                module._modules[name_b] = identity
+                if getattr(module, name_b, None) is child_b:
+                    object.__setattr__(module, name_b, identity)
+                if isinstance(module, Sequential):
+                    module.layers[int(name_b)] = identity
+                folds += 1
+    return folds
+
+
+def weight_bearing_modules(root: Module) -> List[Tuple[str, Module]]:
+    """All Conv2d/Linear descendants, in registration (≈ dataflow) order."""
+    from repro.nn.modules import Linear  # local import avoids cycle at module load
+
+    return [
+        (name, module)
+        for name, module in root.named_modules()
+        if isinstance(module, (Conv2d, Linear))
+    ]

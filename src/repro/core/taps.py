@@ -1,0 +1,111 @@
+"""Activation taps: capture inter-layer signals during the forward pass.
+
+The paper's Eq. 2 sums a regularizer over the *output of every layer*
+(``O^i``).  In module terms the inter-layer signals are the outputs of the
+activation modules (ReLU) — what actually crosses layers as spikes on the
+SNC.  :class:`SignalTap` hooks those modules and exposes the captured
+tensors both
+
+- live (``tap.signals`` — the autograd tensors of the *current* forward,
+  used to build the regularization term), and
+- as histograms (:meth:`collect_distribution`, used to regenerate Fig. 4).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional, Tuple
+
+import numpy as np
+
+from repro.nn.modules import Module, ReLU
+from repro.nn.tensor import Tensor
+
+
+def default_signal_modules(model: Module) -> List[Tuple[str, Module]]:
+    """The modules whose outputs are inter-layer signals: all ReLUs.
+
+    Excludes the final classifier output, which stays in the digital domain
+    (the paper quantizes signals *between* layers; the last layer's logits
+    feed an argmax, not another crossbar).
+    """
+    return [
+        (name, module)
+        for name, module in model.named_modules()
+        if isinstance(module, ReLU)
+    ]
+
+
+class SignalTap:
+    """Record the outputs of selected modules on every forward pass.
+
+    Parameters
+    ----------
+    model:
+        The network to instrument.
+    selector:
+        ``model -> [(name, module)]`` choosing which outputs count as
+        inter-layer signals.  Defaults to all :class:`~repro.nn.modules.ReLU`
+        modules.
+
+    Use as a context manager, or call :meth:`attach` / :meth:`detach`.
+    """
+
+    def __init__(
+        self,
+        model: Module,
+        selector: Callable[[Module], List[Tuple[str, Module]]] = default_signal_modules,
+    ) -> None:
+        self.model = model
+        self.targets = selector(model)
+        if not self.targets:
+            raise ValueError("selector matched no modules; nothing to tap")
+        self.signals: List[Tensor] = []
+        self.names: List[str] = [name for name, _ in self.targets]
+        self._removers: List[Callable[[], None]] = []
+
+    # -- lifecycle ---------------------------------------------------------
+    def attach(self) -> "SignalTap":
+        if self._removers:
+            raise RuntimeError("tap already attached")
+        for name, module in self.targets:
+            self._removers.append(module.register_forward_hook(self._record))
+        return self
+
+    def detach(self) -> None:
+        for remover in self._removers:
+            remover()
+        self._removers.clear()
+        self.signals.clear()
+
+    def __enter__(self) -> "SignalTap":
+        return self.attach()
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.detach()
+
+    # -- capture -----------------------------------------------------------
+    def _record(self, module: Module, inputs: Tensor, output: Tensor) -> None:
+        self.signals.append(output)
+
+    def clear(self) -> None:
+        """Drop signals captured so far (call between forward passes)."""
+        self.signals.clear()
+
+    # -- analysis helpers ----------------------------------------------------
+    def collect_distribution(
+        self,
+        forward: Callable[[], Tensor],
+        layer_index: Optional[int] = None,
+    ) -> np.ndarray:
+        """Run ``forward()`` once and return captured signal values.
+
+        ``layer_index`` selects one tapped layer (e.g. 0 = the first hidden
+        layer, as in Fig. 4); ``None`` concatenates all layers.
+        """
+        self.clear()
+        forward()
+        if not self.signals:
+            raise RuntimeError("forward() produced no tapped signals")
+        if layer_index is None:
+            return np.concatenate([s.data.ravel() for s in self.signals])
+        return self.signals[layer_index].data.ravel().copy()

@@ -1,0 +1,306 @@
+"""Weight Clustering — fixed-point weight quantization by clustering (Sec. 3.2).
+
+The paper casts weight quantization as the optimization (Eq. 6)
+
+    D* = argmin_D ‖D/2^N − W‖²,   D ∈ {0, ±1, …, ±2^(N−1)}^|W|
+
+"solved by the k-nearest-neighbours algorithm", subject to
+``N ≥ log2(max|D| / max|W|)`` — the constraint that ties the grid to the
+weight range.  We implement this as constrained 1-D k-means (Lloyd
+iterations) over a *linear* codebook ``c_k = s · k / 2^N``:
+
+- **assignment** step: each weight snaps to its nearest code
+  (the k-NN step — trivial for a linear codebook: scaled rounding);
+- **update** step: with assignments ``k_j`` fixed, the optimal scale has
+  the closed form ``s* = 2^N · Σ k_j w_j / Σ k_j²``.
+
+The codebook stays linear throughout (hardware-friendly: a crossbar plus a
+single column-DAC reference realizes any linearly spaced conductance set),
+only its scale is learned.  With ``scale=1`` frozen and no iterations this
+degenerates to the naive rounding of
+:func:`repro.core.quantizers.quantize_weights_fixed_point` — the paper's
+"w/o clustering" arm.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+from repro.core import quantizers as Q
+from repro.core.surgery import weight_bearing_modules
+from repro.nn.modules import Module
+
+
+@dataclass
+class ClusteringResult:
+    """Outcome of clustering one weight array.
+
+    Attributes
+    ----------
+    codes:
+        Integer code per weight (the elements of ``D``).
+    scale:
+        Learned grid scale ``s`` (``quantized = s · codes / 2^N``).
+    bits:
+        Target bit width N.
+    mse:
+        Final mean squared quantization error.
+    iterations:
+        Lloyd iterations actually performed.
+    """
+
+    codes: np.ndarray
+    scale: float
+    bits: int
+    mse: float
+    iterations: int
+
+    @property
+    def quantized(self) -> np.ndarray:
+        """The quantized weights ``s · D / 2^N``."""
+        return self.scale * self.codes / float(2 ** self.bits)
+
+    @property
+    def codebook(self) -> np.ndarray:
+        """All representable values at this scale."""
+        return Q.weight_grid(self.bits, self.scale)
+
+    @property
+    def levels_used(self) -> int:
+        """Distinct codes actually present (≤ 2^N + 1)."""
+        return int(np.unique(self.codes).size)
+
+
+def _assign(weights: np.ndarray, bits: int, scale: float) -> np.ndarray:
+    """Nearest-neighbour assignment onto the scaled linear grid."""
+    denom = float(2 ** bits)
+    half = 2 ** (bits - 1)
+    return np.clip(np.rint(weights / scale * denom), -half, half)
+
+
+def _optimal_scale(weights: np.ndarray, codes: np.ndarray, bits: int) -> Optional[float]:
+    """Closed-form scale minimizing ‖s·codes/2^N − w‖² for fixed codes."""
+    denominator = float(np.sum(codes * codes))
+    if denominator == 0.0:
+        return None
+    numerator = float(np.sum(codes * weights))
+    scale = (2 ** bits) * numerator / denominator
+    return scale if scale > 0 else None
+
+
+def initial_scale(weights: np.ndarray, bits: int) -> float:
+    """Scale that maps the largest |weight| to the grid endpoint.
+
+    This realizes the paper's ``N ≥ log2(max|D|/max|W|)`` constraint with
+    equality: ``max|D| = 2^(N−1)`` lands exactly on ``max|W|``.
+    """
+    peak = float(np.max(np.abs(weights))) if weights.size else 0.0
+    if peak == 0.0:
+        return 1.0
+    # quantized endpoint: scale · 2^(N−1) / 2^N = scale / 2  == peak
+    return 2.0 * peak
+
+
+def _lloyd(
+    flat: np.ndarray, bits: int, scale: float, max_iterations: int, tolerance: float
+) -> Tuple[np.ndarray, float, float, int]:
+    """Run Lloyd iterations from one starting scale.
+
+    Returns ``(codes, scale, mse, iterations)``.  Converges monotonically:
+    neither the assignment nor the closed-form scale update can increase
+    the objective.
+    """
+    codes = _assign(flat, bits, scale)
+    previous_mse = float(np.mean((scale * codes / (2 ** bits) - flat) ** 2))
+    iterations = 0
+    for iterations in range(1, max_iterations + 1):
+        updated = _optimal_scale(flat, codes, bits)
+        if updated is not None:
+            scale = updated
+        codes = _assign(flat, bits, scale)
+        mse = float(np.mean((scale * codes / (2 ** bits) - flat) ** 2))
+        if previous_mse - mse < tolerance:
+            previous_mse = mse
+            break
+        previous_mse = mse
+    return codes, scale, previous_mse, iterations
+
+
+def cluster_weights(
+    weights: np.ndarray,
+    bits: int,
+    max_iterations: int = 25,
+    tolerance: float = 1e-10,
+) -> ClusteringResult:
+    """Solve Eq. 6 for one weight array by multi-start Lloyd iterations.
+
+    Lloyd's objective is non-convex in the scale (the assignment step is a
+    step function), so a single start can stall in a local optimum that
+    either saturates important outlier weights (scale too small) or wastes
+    resolution on empty range (scale too large).  We start from several
+    candidate ranges — the grid endpoint placed at different quantiles of
+    |W| — and keep the best final MSE.
+    """
+    if bits < 1:
+        raise ValueError(f"bits must be >= 1, got {bits}")
+    if weights.size == 0:
+        raise ValueError("cannot cluster an empty weight array")
+    flat = weights.ravel().astype(np.float64)
+    peak = float(np.max(np.abs(flat)))
+    if peak == 0.0:
+        return ClusteringResult(
+            codes=np.zeros_like(weights), scale=1.0, bits=bits, mse=0.0, iterations=0
+        )
+    quantiles = np.quantile(np.abs(flat), [1.0, 0.999, 0.99, 0.95])
+    endpoints = sorted({q for q in quantiles if q > 0})
+    best: Optional[Tuple[np.ndarray, float, float, int]] = None
+    for endpoint in endpoints:
+        start_scale = 2.0 * endpoint  # grid endpoint scale/2 lands on `endpoint`
+        candidate = _lloyd(flat, bits, start_scale, max_iterations, tolerance)
+        if best is None or candidate[2] < best[2]:
+            best = candidate
+    assert best is not None
+    codes, scale, mse, iterations = best
+    return ClusteringResult(
+        codes=codes.reshape(weights.shape),
+        scale=scale,
+        bits=bits,
+        mse=mse,
+        iterations=iterations,
+    )
+
+
+@dataclass
+class ModelClusteringReport:
+    """Per-parameter clustering results for a whole model."""
+
+    bits: int
+    scope: str
+    results: Dict[str, ClusteringResult] = field(default_factory=dict)
+
+    @property
+    def total_mse(self) -> float:
+        """Size-weighted mean squared error across all clustered tensors."""
+        total_err = 0.0
+        total_n = 0
+        for result in self.results.values():
+            n = result.codes.size
+            total_err += result.mse * n
+            total_n += n
+        return total_err / max(total_n, 1)
+
+    def summary(self) -> str:
+        lines = [f"Weight clustering: N={self.bits} bits, scope={self.scope}"]
+        for name, result in self.results.items():
+            lines.append(
+                f"  {name}: scale={result.scale:.5f} mse={result.mse:.3e} "
+                f"levels={result.levels_used} iters={result.iterations}"
+            )
+        lines.append(f"  overall mse={self.total_mse:.3e}")
+        return "\n".join(lines)
+
+
+def apply_weight_clustering(
+    model: Module,
+    bits: int,
+    scope: str = "per_layer",
+    include_bias: bool = True,
+    max_iterations: int = 25,
+) -> ModelClusteringReport:
+    """Quantize every Conv2d/Linear weight in ``model`` in place (Eq. 6).
+
+    Parameters
+    ----------
+    scope:
+        ``"per_layer"`` — each layer's weight matrix gets its own scale
+        (the paper clusters ``W``, the weight matrix of a layer mapped to
+        one crossbar group); ``"global"`` — a single scale for the whole
+        network (ablation: strictly worse, see
+        ``benchmarks/bench_ablation_clustering_scope.py``).
+    include_bias:
+        Quantize biases onto the same per-layer grid (biases occupy an
+        extra crossbar row on the SNC, so they face the same precision).
+    """
+    if scope not in ("per_layer", "global"):
+        raise ValueError(f"scope must be 'per_layer' or 'global', got {scope!r}")
+    report = ModelClusteringReport(bits=bits, scope=scope)
+    layers = weight_bearing_modules(model)
+    if not layers:
+        raise ValueError("model has no Conv2d/Linear layers to quantize")
+
+    if scope == "global":
+        stacked = np.concatenate([m.weight.data.ravel() for _, m in layers])
+        shared = cluster_weights(stacked, bits, max_iterations=max_iterations)
+        scale = shared.scale
+        for name, module in layers:
+            codes = _assign(module.weight.data, bits, scale)
+            quantized = scale * codes / (2 ** bits)
+            mse = float(np.mean((quantized - module.weight.data) ** 2))
+            module.weight.data[...] = quantized
+            report.results[f"{name}.weight"] = ClusteringResult(
+                codes=codes, scale=scale, bits=bits, mse=mse, iterations=shared.iterations
+            )
+            if include_bias and getattr(module, "bias", None) is not None:
+                _cluster_bias(module, name, scale, bits, report)
+        return report
+
+    for name, module in layers:
+        result = cluster_weights(module.weight.data, bits, max_iterations=max_iterations)
+        module.weight.data[...] = result.quantized
+        report.results[f"{name}.weight"] = result
+        if include_bias and getattr(module, "bias", None) is not None:
+            _cluster_bias(module, name, result.scale, bits, report)
+    return report
+
+
+def _cluster_bias(
+    module: Module, name: str, scale: float, bits: int, report: ModelClusteringReport
+) -> None:
+    """Snap a bias vector onto the layer's grid (codes may exceed ±2^(N−1)).
+
+    A bias is realized as one crossbar row driven by a constant input, so it
+    shares the grid *spacing* but not the ±2^(N−1) endpoint clamp — the row
+    can be replicated.  We therefore round without saturation.
+    """
+    step = scale / float(2 ** bits)
+    codes = np.rint(module.bias.data / step)
+    quantized = codes * step
+    mse = float(np.mean((quantized - module.bias.data) ** 2))
+    module.bias.data[...] = quantized
+    report.results[f"{name}.bias"] = ClusteringResult(
+        codes=codes, scale=scale, bits=bits, mse=mse, iterations=0
+    )
+
+
+def naive_weight_quantization(
+    model: Module, bits: int, include_bias: bool = True, scale_mode: str = "fixed"
+) -> ModelClusteringReport:
+    """The "w/o clustering" arm: direct rounding onto the grid, no Lloyd.
+
+    ``scale_mode="fixed"`` (the paper's baseline) rounds onto the *literal*
+    Eq. 6 grid ``D/2^N`` — spacing ``2^-N``, saturation at ±1/2 — ignoring
+    each layer's actual weight range; this is what "quantized to the
+    available resistance states" without clustering means, and it is why
+    the w/o rows of Table 3 collapse at 3 bits.  ``scale_mode="range"``
+    snaps the grid endpoint to ``max|W|`` first but still skips the Lloyd
+    iterations — an ablation isolating the benefit of the optimization step
+    from the benefit of range matching.
+    """
+    if scale_mode not in ("fixed", "range"):
+        raise ValueError(f"scale_mode must be 'fixed' or 'range', got {scale_mode!r}")
+    report = ModelClusteringReport(bits=bits, scope=f"naive-{scale_mode}")
+    for name, module in weight_bearing_modules(model):
+        scale = 1.0 if scale_mode == "fixed" else initial_scale(module.weight.data, bits)
+        codes = _assign(module.weight.data, bits, scale)
+        quantized = scale * codes / (2 ** bits)
+        mse = float(np.mean((quantized - module.weight.data) ** 2))
+        module.weight.data[...] = quantized
+        report.results[f"{name}.weight"] = ClusteringResult(
+            codes=codes, scale=scale, bits=bits, mse=mse, iterations=0
+        )
+        if include_bias and getattr(module, "bias", None) is not None:
+            _cluster_bias(module, name, scale, bits, report)
+    return report

@@ -1,0 +1,45 @@
+"""repro.datasets — deterministic synthetic stand-ins for MNIST and CIFAR-10.
+
+This environment has no network access, so the real datasets cannot be
+downloaded.  These generators produce tasks with the same tensor formats
+(28×28×1 and 32×32×3, ten classes each) whose classes are defined by shape
+and structure rather than point statistics; see DESIGN.md for why this
+preserves the behaviours the paper measures.
+"""
+
+from repro.datasets.augmentation import (
+    AugmentationConfig,
+    AugmentedLoader,
+    apply_augmentation,
+    random_horizontal_flip,
+    random_shift,
+)
+from repro.datasets.cifar_like import cifar_like, generate_cifar_like, render_class_image
+from repro.datasets.glyphs import all_glyphs, digit_glyph
+from repro.datasets.mnist_like import generate_mnist_like, mnist_like, render_digit
+from repro.datasets.registry import (
+    available_datasets,
+    clear_cache,
+    load_dataset,
+    register_dataset,
+)
+
+__all__ = [
+    "mnist_like",
+    "generate_mnist_like",
+    "render_digit",
+    "cifar_like",
+    "generate_cifar_like",
+    "render_class_image",
+    "digit_glyph",
+    "all_glyphs",
+    "load_dataset",
+    "register_dataset",
+    "available_datasets",
+    "clear_cache",
+    "AugmentationConfig",
+    "AugmentedLoader",
+    "apply_augmentation",
+    "random_shift",
+    "random_horizontal_flip",
+]

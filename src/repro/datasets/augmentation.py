@@ -1,0 +1,97 @@
+"""Training-time data augmentation.
+
+Standard augmentations for the synthetic image tasks: random translation
+(padded crop), horizontal flip (meaningful for the CIFAR-like shape
+classes, which are left-right symmetric families), and additive noise.
+Augmentation operates on batches at load time via :class:`AugmentedLoader`
+so the base dataset stays deterministic and cacheable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Optional, Tuple
+
+import numpy as np
+
+from repro.nn.data import DataLoader, Dataset
+
+
+@dataclass(frozen=True)
+class AugmentationConfig:
+    """Which augmentations to apply, and how strongly."""
+
+    max_shift: int = 2           # random translation in pixels (0 = off)
+    horizontal_flip: bool = True
+    noise_sigma: float = 0.02    # additive Gaussian noise (0 = off)
+
+    def __post_init__(self) -> None:
+        if self.max_shift < 0:
+            raise ValueError("max_shift must be >= 0")
+        if self.noise_sigma < 0:
+            raise ValueError("noise_sigma must be >= 0")
+
+
+def random_shift(
+    images: np.ndarray, max_shift: int, rng: np.random.Generator
+) -> np.ndarray:
+    """Translate each image by an independent random (dy, dx); zero-pad."""
+    if max_shift == 0:
+        return images
+    batch, channels, height, width = images.shape
+    padded = np.pad(
+        images,
+        ((0, 0), (0, 0), (max_shift, max_shift), (max_shift, max_shift)),
+    )
+    out = np.empty_like(images)
+    shifts = rng.integers(0, 2 * max_shift + 1, size=(batch, 2))
+    for i, (dy, dx) in enumerate(shifts):
+        out[i] = padded[i, :, dy : dy + height, dx : dx + width]
+    return out
+
+
+def random_horizontal_flip(
+    images: np.ndarray, rng: np.random.Generator
+) -> np.ndarray:
+    """Flip each image left-right with probability ½."""
+    flips = rng.random(images.shape[0]) < 0.5
+    out = images.copy()
+    out[flips] = out[flips, :, :, ::-1]
+    return out
+
+
+def apply_augmentation(
+    images: np.ndarray, config: AugmentationConfig, rng: np.random.Generator
+) -> np.ndarray:
+    """Apply the configured augmentations to one batch (copy, not in place)."""
+    out = random_shift(images, config.max_shift, rng)
+    if config.horizontal_flip:
+        out = random_horizontal_flip(out, rng)
+    if config.noise_sigma > 0:
+        out = out + rng.normal(0.0, config.noise_sigma, size=out.shape)
+    return out
+
+
+class AugmentedLoader:
+    """A :class:`DataLoader` that augments each batch as it is yielded."""
+
+    def __init__(
+        self,
+        dataset: Dataset,
+        batch_size: int,
+        config: AugmentationConfig = AugmentationConfig(),
+        rng: Optional[np.random.Generator] = None,
+        shuffle: bool = True,
+    ) -> None:
+        self.config = config
+        self.rng = rng or np.random.default_rng()
+        self._loader = DataLoader(
+            dataset, batch_size=batch_size, shuffle=shuffle, rng=self.rng
+        )
+
+    def __len__(self) -> int:
+        return len(self._loader)
+
+    def __iter__(self) -> Iterator[Tuple[np.ndarray, np.ndarray]]:
+        for images, labels in self._loader:
+            yield apply_augmentation(images, self.config, self.rng), labels

@@ -1,0 +1,187 @@
+"""Synthetic CIFAR-like colour image dataset.
+
+A ten-class 32×32×3 task standing in for CIFAR-10.  Classes are defined by
+*structure* (which pattern family generated the image) while colour, phase,
+frequency, position and noise vary freely within a class — so, as with
+natural images, a classifier must learn spatial features rather than
+point statistics.  The ten families:
+
+0. horizontal stripes            5. filled squares
+1. vertical stripes              6. rings (annuli)
+2. diagonal stripes              7. radial gradient blobs
+3. checkerboard                  8. crosses
+4. filled circles                9. triangles
+
+Intra-class difficulty is deliberately high (random colours on random
+backgrounds, partial occlusion by noise) so that low-bit quantization of a
+trained network produces the visible accuracy collapse the paper reports on
+CIFAR-10 (Tables 2–4).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict
+
+import numpy as np
+
+from repro.datasets import transforms as T
+from repro.nn.data import Dataset
+
+IMAGE_SIZE = 32
+NUM_CLASSES = 10
+
+
+def _random_colors(rng: np.random.Generator):
+    """Two distinct random RGB colours (foreground, background)."""
+    fg = rng.uniform(0.1, 1.0, size=3)
+    bg = rng.uniform(0.0, 0.9, size=3)
+    # Re-draw until visibly distinct to keep the class learnable.
+    while np.abs(fg - bg).sum() < 0.6:
+        bg = rng.uniform(0.0, 0.9, size=3)
+    return fg, bg
+
+
+def _coords():
+    ys, xs = np.mgrid[0:IMAGE_SIZE, 0:IMAGE_SIZE].astype(np.float64)
+    return ys, xs
+
+
+def _stripes(rng: np.random.Generator, direction: str) -> np.ndarray:
+    ys, xs = _coords()
+    freq = rng.uniform(0.25, 0.9)
+    phase = rng.uniform(0, 2 * np.pi)
+    if direction == "h":
+        field = ys
+    elif direction == "v":
+        field = xs
+    else:  # diagonal
+        angle = rng.uniform(np.pi / 6, np.pi / 3)
+        field = ys * np.cos(angle) + xs * np.sin(angle)
+    return (np.sin(field * freq + phase) > 0).astype(float)
+
+
+def _checkerboard(rng: np.random.Generator) -> np.ndarray:
+    ys, xs = _coords()
+    cell = rng.integers(3, 7)
+    phase_y, phase_x = rng.integers(0, cell, size=2)
+    return ((((ys + phase_y) // cell) + ((xs + phase_x) // cell)) % 2).astype(float)
+
+
+def _disk(rng: np.random.Generator) -> np.ndarray:
+    ys, xs = _coords()
+    cy, cx = rng.uniform(9, 23, size=2)
+    radius = rng.uniform(5, 10)
+    return ((ys - cy) ** 2 + (xs - cx) ** 2 <= radius ** 2).astype(float)
+
+
+def _square(rng: np.random.Generator) -> np.ndarray:
+    ys, xs = _coords()
+    cy, cx = rng.uniform(9, 23, size=2)
+    half = rng.uniform(4, 9)
+    angle = rng.uniform(0, np.pi / 4)
+    ry = (ys - cy) * np.cos(angle) + (xs - cx) * np.sin(angle)
+    rx = -(ys - cy) * np.sin(angle) + (xs - cx) * np.cos(angle)
+    return ((np.abs(ry) <= half) & (np.abs(rx) <= half)).astype(float)
+
+
+def _ring(rng: np.random.Generator) -> np.ndarray:
+    ys, xs = _coords()
+    cy, cx = rng.uniform(11, 21, size=2)
+    outer = rng.uniform(7, 11)
+    inner = outer - rng.uniform(2.0, 3.5)
+    dist2 = (ys - cy) ** 2 + (xs - cx) ** 2
+    return ((dist2 <= outer ** 2) & (dist2 >= inner ** 2)).astype(float)
+
+
+def _blob(rng: np.random.Generator) -> np.ndarray:
+    ys, xs = _coords()
+    cy, cx = rng.uniform(8, 24, size=2)
+    sigma = rng.uniform(3.5, 7.0)
+    return np.exp(-((ys - cy) ** 2 + (xs - cx) ** 2) / (2 * sigma ** 2))
+
+
+def _cross(rng: np.random.Generator) -> np.ndarray:
+    ys, xs = _coords()
+    cy, cx = rng.uniform(10, 22, size=2)
+    arm = rng.uniform(7, 12)
+    thick = rng.uniform(1.5, 3.5)
+    vertical = (np.abs(xs - cx) <= thick) & (np.abs(ys - cy) <= arm)
+    horizontal = (np.abs(ys - cy) <= thick) & (np.abs(xs - cx) <= arm)
+    return (vertical | horizontal).astype(float)
+
+
+def _triangle(rng: np.random.Generator) -> np.ndarray:
+    ys, xs = _coords()
+    cy, cx = rng.uniform(11, 21, size=2)
+    size = rng.uniform(7, 11)
+    # Upward triangle: inside if below the two slanted edges and above base.
+    below_base = ys <= cy + size / 2
+    left_edge = (xs - cx) >= -(cy + size / 2 - ys) * 0.7
+    right_edge = (xs - cx) <= (cy + size / 2 - ys) * 0.7
+    above_apex = ys >= cy - size / 2
+    return (below_base & left_edge & right_edge & above_apex).astype(float)
+
+
+_FAMILIES: Dict[int, Callable[[np.random.Generator], np.ndarray]] = {
+    0: lambda rng: _stripes(rng, "h"),
+    1: lambda rng: _stripes(rng, "v"),
+    2: lambda rng: _stripes(rng, "d"),
+    3: _checkerboard,
+    4: _disk,
+    5: _square,
+    6: _ring,
+    7: _blob,
+    8: _cross,
+    9: _triangle,
+}
+
+
+def render_class_image(
+    label: int, rng: np.random.Generator, noise_sigma: float = 0.06
+) -> np.ndarray:
+    """Render one 3×32×32 image of class ``label``, values roughly in [0, 1]."""
+    if label not in _FAMILIES:
+        raise ValueError(f"label must be 0-{NUM_CLASSES - 1}, got {label}")
+    mask = _FAMILIES[label](rng)
+    fg, bg = _random_colors(rng)
+    image = mask[None, :, :] * fg[:, None, None] + (1 - mask[None, :, :]) * bg[:, None, None]
+    # Background texture so point statistics are uninformative.
+    texture = rng.normal(0.0, 0.05, size=image.shape)
+    image = np.clip(image + texture, 0.0, 1.0)
+    noisy = np.stack(
+        [T.add_gaussian_noise(channel, noise_sigma, rng) for channel in image]
+    )
+    return noisy
+
+
+def generate_cifar_like(
+    size: int,
+    seed: int = 0,
+    noise_sigma: float = 0.06,
+    name: str = "cifar-like",
+) -> Dataset:
+    """Generate a balanced dataset of ``size`` CIFAR-like samples."""
+    if size <= 0:
+        raise ValueError("size must be positive")
+    rng = np.random.default_rng(seed)
+    labels = np.arange(size) % NUM_CLASSES
+    rng.shuffle(labels)
+    images = np.empty((size, 3, IMAGE_SIZE, IMAGE_SIZE))
+    for i, label in enumerate(labels):
+        images[i] = render_class_image(int(label), rng, noise_sigma=noise_sigma)
+    images = T.normalize(images, mean=0.45, std=0.27)
+    return Dataset(images, labels.astype(np.int64), name=name)
+
+
+def cifar_like(
+    train_size: int = 2000,
+    test_size: int = 500,
+    seed: int = 0,
+    noise_sigma: float = 0.06,
+):
+    """Return ``(train, test)`` CIFAR-like datasets with disjoint seeds."""
+    train = generate_cifar_like(train_size, seed=seed, noise_sigma=noise_sigma)
+    test = generate_cifar_like(
+        test_size, seed=seed + 1_000_003, noise_sigma=noise_sigma, name="cifar-like-test"
+    )
+    return train, test

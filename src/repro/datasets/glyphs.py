@@ -1,0 +1,42 @@
+"""Bitmap glyphs for the ten digits.
+
+A small 5×7 pixel font.  The MNIST-like generator renders these glyphs with
+random affine jitter, stroke-thickness variation and noise, which yields an
+image-classification task of the same flavour as handwritten digits:
+classes are defined by shape topology, instances vary continuously.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+# Each glyph is 7 rows × 5 columns; "#" marks ink.
+_GLYPH_ROWS = {
+    0: [" ### ", "#   #", "#  ##", "# # #", "##  #", "#   #", " ### "],
+    1: ["  #  ", " ##  ", "  #  ", "  #  ", "  #  ", "  #  ", " ### "],
+    2: [" ### ", "#   #", "    #", "   # ", "  #  ", " #   ", "#####"],
+    3: [" ### ", "#   #", "    #", "  ## ", "    #", "#   #", " ### "],
+    4: ["   # ", "  ## ", " # # ", "#  # ", "#####", "   # ", "   # "],
+    5: ["#####", "#    ", "#### ", "    #", "    #", "#   #", " ### "],
+    6: [" ### ", "#    ", "#    ", "#### ", "#   #", "#   #", " ### "],
+    7: ["#####", "    #", "   # ", "  #  ", "  #  ", " #   ", " #   "],
+    8: [" ### ", "#   #", "#   #", " ### ", "#   #", "#   #", " ### "],
+    9: [" ### ", "#   #", "#   #", " ####", "    #", "    #", " ### "],
+}
+
+GLYPH_HEIGHT = 7
+GLYPH_WIDTH = 5
+NUM_GLYPHS = 10
+
+
+def digit_glyph(digit: int) -> np.ndarray:
+    """Return the 7×5 binary bitmap of ``digit`` (0–9)."""
+    if digit not in _GLYPH_ROWS:
+        raise ValueError(f"digit must be 0-9, got {digit}")
+    rows = _GLYPH_ROWS[digit]
+    return np.array([[1.0 if ch == "#" else 0.0 for ch in row] for row in rows])
+
+
+def all_glyphs() -> np.ndarray:
+    """Stack all ten glyphs into a ``(10, 7, 5)`` array."""
+    return np.stack([digit_glyph(d) for d in range(NUM_GLYPHS)])

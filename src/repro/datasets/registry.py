@@ -1,0 +1,50 @@
+"""Named dataset registry with in-process caching.
+
+The benchmark harness generates the same dataset many times (every table
+row trains on it); caching by the full parameter tuple keeps reruns cheap
+while staying deterministic.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Tuple
+
+from repro.datasets.cifar_like import cifar_like
+from repro.datasets.mnist_like import mnist_like
+from repro.nn.data import Dataset
+
+_BUILDERS: Dict[str, Callable[..., Tuple[Dataset, Dataset]]] = {
+    "mnist-like": mnist_like,
+    "cifar-like": cifar_like,
+}
+
+_CACHE: Dict[tuple, Tuple[Dataset, Dataset]] = {}
+
+
+def available_datasets() -> list:
+    """Names accepted by :func:`load_dataset`."""
+    return sorted(_BUILDERS)
+
+
+def register_dataset(name: str, builder: Callable[..., Tuple[Dataset, Dataset]]) -> None:
+    """Add a custom dataset builder (returns ``(train, test)``)."""
+    if name in _BUILDERS:
+        raise ValueError(f"dataset {name!r} already registered")
+    _BUILDERS[name] = builder
+
+
+def load_dataset(
+    name: str, train_size: int = 2000, test_size: int = 500, seed: int = 0
+) -> Tuple[Dataset, Dataset]:
+    """Build (or fetch from cache) the named dataset pair."""
+    if name not in _BUILDERS:
+        raise KeyError(f"unknown dataset {name!r}; available: {available_datasets()}")
+    key = (name, train_size, test_size, seed)
+    if key not in _CACHE:
+        _CACHE[key] = _BUILDERS[name](train_size=train_size, test_size=test_size, seed=seed)
+    return _CACHE[key]
+
+
+def clear_cache() -> None:
+    """Drop all cached datasets (tests use this to bound memory)."""
+    _CACHE.clear()

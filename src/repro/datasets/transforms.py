@@ -1,0 +1,117 @@
+"""Image transforms used by the synthetic dataset generators.
+
+Everything is plain numpy.  The core primitive is :func:`affine_sample`,
+which resamples an image under a 2×2 linear map plus translation with
+bilinear interpolation — enough to express the rotation / scale / shift
+jitter that makes synthetic classes non-trivial.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+
+def affine_sample(
+    image: np.ndarray,
+    matrix: np.ndarray,
+    offset: Tuple[float, float] = (0.0, 0.0),
+    output_shape: Optional[Tuple[int, int]] = None,
+) -> np.ndarray:
+    """Resample ``image`` (H, W) under an inverse affine map, bilinear.
+
+    For each output pixel ``p``, the source location is
+    ``matrix @ (p - center_out) + center_in + offset``; out-of-range samples
+    read as zero.
+    """
+    if image.ndim != 2:
+        raise ValueError(f"affine_sample expects a 2-D image, got {image.shape}")
+    height, width = image.shape
+    out_h, out_w = output_shape if output_shape is not None else (height, width)
+
+    ys, xs = np.mgrid[0:out_h, 0:out_w].astype(np.float64)
+    cy_out, cx_out = (out_h - 1) / 2.0, (out_w - 1) / 2.0
+    cy_in, cx_in = (height - 1) / 2.0, (width - 1) / 2.0
+
+    rel = np.stack([ys - cy_out, xs - cx_out])
+    src = np.tensordot(matrix, rel, axes=(1, 0))
+    sy = src[0] + cy_in + offset[0]
+    sx = src[1] + cx_in + offset[1]
+
+    y0 = np.floor(sy).astype(int)
+    x0 = np.floor(sx).astype(int)
+    wy = sy - y0
+    wx = sx - x0
+
+    def fetch(yy: np.ndarray, xx: np.ndarray) -> np.ndarray:
+        valid = (yy >= 0) & (yy < height) & (xx >= 0) & (xx < width)
+        values = np.zeros_like(sy)
+        values[valid] = image[yy[valid], xx[valid]]
+        return values
+
+    top = (1 - wx) * fetch(y0, x0) + wx * fetch(y0, x0 + 1)
+    bottom = (1 - wx) * fetch(y0 + 1, x0) + wx * fetch(y0 + 1, x0 + 1)
+    return (1 - wy) * top + wy * bottom
+
+
+def rotation_matrix(angle_rad: float) -> np.ndarray:
+    """Inverse-map rotation matrix for :func:`affine_sample`."""
+    c, s = np.cos(angle_rad), np.sin(angle_rad)
+    return np.array([[c, -s], [s, c]])
+
+
+def scale_matrix(scale_y: float, scale_x: float) -> np.ndarray:
+    """Inverse-map scaling matrix (``scale > 1`` magnifies the content)."""
+    return np.array([[1.0 / scale_y, 0.0], [0.0, 1.0 / scale_x]])
+
+
+def shear_matrix(shear: float) -> np.ndarray:
+    """Inverse-map horizontal shear."""
+    return np.array([[1.0, 0.0], [shear, 1.0]])
+
+
+def upscale_nearest(image: np.ndarray, factor: int) -> np.ndarray:
+    """Integer nearest-neighbour upscale of a 2-D image."""
+    if factor < 1:
+        raise ValueError("factor must be >= 1")
+    return np.repeat(np.repeat(image, factor, axis=0), factor, axis=1)
+
+
+def box_blur(image: np.ndarray, radius: int = 1) -> np.ndarray:
+    """Separable box blur; cheap stand-in for a Gaussian."""
+    if radius < 1:
+        return image
+    size = 2 * radius + 1
+    kernel = np.ones(size) / size
+    padded = np.pad(image, radius, mode="edge")
+    blurred = np.apply_along_axis(lambda r: np.convolve(r, kernel, mode="valid"), 1, padded)
+    blurred = np.apply_along_axis(lambda c: np.convolve(c, kernel, mode="valid"), 0, blurred)
+    return blurred
+
+
+def add_gaussian_noise(
+    image: np.ndarray, sigma: float, rng: np.random.Generator
+) -> np.ndarray:
+    """Additive Gaussian pixel noise, clipped to [0, 1]."""
+    return np.clip(image + rng.normal(0.0, sigma, size=image.shape), 0.0, 1.0)
+
+
+def normalize(images: np.ndarray, mean: float, std: float) -> np.ndarray:
+    """Standard (x - mean) / std normalization."""
+    if std <= 0:
+        raise ValueError("std must be positive")
+    return (images - mean) / std
+
+
+def center_in_canvas(image: np.ndarray, canvas: Tuple[int, int]) -> np.ndarray:
+    """Paste a small image centred on a zero canvas of shape ``canvas``."""
+    out = np.zeros(canvas)
+    h, w = image.shape
+    ch, cw = canvas
+    if h > ch or w > cw:
+        raise ValueError(f"image {image.shape} larger than canvas {canvas}")
+    top = (ch - h) // 2
+    left = (cw - w) // 2
+    out[top : top + h, left : left + w] = image
+    return out

@@ -1,0 +1,42 @@
+"""repro.models — the three network families the paper evaluates (Table 1).
+
+Trainable implementations (:class:`LeNet`, :class:`AlexNetCifar`,
+:class:`ResNetCifar`) accept a ``width_multiplier`` so they train on a CPU;
+the paper-exact layer dimensions live in :mod:`repro.models.specs` and feed
+the crossbar/cost models in :mod:`repro.snc`.
+"""
+
+from repro.models.alexnet import AlexNetCifar
+from repro.models.lenet import LeNet
+from repro.models.registry import (
+    MODEL_DATASET,
+    available_models,
+    build_model,
+    get_spec,
+)
+from repro.models.resnet import BasicBlock, ResNetCifar
+from repro.models.specs import (
+    LayerSpec,
+    NetworkSpec,
+    alexnet_spec,
+    lenet_spec,
+    paper_specs,
+    resnet_spec,
+)
+
+__all__ = [
+    "LeNet",
+    "AlexNetCifar",
+    "ResNetCifar",
+    "BasicBlock",
+    "build_model",
+    "get_spec",
+    "available_models",
+    "MODEL_DATASET",
+    "LayerSpec",
+    "NetworkSpec",
+    "lenet_spec",
+    "alexnet_spec",
+    "resnet_spec",
+    "paper_specs",
+]

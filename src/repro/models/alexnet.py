@@ -1,0 +1,73 @@
+"""AlexNet-style network for 32×32×3 inputs (the paper's CIFAR-10 AlexNet).
+
+Topology follows Table 1: one 5×5 convolution, four 3×3 convolutions and
+three fully connected layers (8 compute layers, matching Table 5's
+"Layer Num. = 8").
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro import nn
+from repro.nn.tensor import Tensor
+
+
+def _scaled(base: int, multiplier: float, minimum: int = 2) -> int:
+    return max(minimum, int(round(base * multiplier)))
+
+
+class AlexNetCifar(nn.Module):
+    """1×conv(5×5) + 4×conv(3×3) + 3×FC network for 32×32×3 inputs."""
+
+    def __init__(
+        self,
+        width_multiplier: float = 1.0,
+        num_classes: int = 10,
+        rng: Optional[np.random.Generator] = None,
+    ) -> None:
+        super().__init__()
+        rng = rng or np.random.default_rng()
+        c1 = _scaled(32, width_multiplier)
+        c2 = _scaled(32, width_multiplier)
+        c3 = _scaled(64, width_multiplier)
+        c4 = _scaled(64, width_multiplier)
+        c5 = _scaled(128, width_multiplier)
+        f1 = _scaled(96, width_multiplier, minimum=16)
+        f2 = _scaled(64, width_multiplier, minimum=16)
+
+        self.conv1 = nn.Conv2d(3, c1, 5, padding=2, rng=rng)   # 32 → 32
+        self.relu1 = nn.ReLU()
+        self.pool1 = nn.MaxPool2d(2)                           # 32 → 16
+        self.conv2 = nn.Conv2d(c1, c2, 3, padding=1, rng=rng)
+        self.relu2 = nn.ReLU()
+        self.conv3 = nn.Conv2d(c2, c3, 3, padding=1, rng=rng)
+        self.relu3 = nn.ReLU()
+        self.pool2 = nn.MaxPool2d(2)                           # 16 → 8
+        self.conv4 = nn.Conv2d(c3, c4, 3, padding=1, rng=rng)
+        self.relu4 = nn.ReLU()
+        self.conv5 = nn.Conv2d(c4, c5, 3, padding=1, rng=rng)
+        self.relu5 = nn.ReLU()
+        self.pool3 = nn.MaxPool2d(2)                           # 8 → 4
+        self.flatten = nn.Flatten()
+        self.fc1 = nn.Linear(c5 * 4 * 4, f1, rng=rng)
+        self.relu6 = nn.ReLU()
+        self.fc2 = nn.Linear(f1, f2, rng=rng)
+        self.relu7 = nn.ReLU()
+        self.fc3 = nn.Linear(f2, num_classes, rng=rng)
+
+    def forward(self, x: Tensor) -> Tensor:
+        x = self.pool1(self.relu1(self.conv1(x)))
+        x = self.relu2(self.conv2(x))
+        x = self.pool2(self.relu3(self.conv3(x)))
+        x = self.relu4(self.conv4(x))
+        x = self.pool3(self.relu5(self.conv5(x)))
+        x = self.flatten(x)
+        x = self.relu6(self.fc1(x))
+        x = self.relu7(self.fc2(x))
+        return self.fc3(x)
+
+    def __repr__(self) -> str:
+        return f"AlexNetCifar(params={self.num_parameters()})"

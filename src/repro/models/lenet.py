@@ -1,0 +1,67 @@
+"""LeNet for 28×28 grayscale inputs (the paper's MNIST network).
+
+Topology follows Table 1: two 5×5 convolutions and two fully connected
+layers.  ``width_multiplier`` scales channel counts so the same topology
+trains in seconds on one CPU core (the experiments measure quantization
+*behaviour*, which is width-independent; see DESIGN.md).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro import nn
+from repro.nn.tensor import Tensor
+
+
+def _scaled(base: int, multiplier: float, minimum: int = 2) -> int:
+    return max(minimum, int(round(base * multiplier)))
+
+
+class LeNet(nn.Module):
+    """2×conv(5×5) + 2×FC network for 28×28×1 inputs.
+
+    Parameters
+    ----------
+    width_multiplier:
+        Scales every hidden channel/neuron count (1.0 = paper dimensions).
+    num_classes:
+        Output classes (10 for digit tasks).
+    rng:
+        Generator for weight initialization; pass one for reproducibility.
+    """
+
+    def __init__(
+        self,
+        width_multiplier: float = 1.0,
+        num_classes: int = 10,
+        rng: Optional[np.random.Generator] = None,
+    ) -> None:
+        super().__init__()
+        rng = rng or np.random.default_rng()
+        c1 = _scaled(6, width_multiplier)
+        c2 = _scaled(16, width_multiplier)
+        f1 = _scaled(16, width_multiplier, minimum=8)
+
+        self.conv1 = nn.Conv2d(1, c1, 5, rng=rng)      # 28 → 24
+        self.relu1 = nn.ReLU()
+        self.pool1 = nn.MaxPool2d(2)                   # 24 → 12
+        self.conv2 = nn.Conv2d(c1, c2, 5, rng=rng)     # 12 → 8
+        self.relu2 = nn.ReLU()
+        self.pool2 = nn.MaxPool2d(2)                   # 8 → 4
+        self.flatten = nn.Flatten()
+        self.fc1 = nn.Linear(c2 * 4 * 4, f1, rng=rng)
+        self.relu3 = nn.ReLU()
+        self.fc2 = nn.Linear(f1, num_classes, rng=rng)
+
+    def forward(self, x: Tensor) -> Tensor:
+        x = self.pool1(self.relu1(self.conv1(x)))
+        x = self.pool2(self.relu2(self.conv2(x)))
+        x = self.flatten(x)
+        x = self.relu3(self.fc1(x))
+        return self.fc2(x)
+
+    def __repr__(self) -> str:
+        return f"LeNet(params={self.num_parameters()})"

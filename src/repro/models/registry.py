@@ -1,0 +1,64 @@
+"""Model registry pairing trainable implementations with paper specs."""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Optional
+
+import numpy as np
+
+from repro.models.alexnet import AlexNetCifar
+from repro.models.lenet import LeNet
+from repro.models.resnet import ResNetCifar
+from repro.models.specs import NetworkSpec, alexnet_spec, lenet_spec, resnet_spec
+from repro.nn.modules import Module
+
+_BUILDERS: Dict[str, Callable[..., Module]] = {
+    "lenet": LeNet,
+    "alexnet": AlexNetCifar,
+    "resnet": ResNetCifar,
+}
+
+_SPECS: Dict[str, Callable[[], NetworkSpec]] = {
+    "lenet": lenet_spec,
+    "alexnet": alexnet_spec,
+    "resnet": resnet_spec,
+}
+
+# Which synthetic dataset each model trains on (paper Table 1 mapping).
+MODEL_DATASET: Dict[str, str] = {
+    "lenet": "mnist-like",
+    "alexnet": "cifar-like",
+    "resnet": "cifar-like",
+}
+
+
+def available_models() -> list:
+    """Names accepted by :func:`build_model` / :func:`get_spec`."""
+    return sorted(_BUILDERS)
+
+
+def build_model(
+    name: str,
+    width_multiplier: float = 1.0,
+    num_classes: int = 10,
+    rng: Optional[np.random.Generator] = None,
+    **builder_kwargs,
+) -> Module:
+    """Instantiate a trainable model by name.
+
+    Extra keyword arguments pass through to the model class (e.g.
+    ``use_batchnorm=False`` for :class:`~repro.models.resnet.ResNetCifar`).
+    """
+    if name not in _BUILDERS:
+        raise KeyError(f"unknown model {name!r}; available: {available_models()}")
+    return _BUILDERS[name](
+        width_multiplier=width_multiplier, num_classes=num_classes, rng=rng,
+        **builder_kwargs,
+    )
+
+
+def get_spec(name: str) -> NetworkSpec:
+    """Return the paper's layer-dimension spec for the named model."""
+    if name not in _SPECS:
+        raise KeyError(f"unknown model {name!r}; available: {available_models()}")
+    return _SPECS[name]()

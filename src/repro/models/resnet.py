@@ -1,0 +1,126 @@
+"""ResNet for 32×32×3 inputs (the paper's CIFAR-10 ResNet).
+
+Topology follows Table 1: seventeen 3×3 convolutions plus one FC layer —
+a ResNet-18 adapted to 32×32 inputs (one stem convolution + four stages of
+two basic blocks; each basic block holds two 3×3 convolutions).
+
+Stride-2 stage transitions use a 1×1 convolution on the shortcut; the paper
+counts only the seventeen 3×3 convolutions in its "Layer Num.", and the
+crossbar cost model in :mod:`repro.snc` does the same.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro import nn
+from repro.nn.tensor import Tensor
+
+
+def _scaled(base: int, multiplier: float, minimum: int = 2) -> int:
+    return max(minimum, int(round(base * multiplier)))
+
+
+class BasicBlock(nn.Module):
+    """Two 3×3 convolutions with an identity/projection shortcut.
+
+    ``use_batchnorm`` selects between the standard BN-equipped block and a
+    normalization-free block (bias-enabled convs, down-scaled init).  The
+    paper never mentions normalization, and Neuron Convergence interacts
+    with BN (the penalty shrinks γ instead of letting activations occupy
+    the integer range), so the quantization experiments use the BN-free
+    variant; the BN variant remains for float training studies.
+    """
+
+    def __init__(
+        self,
+        in_channels: int,
+        out_channels: int,
+        stride: int = 1,
+        use_batchnorm: bool = True,
+        rng: Optional[np.random.Generator] = None,
+    ) -> None:
+        super().__init__()
+        rng = rng or np.random.default_rng()
+        bias = not use_batchnorm
+        self.conv1 = nn.Conv2d(
+            in_channels, out_channels, 3, stride=stride, padding=1, bias=bias, rng=rng
+        )
+        self.bn1 = nn.BatchNorm2d(out_channels) if use_batchnorm else nn.Identity()
+        self.relu1 = nn.ReLU()
+        self.conv2 = nn.Conv2d(out_channels, out_channels, 3, padding=1, bias=bias, rng=rng)
+        self.bn2 = nn.BatchNorm2d(out_channels) if use_batchnorm else nn.Identity()
+        if stride != 1 or in_channels != out_channels:
+            shortcut_layers = [
+                nn.Conv2d(in_channels, out_channels, 1, stride=stride, bias=bias, rng=rng)
+            ]
+            if use_batchnorm:
+                shortcut_layers.append(nn.BatchNorm2d(out_channels))
+            self.shortcut = nn.Sequential(*shortcut_layers)
+        else:
+            self.shortcut = nn.Identity()
+        self.relu2 = nn.ReLU()
+        if not use_batchnorm:
+            # Residual accumulation doubles variance per block without BN;
+            # damp the residual branch so deep stacks stay trainable.
+            self.conv2.weight.data *= 0.5
+
+    def forward(self, x: Tensor) -> Tensor:
+        out = self.relu1(self.bn1(self.conv1(x)))
+        out = self.bn2(self.conv2(out))
+        return self.relu2(out + self.shortcut(x))
+
+
+class ResNetCifar(nn.Module):
+    """ResNet-18-style network: stem conv + 4 stages × 2 blocks + FC.
+
+    Parameters
+    ----------
+    width_multiplier:
+        Scales the (64, 128, 256, 512) stage widths.  The default paper
+        width is far too slow to train in numpy; benchmarks use ≈0.1–0.25.
+    blocks_per_stage:
+        Block counts per stage; (2, 2, 2, 2) matches the paper's 17 convs.
+    """
+
+    def __init__(
+        self,
+        width_multiplier: float = 1.0,
+        num_classes: int = 10,
+        blocks_per_stage: Sequence[int] = (2, 2, 2, 2),
+        use_batchnorm: bool = True,
+        rng: Optional[np.random.Generator] = None,
+    ) -> None:
+        super().__init__()
+        rng = rng or np.random.default_rng()
+        widths = [_scaled(c, width_multiplier, minimum=4) for c in (64, 128, 256, 512)]
+
+        bias = not use_batchnorm
+        self.stem = nn.Conv2d(3, widths[0], 3, padding=1, bias=bias, rng=rng)
+        self.stem_bn = nn.BatchNorm2d(widths[0]) if use_batchnorm else nn.Identity()
+        self.stem_relu = nn.ReLU()
+
+        stages = []
+        in_channels = widths[0]
+        for stage_index, (width, count) in enumerate(zip(widths, blocks_per_stage)):
+            for block_index in range(count):
+                stride = 2 if (stage_index > 0 and block_index == 0) else 1
+                stages.append(
+                    BasicBlock(in_channels, width, stride=stride,
+                               use_batchnorm=use_batchnorm, rng=rng)
+                )
+                in_channels = width
+        self.stages = nn.Sequential(*stages)
+        self.pool = nn.GlobalAvgPool2d()
+        self.fc = nn.Linear(in_channels, num_classes, rng=rng)
+
+    def forward(self, x: Tensor) -> Tensor:
+        x = self.stem_relu(self.stem_bn(self.stem(x)))
+        x = self.stages(x)
+        x = self.pool(x)
+        return self.fc(x)
+
+    def __repr__(self) -> str:
+        return f"ResNetCifar(params={self.num_parameters()})"

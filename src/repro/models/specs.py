@@ -1,0 +1,168 @@
+"""Layer-dimension specifications for the paper's three networks (Table 1).
+
+The hardware evaluation (Eq. 1 crossbar counting and Table 5) depends only
+on layer *dimensions* — filter count ``J``, kernel size ``s``, input depth
+``d`` for convolutions; fan-in/fan-out for FC layers — not on trained
+weights.  This module records the dimensions of the exact networks the
+paper reports:
+
+- **LeNet** (MNIST): 2 conv 5×5 + 2 FC, ≈7×10³ weights.
+- **AlexNet** (CIFAR-10): 1 conv 5×5 + 4 conv 3×3 + 3 FC, ≈3.4×10⁵ weights.
+- **ResNet** (CIFAR-10): 17 conv 3×3 + 1 FC, ≈1.2×10⁷ weights — i.e. the
+  ResNet-18 topology adapted to 32×32 inputs.
+
+The per-layer channel widths are reconstructed from the paper's totals
+(the paper gives layer counts, kernel sizes and total weights; widths are
+the standard choices that reproduce those totals).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+
+@dataclass(frozen=True)
+class LayerSpec:
+    """Dimensions of one network layer as deployed on crossbars.
+
+    Attributes
+    ----------
+    kind:
+        ``"conv"`` or ``"fc"``.
+    out_features:
+        Filter count ``J^i`` (conv) or output neurons (fc).
+    in_depth:
+        Input channel count ``d^i = J^{i-1}`` (conv) or input neurons (fc).
+    kernel:
+        Filter side ``s^i`` (conv); 1 for fc.
+    spatial_out:
+        Output spatial positions (H_out × W_out) — how many times the
+        crossbar is activated per inference (conv); 1 for fc.
+    """
+
+    kind: str
+    out_features: int
+    in_depth: int
+    kernel: int = 1
+    spatial_out: int = 1
+
+    def __post_init__(self) -> None:
+        if self.kind not in ("conv", "fc"):
+            raise ValueError(f"kind must be 'conv' or 'fc', got {self.kind!r}")
+        if min(self.out_features, self.in_depth, self.kernel, self.spatial_out) < 1:
+            raise ValueError("all dimensions must be >= 1")
+
+    @property
+    def rows(self) -> int:
+        """Crossbar rows required: s × s × d (conv) or fan-in (fc)."""
+        return self.kernel * self.kernel * self.in_depth
+
+    @property
+    def columns(self) -> int:
+        """Crossbar columns required: J (conv) or fan-out (fc)."""
+        return self.out_features
+
+    @property
+    def weight_count(self) -> int:
+        """Number of synaptic weights in this layer."""
+        return self.rows * self.columns
+
+
+@dataclass(frozen=True)
+class NetworkSpec:
+    """A named sequence of layer specs plus dataset metadata (Table 1 row)."""
+
+    name: str
+    dataset: str
+    input_shape: Tuple[int, int, int]
+    layers: Tuple[LayerSpec, ...]
+    ideal_accuracy: float  # the paper's fp32 accuracy for this network
+
+    @property
+    def num_layers(self) -> int:
+        return len(self.layers)
+
+    @property
+    def conv_layers(self) -> List[LayerSpec]:
+        return [layer for layer in self.layers if layer.kind == "conv"]
+
+    @property
+    def fc_layers(self) -> List[LayerSpec]:
+        return [layer for layer in self.layers if layer.kind == "fc"]
+
+    @property
+    def total_weights(self) -> int:
+        return sum(layer.weight_count for layer in self.layers)
+
+
+def lenet_spec() -> NetworkSpec:
+    """LeNet on MNIST: 2 conv 5×5 + 2 FC ≈ 7×10³ weights, 4 layers (Table 5)."""
+    return NetworkSpec(
+        name="lenet",
+        dataset="mnist",
+        input_shape=(1, 28, 28),
+        layers=(
+            LayerSpec("conv", out_features=6, in_depth=1, kernel=5, spatial_out=24 * 24),
+            LayerSpec("conv", out_features=16, in_depth=6, kernel=5, spatial_out=8 * 8),
+            LayerSpec("fc", out_features=16, in_depth=16 * 4 * 4),
+            LayerSpec("fc", out_features=10, in_depth=16),
+        ),
+        ideal_accuracy=98.16,
+    )
+
+
+def alexnet_spec() -> NetworkSpec:
+    """AlexNet on CIFAR-10: 1 conv 5×5 + 4 conv 3×3 + 3 FC ≈ 3.4×10⁵ weights."""
+    return NetworkSpec(
+        name="alexnet",
+        dataset="cifar10",
+        input_shape=(3, 32, 32),
+        layers=(
+            LayerSpec("conv", out_features=32, in_depth=3, kernel=5, spatial_out=32 * 32),
+            LayerSpec("conv", out_features=32, in_depth=32, kernel=3, spatial_out=16 * 16),
+            LayerSpec("conv", out_features=64, in_depth=32, kernel=3, spatial_out=16 * 16),
+            LayerSpec("conv", out_features=64, in_depth=64, kernel=3, spatial_out=8 * 8),
+            LayerSpec("conv", out_features=128, in_depth=64, kernel=3, spatial_out=8 * 8),
+            LayerSpec("fc", out_features=96, in_depth=128 * 4 * 4),
+            LayerSpec("fc", out_features=64, in_depth=96),
+            LayerSpec("fc", out_features=10, in_depth=64),
+        ),
+        ideal_accuracy=85.35,
+    )
+
+
+def resnet_spec() -> NetworkSpec:
+    """ResNet on CIFAR-10: 17 conv 3×3 + 1 FC ≈ 1.2×10⁷ weights (ResNet-18)."""
+    layers: List[LayerSpec] = [
+        LayerSpec("conv", out_features=64, in_depth=3, kernel=3, spatial_out=32 * 32)
+    ]
+    # Four stages of two basic blocks (two 3×3 convs each): 16 convs.
+    stage_channels = (64, 128, 256, 512)
+    stage_spatial = (32 * 32, 16 * 16, 8 * 8, 4 * 4)
+    in_channels = 64
+    for channels, spatial in zip(stage_channels, stage_spatial):
+        for block in range(2):
+            first_in = in_channels if block == 0 else channels
+            layers.append(
+                LayerSpec("conv", out_features=channels, in_depth=first_in,
+                          kernel=3, spatial_out=spatial)
+            )
+            layers.append(
+                LayerSpec("conv", out_features=channels, in_depth=channels,
+                          kernel=3, spatial_out=spatial)
+            )
+        in_channels = channels
+    layers.append(LayerSpec("fc", out_features=10, in_depth=512))
+    return NetworkSpec(
+        name="resnet",
+        dataset="cifar10",
+        input_shape=(3, 32, 32),
+        layers=tuple(layers),
+        ideal_accuracy=93.05,
+    )
+
+
+def paper_specs() -> List[NetworkSpec]:
+    """All three Table 1 networks."""
+    return [lenet_spec(), alexnet_spec(), resnet_spec()]

@@ -1,0 +1,64 @@
+"""repro.nn — a from-scratch numpy deep-learning framework.
+
+This package stands in for the Torch framework the paper trained its
+networks on.  It provides reverse-mode autograd (:mod:`repro.nn.tensor`),
+differentiable ops (:mod:`repro.nn.functional`), composable modules
+(:mod:`repro.nn.modules`), losses, optimizers, a data pipeline and
+state-dict serialization.
+"""
+
+from repro.nn import functional
+from repro.nn.data import DataLoader, Dataset
+from repro.nn.losses import cross_entropy, mse_loss, nll_loss
+from repro.nn.modules import (
+    AvgPool2d,
+    BatchNorm2d,
+    Conv2d,
+    Dropout,
+    Flatten,
+    GlobalAvgPool2d,
+    Identity,
+    Linear,
+    MaxPool2d,
+    Module,
+    ReLU,
+    Residual,
+    Sequential,
+)
+from repro.nn.optim import SGD, Adam, CosineLR, Optimizer, StepLR
+from repro.nn.serialization import load_state, save_state
+from repro.nn.tensor import Tensor, as_tensor, concatenate, no_grad, stack
+
+__all__ = [
+    "Tensor",
+    "as_tensor",
+    "concatenate",
+    "no_grad",
+    "stack",
+    "functional",
+    "Module",
+    "Sequential",
+    "Linear",
+    "Conv2d",
+    "BatchNorm2d",
+    "ReLU",
+    "MaxPool2d",
+    "AvgPool2d",
+    "GlobalAvgPool2d",
+    "Flatten",
+    "Dropout",
+    "Identity",
+    "Residual",
+    "cross_entropy",
+    "mse_loss",
+    "nll_loss",
+    "Optimizer",
+    "SGD",
+    "Adam",
+    "StepLR",
+    "CosineLR",
+    "Dataset",
+    "DataLoader",
+    "save_state",
+    "load_state",
+]

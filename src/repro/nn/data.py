@@ -1,0 +1,108 @@
+"""Minimal dataset / dataloader abstractions.
+
+A :class:`Dataset` is just paired arrays; :class:`DataLoader` yields shuffled
+mini-batches as plain numpy arrays (the training loop wraps the images in a
+:class:`~repro.nn.tensor.Tensor` itself).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Optional, Tuple
+
+import numpy as np
+
+
+@dataclass
+class Dataset:
+    """Paired ``(images, labels)`` arrays.
+
+    ``images`` has shape ``(n, channels, height, width)`` (float) and
+    ``labels`` has shape ``(n,)`` (int).
+    """
+
+    images: np.ndarray
+    labels: np.ndarray
+    name: str = "dataset"
+
+    def __post_init__(self) -> None:
+        if len(self.images) != len(self.labels):
+            raise ValueError(
+                f"images ({len(self.images)}) and labels ({len(self.labels)}) disagree"
+            )
+        if self.images.ndim != 4:
+            raise ValueError(f"images must be 4-D (N, C, H, W), got {self.images.shape}")
+
+    def __len__(self) -> int:
+        return len(self.labels)
+
+    def __getitem__(self, index) -> Tuple[np.ndarray, np.ndarray]:
+        return self.images[index], self.labels[index]
+
+    @property
+    def num_classes(self) -> int:
+        return int(self.labels.max()) + 1
+
+    @property
+    def input_shape(self) -> Tuple[int, int, int]:
+        """(channels, height, width) of one sample."""
+        return tuple(self.images.shape[1:])
+
+    def subset(self, size: int, rng: Optional[np.random.Generator] = None) -> "Dataset":
+        """Return a random (or leading, if rng is None) subset of ``size`` samples."""
+        size = min(size, len(self))
+        if rng is None:
+            indices = np.arange(size)
+        else:
+            indices = rng.choice(len(self), size=size, replace=False)
+        return Dataset(self.images[indices], self.labels[indices], name=self.name)
+
+    def split(self, fraction: float, rng: np.random.Generator) -> Tuple["Dataset", "Dataset"]:
+        """Randomly split into ``(first, second)`` with ``fraction`` in the first."""
+        if not 0.0 < fraction < 1.0:
+            raise ValueError(f"fraction must be in (0, 1), got {fraction}")
+        permutation = rng.permutation(len(self))
+        cut = int(round(fraction * len(self)))
+        first, second = permutation[:cut], permutation[cut:]
+        return (
+            Dataset(self.images[first], self.labels[first], name=self.name),
+            Dataset(self.images[second], self.labels[second], name=self.name),
+        )
+
+
+class DataLoader:
+    """Iterate a dataset in mini-batches.
+
+    Shuffling uses the provided generator, making epochs reproducible.
+    """
+
+    def __init__(
+        self,
+        dataset: Dataset,
+        batch_size: int,
+        shuffle: bool = True,
+        rng: Optional[np.random.Generator] = None,
+        drop_last: bool = False,
+    ) -> None:
+        if batch_size <= 0:
+            raise ValueError("batch_size must be positive")
+        self.dataset = dataset
+        self.batch_size = batch_size
+        self.shuffle = shuffle
+        self.rng = rng or np.random.default_rng()
+        self.drop_last = drop_last
+
+    def __len__(self) -> int:
+        full, rem = divmod(len(self.dataset), self.batch_size)
+        if rem and not self.drop_last:
+            return full + 1
+        return full
+
+    def __iter__(self) -> Iterator[Tuple[np.ndarray, np.ndarray]]:
+        n = len(self.dataset)
+        order = self.rng.permutation(n) if self.shuffle else np.arange(n)
+        for start in range(0, n, self.batch_size):
+            batch = order[start : start + self.batch_size]
+            if self.drop_last and len(batch) < self.batch_size:
+                return
+            yield self.dataset.images[batch], self.dataset.labels[batch]

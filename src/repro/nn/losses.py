@@ -1,0 +1,62 @@
+"""Loss functions.
+
+The paper's training objective (Eq. 2) is
+
+    E(W) = E_D(W) + λ·R(W) + Σ_i λ_i·Rg(O_i)
+
+where ``E_D`` is the data loss implemented here (cross entropy), ``R`` is
+ordinary weight decay (handled by the optimizer), and ``Rg`` is the Neuron
+Convergence regularizer from :mod:`repro.core.regularizers`.
+"""
+
+from __future__ import annotations
+
+from typing import Union
+
+import numpy as np
+
+from repro.nn import functional as F
+from repro.nn.tensor import Tensor
+
+
+def cross_entropy(logits: Tensor, targets: Union[np.ndarray, Tensor]) -> Tensor:
+    """Mean cross-entropy between logits and integer class labels.
+
+    Parameters
+    ----------
+    logits:
+        ``(batch, num_classes)`` raw scores.
+    targets:
+        ``(batch,)`` integer labels.
+    """
+    if isinstance(targets, Tensor):
+        targets = targets.data
+    targets = np.asarray(targets)
+    if targets.ndim != 1:
+        raise ValueError(f"targets must be 1-D integer labels, got shape {targets.shape}")
+    if targets.shape[0] != logits.shape[0]:
+        raise ValueError(
+            f"batch mismatch: {logits.shape[0]} logits vs {targets.shape[0]} targets"
+        )
+    log_probs = F.log_softmax(logits, axis=-1)
+    batch = logits.shape[0]
+    picked = log_probs[np.arange(batch), targets.astype(np.int64)]
+    return -picked.mean()
+
+
+def mse_loss(prediction: Tensor, target: Union[np.ndarray, Tensor]) -> Tensor:
+    """Mean squared error."""
+    if isinstance(target, Tensor):
+        target = target.data
+    diff = prediction - Tensor(np.asarray(target))
+    return (diff * diff).mean()
+
+
+def nll_loss(log_probs: Tensor, targets: Union[np.ndarray, Tensor]) -> Tensor:
+    """Negative log likelihood given log-probabilities."""
+    if isinstance(targets, Tensor):
+        targets = targets.data
+    targets = np.asarray(targets).astype(np.int64)
+    batch = log_probs.shape[0]
+    picked = log_probs[np.arange(batch), targets]
+    return -picked.mean()

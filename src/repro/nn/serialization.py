@@ -1,0 +1,26 @@
+"""Save / load model state as ``.npz`` archives."""
+
+from __future__ import annotations
+
+import os
+from typing import Dict
+
+import numpy as np
+
+from repro.nn.modules import Module
+
+
+def save_state(module: Module, path: str) -> None:
+    """Write a module's state dict to ``path`` (numpy ``.npz``)."""
+    state = module.state_dict()
+    directory = os.path.dirname(os.path.abspath(path))
+    os.makedirs(directory, exist_ok=True)
+    # npz keys cannot contain "/" reliably; dots are fine.
+    np.savez(path, **state)
+
+
+def load_state(module: Module, path: str) -> None:
+    """Load a state dict previously written by :func:`save_state`."""
+    with np.load(path) as archive:
+        state: Dict[str, np.ndarray] = {key: archive[key] for key in archive.files}
+    module.load_state_dict(state)

@@ -1,0 +1,498 @@
+"""Reverse-mode automatic differentiation over numpy arrays.
+
+This module provides the :class:`Tensor` class, the leaf of the whole
+framework.  A tensor wraps a ``numpy.ndarray`` and, when
+``requires_grad=True``, records the operations applied to it so that
+:meth:`Tensor.backward` can propagate gradients to every leaf.
+
+The design follows the classic tape-less dynamic graph: each tensor produced
+by an operation keeps
+
+- ``_parents`` — the input tensors of the op, and
+- ``_backward`` — a closure that, given the already-accumulated gradient of
+  this tensor, pushes gradient contributions into the parents.
+
+:meth:`Tensor.backward` topologically sorts the graph and runs the closures
+in reverse order.  Gradients accumulate in ``Tensor.grad`` (a plain numpy
+array) only on tensors with ``requires_grad=True``.
+
+Broadcasting is handled uniformly by :func:`unbroadcast`, which reduces a
+gradient back to the shape of the operand that was broadcast.
+"""
+
+from __future__ import annotations
+
+import contextlib
+from typing import Callable, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+Number = Union[int, float]
+ArrayLike = Union[np.ndarray, Number, Sequence]
+
+# Global switch used by `no_grad()`.  When False, no graph is recorded.
+_GRAD_ENABLED = True
+
+
+@contextlib.contextmanager
+def no_grad():
+    """Context manager disabling graph construction (inference mode)."""
+    global _GRAD_ENABLED
+    previous = _GRAD_ENABLED
+    _GRAD_ENABLED = False
+    try:
+        yield
+    finally:
+        _GRAD_ENABLED = previous
+
+
+def is_grad_enabled() -> bool:
+    """Return whether operations currently record the autograd graph."""
+    return _GRAD_ENABLED
+
+
+def unbroadcast(grad: np.ndarray, shape: Tuple[int, ...]) -> np.ndarray:
+    """Reduce ``grad`` so that it has ``shape``.
+
+    Numpy broadcasting may have expanded an operand along leading axes or
+    along axes of size one; the gradient of that operand is the sum of the
+    incoming gradient over exactly those expanded axes.
+    """
+    if grad.shape == shape:
+        return grad
+    # Sum over extra leading dimensions.
+    extra = grad.ndim - len(shape)
+    if extra > 0:
+        grad = grad.sum(axis=tuple(range(extra)))
+    # Sum over broadcast (size-1) dimensions.
+    axes = tuple(i for i, dim in enumerate(shape) if dim == 1 and grad.shape[i] != 1)
+    if axes:
+        grad = grad.sum(axis=axes, keepdims=True)
+    return grad.reshape(shape)
+
+
+def _as_array(data: ArrayLike, dtype=np.float64) -> np.ndarray:
+    if isinstance(data, np.ndarray):
+        if data.dtype != dtype:
+            return data.astype(dtype)
+        return data
+    return np.asarray(data, dtype=dtype)
+
+
+class Tensor:
+    """A numpy-backed tensor with reverse-mode autodiff.
+
+    Parameters
+    ----------
+    data:
+        Array-like payload.  Stored as ``float64`` by default — this project
+        favours numerical fidelity (gradient checks against central
+        differences) over raw speed.
+    requires_grad:
+        Whether gradients should be accumulated into :attr:`grad` for this
+        tensor during :meth:`backward`.
+    """
+
+    __slots__ = ("data", "grad", "requires_grad", "_parents", "_backward", "name")
+
+    def __init__(
+        self,
+        data: ArrayLike,
+        requires_grad: bool = False,
+        name: Optional[str] = None,
+    ) -> None:
+        self.data: np.ndarray = _as_array(data)
+        self.grad: Optional[np.ndarray] = None
+        self.requires_grad: bool = bool(requires_grad)
+        self._parents: Tuple[Tensor, ...] = ()
+        self._backward: Optional[Callable[[np.ndarray], None]] = None
+        self.name = name
+
+    # ------------------------------------------------------------------
+    # Graph construction helpers
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _make(
+        data: np.ndarray,
+        parents: Tuple["Tensor", ...],
+        backward: Callable[[np.ndarray], None],
+    ) -> "Tensor":
+        """Create a non-leaf tensor recording ``parents`` and ``backward``.
+
+        If grad mode is off, or no parent requires grad, the result is a
+        detached constant and the closure is dropped.
+        """
+        requires = _GRAD_ENABLED and any(p.requires_grad for p in parents)
+        out = Tensor(data, requires_grad=requires)
+        if requires:
+            out._parents = parents
+            out._backward = backward
+        return out
+
+    def _accumulate(self, grad: np.ndarray) -> None:
+        """Add ``grad`` into this tensor's ``.grad`` buffer."""
+        if self.grad is None:
+            self.grad = grad.copy()
+        else:
+            self.grad += grad
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def shape(self) -> Tuple[int, ...]:
+        return self.data.shape
+
+    @property
+    def ndim(self) -> int:
+        return self.data.ndim
+
+    @property
+    def size(self) -> int:
+        return self.data.size
+
+    @property
+    def dtype(self):
+        return self.data.dtype
+
+    def __len__(self) -> int:
+        return len(self.data)
+
+    def __repr__(self) -> str:
+        grad_note = ", requires_grad=True" if self.requires_grad else ""
+        return f"Tensor(shape={self.shape}{grad_note})\n{self.data!r}"
+
+    def item(self) -> float:
+        """Return the single scalar value held by this tensor."""
+        return float(self.data.item())
+
+    def numpy(self) -> np.ndarray:
+        """Return the underlying array (shared, not copied)."""
+        return self.data
+
+    def detach(self) -> "Tensor":
+        """Return a tensor sharing data but cut from the autograd graph."""
+        return Tensor(self.data, requires_grad=False)
+
+    def copy(self) -> "Tensor":
+        """Return a leaf tensor with a copied payload."""
+        return Tensor(self.data.copy(), requires_grad=self.requires_grad)
+
+    def zero_grad(self) -> None:
+        """Drop any accumulated gradient."""
+        self.grad = None
+
+    # ------------------------------------------------------------------
+    # Backward pass
+    # ------------------------------------------------------------------
+    def backward(self, grad: Optional[ArrayLike] = None) -> None:
+        """Backpropagate from this tensor to every reachable leaf.
+
+        Parameters
+        ----------
+        grad:
+            Gradient of some scalar objective w.r.t. this tensor.  Defaults
+            to 1 for scalar tensors; required otherwise.
+        """
+        if not self.requires_grad:
+            raise RuntimeError("backward() called on a tensor that does not require grad")
+        if grad is None:
+            if self.data.size != 1:
+                raise RuntimeError("grad must be provided for non-scalar tensors")
+            grad = np.ones_like(self.data)
+        grad = _as_array(grad)
+        if grad.shape != self.data.shape:
+            raise ValueError(
+                f"grad shape {grad.shape} does not match tensor shape {self.data.shape}"
+            )
+
+        order = self._topological_order()
+        self._accumulate(grad)
+        for node in reversed(order):
+            if node._backward is None or node.grad is None:
+                continue
+            node._backward(node.grad)
+            if node is not self:
+                # Interior nodes don't need to keep their gradient around;
+                # freeing it bounds peak memory on deep graphs.
+                node.grad = None
+
+    def _topological_order(self) -> list:
+        """Iterative post-order DFS over the autograd graph."""
+        order: list = []
+        visited = set()
+        stack = [(self, False)]
+        while stack:
+            node, processed = stack.pop()
+            if processed:
+                order.append(node)
+                continue
+            if id(node) in visited:
+                continue
+            visited.add(id(node))
+            stack.append((node, True))
+            for parent in node._parents:
+                if id(parent) not in visited:
+                    stack.append((parent, False))
+        return order
+
+    # ------------------------------------------------------------------
+    # Arithmetic — implemented here so `a + b` works naturally; heavier
+    # neural-network ops live in repro.nn.functional.
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _coerce(other: Union["Tensor", ArrayLike]) -> "Tensor":
+        return other if isinstance(other, Tensor) else Tensor(other)
+
+    def __add__(self, other):
+        other = self._coerce(other)
+        out_data = self.data + other.data
+
+        def backward(grad: np.ndarray) -> None:
+            if self.requires_grad:
+                self._accumulate(unbroadcast(grad, self.shape))
+            if other.requires_grad:
+                other._accumulate(unbroadcast(grad, other.shape))
+
+        return Tensor._make(out_data, (self, other), backward)
+
+    __radd__ = __add__
+
+    def __neg__(self):
+        def backward(grad: np.ndarray) -> None:
+            if self.requires_grad:
+                self._accumulate(-grad)
+
+        return Tensor._make(-self.data, (self,), backward)
+
+    def __sub__(self, other):
+        other = self._coerce(other)
+        out_data = self.data - other.data
+
+        def backward(grad: np.ndarray) -> None:
+            if self.requires_grad:
+                self._accumulate(unbroadcast(grad, self.shape))
+            if other.requires_grad:
+                other._accumulate(unbroadcast(-grad, other.shape))
+
+        return Tensor._make(out_data, (self, other), backward)
+
+    def __rsub__(self, other):
+        return self._coerce(other).__sub__(self)
+
+    def __mul__(self, other):
+        other = self._coerce(other)
+        out_data = self.data * other.data
+
+        def backward(grad: np.ndarray) -> None:
+            if self.requires_grad:
+                self._accumulate(unbroadcast(grad * other.data, self.shape))
+            if other.requires_grad:
+                other._accumulate(unbroadcast(grad * self.data, other.shape))
+
+        return Tensor._make(out_data, (self, other), backward)
+
+    __rmul__ = __mul__
+
+    def __truediv__(self, other):
+        other = self._coerce(other)
+        out_data = self.data / other.data
+
+        def backward(grad: np.ndarray) -> None:
+            if self.requires_grad:
+                self._accumulate(unbroadcast(grad / other.data, self.shape))
+            if other.requires_grad:
+                other._accumulate(
+                    unbroadcast(-grad * self.data / (other.data ** 2), other.shape)
+                )
+
+        return Tensor._make(out_data, (self, other), backward)
+
+    def __rtruediv__(self, other):
+        return self._coerce(other).__truediv__(self)
+
+    def __pow__(self, exponent: Number):
+        if not isinstance(exponent, (int, float)):
+            raise TypeError("only scalar exponents are supported")
+        out_data = self.data ** exponent
+
+        def backward(grad: np.ndarray) -> None:
+            if self.requires_grad:
+                self._accumulate(grad * exponent * self.data ** (exponent - 1))
+
+        return Tensor._make(out_data, (self,), backward)
+
+    def __matmul__(self, other):
+        other = self._coerce(other)
+        out_data = self.data @ other.data
+
+        def backward(grad: np.ndarray) -> None:
+            if self.requires_grad:
+                self._accumulate(unbroadcast(grad @ np.swapaxes(other.data, -1, -2), self.shape))
+            if other.requires_grad:
+                other._accumulate(unbroadcast(np.swapaxes(self.data, -1, -2) @ grad, other.shape))
+
+        return Tensor._make(out_data, (self, other), backward)
+
+    # ------------------------------------------------------------------
+    # Reductions and shape ops
+    # ------------------------------------------------------------------
+    def sum(self, axis=None, keepdims: bool = False) -> "Tensor":
+        out_data = self.data.sum(axis=axis, keepdims=keepdims)
+
+        def backward(grad: np.ndarray) -> None:
+            if not self.requires_grad:
+                return
+            g = grad
+            if axis is not None and not keepdims:
+                g = np.expand_dims(g, axis=axis)
+            self._accumulate(np.broadcast_to(g, self.shape).copy())
+
+        return Tensor._make(out_data, (self,), backward)
+
+    def mean(self, axis=None, keepdims: bool = False) -> "Tensor":
+        if axis is None:
+            count = self.data.size
+        else:
+            axes = (axis,) if isinstance(axis, int) else tuple(axis)
+            count = int(np.prod([self.data.shape[a] for a in axes]))
+        return self.sum(axis=axis, keepdims=keepdims) * (1.0 / count)
+
+    def reshape(self, *shape) -> "Tensor":
+        if len(shape) == 1 and isinstance(shape[0], (tuple, list)):
+            shape = tuple(shape[0])
+        out_data = self.data.reshape(shape)
+        original = self.shape
+
+        def backward(grad: np.ndarray) -> None:
+            if self.requires_grad:
+                self._accumulate(grad.reshape(original))
+
+        return Tensor._make(out_data, (self,), backward)
+
+    def transpose(self, *axes) -> "Tensor":
+        if len(axes) == 1 and isinstance(axes[0], (tuple, list)):
+            axes = tuple(axes[0])
+        if not axes:
+            axes = tuple(reversed(range(self.ndim)))
+        inverse = np.argsort(axes)
+        out_data = self.data.transpose(axes)
+
+        def backward(grad: np.ndarray) -> None:
+            if self.requires_grad:
+                self._accumulate(grad.transpose(inverse))
+
+        return Tensor._make(out_data, (self,), backward)
+
+    @property
+    def T(self) -> "Tensor":
+        return self.transpose()
+
+    def __getitem__(self, index) -> "Tensor":
+        out_data = self.data[index]
+
+        def backward(grad: np.ndarray) -> None:
+            if self.requires_grad:
+                full = np.zeros_like(self.data)
+                np.add.at(full, index, grad)
+                self._accumulate(full)
+
+        return Tensor._make(out_data, (self,), backward)
+
+    # ------------------------------------------------------------------
+    # Elementwise non-linearities used directly (others in functional)
+    # ------------------------------------------------------------------
+    def abs(self) -> "Tensor":
+        out_data = np.abs(self.data)
+
+        def backward(grad: np.ndarray) -> None:
+            if self.requires_grad:
+                self._accumulate(grad * np.sign(self.data))
+
+        return Tensor._make(out_data, (self,), backward)
+
+    def exp(self) -> "Tensor":
+        out_data = np.exp(self.data)
+
+        def backward(grad: np.ndarray) -> None:
+            if self.requires_grad:
+                self._accumulate(grad * out_data)
+
+        return Tensor._make(out_data, (self,), backward)
+
+    def log(self) -> "Tensor":
+        out_data = np.log(self.data)
+
+        def backward(grad: np.ndarray) -> None:
+            if self.requires_grad:
+                self._accumulate(grad / self.data)
+
+        return Tensor._make(out_data, (self,), backward)
+
+    def sqrt(self) -> "Tensor":
+        out_data = np.sqrt(self.data)
+
+        def backward(grad: np.ndarray) -> None:
+            if self.requires_grad:
+                self._accumulate(grad * 0.5 / out_data)
+
+        return Tensor._make(out_data, (self,), backward)
+
+    def clip(self, low: Number, high: Number) -> "Tensor":
+        """Clamp values; gradient is passed through inside the interval."""
+        out_data = np.clip(self.data, low, high)
+
+        def backward(grad: np.ndarray) -> None:
+            if self.requires_grad:
+                mask = (self.data >= low) & (self.data <= high)
+                self._accumulate(grad * mask)
+
+        return Tensor._make(out_data, (self,), backward)
+
+    def maximum(self, other: Union["Tensor", Number]) -> "Tensor":
+        other = self._coerce(other)
+        out_data = np.maximum(self.data, other.data)
+
+        def backward(grad: np.ndarray) -> None:
+            chooses_self = self.data >= other.data
+            if self.requires_grad:
+                self._accumulate(unbroadcast(grad * chooses_self, self.shape))
+            if other.requires_grad:
+                other._accumulate(unbroadcast(grad * ~chooses_self, other.shape))
+
+        return Tensor._make(out_data, (self, other), backward)
+
+
+def stack(tensors: Sequence[Tensor], axis: int = 0) -> Tensor:
+    """Stack tensors along a new axis, differentiable."""
+    tensors = list(tensors)
+    out_data = np.stack([t.data for t in tensors], axis=axis)
+
+    def backward(grad: np.ndarray) -> None:
+        slices = np.split(grad, len(tensors), axis=axis)
+        for tensor, piece in zip(tensors, slices):
+            if tensor.requires_grad:
+                tensor._accumulate(np.squeeze(piece, axis=axis))
+
+    return Tensor._make(out_data, tuple(tensors), backward)
+
+
+def concatenate(tensors: Sequence[Tensor], axis: int = 0) -> Tensor:
+    """Concatenate tensors along an existing axis, differentiable."""
+    tensors = list(tensors)
+    out_data = np.concatenate([t.data for t in tensors], axis=axis)
+    sizes = [t.data.shape[axis] for t in tensors]
+    boundaries = np.cumsum(sizes)[:-1]
+
+    def backward(grad: np.ndarray) -> None:
+        pieces = np.split(grad, boundaries, axis=axis)
+        for tensor, piece in zip(tensors, pieces):
+            if tensor.requires_grad:
+                tensor._accumulate(piece)
+
+    return Tensor._make(out_data, tuple(tensors), backward)
+
+
+def as_tensor(value: Union[Tensor, ArrayLike]) -> Tensor:
+    """Coerce arrays/scalars to :class:`Tensor` (tensors pass through)."""
+    return value if isinstance(value, Tensor) else Tensor(value)

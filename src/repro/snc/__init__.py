@@ -1,0 +1,171 @@
+"""repro.snc — the memristor-based spiking neuromorphic substrate.
+
+Implements the deployment platform of Sec. 2.2 and the system evaluation
+of Sec. 4.5:
+
+- :mod:`repro.snc.memristor` — device model (50 kΩ–1 MΩ window, discrete
+  conductance states, programming variation).
+- :mod:`repro.snc.crossbar` — differential-pair crossbar tiles, analog MVM,
+  and the Eq. 1 partitioning rule.
+- :mod:`repro.snc.spikes` / :mod:`repro.snc.ifc` — rate coding and
+  integrate-and-fire + counter circuits.
+- :mod:`repro.snc.mapping` — Fig. 2 network-to-crossbar mapping with
+  drop-in crossbar-backed Conv2d/Linear modules.
+- :mod:`repro.snc.system` — end-to-end deployed system with bit-exact
+  software equivalence checking.
+- :mod:`repro.snc.cost` — the calibrated speed/energy/area model behind
+  Table 5 and Fig. 1a.
+"""
+
+from repro.snc.cost import (
+    PAPER_SPEED_PROFILES,
+    PAPER_TABLE5,
+    AreaParameters,
+    EnergyParameters,
+    NetworkAggregates,
+    SpeedProfile,
+    SystemCost,
+    aggregate_network,
+    evaluate_system_cost,
+    generic_speed_profile,
+    layer_breakdown,
+    table5_row,
+)
+from repro.snc.crossbar import (
+    DEFAULT_CROSSBAR_SIZE,
+    Crossbar,
+    CrossbarArray,
+    crossbars_required,
+)
+from repro.snc.export import (
+    LayerImage,
+    export_programming_image,
+    install_chip,
+    load_programming_image,
+    program_chip,
+)
+from repro.snc.faults import (
+    FaultReport,
+    inject_faults_into_network,
+    inject_stuck_faults,
+    realized_weight_error,
+    rescue_by_pair_swap,
+    rescue_network,
+)
+from repro.snc.ifc import IntegrateAndFire, ifc_for_layer
+from repro.snc.irdrop import (
+    DEFAULT_WIRE_RESISTANCE_OHMS,
+    IRDropResult,
+    ir_drop_error_vs_size,
+    solve_crossbar_currents,
+)
+from repro.snc.mapping import (
+    LayerMapping,
+    MappingReport,
+    SpikingConv2d,
+    SpikingLinear,
+    map_network,
+    weight_codes_from_quantized,
+)
+from repro.snc.memristor import (
+    R_OFF_OHMS,
+    R_ON_OHMS,
+    MemristorModel,
+    levels_for_bits,
+    model_for_bits,
+)
+from repro.snc.montecarlo import YieldReport, estimate_yield, yield_vs_variation
+from repro.snc.pipeline_sim import (
+    PipelineStats,
+    mixed_precision_speed_mhz,
+    simulate_pipeline,
+    uniform_pipeline_speed_mhz,
+    window_cycles,
+)
+from repro.snc.programming import (
+    ProgrammingCost,
+    ProgrammingModel,
+    programming_cost,
+    programming_cost_ratio,
+)
+from repro.snc.spikes import (
+    decode_counts,
+    encode_bernoulli,
+    encode_uniform,
+    encoding_is_lossless,
+    window_length,
+)
+from repro.snc.system import (
+    SpikeStatistics,
+    SpikingSystem,
+    SpikingSystemConfig,
+    build_spiking_system,
+)
+
+__all__ = [
+    "MemristorModel",
+    "levels_for_bits",
+    "model_for_bits",
+    "R_ON_OHMS",
+    "R_OFF_OHMS",
+    "Crossbar",
+    "CrossbarArray",
+    "crossbars_required",
+    "DEFAULT_CROSSBAR_SIZE",
+    "window_length",
+    "encode_uniform",
+    "encode_bernoulli",
+    "decode_counts",
+    "encoding_is_lossless",
+    "IntegrateAndFire",
+    "ifc_for_layer",
+    "SpikingConv2d",
+    "SpikingLinear",
+    "map_network",
+    "MappingReport",
+    "LayerMapping",
+    "weight_codes_from_quantized",
+    "SpikingSystem",
+    "SpikingSystemConfig",
+    "SpikeStatistics",
+    "build_spiking_system",
+    "SystemCost",
+    "SpeedProfile",
+    "EnergyParameters",
+    "AreaParameters",
+    "NetworkAggregates",
+    "aggregate_network",
+    "evaluate_system_cost",
+    "generic_speed_profile",
+    "layer_breakdown",
+    "table5_row",
+    "PAPER_TABLE5",
+    "PAPER_SPEED_PROFILES",
+    "FaultReport",
+    "inject_stuck_faults",
+    "inject_faults_into_network",
+    "realized_weight_error",
+    "rescue_by_pair_swap",
+    "rescue_network",
+    "IRDropResult",
+    "solve_crossbar_currents",
+    "ir_drop_error_vs_size",
+    "DEFAULT_WIRE_RESISTANCE_OHMS",
+    "ProgrammingModel",
+    "ProgrammingCost",
+    "programming_cost",
+    "programming_cost_ratio",
+    "LayerImage",
+    "export_programming_image",
+    "load_programming_image",
+    "program_chip",
+    "install_chip",
+    "PipelineStats",
+    "simulate_pipeline",
+    "window_cycles",
+    "uniform_pipeline_speed_mhz",
+    "mixed_precision_speed_mhz",
+    "YieldReport",
+    "estimate_yield",
+    "yield_vs_variation",
+]

@@ -1,0 +1,176 @@
+"""Memristor crossbar arrays and the Eq. 1 partitioning rule.
+
+A crossbar of size ``t × t`` computes an analog vector-matrix product in a
+single step: wordline voltages (inputs) drive currents through the
+programmed conductances, and each bitline sums its column by Kirchhoff's
+law.  Signed weights use the standard *differential pair*: every logical
+weight owns two devices, ``g⁺`` and ``g⁻``; the column output is the
+difference of the two summed currents.
+
+A network layer whose unrolled weight matrix is larger than one crossbar is
+tiled.  The paper's Eq. 1 counts the tiles:
+
+    L^i = ⌈J^i / t⌉ · ⌈(s^i · s^i · J^{i−1}) / t⌉
+
+(columns ⌈cols/t⌉ times rows ⌈rows/t⌉).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.snc.memristor import MemristorModel, levels_for_bits
+
+DEFAULT_CROSSBAR_SIZE = 32  # the paper's experimental setting (Sec. 4.1)
+
+
+def crossbars_required(rows: int, cols: int, size: int = DEFAULT_CROSSBAR_SIZE) -> int:
+    """Eq. 1: number of ``size × size`` crossbars for a rows×cols matrix."""
+    if rows < 1 or cols < 1:
+        raise ValueError(f"matrix dimensions must be positive, got {rows}×{cols}")
+    if size < 1:
+        raise ValueError(f"crossbar size must be positive, got {size}")
+    return math.ceil(cols / size) * math.ceil(rows / size)
+
+
+@dataclass
+class Crossbar:
+    """One physical ``rows × cols`` differential-pair crossbar tile.
+
+    ``g_plus`` and ``g_minus`` hold the programmed conductances.  The tile
+    does not know about weight scales; :class:`CrossbarArray` tracks the
+    mapping from conductance differences back to weight units.
+    """
+
+    g_plus: np.ndarray
+    g_minus: np.ndarray
+
+    def __post_init__(self) -> None:
+        if self.g_plus.shape != self.g_minus.shape:
+            raise ValueError("differential pair shapes must match")
+        if self.g_plus.ndim != 2:
+            raise ValueError("conductance matrices must be 2-D")
+
+    @property
+    def shape(self) -> tuple:
+        return self.g_plus.shape
+
+    def multiply(self, voltages: np.ndarray) -> np.ndarray:
+        """Analog MVM: differential column currents for input ``voltages``.
+
+        ``voltages`` is ``(..., rows)``; returns ``(..., cols)`` currents in
+        amperes (times whatever unit ``voltages`` carries).
+        """
+        differential = self.g_plus - self.g_minus
+        return voltages @ differential
+
+
+class CrossbarArray:
+    """A logical weight matrix tiled over physical crossbars.
+
+    Parameters
+    ----------
+    weight_codes:
+        Integer weight codes ``D`` with ``|code| ≤ 2^(bits−1)``, shaped
+        ``(rows, cols)`` — i.e. the *transposed* layer weight so that
+        inputs ride wordlines and outputs ride bitlines (Fig. 2).
+    bits:
+        Weight bit width N; sets the per-device level count.
+    scale:
+        Weight value represented by code 1 times ``2^bits`` — i.e. the
+        clustering scale: ``weight = scale · code / 2^bits``.
+    size:
+        Physical crossbar side ``t``.
+    device:
+        Memristor technology; defaults to the ideal model with exactly the
+        levels N bits need.
+    rng:
+        Used only when the device model has programming variation.
+    """
+
+    def __init__(
+        self,
+        weight_codes: np.ndarray,
+        bits: int,
+        scale: float = 1.0,
+        size: int = DEFAULT_CROSSBAR_SIZE,
+        device: Optional[MemristorModel] = None,
+        rng: Optional[np.random.Generator] = None,
+    ) -> None:
+        weight_codes = np.asarray(weight_codes)
+        if weight_codes.ndim != 2:
+            raise ValueError(f"weight_codes must be 2-D, got {weight_codes.shape}")
+        half = 2 ** (bits - 1)
+        if np.any(np.abs(weight_codes) > half):
+            raise ValueError(f"codes exceed ±{half} for {bits}-bit weights")
+        self.bits = bits
+        self.scale = scale
+        self.size = size
+        self.rows, self.cols = weight_codes.shape
+        self.device = device or MemristorModel(levels=levels_for_bits(bits))
+        self.weight_codes = weight_codes.astype(np.int64)
+
+        # Differential programming: positive codes on g⁺, negatives on g⁻.
+        plus_levels = np.clip(self.weight_codes, 0, None)
+        minus_levels = np.clip(-self.weight_codes, 0, None)
+        g_plus = self.device.program(plus_levels, rng)
+        g_minus = self.device.program(minus_levels, rng)
+
+        self.tiles = []
+        for row_start in range(0, self.rows, size):
+            row_tiles = []
+            for col_start in range(0, self.cols, size):
+                row_slice = slice(row_start, min(row_start + size, self.rows))
+                col_slice = slice(col_start, min(col_start + size, self.cols))
+                row_tiles.append(
+                    Crossbar(g_plus[row_slice, col_slice], g_minus[row_slice, col_slice])
+                )
+            self.tiles.append(row_tiles)
+
+    @property
+    def num_crossbars(self) -> int:
+        """Physical tile count — equals Eq. 1 for this matrix."""
+        return sum(len(row) for row in self.tiles)
+
+    def multiply_codes(self, inputs: np.ndarray) -> np.ndarray:
+        """Exact integer MVM in code units: ``inputs @ weight_codes``.
+
+        This is what an ideal (variation-free) crossbar computes, expressed
+        in integers; the analog path below must agree with it after current
+        normalization.
+        """
+        return np.asarray(inputs) @ self.weight_codes
+
+    def multiply_analog(self, inputs: np.ndarray) -> np.ndarray:
+        """Analog MVM via the tiles, returned in *code units*.
+
+        Tiles along the row direction accumulate partial sums (extra
+        digital adds in hardware); currents convert back to code units by
+        the conductance step ``g_step``.  With an ideal device this equals
+        :meth:`multiply_codes` up to float rounding; with variation it
+        differs, which is how defect studies are run.
+        """
+        inputs = np.asarray(inputs, dtype=np.float64)
+        batch_shape = inputs.shape[:-1]
+        if inputs.shape[-1] != self.rows:
+            raise ValueError(f"expected last dim {self.rows}, got {inputs.shape[-1]}")
+        output = np.zeros(batch_shape + (self.cols,))
+        for tile_row_index, row_tiles in enumerate(self.tiles):
+            row_start = tile_row_index * self.size
+            row_slice = slice(row_start, min(row_start + self.size, self.rows))
+            segment = inputs[..., row_slice]
+            for tile_col_index, tile in enumerate(row_tiles):
+                col_start = tile_col_index * self.size
+                col_slice = slice(col_start, col_start + tile.shape[1])
+                output[..., col_slice] += tile.multiply(segment)
+        # Currents carry an offset-free differential; one code unit of
+        # weight contributes one g_step of conductance.
+        return output / self.device.g_step
+
+    def weights(self) -> np.ndarray:
+        """The weight values this array realizes: ``scale · codes / 2^bits``."""
+        return self.scale * self.weight_codes / float(2 ** self.bits)

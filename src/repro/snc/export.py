@@ -1,0 +1,153 @@
+"""Chip programming image: export / load deployed crossbar contents.
+
+A real deployment toolchain ends by emitting a *programming image* — for
+every crossbar tile, the target conductance level of every device — which
+the on-chip write controller then realizes.  This module produces exactly
+that from a mapped network, as a single ``.npz``:
+
+- per weight layer: the integer code matrix (rows × cols, bias rows
+  included), the clustering scale, bit width and geometry metadata;
+- global metadata: crossbar size, signal bits, IFC gain.
+
+``load_programming_image`` reconstructs a :class:`~repro.snc.crossbar.
+CrossbarArray` per layer (optionally with device variation — programming a
+real chip from the image), enabling chip-to-chip studies without
+re-running deployment.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass
+from typing import Dict, List
+
+import numpy as np
+
+from repro.nn.modules import Module
+from repro.snc.crossbar import CrossbarArray
+from repro.snc.mapping import SpikingConv2d, SpikingLinear
+from repro.snc.memristor import MemristorModel
+
+FORMAT_VERSION = 1
+
+
+@dataclass(frozen=True)
+class LayerImage:
+    """One layer's slice of the programming image."""
+
+    name: str
+    kind: str
+    codes: np.ndarray  # (rows_incl_bias, cols) integer weight codes
+    scale: float
+    bits: int
+    bias_rows: int
+
+
+def _spiking_layers(network: Module) -> List[tuple]:
+    layers = []
+    for name, module in network.named_modules():
+        if isinstance(module, SpikingConv2d):
+            layers.append((name, "conv", module))
+        elif isinstance(module, SpikingLinear):
+            layers.append((name, "fc", module))
+    return layers
+
+
+def export_programming_image(network: Module, path: str) -> Dict[str, dict]:
+    """Write the programming image of a mapped network to ``path`` (.npz).
+
+    Returns the metadata dict (also stored inside the archive as JSON).
+    """
+    layers = _spiking_layers(network)
+    if not layers:
+        raise ValueError("network has no mapped crossbar layers; run map_network first")
+
+    arrays: Dict[str, np.ndarray] = {}
+    metadata: Dict[str, dict] = {}
+    for name, kind, module in layers:
+        array = module.array
+        arrays[f"{name}.codes"] = array.weight_codes
+        metadata[name] = {
+            "kind": kind,
+            "scale": array.scale,
+            "bits": array.bits,
+            "bias_rows": module._n_bias_rows,
+            "crossbar_size": array.size,
+            "num_crossbars": array.num_crossbars,
+        }
+    arrays["__meta__"] = np.frombuffer(
+        json.dumps({"version": FORMAT_VERSION, "layers": metadata}).encode(),
+        dtype=np.uint8,
+    )
+    directory = os.path.dirname(os.path.abspath(path))
+    os.makedirs(directory, exist_ok=True)
+    np.savez_compressed(path, **arrays)
+    return metadata
+
+
+def load_programming_image(path: str) -> Dict[str, LayerImage]:
+    """Read a programming image back into per-layer code matrices."""
+    with np.load(path) as archive:
+        meta_bytes = archive["__meta__"].tobytes()
+        meta = json.loads(meta_bytes.decode())
+        if meta.get("version") != FORMAT_VERSION:
+            raise ValueError(f"unsupported image version {meta.get('version')}")
+        layers: Dict[str, LayerImage] = {}
+        for name, info in meta["layers"].items():
+            codes = archive[f"{name}.codes"]
+            layers[name] = LayerImage(
+                name=name,
+                kind=info["kind"],
+                codes=codes,
+                scale=info["scale"],
+                bits=info["bits"],
+                bias_rows=info["bias_rows"],
+            )
+    return layers
+
+
+def program_chip(
+    image: Dict[str, LayerImage],
+    crossbar_size: int = 32,
+    variation_sigma: float = 0.0,
+    seed: int = 0,
+) -> Dict[str, CrossbarArray]:
+    """Realize a programming image as physical crossbar arrays.
+
+    With ``variation_sigma > 0`` every chip programmed from the same image
+    differs (a new "die"); the seed picks the die.
+    """
+    rng = np.random.default_rng(seed)
+    chip: Dict[str, CrossbarArray] = {}
+    for name, layer in image.items():
+        device = MemristorModel(
+            levels=2 ** (layer.bits - 1) + 1, variation_sigma=variation_sigma
+        )
+        chip[name] = CrossbarArray(
+            layer.codes,
+            bits=layer.bits,
+            scale=layer.scale,
+            size=crossbar_size,
+            device=device,
+            rng=rng,
+        )
+    return chip
+
+
+def install_chip(network: Module, chip: Dict[str, CrossbarArray]) -> int:
+    """Swap a network's crossbar arrays for a programmed chip's arrays.
+
+    Layer names must match the image that built ``chip``.  Returns the
+    number of layers installed.
+    """
+    installed = 0
+    for name, kind, module in _spiking_layers(network):
+        if name not in chip:
+            raise KeyError(f"chip image missing layer {name!r}")
+        replacement = chip[name]
+        if replacement.weight_codes.shape != module.array.weight_codes.shape:
+            raise ValueError(f"geometry mismatch for layer {name!r}")
+        module.array = replacement
+        installed += 1
+    return installed

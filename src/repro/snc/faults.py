@@ -1,0 +1,175 @@
+"""Memristor stuck-at-fault injection and a differential-pair rescue.
+
+Reference [16] of the paper ("Rescuing memristor-based neuromorphic design
+with high defects", DAC 2017) motivates why fabricated crossbars never
+match the ideal model: a fraction of devices are stuck at their lowest
+(SA0) or highest (SA1) conductance and cannot be programmed.
+
+This module provides
+
+- :func:`inject_stuck_faults` — flip a random fraction of devices in a
+  deployed :class:`~repro.snc.crossbar.CrossbarArray` to stuck values, and
+- :func:`rescue_by_pair_swap` — a retraining-free rescue exploiting the
+  differential pair: a weight is realized as ``g⁺ − g⁻``, so if the fault
+  lands on the device that was supposed to carry the magnitude, swapping
+  which device carries it (and negating nothing — the pair is symmetric)
+  can sometimes restore the intended difference.  The swap is applied per
+  device pair whenever it reduces the realized-weight error.
+
+Together with :class:`~repro.snc.memristor.MemristorModel`'s programming
+variation this covers the defect regime the paper's hardware references
+study.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.snc.crossbar import CrossbarArray
+
+
+@dataclass
+class FaultReport:
+    """What fault injection did to one crossbar array."""
+
+    total_devices: int
+    stuck_sa0: int
+    stuck_sa1: int
+    rescued: int = 0
+
+    @property
+    def fault_rate(self) -> float:
+        return (self.stuck_sa0 + self.stuck_sa1) / max(self.total_devices, 1)
+
+
+def inject_stuck_faults(
+    array: CrossbarArray,
+    rate: float,
+    sa1_fraction: float = 0.5,
+    rng: Optional[np.random.Generator] = None,
+) -> FaultReport:
+    """Force a random ``rate`` fraction of devices to stuck conductances.
+
+    SA0 devices read ``g_min`` (filament never formed), SA1 devices read
+    ``g_max`` (short).  Both polarities hit the g⁺ and g⁻ planes of every
+    tile uniformly.  Mutates the array in place.
+    """
+    if not 0.0 <= rate <= 1.0:
+        raise ValueError(f"rate must be in [0, 1], got {rate}")
+    if not 0.0 <= sa1_fraction <= 1.0:
+        raise ValueError(f"sa1_fraction must be in [0, 1], got {sa1_fraction}")
+    rng = rng or np.random.default_rng()
+    device = array.device
+    report = FaultReport(total_devices=0, stuck_sa0=0, stuck_sa1=0)
+    for row_tiles in array.tiles:
+        for tile in row_tiles:
+            for plane in (tile.g_plus, tile.g_minus):
+                report.total_devices += plane.size
+                faulty = rng.random(plane.shape) < rate
+                stuck_high = faulty & (rng.random(plane.shape) < sa1_fraction)
+                stuck_low = faulty & ~stuck_high
+                plane[stuck_low] = device.g_min
+                plane[stuck_high] = device.g_max
+                report.stuck_sa0 += int(stuck_low.sum())
+                report.stuck_sa1 += int(stuck_high.sum())
+    return report
+
+
+def realized_weight_error(array: CrossbarArray) -> float:
+    """Mean |realized − intended| weight error, in weight units.
+
+    The realized weight of a pair is ``(g⁺ − g⁻)/g_step`` code units times
+    ``scale / 2^N``.
+    """
+    step = array.device.g_step
+    unit = array.scale / float(2 ** array.bits)
+    total = 0.0
+    count = 0
+    for tile_row_index, row_tiles in enumerate(array.tiles):
+        row_start = tile_row_index * array.size
+        for tile_col_index, tile in enumerate(row_tiles):
+            col_start = tile_col_index * array.size
+            rows, cols = tile.shape
+            intended = array.weight_codes[
+                row_start : row_start + rows, col_start : col_start + cols
+            ]
+            realized = (tile.g_plus - tile.g_minus) / step
+            total += float(np.abs(realized - intended).sum()) * unit
+            count += intended.size
+    return total / max(count, 1)
+
+
+def inject_faults_into_network(
+    network,
+    rate: float,
+    sa1_fraction: float = 0.5,
+    rng: Optional[np.random.Generator] = None,
+) -> FaultReport:
+    """Inject stuck faults into every crossbar array of a mapped network.
+
+    ``network`` is a module tree containing
+    :class:`~repro.snc.mapping.SpikingConv2d` /
+    :class:`~repro.snc.mapping.SpikingLinear` layers (e.g. the ``network``
+    of a :class:`~repro.snc.system.SpikingSystem`).  Returns the aggregate
+    fault report.
+    """
+    rng = rng or np.random.default_rng()
+    total = FaultReport(total_devices=0, stuck_sa0=0, stuck_sa1=0)
+    for array in _network_arrays(network):
+        report = inject_stuck_faults(array, rate, sa1_fraction, rng)
+        total.total_devices += report.total_devices
+        total.stuck_sa0 += report.stuck_sa0
+        total.stuck_sa1 += report.stuck_sa1
+    if total.total_devices == 0:
+        raise ValueError("network contains no crossbar arrays; map it first")
+    return total
+
+
+def rescue_network(network) -> int:
+    """Apply :func:`rescue_by_pair_swap` to every crossbar of a network."""
+    swapped = 0
+    for array in _network_arrays(network):
+        swapped += rescue_by_pair_swap(array)
+    return swapped
+
+
+def _network_arrays(network):
+    """Yield every CrossbarArray owned by a mapped network's layers."""
+    for module in network.modules():
+        array = getattr(module, "array", None)
+        if isinstance(array, CrossbarArray):
+            yield array
+
+
+def rescue_by_pair_swap(array: CrossbarArray) -> int:
+    """Swap g⁺/g⁻ roles per pair where that reduces realized-weight error.
+
+    A differential pair realizes ``w ∝ g⁺ − g⁻``.  If faults corrupted the
+    pair, the swapped orientation realizes ``−(g⁺ − g⁻)``; with the free
+    choice of which physical device plays which role at programming time,
+    the controller can pick the orientation closer to the intended code.
+    Returns the number of pairs swapped.  Mutates the array in place.
+    """
+    step = array.device.g_step
+    swapped = 0
+    for tile_row_index, row_tiles in enumerate(array.tiles):
+        row_start = tile_row_index * array.size
+        for tile_col_index, tile in enumerate(row_tiles):
+            col_start = tile_col_index * array.size
+            rows, cols = tile.shape
+            intended = array.weight_codes[
+                row_start : row_start + rows, col_start : col_start + cols
+            ]
+            realized = (tile.g_plus - tile.g_minus) / step
+            keep_error = np.abs(realized - intended)
+            swap_error = np.abs(-realized - intended)
+            do_swap = swap_error < keep_error
+            if np.any(do_swap):
+                plus = tile.g_plus[do_swap]
+                tile.g_plus[do_swap] = tile.g_minus[do_swap]
+                tile.g_minus[do_swap] = plus
+                swapped += int(do_swap.sum())
+    return swapped

@@ -1,0 +1,102 @@
+"""Integrate-and-fire circuits (IFCs) and output counters.
+
+Each crossbar column ends in an IFC (Sec. 4.5): the column current charges
+a membrane capacitor; every time the charge crosses the firing threshold
+the IFC emits a spike and subtracts the threshold.  A digital counter
+accumulates the spikes into the layer's M-bit output.
+
+Design rule for the threshold: one output spike must represent one *unit*
+of the next layer's integer signal.  The column current is in weight-code
+units per input spike (see :class:`repro.snc.crossbar.CrossbarArray`), so a
+post-synaptic value ``y`` (in weight units) corresponds to a total charge
+``y · 2^N / scale`` code-units; setting ``threshold = 2^N / scale`` makes
+the spike count equal ``⌊y⌋`` — and adding half a threshold of initial
+bias charge turns truncation into round-to-nearest, matching the software
+quantizer exactly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.snc.spikes import window_length
+
+
+@dataclass
+class IntegrateAndFire:
+    """Vectorized IFC bank: one neuron per crossbar column.
+
+    Parameters
+    ----------
+    threshold:
+        Firing threshold in charge units (column-current · time-slot).
+    max_spikes:
+        Output window capacity ``2^M − 1``; firing saturates there, which
+        realizes the quantizer's clip.
+    round_to_nearest:
+        Pre-charge membranes with half a threshold so the final count is
+        ``round`` rather than ``floor`` of the integrated charge.
+    """
+
+    threshold: float
+    max_spikes: int
+    round_to_nearest: bool = True
+
+    def __post_init__(self) -> None:
+        if self.threshold <= 0:
+            raise ValueError("threshold must be positive")
+        if self.max_spikes < 1:
+            raise ValueError("max_spikes must be >= 1")
+
+    def run(self, charge_per_slot: np.ndarray) -> np.ndarray:
+        """Step the IFC bank through a window of per-slot charges.
+
+        ``charge_per_slot`` has shape ``(window, *neurons)``.  Returns the
+        spike counts per neuron (integers in ``[0, max_spikes]``).
+        """
+        charge_per_slot = np.asarray(charge_per_slot, dtype=np.float64)
+        window = charge_per_slot.shape[0]
+        membrane = np.zeros(charge_per_slot.shape[1:])
+        if self.round_to_nearest:
+            membrane += self.threshold / 2.0
+        counts = np.zeros(charge_per_slot.shape[1:], dtype=np.int64)
+        for slot in range(window):
+            membrane = membrane + charge_per_slot[slot]
+            fires = np.floor(membrane / self.threshold).astype(np.int64)
+            fires = np.clip(fires, 0, None)
+            capacity = self.max_spikes - counts
+            fired = np.minimum(fires, capacity)
+            counts += fired
+            membrane = membrane - fires * self.threshold
+        return counts
+
+    def run_total(self, total_charge: np.ndarray) -> np.ndarray:
+        """Closed form for the whole window at once.
+
+        Because charge accumulates and thresholds subtract linearly, the
+        final count equals ``clip(floor(total/θ + ½), 0, max)`` (with
+        rounding pre-charge) regardless of how charge was distributed over
+        slots — used as the fast path and as the oracle the stepped
+        simulation is tested against.
+        """
+        total = np.asarray(total_charge, dtype=np.float64) / self.threshold
+        if self.round_to_nearest:
+            total = total + 0.5
+        return np.clip(np.floor(total), 0, self.max_spikes).astype(np.int64)
+
+
+def ifc_for_layer(signal_bits: int, weight_bits: int, scale: float) -> IntegrateAndFire:
+    """Build the IFC bank matching a layer's quantization parameters.
+
+    One unit of integer output must equal one unit of post-synaptic sum in
+    *weight* units; the crossbar reports code units (weights × ``2^N / s``),
+    hence ``threshold = 2^N / s``.
+    """
+    if scale <= 0:
+        raise ValueError("scale must be positive")
+    return IntegrateAndFire(
+        threshold=float(2 ** weight_bits) / scale,
+        max_spikes=window_length(signal_bits),
+    )

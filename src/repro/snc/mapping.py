@@ -1,0 +1,269 @@
+"""Mapping quantized network layers onto memristor crossbars (Fig. 2).
+
+A convolutional layer maps column-by-column: filter ``K_j^i`` occupies
+bitline ``BL_j``; its ``s·s·d`` taps occupy wordlines, so an im2col'd input
+patch drives the wordlines and the convolution result for every filter
+appears across the bitlines in one analog step.  A fully connected layer
+maps directly.  Biases occupy extra wordlines driven by a constant input
+(replicated across as many rows as the bias magnitude needs, since a row's
+device saturates at code ``2^(N−1)``).
+
+:class:`SpikingConv2d` / :class:`SpikingLinear` are drop-in module
+replacements whose forward runs through the *analog crossbar path* (tiled
+differential-pair MVM in conductance units) instead of a float matmul.
+With an ideal device model they reproduce the quantized float computation
+to machine precision; with programming variation they model a defective
+chip.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.core.surgery import replace_modules, weight_bearing_modules
+from repro.core.weight_clustering import ModelClusteringReport
+from repro.nn.functional import _im2col
+from repro.nn.modules import Conv2d, Linear, Module
+from repro.nn.tensor import Tensor
+from repro.snc.crossbar import DEFAULT_CROSSBAR_SIZE, CrossbarArray
+from repro.snc.memristor import MemristorModel, model_for_bits
+
+
+def weight_codes_from_quantized(
+    weights: np.ndarray, bits: int, scale: float
+) -> np.ndarray:
+    """Invert ``w = scale · D / 2^N`` back to integer codes ``D``.
+
+    The weights must already lie exactly on the grid (they do after
+    clustering); a tolerance check guards against passing float weights.
+    """
+    codes = weights * (2 ** bits) / scale
+    rounded = np.rint(codes)
+    if not np.allclose(codes, rounded, atol=1e-6):
+        raise ValueError("weights are not on the fixed-point grid; quantize first")
+    return rounded.astype(np.int64)
+
+
+def _bias_rows(bias_codes: np.ndarray, half: int) -> np.ndarray:
+    """Split bias codes into rows each holding codes within ±half.
+
+    Returns ``(n_rows, cols)`` integer codes whose column sums equal the
+    bias codes; every row is driven by a constant unit input.
+    """
+    n_rows = max(1, int(np.ceil(np.abs(bias_codes).max() / half)) if bias_codes.size else 1)
+    rows = np.zeros((n_rows, bias_codes.size), dtype=np.int64)
+    remaining = bias_codes.copy()
+    for i in range(n_rows):
+        chunk = np.clip(remaining, -half, half)
+        rows[i] = chunk
+        remaining = remaining - chunk
+    if np.any(remaining != 0):
+        raise AssertionError("bias splitting failed to exhaust codes")
+    return rows
+
+
+@dataclass
+class LayerMapping:
+    """Bookkeeping for one mapped layer (used by reports and the cost model)."""
+
+    name: str
+    kind: str
+    rows: int
+    cols: int
+    bias_rows: int
+    crossbars: int
+    scale: float
+    bits: int
+
+
+class SpikingConv2d(Module):
+    """A Conv2d executed on a tiled memristor crossbar (Fig. 2 layout)."""
+
+    def __init__(
+        self,
+        conv: Conv2d,
+        bits: int,
+        scale: float,
+        size: int = DEFAULT_CROSSBAR_SIZE,
+        device: Optional[MemristorModel] = None,
+        rng: Optional[np.random.Generator] = None,
+    ) -> None:
+        super().__init__()
+        self.stride = conv.stride
+        self.padding = conv.padding
+        self.kernel_size = conv.kernel_size
+        self.in_channels = conv.in_channels
+        self.out_channels = conv.out_channels
+        self.bits = bits
+        self.scale = scale
+
+        # Fig. 2: filter j → column j; rows are the unrolled s·s·d taps.
+        w_codes = weight_codes_from_quantized(conv.weight.data, bits, scale)
+        matrix = w_codes.reshape(conv.out_channels, -1).T  # (s·s·d, J)
+        half = 2 ** (bits - 1)
+        self._n_bias_rows = 0
+        if conv.bias is not None:
+            step = scale / float(2 ** bits)
+            bias_codes = np.rint(conv.bias.data / step).astype(np.int64)
+            extra = _bias_rows(bias_codes, half)
+            matrix = np.vstack([matrix, extra])
+            self._n_bias_rows = extra.shape[0]
+        self.array = CrossbarArray(
+            matrix, bits=bits, scale=scale, size=size,
+            device=device or model_for_bits(bits), rng=rng,
+        )
+
+    def forward(self, x: Tensor) -> Tensor:
+        cols, (out_h, out_w) = _im2col(
+            x.data, (self.kernel_size, self.kernel_size),
+            (self.stride, self.stride), (self.padding, self.padding),
+        )
+        if self._n_bias_rows:
+            ones = np.ones((cols.shape[0], self._n_bias_rows))
+            cols = np.hstack([cols, ones])
+        code_units = self.array.multiply_analog(cols)
+        values = code_units * (self.scale / float(2 ** self.bits))
+        batch = x.shape[0]
+        out = values.reshape(batch, out_h, out_w, self.out_channels).transpose(0, 3, 1, 2)
+        return Tensor(out)
+
+    def __repr__(self) -> str:
+        return (
+            f"SpikingConv2d({self.in_channels}→{self.out_channels}, "
+            f"k={self.kernel_size}, crossbars={self.array.num_crossbars})"
+        )
+
+
+class SpikingLinear(Module):
+    """A Linear layer executed on a tiled memristor crossbar."""
+
+    def __init__(
+        self,
+        linear: Linear,
+        bits: int,
+        scale: float,
+        size: int = DEFAULT_CROSSBAR_SIZE,
+        device: Optional[MemristorModel] = None,
+        rng: Optional[np.random.Generator] = None,
+    ) -> None:
+        super().__init__()
+        self.in_features = linear.in_features
+        self.out_features = linear.out_features
+        self.bits = bits
+        self.scale = scale
+
+        w_codes = weight_codes_from_quantized(linear.weight.data, bits, scale)
+        matrix = w_codes.T  # (in_features, out_features): inputs on wordlines
+        half = 2 ** (bits - 1)
+        self._n_bias_rows = 0
+        if linear.bias is not None:
+            step = scale / float(2 ** bits)
+            bias_codes = np.rint(linear.bias.data / step).astype(np.int64)
+            extra = _bias_rows(bias_codes, half)
+            matrix = np.vstack([matrix, extra])
+            self._n_bias_rows = extra.shape[0]
+        self.array = CrossbarArray(
+            matrix, bits=bits, scale=scale, size=size,
+            device=device or model_for_bits(bits), rng=rng,
+        )
+
+    def forward(self, x: Tensor) -> Tensor:
+        data = x.data
+        if self._n_bias_rows:
+            ones = np.ones(data.shape[:-1] + (self._n_bias_rows,))
+            data = np.concatenate([data, ones], axis=-1)
+        code_units = self.array.multiply_analog(data)
+        return Tensor(code_units * (self.scale / float(2 ** self.bits)))
+
+    def __repr__(self) -> str:
+        return (
+            f"SpikingLinear({self.in_features}→{self.out_features}, "
+            f"crossbars={self.array.num_crossbars})"
+        )
+
+
+@dataclass
+class MappingReport:
+    """Every mapped layer plus network-wide crossbar totals."""
+
+    crossbar_size: int
+    layers: List[LayerMapping] = field(default_factory=list)
+
+    @property
+    def total_crossbars(self) -> int:
+        return sum(layer.crossbars for layer in self.layers)
+
+    def summary(self) -> str:
+        lines = [f"Crossbar mapping (t={self.crossbar_size}):"]
+        for layer in self.layers:
+            lines.append(
+                f"  {layer.name} [{layer.kind}]: {layer.rows}×{layer.cols} "
+                f"(+{layer.bias_rows} bias rows) → {layer.crossbars} crossbars"
+            )
+        lines.append(f"  total: {self.total_crossbars} crossbars")
+        return "\n".join(lines)
+
+
+def map_network(
+    deployed: Module,
+    clustering: ModelClusteringReport,
+    size: int = DEFAULT_CROSSBAR_SIZE,
+    device: Optional[MemristorModel] = None,
+    rng: Optional[np.random.Generator] = None,
+) -> MappingReport:
+    """Replace every Conv2d/Linear in ``deployed`` with its crossbar twin.
+
+    ``clustering`` must be the report produced when the model's weights
+    were quantized (it carries the per-layer scales).  Mutates ``deployed``
+    in place and returns the mapping report.
+    """
+    scales: Dict[int, float] = {}
+    bits = clustering.bits
+    for name, module in weight_bearing_modules(deployed):
+        key = f"{name}.weight"
+        if key not in clustering.results:
+            raise KeyError(f"no clustering result for layer {key}")
+        scales[id(module)] = clustering.results[key].scale
+
+    report = MappingReport(crossbar_size=size)
+
+    def build(old: Module) -> Module:
+        scale = scales[id(old)]
+        if isinstance(old, Conv2d):
+            new: Module = SpikingConv2d(old, bits, scale, size=size, device=device, rng=rng)
+        else:
+            new = SpikingLinear(old, bits, scale, size=size, device=device, rng=rng)
+        return new
+
+    replace_modules(
+        deployed,
+        predicate=lambda m: isinstance(m, (Conv2d, Linear)),
+        factory=build,
+    )
+    for name, module in deployed.named_modules():
+        if isinstance(module, SpikingConv2d):
+            report.layers.append(
+                LayerMapping(
+                    name=name, kind="conv",
+                    rows=module.array.rows - module._n_bias_rows,
+                    cols=module.array.cols,
+                    bias_rows=module._n_bias_rows,
+                    crossbars=module.array.num_crossbars,
+                    scale=module.scale, bits=module.bits,
+                )
+            )
+        elif isinstance(module, SpikingLinear):
+            report.layers.append(
+                LayerMapping(
+                    name=name, kind="fc",
+                    rows=module.array.rows - module._n_bias_rows,
+                    cols=module.array.cols,
+                    bias_rows=module._n_bias_rows,
+                    crossbars=module.array.num_crossbars,
+                    scale=module.scale, bits=module.bits,
+                )
+            )
+    return report

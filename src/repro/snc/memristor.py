@@ -1,0 +1,126 @@
+"""Behavioural memristor device model.
+
+The paper's deployment platform stores each synaptic weight as the
+conductance of a memristor in a MIM stack (Sec. 2.2), with the resistance
+window taken from [12]: **50 kΩ – 1 MΩ**, i.e. conductances between
+1 µS and 20 µS.  An N-bit weight maps to one of ``2^(N−1) + 1`` magnitude
+levels on each device of a differential pair (see
+:mod:`repro.snc.crossbar`).
+
+The model covers what the system simulation needs:
+
+- the discrete programmable conductance levels for a given bit width,
+- programming (level index → conductance) with optional device-to-device
+  variation (lognormal, as is standard for filamentary devices),
+- read current ``i = g · v``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+# Resistance window from C. Liu et al., DAC 2015 [12].
+R_ON_OHMS = 50_000.0     # lowest programmable resistance (highest conductance)
+R_OFF_OHMS = 1_000_000.0  # highest programmable resistance (lowest conductance)
+
+
+@dataclass(frozen=True)
+class MemristorModel:
+    """Device-level parameters of one memristor technology.
+
+    Attributes
+    ----------
+    r_on, r_off:
+        Resistance window in ohms.
+    levels:
+        Number of programmable conductance levels (including the lowest).
+    variation_sigma:
+        Lognormal σ of device-to-device conductance variation (0 = ideal).
+    """
+
+    r_on: float = R_ON_OHMS
+    r_off: float = R_OFF_OHMS
+    levels: int = 16
+    variation_sigma: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.r_on <= 0 or self.r_off <= 0:
+            raise ValueError("resistances must be positive")
+        if self.r_on >= self.r_off:
+            raise ValueError("r_on must be below r_off")
+        if self.levels < 2:
+            raise ValueError("need at least 2 conductance levels")
+        if self.variation_sigma < 0:
+            raise ValueError("variation_sigma must be >= 0")
+
+    @property
+    def g_min(self) -> float:
+        """Lowest programmable conductance (siemens)."""
+        return 1.0 / self.r_off
+
+    @property
+    def g_max(self) -> float:
+        """Highest programmable conductance (siemens)."""
+        return 1.0 / self.r_on
+
+    @property
+    def g_step(self) -> float:
+        """Conductance spacing between adjacent levels."""
+        return (self.g_max - self.g_min) / (self.levels - 1)
+
+    def level_conductances(self) -> np.ndarray:
+        """All programmable conductances, linearly spaced in G (not R).
+
+        Linear-in-conductance spacing is what makes a crossbar column sum
+        represent a linear dot product — the paper's Weight Clustering
+        produces exactly such a linear codebook.
+        """
+        return self.g_min + self.g_step * np.arange(self.levels)
+
+    def program(
+        self, level: np.ndarray, rng: Optional[np.random.Generator] = None
+    ) -> np.ndarray:
+        """Program level indices (integers in [0, levels)) to conductances.
+
+        With ``variation_sigma > 0`` each device lands at
+        ``g · exp(N(0, σ²))`` — the write is imprecise, as real filamentary
+        programming is.
+        """
+        level = np.asarray(level)
+        if np.any((level < 0) | (level >= self.levels)):
+            raise ValueError(f"levels must be in [0, {self.levels}), got range "
+                             f"[{level.min()}, {level.max()}]")
+        conductance = self.g_min + self.g_step * level.astype(np.float64)
+        if self.variation_sigma > 0:
+            rng = rng or np.random.default_rng()
+            conductance = conductance * np.exp(
+                rng.normal(0.0, self.variation_sigma, size=conductance.shape)
+            )
+        return conductance
+
+    @staticmethod
+    def read_current(conductance: np.ndarray, voltage: np.ndarray) -> np.ndarray:
+        """Ohm's law: element-wise ``i = g·v``."""
+        return conductance * voltage
+
+
+def levels_for_bits(bits: int) -> int:
+    """Magnitude levels one device of a differential pair must hold.
+
+    An N-bit fixed-point weight has codes ``{0, ±1, …, ±2^(N−1)}``; each
+    device of the pair stores a magnitude in ``{0, 1, …, 2^(N−1)}`` —
+    ``2^(N−1) + 1`` levels.  At N = 4 that is 9 levels, comfortably inside
+    the 64 levels (6 bits) HP Labs reported for real devices [16] while
+    avoiding their "heavy programming cost".
+    """
+    if bits < 1:
+        raise ValueError(f"bits must be >= 1, got {bits}")
+    return 2 ** (bits - 1) + 1
+
+
+def model_for_bits(bits: int, variation_sigma: float = 0.0) -> MemristorModel:
+    """A memristor model with exactly the levels needed for N-bit weights."""
+    return MemristorModel(levels=levels_for_bits(bits), variation_sigma=variation_sigma)

@@ -1,0 +1,133 @@
+"""Cycle-level simulation of the layer pipeline.
+
+The analytic speed model (`repro.snc.cost`) assumes a uniform spike window
+in every stage, which makes throughput `1/(window + overhead)` by
+inspection.  This module *simulates* the pipeline at cycle granularity —
+each inference occupies layer *l* for that layer's window — which
+
+1. validates the analytic model (uniform windows must reproduce it
+   exactly), and
+2. answers questions the closed form cannot: **mixed-precision** pipelines
+   (different M per layer — an extension the paper's uniform-M design
+   deliberately avoids, quantified here) and transient latency before
+   steady state.
+
+The simulation is a classic synchronous flow-shop recurrence:
+
+    start[l, i]  = max(finish[l−1, i], finish[l, i−1])
+    finish[l, i] = start[l, i] + window[l]
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.models.specs import NetworkSpec
+from repro.snc.cost import PAPER_SPEED_PROFILES, SpeedProfile, generic_speed_profile
+
+
+@dataclass(frozen=True)
+class PipelineStats:
+    """Outcome of one pipeline simulation (all in cycles)."""
+
+    num_layers: int
+    num_inferences: int
+    first_latency: int        # cycles until inference 0 completes
+    total_cycles: int         # cycles until the last inference completes
+    throughput: float         # inferences per cycle, steady state
+    bottleneck_layer: int     # index of the slowest stage
+
+    @property
+    def steady_interval(self) -> float:
+        """Cycles between consecutive completions in steady state."""
+        return 1.0 / self.throughput if self.throughput > 0 else float("inf")
+
+
+def simulate_pipeline(
+    layer_windows: Sequence[int], num_inferences: int = 64
+) -> PipelineStats:
+    """Run the flow-shop recurrence and measure latency/throughput."""
+    windows = [int(w) for w in layer_windows]
+    if not windows or any(w < 1 for w in windows):
+        raise ValueError("layer_windows must be non-empty positive integers")
+    if num_inferences < 2:
+        raise ValueError("need at least 2 inferences to measure throughput")
+
+    num_layers = len(windows)
+    finish = np.zeros((num_layers, num_inferences), dtype=np.int64)
+    for i in range(num_inferences):
+        for l in range(num_layers):
+            upstream = finish[l - 1, i] if l > 0 else 0
+            previous = finish[l, i - 1] if i > 0 else 0
+            start = max(upstream, previous)
+            finish[l, i] = start + windows[l]
+
+    completions = finish[-1]
+    # Steady-state interval: difference between the last two completions.
+    interval = int(completions[-1] - completions[-2])
+    return PipelineStats(
+        num_layers=num_layers,
+        num_inferences=num_inferences,
+        first_latency=int(completions[0]),
+        total_cycles=int(completions[-1]),
+        throughput=1.0 / interval,
+        bottleneck_layer=int(np.argmax(windows)),
+    )
+
+
+def window_cycles(signal_bits: int, overhead_cycles: float = 0.0) -> int:
+    """Stage occupancy for an M-bit spike window (+ rounded overhead)."""
+    if signal_bits < 1:
+        raise ValueError(f"signal_bits must be >= 1, got {signal_bits}")
+    return (2 ** signal_bits - 1) + int(round(overhead_cycles))
+
+
+def uniform_pipeline_speed_mhz(
+    spec: NetworkSpec,
+    signal_bits: int,
+    profile: Optional[SpeedProfile] = None,
+    num_inferences: int = 64,
+) -> float:
+    """Simulated throughput of a uniform-M pipeline, in MHz.
+
+    With uniform windows the simulation must agree with the analytic
+    `SpeedProfile.speed_mhz` (tested) — the clock that converts cycles to
+    time is recovered from the profile.
+    """
+    profile = profile or PAPER_SPEED_PROFILES.get(
+        spec.name, generic_speed_profile(spec.num_layers)
+    )
+    cycles = window_cycles(signal_bits, profile.overhead_cycles) + 1
+    stats = simulate_pipeline([cycles] * spec.num_layers, num_inferences)
+    # profile.f_mhz is the effective per-stage clock budget: one stage slot
+    # per cycle at f_mhz means completions every `cycles`/f_mhz µs.
+    return profile.f_mhz * stats.throughput
+
+
+def mixed_precision_speed_mhz(
+    spec: NetworkSpec,
+    bits_per_layer: Sequence[int],
+    profile: Optional[SpeedProfile] = None,
+    num_inferences: int = 64,
+) -> float:
+    """Simulated throughput with per-layer signal precisions.
+
+    The pipeline completes one inference per *bottleneck* window — so
+    lowering precision everywhere except one layer buys almost nothing,
+    which is the quantitative argument for the paper's uniform bit width.
+    """
+    if len(bits_per_layer) != spec.num_layers:
+        raise ValueError(
+            f"{len(bits_per_layer)} precisions for {spec.num_layers} layers"
+        )
+    profile = profile or PAPER_SPEED_PROFILES.get(
+        spec.name, generic_speed_profile(spec.num_layers)
+    )
+    windows = [
+        window_cycles(bits, profile.overhead_cycles) + 1 for bits in bits_per_layer
+    ]
+    stats = simulate_pipeline(windows, num_inferences)
+    return profile.f_mhz * stats.throughput

@@ -1,0 +1,131 @@
+"""Memristor programming (write) cost model.
+
+The paper's Sec. 1 argues that although devices can afford 64 conductance
+levels (6 bits, HP Labs [16]), "the heavy programming cost in speed and
+circuit design are not acceptable" — which is why it targets 3–4-bit
+weights.  This module quantifies that argument.
+
+Programming a filamentary memristor to one of ``L`` levels uses iterative
+*program-and-verify*: apply a pulse, read back, repeat until the
+conductance falls inside the target level's tolerance band.  The band
+shrinks ∝ 1/L, and for lognormal write noise the expected pulse count
+grows roughly linearly in L (each halving of the band roughly doubles the
+expected attempts):
+
+    pulses(L) ≈ base + k · L
+
+Chip-level cost then follows from the device count (differential pairs ×
+Eq. 1 crossbar tiling), write parallelism (one row of one crossbar at a
+time — sneak paths forbid parallel writes within an array, but distinct
+crossbars program concurrently up to a power budget), pulse width, and
+pulse energy.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.models.specs import NetworkSpec
+from repro.snc.cost import aggregate_network
+from repro.snc.crossbar import DEFAULT_CROSSBAR_SIZE
+from repro.snc.memristor import levels_for_bits
+
+
+@dataclass(frozen=True)
+class ProgrammingModel:
+    """Write-path parameters (130 nm-flavoured defaults).
+
+    Attributes
+    ----------
+    base_pulses:
+        Fixed program-and-verify overhead per device (forming/reset).
+    pulses_per_level:
+        Incremental expected pulses per conductance level (tolerance-band
+        narrowing).
+    pulse_width_ns:
+        Width of one programming pulse including the verify read.
+    pulse_energy_pj:
+        Energy of one pulse (write current × voltage × width).
+    parallel_crossbars:
+        How many crossbars the write power budget allows concurrently.
+    """
+
+    base_pulses: float = 2.0
+    pulses_per_level: float = 0.5
+    pulse_width_ns: float = 100.0
+    pulse_energy_pj: float = 10.0
+    parallel_crossbars: int = 8
+
+    def __post_init__(self) -> None:
+        if self.base_pulses < 0 or self.pulses_per_level < 0:
+            raise ValueError("pulse counts must be non-negative")
+        if self.pulse_width_ns <= 0 or self.pulse_energy_pj <= 0:
+            raise ValueError("pulse width/energy must be positive")
+        if self.parallel_crossbars < 1:
+            raise ValueError("parallel_crossbars must be >= 1")
+
+    def expected_pulses(self, levels: int) -> float:
+        """Expected program-and-verify pulses to hit one of ``levels``."""
+        if levels < 2:
+            raise ValueError(f"need at least 2 levels, got {levels}")
+        return self.base_pulses + self.pulses_per_level * levels
+
+
+@dataclass(frozen=True)
+class ProgrammingCost:
+    """Chip-level cost of writing one network's weights."""
+
+    total_devices: int
+    pulses_per_device: float
+    total_pulses: float
+    time_ms: float
+    energy_uj: float
+
+
+def programming_cost(
+    spec: NetworkSpec,
+    weight_bits: int,
+    model: ProgrammingModel = ProgrammingModel(),
+    crossbar_size: int = DEFAULT_CROSSBAR_SIZE,
+) -> ProgrammingCost:
+    """Cost of programming ``spec``'s weights at N-bit precision.
+
+    Devices per crossbar: ``t²`` cells × 2 (differential pair).  Writes
+    proceed row-by-row within a crossbar (``t`` rows × 2 planes serially),
+    with ``parallel_crossbars`` arrays in flight.
+    """
+    if weight_bits < 1:
+        raise ValueError(f"weight_bits must be >= 1, got {weight_bits}")
+    aggregates = aggregate_network(spec, crossbar_size)
+    levels = levels_for_bits(weight_bits)
+    pulses_per_device = model.expected_pulses(levels)
+    total_devices = aggregates.num_cells
+    total_pulses = pulses_per_device * total_devices
+
+    # Serial rows within a crossbar; one row's devices program in parallel
+    # through the column drivers (each device still needs its own pulse
+    # sequence, so a row costs the *max* expected pulses ≈ the mean here).
+    rows_per_crossbar = crossbar_size * 2  # both differential planes
+    row_time_ns = pulses_per_device * model.pulse_width_ns
+    crossbar_time_ns = rows_per_crossbar * row_time_ns
+    waves = -(-aggregates.num_crossbars // model.parallel_crossbars)  # ceil
+    time_ms = waves * crossbar_time_ns * 1e-6
+
+    energy_uj = total_pulses * model.pulse_energy_pj * 1e-6
+    return ProgrammingCost(
+        total_devices=total_devices,
+        pulses_per_device=pulses_per_device,
+        total_pulses=total_pulses,
+        time_ms=time_ms,
+        energy_uj=energy_uj,
+    )
+
+
+def programming_cost_ratio(
+    spec: NetworkSpec, bits_a: int, bits_b: int,
+    model: ProgrammingModel = ProgrammingModel(),
+) -> float:
+    """Time ratio of programming at ``bits_a`` vs ``bits_b`` precision."""
+    cost_a = programming_cost(spec, bits_a, model)
+    cost_b = programming_cost(spec, bits_b, model)
+    return cost_a.time_ms / cost_b.time_ms

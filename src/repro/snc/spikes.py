@@ -1,0 +1,73 @@
+"""Rate coding: integers ↔ spike trains.
+
+On the SNC, an M-bit inter-layer signal is carried as the *number of
+spikes* inside a fixed time window of ``2^M − 1`` slots (Sec. 1: "an 8-bit
+precision corresponds to 256 spikes and requires large time window").
+Encoding an integer ``k`` as exactly ``k`` spikes makes the code lossless
+for integers — which is precisely why the paper trains networks to have
+*integer* signals: nothing is lost crossing a layer boundary.
+
+Two spike placements are provided:
+
+- ``uniform`` — spikes spread evenly over the window (what a counter-based
+  spike generator emits; deterministic);
+- ``bernoulli`` — i.i.d. thinning at rate ``k/window`` (a Poisson-like
+  neuron; stochastic, the count is only correct in expectation — useful to
+  demonstrate *why* deterministic rate coding is preferred).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+
+def window_length(bits: int) -> int:
+    """Slots needed so every M-bit value (0 … 2^M − 1) has a distinct count."""
+    if bits < 1:
+        raise ValueError(f"bits must be >= 1, got {bits}")
+    return 2 ** bits - 1
+
+
+def encode_uniform(counts: np.ndarray, bits: int) -> np.ndarray:
+    """Encode integer ``counts`` into spike trains, spikes evenly spaced.
+
+    Returns a boolean array of shape ``(window, *counts.shape)`` where
+    ``out[t, …]`` marks a spike at slot ``t``.  Values are clipped to the
+    representable range first (window saturation).
+    """
+    window = window_length(bits)
+    counts = np.clip(np.asarray(counts), 0, window).astype(np.int64)
+    slots = np.arange(window).reshape((window,) + (1,) * counts.ndim)
+    # Emit a spike in slot t iff the integer ramp k·(t+1)/window advances:
+    # exactly k slots fire, evenly spread.
+    ramp_now = (counts * (slots + 1)) // window
+    ramp_before = (counts * slots) // window
+    return (ramp_now - ramp_before) > 0
+
+
+def encode_bernoulli(
+    counts: np.ndarray, bits: int, rng: Optional[np.random.Generator] = None
+) -> np.ndarray:
+    """Stochastic rate coding: each slot fires with probability ``k/window``."""
+    window = window_length(bits)
+    counts = np.clip(np.asarray(counts), 0, window)
+    rng = rng or np.random.default_rng()
+    probability = counts / window
+    return rng.random((window,) + counts.shape) < probability
+
+
+def decode_counts(spikes: np.ndarray) -> np.ndarray:
+    """Count spikes over the window axis (axis 0) — the counter circuit."""
+    return np.asarray(spikes).sum(axis=0).astype(np.int64)
+
+
+def encoding_is_lossless(counts: np.ndarray, bits: int) -> bool:
+    """True iff uniform encode → decode returns ``counts`` exactly.
+
+    Holds for every integer array within ``[0, 2^M − 1]``.
+    """
+    counts = np.asarray(counts)
+    return bool(np.array_equal(decode_counts(encode_uniform(counts, bits)),
+                               np.clip(counts, 0, window_length(bits))))

@@ -1,0 +1,189 @@
+"""End-to-end spiking neuromorphic system simulation.
+
+:func:`build_spiking_system` takes a *trained float* network and produces
+the deployed hardware twin, composing every piece of the stack:
+
+1. batchnorm folding + Weight Clustering (N-bit conductance codes),
+2. activation quantization (M-bit fixed-integer signals = IFC + counter),
+3. input quantization (images enter as spike counts through WL drivers),
+4. crossbar mapping (Fig. 2 unrolling, 32×32 tiles, differential pairs).
+
+The resulting :class:`SpikingSystem` runs inference through the analog
+crossbar path.  With an ideal device model its outputs are *bit-exact*
+against the quantized software model (`verify_equivalence`), which is the
+property that lets the paper evaluate accuracy in software and deploy
+without surprises.  With programming variation it becomes a defect study.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.core.deployment import DeploymentConfig, deploy_model
+from repro.core.modules import QuantizedActivation
+from repro.core.surgery import clone_module
+from repro.nn.data import Dataset
+from repro.nn.modules import Module
+from repro.nn.tensor import Tensor, no_grad
+from repro.snc.mapping import MappingReport, map_network
+from repro.snc.memristor import MemristorModel
+from repro.snc.spikes import window_length
+
+
+@dataclass
+class SpikingSystemConfig:
+    """Hardware deployment parameters."""
+
+    signal_bits: int = 4
+    weight_bits: int = 4
+    crossbar_size: int = 32
+    input_bits: Optional[int] = None  # defaults to signal_bits
+    variation_sigma: float = 0.0      # memristor programming variation
+    clustering_scope: str = "per_layer"
+    signal_gain: float = 1.0          # IFC conversion gain, or "auto"
+    seed: int = 0
+
+    @property
+    def effective_input_bits(self) -> int:
+        return self.input_bits if self.input_bits is not None else self.signal_bits
+
+
+@dataclass
+class SpikeStatistics:
+    """Spike activity of one inference batch (drives the energy model)."""
+
+    per_layer_counts: Dict[str, float] = field(default_factory=dict)
+    window: int = 0
+
+    @property
+    def total_mean_spikes(self) -> float:
+        """Mean spikes emitted per sample across all tapped layers."""
+        return float(sum(self.per_layer_counts.values()))
+
+
+class SpikingSystem:
+    """A network deployed on the simulated memristor SNC."""
+
+    def __init__(
+        self,
+        network: Module,
+        mapping: MappingReport,
+        config: SpikingSystemConfig,
+        software_reference: Module,
+    ) -> None:
+        self.network = network
+        self.mapping = mapping
+        self.config = config
+        self.software_reference = software_reference
+
+    def infer(self, images: np.ndarray) -> np.ndarray:
+        """Run spike-domain inference; returns logits ``(batch, classes)``."""
+        with no_grad():
+            return self.network(Tensor(images)).data
+
+    def predict(self, images: np.ndarray) -> np.ndarray:
+        """Class predictions for a batch."""
+        return self.infer(images).argmax(axis=1)
+
+    def accuracy(self, dataset: Dataset, batch_size: int = 128) -> float:
+        """Top-1 accuracy of the hardware twin on a dataset."""
+        correct = 0
+        for start in range(0, len(dataset), batch_size):
+            images = dataset.images[start : start + batch_size]
+            labels = dataset.labels[start : start + batch_size]
+            correct += int((self.predict(images) == labels).sum())
+        return correct / len(dataset)
+
+    def verify_equivalence(self, images: np.ndarray, atol: float = 1e-6) -> bool:
+        """Check hardware logits equal the quantized software model's.
+
+        Holds exactly for ideal devices; fails (by design) once
+        ``variation_sigma > 0``.
+        """
+        hardware = self.infer(images)
+        with no_grad():
+            software = self.software_reference(Tensor(images)).data
+        return bool(np.allclose(hardware, software, atol=atol))
+
+    def spike_statistics(self, images: np.ndarray) -> SpikeStatistics:
+        """Mean per-sample spike counts at every quantized activation.
+
+        An activation value *is* its spike count, so summing the integer
+        signals counts the spikes crossing each layer boundary.
+        """
+        stats = SpikeStatistics(window=window_length(self.config.signal_bits))
+        taps: List = []
+        quantizers = [
+            (name, module)
+            for name, module in self.network.named_modules()
+            if isinstance(module, QuantizedActivation)
+        ]
+
+        def make_hook(layer_name: str):
+            def hook(module, inputs, output) -> None:
+                # Output values are counts / gain; recover raw spike counts.
+                stats.per_layer_counts[layer_name] = float(
+                    output.data.sum() * module.gain / output.shape[0]
+                )
+            return hook
+
+        for name, module in quantizers:
+            taps.append(module.register_forward_hook(make_hook(name)))
+        try:
+            self.infer(images)
+        finally:
+            for remover in taps:
+                remover()
+        return stats
+
+
+def build_spiking_system(
+    trained_model: Module,
+    config: SpikingSystemConfig,
+    calibration_images: np.ndarray,
+) -> SpikingSystem:
+    """Deploy a trained float network onto the simulated SNC.
+
+    Returns a :class:`SpikingSystem` whose ``software_reference`` is the
+    quantized-but-float-executed twin (same quantizers, exact matmuls) used
+    for equivalence checks.
+    """
+    deploy_config = DeploymentConfig(
+        signal_bits=config.signal_bits,
+        weight_bits=config.weight_bits,
+        weight_mode="clustered",
+        clustering_scope=config.clustering_scope,
+        fold_bn=True,
+        include_bias=True,
+        input_bits=config.effective_input_bits,
+        signal_gain=config.signal_gain,
+    )
+    software, info = deploy_model(trained_model, deploy_config, calibration_images)
+    if info.clustering is None:
+        raise RuntimeError("deployment produced no clustering report")
+
+    hardware = clone_module(software)
+    rng = np.random.default_rng(config.seed)
+    device = MemristorModel(
+        levels=2 ** (config.weight_bits - 1) + 1,
+        variation_sigma=config.variation_sigma,
+    )
+    # `software` is wrapped in _PrependInput; the network body carries the
+    # weight layers.  map_network keys scales by module names relative to
+    # the body, so map on the body of the hardware clone.
+    mapping = map_network(
+        hardware.network if hasattr(hardware, "network") else hardware,
+        info.clustering,
+        size=config.crossbar_size,
+        device=device,
+        rng=rng,
+    )
+    return SpikingSystem(
+        network=hardware,
+        mapping=mapping,
+        config=config,
+        software_reference=software,
+    )

@@ -1,0 +1,88 @@
+"""Tests for the Eq. 4–5 error-propagation measurement."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.error_propagation import (
+    LayerError,
+    compare_propagation,
+    error_amplification,
+    measure_error_propagation,
+)
+from repro.models import LeNet
+
+
+@pytest.fixture
+def lenet(rng):
+    return LeNet(width_multiplier=0.5, rng=rng)
+
+
+class TestMeasurement:
+    def test_one_error_per_signal_layer(self, lenet, rng):
+        images = rng.normal(size=(8, 1, 28, 28))
+        errors = measure_error_propagation(lenet, images, signal_bits=4)
+        assert len(errors) == 3  # LeNet's three inter-layer signals
+        assert [e.index for e in errors] == [0, 1, 2]
+
+    def test_errors_nonnegative(self, lenet, rng):
+        images = rng.normal(size=(8, 1, 28, 28))
+        errors = measure_error_propagation(lenet, images, signal_bits=3)
+        assert all(e.relative_error >= 0 for e in errors)
+
+    def test_generous_bits_give_small_error(self, lenet, rng):
+        images = rng.normal(size=(8, 1, 28, 28))
+        coarse = measure_error_propagation(lenet, images, signal_bits=2)
+        fine = measure_error_propagation(lenet, images, signal_bits=7)
+        assert fine[-1].relative_error < coarse[-1].relative_error
+
+    def test_weight_bits_add_error(self, lenet, rng):
+        images = rng.normal(size=(8, 1, 28, 28))
+        signal_only = measure_error_propagation(lenet, images, signal_bits=6)
+        combined = measure_error_propagation(
+            lenet, images, signal_bits=6, weight_bits=2
+        )
+        assert combined[-1].relative_error >= signal_only[-1].relative_error
+
+    def test_model_unchanged(self, lenet, rng):
+        images = rng.normal(size=(4, 1, 28, 28))
+        before = lenet.conv1.weight.data.copy()
+        measure_error_propagation(lenet, images, signal_bits=4, weight_bits=4)
+        np.testing.assert_allclose(lenet.conv1.weight.data, before)
+
+    def test_auto_gain_supported(self, lenet, rng):
+        images = rng.normal(size=(8, 1, 28, 28))
+        errors = measure_error_propagation(
+            lenet, images, signal_bits=4, signal_gain="auto"
+        )
+        assert len(errors) == 3
+
+
+class TestAmplification:
+    def test_ratio(self):
+        errors = [
+            LayerError("a", 0, 0.1, 1.0),
+            LayerError("b", 1, 0.3, 1.0),
+        ]
+        assert error_amplification(errors) == pytest.approx(3.0)
+
+    def test_zero_first_layer(self):
+        errors = [LayerError("a", 0, 0.0, 1.0), LayerError("b", 1, 0.2, 1.0)]
+        assert error_amplification(errors) == float("inf")
+
+    def test_needs_two_layers(self):
+        with pytest.raises(ValueError):
+            error_amplification([LayerError("a", 0, 0.1, 1.0)])
+
+
+class TestCompare:
+    def test_structure(self, rng):
+        baseline = LeNet(width_multiplier=0.5, rng=np.random.default_rng(1))
+        proposed = LeNet(width_multiplier=0.5, rng=np.random.default_rng(2))
+        images = rng.normal(size=(8, 1, 28, 28))
+        result = compare_propagation(baseline, proposed, images, signal_bits=4)
+        assert set(result) >= {
+            "baseline", "proposed",
+            "baseline_final_error", "proposed_final_error",
+            "baseline_amplification", "proposed_amplification",
+        }
+        assert len(result["baseline"]) == len(result["proposed"]) == 3

@@ -1,0 +1,132 @@
+"""Integration tests for the experiment orchestration (fast settings).
+
+These exercise every table/figure generator end-to-end at miniature scale
+(LeNet only where training is needed); the full-scale runs live in
+benchmarks/.
+"""
+
+import numpy as np
+import pytest
+
+from repro.analysis.experiments import (
+    FAST_SETTINGS,
+    ExperimentSettings,
+    ModelCache,
+    fig1a_speed_vs_precision,
+    fig1b_accuracy_loss,
+    fig3_regularizer_forms,
+    fig4_signal_distributions,
+    table1_ideal_accuracy,
+    table2_neuron_convergence,
+    table3_weight_clustering,
+    table4_combined,
+    table5_system,
+)
+
+
+@pytest.fixture(scope="module")
+def settings(tmp_path_factory):
+    cache_dir = str(tmp_path_factory.mktemp("bench_cache"))
+    return ExperimentSettings(
+        train_size=FAST_SETTINGS.train_size,
+        test_size=FAST_SETTINGS.test_size,
+        widths=FAST_SETTINGS.widths,
+        epochs=FAST_SETTINGS.epochs,
+        cache_dir=cache_dir,
+    )
+
+
+class TestModelCache:
+    def test_disk_roundtrip(self, settings):
+        from repro.datasets.mnist_like import generate_mnist_like
+
+        cache = ModelCache(settings.cache_dir)
+        train = generate_mnist_like(settings.train_size, seed=settings.seed)
+        first = cache.get_or_train("lenet", "none", 4, settings, train)
+        cache._memory.clear()  # force the disk path
+        second = cache.get_or_train("lenet", "none", 4, settings, train)
+        np.testing.assert_allclose(first.conv1.weight.data, second.conv1.weight.data)
+
+    def test_memory_hit_returns_same_object(self, settings):
+        from repro.datasets.mnist_like import generate_mnist_like
+
+        cache = ModelCache(settings.cache_dir)
+        train = generate_mnist_like(settings.train_size, seed=settings.seed)
+        first = cache.get_or_train("lenet", "none", 4, settings, train)
+        second = cache.get_or_train("lenet", "none", 4, settings, train)
+        assert first is second
+
+    def test_key_distinguishes_penalty(self, settings):
+        key_a = ModelCache._key("lenet", "none", 4, settings)
+        key_b = ModelCache._key("lenet", "proposed", 4, settings)
+        assert key_a != key_b
+
+
+class TestTableGenerators:
+    def test_table2_shape(self, settings):
+        outcomes = table2_neuron_convergence(settings, bit_widths=(3,), models=("lenet",))
+        assert len(outcomes) == 1
+        outcome = outcomes[0]
+        assert outcome.model == "lenet"
+        assert 0 <= outcome.accuracy_with <= 100
+
+    def test_table2_recovers_at_3bit(self, settings):
+        outcomes = table2_neuron_convergence(settings, bit_widths=(3,), models=("lenet",))
+        # The core claim — even at miniature scale the proposed training
+        # must not be (much) worse than naive quantization.
+        assert outcomes[0].recovered > -3.0
+
+    def test_table3_shape(self, settings):
+        outcomes = table3_weight_clustering(settings, bit_widths=(4, 3), models=("lenet",))
+        assert [o.bits for o in outcomes] == [4, 3]
+
+    def test_table4_includes_dynamic_baseline(self, settings):
+        results = table4_combined(settings, bit_widths=(3,), models=("lenet",))
+        entry = results["lenet"]
+        assert 0 <= entry["dynamic8"] <= 100
+        assert len(entry["outcomes"]) == 1
+
+    def test_table1_reports_paper_and_measured(self, settings):
+        rows = table1_ideal_accuracy(
+            ExperimentSettings(
+                train_size=settings.train_size,
+                test_size=settings.test_size,
+                widths=(("lenet", 1.0),),
+                epochs=(("lenet", 8),),
+                cache_dir=settings.cache_dir,
+            )
+        )
+        assert rows[0]["paper_ideal_acc"] == 98.16
+        assert rows[0]["paper_weights"] == 6806
+        assert rows[0]["measured_ideal_acc"] > 60
+
+    def test_table5_no_training_needed(self):
+        rows = table5_system()
+        assert len(rows) == 9
+        four_bit = [r for r in rows if r["bits"] == 4]
+        assert all(r["speedup"] > 9 for r in four_bit)
+
+
+class TestFigureGenerators:
+    def test_fig1a_monotone(self):
+        rows = fig1a_speed_vs_precision()
+        speeds = [r["speed_mhz"] for r in rows]
+        assert all(a > b for a, b in zip(speeds, speeds[1:]))
+
+    def test_fig1b_losses(self, settings):
+        rows = fig1b_accuracy_loss(settings, bit_range=(3, 6))
+        assert len(rows) == 2
+        # At 3 bits the loss must exceed the 6-bit loss for neurons.
+        assert rows[0]["neuron_loss"] >= rows[1]["neuron_loss"] - 2.0
+
+    def test_fig3_curve_values(self):
+        curves = fig3_regularizer_forms(bits=2)
+        assert set(curves) == {"o", "none", "l1", "truncated_l1", "proposed"}
+        assert np.all(curves["none"] == 0)
+        assert curves["truncated_l1"].max() == pytest.approx(2.0)
+
+    def test_fig4_distributions(self, settings):
+        distributions = fig4_signal_distributions(settings, bits=4, sample_size=50)
+        assert set(distributions) == {"none", "l1", "truncated_l1", "proposed"}
+        for values in distributions.values():
+            assert np.all(values >= 0)  # post-ReLU signals

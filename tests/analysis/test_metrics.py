@@ -1,0 +1,96 @@
+"""Tests for accuracy metrics and outcome bookkeeping."""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.analysis.metrics import (
+    QuantizationOutcome,
+    confusion_matrix,
+    evaluate_accuracy,
+    top_k_accuracy,
+)
+from repro.nn.data import Dataset
+from repro.nn.tensor import Tensor
+
+
+class ConstantModel(nn.Module):
+    """Always predicts class 0 (with descending scores)."""
+
+    def __init__(self, classes=4):
+        super().__init__()
+        self.classes = classes
+
+    def forward(self, x):
+        batch = x.shape[0]
+        scores = -np.arange(self.classes, dtype=float)
+        return Tensor(np.tile(scores, (batch, 1)))
+
+
+def dataset(labels):
+    labels = np.asarray(labels)
+    images = np.zeros((len(labels), 1, 2, 2))
+    return Dataset(images, labels)
+
+
+class TestEvaluateAccuracy:
+    def test_constant_model(self):
+        ds = dataset([0, 0, 1, 2])
+        assert evaluate_accuracy(ConstantModel(), ds) == 0.5
+
+    def test_batching_consistent(self):
+        ds = dataset([0] * 7 + [1] * 6)
+        full = evaluate_accuracy(ConstantModel(), ds, batch_size=100)
+        small = evaluate_accuracy(ConstantModel(), ds, batch_size=3)
+        assert full == small
+
+    def test_restores_training_mode(self):
+        model = ConstantModel()
+        model.train()
+        evaluate_accuracy(model, dataset([0, 1]))
+        assert model.training
+
+    def test_restores_eval_mode(self):
+        model = ConstantModel()
+        model.eval()
+        evaluate_accuracy(model, dataset([0, 1]))
+        assert not model.training
+
+
+class TestTopK:
+    def test_top2(self):
+        # Constant model ranks classes 0,1,2,3; labels 0/1 are in top-2.
+        ds = dataset([0, 1, 2, 3])
+        assert top_k_accuracy(ConstantModel(), ds, k=2) == 0.5
+
+    def test_topk_at_num_classes_is_one(self):
+        ds = dataset([0, 1, 2, 3])
+        assert top_k_accuracy(ConstantModel(), ds, k=4) == 1.0
+
+
+class TestConfusion:
+    def test_constant_predictions(self):
+        ds = dataset([0, 1, 1, 3])
+        matrix = confusion_matrix(ConstantModel(), ds)
+        np.testing.assert_allclose(matrix[:, 0], [1, 2, 0, 1])
+        assert matrix.sum() == 4
+
+    def test_shape(self):
+        ds = dataset([0, 1, 2, 3])
+        assert confusion_matrix(ConstantModel(), ds).shape == (4, 4)
+
+
+class TestQuantizationOutcome:
+    def test_recovered_and_drop(self):
+        outcome = QuantizationOutcome(
+            model="lenet", bits=4, accuracy_without=90.0, accuracy_with=98.0, ideal=99.0
+        )
+        assert outcome.recovered == pytest.approx(8.0)
+        assert outcome.drop == pytest.approx(1.0)
+
+    def test_row_rounding(self):
+        outcome = QuantizationOutcome("m", 3, 90.123, 95.456, 99.999)
+        row = outcome.row()
+        assert row["without"] == 90.12
+        assert row["with"] == 95.46
+        assert row["model"] == "m"

@@ -1,0 +1,56 @@
+"""Tests for ASCII line plots."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.plots import line_plot
+
+
+class TestLinePlot:
+    def test_renders_with_title_and_legend(self):
+        text = line_plot(
+            {"speed": [1, 2, 4, 8]}, [1, 2, 3, 4], title="Speed", width=30, height=8
+        )
+        lines = text.splitlines()
+        assert lines[0] == "Speed"
+        assert "* speed" in lines[-1]
+
+    def test_marker_positions_monotone(self):
+        text = line_plot({"y": [0, 5, 10]}, [0, 1, 2], width=21, height=11)
+        rows_with_marker = [
+            i for i, line in enumerate(text.splitlines()) if "*" in line
+        ]
+        # Increasing series: markers appear from bottom row to top row.
+        assert rows_with_marker == sorted(rows_with_marker)
+
+    def test_two_series_two_markers(self):
+        text = line_plot(
+            {"a": [1, 2], "b": [2, 1]}, [0, 1], width=10, height=5
+        )
+        assert "*" in text and "o" in text
+
+    def test_logy(self):
+        text = line_plot(
+            {"speed": [0.64, 8.93, 25.35]}, [8, 4, 2], logy=True, width=30
+        )
+        assert "1e" in text
+
+    def test_logy_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            line_plot({"y": [0.0, 1.0]}, [0, 1], logy=True)
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError):
+            line_plot({"y": [1, 2, 3]}, [0, 1])
+
+    def test_empty_series(self):
+        with pytest.raises(ValueError):
+            line_plot({}, [0, 1])
+
+    def test_single_point_rejected(self):
+        with pytest.raises(ValueError):
+            line_plot({"y": [1]}, [0])
+
+    def test_constant_series_no_crash(self):
+        text = line_plot({"y": [3.0, 3.0, 3.0]}, [0, 1, 2])
+        assert "*" in text

@@ -1,0 +1,99 @@
+"""Tests for table rendering and sweep utilities."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.sweep import SweepResult, grid, run_sweep
+from repro.analysis.tables import (
+    format_cell,
+    render_dict_table,
+    render_histogram,
+    render_table,
+)
+
+
+class TestRenderTable:
+    def test_basic_layout(self):
+        text = render_table(["a", "bb"], [[1, 2.345], [10, 0.5]])
+        lines = text.splitlines()
+        assert len(lines) == 4
+        assert "2.35" in lines[2] or "2.34" in lines[2]
+
+    def test_title(self):
+        text = render_table(["x"], [[1]], title="My Table")
+        assert text.splitlines()[0] == "My Table"
+
+    def test_mismatched_rows(self):
+        with pytest.raises(ValueError):
+            render_table(["a", "b"], [[1]])
+
+    def test_precision(self):
+        text = render_table(["v"], [[np.pi]], precision=4)
+        assert "3.1416" in text
+
+    def test_format_cell_string_passthrough(self):
+        assert format_cell("abc") == "abc"
+        assert format_cell(3) == "3"
+
+    def test_alignment(self):
+        text = render_table(["model", "acc"], [["lenet", 1.0], ["alexnet", 2.0]])
+        lines = text.splitlines()
+        # Columns align: '|' at the same offset in every row.
+        pipes = [line.index("|") for line in lines if "|" in line]
+        assert len(set(pipes)) == 1
+
+
+class TestRenderDictTable:
+    def test_selects_columns(self):
+        rows = [{"a": 1, "b": 2, "c": 3}]
+        text = render_dict_table(rows, ["a", "c"])
+        assert "b" not in text.splitlines()[0]
+
+    def test_missing_key_blank(self):
+        text = render_dict_table([{"a": 1}], ["a", "z"])
+        assert "z" in text
+
+
+class TestRenderHistogram:
+    def test_renders(self, rng):
+        text = render_histogram(rng.normal(size=500), bins=10, title="dist")
+        lines = text.splitlines()
+        assert lines[0] == "dist"
+        assert len(lines) == 11
+        assert "#" in text
+
+    def test_counts_sum(self, rng):
+        values = rng.normal(size=200)
+        text = render_histogram(values, bins=5)
+        counts = [int(line.split(")")[1].split()[0]) for line in text.splitlines()]
+        assert sum(counts) == 200
+
+
+class TestGrid:
+    def test_cartesian_product(self):
+        combos = grid(bits=[3, 4], scope=["a", "b"])
+        assert len(combos) == 4
+        assert {"bits": 3, "scope": "a"} in combos
+
+    def test_single_axis(self):
+        assert grid(x=[1]) == [{"x": 1}]
+
+
+class TestRunSweep:
+    def test_collects_metrics(self):
+        result = run_sweep(lambda bits: {"doubled": bits * 2}, grid(bits=[1, 2, 3]))
+        assert result.column("doubled") == [2, 4, 6]
+        assert result.column("bits") == [1, 2, 3]
+
+    def test_best(self):
+        result = run_sweep(lambda bits: {"acc": -abs(bits - 4)}, grid(bits=[2, 4, 6]))
+        assert result.best("acc")["bits"] == 4
+        assert result.best("acc", maximize=False)["bits"] in (2, 6)
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            run_sweep(lambda: {}, [])
+
+    def test_best_empty_raises(self):
+        with pytest.raises(ValueError):
+            SweepResult(parameter_names=["x"]).best("y")

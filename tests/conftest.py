@@ -1,0 +1,59 @@
+"""Shared test fixtures and utilities."""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence
+
+import numpy as np
+import pytest
+
+from repro.nn.tensor import Tensor
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    """Deterministic RNG for tests."""
+    return np.random.default_rng(12345)
+
+
+def numerical_gradient(
+    fn: Callable[..., Tensor],
+    inputs: Sequence[np.ndarray],
+    wrt: int,
+    eps: float = 1e-6,
+) -> np.ndarray:
+    """Central-difference gradient of ``sum(fn(*inputs))`` w.r.t. ``inputs[wrt]``."""
+    arrays = [np.array(a, dtype=np.float64) for a in inputs]
+    target = arrays[wrt]
+    grad = np.zeros_like(target)
+    it = np.nditer(target, flags=["multi_index"])
+    while not it.finished:
+        index = it.multi_index
+        original = target[index]
+        target[index] = original + eps
+        plus = fn(*[Tensor(a) for a in arrays]).data.sum()
+        target[index] = original - eps
+        minus = fn(*[Tensor(a) for a in arrays]).data.sum()
+        target[index] = original
+        grad[index] = (plus - minus) / (2 * eps)
+        it.iternext()
+    return grad
+
+
+def check_gradients(
+    fn: Callable[..., Tensor],
+    inputs: Sequence[np.ndarray],
+    atol: float = 1e-5,
+    rtol: float = 1e-4,
+) -> None:
+    """Assert autograd gradients of ``sum(fn(*inputs))`` match central differences."""
+    tensors = [Tensor(np.array(a, dtype=np.float64), requires_grad=True) for a in inputs]
+    out = fn(*tensors)
+    out.sum().backward() if out.data.size > 1 else out.backward()
+    for i, tensor in enumerate(tensors):
+        expected = numerical_gradient(fn, inputs, wrt=i)
+        assert tensor.grad is not None, f"input {i} received no gradient"
+        np.testing.assert_allclose(
+            tensor.grad, expected, atol=atol, rtol=rtol,
+            err_msg=f"gradient mismatch for input {i}",
+        )

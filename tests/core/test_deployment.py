@@ -1,0 +1,132 @@
+"""Tests for model deployment (quantized twins + dynamic fixed point baseline)."""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.core.deployment import (
+    DeploymentConfig,
+    DynamicQuantizedActivation,
+    deploy_dynamic_fixed_point,
+    deploy_model,
+)
+from repro.core.modules import QuantizedActivation
+from repro.models import LeNet, ResNetCifar
+from repro.nn.tensor import Tensor, no_grad
+
+
+@pytest.fixture
+def lenet(rng):
+    return LeNet(width_multiplier=0.5, rng=rng)
+
+
+class TestDeploymentConfig:
+    def test_invalid_weight_mode(self):
+        with pytest.raises(ValueError):
+            DeploymentConfig(weight_mode="fancy")
+
+
+class TestDeployModel:
+    def test_original_untouched(self, lenet, rng):
+        before = lenet.conv1.weight.data.copy()
+        deploy_model(lenet, DeploymentConfig(signal_bits=4, weight_bits=4))
+        np.testing.assert_allclose(lenet.conv1.weight.data, before)
+
+    def test_activations_wrapped(self, lenet):
+        deployed, info = deploy_model(lenet, DeploymentConfig(signal_bits=4, weight_bits=None, weight_mode="none"))
+        assert info.quantized_activations == 3
+        wrapped = [m for m in deployed.modules() if isinstance(m, QuantizedActivation)]
+        assert len(wrapped) == 3
+
+    def test_signal_bits_none_keeps_relus(self, lenet):
+        deployed, info = deploy_model(
+            lenet, DeploymentConfig(signal_bits=None, weight_bits=4)
+        )
+        assert info.quantized_activations == 0
+        assert not any(isinstance(m, QuantizedActivation) for m in deployed.modules())
+
+    def test_clustered_weights_on_grid(self, lenet):
+        deployed, info = deploy_model(
+            lenet, DeploymentConfig(signal_bits=None, weight_bits=4, weight_mode="clustered")
+        )
+        scale = info.clustering.results["conv1.weight"].scale
+        codes = deployed.conv1.weight.data * 16 / scale
+        np.testing.assert_allclose(codes, np.rint(codes), atol=1e-9)
+
+    def test_naive_weights_saturate_at_half(self, lenet):
+        lenet.fc2.weight.data *= 10
+        deployed, _ = deploy_model(
+            lenet, DeploymentConfig(signal_bits=None, weight_bits=4, weight_mode="naive")
+        )
+        assert np.abs(deployed.fc2.weight.data).max() <= 0.5
+
+    def test_deployed_outputs_quantized_signals(self, lenet, rng):
+        deployed, _ = deploy_model(lenet, DeploymentConfig(signal_bits=3, weight_bits=None, weight_mode="none"))
+        captured = []
+        for module in deployed.modules():
+            if isinstance(module, QuantizedActivation):
+                module.register_forward_hook(lambda m, i, o: captured.append(o.data))
+        with no_grad():
+            deployed(Tensor(rng.normal(size=(2, 1, 28, 28))))
+        for signals in captured:
+            np.testing.assert_allclose(signals, np.rint(signals))
+            assert signals.max() <= 7
+
+    def test_resnet_bn_folded(self, rng):
+        model = ResNetCifar(width_multiplier=0.1, rng=rng)
+        model.train()
+        model(Tensor(rng.normal(size=(4, 3, 32, 32))))
+        model.eval()
+        deployed, info = deploy_model(model, DeploymentConfig(signal_bits=4, weight_bits=4))
+        assert info.folded_batchnorms == 20  # 17 main convs + 3 shortcuts
+        from repro.nn.modules import BatchNorm2d
+
+        assert not any(isinstance(m, BatchNorm2d) and not isinstance(m, nn.Identity)
+                       for m in deployed.modules() if isinstance(m, BatchNorm2d))
+
+    def test_input_bits_requires_calibration(self, lenet):
+        with pytest.raises(ValueError):
+            deploy_model(lenet, DeploymentConfig(signal_bits=4, weight_bits=4, input_bits=4))
+
+    def test_input_quantizer_prepended(self, lenet, rng):
+        images = rng.normal(size=(4, 1, 28, 28))
+        deployed, _ = deploy_model(
+            lenet,
+            DeploymentConfig(signal_bits=4, weight_bits=4, input_bits=8),
+            calibration_images=images,
+        )
+        out = deployed(Tensor(images))
+        assert out.shape == (4, 10)
+
+
+class TestDynamicFixedPointDeployment:
+    def test_all_relus_wrapped(self, lenet, rng):
+        images = rng.normal(size=(8, 1, 28, 28))
+        deployed, info = deploy_dynamic_fixed_point(lenet, images, bits=8)
+        wrapped = [m for m in deployed.modules() if isinstance(m, DynamicQuantizedActivation)]
+        assert len(wrapped) == 3
+        assert info.quantized_activations == 3
+
+    def test_per_layer_formats_recorded(self, lenet, rng):
+        images = rng.normal(size=(8, 1, 28, 28))
+        _, info = deploy_dynamic_fixed_point(lenet, images, bits=8)
+        weight_formats = [k for k in info.dynamic_formats if k.endswith(".weight")]
+        act_formats = [k for k in info.dynamic_formats if k.endswith(".act")]
+        assert len(weight_formats) == 4
+        assert len(act_formats) == 3
+
+    def test_8bit_accuracy_close_to_float(self, lenet, rng):
+        """Gysel's claim: 8-bit dynamic fixed point ≈ float accuracy."""
+        images = rng.normal(size=(16, 1, 28, 28))
+        deployed, _ = deploy_dynamic_fixed_point(lenet, images, bits=8)
+        with no_grad():
+            float_logits = lenet(Tensor(images)).data
+            q_logits = deployed(Tensor(images)).data
+        assert (float_logits.argmax(1) == q_logits.argmax(1)).mean() >= 0.9
+
+    def test_weights_quantized(self, lenet, rng):
+        images = rng.normal(size=(4, 1, 28, 28))
+        deployed, info = deploy_dynamic_fixed_point(lenet, images, bits=8)
+        fmt = info.dynamic_formats["conv1.weight"]
+        codes = deployed.conv1.weight.data / fmt.step
+        np.testing.assert_allclose(codes, np.rint(codes), atol=1e-9)

@@ -1,0 +1,108 @@
+"""Tests for STE quantization-aware fine-tuning."""
+
+import numpy as np
+import pytest
+
+from repro.core.deployment import DeploymentConfig, deploy_model
+from repro.core.finetune import FineTuneConfig, finetune_accuracy_gain, finetune_quantized
+from repro.core.modules import QuantizedActivation
+from repro.core.qat import Trainer, TrainerConfig
+from repro.datasets.mnist_like import generate_mnist_like
+from repro.models import LeNet
+from repro.analysis.metrics import evaluate_accuracy
+
+
+@pytest.fixture(scope="module")
+def trained():
+    train = generate_mnist_like(500, seed=0)
+    test = generate_mnist_like(200, seed=9)
+    model = LeNet(rng=np.random.default_rng(7))
+    Trainer(TrainerConfig(epochs=8, penalty="proposed", bits=3, seed=1)).fit(model, train)
+    return model, train, test
+
+
+class TestConfig:
+    def test_invalid_epochs(self):
+        with pytest.raises(ValueError):
+            FineTuneConfig(epochs=0)
+
+    def test_invalid_bits(self):
+        with pytest.raises(ValueError):
+            FineTuneConfig(signal_bits=0)
+
+
+class TestFineTune:
+    def test_original_untouched(self, trained):
+        model, train, _ = trained
+        before = model.conv1.weight.data.copy()
+        finetune_quantized(model, train, FineTuneConfig(signal_bits=3, weight_bits=3, epochs=1))
+        np.testing.assert_allclose(model.conv1.weight.data, before)
+
+    def test_result_weights_on_grid(self, trained):
+        model, train, _ = trained
+        config = FineTuneConfig(signal_bits=3, weight_bits=3, epochs=1)
+        result = finetune_quantized(model, train, config)
+        for name, scale in result.scales.items():
+            layer_name = name.rsplit(".", 1)[0]
+            module = dict(result.model.named_modules())[layer_name]
+            codes = module.weight.data * 8 / scale
+            np.testing.assert_allclose(codes, np.rint(codes), atol=1e-8)
+            assert np.abs(codes).max() <= 4 + 1e-9
+
+    def test_result_has_quantized_activations(self, trained):
+        model, train, _ = trained
+        result = finetune_quantized(
+            model, train, FineTuneConfig(signal_bits=3, weight_bits=3, epochs=1)
+        )
+        wrapped = [m for m in result.model.modules() if isinstance(m, QuantizedActivation)]
+        assert len(wrapped) == 3
+
+    def test_losses_recorded(self, trained):
+        model, train, _ = trained
+        result = finetune_quantized(
+            model, train, FineTuneConfig(signal_bits=3, weight_bits=3, epochs=2)
+        )
+        assert len(result.losses) == 2
+        assert all(np.isfinite(loss) for loss in result.losses)
+
+    def test_loss_does_not_explode(self, trained):
+        model, train, _ = trained
+        result = finetune_quantized(
+            model, train, FineTuneConfig(signal_bits=3, weight_bits=3, epochs=3)
+        )
+        assert result.losses[-1] < result.losses[0] * 1.5
+
+    def test_finetuned_at_least_close_to_post_training(self, trained):
+        model, train, test = trained
+        gains = finetune_accuracy_gain(
+            model, train, test, FineTuneConfig(signal_bits=3, weight_bits=3, epochs=3)
+        )
+        assert gains["fine_tuned"] >= gains["post_training"] - 5.0
+
+    def test_deployable_on_crossbars(self, trained):
+        """The fine-tuned model maps to crossbars bit-exactly."""
+        from repro.core.surgery import clone_module
+        from repro.core.weight_clustering import ModelClusteringReport, ClusteringResult
+        from repro.nn.tensor import Tensor, no_grad
+        from repro.snc.mapping import map_network
+
+        model, train, _ = trained
+        config = FineTuneConfig(signal_bits=3, weight_bits=3, epochs=1)
+        result = finetune_quantized(model, train, config)
+
+        report = ModelClusteringReport(bits=3, scope="per_layer")
+        for name, scale in result.scales.items():
+            layer_name = name.rsplit(".", 1)[0]
+            module = dict(result.model.named_modules())[layer_name]
+            codes = np.rint(module.weight.data * 8 / scale).astype(np.int64)
+            report.results[name] = ClusteringResult(
+                codes=codes, scale=scale, bits=3, mse=0.0, iterations=0
+            )
+
+        hardware = clone_module(result.model)
+        map_network(hardware, report)
+        x = Tensor(train.images[:16])
+        with no_grad():
+            software = result.model(x).data
+            analog = hardware(x).data
+        np.testing.assert_allclose(analog, software, atol=1e-6)

@@ -1,0 +1,106 @@
+"""Tests for the Neuron Convergence training-side manager."""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.core.neuron_convergence import NeuronConvergence, fraction_outside_range
+from repro.nn.tensor import Tensor
+
+
+def mlp(rng):
+    return nn.Sequential(
+        nn.Linear(4, 8, rng=rng), nn.ReLU(), nn.Linear(8, 3, rng=rng), nn.ReLU(),
+        nn.Linear(3, 2, rng=rng),
+    )
+
+
+class TestConstruction:
+    def test_taps_all_relus(self, rng):
+        reg = NeuronConvergence(mlp(rng), bits=4)
+        assert len(reg.tap.targets) == 2
+
+    def test_negative_strength_raises(self, rng):
+        with pytest.raises(ValueError):
+            NeuronConvergence(mlp(rng), bits=4, strength=-1.0)
+
+    def test_layer_weights_length_check(self, rng):
+        with pytest.raises(ValueError):
+            NeuronConvergence(mlp(rng), bits=4, layer_weights=[1.0])
+
+    def test_custom_layer_weights(self, rng):
+        reg = NeuronConvergence(mlp(rng), bits=4, layer_weights=[2.0, 0.5])
+        assert reg.layer_weights == [2.0, 0.5]
+
+
+class TestTerm:
+    def test_term_requires_forward(self, rng):
+        model = mlp(rng)
+        with NeuronConvergence(model, bits=4) as reg:
+            with pytest.raises(RuntimeError):
+                reg.term()
+
+    def test_term_is_scalar_and_nonnegative(self, rng):
+        model = mlp(rng)
+        with NeuronConvergence(model, bits=4, strength=1e-2) as reg:
+            model(Tensor(rng.normal(size=(3, 4))))
+            term = reg.term()
+        assert term.size == 1
+        assert term.item() >= 0.0
+
+    def test_term_clears_signals(self, rng):
+        model = mlp(rng)
+        with NeuronConvergence(model, bits=4) as reg:
+            model(Tensor(rng.normal(size=(3, 4))))
+            reg.term()
+            assert reg.tap.signals == []
+
+    def test_term_scales_with_strength(self, rng):
+        model = mlp(rng)
+        x = Tensor(rng.normal(size=(3, 4)))
+        values = []
+        for strength in (1e-3, 1e-2):
+            with NeuronConvergence(model, bits=4, strength=strength) as reg:
+                model(x)
+                values.append(reg.term().item())
+        np.testing.assert_allclose(values[1], values[0] * 10, rtol=1e-9)
+
+    def test_term_backpropagates_to_weights(self, rng):
+        model = mlp(rng)
+        with NeuronConvergence(model, bits=4, strength=1.0) as reg:
+            model(Tensor(rng.normal(size=(3, 4)) * 10))
+            reg.term().backward()
+        assert model.layers[0].weight.grad is not None
+
+    def test_none_penalty_gives_zero(self, rng):
+        model = mlp(rng)
+        with NeuronConvergence(model, bits=4, penalty="none") as reg:
+            model(Tensor(rng.normal(size=(3, 4))))
+            assert reg.term().item() == 0.0
+
+    def test_batch_normalization_of_term(self, rng):
+        """Doubling the batch (same rows repeated) keeps the term equal."""
+        model = mlp(rng)
+        x = rng.normal(size=(3, 4))
+        with NeuronConvergence(model, bits=4) as reg:
+            model(Tensor(x))
+            single = reg.term().item()
+            model(Tensor(np.vstack([x, x])))
+            double = reg.term().item()
+        np.testing.assert_allclose(single, double, rtol=1e-9)
+
+
+class TestDiagnostics:
+    def test_signal_statistics(self, rng):
+        model = mlp(rng)
+        with NeuronConvergence(model, bits=4) as reg:
+            model(Tensor(rng.normal(size=(5, 4))))
+            stats = reg.signal_statistics()
+        assert len(stats) == 2
+        for entry in stats:
+            assert 0.0 <= entry["sparsity"] <= 1.0
+            assert 0.0 <= entry["fraction_in_range"] <= 1.0
+
+    def test_fraction_outside_range(self):
+        signals = np.array([0.0, 4.0, 9.0, 20.0])
+        assert fraction_outside_range(signals, bits=4) == 0.5  # T=8: {9, 20}

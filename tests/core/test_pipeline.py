@@ -1,0 +1,73 @@
+"""Tests for the end-to-end quantization pipeline (kept small/fast)."""
+
+import numpy as np
+import pytest
+
+from repro.core.pipeline import PipelineConfig, PipelineReport, QuantizationPipeline
+from repro.datasets.mnist_like import generate_mnist_like
+from repro.models import LeNet
+
+
+@pytest.fixture(scope="module")
+def report():
+    train = generate_mnist_like(800, seed=0)
+    test = generate_mnist_like(300, seed=99)
+    config = PipelineConfig(signal_bits=3, weight_bits=3, epochs=10, seed=0)
+    return QuantizationPipeline(config).run("lenet", train, test)
+
+
+class TestPipeline:
+    def test_report_fields(self, report):
+        assert isinstance(report, PipelineReport)
+        assert report.model_name == "lenet"
+        assert report.signal_bits == 3
+        for value in (
+            report.ideal_accuracy,
+            report.without_accuracy,
+            report.with_accuracy,
+            report.proposed_fp32_accuracy,
+        ):
+            assert 0.0 <= value <= 100.0
+
+    def test_training_actually_learned(self, report):
+        assert report.ideal_accuracy > 60.0
+
+    def test_proposed_recovers_accuracy(self, report):
+        """The headline claim, at its crudest: w/ ≥ w/o at 3 bits."""
+        assert report.with_accuracy >= report.without_accuracy - 2.0
+
+    def test_outcome_consistency(self, report):
+        outcome = report.outcome
+        assert outcome.recovered == pytest.approx(
+            report.with_accuracy - report.without_accuracy
+        )
+        assert outcome.drop == pytest.approx(report.ideal_accuracy - report.with_accuracy)
+
+    def test_summary_renders(self, report):
+        text = report.summary()
+        assert "lenet" in text and "recovered" in text
+
+    def test_info_counts(self, report):
+        assert report.info["quantized_activations"] == 3
+
+
+class TestPipelineVariants:
+    def test_callable_model_source(self):
+        train = generate_mnist_like(150, seed=0)
+        test = generate_mnist_like(80, seed=99)
+        config = PipelineConfig(signal_bits=4, weight_bits=None, epochs=2, seed=0)
+        report = QuantizationPipeline(config).run(
+            lambda: LeNet(width_multiplier=0.5, rng=np.random.default_rng(0)),
+            train,
+            test,
+            model_name="custom-lenet",
+        )
+        assert report.model_name == "custom-lenet"
+        assert report.weight_bits is None
+
+    def test_signal_only_has_32bit_weights(self):
+        train = generate_mnist_like(150, seed=0)
+        test = generate_mnist_like(80, seed=99)
+        config = PipelineConfig(signal_bits=None, weight_bits=4, epochs=2, seed=0)
+        report = QuantizationPipeline(config).run("lenet", train, test)
+        assert report.outcome.bits == 4

@@ -1,0 +1,139 @@
+"""Tests for the Trainer and its configuration."""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.core.qat import Trainer, TrainerConfig, train_model
+from repro.nn.data import Dataset
+
+
+def blob_dataset(rng, n=80):
+    """Two separable blobs rendered as 1×4×4 'images'."""
+    half = n // 2
+    images = np.zeros((n, 1, 4, 4))
+    images[:half] = rng.normal(-1.0, 0.3, size=(half, 1, 4, 4))
+    images[half:] = rng.normal(1.0, 0.3, size=(half, 1, 4, 4))
+    labels = np.array([0] * half + [1] * half)
+    order = rng.permutation(n)
+    return Dataset(images[order], labels[order])
+
+
+def tiny_model(rng):
+    return nn.Sequential(
+        nn.Flatten(), nn.Linear(16, 8, rng=rng), nn.ReLU(), nn.Linear(8, 2, rng=rng)
+    )
+
+
+class TestConfig:
+    def test_defaults_valid(self):
+        config = TrainerConfig()
+        assert config.penalty == "none"
+
+    def test_invalid_epochs(self):
+        with pytest.raises(ValueError):
+            TrainerConfig(epochs=0)
+
+    def test_invalid_optimizer(self):
+        with pytest.raises(ValueError):
+            TrainerConfig(optimizer="lbfgs")
+
+
+class TestTraining:
+    def test_loss_decreases(self, rng):
+        data = blob_dataset(rng)
+        model = tiny_model(rng)
+        history = Trainer(TrainerConfig(epochs=5, lr=1e-2, seed=0)).fit(model, data)
+        assert history.losses[-1] < history.losses[0]
+
+    def test_learns_blobs(self, rng):
+        data = blob_dataset(rng)
+        model = tiny_model(rng)
+        history = Trainer(TrainerConfig(epochs=12, lr=1e-2, seed=0)).fit(model, data, data)
+        assert history.final_accuracy > 0.95
+
+    def test_eval_accuracy_recorded_per_epoch(self, rng):
+        data = blob_dataset(rng)
+        history = Trainer(TrainerConfig(epochs=3, seed=0)).fit(tiny_model(rng), data, data)
+        assert len(history.eval_accuracies) == 3
+
+    def test_penalties_zero_without_regularizer(self, rng):
+        data = blob_dataset(rng)
+        history = Trainer(TrainerConfig(epochs=2, penalty="none", seed=0)).fit(
+            tiny_model(rng), data
+        )
+        assert all(p == 0.0 for p in history.penalties)
+
+    def test_proposed_penalty_recorded(self, rng):
+        data = blob_dataset(rng)
+        history = Trainer(
+            TrainerConfig(epochs=2, penalty="proposed", bits=3, strength=1e-2, seed=0)
+        ).fit(tiny_model(rng), data)
+        assert any(p > 0.0 for p in history.penalties)
+
+    def test_hooks_removed_after_fit(self, rng):
+        data = blob_dataset(rng)
+        model = tiny_model(rng)
+        Trainer(
+            TrainerConfig(epochs=1, penalty="proposed", bits=4, seed=0)
+        ).fit(model, data)
+        for module in model.modules():
+            assert module._forward_hooks == []
+
+    def test_hooks_removed_on_error(self, rng):
+        model = tiny_model(rng)
+        bad_data = Dataset(np.zeros((4, 1, 5, 5)), np.zeros(4, dtype=int))  # wrong size
+        with pytest.raises(Exception):
+            Trainer(TrainerConfig(epochs=1, penalty="proposed", seed=0)).fit(model, bad_data)
+        for module in model.modules():
+            assert module._forward_hooks == []
+
+    def test_deterministic_given_seed(self, rng):
+        data = blob_dataset(rng)
+        model_a = tiny_model(np.random.default_rng(1))
+        model_b = tiny_model(np.random.default_rng(1))
+        Trainer(TrainerConfig(epochs=2, seed=5)).fit(model_a, data)
+        Trainer(TrainerConfig(epochs=2, seed=5)).fit(model_b, data)
+        np.testing.assert_allclose(
+            model_a.layers[1].weight.data, model_b.layers[1].weight.data
+        )
+
+    def test_sgd_optimizer_path(self, rng):
+        data = blob_dataset(rng)
+        history = Trainer(
+            TrainerConfig(epochs=3, optimizer="sgd", lr=0.05, seed=0)
+        ).fit(tiny_model(rng), data)
+        assert history.losses[-1] < history.losses[0]
+
+    def test_regularizer_contains_signals(self, rng):
+        """The proposed penalty pulls far more signals into [0, T] than
+        unregularized training does (the Fig. 4 effect, in miniature)."""
+        from repro.core.taps import SignalTap
+        from repro.nn.tensor import Tensor, no_grad
+
+        data = blob_dataset(rng, n=120)
+
+        def overflow_after(penalty: str) -> float:
+            model = tiny_model(np.random.default_rng(3))
+            # Inflate initial weights so raw signals overflow T=2 heavily.
+            model.layers[1].weight.data *= 4
+            Trainer(
+                TrainerConfig(epochs=15, lr=1e-2, penalty=penalty, bits=2,
+                              strength=0.5, seed=0)
+            ).fit(model, data)
+            tap = SignalTap(model).attach()
+            model.eval()
+            with no_grad():
+                model(Tensor(data.images))
+            over = float((tap.signals[0].data > 2.0).mean())
+            tap.detach()
+            return over
+
+        baseline = overflow_after("none")
+        proposed = overflow_after("proposed")
+        assert proposed < baseline * 0.6
+
+    def test_train_model_convenience(self, rng):
+        data = blob_dataset(rng)
+        history = train_model(tiny_model(rng), data, epochs=2, seed=0)
+        assert len(history.losses) == 2

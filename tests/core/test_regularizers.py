@@ -1,0 +1,123 @@
+"""Tests for the Eq. 3 regularizer and its Fig. 3 baselines."""
+
+import numpy as np
+import pytest
+
+from repro.core import regularizers as R
+from repro.nn.tensor import Tensor
+from tests.conftest import check_gradients
+
+
+class TestThreshold:
+    def test_values(self):
+        assert R.convergence_threshold(2) == 2.0
+        assert R.convergence_threshold(4) == 8.0
+        assert R.convergence_threshold(8) == 128.0
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            R.convergence_threshold(0)
+
+
+class TestProposedPenalty:
+    def test_zero_at_zero(self):
+        out = R.neuron_convergence_penalty(Tensor(np.zeros(5)), bits=4)
+        assert out.item() == 0.0
+
+    def test_inside_range_is_alpha_l1(self):
+        signals = Tensor(np.array([1.0, -2.0, 3.0]))  # all |o| < 8
+        out = R.neuron_convergence_penalty(signals, bits=4, alpha=0.1)
+        np.testing.assert_allclose(out.item(), 0.1 * 6.0)
+
+    def test_outside_range_adds_overflow(self):
+        signals = Tensor(np.array([10.0]))  # T=8, overflow 2
+        out = R.neuron_convergence_penalty(signals, bits=4, alpha=0.1)
+        np.testing.assert_allclose(out.item(), 0.1 * 10.0 + 2.0)
+
+    def test_matches_eq3_piecewise(self, rng):
+        values = rng.normal(size=50) * 10
+        bits, alpha = 3, 0.1
+        threshold = 4.0
+        expected = sum(
+            alpha * abs(o) + (abs(o) - threshold) if abs(o) >= threshold else alpha * abs(o)
+            for o in values
+        )
+        out = R.neuron_convergence_penalty(Tensor(values), bits=bits, alpha=alpha)
+        np.testing.assert_allclose(out.item(), expected, rtol=1e-10)
+
+    def test_gradient(self, rng):
+        check_gradients(
+            lambda s: R.neuron_convergence_penalty(s, bits=2, alpha=0.1),
+            [rng.normal(size=(10,)) * 4 + 0.3],
+        )
+
+    def test_gradient_slope_inside_vs_outside(self):
+        signals = Tensor(np.array([1.0, 20.0]), requires_grad=True)
+        R.neuron_convergence_penalty(signals, bits=4, alpha=0.1).backward()
+        np.testing.assert_allclose(signals.grad, [0.1, 1.1])
+
+
+class TestBaselinePenalties:
+    def test_l1(self, rng):
+        values = rng.normal(size=20)
+        out = R.l1_penalty(Tensor(values))
+        np.testing.assert_allclose(out.item(), np.abs(values).sum())
+
+    def test_truncated_l1_caps(self):
+        signals = Tensor(np.array([1.0, 100.0]))
+        out = R.truncated_l1_penalty(signals, bits=2)  # T = 2
+        np.testing.assert_allclose(out.item(), 1.0 + 2.0)
+
+    def test_truncated_l1_gradient_zero_above(self):
+        signals = Tensor(np.array([1.0, 100.0]), requires_grad=True)
+        R.truncated_l1_penalty(signals, bits=2).backward()
+        np.testing.assert_allclose(signals.grad, [1.0, 0.0])
+
+    def test_zero_penalty(self, rng):
+        out = R.zero_penalty(Tensor(rng.normal(size=5)))
+        assert out.item() == 0.0
+
+
+class TestFactory:
+    def test_all_names(self):
+        for name in ("none", "l1", "truncated_l1", "proposed"):
+            penalty = R.make_penalty(name, bits=4)
+            value = penalty(Tensor(np.array([1.0, 9.0])))
+            assert np.isfinite(value.item())
+
+    def test_unknown_name(self):
+        with pytest.raises(KeyError):
+            R.make_penalty("l2", bits=4)
+
+    def test_proposed_binds_bits_and_alpha(self):
+        penalty = R.make_penalty("proposed", bits=4, alpha=0.5)
+        out = penalty(Tensor(np.array([10.0])))
+        np.testing.assert_allclose(out.item(), 0.5 * 10 + 2.0)
+
+
+class TestCurves:
+    def test_fig3_shapes_at_bits2(self):
+        values = np.array([-3.0, -2.0, -1.0, 0.0, 1.0, 2.0, 3.0])
+        none = R.regularizer_curve("none", values, bits=2)
+        l1 = R.regularizer_curve("l1", values, bits=2)
+        trunc = R.regularizer_curve("truncated_l1", values, bits=2)
+        proposed = R.regularizer_curve("proposed", values, bits=2, alpha=0.1)
+        np.testing.assert_allclose(none, 0.0)
+        np.testing.assert_allclose(l1, np.abs(values))
+        np.testing.assert_allclose(trunc, [2, 2, 1, 0, 1, 2, 2])
+        np.testing.assert_allclose(proposed, [1.3, 0.2, 0.1, 0, 0.1, 0.2, 1.3])
+
+    def test_curve_matches_tensor_penalty(self, rng):
+        values = rng.normal(size=30) * 5
+        curve_sum = R.regularizer_curve("proposed", values, bits=3, alpha=0.1).sum()
+        tensor_sum = R.neuron_convergence_penalty(Tensor(values), bits=3, alpha=0.1).item()
+        np.testing.assert_allclose(curve_sum, tensor_sum, rtol=1e-10)
+
+    def test_proposed_curve_symmetric(self):
+        values = np.linspace(-5, 5, 11)
+        curve = R.regularizer_curve("proposed", values, bits=2)
+        np.testing.assert_allclose(curve, curve[::-1])
+
+    def test_unknown_curve(self):
+        with pytest.raises(KeyError):
+            R.regularizer_curve("l2", np.zeros(2))

@@ -1,0 +1,177 @@
+"""Tests for the network-wide IFC conversion gain."""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.core.deployment import DeploymentConfig, calibrate_signal_gain, deploy_model
+from repro.core.modules import QuantizedActivation
+from repro.core.ste import ste_quantize_signals
+from repro.models import LeNet, ResNetCifar
+from repro.nn.tensor import Tensor
+
+
+class TestSTEGain:
+    def test_gain_one_is_plain_quantization(self, rng):
+        from repro.core.quantizers import quantize_signals
+
+        x = Tensor(rng.uniform(0, 20, size=40))
+        out = ste_quantize_signals(x, bits=4, gain=1.0)
+        np.testing.assert_allclose(out.data, quantize_signals(x.data, 4))
+
+    def test_gain_scales_resolution(self):
+        # With gain 4, steps are 0.25 — 0.3 rounds to 0.25 instead of 0.
+        x = Tensor(np.array([0.3]))
+        coarse = ste_quantize_signals(x, bits=4, gain=1.0)
+        fine = ste_quantize_signals(x, bits=4, gain=4.0)
+        assert coarse.data[0] == 0.0
+        assert fine.data[0] == pytest.approx(0.25)
+
+    def test_gain_shrinks_representable_range(self):
+        x = Tensor(np.array([10.0]))
+        out = ste_quantize_signals(x, bits=4, gain=4.0)
+        # top = 15/4 = 3.75
+        assert out.data[0] == pytest.approx(3.75)
+
+    def test_outputs_are_counts_over_gain(self, rng):
+        gain = 2.5
+        x = Tensor(rng.uniform(0, 6, size=50))
+        out = ste_quantize_signals(x, bits=4, gain=gain)
+        counts = out.data * gain
+        np.testing.assert_allclose(counts, np.rint(counts), atol=1e-9)
+
+    def test_invalid_gain(self):
+        with pytest.raises(ValueError):
+            ste_quantize_signals(Tensor(np.zeros(2)), bits=4, gain=0.0)
+
+    def test_gradient_mask_respects_gain(self):
+        x = Tensor(np.array([1.0, 10.0]), requires_grad=True)
+        ste_quantize_signals(x, bits=4, gain=4.0).sum().backward()
+        # top = 3.75: gradient flows at 1.0, blocked at 10.0
+        np.testing.assert_allclose(x.grad, [1.0, 0.0])
+
+
+class TestQuantizedActivationGain:
+    def test_gain_stored_and_applied(self):
+        act = QuantizedActivation(nn.ReLU(), bits=4, gain=2.0)
+        out = act(Tensor(np.array([0.3])))
+        np.testing.assert_allclose(out.data, [0.5])  # round(0.6)/2
+
+    def test_invalid_gain(self):
+        with pytest.raises(ValueError):
+            QuantizedActivation(nn.ReLU(), bits=4, gain=-1.0)
+
+
+class TestCalibration:
+    def test_gain_maps_peak_to_window(self, rng):
+        model = nn.Sequential(nn.Linear(4, 8, rng=rng), nn.ReLU())
+        images = rng.normal(size=(64, 4))
+        gain = calibrate_signal_gain(model, images, bits=4)
+        # After scaling, the p99.9 signal lands at 15.
+        from repro.nn.tensor import no_grad
+
+        with no_grad():
+            out = model(Tensor(images)).data
+        peak = np.percentile(out[out > 0], 99.9)
+        assert gain * peak == pytest.approx(15.0, rel=1e-6)
+
+    def test_no_relu_raises(self, rng):
+        model = nn.Sequential(nn.Linear(4, 2, rng=rng))
+        with pytest.raises(ValueError):
+            calibrate_signal_gain(model, rng.normal(size=(8, 4)), bits=4)
+
+    def test_dead_model_returns_one(self, rng):
+        model = nn.Sequential(nn.Linear(4, 2, rng=rng), nn.ReLU())
+        model.layers[0].weight.data[...] = 0.0
+        model.layers[0].bias.data[...] = -1.0
+        assert calibrate_signal_gain(model, rng.normal(size=(8, 4)), bits=4) == 1.0
+
+
+class TestAutoGainDeployment:
+    def test_auto_requires_calibration(self, rng):
+        model = LeNet(width_multiplier=0.5, rng=rng)
+        with pytest.raises(ValueError):
+            deploy_model(
+                model,
+                DeploymentConfig(signal_bits=4, weight_bits=None,
+                                 weight_mode="none", signal_gain="auto"),
+            )
+
+    def test_invalid_gain_string(self):
+        with pytest.raises(ValueError):
+            DeploymentConfig(signal_gain="automatic")
+
+    def test_invalid_gain_value(self):
+        with pytest.raises(ValueError):
+            DeploymentConfig(signal_gain=-2.0)
+
+    def test_auto_gain_recorded_and_uniform(self, rng):
+        model = LeNet(width_multiplier=0.5, rng=rng)
+        images = rng.normal(size=(32, 1, 28, 28))
+        deployed, info = deploy_model(
+            model,
+            DeploymentConfig(signal_bits=4, weight_bits=None,
+                             weight_mode="none", signal_gain="auto"),
+            calibration_images=images,
+        )
+        gains = {
+            m.gain for m in deployed.modules() if isinstance(m, QuantizedActivation)
+        }
+        assert gains == {info.signal_gain}
+
+    def test_auto_gain_helps_small_signal_networks(self, rng):
+        """A network whose signals live in [0, 1] is destroyed by gain-1
+        integer quantization but fine with a calibrated gain."""
+        model = nn.Sequential(
+            nn.Linear(8, 16, rng=rng), nn.ReLU(), nn.Linear(16, 4, rng=rng)
+        )
+        model.layers[0].weight.data *= 0.1  # squash signals well below 1
+        images = rng.normal(size=(64, 8))
+
+        from repro.nn.tensor import no_grad
+
+        with no_grad():
+            reference = model(Tensor(images)).data.argmax(1)
+
+        unit, _ = deploy_model(
+            model,
+            DeploymentConfig(signal_bits=4, weight_bits=None, weight_mode="none",
+                             signal_gain=1.0),
+        )
+        auto, _ = deploy_model(
+            model,
+            DeploymentConfig(signal_bits=4, weight_bits=None, weight_mode="none",
+                             signal_gain="auto"),
+            calibration_images=images,
+        )
+        with no_grad():
+            unit_match = (unit(Tensor(images)).data.argmax(1) == reference).mean()
+            auto_match = (auto(Tensor(images)).data.argmax(1) == reference).mean()
+        assert auto_match > unit_match
+
+
+class TestNoBatchnormResNet:
+    def test_builds_without_bn(self, rng):
+        from repro.nn.modules import BatchNorm2d
+
+        model = ResNetCifar(width_multiplier=0.1, use_batchnorm=False, rng=rng)
+        assert not any(isinstance(m, BatchNorm2d) for m in model.modules())
+
+    def test_convs_have_bias(self, rng):
+        model = ResNetCifar(width_multiplier=0.1, use_batchnorm=False, rng=rng)
+        assert model.stem.bias is not None
+
+    def test_forward_and_backward(self, rng):
+        model = ResNetCifar(width_multiplier=0.1, use_batchnorm=False, rng=rng)
+        out = model(Tensor(rng.normal(size=(2, 3, 32, 32))))
+        assert out.shape == (2, 10)
+        out.sum().backward()
+        assert model.stem.weight.grad is not None
+
+    def test_registry_passes_kwargs(self, rng):
+        from repro.models import build_model
+        from repro.nn.modules import BatchNorm2d
+
+        model = build_model("resnet", width_multiplier=0.1, rng=rng,
+                            use_batchnorm=False)
+        assert not any(isinstance(m, BatchNorm2d) for m in model.modules())

@@ -1,0 +1,113 @@
+"""Tests for STE quantizers and the quantization wrapper modules."""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.core.modules import (
+    InputQuantizer,
+    QuantizedActivation,
+    calibrate_input_quantizer,
+)
+from repro.core.ste import ste_quantize_signals, ste_quantize_weights
+from repro.nn.tensor import Tensor
+
+
+class TestSTESignals:
+    def test_forward_matches_quantizer(self, rng):
+        from repro.core.quantizers import quantize_signals
+
+        x = Tensor(rng.uniform(-2, 20, size=30))
+        out = ste_quantize_signals(x, bits=4)
+        np.testing.assert_allclose(out.data, quantize_signals(x.data, 4))
+
+    def test_gradient_passes_in_range(self):
+        x = Tensor(np.array([3.2, 7.9]), requires_grad=True)
+        ste_quantize_signals(x, bits=4).sum().backward()
+        np.testing.assert_allclose(x.grad, [1.0, 1.0])
+
+    def test_gradient_blocked_outside(self):
+        x = Tensor(np.array([-1.0, 40.0]), requires_grad=True)
+        ste_quantize_signals(x, bits=4).sum().backward()
+        np.testing.assert_allclose(x.grad, [0.0, 0.0])
+
+
+class TestSTEWeights:
+    def test_forward_on_grid(self, rng):
+        out = ste_quantize_weights(Tensor(rng.normal(size=20)), bits=4)
+        codes = out.data * 16
+        np.testing.assert_allclose(codes, np.rint(codes), atol=1e-9)
+
+    def test_gradient_mask(self):
+        w = Tensor(np.array([0.2, 3.0]), requires_grad=True)
+        ste_quantize_weights(w, bits=4).sum().backward()
+        np.testing.assert_allclose(w.grad, [1.0, 0.0])
+
+    def test_scale_respected(self):
+        w = Tensor(np.array([0.9]))
+        out = ste_quantize_weights(w, bits=2, scale=2.0)
+        # grid spacing 2/4 = 0.5 → 0.9 snaps to 1.0
+        np.testing.assert_allclose(out.data, [1.0])
+
+
+class TestQuantizedActivation:
+    def test_wraps_relu(self, rng):
+        act = QuantizedActivation(nn.ReLU(), bits=4)
+        x = Tensor(np.array([-5.0, 2.3, 99.0]))
+        np.testing.assert_allclose(act(x).data, [0.0, 2.0, 15.0])
+
+    def test_disabled_is_transparent(self):
+        act = QuantizedActivation(nn.ReLU(), bits=4, enabled=False)
+        x = Tensor(np.array([1.7]))
+        np.testing.assert_allclose(act(x).data, [1.7])
+
+    def test_invalid_bits(self):
+        with pytest.raises(ValueError):
+            QuantizedActivation(nn.ReLU(), bits=0)
+
+    def test_inner_module_registered(self):
+        act = QuantizedActivation(nn.ReLU(), bits=4)
+        assert any(isinstance(m, nn.ReLU) for m in act.modules())
+
+    def test_gradients_flow_for_finetuning(self, rng):
+        """QAT fine-tuning through the wrapper must reach the weights."""
+        layer = nn.Linear(4, 4, rng=rng)
+        act = QuantizedActivation(nn.ReLU(), bits=4)
+        x = Tensor(rng.normal(size=(2, 4)) + 2)
+        act(layer(x)).sum().backward()
+        assert layer.weight.grad is not None
+        assert np.abs(layer.weight.grad).sum() > 0
+
+
+class TestInputQuantizer:
+    def test_roundtrip_scale(self):
+        q = InputQuantizer(bits=4, offset=-1.0, gain=7.5)
+        x = Tensor(np.array([-1.0, 0.0, 1.0]))
+        out = q(x).data
+        # endpoints map to 0 and 15 → back to -1.0 and +1.0
+        np.testing.assert_allclose(out[[0, 2]], [-1.0, 1.0])
+        assert np.abs(out[1]).max() <= 0.1
+
+    def test_invalid_gain(self):
+        with pytest.raises(ValueError):
+            InputQuantizer(bits=4, gain=0.0)
+
+    def test_calibration_covers_range(self, rng):
+        images = rng.normal(size=(10, 1, 4, 4)) * 3
+        q = calibrate_input_quantizer(images, bits=5)
+        out = q(Tensor(images)).data
+        assert out.min() >= images.min() - 1e-9
+        assert out.max() <= images.max() + 1e-9
+
+    def test_calibrated_error_small_at_8_bits(self, rng):
+        images = rng.normal(size=(10, 1, 4, 4))
+        q = calibrate_input_quantizer(images, bits=8)
+        out = q(Tensor(images)).data
+        span = images.max() - images.min()
+        assert np.abs(out - images).max() <= span / 255 + 1e-9
+
+    def test_quantization_is_coarse_at_low_bits(self, rng):
+        images = rng.normal(size=(5, 1, 3, 3))
+        q = calibrate_input_quantizer(images, bits=2)
+        out = q(Tensor(images)).data
+        assert len(np.unique(np.round(out, 9))) <= 4

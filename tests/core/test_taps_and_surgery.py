@@ -1,0 +1,217 @@
+"""Tests for SignalTap, module replacement, and batchnorm folding."""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.core.modules import QuantizedActivation
+from repro.core.surgery import (
+    clone_module,
+    fold_batchnorm,
+    replace_modules,
+    weight_bearing_modules,
+)
+from repro.core.taps import SignalTap, default_signal_modules
+from repro.nn.tensor import Tensor, no_grad
+
+
+def mlp(rng):
+    return nn.Sequential(
+        nn.Linear(4, 8, rng=rng), nn.ReLU(), nn.Linear(8, 6, rng=rng), nn.ReLU(),
+        nn.Linear(6, 3, rng=rng),
+    )
+
+
+class TestSignalTap:
+    def test_default_selector_finds_relus(self, rng):
+        assert len(default_signal_modules(mlp(rng))) == 2
+
+    def test_records_per_forward(self, rng):
+        model = mlp(rng)
+        with SignalTap(model) as tap:
+            model(Tensor(rng.normal(size=(2, 4))))
+            assert len(tap.signals) == 2
+            assert tap.signals[0].shape == (2, 8)
+
+    def test_signals_accumulate_until_cleared(self, rng):
+        model = mlp(rng)
+        with SignalTap(model) as tap:
+            model(Tensor(rng.normal(size=(2, 4))))
+            model(Tensor(rng.normal(size=(2, 4))))
+            assert len(tap.signals) == 4
+            tap.clear()
+            assert tap.signals == []
+
+    def test_detach_removes_hooks(self, rng):
+        model = mlp(rng)
+        tap = SignalTap(model).attach()
+        tap.detach()
+        model(Tensor(rng.normal(size=(2, 4))))
+        assert tap.signals == []
+
+    def test_double_attach_raises(self, rng):
+        tap = SignalTap(mlp(rng)).attach()
+        with pytest.raises(RuntimeError):
+            tap.attach()
+
+    def test_no_matching_modules_raises(self, rng):
+        model = nn.Sequential(nn.Linear(2, 2, rng=rng))
+        with pytest.raises(ValueError):
+            SignalTap(model)
+
+    def test_collect_distribution_single_layer(self, rng):
+        model = mlp(rng)
+        x = Tensor(rng.normal(size=(3, 4)))
+        with SignalTap(model) as tap:
+            values = tap.collect_distribution(lambda: model(x), layer_index=0)
+        assert values.shape == (24,)
+        assert np.all(values >= 0)
+
+    def test_collect_distribution_all_layers(self, rng):
+        model = mlp(rng)
+        x = Tensor(rng.normal(size=(3, 4)))
+        with SignalTap(model) as tap:
+            values = tap.collect_distribution(lambda: model(x))
+        assert values.shape == (24 + 18,)
+
+
+class TestCloneModule:
+    def test_clone_is_independent(self, rng):
+        model = mlp(rng)
+        twin = clone_module(model)
+        twin.layers[0].weight.data[...] = 0.0
+        assert not np.allclose(model.layers[0].weight.data, 0.0)
+
+    def test_clone_preserves_outputs(self, rng):
+        model = mlp(rng)
+        twin = clone_module(model)
+        x = Tensor(rng.normal(size=(2, 4)))
+        np.testing.assert_allclose(model(x).data, twin(x).data)
+
+    def test_clone_drops_hooks(self, rng):
+        model = mlp(rng)
+        seen = []
+        model.layers[1].register_forward_hook(lambda m, i, o: seen.append(1))
+        twin = clone_module(model)
+        twin(Tensor(rng.normal(size=(1, 4))))
+        assert seen == []
+
+
+class TestReplaceModules:
+    def test_replace_relus(self, rng):
+        model = mlp(rng)
+        count = replace_modules(
+            model,
+            predicate=lambda m: isinstance(m, nn.ReLU),
+            factory=lambda old: QuantizedActivation(old, bits=4),
+        )
+        assert count == 2
+        kinds = [type(m).__name__ for m in model.modules()]
+        assert kinds.count("QuantizedActivation") == 2
+
+    def test_replacement_participates_in_forward(self, rng):
+        model = mlp(rng)
+        replace_modules(
+            model,
+            predicate=lambda m: isinstance(m, nn.ReLU),
+            factory=lambda old: QuantizedActivation(old, bits=4),
+        )
+        out = model(Tensor(rng.normal(size=(2, 4)) * 5))
+        # Hidden signals are integers now; output layer is affine in them.
+        assert out.shape == (2, 3)
+
+    def test_replace_updates_attributes(self, rng):
+        class Net(nn.Module):
+            def __init__(self):
+                super().__init__()
+                self.act = nn.ReLU()
+
+            def forward(self, x):
+                return self.act(x)
+
+        net = Net()
+        replace_modules(
+            net, lambda m: isinstance(m, nn.ReLU),
+            lambda old: QuantizedActivation(old, bits=3),
+        )
+        assert isinstance(net.act, QuantizedActivation)
+
+    def test_no_matches_returns_zero(self, rng):
+        model = nn.Sequential(nn.Linear(2, 2, rng=rng))
+        assert replace_modules(model, lambda m: isinstance(m, nn.ReLU), lambda m: m) == 0
+
+
+class TestFoldBatchnorm:
+    def _conv_bn(self, rng):
+        class Net(nn.Module):
+            def __init__(self):
+                super().__init__()
+                self.conv = nn.Conv2d(2, 4, 3, padding=1, bias=False, rng=rng)
+                self.bn = nn.BatchNorm2d(4)
+                self.relu = nn.ReLU()
+
+            def forward(self, x):
+                return self.relu(self.bn(self.conv(x)))
+
+        return Net()
+
+    def test_fold_preserves_eval_outputs(self, rng):
+        net = self._conv_bn(rng)
+        # Give BN non-trivial statistics.
+        net.train()
+        net(Tensor(rng.normal(size=(8, 2, 5, 5)) * 2 + 1))
+        net.eval()
+        x = Tensor(rng.normal(size=(3, 2, 5, 5)))
+        before = net(x).data
+        folds = fold_batchnorm(net)
+        assert folds == 1
+        after = net(x).data
+        np.testing.assert_allclose(after, before, atol=1e-10)
+
+    def test_fold_replaces_bn_with_identity(self, rng):
+        net = self._conv_bn(rng)
+        fold_batchnorm(net)
+        assert isinstance(net.bn, nn.Identity)
+
+    def test_fold_creates_bias_if_missing(self, rng):
+        net = self._conv_bn(rng)
+        assert net.conv.bias is None
+        fold_batchnorm(net)
+        assert net.conv.bias is not None
+
+    def test_fold_resnet_block(self, rng):
+        from repro.models.resnet import BasicBlock
+
+        block = BasicBlock(3, 6, stride=2, rng=rng)
+        block.train()
+        block(Tensor(rng.normal(size=(4, 3, 8, 8))))
+        block.eval()
+        x = Tensor(rng.normal(size=(2, 3, 8, 8)))
+        before = block(x).data
+        folds = fold_batchnorm(block)
+        assert folds == 3  # conv1+bn1, conv2+bn2, shortcut conv+bn
+        np.testing.assert_allclose(block(x).data, before, atol=1e-9)
+
+    def test_fold_whole_resnet_preserves_predictions(self, rng):
+        from repro.models import ResNetCifar
+
+        model = ResNetCifar(width_multiplier=0.1, rng=rng)
+        model.train()
+        model(Tensor(rng.normal(size=(4, 3, 32, 32))))
+        model.eval()
+        x = Tensor(rng.normal(size=(2, 3, 32, 32)))
+        before = model(x).data
+        fold_batchnorm(model)
+        np.testing.assert_allclose(model(x).data, before, atol=1e-8)
+
+    def test_nothing_to_fold(self, rng):
+        assert fold_batchnorm(mlp(rng)) == 0
+
+
+class TestWeightBearing:
+    def test_finds_conv_and_linear(self, rng):
+        from repro.models import LeNet
+
+        layers = weight_bearing_modules(LeNet(rng=rng))
+        names = [name for name, _ in layers]
+        assert names == ["conv1", "conv2", "fc1", "fc2"]

@@ -1,0 +1,109 @@
+"""Tests for variation-aware training."""
+
+import numpy as np
+import pytest
+
+from repro.core.variation_training import (
+    VariationTrainingConfig,
+    train_with_variation,
+    variation_robustness,
+)
+from repro.nn.data import Dataset
+from repro import nn
+
+
+def blob_dataset(rng, n=120):
+    half = n // 2
+    images = np.zeros((n, 1, 4, 4))
+    images[:half] = rng.normal(-1.0, 0.4, size=(half, 1, 4, 4))
+    images[half:] = rng.normal(1.0, 0.4, size=(half, 1, 4, 4))
+    labels = np.array([0] * half + [1] * half)
+    order = rng.permutation(n)
+    return Dataset(images[order], labels[order])
+
+
+def tiny_model(seed=3):
+    rng = np.random.default_rng(seed)
+    return nn.Sequential(
+        nn.Flatten(), nn.Linear(16, 8, rng=rng), nn.ReLU(), nn.Linear(8, 2, rng=rng)
+    )
+
+
+class TestConfig:
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            VariationTrainingConfig(noise_sigma=-0.1)
+        with pytest.raises(ValueError):
+            VariationTrainingConfig(epochs=0)
+
+
+class TestTraining:
+    def test_loss_decreases(self, rng):
+        data = blob_dataset(rng)
+        model = tiny_model()
+        losses = train_with_variation(
+            model, data, VariationTrainingConfig(noise_sigma=0.1, epochs=6)
+        )
+        assert losses[-1] < losses[0]
+
+    def test_zero_sigma_is_plain_training(self, rng):
+        data = blob_dataset(rng)
+        model = tiny_model()
+        losses = train_with_variation(
+            model, data, VariationTrainingConfig(noise_sigma=0.0, epochs=4)
+        )
+        assert losses[-1] < losses[0]
+
+    def test_final_weights_are_clean_masters(self, rng):
+        """After training the stored weights must be the noise-free masters
+        (training twice from the same seeds is deterministic)."""
+        data = blob_dataset(rng)
+        model_a = tiny_model(seed=3)
+        model_b = tiny_model(seed=3)
+        config = VariationTrainingConfig(noise_sigma=0.2, epochs=2, seed=5)
+        train_with_variation(model_a, data, config)
+        train_with_variation(model_b, data, config)
+        np.testing.assert_allclose(
+            model_a.layers[1].weight.data, model_b.layers[1].weight.data
+        )
+
+    def test_noise_trained_model_more_robust(self, rng):
+        """The headline property: under deployment-level noise, the
+        variation-trained model loses less accuracy than the control."""
+        data = blob_dataset(rng, n=200)
+        control = tiny_model(seed=3)
+        robust = tiny_model(seed=3)
+        train_with_variation(
+            control, data, VariationTrainingConfig(noise_sigma=0.0, epochs=8, seed=1)
+        )
+        train_with_variation(
+            robust, data, VariationTrainingConfig(noise_sigma=0.4, epochs=8, seed=1)
+        )
+        sigma_test = [0.6]
+        control_acc = variation_robustness(control, data, sigma_test, trials=8)[0]
+        robust_acc = variation_robustness(robust, data, sigma_test, trials=8)[0]
+        assert robust_acc["mean_accuracy"] >= control_acc["mean_accuracy"] - 3.0
+
+
+class TestRobustnessProbe:
+    def test_restores_weights(self, rng):
+        data = blob_dataset(rng)
+        model = tiny_model()
+        before = model.layers[1].weight.data.copy()
+        variation_robustness(model, data, [0.3], trials=2)
+        np.testing.assert_allclose(model.layers[1].weight.data, before)
+
+    def test_zero_sigma_exact(self, rng):
+        data = blob_dataset(rng)
+        model = tiny_model()
+        results = variation_robustness(model, data, [0.0], trials=3)
+        assert results[0]["std_accuracy"] == pytest.approx(0.0, abs=1e-9)
+
+    def test_accuracy_degrades_with_sigma(self, rng):
+        data = blob_dataset(rng, n=200)
+        model = tiny_model()
+        train_with_variation(
+            model, data, VariationTrainingConfig(noise_sigma=0.0, epochs=8)
+        )
+        results = variation_robustness(model, data, [0.0, 1.5], trials=5)
+        assert results[0]["mean_accuracy"] >= results[1]["mean_accuracy"]

@@ -1,0 +1,215 @@
+"""Unit + property tests for Weight Clustering (Eq. 6)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import nn
+from repro.core.quantizers import quantize_weights_fixed_point
+from repro.core.weight_clustering import (
+    apply_weight_clustering,
+    cluster_weights,
+    initial_scale,
+    naive_weight_quantization,
+)
+
+
+class TestClusterWeights:
+    def test_exact_on_grid_input(self):
+        # Weights already on a scaled grid cluster with zero error.
+        scale = 0.8
+        codes = np.array([-8, -3, 0, 2, 8])
+        weights = scale * codes / 16.0
+        result = cluster_weights(weights, bits=4)
+        np.testing.assert_allclose(result.quantized, weights, atol=1e-12)
+        assert result.mse < 1e-20
+
+    def test_codes_within_range(self, rng):
+        result = cluster_weights(rng.normal(size=(4, 5)), bits=3)
+        assert np.abs(result.codes).max() <= 4  # 2^(3-1)
+
+    def test_shape_preserved(self, rng):
+        weights = rng.normal(size=(3, 2, 5, 5))
+        result = cluster_weights(weights, bits=4)
+        assert result.codes.shape == weights.shape
+        assert result.quantized.shape == weights.shape
+
+    def test_zero_weights(self):
+        result = cluster_weights(np.zeros((3, 3)), bits=4)
+        np.testing.assert_allclose(result.quantized, 0.0)
+        assert result.mse == 0.0
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            cluster_weights(np.zeros((0,)), bits=4)
+
+    def test_invalid_bits(self):
+        with pytest.raises(ValueError):
+            cluster_weights(np.ones(3), bits=0)
+
+    def test_beats_fixed_grid_rounding(self, rng):
+        """The Eq. 6 optimum can't be worse than the naive fixed grid."""
+        for _ in range(5):
+            weights = rng.normal(size=200) * rng.uniform(0.05, 3.0)
+            result = cluster_weights(weights, bits=4)
+            naive = quantize_weights_fixed_point(weights, 4, scale=1.0)
+            naive_mse = float(np.mean((naive - weights) ** 2))
+            assert result.mse <= naive_mse + 1e-15
+
+    def test_levels_used(self, rng):
+        result = cluster_weights(rng.normal(size=500), bits=3)
+        assert 2 <= result.levels_used <= 9
+
+    def test_codebook_linear(self, rng):
+        result = cluster_weights(rng.normal(size=50), bits=4)
+        diffs = np.diff(result.codebook)
+        np.testing.assert_allclose(diffs, diffs[0])
+
+    @given(
+        st.lists(
+            st.floats(min_value=-10, max_value=10, allow_nan=False),
+            min_size=2,
+            max_size=64,
+        ),
+        st.integers(min_value=2, max_value=6),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_property_never_worse_than_range_rounding(self, values, bits):
+        weights = np.array(values)
+        result = cluster_weights(weights, bits=bits)
+        start = initial_scale(weights, bits)
+        snapped = quantize_weights_fixed_point(weights, bits, scale=start)
+        snapped_mse = float(np.mean((snapped - weights) ** 2))
+        assert result.mse <= snapped_mse + 1e-12
+
+    @given(
+        st.lists(
+            st.floats(min_value=-5, max_value=5, allow_nan=False),
+            min_size=2,
+            max_size=32,
+        )
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_property_quantized_on_linear_grid(self, values):
+        weights = np.array(values)
+        result = cluster_weights(weights, bits=4)
+        if result.scale > 0:
+            reconstructed = result.scale * result.codes / 16.0
+            np.testing.assert_allclose(result.quantized, reconstructed)
+
+    def test_monotone_improvement_with_bits(self, rng):
+        weights = rng.normal(size=300)
+        mses = [cluster_weights(weights, bits=b).mse for b in (2, 3, 4, 5, 6)]
+        assert all(a >= b - 1e-15 for a, b in zip(mses, mses[1:]))
+
+
+class TestInitialScale:
+    def test_peak_lands_on_endpoint(self):
+        weights = np.array([0.3, -0.7, 0.1])
+        scale = initial_scale(weights, bits=4)
+        # endpoint value = scale · 2^(N−1) / 2^N = scale / 2 = max|w|
+        assert scale == pytest.approx(1.4)
+
+    def test_zero_weights(self):
+        assert initial_scale(np.zeros(3), bits=4) == 1.0
+
+
+class TestModelClustering:
+    def _model(self, rng):
+        return nn.Sequential(
+            nn.Conv2d(1, 4, 3, rng=rng),
+            nn.ReLU(),
+            nn.Flatten(),
+            nn.Linear(4 * 36, 10, rng=rng),
+        )
+
+    def test_per_layer_quantizes_all_weights(self, rng):
+        model = self._model(rng)
+        report = apply_weight_clustering(model, bits=4)
+        assert set(report.results) == {
+            "0.weight", "0.bias", "3.weight", "3.bias",
+        }
+        for _, module in model.named_modules():
+            if hasattr(module, "weight") and isinstance(getattr(module, "weight", None), type(model.layers[0].weight)):
+                pass  # structural check below is enough
+
+    def test_weights_mutated_in_place(self, rng):
+        model = self._model(rng)
+        before = model.layers[0].weight.data.copy()
+        apply_weight_clustering(model, bits=3)
+        assert not np.allclose(before, model.layers[0].weight.data)
+
+    def test_weights_on_reported_grid(self, rng):
+        model = self._model(rng)
+        report = apply_weight_clustering(model, bits=4)
+        for name, module in [("0", model.layers[0]), ("3", model.layers[3])]:
+            scale = report.results[f"{name}.weight"].scale
+            codes = module.weight.data * 16 / scale
+            np.testing.assert_allclose(codes, np.rint(codes), atol=1e-9)
+
+    def test_global_scope_shares_scale(self, rng):
+        model = self._model(rng)
+        report = apply_weight_clustering(model, bits=4, scope="global")
+        scales = {r.scale for k, r in report.results.items() if k.endswith(".weight")}
+        assert len(scales) == 1
+
+    def test_per_layer_scales_differ(self, rng):
+        model = self._model(rng)
+        # Force very different layer ranges.
+        model.layers[0].weight.data *= 10
+        report = apply_weight_clustering(model, bits=4, scope="per_layer")
+        scales = [r.scale for k, r in report.results.items() if k.endswith(".weight")]
+        assert abs(scales[0] - scales[1]) > 1e-3
+
+    def test_invalid_scope(self, rng):
+        with pytest.raises(ValueError):
+            apply_weight_clustering(self._model(rng), bits=4, scope="nonsense")
+
+    def test_exclude_bias(self, rng):
+        model = self._model(rng)
+        bias_before = model.layers[0].bias.data.copy()
+        report = apply_weight_clustering(model, bits=4, include_bias=False)
+        np.testing.assert_allclose(model.layers[0].bias.data, bias_before)
+        assert "0.bias" not in report.results
+
+    def test_model_without_layers_raises(self):
+        with pytest.raises(ValueError):
+            apply_weight_clustering(nn.Sequential(nn.ReLU()), bits=4)
+
+    def test_total_mse_weighted(self, rng):
+        model = self._model(rng)
+        report = apply_weight_clustering(model, bits=4)
+        assert report.total_mse >= 0.0
+        assert "overall mse" in report.summary()
+
+
+class TestNaiveQuantization:
+    def test_fixed_mode_uses_unit_scale(self, rng):
+        model = nn.Sequential(nn.Linear(4, 3, rng=rng))
+        model.layers[0].weight.data *= 5  # push weights past ±0.5
+        naive_weight_quantization(model, bits=4, scale_mode="fixed")
+        assert np.abs(model.layers[0].weight.data).max() <= 0.5
+
+    def test_range_mode_covers_peak(self, rng):
+        model = nn.Sequential(nn.Linear(4, 3, rng=rng))
+        model.layers[0].weight.data *= 5
+        peak = np.abs(model.layers[0].weight.data).max()
+        naive_weight_quantization(model, bits=4, scale_mode="range")
+        new_peak = np.abs(model.layers[0].weight.data).max()
+        assert new_peak == pytest.approx(peak, rel=1e-6)
+
+    def test_invalid_mode(self, rng):
+        model = nn.Sequential(nn.Linear(2, 2, rng=rng))
+        with pytest.raises(ValueError):
+            naive_weight_quantization(model, bits=4, scale_mode="weird")
+
+    def test_clustered_at_least_as_good_as_naive_in_mse(self, rng):
+        model_a = nn.Sequential(nn.Linear(20, 10, rng=np.random.default_rng(3)))
+        model_b = nn.Sequential(nn.Linear(20, 10, rng=np.random.default_rng(3)))
+        original = model_a.layers[0].weight.data.copy()
+        apply_weight_clustering(model_a, bits=3, include_bias=False)
+        naive_weight_quantization(model_b, bits=3, include_bias=False)
+        mse_clustered = np.mean((model_a.layers[0].weight.data - original) ** 2)
+        mse_naive = np.mean((model_b.layers[0].weight.data - original) ** 2)
+        assert mse_clustered <= mse_naive + 1e-15

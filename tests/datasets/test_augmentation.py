@@ -1,0 +1,106 @@
+"""Tests for training-time data augmentation."""
+
+import numpy as np
+import pytest
+
+from repro.datasets.augmentation import (
+    AugmentationConfig,
+    AugmentedLoader,
+    apply_augmentation,
+    random_horizontal_flip,
+    random_shift,
+)
+from repro.nn.data import Dataset
+
+
+def dataset(rng, n=24):
+    return Dataset(rng.normal(size=(n, 3, 8, 8)), np.arange(n) % 4)
+
+
+class TestConfig:
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            AugmentationConfig(max_shift=-1)
+        with pytest.raises(ValueError):
+            AugmentationConfig(noise_sigma=-0.1)
+
+
+class TestRandomShift:
+    def test_zero_shift_identity(self, rng):
+        images = rng.normal(size=(4, 1, 6, 6))
+        out = random_shift(images, 0, rng)
+        np.testing.assert_allclose(out, images)
+
+    def test_shape_preserved(self, rng):
+        images = rng.normal(size=(4, 3, 8, 8))
+        out = random_shift(images, 2, rng)
+        assert out.shape == images.shape
+
+    def test_content_moves(self):
+        images = np.zeros((50, 1, 8, 8))
+        images[:, 0, 4, 4] = 1.0
+        out = random_shift(images, 2, np.random.default_rng(0))
+        positions = {tuple(np.argwhere(out[i, 0])[0]) for i in range(50)}
+        assert len(positions) > 3  # many distinct translations occurred
+
+    def test_mass_preserved_when_interior(self):
+        images = np.zeros((10, 1, 8, 8))
+        images[:, 0, 4, 4] = 1.0
+        out = random_shift(images, 2, np.random.default_rng(0))
+        np.testing.assert_allclose(out.sum(axis=(1, 2, 3)), 1.0)
+
+
+class TestFlip:
+    def test_half_flipped_on_average(self):
+        images = np.zeros((400, 1, 2, 2))
+        images[:, 0, 0, 0] = 1.0  # marker at top-left
+        out = random_horizontal_flip(images, np.random.default_rng(0))
+        flipped = (out[:, 0, 0, 1] == 1.0).mean()
+        assert 0.4 < flipped < 0.6
+
+    def test_flip_is_mirror(self):
+        images = np.arange(4, dtype=float).reshape(1, 1, 2, 2)
+        rng = np.random.default_rng(1)
+        # Force a flip by retrying until one occurs.
+        for _ in range(50):
+            out = random_horizontal_flip(images, rng)
+            if not np.allclose(out, images):
+                np.testing.assert_allclose(out[0, 0], images[0, 0, :, ::-1])
+                return
+        pytest.fail("no flip occurred in 50 draws")
+
+
+class TestApplyAndLoader:
+    def test_apply_does_not_mutate_input(self, rng):
+        images = rng.normal(size=(4, 1, 6, 6))
+        original = images.copy()
+        apply_augmentation(images, AugmentationConfig(), rng)
+        np.testing.assert_allclose(images, original)
+
+    def test_noise_changes_values(self, rng):
+        images = rng.normal(size=(4, 1, 6, 6))
+        config = AugmentationConfig(max_shift=0, horizontal_flip=False, noise_sigma=0.1)
+        out = apply_augmentation(images, config, rng)
+        assert not np.allclose(out, images)
+
+    def test_loader_yields_augmented_batches(self, rng):
+        data = dataset(rng)
+        loader = AugmentedLoader(data, batch_size=8, rng=np.random.default_rng(0))
+        batches = list(loader)
+        assert len(batches) == 3
+        images, labels = batches[0]
+        assert images.shape == (8, 3, 8, 8)
+        assert labels.shape == (8,)
+
+    def test_loader_len(self, rng):
+        data = dataset(rng)
+        assert len(AugmentedLoader(data, batch_size=10)) == 3
+
+    def test_augmentation_improves_nothing_lost(self, rng):
+        """Labels ride through unchanged and every sample appears."""
+        data = dataset(rng)
+        loader = AugmentedLoader(
+            data, batch_size=6, rng=np.random.default_rng(0), shuffle=False
+        )
+        labels = np.concatenate([lab for _, lab in loader])
+        np.testing.assert_allclose(np.sort(labels), np.sort(data.labels))

@@ -1,0 +1,90 @@
+"""Tests for the MNIST-like and CIFAR-like dataset generators."""
+
+import numpy as np
+import pytest
+
+from repro.datasets.cifar_like import generate_cifar_like, render_class_image
+from repro.datasets.mnist_like import generate_mnist_like, render_digit
+
+
+class TestMnistLike:
+    def test_shapes_and_types(self):
+        ds = generate_mnist_like(50, seed=0)
+        assert ds.images.shape == (50, 1, 28, 28)
+        assert ds.labels.shape == (50,)
+        assert ds.labels.dtype == np.int64
+
+    def test_balanced_classes(self):
+        ds = generate_mnist_like(100, seed=0)
+        counts = np.bincount(ds.labels, minlength=10)
+        np.testing.assert_allclose(counts, 10)
+
+    def test_deterministic_from_seed(self):
+        a = generate_mnist_like(20, seed=5)
+        b = generate_mnist_like(20, seed=5)
+        np.testing.assert_allclose(a.images, b.images)
+        np.testing.assert_allclose(a.labels, b.labels)
+
+    def test_different_seeds_differ(self):
+        a = generate_mnist_like(20, seed=1)
+        b = generate_mnist_like(20, seed=2)
+        assert not np.allclose(a.images, b.images)
+
+    def test_intra_class_variation(self):
+        rng = np.random.default_rng(0)
+        first = render_digit(3, rng)
+        second = render_digit(3, rng)
+        assert not np.allclose(first, second)
+
+    def test_render_values_in_unit_range(self):
+        rng = np.random.default_rng(0)
+        image = render_digit(7, rng)
+        assert image.min() >= 0.0 and image.max() <= 1.0
+
+    def test_invalid_size(self):
+        with pytest.raises(ValueError):
+            generate_mnist_like(0)
+
+    def test_normalized_statistics(self):
+        ds = generate_mnist_like(200, seed=0)
+        assert abs(ds.images.mean()) < 0.5
+        assert 0.3 < ds.images.std() < 3.0
+
+
+class TestCifarLike:
+    def test_shapes(self):
+        ds = generate_cifar_like(40, seed=0)
+        assert ds.images.shape == (40, 3, 32, 32)
+
+    def test_balanced(self):
+        ds = generate_cifar_like(100, seed=0)
+        np.testing.assert_allclose(np.bincount(ds.labels, minlength=10), 10)
+
+    def test_deterministic(self):
+        a = generate_cifar_like(10, seed=3)
+        b = generate_cifar_like(10, seed=3)
+        np.testing.assert_allclose(a.images, b.images)
+
+    def test_every_class_renders(self):
+        rng = np.random.default_rng(0)
+        for label in range(10):
+            image = render_class_image(label, rng)
+            assert image.shape == (3, 32, 32)
+            assert np.isfinite(image).all()
+
+    def test_invalid_label(self):
+        with pytest.raises(ValueError):
+            render_class_image(10, np.random.default_rng(0))
+
+    def test_classes_structurally_distinct(self):
+        """Mean image of stripes vs disk classes should differ clearly."""
+        rng = np.random.default_rng(0)
+        stripes = np.mean([render_class_image(0, rng) for _ in range(10)], axis=0)
+        disks = np.mean([render_class_image(4, rng) for _ in range(10)], axis=0)
+        assert np.abs(stripes - disks).mean() > 0.01
+
+    def test_color_variation_within_class(self):
+        rng = np.random.default_rng(0)
+        a = render_class_image(4, rng)
+        b = render_class_image(4, rng)
+        assert not np.allclose(a, b)

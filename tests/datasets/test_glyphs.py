@@ -1,0 +1,34 @@
+"""Tests for the digit glyph bitmaps."""
+
+import numpy as np
+import pytest
+
+from repro.datasets.glyphs import GLYPH_HEIGHT, GLYPH_WIDTH, all_glyphs, digit_glyph
+
+
+class TestGlyphs:
+    def test_shape(self):
+        for digit in range(10):
+            assert digit_glyph(digit).shape == (GLYPH_HEIGHT, GLYPH_WIDTH)
+
+    def test_binary_values(self):
+        for digit in range(10):
+            glyph = digit_glyph(digit)
+            assert set(np.unique(glyph)) <= {0.0, 1.0}
+
+    def test_all_glyphs_distinct(self):
+        glyphs = all_glyphs()
+        assert glyphs.shape == (10, 7, 5)
+        for a in range(10):
+            for b in range(a + 1, 10):
+                assert not np.array_equal(glyphs[a], glyphs[b]), f"{a} == {b}"
+
+    def test_every_glyph_has_ink(self):
+        for digit in range(10):
+            assert digit_glyph(digit).sum() >= 5
+
+    def test_invalid_digit(self):
+        with pytest.raises(ValueError):
+            digit_glyph(10)
+        with pytest.raises(ValueError):
+            digit_glyph(-1)

@@ -1,0 +1,60 @@
+"""Tests for the dataset registry."""
+
+import numpy as np
+import pytest
+
+from repro.datasets import registry
+
+
+@pytest.fixture(autouse=True)
+def clean_cache():
+    registry.clear_cache()
+    yield
+    registry.clear_cache()
+
+
+def test_available_datasets():
+    assert "mnist-like" in registry.available_datasets()
+    assert "cifar-like" in registry.available_datasets()
+
+
+def test_load_returns_pair():
+    train, test = registry.load_dataset("mnist-like", train_size=20, test_size=10)
+    assert len(train) == 20 and len(test) == 10
+
+
+def test_train_test_disjoint_generation():
+    train, test = registry.load_dataset("mnist-like", train_size=20, test_size=20)
+    assert not np.allclose(train.images, test.images)
+
+
+def test_cache_returns_same_objects():
+    first = registry.load_dataset("cifar-like", train_size=10, test_size=5)
+    second = registry.load_dataset("cifar-like", train_size=10, test_size=5)
+    assert first[0] is second[0]
+
+
+def test_cache_distinguishes_params():
+    a = registry.load_dataset("cifar-like", train_size=10, test_size=5, seed=0)
+    b = registry.load_dataset("cifar-like", train_size=10, test_size=5, seed=1)
+    assert a[0] is not b[0]
+
+
+def test_unknown_name():
+    with pytest.raises(KeyError):
+        registry.load_dataset("imagenet")
+
+
+def test_register_custom():
+    def builder(train_size, test_size, seed=0):
+        from repro.datasets.mnist_like import generate_mnist_like
+        return (generate_mnist_like(train_size, seed), generate_mnist_like(test_size, seed + 1))
+
+    registry.register_dataset("custom-test", builder)
+    try:
+        train, test = registry.load_dataset("custom-test", train_size=5, test_size=5)
+        assert len(train) == 5
+        with pytest.raises(ValueError):
+            registry.register_dataset("custom-test", builder)
+    finally:
+        registry._BUILDERS.pop("custom-test", None)

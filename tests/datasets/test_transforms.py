@@ -1,0 +1,107 @@
+"""Tests for image transforms."""
+
+import numpy as np
+import pytest
+
+from repro.datasets import transforms as T
+
+
+class TestAffineSample:
+    def test_identity(self, rng):
+        image = rng.random((9, 9))
+        out = T.affine_sample(image, np.eye(2))
+        np.testing.assert_allclose(out, image, atol=1e-12)
+
+    def test_translation_shifts_content(self):
+        image = np.zeros((9, 9))
+        image[4, 4] = 1.0
+        # offset moves the *source* sampling point; content moves opposite.
+        out = T.affine_sample(image, np.eye(2), offset=(2.0, 0.0))
+        assert out[2, 4] == 1.0
+
+    def test_rotation_180_flips(self, rng):
+        image = rng.random((7, 7))
+        out = T.affine_sample(image, T.rotation_matrix(np.pi))
+        np.testing.assert_allclose(out, image[::-1, ::-1], atol=1e-10)
+
+    def test_rotation_preserves_mass_roughly(self):
+        image = np.zeros((15, 15))
+        image[5:10, 5:10] = 1.0
+        out = T.affine_sample(image, T.rotation_matrix(np.pi / 7))
+        assert abs(out.sum() - image.sum()) / image.sum() < 0.15
+
+    def test_out_of_range_reads_zero(self):
+        image = np.ones((5, 5))
+        out = T.affine_sample(image, np.eye(2), offset=(10.0, 10.0))
+        np.testing.assert_allclose(out, 0.0)
+
+    def test_scale_magnifies_content(self):
+        image = np.zeros((11, 11))
+        image[3:8, 3:8] = 1.0
+        magnified = T.affine_sample(image, T.scale_matrix(2.0, 2.0))
+        shrunk = T.affine_sample(image, T.scale_matrix(0.5, 0.5))
+        assert magnified.sum() > image.sum() > shrunk.sum()
+
+    def test_output_shape_override(self, rng):
+        out = T.affine_sample(rng.random((5, 5)), np.eye(2), output_shape=(9, 3))
+        assert out.shape == (9, 3)
+
+    def test_rejects_3d(self, rng):
+        with pytest.raises(ValueError):
+            T.affine_sample(rng.random((2, 3, 3)), np.eye(2))
+
+
+class TestOtherTransforms:
+    def test_upscale_nearest(self):
+        image = np.array([[1.0, 2.0], [3.0, 4.0]])
+        out = T.upscale_nearest(image, 2)
+        assert out.shape == (4, 4)
+        np.testing.assert_allclose(out[:2, :2], [[1, 1], [1, 1]])
+        np.testing.assert_allclose(out[2:, 2:], [[4, 4], [4, 4]])
+
+    def test_upscale_invalid_factor(self):
+        with pytest.raises(ValueError):
+            T.upscale_nearest(np.ones((2, 2)), 0)
+
+    def test_box_blur_preserves_constant(self):
+        image = np.full((6, 6), 3.0)
+        np.testing.assert_allclose(T.box_blur(image, 1), 3.0)
+
+    def test_box_blur_smooths(self):
+        image = np.zeros((7, 7))
+        image[3, 3] = 1.0
+        out = T.box_blur(image, 1)
+        assert out[3, 3] < 1.0
+        assert out[2, 3] > 0.0
+
+    def test_box_blur_radius_zero_identity(self, rng):
+        image = rng.random((4, 4))
+        np.testing.assert_allclose(T.box_blur(image, 0), image)
+
+    def test_noise_bounded(self, rng):
+        image = rng.random((20, 20))
+        out = T.add_gaussian_noise(image, 0.5, rng)
+        assert out.min() >= 0.0 and out.max() <= 1.0
+
+    def test_noise_changes_image(self, rng):
+        image = np.full((10, 10), 0.5)
+        out = T.add_gaussian_noise(image, 0.1, rng)
+        assert not np.allclose(out, image)
+
+    def test_normalize(self):
+        out = T.normalize(np.array([1.0, 3.0]), mean=1.0, std=2.0)
+        np.testing.assert_allclose(out, [0.0, 1.0])
+
+    def test_normalize_invalid_std(self):
+        with pytest.raises(ValueError):
+            T.normalize(np.zeros(2), 0.0, 0.0)
+
+    def test_center_in_canvas(self):
+        small = np.ones((2, 2))
+        out = T.center_in_canvas(small, (6, 6))
+        assert out.sum() == 4
+        np.testing.assert_allclose(out[2:4, 2:4], 1.0)
+
+    def test_center_too_large_raises(self):
+        with pytest.raises(ValueError):
+            T.center_in_canvas(np.ones((7, 7)), (5, 5))

@@ -1,0 +1,109 @@
+"""End-to-end integration: the full paper flow on one small LeNet.
+
+train (Neuron Convergence) → Weight Clustering → quantized deployment →
+crossbar mapping → spike-domain inference → fault injection — one pass
+through every layer of the stack, asserting the invariants that connect
+them.
+"""
+
+import numpy as np
+import pytest
+
+from repro import datasets, models
+from repro.analysis.metrics import evaluate_accuracy
+from repro.core import (
+    DeploymentConfig,
+    Trainer,
+    TrainerConfig,
+    deploy_dynamic_fixed_point,
+    deploy_model,
+)
+from repro.snc import (
+    SpikingSystemConfig,
+    build_spiking_system,
+    inject_faults_into_network,
+)
+
+
+@pytest.fixture(scope="module")
+def setup():
+    train, test = datasets.mnist_like(train_size=800, test_size=300, seed=0)
+    baseline = models.LeNet(rng=np.random.default_rng(7))
+    Trainer(TrainerConfig(epochs=10, penalty="none", seed=1)).fit(baseline, train)
+    proposed = models.LeNet(rng=np.random.default_rng(7))
+    Trainer(TrainerConfig(epochs=10, penalty="proposed", bits=4, seed=1)).fit(
+        proposed, train
+    )
+    return train, test, baseline, proposed
+
+
+class TestAccuracyChain:
+    def test_models_learn(self, setup):
+        _, test, baseline, proposed = setup
+        assert evaluate_accuracy(baseline, test) > 0.85
+        assert evaluate_accuracy(proposed, test) > 0.85
+
+    def test_paper_headline_ordering(self, setup):
+        """ideal ≥ proposed-quantized > naive-quantized at 4 bits."""
+        _, test, baseline, proposed = setup
+        ideal = evaluate_accuracy(baseline, test)
+        naive, _ = deploy_model(
+            baseline, DeploymentConfig(signal_bits=4, weight_bits=4, weight_mode="naive")
+        )
+        ours, _ = deploy_model(
+            proposed,
+            DeploymentConfig(signal_bits=4, weight_bits=4, weight_mode="clustered"),
+        )
+        naive_acc = evaluate_accuracy(naive, test)
+        ours_acc = evaluate_accuracy(ours, test)
+        assert ours_acc > naive_acc, f"w/ {ours_acc} vs w/o {naive_acc}"
+        assert ours_acc > ideal - 0.10
+
+    def test_dynamic8_baseline_near_ideal(self, setup):
+        train, test, baseline, _ = setup
+        ideal = evaluate_accuracy(baseline, test)
+        dynamic, _ = deploy_dynamic_fixed_point(baseline, train.images[:128], bits=8)
+        assert evaluate_accuracy(dynamic, test) > ideal - 0.05
+
+
+class TestHardwareChain:
+    def test_spiking_system_bit_exact_and_accurate(self, setup):
+        train, test, _, proposed = setup
+        system = build_spiking_system(
+            proposed,
+            SpikingSystemConfig(signal_bits=4, weight_bits=4, input_bits=8),
+            train.images[:100],
+        )
+        assert system.verify_equivalence(test.images[:50])
+        sw_acc = evaluate_accuracy(proposed, test)
+        hw_acc = system.accuracy(test)
+        assert hw_acc > sw_acc - 0.12  # full quantization costs a little
+
+    def test_fault_injection_degrades(self, setup):
+        train, test, _, proposed = setup
+        system = build_spiking_system(
+            proposed,
+            SpikingSystemConfig(signal_bits=4, weight_bits=4, input_bits=8),
+            train.images[:100],
+        )
+        clean = system.accuracy(test)
+        inject_faults_into_network(
+            system.network, rate=0.3, rng=np.random.default_rng(0)
+        )
+        faulty = system.accuracy(test)
+        assert faulty < clean
+
+    def test_crossbar_budget_matches_cost_model(self, setup):
+        """The mapped LeNet's crossbar count is consistent with Eq. 1 on the
+        trainable model's actual dimensions (+ bias rows)."""
+        train, _, _, proposed = setup
+        system = build_spiking_system(
+            proposed,
+            SpikingSystemConfig(signal_bits=4, weight_bits=4, input_bits=8),
+            train.images[:50],
+        )
+        from repro.snc.crossbar import crossbars_required
+
+        for layer in system.mapping.layers:
+            expected = crossbars_required(layer.rows + layer.bias_rows, layer.cols, 32)
+            assert layer.crossbars == expected

@@ -1,0 +1,127 @@
+"""Tests for the trainable model implementations."""
+
+import numpy as np
+import pytest
+
+from repro.models import (
+    AlexNetCifar,
+    LeNet,
+    MODEL_DATASET,
+    ResNetCifar,
+    available_models,
+    build_model,
+    get_spec,
+)
+from repro.nn.modules import ReLU
+from repro.nn.tensor import Tensor
+
+
+class TestLeNet:
+    def test_forward_shape(self, rng):
+        model = LeNet(rng=rng)
+        out = model(Tensor(rng.normal(size=(2, 1, 28, 28))))
+        assert out.shape == (2, 10)
+
+    def test_full_width_matches_paper_weight_count(self, rng):
+        # Table 1: ≈7×10³ weights
+        model = LeNet(width_multiplier=1.0, rng=rng)
+        assert 6_000 <= model.num_parameters() <= 8_000
+
+    def test_width_multiplier_scales(self, rng):
+        small = LeNet(width_multiplier=0.5, rng=rng)
+        large = LeNet(width_multiplier=2.0, rng=rng)
+        assert small.num_parameters() < large.num_parameters()
+
+    def test_num_classes(self, rng):
+        model = LeNet(num_classes=7, rng=rng)
+        assert model(Tensor(rng.normal(size=(1, 1, 28, 28)))).shape == (1, 7)
+
+    def test_gradients_reach_all_parameters(self, rng):
+        model = LeNet(width_multiplier=0.5, rng=rng)
+        out = model(Tensor(rng.normal(size=(2, 1, 28, 28))))
+        out.sum().backward()
+        for name, param in model.named_parameters():
+            assert param.grad is not None, name
+
+    def test_has_three_inter_layer_signals(self, rng):
+        model = LeNet(rng=rng)
+        relus = [m for m in model.modules() if isinstance(m, ReLU)]
+        assert len(relus) == 3  # conv1, conv2, fc1 outputs
+
+
+class TestAlexNet:
+    def test_forward_shape(self, rng):
+        model = AlexNetCifar(width_multiplier=0.2, rng=rng)
+        assert model(Tensor(rng.normal(size=(2, 3, 32, 32)))).shape == (2, 10)
+
+    def test_full_width_weight_count(self, rng):
+        # Table 1: ≈3.4×10⁵
+        model = AlexNetCifar(width_multiplier=1.0, rng=rng)
+        assert 3.0e5 <= model.num_parameters() <= 3.8e5
+
+    def test_seven_inter_layer_signals(self, rng):
+        model = AlexNetCifar(width_multiplier=0.2, rng=rng)
+        relus = [m for m in model.modules() if isinstance(m, ReLU)]
+        assert len(relus) == 7  # 5 convs + 2 hidden FCs
+
+
+class TestResNet:
+    def test_forward_shape(self, rng):
+        model = ResNetCifar(width_multiplier=0.1, rng=rng)
+        assert model(Tensor(rng.normal(size=(2, 3, 32, 32)))).shape == (2, 10)
+
+    def test_full_width_weight_count(self, rng):
+        # Table 1: ≈1.2×10⁷ (count conv+fc only; BN adds a small extra)
+        model = ResNetCifar(width_multiplier=1.0, rng=rng)
+        assert 1.0e7 <= model.num_parameters() <= 1.3e7
+
+    def test_seventeen_convs(self, rng):
+        from repro.nn.modules import Conv2d
+
+        model = ResNetCifar(width_multiplier=0.1, rng=rng)
+        convs = [m for m in model.modules() if isinstance(m, Conv2d)]
+        # 17 dataflow convs + 3 projection shortcuts
+        main_convs = [c for c in convs if c.kernel_size == 3]
+        assert len(main_convs) == 17
+
+    def test_trains_one_step(self, rng):
+        from repro.nn.losses import cross_entropy
+        from repro.nn.optim import Adam
+
+        model = ResNetCifar(width_multiplier=0.1, rng=rng)
+        opt = Adam(model.parameters(), lr=1e-3)
+        x = Tensor(rng.normal(size=(4, 3, 32, 32)))
+        y = np.array([0, 1, 2, 3])
+        loss_before = cross_entropy(model(x), y)
+        loss_before.backward()
+        opt.step()
+        # One step on the same batch should not blow up.
+        loss_after = cross_entropy(model(x), y)
+        assert np.isfinite(loss_after.item())
+
+
+class TestRegistry:
+    def test_available(self):
+        assert available_models() == ["alexnet", "lenet", "resnet"]
+
+    def test_build_each(self, rng):
+        for name in available_models():
+            model = build_model(name, width_multiplier=0.1, rng=rng)
+            assert model.num_parameters() > 0
+
+    def test_build_unknown(self):
+        with pytest.raises(KeyError):
+            build_model("vgg")
+
+    def test_spec_unknown(self):
+        with pytest.raises(KeyError):
+            get_spec("vgg")
+
+    def test_dataset_mapping(self):
+        assert MODEL_DATASET["lenet"] == "mnist-like"
+        assert MODEL_DATASET["resnet"] == "cifar-like"
+
+    def test_deterministic_init(self):
+        a = build_model("lenet", rng=np.random.default_rng(5))
+        b = build_model("lenet", rng=np.random.default_rng(5))
+        np.testing.assert_allclose(a.conv1.weight.data, b.conv1.weight.data)

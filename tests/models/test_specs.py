@@ -1,0 +1,98 @@
+"""Tests for the paper's network specifications (Table 1 fidelity)."""
+
+import pytest
+
+from repro.models.specs import (
+    LayerSpec,
+    alexnet_spec,
+    lenet_spec,
+    paper_specs,
+    resnet_spec,
+)
+
+
+class TestLayerSpec:
+    def test_conv_rows_cols(self):
+        layer = LayerSpec("conv", out_features=16, in_depth=6, kernel=5)
+        assert layer.rows == 5 * 5 * 6
+        assert layer.columns == 16
+        assert layer.weight_count == 150 * 16
+
+    def test_fc_rows_cols(self):
+        layer = LayerSpec("fc", out_features=10, in_depth=256)
+        assert layer.rows == 256
+        assert layer.columns == 10
+
+    def test_invalid_kind(self):
+        with pytest.raises(ValueError):
+            LayerSpec("pool", out_features=1, in_depth=1)
+
+    def test_invalid_dims(self):
+        with pytest.raises(ValueError):
+            LayerSpec("conv", out_features=0, in_depth=1)
+
+
+class TestLeNetSpec:
+    def test_layer_counts_match_table1(self):
+        spec = lenet_spec()
+        assert len(spec.conv_layers) == 2
+        assert len(spec.fc_layers) == 2
+        assert spec.num_layers == 4  # Table 5 "Layer Num."
+
+    def test_kernels_are_5x5(self):
+        assert all(l.kernel == 5 for l in lenet_spec().conv_layers)
+
+    def test_weight_total_matches_table1(self):
+        # Table 1 says 7×10³
+        assert 6_000 <= lenet_spec().total_weights <= 8_000
+
+    def test_input_shape(self):
+        assert lenet_spec().input_shape == (1, 28, 28)
+
+    def test_ideal_accuracy(self):
+        assert lenet_spec().ideal_accuracy == 98.16
+
+
+class TestAlexNetSpec:
+    def test_layer_counts(self):
+        spec = alexnet_spec()
+        assert len(spec.conv_layers) == 5
+        assert len(spec.fc_layers) == 3
+        assert spec.num_layers == 8
+
+    def test_kernel_structure(self):
+        kernels = [l.kernel for l in alexnet_spec().conv_layers]
+        assert kernels == [5, 3, 3, 3, 3]  # 1×(5×5) + 4×(3×3)
+
+    def test_weight_total(self):
+        # Table 1 says 3.4×10⁵
+        assert 3.0e5 <= alexnet_spec().total_weights <= 3.8e5
+
+    def test_depth_chaining(self):
+        convs = alexnet_spec().conv_layers
+        for previous, current in zip(convs, convs[1:]):
+            assert current.in_depth == previous.out_features
+
+
+class TestResNetSpec:
+    def test_layer_counts(self):
+        spec = resnet_spec()
+        assert len(spec.conv_layers) == 17
+        assert len(spec.fc_layers) == 1
+        assert spec.num_layers == 18
+
+    def test_all_convs_3x3(self):
+        assert all(l.kernel == 3 for l in resnet_spec().conv_layers)
+
+    def test_weight_total(self):
+        # Table 1 says 1.2×10⁷ (ResNet-18 scale)
+        assert 1.0e7 <= resnet_spec().total_weights <= 1.3e7
+
+    def test_stage_widths(self):
+        widths = sorted({l.out_features for l in resnet_spec().conv_layers})
+        assert widths == [64, 128, 256, 512]
+
+
+def test_paper_specs_returns_all_three():
+    names = [spec.name for spec in paper_specs()]
+    assert names == ["lenet", "alexnet", "resnet"]

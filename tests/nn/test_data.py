@@ -1,0 +1,104 @@
+"""Tests for Dataset / DataLoader."""
+
+import numpy as np
+import pytest
+
+from repro.nn.data import DataLoader, Dataset
+
+
+def make_dataset(n=20, classes=4):
+    images = np.arange(n * 1 * 2 * 2, dtype=float).reshape(n, 1, 2, 2)
+    labels = np.arange(n) % classes
+    return Dataset(images, labels)
+
+
+class TestDataset:
+    def test_len_and_getitem(self):
+        ds = make_dataset()
+        assert len(ds) == 20
+        image, label = ds[3]
+        assert image.shape == (1, 2, 2)
+        assert label == 3
+
+    def test_mismatched_lengths_raise(self):
+        with pytest.raises(ValueError):
+            Dataset(np.zeros((3, 1, 2, 2)), np.zeros(4))
+
+    def test_non_4d_images_raise(self):
+        with pytest.raises(ValueError):
+            Dataset(np.zeros((3, 4)), np.zeros(3))
+
+    def test_num_classes(self):
+        assert make_dataset(classes=4).num_classes == 4
+
+    def test_input_shape(self):
+        assert make_dataset().input_shape == (1, 2, 2)
+
+    def test_subset_leading(self):
+        sub = make_dataset().subset(5)
+        assert len(sub) == 5
+        np.testing.assert_allclose(sub.labels, [0, 1, 2, 3, 0])
+
+    def test_subset_random_no_duplicates(self):
+        rng = np.random.default_rng(0)
+        sub = make_dataset().subset(10, rng=rng)
+        # images encode their original index uniquely
+        firsts = sub.images[:, 0, 0, 0]
+        assert len(np.unique(firsts)) == 10
+
+    def test_subset_larger_than_dataset_clamps(self):
+        assert len(make_dataset(5).subset(100)) == 5
+
+    def test_split_partitions(self):
+        rng = np.random.default_rng(0)
+        a, b = make_dataset().split(0.75, rng)
+        assert len(a) == 15 and len(b) == 5
+        combined = np.sort(np.concatenate([a.images[:, 0, 0, 0], b.images[:, 0, 0, 0]]))
+        np.testing.assert_allclose(combined, make_dataset().images[:, 0, 0, 0])
+
+    def test_split_invalid_fraction(self):
+        with pytest.raises(ValueError):
+            make_dataset().split(1.5, np.random.default_rng(0))
+
+
+class TestDataLoader:
+    def test_batch_shapes(self):
+        loader = DataLoader(make_dataset(), batch_size=8, shuffle=False)
+        batches = list(loader)
+        assert [len(b[1]) for b in batches] == [8, 8, 4]
+
+    def test_len_with_remainder(self):
+        assert len(DataLoader(make_dataset(), batch_size=8)) == 3
+
+    def test_len_drop_last(self):
+        assert len(DataLoader(make_dataset(), batch_size=8, drop_last=True)) == 2
+
+    def test_drop_last_iteration(self):
+        loader = DataLoader(make_dataset(), batch_size=8, shuffle=False, drop_last=True)
+        assert [len(b[1]) for b in loader] == [8, 8]
+
+    def test_covers_every_sample_once(self):
+        loader = DataLoader(make_dataset(), batch_size=7, rng=np.random.default_rng(1))
+        seen = np.concatenate([images[:, 0, 0, 0] for images, _ in loader])
+        assert len(seen) == 20
+        assert len(np.unique(seen)) == 20
+
+    def test_shuffle_reproducible(self):
+        order_a = [
+            labels.tolist()
+            for _, labels in DataLoader(make_dataset(), 5, rng=np.random.default_rng(3))
+        ]
+        order_b = [
+            labels.tolist()
+            for _, labels in DataLoader(make_dataset(), 5, rng=np.random.default_rng(3))
+        ]
+        assert order_a == order_b
+
+    def test_no_shuffle_is_sequential(self):
+        loader = DataLoader(make_dataset(), batch_size=20, shuffle=False)
+        _, labels = next(iter(loader))
+        np.testing.assert_allclose(labels, np.arange(20) % 4)
+
+    def test_invalid_batch_size(self):
+        with pytest.raises(ValueError):
+            DataLoader(make_dataset(), batch_size=0)

@@ -1,0 +1,50 @@
+"""Tests for weight initializers."""
+
+import numpy as np
+import pytest
+
+from repro.nn import init
+
+
+class TestFanComputation:
+    def test_linear_shape(self):
+        assert init._fan_in_out((8, 4)) == (4, 8)
+
+    def test_conv_shape(self):
+        # (out=16, in=3, k=5, k=5): fan_in = 3·25, fan_out = 16·25
+        assert init._fan_in_out((16, 3, 5, 5)) == (75, 400)
+
+    def test_unsupported_shape(self):
+        with pytest.raises(ValueError):
+            init._fan_in_out((3,))
+
+
+class TestDistributions:
+    def test_kaiming_normal_std(self, rng):
+        w = init.kaiming_normal((1000, 50), rng)
+        expected = np.sqrt(2.0 / 50)
+        assert abs(w.std() - expected) / expected < 0.05
+
+    def test_kaiming_uniform_bound(self, rng):
+        w = init.kaiming_uniform((100, 30), rng)
+        bound = np.sqrt(6.0 / 30)
+        assert np.abs(w).max() <= bound
+
+    def test_xavier_uniform_bound(self, rng):
+        w = init.xavier_uniform((60, 40), rng)
+        bound = np.sqrt(6.0 / 100)
+        assert np.abs(w).max() <= bound
+
+    def test_xavier_normal_std(self, rng):
+        w = init.xavier_normal((500, 500), rng)
+        expected = np.sqrt(2.0 / 1000)
+        assert abs(w.std() - expected) / expected < 0.1
+
+    def test_deterministic_given_seed(self):
+        a = init.kaiming_normal((5, 5), np.random.default_rng(1))
+        b = init.kaiming_normal((5, 5), np.random.default_rng(1))
+        np.testing.assert_allclose(a, b)
+
+    def test_zeros_ones(self):
+        np.testing.assert_allclose(init.zeros((3,)), 0.0)
+        np.testing.assert_allclose(init.ones((3,)), 1.0)

@@ -1,0 +1,90 @@
+"""Tests for loss functions."""
+
+import numpy as np
+import pytest
+
+from repro.nn.losses import cross_entropy, mse_loss, nll_loss
+from repro.nn import functional as F
+from repro.nn.tensor import Tensor
+from tests.conftest import check_gradients
+
+
+class TestCrossEntropy:
+    def test_uniform_logits_give_log_classes(self):
+        logits = Tensor(np.zeros((4, 10)))
+        loss = cross_entropy(logits, np.arange(4))
+        np.testing.assert_allclose(loss.item(), np.log(10), atol=1e-10)
+
+    def test_perfect_prediction_near_zero(self):
+        logits = np.full((2, 3), -100.0)
+        logits[0, 1] = 100.0
+        logits[1, 2] = 100.0
+        loss = cross_entropy(Tensor(logits), np.array([1, 2]))
+        assert loss.item() < 1e-6
+
+    def test_gradient(self, rng):
+        targets = np.array([0, 2, 1])
+        check_gradients(
+            lambda logits: cross_entropy(logits, targets),
+            [rng.normal(size=(3, 4))],
+        )
+
+    def test_gradient_is_softmax_minus_onehot(self, rng):
+        logits = Tensor(rng.normal(size=(2, 3)), requires_grad=True)
+        targets = np.array([1, 0])
+        cross_entropy(logits, targets).backward()
+        softmax = F.softmax(Tensor(logits.data)).data
+        onehot = np.eye(3)[targets]
+        np.testing.assert_allclose(logits.grad, (softmax - onehot) / 2, atol=1e-12)
+
+    def test_accepts_tensor_targets(self, rng):
+        logits = Tensor(rng.normal(size=(2, 3)))
+        loss = cross_entropy(logits, Tensor(np.array([0.0, 1.0])))
+        assert np.isfinite(loss.item())
+
+    def test_rejects_2d_targets(self, rng):
+        with pytest.raises(ValueError):
+            cross_entropy(Tensor(rng.normal(size=(2, 3))), np.zeros((2, 3)))
+
+    def test_rejects_batch_mismatch(self, rng):
+        with pytest.raises(ValueError):
+            cross_entropy(Tensor(rng.normal(size=(2, 3))), np.zeros(5))
+
+    def test_extreme_logits_stable(self):
+        logits = Tensor(np.array([[1e4, -1e4]]))
+        loss = cross_entropy(logits, np.array([0]))
+        assert np.isfinite(loss.item())
+
+
+class TestMSE:
+    def test_zero_for_equal(self, rng):
+        x = rng.normal(size=(3, 2))
+        assert mse_loss(Tensor(x), x).item() == 0.0
+
+    def test_value(self):
+        loss = mse_loss(Tensor([1.0, 3.0]), np.array([0.0, 0.0]))
+        np.testing.assert_allclose(loss.item(), 5.0)
+
+    def test_gradient(self, rng):
+        target = rng.normal(size=(4,))
+        check_gradients(lambda x: mse_loss(x, target), [rng.normal(size=(4,))])
+
+    def test_accepts_tensor_target(self, rng):
+        x = rng.normal(size=(3,))
+        assert mse_loss(Tensor(x), Tensor(x)).item() == 0.0
+
+
+class TestNLL:
+    def test_matches_cross_entropy(self, rng):
+        logits = rng.normal(size=(5, 4))
+        targets = np.array([0, 1, 2, 3, 0])
+        ce = cross_entropy(Tensor(logits), targets).item()
+        nll = nll_loss(F.log_softmax(Tensor(logits)), targets).item()
+        np.testing.assert_allclose(ce, nll, atol=1e-12)
+
+    def test_gradient(self, rng):
+        targets = np.array([1, 0])
+        check_gradients(
+            lambda lp: nll_loss(F.log_softmax(lp), targets),
+            [rng.normal(size=(2, 3))],
+        )

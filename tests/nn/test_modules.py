@@ -1,0 +1,206 @@
+"""Tests for the module system: registration, traversal, state dicts, hooks."""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.nn.tensor import Tensor
+
+
+def small_mlp(rng):
+    return nn.Sequential(
+        nn.Linear(4, 8, rng=rng),
+        nn.ReLU(),
+        nn.Linear(8, 3, rng=rng),
+    )
+
+
+class TestRegistration:
+    def test_parameters_found(self, rng):
+        model = small_mlp(rng)
+        names = [name for name, _ in model.named_parameters()]
+        assert names == ["0.weight", "0.bias", "2.weight", "2.bias"]
+
+    def test_num_parameters(self, rng):
+        model = small_mlp(rng)
+        assert model.num_parameters() == 4 * 8 + 8 + 8 * 3 + 3
+
+    def test_modules_traversal(self, rng):
+        model = small_mlp(rng)
+        kinds = [type(m).__name__ for m in model.modules()]
+        assert kinds == ["Sequential", "Linear", "ReLU", "Linear"]
+
+    def test_nested_module_names(self, rng):
+        class Wrapper(nn.Module):
+            def __init__(self):
+                super().__init__()
+                self.inner = nn.Linear(2, 2, rng=rng)
+
+            def forward(self, x):
+                return self.inner(x)
+
+        model = Wrapper()
+        assert dict(model.named_parameters()).keys() == {"inner.weight", "inner.bias"}
+
+    def test_buffers_registered(self):
+        bn = nn.BatchNorm2d(3)
+        buffer_names = [name for name, _ in bn.named_buffers()]
+        assert set(buffer_names) == {"running_mean", "running_var"}
+
+    def test_non_grad_tensor_not_registered_as_parameter(self):
+        class Holder(nn.Module):
+            def __init__(self):
+                super().__init__()
+                self.constant = Tensor([1.0])  # requires_grad False
+
+            def forward(self, x):
+                return x
+
+        assert Holder().parameters() == []
+
+
+class TestTrainEval:
+    def test_mode_propagates(self, rng):
+        model = small_mlp(rng)
+        model.eval()
+        assert all(not m.training for m in model.modules())
+        model.train()
+        assert all(m.training for m in model.modules())
+
+    def test_zero_grad(self, rng):
+        model = small_mlp(rng)
+        out = model(Tensor(rng.normal(size=(2, 4))))
+        out.sum().backward()
+        assert any(p.grad is not None for p in model.parameters())
+        model.zero_grad()
+        assert all(p.grad is None for p in model.parameters())
+
+
+class TestStateDict:
+    def test_roundtrip(self, rng):
+        model_a = small_mlp(rng)
+        model_b = small_mlp(np.random.default_rng(99))
+        state = model_a.state_dict()
+        model_b.load_state_dict(state)
+        x = Tensor(rng.normal(size=(2, 4)))
+        np.testing.assert_allclose(model_a(x).data, model_b(x).data)
+
+    def test_state_dict_is_copy(self, rng):
+        model = small_mlp(rng)
+        state = model.state_dict()
+        state["0.weight"][...] = 0.0
+        assert not np.allclose(model.layers[0].weight.data, 0.0)
+
+    def test_unknown_key_raises(self, rng):
+        model = small_mlp(rng)
+        with pytest.raises(KeyError):
+            model.load_state_dict({"nonexistent": np.zeros(3)})
+
+    def test_shape_mismatch_raises(self, rng):
+        model = small_mlp(rng)
+        with pytest.raises(ValueError):
+            model.load_state_dict({"0.weight": np.zeros((2, 2))})
+
+    def test_batchnorm_buffers_in_state(self):
+        bn = nn.BatchNorm2d(2)
+        bn.running_mean[:] = 5.0
+        state = bn.state_dict()
+        assert np.allclose(state["running_mean"], 5.0)
+
+
+class TestForwardHooks:
+    def test_hook_fires_with_output(self, rng):
+        model = small_mlp(rng)
+        seen = []
+        model.layers[1].register_forward_hook(lambda m, i, o: seen.append(o))
+        model(Tensor(rng.normal(size=(2, 4))))
+        assert len(seen) == 1
+        assert seen[0].shape == (2, 8)
+
+    def test_hook_remover(self, rng):
+        model = small_mlp(rng)
+        seen = []
+        remove = model.layers[1].register_forward_hook(lambda m, i, o: seen.append(1))
+        remove()
+        model(Tensor(rng.normal(size=(2, 4))))
+        assert seen == []
+
+    def test_clear_forward_hooks(self, rng):
+        model = small_mlp(rng)
+        seen = []
+        model.layers[1].register_forward_hook(lambda m, i, o: seen.append(1))
+        model.layers[1].clear_forward_hooks()
+        model(Tensor(rng.normal(size=(2, 4))))
+        assert seen == []
+
+
+class TestLayerBehaviour:
+    def test_linear_shapes(self, rng):
+        layer = nn.Linear(5, 7, rng=rng)
+        assert layer(Tensor(rng.normal(size=(3, 5)))).shape == (3, 7)
+
+    def test_linear_no_bias(self, rng):
+        layer = nn.Linear(5, 7, bias=False, rng=rng)
+        assert layer.bias is None
+        assert len(layer.parameters()) == 1
+
+    def test_conv_shapes(self, rng):
+        layer = nn.Conv2d(3, 8, 3, padding=1, rng=rng)
+        assert layer(Tensor(rng.normal(size=(2, 3, 10, 10)))).shape == (2, 8, 10, 10)
+
+    def test_conv_stride(self, rng):
+        layer = nn.Conv2d(1, 1, 3, stride=2, rng=rng)
+        assert layer(Tensor(rng.normal(size=(1, 1, 9, 9)))).shape == (1, 1, 4, 4)
+
+    def test_batchnorm_running_stats_only_in_train(self, rng):
+        bn = nn.BatchNorm2d(2)
+        x = Tensor(rng.normal(size=(4, 2, 3, 3)) + 10)
+        bn.eval()
+        bn(x)
+        np.testing.assert_allclose(bn.running_mean, 0.0)
+        bn.train()
+        bn(x)
+        assert not np.allclose(bn.running_mean, 0.0)
+
+    def test_dropout_eval_identity(self, rng):
+        layer = nn.Dropout(0.9, rng=rng)
+        layer.eval()
+        x = Tensor(rng.normal(size=(5,)))
+        np.testing.assert_allclose(layer(x).data, x.data)
+
+    def test_identity(self, rng):
+        x = Tensor(rng.normal(size=(3,)))
+        assert nn.Identity()(x) is x
+
+    def test_flatten(self, rng):
+        assert nn.Flatten()(Tensor(rng.normal(size=(2, 3, 4)))).shape == (2, 12)
+
+    def test_residual_identity_shortcut(self, rng):
+        body = nn.Linear(4, 4, rng=rng)
+        block = nn.Residual(body)
+        x = Tensor(rng.normal(size=(2, 4)))
+        expected = np.maximum(body(x).data + x.data, 0.0)
+        np.testing.assert_allclose(block(x).data, expected)
+
+    def test_residual_projection_shortcut(self, rng):
+        body = nn.Linear(4, 6, rng=rng)
+        shortcut = nn.Linear(4, 6, rng=rng)
+        block = nn.Residual(body, shortcut)
+        x = Tensor(rng.normal(size=(2, 4)))
+        assert block(x).shape == (2, 6)
+
+    def test_sequential_iteration_and_indexing(self, rng):
+        model = small_mlp(rng)
+        assert len(model) == 3
+        assert isinstance(model[1], nn.ReLU)
+        assert [type(m).__name__ for m in model] == ["Linear", "ReLU", "Linear"]
+
+    def test_global_avg_pool(self, rng):
+        x = rng.normal(size=(2, 3, 5, 5))
+        out = nn.GlobalAvgPool2d()(Tensor(x))
+        np.testing.assert_allclose(out.data, x.mean(axis=(2, 3)))
+
+    def test_pool_repr_and_forward(self, rng):
+        x = Tensor(rng.normal(size=(1, 1, 4, 4)))
+        assert nn.MaxPool2d(2)(x).shape == (1, 1, 2, 2)
+        assert nn.AvgPool2d(2)(x).shape == (1, 1, 2, 2)

@@ -1,0 +1,142 @@
+"""Tests for optimizers and LR schedules."""
+
+import numpy as np
+import pytest
+
+from repro.nn.optim import SGD, Adam, CosineLR, StepLR
+from repro.nn.tensor import Tensor
+
+
+def quadratic_param(start=5.0):
+    """A single parameter with loss x², so grad = 2x."""
+    return Tensor(np.array([start]), requires_grad=True)
+
+
+def step_once(optimizer, param):
+    optimizer.zero_grad()
+    (param * param).sum().backward()
+    optimizer.step()
+
+
+class TestSGD:
+    def test_descends_quadratic(self):
+        p = quadratic_param()
+        opt = SGD([p], lr=0.1)
+        for _ in range(50):
+            step_once(opt, p)
+        assert abs(p.data[0]) < 1e-3
+
+    def test_basic_update_rule(self):
+        p = quadratic_param(1.0)
+        opt = SGD([p], lr=0.5)
+        step_once(opt, p)  # grad = 2 → 1 - 0.5*2 = 0
+        np.testing.assert_allclose(p.data, [0.0])
+
+    def test_momentum_accelerates(self):
+        plain, momentum = quadratic_param(), quadratic_param()
+        opt_plain = SGD([plain], lr=0.01)
+        opt_momentum = SGD([momentum], lr=0.01, momentum=0.9)
+        for _ in range(20):
+            step_once(opt_plain, plain)
+            step_once(opt_momentum, momentum)
+        assert abs(momentum.data[0]) < abs(plain.data[0])
+
+    def test_weight_decay_shrinks_at_zero_grad(self):
+        p = Tensor(np.array([2.0]), requires_grad=True)
+        opt = SGD([p], lr=0.1, weight_decay=0.5)
+        p.grad = np.zeros(1)  # no data gradient, only decay
+        opt.step()
+        np.testing.assert_allclose(p.data, [2.0 - 0.1 * 0.5 * 2.0])
+
+    def test_nesterov(self):
+        p = quadratic_param()
+        opt = SGD([p], lr=0.05, momentum=0.9, nesterov=True)
+        for _ in range(40):
+            step_once(opt, p)
+        assert abs(p.data[0]) < 0.1
+
+    def test_skips_params_without_grad(self):
+        p = quadratic_param()
+        opt = SGD([p], lr=0.1)
+        opt.step()  # no backward → no grad → no change
+        np.testing.assert_allclose(p.data, [5.0])
+
+    def test_invalid_lr(self):
+        with pytest.raises(ValueError):
+            SGD([quadratic_param()], lr=0.0)
+
+    def test_invalid_momentum(self):
+        with pytest.raises(ValueError):
+            SGD([quadratic_param()], lr=0.1, momentum=1.0)
+
+    def test_empty_params(self):
+        with pytest.raises(ValueError):
+            SGD([], lr=0.1)
+
+
+class TestAdam:
+    def test_descends_quadratic(self):
+        p = quadratic_param()
+        opt = Adam([p], lr=0.2)
+        for _ in range(100):
+            step_once(opt, p)
+        assert abs(p.data[0]) < 1e-2
+
+    def test_first_step_magnitude_is_lr(self):
+        # Adam's bias correction makes the first step ≈ lr·sign(grad).
+        p = quadratic_param(3.0)
+        opt = Adam([p], lr=0.1)
+        step_once(opt, p)
+        np.testing.assert_allclose(p.data, [2.9], atol=1e-6)
+
+    def test_weight_decay(self):
+        p = Tensor(np.array([2.0]), requires_grad=True)
+        opt = Adam([p], lr=0.1, weight_decay=1.0)
+        p.grad = np.zeros(1)
+        opt.step()
+        assert p.data[0] < 2.0
+
+    def test_zero_grad_clears(self):
+        p = quadratic_param()
+        opt = Adam([p], lr=0.1)
+        (p * p).sum().backward()
+        opt.zero_grad()
+        assert p.grad is None
+
+
+class TestSchedules:
+    def test_step_lr(self):
+        p = quadratic_param()
+        opt = SGD([p], lr=1.0)
+        schedule = StepLR(opt, step_size=2, gamma=0.1)
+        schedule.step()
+        assert opt.lr == 1.0
+        schedule.step()
+        assert np.isclose(opt.lr, 0.1)
+
+    def test_step_lr_invalid(self):
+        with pytest.raises(ValueError):
+            StepLR(SGD([quadratic_param()], lr=1.0), step_size=0)
+
+    def test_cosine_reaches_min(self):
+        opt = SGD([quadratic_param()], lr=1.0)
+        schedule = CosineLR(opt, total_epochs=10, min_lr=0.05)
+        for _ in range(10):
+            schedule.step()
+        assert np.isclose(opt.lr, 0.05)
+
+    def test_cosine_monotone_decreasing(self):
+        opt = SGD([quadratic_param()], lr=1.0)
+        schedule = CosineLR(opt, total_epochs=5)
+        lrs = []
+        for _ in range(5):
+            schedule.step()
+            lrs.append(opt.lr)
+        assert all(a >= b for a, b in zip(lrs, lrs[1:]))
+
+    def test_cosine_saturates_past_total(self):
+        opt = SGD([quadratic_param()], lr=1.0)
+        schedule = CosineLR(opt, total_epochs=2)
+        for _ in range(5):
+            schedule.step()
+        assert np.isclose(opt.lr, 0.0)

@@ -1,0 +1,117 @@
+"""Hypothesis property tests for the nn framework invariants."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.nn import functional as F
+from repro.nn.tensor import Tensor
+
+
+@st.composite
+def conv_case(draw):
+    batch = draw(st.integers(1, 3))
+    in_ch = draw(st.integers(1, 3))
+    out_ch = draw(st.integers(1, 4))
+    kernel = draw(st.sampled_from([1, 3]))
+    size = draw(st.integers(kernel, kernel + 4))
+    stride = draw(st.sampled_from([1, 2]))
+    padding = draw(st.integers(0, 1))
+    seed = draw(st.integers(0, 2**31 - 1))
+    return batch, in_ch, out_ch, kernel, size, stride, padding, seed
+
+
+class TestConvProperties:
+    @given(conv_case())
+    @settings(max_examples=30, deadline=None)
+    def test_matches_naive_convolution(self, case):
+        batch, in_ch, out_ch, kernel, size, stride, padding, seed = case
+        rng = np.random.default_rng(seed)
+        x = rng.normal(size=(batch, in_ch, size, size))
+        w = rng.normal(size=(out_ch, in_ch, kernel, kernel))
+        out = F.conv2d(Tensor(x), Tensor(w), stride=stride, padding=padding).data
+
+        xp = np.pad(x, ((0, 0), (0, 0), (padding, padding), (padding, padding)))
+        out_h = (size + 2 * padding - kernel) // stride + 1
+        expected = np.zeros((batch, out_ch, out_h, out_h))
+        for n in range(batch):
+            for f in range(out_ch):
+                for i in range(out_h):
+                    for j in range(out_h):
+                        patch = xp[
+                            n, :, i * stride : i * stride + kernel,
+                            j * stride : j * stride + kernel,
+                        ]
+                        expected[n, f, i, j] = (patch * w[f]).sum()
+        np.testing.assert_allclose(out, expected, atol=1e-9)
+
+    @given(conv_case())
+    @settings(max_examples=20, deadline=None)
+    def test_linearity_in_input(self, case):
+        batch, in_ch, out_ch, kernel, size, stride, padding, seed = case
+        rng = np.random.default_rng(seed)
+        x1 = rng.normal(size=(batch, in_ch, size, size))
+        x2 = rng.normal(size=(batch, in_ch, size, size))
+        w = Tensor(rng.normal(size=(out_ch, in_ch, kernel, kernel)))
+        sum_out = F.conv2d(Tensor(x1 + x2), w, stride=stride, padding=padding).data
+        sep_out = (
+            F.conv2d(Tensor(x1), w, stride=stride, padding=padding).data
+            + F.conv2d(Tensor(x2), w, stride=stride, padding=padding).data
+        )
+        np.testing.assert_allclose(sum_out, sep_out, atol=1e-9)
+
+
+class TestActivationProperties:
+    @given(st.integers(0, 2**31 - 1))
+    @settings(max_examples=25, deadline=None)
+    def test_softmax_shift_invariant(self, seed):
+        rng = np.random.default_rng(seed)
+        x = rng.normal(size=(4, 7))
+        shifted = F.softmax(Tensor(x + 5.0)).data
+        np.testing.assert_allclose(shifted, F.softmax(Tensor(x)).data, atol=1e-12)
+
+    @given(st.integers(0, 2**31 - 1))
+    @settings(max_examples=25, deadline=None)
+    def test_relu_idempotent(self, seed):
+        rng = np.random.default_rng(seed)
+        x = Tensor(rng.normal(size=(10,)))
+        once = F.relu(x)
+        twice = F.relu(once)
+        np.testing.assert_allclose(once.data, twice.data)
+
+    @given(st.integers(0, 2**31 - 1))
+    @settings(max_examples=25, deadline=None)
+    def test_max_pool_dominates_avg_pool(self, seed):
+        rng = np.random.default_rng(seed)
+        x = Tensor(rng.normal(size=(2, 3, 6, 6)))
+        max_out = F.max_pool2d(x, 2).data
+        avg_out = F.avg_pool2d(x, 2).data
+        assert np.all(max_out >= avg_out - 1e-12)
+
+
+class TestAutogradProperties:
+    @given(st.integers(0, 2**31 - 1))
+    @settings(max_examples=25, deadline=None)
+    def test_gradient_linearity(self, seed):
+        """grad of (a·f + b·g) = a·grad(f) + b·grad(g)."""
+        rng = np.random.default_rng(seed)
+        data = rng.normal(size=(5,))
+
+        def grad_of(scale_f, scale_g):
+            x = Tensor(data.copy(), requires_grad=True)
+            out = scale_f * (x * x).sum() + scale_g * x.sum()
+            out.backward()
+            return x.grad
+
+        combined = grad_of(2.0, 3.0)
+        separate = 2.0 * grad_of(1.0, 0.0) + 3.0 * grad_of(0.0, 1.0)
+        np.testing.assert_allclose(combined, separate, atol=1e-10)
+
+    @given(st.integers(0, 2**31 - 1))
+    @settings(max_examples=25, deadline=None)
+    def test_chain_rule_through_reshape_transpose(self, seed):
+        rng = np.random.default_rng(seed)
+        x = Tensor(rng.normal(size=(3, 4)), requires_grad=True)
+        out = x.reshape(4, 3).transpose(1, 0) * 2.0
+        out.sum().backward()
+        np.testing.assert_allclose(x.grad, np.full((3, 4), 2.0))

@@ -1,0 +1,43 @@
+"""Tests for model state save/load."""
+
+import os
+
+import numpy as np
+
+from repro import nn
+from repro.nn.serialization import load_state, save_state
+from repro.nn.tensor import Tensor
+
+
+def test_roundtrip_preserves_outputs(tmp_path, rng):
+    model = nn.Sequential(nn.Linear(4, 6, rng=rng), nn.ReLU(), nn.Linear(6, 2, rng=rng))
+    path = str(tmp_path / "model.npz")
+    save_state(model, path)
+
+    clone = nn.Sequential(
+        nn.Linear(4, 6, rng=np.random.default_rng(777)),
+        nn.ReLU(),
+        nn.Linear(6, 2, rng=np.random.default_rng(778)),
+    )
+    load_state(clone, path)
+    x = Tensor(rng.normal(size=(3, 4)))
+    np.testing.assert_allclose(model(x).data, clone(x).data)
+
+
+def test_roundtrip_includes_buffers(tmp_path, rng):
+    bn = nn.BatchNorm2d(3)
+    bn(Tensor(rng.normal(size=(8, 3, 2, 2)) + 4))  # update running stats
+    path = str(tmp_path / "bn.npz")
+    save_state(bn, path)
+
+    fresh = nn.BatchNorm2d(3)
+    load_state(fresh, path)
+    np.testing.assert_allclose(fresh.running_mean, bn.running_mean)
+    np.testing.assert_allclose(fresh.running_var, bn.running_var)
+
+
+def test_save_creates_directories(tmp_path, rng):
+    model = nn.Linear(2, 2, rng=rng)
+    path = str(tmp_path / "deep" / "nested" / "model.npz")
+    save_state(model, path)
+    assert os.path.exists(path)

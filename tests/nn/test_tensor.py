@@ -1,0 +1,284 @@
+"""Unit tests for the autograd tensor engine."""
+
+import numpy as np
+import pytest
+
+from repro.nn.tensor import Tensor, as_tensor, concatenate, no_grad, stack, unbroadcast
+from tests.conftest import check_gradients
+
+
+class TestConstruction:
+    def test_from_list(self):
+        t = Tensor([1.0, 2.0, 3.0])
+        assert t.shape == (3,)
+        assert t.dtype == np.float64
+
+    def test_from_array_casts_dtype(self):
+        t = Tensor(np.array([1, 2], dtype=np.int32))
+        assert t.dtype == np.float64
+
+    def test_requires_grad_default_false(self):
+        assert not Tensor([1.0]).requires_grad
+
+    def test_item_scalar(self):
+        assert Tensor([[2.5]]).item() == 2.5
+
+    def test_item_non_scalar_raises(self):
+        with pytest.raises(Exception):
+            Tensor([1.0, 2.0]).item()
+
+    def test_detach_shares_data(self):
+        t = Tensor([1.0], requires_grad=True)
+        d = t.detach()
+        assert not d.requires_grad
+        d.data[0] = 5.0
+        assert t.data[0] == 5.0
+
+    def test_copy_is_independent(self):
+        t = Tensor([1.0], requires_grad=True)
+        c = t.copy()
+        c.data[0] = 9.0
+        assert t.data[0] == 1.0
+        assert c.requires_grad
+
+
+class TestBackwardMechanics:
+    def test_backward_on_non_grad_tensor_raises(self):
+        with pytest.raises(RuntimeError):
+            Tensor([1.0]).backward()
+
+    def test_backward_non_scalar_needs_grad(self):
+        t = Tensor([1.0, 2.0], requires_grad=True)
+        with pytest.raises(RuntimeError):
+            (t * 2).backward()
+
+    def test_backward_grad_shape_mismatch(self):
+        t = Tensor([1.0, 2.0], requires_grad=True)
+        out = t * 2
+        with pytest.raises(ValueError):
+            out.backward(np.ones((3,)))
+
+    def test_gradient_accumulates_across_backwards(self):
+        t = Tensor([2.0], requires_grad=True)
+        (t * 3).sum().backward()
+        (t * 3).sum().backward()
+        np.testing.assert_allclose(t.grad, [6.0])
+
+    def test_zero_grad(self):
+        t = Tensor([2.0], requires_grad=True)
+        (t * 3).sum().backward()
+        t.zero_grad()
+        assert t.grad is None
+
+    def test_diamond_graph_accumulates_once_per_path(self):
+        # y = x*x + x*x has gradient 4x.
+        x = Tensor([3.0], requires_grad=True)
+        a = x * x
+        b = x * x
+        (a + b).sum().backward()
+        np.testing.assert_allclose(x.grad, [12.0])
+
+    def test_reused_node_in_graph(self):
+        # z = (x + 1); loss = z*z → dloss/dx = 2(x+1)
+        x = Tensor([2.0], requires_grad=True)
+        z = x + 1.0
+        (z * z).sum().backward()
+        np.testing.assert_allclose(x.grad, [6.0])
+
+    def test_no_grad_blocks_graph(self):
+        x = Tensor([1.0], requires_grad=True)
+        with no_grad():
+            y = x * 2
+        assert not y.requires_grad
+        assert y._backward is None
+
+    def test_no_grad_restores_on_exception(self):
+        from repro.nn.tensor import is_grad_enabled
+        try:
+            with no_grad():
+                raise ValueError
+        except ValueError:
+            pass
+        assert is_grad_enabled()
+
+    def test_interior_grad_freed_leaf_kept(self):
+        x = Tensor([1.0, 2.0], requires_grad=True)
+        mid = x * 2
+        out = mid.sum()
+        out.backward()
+        assert mid.grad is None
+        assert x.grad is not None
+
+
+class TestArithmeticGradients:
+    def test_add(self, rng):
+        check_gradients(lambda a, b: a + b, [rng.normal(size=(3, 4)), rng.normal(size=(3, 4))])
+
+    def test_add_broadcast(self, rng):
+        check_gradients(lambda a, b: a + b, [rng.normal(size=(3, 4)), rng.normal(size=(4,))])
+
+    def test_sub(self, rng):
+        check_gradients(lambda a, b: a - b, [rng.normal(size=(2, 3)), rng.normal(size=(2, 3))])
+
+    def test_rsub_scalar(self, rng):
+        check_gradients(lambda a: 1.0 - a, [rng.normal(size=(5,))])
+
+    def test_mul(self, rng):
+        check_gradients(lambda a, b: a * b, [rng.normal(size=(3,)), rng.normal(size=(3,))])
+
+    def test_mul_broadcast_scalar_tensor(self, rng):
+        check_gradients(lambda a, b: a * b, [rng.normal(size=(2, 2)), rng.normal(size=(1,))])
+
+    def test_div(self, rng):
+        check_gradients(
+            lambda a, b: a / b,
+            [rng.normal(size=(3,)), rng.normal(size=(3,)) + 3.0],
+        )
+
+    def test_rdiv_scalar(self, rng):
+        check_gradients(lambda a: 2.0 / a, [rng.normal(size=(3,)) + 3.0])
+
+    def test_neg(self, rng):
+        check_gradients(lambda a: -a, [rng.normal(size=(3,))])
+
+    def test_pow(self, rng):
+        check_gradients(lambda a: a ** 3, [rng.normal(size=(4,))])
+
+    def test_pow_non_scalar_exponent_raises(self):
+        with pytest.raises(TypeError):
+            Tensor([1.0]) ** Tensor([2.0])
+
+    def test_matmul(self, rng):
+        check_gradients(
+            lambda a, b: a @ b, [rng.normal(size=(3, 4)), rng.normal(size=(4, 5))]
+        )
+
+    def test_matmul_batched(self, rng):
+        check_gradients(
+            lambda a, b: a @ b, [rng.normal(size=(2, 3, 4)), rng.normal(size=(2, 4, 5))]
+        )
+
+
+class TestReductionsAndShapes:
+    def test_sum_all(self, rng):
+        check_gradients(lambda a: a.sum(), [rng.normal(size=(3, 4))])
+
+    def test_sum_axis(self, rng):
+        check_gradients(lambda a: a.sum(axis=1), [rng.normal(size=(3, 4))])
+
+    def test_sum_keepdims(self, rng):
+        check_gradients(lambda a: a.sum(axis=0, keepdims=True), [rng.normal(size=(3, 4))])
+
+    def test_mean_all(self, rng):
+        check_gradients(lambda a: a.mean(), [rng.normal(size=(3, 4))])
+
+    def test_mean_axis_tuple(self, rng):
+        check_gradients(lambda a: a.mean(axis=(1, 2)), [rng.normal(size=(2, 3, 4))])
+
+    def test_reshape(self, rng):
+        check_gradients(lambda a: a.reshape(6, 2) * 2, [rng.normal(size=(3, 4))])
+
+    def test_reshape_infers(self, rng):
+        t = Tensor(rng.normal(size=(3, 4)))
+        assert t.reshape(-1).shape == (12,)
+
+    def test_transpose(self, rng):
+        check_gradients(lambda a: a.transpose(1, 0) * 3, [rng.normal(size=(3, 4))])
+
+    def test_transpose_3d(self, rng):
+        check_gradients(lambda a: a.transpose(2, 0, 1).sum(), [rng.normal(size=(2, 3, 4))])
+
+    def test_T_property(self, rng):
+        t = Tensor(rng.normal(size=(3, 4)))
+        assert t.T.shape == (4, 3)
+
+    def test_getitem(self, rng):
+        check_gradients(lambda a: a[1:3], [rng.normal(size=(5, 2))])
+
+    def test_getitem_fancy_repeated_index_accumulates(self):
+        x = Tensor(np.array([1.0, 2.0, 3.0]), requires_grad=True)
+        picked = x[np.array([0, 0, 2])]
+        picked.sum().backward()
+        np.testing.assert_allclose(x.grad, [2.0, 0.0, 1.0])
+
+
+class TestElementwiseFunctions:
+    def test_abs(self, rng):
+        check_gradients(lambda a: a.abs(), [rng.normal(size=(4,)) + 0.5])
+
+    def test_exp(self, rng):
+        check_gradients(lambda a: a.exp(), [rng.normal(size=(4,))])
+
+    def test_log(self, rng):
+        check_gradients(lambda a: a.log(), [rng.random(4) + 0.5])
+
+    def test_sqrt(self, rng):
+        check_gradients(lambda a: a.sqrt(), [rng.random(4) + 0.5])
+
+    def test_clip_values(self):
+        t = Tensor([-2.0, 0.5, 3.0])
+        np.testing.assert_allclose(t.clip(0.0, 1.0).data, [0.0, 0.5, 1.0])
+
+    def test_clip_gradient_zero_outside(self):
+        t = Tensor([-2.0, 0.5, 3.0], requires_grad=True)
+        t.clip(0.0, 1.0).sum().backward()
+        np.testing.assert_allclose(t.grad, [0.0, 1.0, 0.0])
+
+    def test_maximum(self, rng):
+        check_gradients(
+            lambda a, b: a.maximum(b),
+            [rng.normal(size=(4,)), rng.normal(size=(4,)) + 0.01],
+        )
+
+
+class TestStackConcat:
+    def test_stack_forward(self):
+        a, b = Tensor([1.0, 2.0]), Tensor([3.0, 4.0])
+        out = stack([a, b])
+        assert out.shape == (2, 2)
+
+    def test_stack_gradient(self, rng):
+        x = Tensor(rng.normal(size=(3,)), requires_grad=True)
+        y = Tensor(rng.normal(size=(3,)), requires_grad=True)
+        stack([x, y], axis=0).sum().backward()
+        np.testing.assert_allclose(x.grad, np.ones(3))
+        np.testing.assert_allclose(y.grad, np.ones(3))
+
+    def test_concatenate_forward(self):
+        a, b = Tensor([[1.0], [2.0]]), Tensor([[3.0]])
+        assert concatenate([a, b], axis=0).shape == (3, 1)
+
+    def test_concatenate_gradient_uneven(self, rng):
+        x = Tensor(rng.normal(size=(2, 3)), requires_grad=True)
+        y = Tensor(rng.normal(size=(1, 3)), requires_grad=True)
+        (concatenate([x, y], axis=0) * 2).sum().backward()
+        np.testing.assert_allclose(x.grad, np.full((2, 3), 2.0))
+        np.testing.assert_allclose(y.grad, np.full((1, 3), 2.0))
+
+
+class TestUnbroadcast:
+    def test_no_change(self):
+        g = np.ones((2, 3))
+        assert unbroadcast(g, (2, 3)).shape == (2, 3)
+
+    def test_leading_axis(self):
+        g = np.ones((4, 2, 3))
+        np.testing.assert_allclose(unbroadcast(g, (2, 3)), np.full((2, 3), 4.0))
+
+    def test_size_one_axis(self):
+        g = np.ones((2, 3))
+        np.testing.assert_allclose(unbroadcast(g, (2, 1)), np.full((2, 1), 3.0))
+
+    def test_combined(self):
+        g = np.ones((5, 2, 3))
+        np.testing.assert_allclose(unbroadcast(g, (1, 3)), np.full((1, 3), 10.0))
+
+
+class TestAsTensor:
+    def test_passthrough(self):
+        t = Tensor([1.0])
+        assert as_tensor(t) is t
+
+    def test_coerces_array(self):
+        out = as_tensor(np.array([1.0, 2.0]))
+        assert isinstance(out, Tensor)

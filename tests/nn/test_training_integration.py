@@ -1,0 +1,104 @@
+"""Integration: the framework can actually learn."""
+
+import numpy as np
+
+from repro import nn
+from repro.nn.tensor import Tensor
+
+
+def two_blob_dataset(rng, n=200):
+    """Two Gaussian blobs in 2-D, linearly separable."""
+    half = n // 2
+    x = np.vstack(
+        [rng.normal([-2, -2], 0.5, size=(half, 2)), rng.normal([2, 2], 0.5, size=(half, 2))]
+    )
+    y = np.array([0] * half + [1] * half)
+    order = rng.permutation(n)
+    return x[order], y[order]
+
+
+def test_mlp_learns_blobs(rng):
+    x, y = two_blob_dataset(rng)
+    model = nn.Sequential(nn.Linear(2, 8, rng=rng), nn.ReLU(), nn.Linear(8, 2, rng=rng))
+    opt = nn.SGD(model.parameters(), lr=0.1, momentum=0.9)
+    for _ in range(60):
+        loss = nn.cross_entropy(model(Tensor(x)), y)
+        opt.zero_grad()
+        loss.backward()
+        opt.step()
+    accuracy = (model(Tensor(x)).data.argmax(1) == y).mean()
+    assert accuracy > 0.98
+
+
+def test_convnet_learns_orientation(rng):
+    """Tiny convnet separates horizontal from vertical bars."""
+    n = 120
+    images = np.zeros((n, 1, 8, 8))
+    labels = np.zeros(n, dtype=int)
+    for i in range(n):
+        pos = rng.integers(1, 7)
+        if i % 2 == 0:
+            images[i, 0, pos, :] = 1.0
+        else:
+            images[i, 0, :, pos] = 1.0
+            labels[i] = 1
+    images += rng.normal(0, 0.05, images.shape)
+
+    model = nn.Sequential(
+        nn.Conv2d(1, 4, 3, padding=1, rng=rng),
+        nn.ReLU(),
+        nn.MaxPool2d(2),
+        nn.Flatten(),
+        nn.Linear(4 * 4 * 4, 2, rng=rng),
+    )
+    opt = nn.Adam(model.parameters(), lr=5e-3)
+    for _ in range(40):
+        loss = nn.cross_entropy(model(Tensor(images)), labels)
+        opt.zero_grad()
+        loss.backward()
+        opt.step()
+    accuracy = (model(Tensor(images)).data.argmax(1) == labels).mean()
+    assert accuracy > 0.95
+
+
+def test_batchnorm_network_trains(rng):
+    x, y = two_blob_dataset(rng, n=100)
+    model = nn.Sequential(
+        nn.Linear(2, 8, rng=rng),
+        nn.ReLU(),
+        nn.Linear(8, 2, rng=rng),
+    )
+    # Insert BN via a wrapper network over 4-D reshaped data is overkill;
+    # instead verify a conv+BN stack decreases its loss.
+    images = rng.normal(size=(32, 2, 4, 4))
+    labels = (images.mean(axis=(1, 2, 3)) > 0).astype(int)
+    net = nn.Sequential(
+        nn.Conv2d(2, 4, 3, padding=1, rng=rng),
+        nn.BatchNorm2d(4),
+        nn.ReLU(),
+        nn.Flatten(),
+        nn.Linear(4 * 16, 2, rng=rng),
+    )
+    opt = nn.Adam(net.parameters(), lr=1e-2)
+    first_loss = None
+    for step in range(30):
+        loss = nn.cross_entropy(net(Tensor(images)), labels)
+        if first_loss is None:
+            first_loss = loss.item()
+        opt.zero_grad()
+        loss.backward()
+        opt.step()
+    assert loss.item() < first_loss * 0.5
+
+
+def test_gradients_flow_through_residual(rng):
+    from repro.models.resnet import BasicBlock
+
+    block = BasicBlock(3, 6, stride=2, rng=rng)
+    x = Tensor(rng.normal(size=(2, 3, 8, 8)), requires_grad=True)
+    block(x).sum().backward()
+    assert x.grad is not None
+    for name, param in block.named_parameters():
+        if "bn" in name or "1" == name[-1]:
+            continue
+        assert param.grad is not None, f"{name} got no gradient"

@@ -1,0 +1,138 @@
+"""Tests for the Table 5 cost model."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.models.specs import alexnet_spec, lenet_spec, paper_specs, resnet_spec
+from repro.snc.cost import (
+    PAPER_SPEED_PROFILES,
+    PAPER_TABLE5,
+    SpeedProfile,
+    aggregate_network,
+    evaluate_system_cost,
+    generic_speed_profile,
+    table5_row,
+)
+
+
+class TestAggregates:
+    def test_lenet_crossbar_count(self):
+        # conv1 (25×6): 1, conv2 (150×16): 5, fc1 (256×16): 8, fc2 (16×10): 1
+        assert aggregate_network(lenet_spec()).num_crossbars == 15
+
+    def test_cells_are_differential(self):
+        agg = aggregate_network(lenet_spec())
+        assert agg.num_cells == 15 * 1024 * 2
+
+    def test_resnet_much_larger_than_lenet(self):
+        lenet = aggregate_network(lenet_spec())
+        resnet = aggregate_network(resnet_spec())
+        assert resnet.num_crossbars > 100 * lenet.num_crossbars
+
+
+class TestSpeedProfiles:
+    def test_paper_8bit_speeds_reproduced(self):
+        for name, profile in PAPER_SPEED_PROFILES.items():
+            paper_speed = PAPER_TABLE5[name][8][0]
+            assert profile.speed_mhz(8) == pytest.approx(paper_speed, rel=0.01)
+
+    def test_paper_4bit_speeds_reproduced(self):
+        for name, profile in PAPER_SPEED_PROFILES.items():
+            paper_speed = PAPER_TABLE5[name][4][0]
+            assert profile.speed_mhz(4) == pytest.approx(paper_speed, rel=0.01)
+
+    def test_3bit_speed_predicted_within_3_percent(self):
+        """The 3-bit row is a *prediction* — the model's validation."""
+        for name, profile in PAPER_SPEED_PROFILES.items():
+            paper_speed = PAPER_TABLE5[name][3][0]
+            assert profile.speed_mhz(3) == pytest.approx(paper_speed, rel=0.03)
+
+    def test_speed_monotone_decreasing_in_bits(self):
+        profile = PAPER_SPEED_PROFILES["lenet"]
+        speeds = [profile.speed_mhz(bits) for bits in range(2, 9)]
+        assert all(a > b for a, b in zip(speeds, speeds[1:]))
+
+    def test_roughly_halves_per_extra_bit(self):
+        """Fig. 1a's shape: window doubles with every bit."""
+        profile = PAPER_SPEED_PROFILES["lenet"]
+        ratio = profile.speed_mhz(5) / profile.speed_mhz(6)
+        assert 1.7 < ratio < 2.1
+
+    def test_generic_profile(self):
+        profile = generic_speed_profile(num_layers=4)
+        assert profile.speed_mhz(4) > profile.speed_mhz(8)
+        with pytest.raises(ValueError):
+            generic_speed_profile(0)
+
+
+class TestCostModel:
+    def test_invalid_bits(self):
+        with pytest.raises(ValueError):
+            evaluate_system_cost(lenet_spec(), 0)
+
+    def test_energy_within_35_percent_of_paper(self):
+        for spec in paper_specs():
+            for bits in (8, 4, 3):
+                cost = evaluate_system_cost(spec, bits)
+                paper_energy = PAPER_TABLE5[spec.name][bits][1]
+                assert cost.energy_uj == pytest.approx(paper_energy, rel=0.35)
+
+    def test_area_within_12_percent_of_paper(self):
+        for spec in paper_specs():
+            for bits in (8, 4, 3):
+                cost = evaluate_system_cost(spec, bits)
+                paper_area = PAPER_TABLE5[spec.name][bits][2]
+                assert cost.area_mm2 == pytest.approx(paper_area, rel=0.12)
+
+    def test_area_savings_match_paper_exactly(self):
+        """30% at 4 bits and 37.5% at 3 bits, for any network."""
+        for spec in paper_specs():
+            base = evaluate_system_cost(spec, 8)
+            assert evaluate_system_cost(spec, 4).area_saving_over(base) == pytest.approx(0.30)
+            assert evaluate_system_cost(spec, 3).area_saving_over(base) == pytest.approx(0.375)
+
+    def test_headline_claims(self):
+        """Abstract: ≥9.8× speedup, ≥89.1%-ish energy saving, 30% area."""
+        for spec in paper_specs():
+            base = evaluate_system_cost(spec, 8)
+            ours = evaluate_system_cost(spec, 4)
+            assert ours.speedup_over(base) >= 9.8
+            assert ours.energy_saving_over(base) >= 0.85
+            assert ours.area_saving_over(base) == pytest.approx(0.30)
+
+    def test_energy_monotone_in_bits(self):
+        for spec in paper_specs():
+            energies = [evaluate_system_cost(spec, b).energy_uj for b in range(2, 9)]
+            assert all(a < b for a, b in zip(energies, energies[1:]))
+
+    @given(st.integers(min_value=1, max_value=8), st.integers(min_value=1, max_value=8))
+    @settings(max_examples=30, deadline=None)
+    def test_property_more_bits_never_faster_or_cheaper(self, bits_a, bits_b):
+        spec = alexnet_spec()
+        low, high = sorted((bits_a, bits_b))
+        cost_low = evaluate_system_cost(spec, low)
+        cost_high = evaluate_system_cost(spec, high)
+        assert cost_low.speed_mhz >= cost_high.speed_mhz
+        assert cost_low.energy_uj <= cost_high.energy_uj
+        assert cost_low.area_mm2 <= cost_high.area_mm2
+
+    def test_activity_aware_energy(self):
+        sparse = evaluate_system_cost(lenet_spec(), 4, mean_activity=0.1)
+        dense = evaluate_system_cost(lenet_spec(), 4, mean_activity=0.9)
+        assert sparse.energy_uj < dense.energy_uj
+
+
+class TestTable5Row:
+    def test_row_fields(self):
+        row = table5_row(lenet_spec(), 4)
+        assert row["model"] == "lenet"
+        assert row["speedup"] > 1.0
+        assert 0 < row["energy_saving"] < 1
+        assert row["area_saving"] == pytest.approx(0.30)
+
+    def test_baseline_row_ratios_are_unity(self):
+        row = table5_row(lenet_spec(), 8)
+        assert row["speedup"] == pytest.approx(1.0)
+        assert row["energy_saving"] == pytest.approx(0.0)

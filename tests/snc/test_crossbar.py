@@ -1,0 +1,138 @@
+"""Tests for crossbar tiles, arrays, and the Eq. 1 partitioning rule."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.snc.crossbar import Crossbar, CrossbarArray, crossbars_required
+from repro.snc.memristor import MemristorModel
+
+
+class TestEquation1:
+    def test_exact_fit(self):
+        assert crossbars_required(32, 32, 32) == 1
+
+    def test_row_overflow(self):
+        assert crossbars_required(33, 32, 32) == 2
+
+    def test_column_overflow(self):
+        assert crossbars_required(32, 33, 32) == 2
+
+    def test_both_overflow(self):
+        assert crossbars_required(100, 100, 32) == 4 * 4
+
+    def test_paper_example_conv_layer(self):
+        # AlexNet conv2: J=32 filters, s=3, d=32 → rows 288, cols 32
+        assert crossbars_required(3 * 3 * 32, 32, 32) == 9
+
+    def test_lenet_fc1(self):
+        # 256 rows × 16 cols on 32×32 crossbars → 8×1
+        assert crossbars_required(256, 16, 32) == 8
+
+    def test_invalid_dims(self):
+        with pytest.raises(ValueError):
+            crossbars_required(0, 5, 32)
+        with pytest.raises(ValueError):
+            crossbars_required(5, 5, 0)
+
+    @given(
+        st.integers(min_value=1, max_value=500),
+        st.integers(min_value=1, max_value=500),
+        st.integers(min_value=1, max_value=64),
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_property_matches_ceil_formula(self, rows, cols, size):
+        expected = int(np.ceil(cols / size)) * int(np.ceil(rows / size))
+        assert crossbars_required(rows, cols, size) == expected
+
+    @given(
+        st.integers(min_value=1, max_value=300),
+        st.integers(min_value=1, max_value=300),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_property_capacity_sufficient(self, rows, cols):
+        count = crossbars_required(rows, cols, 32)
+        assert count * 32 * 32 >= rows * cols
+
+
+class TestCrossbarTile:
+    def test_differential_mvm(self, rng):
+        g_plus = rng.uniform(1e-6, 2e-5, size=(4, 3))
+        g_minus = rng.uniform(1e-6, 2e-5, size=(4, 3))
+        tile = Crossbar(g_plus, g_minus)
+        v = rng.normal(size=(2, 4))
+        np.testing.assert_allclose(tile.multiply(v), v @ (g_plus - g_minus))
+
+    def test_shape_mismatch(self, rng):
+        with pytest.raises(ValueError):
+            Crossbar(np.ones((2, 2)), np.ones((3, 2)))
+
+    def test_requires_2d(self):
+        with pytest.raises(ValueError):
+            Crossbar(np.ones(4), np.ones(4))
+
+
+class TestCrossbarArray:
+    def test_analog_equals_integer_mvm(self, rng):
+        codes = rng.integers(-8, 9, size=(70, 40))
+        array = CrossbarArray(codes, bits=4, size=32)
+        inputs = rng.integers(0, 16, size=(5, 70)).astype(float)
+        np.testing.assert_allclose(
+            array.multiply_analog(inputs), array.multiply_codes(inputs), atol=1e-6
+        )
+
+    def test_num_crossbars_matches_eq1(self, rng):
+        codes = rng.integers(-8, 9, size=(70, 40))
+        array = CrossbarArray(codes, bits=4, size=32)
+        assert array.num_crossbars == crossbars_required(70, 40, 32)
+
+    def test_single_tile(self, rng):
+        codes = rng.integers(-2, 3, size=(10, 10))
+        array = CrossbarArray(codes, bits=2, size=32)
+        assert array.num_crossbars == 1
+
+    def test_code_range_validated(self):
+        with pytest.raises(ValueError):
+            CrossbarArray(np.array([[10]]), bits=3)  # |code| > 4
+
+    def test_requires_2d(self):
+        with pytest.raises(ValueError):
+            CrossbarArray(np.zeros(5), bits=4)
+
+    def test_input_dim_check(self, rng):
+        array = CrossbarArray(rng.integers(-1, 2, size=(6, 3)), bits=2)
+        with pytest.raises(ValueError):
+            array.multiply_analog(np.ones((2, 7)))
+
+    def test_weights_reconstruction(self, rng):
+        codes = rng.integers(-8, 9, size=(5, 4))
+        array = CrossbarArray(codes, bits=4, scale=0.7)
+        np.testing.assert_allclose(array.weights(), 0.7 * codes / 16)
+
+    def test_variation_perturbs_output(self, rng):
+        codes = rng.integers(-8, 9, size=(20, 10))
+        device = MemristorModel(levels=9, variation_sigma=0.1)
+        ideal = CrossbarArray(codes, bits=4, size=32)
+        noisy = CrossbarArray(codes, bits=4, size=32, device=device,
+                              rng=np.random.default_rng(0))
+        inputs = rng.integers(0, 16, size=(3, 20)).astype(float)
+        exact = ideal.multiply_analog(inputs)
+        perturbed = noisy.multiply_analog(inputs)
+        assert not np.allclose(exact, perturbed)
+        # ... but remains correlated (differential pairs cancel offsets)
+        correlation = np.corrcoef(exact.ravel(), perturbed.ravel())[0, 1]
+        assert correlation > 0.9
+
+    @given(st.integers(min_value=1, max_value=6))
+    @settings(max_examples=12, deadline=None)
+    def test_property_zero_codes_zero_output(self, bits):
+        array = CrossbarArray(np.zeros((8, 4), dtype=int), bits=bits)
+        out = array.multiply_analog(np.ones((2, 8)))
+        np.testing.assert_allclose(out, 0.0, atol=1e-9)
+
+    def test_negative_weights_supported(self):
+        codes = np.array([[-4, 4], [2, -2]])
+        array = CrossbarArray(codes, bits=3)
+        out = array.multiply_analog(np.array([1.0, 1.0]))
+        np.testing.assert_allclose(out, [-2.0, 2.0], atol=1e-9)

@@ -1,0 +1,95 @@
+"""Tests for the chip programming image export/load/install cycle."""
+
+import numpy as np
+import pytest
+
+from repro.core.deployment import DeploymentConfig, deploy_model
+from repro.core.surgery import clone_module
+from repro.models import LeNet
+from repro.nn.tensor import Tensor, no_grad
+from repro.snc.export import (
+    export_programming_image,
+    install_chip,
+    load_programming_image,
+    program_chip,
+)
+from repro.snc.mapping import map_network
+
+
+@pytest.fixture(scope="module")
+def mapped(rng_module=np.random.default_rng(5)):
+    model = LeNet(width_multiplier=0.5, rng=rng_module)
+    deployed, info = deploy_model(
+        model, DeploymentConfig(signal_bits=4, weight_bits=4, weight_mode="clustered")
+    )
+    hardware = clone_module(deployed)
+    map_network(hardware, info.clustering)
+    return hardware
+
+
+class TestExportLoad:
+    def test_roundtrip_codes(self, mapped, tmp_path):
+        path = str(tmp_path / "chip.npz")
+        meta = export_programming_image(mapped, path)
+        assert set(meta) == {"conv1", "conv2", "fc1", "fc2"}
+        image = load_programming_image(path)
+        for name, layer in image.items():
+            assert layer.bits == 4
+            assert layer.codes.dtype == np.int64
+            assert np.abs(layer.codes[: layer.codes.shape[0] - layer.bias_rows]).max() <= 8
+
+    def test_unmapped_network_rejected(self, tmp_path):
+        model = LeNet(width_multiplier=0.5, rng=np.random.default_rng(0))
+        with pytest.raises(ValueError):
+            export_programming_image(model, str(tmp_path / "x.npz"))
+
+    def test_export_creates_directories(self, mapped, tmp_path):
+        path = str(tmp_path / "deep" / "dir" / "chip.npz")
+        export_programming_image(mapped, path)
+        import os
+
+        assert os.path.exists(path)
+
+
+class TestProgramAndInstall:
+    def test_ideal_chip_preserves_outputs(self, mapped, tmp_path, rng):
+        path = str(tmp_path / "chip.npz")
+        export_programming_image(mapped, path)
+        image = load_programming_image(path)
+        chip = program_chip(image, variation_sigma=0.0)
+
+        x = Tensor(rng.normal(size=(4, 1, 28, 28)))
+        with no_grad():
+            before = mapped(x).data
+        target = clone_module(mapped)
+        installed = install_chip(target, chip)
+        assert installed == 4
+        with no_grad():
+            after = target(x).data
+        np.testing.assert_allclose(after, before, atol=1e-8)
+
+    def test_different_dies_differ(self, mapped, tmp_path, rng):
+        path = str(tmp_path / "chip.npz")
+        export_programming_image(mapped, path)
+        image = load_programming_image(path)
+        die_a = program_chip(image, variation_sigma=0.1, seed=1)
+        die_b = program_chip(image, variation_sigma=0.1, seed=2)
+
+        x = Tensor(rng.normal(size=(2, 1, 28, 28)))
+        net_a = clone_module(mapped)
+        net_b = clone_module(mapped)
+        install_chip(net_a, die_a)
+        install_chip(net_b, die_b)
+        with no_grad():
+            out_a = net_a(x).data
+            out_b = net_b(x).data
+        assert not np.allclose(out_a, out_b)
+
+    def test_missing_layer_raises(self, mapped, tmp_path):
+        path = str(tmp_path / "chip.npz")
+        export_programming_image(mapped, path)
+        image = load_programming_image(path)
+        image.pop("conv1")
+        chip = program_chip(image)
+        with pytest.raises(KeyError):
+            install_chip(clone_module(mapped), chip)

@@ -1,0 +1,106 @@
+"""Tests for stuck-at-fault injection and the pair-swap rescue."""
+
+import numpy as np
+import pytest
+
+from repro.snc.crossbar import CrossbarArray
+from repro.snc.faults import (
+    inject_stuck_faults,
+    realized_weight_error,
+    rescue_by_pair_swap,
+)
+
+
+def make_array(rng, rows=64, cols=48, bits=4):
+    codes = rng.integers(-8, 9, size=(rows, cols))
+    return CrossbarArray(codes, bits=bits, size=32)
+
+
+class TestInjection:
+    def test_zero_rate_no_faults(self, rng):
+        array = make_array(rng)
+        report = inject_stuck_faults(array, rate=0.0, rng=rng)
+        assert report.stuck_sa0 == report.stuck_sa1 == 0
+        assert report.fault_rate == 0.0
+
+    def test_rate_respected(self, rng):
+        array = make_array(rng, rows=96, cols=96)
+        report = inject_stuck_faults(array, rate=0.1, rng=rng)
+        assert abs(report.fault_rate - 0.1) < 0.02
+
+    def test_total_devices_counts_both_planes(self, rng):
+        array = make_array(rng, rows=64, cols=48)
+        report = inject_stuck_faults(array, rate=0.0, rng=rng)
+        assert report.total_devices == 64 * 48 * 2
+
+    def test_sa1_fraction(self, rng):
+        array = make_array(rng, rows=96, cols=96)
+        report = inject_stuck_faults(array, rate=0.2, sa1_fraction=1.0, rng=rng)
+        assert report.stuck_sa0 == 0
+        assert report.stuck_sa1 > 0
+
+    def test_invalid_rate(self, rng):
+        with pytest.raises(ValueError):
+            inject_stuck_faults(make_array(rng), rate=1.5)
+        with pytest.raises(ValueError):
+            inject_stuck_faults(make_array(rng), rate=0.1, sa1_fraction=-0.1)
+
+    def test_faults_corrupt_output(self, rng):
+        array = make_array(rng)
+        inputs = rng.integers(0, 16, size=(4, 64)).astype(float)
+        clean = array.multiply_analog(inputs)
+        inject_stuck_faults(array, rate=0.2, rng=rng)
+        faulty = array.multiply_analog(inputs)
+        assert not np.allclose(clean, faulty)
+
+    def test_faulted_devices_at_extremes(self, rng):
+        array = make_array(rng)
+        inject_stuck_faults(array, rate=1.0, sa1_fraction=0.0, rng=rng)
+        for row_tiles in array.tiles:
+            for tile in row_tiles:
+                np.testing.assert_allclose(tile.g_plus, array.device.g_min)
+                np.testing.assert_allclose(tile.g_minus, array.device.g_min)
+
+
+class TestErrorMetric:
+    def test_zero_for_clean_array(self, rng):
+        assert realized_weight_error(make_array(rng)) < 1e-12
+
+    def test_grows_with_fault_rate(self, rng):
+        errors = []
+        for rate in (0.0, 0.05, 0.3):
+            array = make_array(np.random.default_rng(1))
+            inject_stuck_faults(array, rate=rate, rng=np.random.default_rng(2))
+            errors.append(realized_weight_error(array))
+        assert errors[0] < errors[1] < errors[2]
+
+
+class TestRescue:
+    def test_no_swaps_on_clean_array(self, rng):
+        assert rescue_by_pair_swap(make_array(rng)) == 0
+
+    def test_rescue_never_increases_error(self, rng):
+        for seed in (1, 2, 3):
+            array = make_array(np.random.default_rng(seed))
+            inject_stuck_faults(array, rate=0.15, rng=np.random.default_rng(seed + 10))
+            before = realized_weight_error(array)
+            swapped = rescue_by_pair_swap(array)
+            after = realized_weight_error(array)
+            assert after <= before + 1e-12
+            if swapped:
+                assert after < before
+
+    def test_rescue_helps_sa1_on_magnitude_device(self, rng):
+        # A pair with code +3: g⁺ carries 3, g⁻ carries 0.  SA0 on g⁺ makes
+        # the realized code 0; swapping can't fix that.  But SA1 on g⁻
+        # (making realized code 3 − 8 = −5) is improved by the swap when
+        # |5 − 3| < |−5 − 3|.
+        codes = np.full((4, 4), 3)
+        array = CrossbarArray(codes, bits=4, size=32)
+        tile = array.tiles[0][0]
+        tile.g_minus[...] = array.device.g_max  # SA1 the whole minus plane
+        before = realized_weight_error(array)
+        swapped = rescue_by_pair_swap(array)
+        after = realized_weight_error(array)
+        assert swapped == 16
+        assert after < before

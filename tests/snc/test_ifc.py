@@ -1,0 +1,108 @@
+"""Tests for the integrate-and-fire circuit model."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.snc.ifc import IntegrateAndFire, ifc_for_layer
+from repro.snc.spikes import encode_uniform
+
+
+class TestClosedForm:
+    def test_matches_round_and_clip(self):
+        ifc = IntegrateAndFire(threshold=1.0, max_spikes=15)
+        charge = np.array([-3.0, 0.4, 0.5, 7.2, 99.0])
+        np.testing.assert_allclose(ifc.run_total(charge), [0, 0, 1, 7, 15])
+
+    def test_matches_signal_quantizer_exactly(self, rng):
+        """IFC semantics ≡ quantize_signals — the equivalence the system
+        simulation relies on."""
+        from repro.core.quantizers import quantize_signals
+
+        ifc = IntegrateAndFire(threshold=1.0, max_spikes=15)
+        values = rng.uniform(-5, 25, size=500)
+        np.testing.assert_allclose(ifc.run_total(values), quantize_signals(values, 4))
+
+    def test_threshold_scales_charge(self):
+        ifc = IntegrateAndFire(threshold=2.0, max_spikes=7)
+        np.testing.assert_allclose(ifc.run_total(np.array([4.0])), [2])
+
+    def test_truncation_mode(self):
+        ifc = IntegrateAndFire(threshold=1.0, max_spikes=15, round_to_nearest=False)
+        np.testing.assert_allclose(ifc.run_total(np.array([1.9])), [1])
+
+    def test_invalid_params(self):
+        with pytest.raises(ValueError):
+            IntegrateAndFire(threshold=0.0, max_spikes=5)
+        with pytest.raises(ValueError):
+            IntegrateAndFire(threshold=1.0, max_spikes=0)
+
+
+class TestSteppedSimulation:
+    def test_matches_closed_form_for_nonnegative_streams(self, rng):
+        ifc = IntegrateAndFire(threshold=1.0, max_spikes=15)
+        # Non-negative per-slot charges (excitatory-only column).
+        charges = rng.uniform(0, 0.4, size=(15, 20))
+        stepped = ifc.run(charges)
+        closed = ifc.run_total(charges.sum(axis=0))
+        np.testing.assert_allclose(stepped, closed)
+
+    def test_spike_train_input_roundtrip(self):
+        """Feeding a rate-coded integer through a unit-weight column
+        reproduces the integer."""
+        ifc = IntegrateAndFire(threshold=1.0, max_spikes=15)
+        values = np.arange(16)
+        spike_trains = encode_uniform(values, bits=4).astype(float)
+        counts = ifc.run(spike_trains)
+        np.testing.assert_allclose(counts, values)
+
+    def test_saturates_at_max(self):
+        ifc = IntegrateAndFire(threshold=1.0, max_spikes=3)
+        charges = np.full((10, 1), 1.0)
+        np.testing.assert_allclose(ifc.run(charges), [3])
+
+    def test_all_negative_stream_fires_nothing(self):
+        ifc = IntegrateAndFire(threshold=1.0, max_spikes=15)
+        charges = np.full((5, 2), -1.0)
+        np.testing.assert_allclose(ifc.run(charges), [0, 0])
+
+    @given(st.integers(min_value=1, max_value=6))
+    @settings(max_examples=10, deadline=None)
+    def test_property_counts_bounded(self, bits):
+        rng = np.random.default_rng(bits)
+        max_spikes = 2 ** bits - 1
+        ifc = IntegrateAndFire(threshold=1.0, max_spikes=max_spikes)
+        charges = rng.uniform(-1, 2, size=(max_spikes, 30))
+        counts = ifc.run(charges)
+        assert counts.min() >= 0
+        assert counts.max() <= max_spikes
+
+
+class TestLayerFactory:
+    def test_threshold_from_scale(self):
+        ifc = ifc_for_layer(signal_bits=4, weight_bits=4, scale=0.8)
+        assert ifc.threshold == pytest.approx(16 / 0.8)
+        assert ifc.max_spikes == 15
+
+    def test_invalid_scale(self):
+        with pytest.raises(ValueError):
+            ifc_for_layer(4, 4, scale=0.0)
+
+    def test_end_to_end_column(self, rng):
+        """Spike counts × crossbar column + IFC = quantized dot product."""
+        from repro.core.quantizers import quantize_signals
+        from repro.snc.crossbar import CrossbarArray
+
+        bits_w, bits_s, scale = 4, 4, 0.9
+        codes = rng.integers(-8, 9, size=(12, 1))
+        array = CrossbarArray(codes, bits=bits_w, scale=scale)
+        inputs = rng.integers(0, 16, size=(1, 12)).astype(float)
+
+        charge_code_units = array.multiply_analog(inputs)
+        ifc = ifc_for_layer(bits_s, bits_w, scale)
+        # charge in code units → weight units need scale/2^N; IFC threshold
+        # 2^N/scale absorbs it: spike count = round(clip(w·x)).
+        counts = ifc.run_total(charge_code_units * (scale / 16) * ifc.threshold)
+        expected = quantize_signals(inputs @ (scale * codes / 16), bits_s)
+        np.testing.assert_allclose(counts, expected)

@@ -1,0 +1,98 @@
+"""Tests for the crossbar IR-drop nodal analysis."""
+
+import numpy as np
+import pytest
+
+from repro.snc.irdrop import (
+    IRDropResult,
+    ir_drop_error_vs_size,
+    solve_crossbar_currents,
+)
+
+
+class TestSolver:
+    def test_zero_wire_resistance_is_ideal(self, rng):
+        g = rng.uniform(1e-6, 2e-5, size=(6, 5))
+        v = rng.uniform(0, 1, size=6)
+        result = solve_crossbar_currents(g, v, wire_resistance=0.0)
+        np.testing.assert_allclose(result.actual_currents, result.ideal_currents)
+        assert result.relative_error == 0.0
+
+    def test_single_cell_voltage_divider(self):
+        """1×1 crossbar: cell in series with one wire segment? — with our
+        topology the driver sits directly on R(0,0) and the sense on
+        C(0,0), so the only element between them is the memristor: the
+        current must equal g·v exactly."""
+        g = np.array([[1e-5]])
+        v = np.array([0.8])
+        result = solve_crossbar_currents(g, v, wire_resistance=2.5)
+        np.testing.assert_allclose(
+            result.actual_currents, [1e-5 * 0.8], rtol=1e-6
+        )
+
+    def test_actual_never_exceeds_ideal_much(self, rng):
+        """Wire resistance only loses voltage; columns can't gain current."""
+        g = rng.uniform(1e-6, 2e-5, size=(16, 16))
+        v = rng.uniform(0, 1, size=16)
+        result = solve_crossbar_currents(g, v, wire_resistance=2.5)
+        assert np.all(result.actual_currents <= result.ideal_currents * (1 + 1e-6))
+
+    def test_error_grows_with_wire_resistance(self, rng):
+        g = rng.uniform(5e-6, 2e-5, size=(16, 16))
+        v = np.ones(16)
+        errors = [
+            solve_crossbar_currents(g, v, wire_resistance=r).relative_error
+            for r in (0.5, 2.5, 10.0)
+        ]
+        assert errors[0] < errors[1] < errors[2]
+
+    def test_error_grows_with_conductance(self):
+        v = np.ones(16)
+        low = solve_crossbar_currents(np.full((16, 16), 2e-6), v).relative_error
+        high = solve_crossbar_currents(np.full((16, 16), 2e-5), v).relative_error
+        assert low < high
+
+    def test_input_shape_check(self, rng):
+        with pytest.raises(ValueError):
+            solve_crossbar_currents(np.ones((4, 4)) * 1e-6, np.ones(5))
+
+    def test_negative_wire_resistance(self, rng):
+        with pytest.raises(ValueError):
+            solve_crossbar_currents(np.ones((2, 2)) * 1e-6, np.ones(2), -1.0)
+
+    def test_zero_input_zero_output(self):
+        result = solve_crossbar_currents(
+            np.full((8, 8), 1e-5), np.zeros(8), wire_resistance=2.5
+        )
+        np.testing.assert_allclose(result.actual_currents, 0.0, atol=1e-12)
+        assert result.relative_error == 0.0
+
+
+class TestSizeSweep:
+    def test_error_monotone_in_size(self):
+        results = ir_drop_error_vs_size([8, 16, 32])
+        errors = [e for _, e in results]
+        assert errors[0] < errors[1] < errors[2]
+
+    def test_paper_size_is_reasonable(self):
+        """At the paper's t=32 and full conductance the worst-corner error
+        stays within a few percent — large arrays would not."""
+        results = dict(ir_drop_error_vs_size([32, 128]))
+        assert results[32] < 0.05
+        assert results[128] > results[32] * 3
+
+
+class TestResultMetrics:
+    def test_relative_error_zero_denominator(self):
+        result = IRDropResult(
+            ideal_currents=np.zeros(3), actual_currents=np.zeros(3)
+        )
+        assert result.relative_error == 0.0
+        assert result.worst_column_error == 0.0
+
+    def test_worst_column(self):
+        result = IRDropResult(
+            ideal_currents=np.array([1.0, 2.0]),
+            actual_currents=np.array([1.0, 1.0]),
+        )
+        assert result.worst_column_error == pytest.approx(0.5)

@@ -1,0 +1,88 @@
+"""Tests for the per-layer cost decomposition."""
+
+import numpy as np
+import pytest
+
+from repro.models.specs import alexnet_spec, lenet_spec, resnet_spec
+from repro.snc.cost import evaluate_system_cost, layer_breakdown
+
+
+class TestLayerBreakdown:
+    def test_one_row_per_layer(self):
+        rows = layer_breakdown(lenet_spec(), 4)
+        assert len(rows) == 4
+        assert [r["kind"] for r in rows] == ["conv", "conv", "fc", "fc"]
+
+    def test_sums_match_totals(self):
+        for spec in (lenet_spec(), alexnet_spec()):
+            for bits in (3, 4, 8):
+                rows = layer_breakdown(spec, bits)
+                total = evaluate_system_cost(spec, bits)
+                assert sum(r["energy_uj"] for r in rows) == pytest.approx(
+                    total.energy_uj, rel=1e-9
+                )
+                assert sum(r["area_mm2"] for r in rows) == pytest.approx(
+                    total.area_mm2, rel=1e-9
+                )
+
+    def test_lenet_fc1_dominates_crossbars(self):
+        # LeNet's fc1 (256×16) needs 8 of the 15 crossbars.
+        rows = layer_breakdown(lenet_spec(), 4)
+        fc1 = rows[2]
+        assert fc1["crossbars"] == max(r["crossbars"] for r in rows)
+
+    def test_resnet_late_stages_dominate_area(self):
+        rows = layer_breakdown(resnet_spec(), 4)
+        first_half = sum(r["area_mm2"] for r in rows[:9])
+        second_half = sum(r["area_mm2"] for r in rows[9:])
+        assert second_half > first_half  # 256/512-wide stages dominate
+
+    def test_conv_layers_dominate_spike_events(self):
+        # Spatial reuse makes conv layers the spike-traffic hotspots.
+        rows = layer_breakdown(alexnet_spec(), 4)
+        conv_events = sum(r["output_events"] for r in rows if r["kind"] == "conv")
+        fc_events = sum(r["output_events"] for r in rows if r["kind"] == "fc")
+        assert conv_events > 10 * fc_events
+
+    def test_invalid_bits(self):
+        with pytest.raises(ValueError):
+            layer_breakdown(lenet_spec(), 0)
+
+
+class TestTrainerEarlyStopping:
+    def test_patience_stops_early(self, rng):
+        from repro.core.qat import Trainer, TrainerConfig
+        from repro.nn.data import Dataset
+        from repro import nn
+
+        images = rng.normal(size=(40, 1, 4, 4))
+        labels = rng.integers(0, 2, size=40)  # unlearnable noise labels
+        data = Dataset(images, labels)
+        model = nn.Sequential(
+            nn.Flatten(), nn.Linear(16, 4, rng=rng), nn.ReLU(), nn.Linear(4, 2, rng=rng)
+        )
+        history = Trainer(
+            TrainerConfig(epochs=30, patience=2, seed=0)
+        ).fit(model, data, data)
+        assert len(history.losses) < 30
+
+    def test_restore_best_keeps_peak_weights(self, rng):
+        from repro.analysis.metrics import evaluate_accuracy
+        from repro.core.qat import Trainer, TrainerConfig
+        from repro.nn.data import Dataset
+        from repro import nn
+
+        half = 30
+        images = np.zeros((60, 1, 4, 4))
+        images[:half] = rng.normal(-1, 0.4, size=(half, 1, 4, 4))
+        images[half:] = rng.normal(1, 0.4, size=(half, 1, 4, 4))
+        labels = np.array([0] * half + [1] * half)
+        data = Dataset(images, labels)
+        model = nn.Sequential(
+            nn.Flatten(), nn.Linear(16, 4, rng=rng), nn.ReLU(), nn.Linear(4, 2, rng=rng)
+        )
+        history = Trainer(
+            TrainerConfig(epochs=10, lr=1e-2, restore_best=True, seed=0)
+        ).fit(model, data, data)
+        final = evaluate_accuracy(model, data)
+        assert final == pytest.approx(max(history.eval_accuracies), abs=1e-9)

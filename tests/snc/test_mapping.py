@@ -1,0 +1,124 @@
+"""Tests for the Fig. 2 network-to-crossbar mapping."""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.core.deployment import DeploymentConfig, deploy_model
+from repro.nn.tensor import Tensor, no_grad
+from repro.snc.mapping import (
+    SpikingConv2d,
+    SpikingLinear,
+    map_network,
+    weight_codes_from_quantized,
+)
+
+
+class TestCodeReconstruction:
+    def test_roundtrip(self, rng):
+        codes = rng.integers(-8, 9, size=(4, 6))
+        weights = 0.7 * codes / 16
+        recovered = weight_codes_from_quantized(weights, bits=4, scale=0.7)
+        np.testing.assert_allclose(recovered, codes)
+
+    def test_rejects_off_grid(self, rng):
+        with pytest.raises(ValueError):
+            weight_codes_from_quantized(rng.normal(size=(3, 3)), bits=4, scale=1.0)
+
+
+def quantized_lenet(rng):
+    """A weight-clustered LeNet plus its clustering report."""
+    from repro.models import LeNet
+
+    model = LeNet(width_multiplier=0.5, rng=rng)
+    deployed, info = deploy_model(
+        model, DeploymentConfig(signal_bits=4, weight_bits=4, weight_mode="clustered")
+    )
+    return deployed, info.clustering
+
+
+class TestSpikingLayers:
+    def test_spiking_linear_matches_dense(self, rng):
+        linear = nn.Linear(20, 8, rng=rng)
+        from repro.core.weight_clustering import cluster_weights
+
+        result = cluster_weights(linear.weight.data, bits=4)
+        linear.weight.data[...] = result.quantized
+        step = result.scale / 16
+        linear.bias.data[...] = np.rint(linear.bias.data / step) * step
+
+        spiking = SpikingLinear(linear, bits=4, scale=result.scale)
+        x = Tensor(rng.integers(0, 16, size=(5, 20)).astype(float))
+        expected = linear(x).data
+        np.testing.assert_allclose(spiking(x).data, expected, atol=1e-8)
+
+    def test_spiking_conv_matches_dense(self, rng):
+        conv = nn.Conv2d(3, 6, 3, stride=1, padding=1, rng=rng)
+        from repro.core.weight_clustering import cluster_weights
+
+        result = cluster_weights(conv.weight.data, bits=4)
+        conv.weight.data[...] = result.quantized
+        step = result.scale / 16
+        conv.bias.data[...] = np.rint(conv.bias.data / step) * step
+
+        spiking = SpikingConv2d(conv, bits=4, scale=result.scale)
+        x = Tensor(rng.integers(0, 16, size=(2, 3, 8, 8)).astype(float))
+        np.testing.assert_allclose(spiking(x).data, conv(x).data, atol=1e-8)
+
+    def test_large_bias_split_across_rows(self, rng):
+        linear = nn.Linear(4, 3, rng=rng)
+        scale = 1.0
+        step = scale / 16
+        # Bias code 40 exceeds the ±8 device range at 4 bits → needs 5 rows.
+        linear.weight.data[...] = np.rint(linear.weight.data / step) * step
+        linear.weight.data[...] = np.clip(linear.weight.data, -0.5, 0.5)
+        linear.bias.data[...] = np.array([40, -20, 3]) * step
+        spiking = SpikingLinear(linear, bits=4, scale=scale)
+        assert spiking._n_bias_rows == 5
+        x = Tensor(rng.integers(0, 4, size=(2, 4)).astype(float))
+        np.testing.assert_allclose(spiking(x).data, linear(x).data, atol=1e-8)
+
+
+class TestMapNetwork:
+    def test_replaces_all_weight_layers(self, rng):
+        deployed, clustering = quantized_lenet(rng)
+        report = map_network(deployed, clustering)
+        spiking = [
+            m for m in deployed.modules() if isinstance(m, (SpikingConv2d, SpikingLinear))
+        ]
+        assert len(spiking) == 4
+        assert len(report.layers) == 4
+
+    def test_mapped_network_matches_software(self, rng):
+        deployed, clustering = quantized_lenet(rng)
+        x = Tensor(rng.normal(size=(3, 1, 28, 28)))
+        with no_grad():
+            expected = deployed(x).data
+        # Map a fresh copy (map_network mutates).
+        from repro.core.surgery import clone_module
+
+        hardware = clone_module(deployed)
+        map_network(hardware, clustering)
+        with no_grad():
+            actual = hardware(x).data
+        np.testing.assert_allclose(actual, expected, atol=1e-6)
+
+    def test_mapping_report_totals(self, rng):
+        deployed, clustering = quantized_lenet(rng)
+        report = map_network(deployed, clustering)
+        assert report.total_crossbars == sum(l.crossbars for l in report.layers)
+        assert report.total_crossbars >= 4
+        text = report.summary()
+        assert "total:" in text
+
+    def test_missing_clustering_key_raises(self, rng):
+        deployed, clustering = quantized_lenet(rng)
+        clustering.results.pop("conv1.weight")
+        with pytest.raises(KeyError):
+            map_network(deployed, clustering)
+
+    def test_layer_kinds_recorded(self, rng):
+        deployed, clustering = quantized_lenet(rng)
+        report = map_network(deployed, clustering)
+        kinds = [layer.kind for layer in report.layers]
+        assert kinds == ["conv", "conv", "fc", "fc"]

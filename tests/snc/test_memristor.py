@@ -1,0 +1,94 @@
+"""Tests for the memristor device model."""
+
+import numpy as np
+import pytest
+
+from repro.snc.memristor import (
+    R_OFF_OHMS,
+    R_ON_OHMS,
+    MemristorModel,
+    levels_for_bits,
+    model_for_bits,
+)
+
+
+class TestModelBasics:
+    def test_paper_resistance_window(self):
+        model = MemristorModel()
+        assert model.g_max == pytest.approx(1 / 50_000)
+        assert model.g_min == pytest.approx(1 / 1_000_000)
+
+    def test_invalid_window(self):
+        with pytest.raises(ValueError):
+            MemristorModel(r_on=1e6, r_off=5e4)
+
+    def test_invalid_levels(self):
+        with pytest.raises(ValueError):
+            MemristorModel(levels=1)
+
+    def test_invalid_variation(self):
+        with pytest.raises(ValueError):
+            MemristorModel(variation_sigma=-0.1)
+
+    def test_level_conductances_linear(self):
+        model = MemristorModel(levels=9)
+        levels = model.level_conductances()
+        assert len(levels) == 9
+        np.testing.assert_allclose(np.diff(levels), model.g_step)
+        assert levels[0] == pytest.approx(model.g_min)
+        assert levels[-1] == pytest.approx(model.g_max)
+
+
+class TestProgramming:
+    def test_ideal_programming_exact(self):
+        model = MemristorModel(levels=5)
+        levels = np.array([0, 2, 4])
+        g = model.program(levels)
+        np.testing.assert_allclose(g, model.g_min + levels * model.g_step)
+
+    def test_out_of_range_level(self):
+        model = MemristorModel(levels=4)
+        with pytest.raises(ValueError):
+            model.program(np.array([4]))
+        with pytest.raises(ValueError):
+            model.program(np.array([-1]))
+
+    def test_variation_is_lognormal_multiplicative(self):
+        model = MemristorModel(levels=5, variation_sigma=0.1)
+        rng = np.random.default_rng(0)
+        levels = np.full(20_000, 3)
+        g = model.program(levels, rng)
+        ideal = model.g_min + 3 * model.g_step
+        ratios = np.log(g / ideal)
+        assert abs(ratios.mean()) < 0.01
+        assert abs(ratios.std() - 0.1) < 0.01
+
+    def test_variation_deterministic_with_seed(self):
+        model = MemristorModel(levels=5, variation_sigma=0.2)
+        a = model.program(np.array([1, 2]), np.random.default_rng(7))
+        b = model.program(np.array([1, 2]), np.random.default_rng(7))
+        np.testing.assert_allclose(a, b)
+
+    def test_read_current_ohms_law(self):
+        i = MemristorModel.read_current(np.array([2e-6]), np.array([0.5]))
+        np.testing.assert_allclose(i, [1e-6])
+
+
+class TestLevelsForBits:
+    def test_counts(self):
+        assert levels_for_bits(1) == 2
+        assert levels_for_bits(4) == 9
+        assert levels_for_bits(6) == 33
+
+    def test_within_hp_labs_capability(self):
+        """[16]: real devices afford 64 levels; 4-bit needs only 9."""
+        assert levels_for_bits(4) <= 64
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            levels_for_bits(0)
+
+    def test_model_for_bits(self):
+        model = model_for_bits(4, variation_sigma=0.05)
+        assert model.levels == 9
+        assert model.variation_sigma == 0.05

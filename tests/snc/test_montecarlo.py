@@ -1,0 +1,91 @@
+"""Tests for Monte-Carlo yield estimation."""
+
+import numpy as np
+import pytest
+
+from repro.core.qat import Trainer, TrainerConfig
+from repro.datasets.mnist_like import generate_mnist_like
+from repro.models import LeNet
+from repro.snc.montecarlo import YieldReport, estimate_yield, yield_vs_variation
+from repro.snc.system import SpikingSystemConfig, build_spiking_system
+
+
+@pytest.fixture(scope="module")
+def deployed():
+    train = generate_mnist_like(500, seed=0)
+    test = generate_mnist_like(200, seed=11)
+    model = LeNet(rng=np.random.default_rng(7))
+    Trainer(TrainerConfig(epochs=8, penalty="proposed", bits=4, seed=1)).fit(model, train)
+    system = build_spiking_system(
+        model,
+        SpikingSystemConfig(signal_bits=4, weight_bits=4, input_bits=8),
+        train.images[:100],
+    )
+    return system, test
+
+
+class TestYieldReport:
+    def test_yield_fraction(self):
+        report = YieldReport(variation_sigma=0.1, threshold=0.9,
+                             accuracies=[0.95, 0.85, 0.92])
+        assert report.yield_fraction == pytest.approx(2 / 3)
+        assert report.worst_die == pytest.approx(0.85)
+        assert "yield" in report.summary()
+
+    def test_empty(self):
+        report = YieldReport(variation_sigma=0.1, threshold=0.9)
+        assert report.yield_fraction == 0.0
+        assert report.mean_accuracy == 0.0
+
+
+class TestEstimateYield:
+    def test_zero_variation_perfect_yield(self, deployed):
+        system, test = deployed
+        clean_acc = system.accuracy(test.subset(100))
+        report = estimate_yield(
+            system, test, variation_sigma=0.0,
+            threshold=clean_acc - 0.01, n_dies=3, eval_samples=100,
+        )
+        assert report.yield_fraction == 1.0
+        # Ideal dies are all identical.
+        assert np.std(report.accuracies) == 0.0
+
+    def test_high_variation_kills_yield(self, deployed):
+        system, test = deployed
+        report = estimate_yield(
+            system, test, variation_sigma=0.5,
+            threshold=0.9, n_dies=4, eval_samples=100,
+        )
+        assert report.yield_fraction < 1.0
+
+    def test_dies_differ_under_variation(self, deployed):
+        system, test = deployed
+        report = estimate_yield(
+            system, test, variation_sigma=0.15,
+            threshold=0.5, n_dies=4, eval_samples=100,
+        )
+        assert len(set(report.accuracies)) > 1
+
+    def test_invalid_args(self, deployed):
+        system, test = deployed
+        with pytest.raises(ValueError):
+            estimate_yield(system, test, 0.1, threshold=1.5)
+        with pytest.raises(ValueError):
+            estimate_yield(system, test, 0.1, threshold=0.9, n_dies=0)
+
+    def test_system_not_mutated(self, deployed):
+        system, test = deployed
+        before = system.accuracy(test.subset(100))
+        estimate_yield(system, test, 0.3, threshold=0.9, n_dies=2, eval_samples=50)
+        after = system.accuracy(test.subset(100))
+        assert before == after
+
+
+class TestSweep:
+    def test_yield_monotone_nonincreasing(self, deployed):
+        system, test = deployed
+        reports = yield_vs_variation(
+            system, test, sigmas=[0.0, 0.3], threshold=0.9,
+            n_dies=4, eval_samples=100,
+        )
+        assert reports[0].yield_fraction >= reports[1].yield_fraction

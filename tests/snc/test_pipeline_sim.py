@@ -1,0 +1,105 @@
+"""Tests for the cycle-level pipeline simulator."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.models.specs import lenet_spec, paper_specs
+from repro.snc.cost import PAPER_SPEED_PROFILES
+from repro.snc.pipeline_sim import (
+    mixed_precision_speed_mhz,
+    simulate_pipeline,
+    uniform_pipeline_speed_mhz,
+    window_cycles,
+)
+
+
+class TestSimulation:
+    def test_single_stage(self):
+        stats = simulate_pipeline([10], num_inferences=8)
+        assert stats.first_latency == 10
+        assert stats.total_cycles == 80
+        assert stats.throughput == pytest.approx(0.1)
+
+    def test_uniform_stages(self):
+        stats = simulate_pipeline([5, 5, 5], num_inferences=16)
+        assert stats.first_latency == 15
+        # Steady state: one completion every 5 cycles.
+        assert stats.throughput == pytest.approx(1 / 5)
+
+    def test_bottleneck_dominates(self):
+        stats = simulate_pipeline([2, 20, 2], num_inferences=16)
+        assert stats.throughput == pytest.approx(1 / 20)
+        assert stats.bottleneck_layer == 1
+
+    def test_invalid_windows(self):
+        with pytest.raises(ValueError):
+            simulate_pipeline([], num_inferences=4)
+        with pytest.raises(ValueError):
+            simulate_pipeline([0, 5], num_inferences=4)
+        with pytest.raises(ValueError):
+            simulate_pipeline([5], num_inferences=1)
+
+    @given(
+        st.lists(st.integers(min_value=1, max_value=30), min_size=1, max_size=6),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_property_throughput_is_inverse_bottleneck(self, windows):
+        stats = simulate_pipeline(windows, num_inferences=32)
+        assert stats.throughput == pytest.approx(1.0 / max(windows))
+
+    @given(
+        st.lists(st.integers(min_value=1, max_value=20), min_size=1, max_size=5),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_property_first_latency_is_sum(self, windows):
+        stats = simulate_pipeline(windows, num_inferences=4)
+        assert stats.first_latency == sum(windows)
+
+
+class TestWindowCycles:
+    def test_values(self):
+        assert window_cycles(4) == 15
+        assert window_cycles(4, overhead_cycles=2.6) == 18
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            window_cycles(0)
+
+
+class TestAgainstAnalyticModel:
+    def test_uniform_simulation_matches_cost_model(self):
+        """The simulated uniform pipeline must reproduce the calibrated
+        analytic speeds for every network and bit width."""
+        for spec in paper_specs():
+            profile = PAPER_SPEED_PROFILES[spec.name]
+            for bits in (3, 4, 8):
+                simulated = uniform_pipeline_speed_mhz(spec, bits, profile)
+                analytic = profile.speed_mhz(bits)
+                assert simulated == pytest.approx(analytic, rel=0.05), (
+                    f"{spec.name}@{bits}: sim {simulated} vs analytic {analytic}"
+                )
+
+
+class TestMixedPrecision:
+    def test_shape_check(self):
+        with pytest.raises(ValueError):
+            mixed_precision_speed_mhz(lenet_spec(), [4, 4])
+
+    def test_one_slow_layer_caps_throughput(self):
+        """Lowering precision everywhere except one layer buys ~nothing —
+        the argument for the paper's uniform bit width."""
+        spec = lenet_spec()
+        uniform_8 = mixed_precision_speed_mhz(spec, [8, 8, 8, 8])
+        one_slow = mixed_precision_speed_mhz(spec, [8, 3, 3, 3])
+        uniform_3 = mixed_precision_speed_mhz(spec, [3, 3, 3, 3])
+        assert one_slow == pytest.approx(uniform_8, rel=0.02)
+        assert uniform_3 > 5 * one_slow
+
+    def test_mixed_between_uniform_bounds(self):
+        spec = lenet_spec()
+        mixed = mixed_precision_speed_mhz(spec, [5, 4, 4, 3])
+        low = mixed_precision_speed_mhz(spec, [5, 5, 5, 5])
+        high = mixed_precision_speed_mhz(spec, [3, 3, 3, 3])
+        assert low <= mixed <= high

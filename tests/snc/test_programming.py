@@ -1,0 +1,76 @@
+"""Tests for the memristor programming cost model."""
+
+import pytest
+
+from repro.models.specs import alexnet_spec, lenet_spec, resnet_spec
+from repro.snc.programming import (
+    ProgrammingCost,
+    ProgrammingModel,
+    programming_cost,
+    programming_cost_ratio,
+)
+
+
+class TestModel:
+    def test_expected_pulses_linear_in_levels(self):
+        model = ProgrammingModel(base_pulses=2.0, pulses_per_level=0.5)
+        assert model.expected_pulses(9) == pytest.approx(6.5)
+        assert model.expected_pulses(33) == pytest.approx(18.5)
+
+    def test_invalid_levels(self):
+        with pytest.raises(ValueError):
+            ProgrammingModel().expected_pulses(1)
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            ProgrammingModel(base_pulses=-1)
+        with pytest.raises(ValueError):
+            ProgrammingModel(pulse_width_ns=0)
+        with pytest.raises(ValueError):
+            ProgrammingModel(parallel_crossbars=0)
+
+
+class TestCost:
+    def test_invalid_bits(self):
+        with pytest.raises(ValueError):
+            programming_cost(lenet_spec(), 0)
+
+    def test_device_count_matches_crossbars(self):
+        cost = programming_cost(lenet_spec(), 4)
+        # 15 crossbars × 32² × 2 planes
+        assert cost.total_devices == 15 * 1024 * 2
+
+    def test_cost_grows_with_bits(self):
+        costs = [programming_cost(lenet_spec(), bits) for bits in (2, 3, 4, 6, 8)]
+        times = [c.time_ms for c in costs]
+        energies = [c.energy_uj for c in costs]
+        assert all(a < b for a, b in zip(times, times[1:]))
+        assert all(a < b for a, b in zip(energies, energies[1:]))
+
+    def test_papers_six_bit_objection(self):
+        """6-bit devices cost ≈3× the write time of 4-bit — the Sec. 1
+        argument for modest precision despite [16]'s 64-level devices."""
+        ratio = programming_cost_ratio(lenet_spec(), 6, 4)
+        assert ratio > 2.0
+
+    def test_larger_networks_cost_more(self):
+        small = programming_cost(lenet_spec(), 4).time_ms
+        medium = programming_cost(alexnet_spec(), 4).time_ms
+        large = programming_cost(resnet_spec(), 4).time_ms
+        assert small < medium < large
+
+    def test_parallelism_reduces_time_not_energy(self):
+        serial = programming_cost(
+            alexnet_spec(), 4, ProgrammingModel(parallel_crossbars=1)
+        )
+        parallel = programming_cost(
+            alexnet_spec(), 4, ProgrammingModel(parallel_crossbars=16)
+        )
+        assert parallel.time_ms < serial.time_ms
+        assert parallel.energy_uj == pytest.approx(serial.energy_uj)
+
+    def test_total_pulses_consistent(self):
+        cost = programming_cost(lenet_spec(), 4)
+        assert cost.total_pulses == pytest.approx(
+            cost.pulses_per_device * cost.total_devices
+        )

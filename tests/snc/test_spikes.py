@@ -1,0 +1,94 @@
+"""Tests for rate coding."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.snc.spikes import (
+    decode_counts,
+    encode_bernoulli,
+    encode_uniform,
+    encoding_is_lossless,
+    window_length,
+)
+
+
+class TestWindow:
+    def test_lengths(self):
+        assert window_length(4) == 15
+        assert window_length(8) == 255
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            window_length(0)
+
+
+class TestUniformEncoding:
+    def test_exact_roundtrip(self):
+        values = np.arange(16)
+        spikes = encode_uniform(values, bits=4)
+        np.testing.assert_allclose(decode_counts(spikes), values)
+
+    def test_shape(self):
+        spikes = encode_uniform(np.zeros((3, 4)), bits=3)
+        assert spikes.shape == (7, 3, 4)
+
+    def test_saturation(self):
+        spikes = encode_uniform(np.array([100]), bits=4)
+        assert decode_counts(spikes)[0] == 15
+
+    def test_negative_clamps(self):
+        spikes = encode_uniform(np.array([-5]), bits=4)
+        assert decode_counts(spikes)[0] == 0
+
+    def test_spikes_evenly_spread(self):
+        # value 5 in window 15: gaps between spikes differ by at most 1 slot.
+        spikes = encode_uniform(np.array([5]), bits=4)[:, 0]
+        positions = np.where(spikes)[0]
+        gaps = np.diff(positions)
+        assert gaps.max() - gaps.min() <= 1
+
+    def test_full_value_fires_every_slot(self):
+        spikes = encode_uniform(np.array([15]), bits=4)[:, 0]
+        assert spikes.all()
+
+    @given(
+        hnp.arrays(
+            dtype=np.int64,
+            shape=hnp.array_shapes(min_dims=1, max_dims=2, max_side=6),
+            elements=st.integers(min_value=0, max_value=255),
+        ),
+        st.integers(min_value=1, max_value=8),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_property_lossless_within_window(self, values, bits):
+        assert encoding_is_lossless(values, bits)
+
+    @given(st.integers(min_value=1, max_value=8))
+    @settings(max_examples=8, deadline=None)
+    def test_property_every_integer_roundtrips(self, bits):
+        values = np.arange(window_length(bits) + 1)
+        decoded = decode_counts(encode_uniform(values, bits))
+        np.testing.assert_allclose(decoded, values)
+
+
+class TestBernoulliEncoding:
+    def test_expectation_correct(self):
+        rng = np.random.default_rng(0)
+        values = np.full(4000, 7)
+        spikes = encode_bernoulli(values, bits=4, rng=rng)
+        mean_count = decode_counts(spikes).mean()
+        assert abs(mean_count - 7) < 0.15
+
+    def test_stochastic_not_exact(self):
+        """The point of deterministic rate coding: Bernoulli is lossy."""
+        rng = np.random.default_rng(0)
+        values = np.full(200, 7)
+        decoded = decode_counts(encode_bernoulli(values, bits=4, rng=rng))
+        assert not np.all(decoded == 7)
+
+    def test_zero_never_fires(self):
+        spikes = encode_bernoulli(np.zeros(10), bits=4, rng=np.random.default_rng(0))
+        assert decode_counts(spikes).sum() == 0

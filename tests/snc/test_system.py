@@ -1,0 +1,90 @@
+"""Tests for the end-to-end spiking system (LeNet-scale, kept fast)."""
+
+import numpy as np
+import pytest
+
+from repro.core.qat import Trainer, TrainerConfig
+from repro.datasets.mnist_like import generate_mnist_like
+from repro.models import LeNet
+from repro.snc.system import SpikingSystemConfig, build_spiking_system
+
+
+@pytest.fixture(scope="module")
+def trained_lenet():
+    train = generate_mnist_like(600, seed=0)
+    model = LeNet(width_multiplier=1.0, rng=np.random.default_rng(7))
+    Trainer(TrainerConfig(epochs=8, penalty="proposed", bits=4, seed=1)).fit(model, train)
+    return model, train
+
+
+@pytest.fixture(scope="module")
+def system(trained_lenet):
+    model, train = trained_lenet
+    config = SpikingSystemConfig(signal_bits=4, weight_bits=4, input_bits=8)
+    return build_spiking_system(model, config, train.images[:100])
+
+
+class TestEquivalence:
+    def test_bit_exact_against_software(self, system, trained_lenet):
+        _, train = trained_lenet
+        assert system.verify_equivalence(train.images[:40])
+
+    def test_predictions_shape(self, system, trained_lenet):
+        _, train = trained_lenet
+        predictions = system.predict(train.images[:10])
+        assert predictions.shape == (10,)
+        assert set(np.unique(predictions)) <= set(range(10))
+
+    def test_accuracy_reasonable(self, system):
+        test = generate_mnist_like(150, seed=42)
+        accuracy = system.accuracy(test)
+        assert accuracy > 0.5  # trained briefly, deployed fully quantized
+
+    def test_hardware_accuracy_close_to_software(self, system):
+        from repro.analysis.metrics import evaluate_accuracy
+
+        test = generate_mnist_like(150, seed=42)
+        hw = system.accuracy(test)
+        sw = evaluate_accuracy(system.software_reference, test)
+        assert abs(hw - sw) < 1e-9  # identical by bit-exactness
+
+
+class TestVariation:
+    def test_variation_breaks_equivalence(self, trained_lenet):
+        model, train = trained_lenet
+        config = SpikingSystemConfig(
+            signal_bits=4, weight_bits=4, input_bits=8, variation_sigma=0.2, seed=5
+        )
+        noisy = build_spiking_system(model, config, train.images[:100])
+        assert not noisy.verify_equivalence(train.images[:40])
+
+    def test_small_variation_degrades_gracefully(self, trained_lenet, system):
+        model, train = trained_lenet
+        test = generate_mnist_like(150, seed=42)
+        clean_acc = system.accuracy(test)
+        config = SpikingSystemConfig(
+            signal_bits=4, weight_bits=4, input_bits=8, variation_sigma=0.02, seed=5
+        )
+        noisy = build_spiking_system(model, config, train.images[:100])
+        assert noisy.accuracy(test) > clean_acc - 0.15
+
+
+class TestSpikeStatistics:
+    def test_counts_positive_and_window_correct(self, system, trained_lenet):
+        _, train = trained_lenet
+        stats = system.spike_statistics(train.images[:20])
+        assert stats.window == 15
+        assert stats.total_mean_spikes > 0
+        assert len(stats.per_layer_counts) == 3  # three quantized activations
+
+    def test_spike_counts_bounded_by_capacity(self, system, trained_lenet):
+        _, train = trained_lenet
+        stats = system.spike_statistics(train.images[:20])
+        for layer, count in stats.per_layer_counts.items():
+            assert count >= 0
+
+
+class TestMappingIntegration:
+    def test_crossbar_counts_present(self, system):
+        assert system.mapping.total_crossbars > 0
+        assert len(system.mapping.layers) == 4

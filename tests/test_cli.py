@@ -1,0 +1,89 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main, run_command
+
+
+class TestParser:
+    def test_defaults(self):
+        args = build_parser().parse_args(["table5"])
+        assert args.command == "table5"
+        assert args.bits == [5, 4, 3]
+        assert not args.fast
+
+    def test_bits_and_models(self):
+        args = build_parser().parse_args(
+            ["table2", "--bits", "4", "--models", "lenet", "--fast"]
+        )
+        assert args.bits == [4]
+        assert args.models == ["lenet"]
+        assert args.fast
+
+    def test_unknown_command_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["table9"])
+
+
+class TestTrainingFreeCommands:
+    def test_list(self):
+        args = build_parser().parse_args(["list"])
+        out = run_command(args)
+        assert "table5" in out and "fig4" in out
+
+    def test_table5(self):
+        out = run_command(build_parser().parse_args(["table5"]))
+        assert "lenet" in out and "resnet" in out
+        assert "speedup" in out
+
+    def test_fig1a(self):
+        out = run_command(build_parser().parse_args(["fig1a"]))
+        assert "speed_mhz" in out
+
+    def test_fig3(self):
+        out = run_command(build_parser().parse_args(["fig3"]))
+        assert "truncated_l1" in out
+
+    def test_main_returns_zero(self, capsys):
+        assert main(["table5"]) == 0
+        assert "Table 5" in capsys.readouterr().out
+
+    def test_breakdown(self):
+        out = run_command(
+            build_parser().parse_args(["breakdown", "--models", "lenet", "--bits", "4"])
+        )
+        assert "crossbars" in out
+        assert out.count("lenet") == 4  # one row per LeNet layer
+
+    def test_programming(self):
+        out = run_command(
+            build_parser().parse_args(
+                ["programming", "--models", "lenet", "--bits", "4", "6"]
+            )
+        )
+        assert "pulses_per_device" in out
+
+    def test_irdrop(self):
+        out = run_command(build_parser().parse_args(["irdrop"]))
+        assert "relative_error_pct" in out
+
+
+class TestTrainingBackedCommand:
+    def test_table2_fast_lenet(self, tmp_path, monkeypatch):
+        # Redirect the cache so the test doesn't pollute .bench_cache.
+        from repro.analysis import experiments as E
+
+        fast = E.ExperimentSettings(
+            train_size=E.FAST_SETTINGS.train_size,
+            test_size=E.FAST_SETTINGS.test_size,
+            widths=E.FAST_SETTINGS.widths,
+            epochs=E.FAST_SETTINGS.epochs,
+            cache_dir=str(tmp_path),
+        )
+        monkeypatch.setattr(E, "FAST_SETTINGS", fast)
+        out = run_command(
+            build_parser().parse_args(
+                ["table2", "--fast", "--models", "lenet", "--bits", "3"]
+            )
+        )
+        assert "lenet" in out and "recovered" in out

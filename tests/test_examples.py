@@ -1,0 +1,40 @@
+"""Smoke tests: every example imports cleanly and exposes main()."""
+
+import importlib.util
+import os
+import sys
+
+import pytest
+
+EXAMPLES_DIR = os.path.join(os.path.dirname(__file__), "..", "examples")
+EXAMPLE_FILES = sorted(
+    f for f in os.listdir(EXAMPLES_DIR) if f.endswith(".py")
+)
+
+
+def load_example(filename):
+    path = os.path.join(EXAMPLES_DIR, filename)
+    spec = importlib.util.spec_from_file_location(filename[:-3], path)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+def test_expected_examples_present():
+    assert "quickstart.py" in EXAMPLE_FILES
+    assert len(EXAMPLE_FILES) >= 4
+
+
+@pytest.mark.parametrize("filename", EXAMPLE_FILES)
+def test_example_imports_and_has_main(filename):
+    module = load_example(filename)
+    assert callable(getattr(module, "main", None)), f"{filename} lacks main()"
+    assert module.__doc__, f"{filename} lacks a module docstring"
+
+
+@pytest.mark.parametrize("filename", EXAMPLE_FILES)
+def test_example_guards_execution(filename):
+    """Examples must not run at import time (they all did, to pass above)."""
+    with open(os.path.join(EXAMPLES_DIR, filename)) as handle:
+        source = handle.read()
+    assert 'if __name__ == "__main__":' in source

@@ -1,0 +1,72 @@
+"""Package-level smoke tests: imports, version, public API surface."""
+
+import importlib
+
+import pytest
+
+
+def test_version():
+    import repro
+
+    assert repro.__version__.count(".") == 2
+
+
+@pytest.mark.parametrize(
+    "module",
+    [
+        "repro",
+        "repro.nn",
+        "repro.nn.tensor",
+        "repro.nn.functional",
+        "repro.nn.modules",
+        "repro.nn.optim",
+        "repro.nn.losses",
+        "repro.nn.data",
+        "repro.nn.init",
+        "repro.nn.serialization",
+        "repro.models",
+        "repro.models.specs",
+        "repro.datasets",
+        "repro.core",
+        "repro.core.regularizers",
+        "repro.core.neuron_convergence",
+        "repro.core.weight_clustering",
+        "repro.core.quantizers",
+        "repro.core.deployment",
+        "repro.core.pipeline",
+        "repro.core.finetune",
+        "repro.snc",
+        "repro.snc.memristor",
+        "repro.snc.crossbar",
+        "repro.snc.spikes",
+        "repro.snc.ifc",
+        "repro.snc.mapping",
+        "repro.snc.system",
+        "repro.snc.cost",
+        "repro.snc.faults",
+        "repro.analysis",
+        "repro.cli",
+    ],
+)
+def test_module_imports(module):
+    importlib.import_module(module)
+
+
+@pytest.mark.parametrize(
+    "module",
+    ["repro.nn", "repro.models", "repro.datasets", "repro.core", "repro.snc",
+     "repro.analysis"],
+)
+def test_all_exports_resolve(module):
+    mod = importlib.import_module(module)
+    for name in mod.__all__:
+        assert hasattr(mod, name), f"{module}.__all__ lists missing name {name}"
+
+
+def test_every_public_module_has_docstring():
+    for module in [
+        "repro.nn.tensor", "repro.nn.functional", "repro.core.regularizers",
+        "repro.core.weight_clustering", "repro.snc.crossbar", "repro.snc.cost",
+    ]:
+        mod = importlib.import_module(module)
+        assert mod.__doc__ and len(mod.__doc__) > 50
