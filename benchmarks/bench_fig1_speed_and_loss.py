@@ -6,7 +6,6 @@ grows (a), and — below ~5 bits — quantizing *neurons* hurts accuracy more
 than quantizing *weights* (b), both evaluated on LeNet/MNIST.
 """
 
-import pytest
 
 from benchmarks.conftest import BENCH_SETTINGS, save_result
 from repro.analysis.experiments import fig1a_speed_vs_precision, fig1b_accuracy_loss

@@ -6,7 +6,6 @@ only the proposed regularizer yields signals that are simultaneously
 *sparse* and *contained in the uniform range* [0, 2^(M−1)].
 """
 
-import numpy as np
 
 from benchmarks.conftest import BENCH_SETTINGS, save_result
 from repro.analysis.experiments import fig4_signal_distributions

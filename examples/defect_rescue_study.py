@@ -13,14 +13,12 @@ import numpy as np
 from repro import datasets, models
 from repro.analysis import render_table
 from repro.core import Trainer, TrainerConfig
-from repro.core.surgery import clone_module
 from repro.snc import (
     SpikingSystemConfig,
     build_spiking_system,
     inject_faults_into_network,
     rescue_network,
 )
-from repro.snc.mapping import map_network
 
 
 def main() -> None:

@@ -13,9 +13,8 @@ Usage:  python examples/quickstart.py
 
 import time
 
-import numpy as np
 
-from repro import datasets, models
+from repro import datasets
 from repro.core import PipelineConfig, QuantizationPipeline
 
 def main() -> None:

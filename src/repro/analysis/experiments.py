@@ -17,7 +17,7 @@ from __future__ import annotations
 
 import hashlib
 import os
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
 import numpy as np
@@ -35,7 +35,7 @@ from repro.datasets.registry import load_dataset
 from repro.models.registry import MODEL_DATASET, build_model, get_spec
 from repro.nn.data import Dataset
 from repro.nn.modules import Module
-from repro.nn.serialization import load_state, save_state
+from repro.nn.serialization import StateDictError, load_state, save_state
 from repro.nn.tensor import Tensor, no_grad
 from repro.snc.cost import PAPER_TABLE5, evaluate_system_cost, table5_row
 
@@ -121,9 +121,17 @@ class ModelCache:
             **MODEL_BUILD_KWARGS.get(model, {}),
         )
         path = self.path_for(key)
+        loaded = False
         if os.path.exists(path):
-            load_state(instance, path)
-        else:
+            try:
+                load_state(instance, path)
+                loaded = True
+            except StateDictError as error:
+                # A truncated or stale archive must not wedge the harness:
+                # drop it and retrain from scratch.
+                print(f"discarding unreadable cache entry {path}: {error}")
+                os.unlink(path)
+        if not loaded:
             train_kwargs = {
                 "strength": settings.strength,
                 "alpha": settings.alpha,
@@ -498,3 +506,64 @@ def fig4_signal_distributions(
         finally:
             tap.detach()
     return distributions
+
+
+# ---------------------------------------------------------------------------
+# Self-healing deployment: CLI healthcheck study
+# ---------------------------------------------------------------------------
+
+def healthcheck_study(
+    settings: ExperimentSettings = ExperimentSettings(),
+    model: str = "lenet",
+    bits: int = 4,
+    fault_rate: float = 0.0,
+    variation_sigma: float = 0.0,
+    spare_fraction: float = 0.1,
+    seed: int = 0,
+    remediate: bool = False,
+    eval_samples: int = 100,
+) -> Dict[str, object]:
+    """Deploy a cached trained model, damage it, and run the health probe.
+
+    Drives the full self-healing loop behind ``repro healthcheck``:
+    build the spiking system (with spare crossbars provisioned), inject
+    stuck-at faults at ``fault_rate`` (seeded — reproducible from the
+    CLI), diagnose, optionally climb the remediation ladder, and measure
+    accuracy at each stage.  Returns the reports plus accuracy numbers.
+    """
+    from repro.snc.faults import inject_faults_into_network
+    from repro.snc.remediation import RemediationConfig
+    from repro.snc.system import SpikingSystemConfig, build_spiking_system
+
+    trained, train_set, test_set = _trained(model, "proposed", bits, settings)
+    config = SpikingSystemConfig(
+        signal_bits=bits,
+        weight_bits=bits,
+        input_bits=8,
+        variation_sigma=variation_sigma,
+        signal_gain=MODEL_SIGNAL_GAIN[model],
+        spare_tile_fraction=spare_fraction,
+        seed=seed,
+    )
+    system = build_spiking_system(trained, config, train_set.images[:200])
+    subset = test_set.subset(min(eval_samples, len(test_set)))
+
+    fault_report = None
+    if fault_rate > 0:
+        fault_report = inject_faults_into_network(system.network, fault_rate, seed=seed)
+    probe_images = test_set.images[:20]
+    health = system.health_check(images=probe_images, seed=seed)
+    result: Dict[str, object] = {
+        "model": model,
+        "bits": bits,
+        "fault_report": fault_report,
+        "health": health,
+        "accuracy": system.accuracy(subset),
+        "software_accuracy": evaluate_accuracy(system.software_reference, subset),
+    }
+    if remediate:
+        outcome = system.remediate(RemediationConfig(seed=seed))
+        result["remediation"] = outcome
+        result["health_after"] = system.health_check(images=probe_images, seed=seed)
+        result["accuracy_after"] = system.accuracy(subset)
+    return result

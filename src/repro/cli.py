@@ -5,6 +5,7 @@ Examples::
     python -m repro.cli table5
     python -m repro.cli table2 --models lenet --bits 4 3 --fast
     python -m repro.cli fig1a
+    python -m repro.cli healthcheck --fault-rate 0.01 --remediate --fast
     python -m repro.cli list
 
 Training-backed commands cache trained models under ``.bench_cache`` (same
@@ -23,7 +24,7 @@ from repro.analysis.tables import render_dict_table, render_histogram
 COMMANDS = (
     "table1", "table2", "table3", "table4", "table5",
     "fig1a", "fig1b", "fig3", "fig4",
-    "breakdown", "programming", "irdrop", "list",
+    "breakdown", "programming", "irdrop", "healthcheck", "list",
 )
 
 
@@ -176,6 +177,49 @@ def run_command(args: argparse.Namespace) -> str:
             title="Programming (write) cost",
         )
 
+    if args.command == "healthcheck":
+        if not 0.0 <= args.fault_rate <= 1.0:
+            raise SystemExit(
+                f"repro healthcheck: --fault-rate must be in [0, 1], got {args.fault_rate}"
+            )
+        if args.variation < 0.0:
+            raise SystemExit(
+                f"repro healthcheck: --variation must be >= 0, got {args.variation}"
+            )
+        result = E.healthcheck_study(
+            _settings(args),
+            model=args.models[0],
+            bits=args.bits[0],
+            fault_rate=args.fault_rate,
+            variation_sigma=args.variation,
+            spare_fraction=args.spare_fraction,
+            seed=args.seed,
+            remediate=args.remediate,
+        )
+        lines = [
+            f"Self-healing healthcheck — {result['model']} at "
+            f"{result['bits']}-bit, fault rate {args.fault_rate:.1%}, "
+            f"variation σ={args.variation:.2f}, seed {args.seed}",
+            "",
+        ]
+        fault_report = result["fault_report"]
+        if fault_report is not None:
+            lines.append(
+                f"Injected faults: {fault_report.stuck_sa0} SA0 + "
+                f"{fault_report.stuck_sa1} SA1 of {fault_report.total_devices} devices"
+            )
+        lines.append(result["health"].summary())
+        lines.append(
+            f"Hardware accuracy {result['accuracy']:.1%} "
+            f"(software twin {result['software_accuracy']:.1%})"
+        )
+        if args.remediate:
+            lines.append("")
+            lines.append(result["remediation"].summary())
+            lines.append(result["health_after"].summary())
+            lines.append(f"Hardware accuracy after repair: {result['accuracy_after']:.1%}")
+        return "\n".join(lines)
+
     if args.command == "irdrop":
         from repro.snc.irdrop import ir_drop_error_vs_size
 
@@ -206,6 +250,28 @@ def build_parser() -> argparse.ArgumentParser:
         choices=["lenet", "alexnet", "resnet"],
     )
     parser.add_argument("--bits", nargs="+", type=int, default=[5, 4, 3])
+
+    healthcheck = parser.add_argument_group("healthcheck options")
+    healthcheck.add_argument(
+        "--fault-rate", type=float, default=0.01,
+        help="stuck-at fault rate to inject before probing (0 = pristine chip)",
+    )
+    healthcheck.add_argument(
+        "--variation", type=float, default=0.0,
+        help="memristor programming variation σ at deployment time",
+    )
+    healthcheck.add_argument(
+        "--spare-fraction", type=float, default=0.1,
+        help="fraction of crossbars provisioned as spares for remediation",
+    )
+    healthcheck.add_argument(
+        "--seed", type=int, default=0,
+        help="seed for fault injection, probing, and repair pulse noise",
+    )
+    healthcheck.add_argument(
+        "--remediate", action="store_true",
+        help="run the tiered repair ladder after diagnosis and re-probe",
+    )
     return parser
 
 

@@ -199,6 +199,19 @@ def deploy_model(
     return deployed, info
 
 
+def make_fallback_reference(software: Module) -> Module:
+    """A frozen copy of the quantized software twin for fallback serving.
+
+    The guard runtime (:mod:`repro.runtime.guard`) must be able to serve
+    from the software model even while diagnosis/remediation mutate the
+    deployed network, so it gets its own eval-mode clone with all forward
+    hooks dropped — bit-exact with the original twin by construction.
+    """
+    twin = clone_module(software)
+    twin.eval()
+    return twin
+
+
 class _PrependInput(Module):
     """Run an input quantizer before the wrapped network."""
 

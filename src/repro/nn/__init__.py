@@ -26,7 +26,7 @@ from repro.nn.modules import (
     Sequential,
 )
 from repro.nn.optim import SGD, Adam, CosineLR, Optimizer, StepLR
-from repro.nn.serialization import load_state, save_state
+from repro.nn.serialization import StateDictError, load_state, save_state
 from repro.nn.tensor import Tensor, as_tensor, concatenate, no_grad, stack
 
 __all__ = [
@@ -61,4 +61,5 @@ __all__ = [
     "DataLoader",
     "save_state",
     "load_state",
+    "StateDictError",
 ]

@@ -1,8 +1,18 @@
-"""Save / load model state as ``.npz`` archives."""
+"""Save / load model state as ``.npz`` archives.
+
+``save_state`` is atomic (temp file + ``os.replace``), so a crash mid-write
+never leaves a truncated archive at the target path, and it pins the file
+to exactly the path you asked for — working around ``np.savez`` silently
+appending ``.npz`` when the suffix is missing.  ``load_state`` validates
+the archive against the module before loading and reports *all* missing /
+unexpected keys and shape mismatches in one error.
+"""
 
 from __future__ import annotations
 
 import os
+import tempfile
+import zipfile
 from typing import Dict
 
 import numpy as np
@@ -10,17 +20,83 @@ import numpy as np
 from repro.nn.modules import Module
 
 
+class StateDictError(ValueError):
+    """A saved state does not match the module it is being loaded into."""
+
+
 def save_state(module: Module, path: str) -> None:
-    """Write a module's state dict to ``path`` (numpy ``.npz``)."""
+    """Write a module's state dict to ``path`` (numpy ``.npz``), atomically.
+
+    The archive lands at exactly ``path`` (whether or not it ends in
+    ``.npz``): the write goes to a temporary sibling file first and is
+    moved into place with ``os.replace``, so readers never observe a
+    partially written archive.
+    """
     state = module.state_dict()
-    directory = os.path.dirname(os.path.abspath(path))
+    path = os.path.abspath(path)
+    directory = os.path.dirname(path)
     os.makedirs(directory, exist_ok=True)
-    # npz keys cannot contain "/" reliably; dots are fine.
-    np.savez(path, **state)
+    # np.savez appends ".npz" unless the name already has it; write to a
+    # temp file that carries the suffix, then rename to the exact target.
+    fd, tmp_path = tempfile.mkstemp(suffix=".npz", prefix=".tmp_state_", dir=directory)
+    try:
+        with os.fdopen(fd, "wb") as handle:
+            # npz keys cannot contain "/" reliably; dots are fine.
+            np.savez(handle, **state)
+        os.replace(tmp_path, path)
+    except BaseException:
+        if os.path.exists(tmp_path):
+            os.unlink(tmp_path)
+        raise
+
+
+def _resolve_archive_path(path: str) -> str:
+    """Find the archive, tolerating a silently appended ``.npz`` suffix."""
+    if os.path.exists(path):
+        return path
+    suffixed = path + ".npz"
+    if not path.endswith(".npz") and os.path.exists(suffixed):
+        return suffixed
+    raise FileNotFoundError(f"no saved state at {path!r} (also tried {path + '.npz'!r})")
 
 
 def load_state(module: Module, path: str) -> None:
-    """Load a state dict previously written by :func:`save_state`."""
-    with np.load(path) as archive:
-        state: Dict[str, np.ndarray] = {key: archive[key] for key in archive.files}
+    """Load a state dict previously written by :func:`save_state`.
+
+    Raises :class:`StateDictError` listing every missing key, unexpected
+    key, and shape mismatch between the archive and ``module`` — instead
+    of whatever ``np.load`` / ``load_state_dict`` would hit first.
+    """
+    archive_path = _resolve_archive_path(path)
+    try:
+        with np.load(archive_path) as archive:
+            state: Dict[str, np.ndarray] = {key: archive[key] for key in archive.files}
+    except (OSError, ValueError, zipfile.BadZipFile, EOFError) as error:
+        raise StateDictError(
+            f"{archive_path!r} is not a readable .npz state archive: {error}"
+        ) from error
+
+    expected = module.state_dict()
+    missing = sorted(set(expected) - set(state))
+    unexpected = sorted(set(state) - set(expected))
+    mismatched = sorted(
+        name
+        for name in set(expected) & set(state)
+        if expected[name].shape != state[name].shape
+    )
+    if missing or unexpected or mismatched:
+        problems = []
+        if missing:
+            problems.append(f"missing keys: {', '.join(missing)}")
+        if unexpected:
+            problems.append(f"unexpected keys: {', '.join(unexpected)}")
+        if mismatched:
+            details = ", ".join(
+                f"{name} (module {expected[name].shape} vs file {state[name].shape})"
+                for name in mismatched
+            )
+            problems.append(f"shape mismatches: {details}")
+        raise StateDictError(
+            f"state in {archive_path!r} does not match module: " + "; ".join(problems)
+        )
     module.load_state_dict(state)

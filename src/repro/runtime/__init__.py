@@ -1,0 +1,14 @@
+"""repro.runtime — guarded serving on top of the deployed SNC.
+
+The simulation stack (:mod:`repro.snc`) models what a chip *is*; this
+package models how a production deployment *operates* one: periodic health
+probes, automatic remediation, bounded retries, and guarded fallback to
+the quantized software twin when the analog path misses spec.
+
+- :mod:`repro.runtime.guard` — :class:`~repro.runtime.guard.
+  GuardedSpikingSystem`, the self-healing serving wrapper.
+"""
+
+from repro.runtime.guard import GuardConfig, GuardedSpikingSystem, RuntimeCounters
+
+__all__ = ["GuardConfig", "GuardedSpikingSystem", "RuntimeCounters"]

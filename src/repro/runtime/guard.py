@@ -1,0 +1,228 @@
+"""Guarded serving: health checks, self-repair, and software fallback.
+
+:class:`GuardedSpikingSystem` wraps a deployed
+:class:`~repro.snc.system.SpikingSystem` so that a damaged chip degrades
+gracefully instead of silently serving wrong answers:
+
+- **periodic health probes** — every ``probe_every`` requests the mapped
+  crossbars are probed (:func:`~repro.snc.diagnosis.diagnose`);
+- **tiered remediation** — an unhealthy probe triggers the repair ladder
+  (:func:`~repro.snc.remediation.run_remediation_ladder`) when
+  ``auto_remediate`` is on;
+- **guarded fallback** — if the chip still misses spec after repair, all
+  subsequent traffic is served by the bit-exact quantized software twin
+  (never *worse* than the software model, by construction);
+- **bounded retry** — transient spike-path failures (exceptions from the
+  analog path) are retried up to ``max_retries`` times, then the single
+  request falls back to software without condemning the chip.
+
+Operational counters are exposed via :meth:`GuardedSpikingSystem.
+runtime_stats` for scraping by a metrics pipeline.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import asdict, dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.core.deployment import make_fallback_reference
+from repro.nn.tensor import Tensor, no_grad
+from repro.snc.diagnosis import DEFAULT_CODE_TOLERANCE, HealthReport, diagnose
+from repro.snc.remediation import RemediationConfig, run_remediation_ladder
+
+
+@dataclass
+class GuardConfig:
+    """Serving-guard policy.
+
+    ``probe_every = n`` probes before the first request and then every
+    ``n`` requests; ``0`` probes only on demand (:meth:`GuardedSpikingSystem.
+    check_health`).  ``max_deviating_fraction`` is the serving spec: the
+    analog path is trusted only while the network-wide fraction of
+    deviating device pairs stays at or below it.
+    """
+
+    probe_every: int = 0
+    code_tolerance: float = DEFAULT_CODE_TOLERANCE
+    max_deviating_fraction: float = 0.0
+    max_retries: int = 2
+    auto_remediate: bool = True
+    remediation: Optional[RemediationConfig] = None
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.probe_every < 0:
+            raise ValueError(f"probe_every must be >= 0, got {self.probe_every}")
+        if self.max_retries < 0:
+            raise ValueError(f"max_retries must be >= 0, got {self.max_retries}")
+
+    def remediation_config(self) -> RemediationConfig:
+        if self.remediation is not None:
+            return self.remediation
+        return RemediationConfig(
+            code_tolerance=self.code_tolerance,
+            target_deviating_fraction=self.max_deviating_fraction,
+            seed=self.seed,
+        )
+
+
+@dataclass
+class RuntimeCounters:
+    """Operational counters of one guarded system."""
+
+    requests_total: int = 0
+    requests_analog: int = 0
+    requests_software: int = 0
+    transient_failures: int = 0
+    transient_retries: int = 0
+    probes_run: int = 0
+    probes_failed: int = 0
+    probe_latency_total_s: float = 0.0
+    repairs_attempted: int = 0
+    repairs_succeeded: int = 0
+    fallback_engaged: bool = False
+
+    @property
+    def probe_latency_mean_s(self) -> float:
+        return self.probe_latency_total_s / max(self.probes_run, 1)
+
+
+@dataclass
+class _HealthEvent:
+    """One probe (and optional repair) episode, for the event log."""
+
+    request_index: int
+    healthy: bool
+    deviating_pairs: int
+    remediated: bool = False
+    spec_met_after: Optional[bool] = None
+
+
+class GuardedSpikingSystem:
+    """A :class:`~repro.snc.system.SpikingSystem` wrapped for production.
+
+    The wrapper owns a frozen clone of the quantized software twin
+    (:func:`~repro.core.deployment.make_fallback_reference`); whenever the
+    analog path is out of spec — or throws transiently — requests are
+    served from it instead, so guarded output is never worse than the
+    software model's.
+    """
+
+    def __init__(self, system, config: Optional[GuardConfig] = None) -> None:
+        self.system = system
+        self.config = config or GuardConfig()
+        self.software_twin = make_fallback_reference(system.software_reference)
+        self.counters = RuntimeCounters()
+        self.health_log: list = []
+        self.last_report: Optional[HealthReport] = None
+        self._requests_since_probe: Optional[int] = None  # None = never probed
+
+    # -- serving ------------------------------------------------------------
+    def infer(self, images: np.ndarray) -> np.ndarray:
+        """Serve one batch; returns logits ``(batch, classes)``."""
+        if self._probe_due():
+            self.check_health()
+        self.counters.requests_total += 1
+        if self._requests_since_probe is not None:
+            self._requests_since_probe += 1
+        if self.counters.fallback_engaged:
+            return self._software_infer(images)
+        for attempt in range(self.config.max_retries + 1):
+            try:
+                logits = self.system.infer(images)
+            except Exception:
+                self.counters.transient_failures += 1
+                if attempt < self.config.max_retries:
+                    self.counters.transient_retries += 1
+                    continue
+                # Retries exhausted: serve this request from software
+                # without condemning the analog path.
+                return self._software_infer(images)
+            self.counters.requests_analog += 1
+            return logits
+        raise AssertionError("unreachable")  # pragma: no cover
+
+    def predict(self, images: np.ndarray) -> np.ndarray:
+        """Class predictions for a batch."""
+        return self.infer(images).argmax(axis=1)
+
+    def accuracy(self, dataset, batch_size: int = 128) -> float:
+        """Top-1 accuracy through the guarded serving path."""
+        correct = 0
+        for start in range(0, len(dataset), batch_size):
+            images = dataset.images[start : start + batch_size]
+            labels = dataset.labels[start : start + batch_size]
+            correct += int((self.predict(images) == labels).sum())
+        return correct / len(dataset)
+
+    def _software_infer(self, images: np.ndarray) -> np.ndarray:
+        self.counters.requests_software += 1
+        with no_grad():
+            return self.software_twin(Tensor(images)).data
+
+    # -- health -------------------------------------------------------------
+    def _probe_due(self) -> bool:
+        if self.config.probe_every == 0:
+            return False
+        if self._requests_since_probe is None:
+            return True
+        return self._requests_since_probe >= self.config.probe_every
+
+    def _within_spec(self, report: HealthReport) -> bool:
+        fraction = report.deviating_pairs / max(report.total_pairs, 1)
+        return fraction <= self.config.max_deviating_fraction
+
+    def check_health(self) -> HealthReport:
+        """Probe the chip now; remediate and/or engage fallback as needed.
+
+        Returns the final :class:`~repro.snc.diagnosis.HealthReport`
+        (post-repair, if the ladder ran).
+        """
+        start = time.perf_counter()
+        report = diagnose(
+            self.system,
+            code_tolerance=self.config.code_tolerance,
+            seed=self.config.seed,
+        )
+        self.counters.probes_run += 1
+        event = _HealthEvent(
+            request_index=self.counters.requests_total,
+            healthy=report.healthy,
+            deviating_pairs=report.deviating_pairs,
+        )
+        if not self._within_spec(report):
+            self.counters.probes_failed += 1
+            if self.config.auto_remediate:
+                self.counters.repairs_attempted += 1
+                outcome = run_remediation_ladder(self.system, self.config.remediation_config())
+                report = outcome.final
+                event.remediated = True
+                event.spec_met_after = outcome.spec_met
+                if outcome.spec_met:
+                    self.counters.repairs_succeeded += 1
+            # Engage (or clear) the fallback path based on the final state.
+            self.counters.fallback_engaged = not self._within_spec(report)
+        else:
+            self.counters.fallback_engaged = False
+        self.counters.probe_latency_total_s += time.perf_counter() - start
+        self.last_report = report
+        self.health_log.append(event)
+        self._requests_since_probe = 0
+        return report
+
+    # -- observability ------------------------------------------------------
+    @property
+    def serving_path(self) -> str:
+        """Which path the next request will take: ``analog`` or ``software``."""
+        return "software" if self.counters.fallback_engaged else "analog"
+
+    def runtime_stats(self) -> dict:
+        """A flat dict of counters, ready for a metrics scraper."""
+        stats = asdict(self.counters)
+        stats["probe_latency_mean_s"] = self.counters.probe_latency_mean_s
+        stats["serving_path"] = self.serving_path
+        stats["health_checks_logged"] = len(self.health_log)
+        return stats

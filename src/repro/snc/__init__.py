@@ -52,6 +52,13 @@ from repro.snc.faults import (
     rescue_by_pair_swap,
     rescue_network,
 )
+from repro.snc.diagnosis import (
+    DEFAULT_CODE_TOLERANCE,
+    CrossbarHealth,
+    HealthReport,
+    diagnose,
+    probe_array,
+)
 from repro.snc.ifc import IntegrateAndFire, ifc_for_layer
 from repro.snc.irdrop import (
     DEFAULT_WIRE_RESISTANCE_OHMS,
@@ -88,6 +95,14 @@ from repro.snc.programming import (
     programming_cost,
     programming_cost_ratio,
 )
+from repro.snc.remediation import (
+    RemediationConfig,
+    RemediationReport,
+    TierOutcome,
+    repair_tile_closed_loop,
+    run_remediation_ladder,
+)
+from repro.snc.seeding import resolve_rng, substream
 from repro.snc.spikes import (
     decode_counts,
     encode_bernoulli,
@@ -168,4 +183,16 @@ __all__ = [
     "YieldReport",
     "estimate_yield",
     "yield_vs_variation",
+    "CrossbarHealth",
+    "HealthReport",
+    "diagnose",
+    "probe_array",
+    "DEFAULT_CODE_TOLERANCE",
+    "RemediationConfig",
+    "RemediationReport",
+    "TierOutcome",
+    "repair_tile_closed_loop",
+    "run_remediation_ladder",
+    "resolve_rng",
+    "substream",
 ]

@@ -44,10 +44,17 @@ class Crossbar:
     ``g_plus`` and ``g_minus`` hold the programmed conductances.  The tile
     does not know about weight scales; :class:`CrossbarArray` tracks the
     mapping from conductance differences back to weight units.
+
+    ``stuck_plus`` / ``stuck_minus`` are optional boolean masks marking
+    devices whose filament is defective (stuck-at, see
+    :mod:`repro.snc.faults`): their conductance can be *read* but no
+    programming pulse changes it.  ``None`` means a pristine tile.
     """
 
     g_plus: np.ndarray
     g_minus: np.ndarray
+    stuck_plus: Optional[np.ndarray] = None
+    stuck_minus: Optional[np.ndarray] = None
 
     def __post_init__(self) -> None:
         if self.g_plus.shape != self.g_minus.shape:
@@ -58,6 +65,21 @@ class Crossbar:
     @property
     def shape(self) -> tuple:
         return self.g_plus.shape
+
+    def ensure_stuck_masks(self) -> None:
+        """Allocate all-healthy stuck masks if the tile has none yet."""
+        if self.stuck_plus is None:
+            self.stuck_plus = np.zeros(self.shape, dtype=bool)
+        if self.stuck_minus is None:
+            self.stuck_minus = np.zeros(self.shape, dtype=bool)
+
+    def writable_plus(self) -> np.ndarray:
+        """Mask of g⁺ devices that still respond to programming pulses."""
+        return ~self.stuck_plus if self.stuck_plus is not None else np.ones(self.shape, dtype=bool)
+
+    def writable_minus(self) -> np.ndarray:
+        """Mask of g⁻ devices that still respond to programming pulses."""
+        return ~self.stuck_minus if self.stuck_minus is not None else np.ones(self.shape, dtype=bool)
 
     def multiply(self, voltages: np.ndarray) -> np.ndarray:
         """Analog MVM: differential column currents for input ``voltages``.
@@ -130,11 +152,75 @@ class CrossbarArray:
                     Crossbar(g_plus[row_slice, col_slice], g_minus[row_slice, col_slice])
                 )
             self.tiles.append(row_tiles)
+        self.spare_tiles_remaining = 0
+        self.remapped_tiles: list = []
 
     @property
     def num_crossbars(self) -> int:
         """Physical tile count — equals Eq. 1 for this matrix."""
         return sum(len(row) for row in self.tiles)
+
+    def provision_spares(self, n: int) -> None:
+        """Reserve ``n`` unprogrammed spare crossbars for tile remapping.
+
+        Spares model redundant physical arrays placed next to the active
+        ones at layout time; :meth:`replace_tile` consumes them.
+        """
+        if n < 0:
+            raise ValueError(f"spare count must be >= 0, got {n}")
+        self.spare_tiles_remaining = int(n)
+
+    def tile_codes(self, tile_row: int, tile_col: int) -> np.ndarray:
+        """The intended integer codes of one tile's slice of the matrix."""
+        tile = self.tiles[tile_row][tile_col]
+        rows, cols = tile.shape
+        row_start = tile_row * self.size
+        col_start = tile_col * self.size
+        return self.weight_codes[row_start : row_start + rows, col_start : col_start + cols]
+
+    def realized_codes(self) -> np.ndarray:
+        """The code matrix the physical devices actually realize.
+
+        ``(g⁺ − g⁻) / g_step`` per pair; equals :attr:`weight_codes` for an
+        ideal array, deviates under variation or stuck faults.
+        """
+        step = self.device.g_step
+        realized = np.zeros((self.rows, self.cols))
+        for tile_row_index, row_tiles in enumerate(self.tiles):
+            row_start = tile_row_index * self.size
+            for tile_col_index, tile in enumerate(row_tiles):
+                col_start = tile_col_index * self.size
+                rows, cols = tile.shape
+                realized[row_start : row_start + rows, col_start : col_start + cols] = (
+                    tile.g_plus - tile.g_minus
+                ) / step
+        return realized
+
+    def replace_tile(
+        self,
+        tile_row: int,
+        tile_col: int,
+        rng: Optional[np.random.Generator] = None,
+    ) -> Crossbar:
+        """Remap one damaged tile onto a spare crossbar.
+
+        The spare is pristine (no stuck devices) and is programmed from the
+        intended codes with this array's device model.  Consumes one spare;
+        raises :class:`RuntimeError` when none remain.
+        """
+        if self.spare_tiles_remaining < 1:
+            raise RuntimeError("no spare crossbars remaining for this array")
+        codes = self.tile_codes(tile_row, tile_col)
+        plus_levels = np.clip(codes, 0, None)
+        minus_levels = np.clip(-codes, 0, None)
+        fresh = Crossbar(
+            self.device.program(plus_levels, rng),
+            self.device.program(minus_levels, rng),
+        )
+        self.tiles[tile_row][tile_col] = fresh
+        self.spare_tiles_remaining -= 1
+        self.remapped_tiles.append((tile_row, tile_col))
+        return fresh
 
     def multiply_codes(self, inputs: np.ndarray) -> np.ndarray:
         """Exact integer MVM in code units: ``inputs @ weight_codes``.

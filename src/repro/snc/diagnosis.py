@@ -1,0 +1,230 @@
+"""Online fault diagnosis: test-vector health probes for deployed systems.
+
+A fabricated crossbar cannot be trusted to match the programming image —
+devices drift, stick, and vary die-to-die.  Because spike-domain signals
+are plain integers, the chip admits an *exact* built-in self test: drive
+known spike patterns through each mapped crossbar and compare the counter
+outputs against the bit-exact quantized software model.
+
+Two probe patterns are used per array:
+
+- **row probes** — one-hot wordline activations read each row of realized
+  codes ``(g⁺ − g⁻)/g_step`` directly off the bitlines, localizing every
+  deviating device pair;
+- **functional probes** — random in-range spike-count vectors exercise the
+  full analog accumulation path and measure end-to-end code error.
+
+Deviations classify by magnitude: a pair off by at least one full code is
+a *hard* fault (stuck-at candidate — it will flip the integer the counter
+reports), smaller deviations are *drift* (programming variation).  Results
+aggregate into a :class:`HealthReport` with per-crossbar pass/fail and
+worst-layer attribution, which drives the repair ladder in
+:mod:`repro.snc.remediation` and the serving guard in
+:mod:`repro.runtime.guard`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.snc.crossbar import CrossbarArray
+from repro.snc.seeding import resolve_rng
+
+#: A pair deviating by less than this (in code units) is considered healthy:
+#: counters quantize to integers, so sub-quarter-code drift never flips an
+#: output on its own.
+DEFAULT_CODE_TOLERANCE = 0.25
+
+#: Deviation at or above one full code means the counter output is wrong.
+HARD_FAULT_THRESHOLD = 1.0
+
+
+@dataclass
+class CrossbarHealth:
+    """Probe outcome for one mapped layer's crossbar array."""
+
+    layer: str
+    total_pairs: int
+    deviating_pairs: int
+    estimated_stuck: int
+    estimated_drift: int
+    deviating_columns: int
+    max_code_error: float
+    functional_max_error: float
+    failing_tiles: List[Tuple[int, int]] = field(default_factory=list)
+
+    @property
+    def passed(self) -> bool:
+        return self.deviating_pairs == 0
+
+    @property
+    def deviating_fraction(self) -> float:
+        return self.deviating_pairs / max(self.total_pairs, 1)
+
+
+@dataclass
+class HealthReport:
+    """Structured outcome of a full-system health probe."""
+
+    code_tolerance: float
+    layers: List[CrossbarHealth] = field(default_factory=list)
+    equivalence_ok: Optional[bool] = None  # end-to-end check, if images given
+
+    @property
+    def healthy(self) -> bool:
+        layers_ok = all(layer.passed for layer in self.layers)
+        return layers_ok and self.equivalence_ok is not False
+
+    @property
+    def total_pairs(self) -> int:
+        return sum(layer.total_pairs for layer in self.layers)
+
+    @property
+    def deviating_pairs(self) -> int:
+        return sum(layer.deviating_pairs for layer in self.layers)
+
+    @property
+    def estimated_stuck(self) -> int:
+        return sum(layer.estimated_stuck for layer in self.layers)
+
+    @property
+    def estimated_drift(self) -> int:
+        return sum(layer.estimated_drift for layer in self.layers)
+
+    @property
+    def worst_layer(self) -> Optional[str]:
+        """The layer with the highest fraction of deviating pairs."""
+        failing = [layer for layer in self.layers if layer.deviating_pairs]
+        if not failing:
+            return None
+        return max(failing, key=lambda h: h.deviating_fraction).layer
+
+    def summary(self) -> str:
+        verdict = "HEALTHY" if self.healthy else "FAULTY"
+        lines = [
+            f"Health probe: {verdict} "
+            f"({self.deviating_pairs}/{self.total_pairs} pairs deviating, "
+            f"tol={self.code_tolerance} codes)"
+        ]
+        for layer in self.layers:
+            status = "ok" if layer.passed else "FAIL"
+            lines.append(
+                f"  {layer.layer}: {status} — {layer.deviating_pairs} deviating "
+                f"({layer.estimated_stuck} stuck-like, {layer.estimated_drift} drift), "
+                f"{layer.deviating_columns} columns, "
+                f"max |Δcode| {layer.max_code_error:.3f}, "
+                f"{len(layer.failing_tiles)} failing tiles"
+            )
+        if self.worst_layer is not None:
+            lines.append(f"  worst layer: {self.worst_layer}")
+        if self.equivalence_ok is not None:
+            lines.append(
+                "  end-to-end equivalence vs software twin: "
+                + ("ok" if self.equivalence_ok else "FAIL")
+            )
+        return "\n".join(lines)
+
+
+def probe_array(
+    array: CrossbarArray,
+    layer: str = "array",
+    code_tolerance: float = DEFAULT_CODE_TOLERANCE,
+    n_functional: int = 4,
+    rng: Optional[np.random.Generator] = None,
+    seed: Optional[int] = None,
+) -> CrossbarHealth:
+    """Probe one crossbar array with row and functional test vectors.
+
+    Row probes (one-hot wordlines) read back the realized code of every
+    differential pair and are compared against the intended integer codes
+    — the bit-exact software reference for this array.  Functional probes
+    are ``n_functional`` random non-negative spike-count vectors checked
+    against :meth:`CrossbarArray.multiply_codes`.
+    """
+    if code_tolerance <= 0:
+        raise ValueError(f"code_tolerance must be positive, got {code_tolerance}")
+    rng = resolve_rng(seed, rng)
+
+    deviation = np.abs(array.realized_codes() - array.weight_codes)
+    deviating = deviation > code_tolerance
+    hard = deviation >= HARD_FAULT_THRESHOLD
+    drift = deviating & ~hard
+
+    failing_tiles: List[Tuple[int, int]] = []
+    for tile_row_index, row_tiles in enumerate(array.tiles):
+        row_start = tile_row_index * array.size
+        for tile_col_index, tile in enumerate(row_tiles):
+            col_start = tile_col_index * array.size
+            rows, cols = tile.shape
+            if np.any(deviating[row_start : row_start + rows, col_start : col_start + cols]):
+                failing_tiles.append((tile_row_index, tile_col_index))
+
+    functional_max_error = 0.0
+    if n_functional > 0:
+        spikes = rng.integers(0, 16, size=(n_functional, array.rows)).astype(np.float64)
+        exact = array.multiply_codes(spikes)
+        analog = array.multiply_analog(spikes)
+        functional_max_error = float(np.abs(analog - exact).max())
+
+    return CrossbarHealth(
+        layer=layer,
+        total_pairs=int(deviation.size),
+        deviating_pairs=int(deviating.sum()),
+        estimated_stuck=int(hard.sum()),
+        estimated_drift=int(drift.sum()),
+        deviating_columns=int(np.any(deviating, axis=0).sum()),
+        max_code_error=float(deviation.max()) if deviation.size else 0.0,
+        functional_max_error=functional_max_error,
+        failing_tiles=failing_tiles,
+    )
+
+
+def diagnose(
+    system,
+    images: Optional[np.ndarray] = None,
+    code_tolerance: float = DEFAULT_CODE_TOLERANCE,
+    n_functional: int = 4,
+    rng: Optional[np.random.Generator] = None,
+    seed: Optional[int] = None,
+) -> HealthReport:
+    """Run the health probe over every mapped crossbar of a system.
+
+    ``system`` is a :class:`~repro.snc.system.SpikingSystem` (or anything
+    with a mapped ``network`` attribute, or a bare
+    :class:`~repro.snc.crossbar.CrossbarArray`).  When ``images`` is
+    given, an end-to-end equivalence check against the quantized software
+    twin is included (requires ``system.software_reference``).
+    """
+    from repro.snc.export import _spiking_layers
+
+    rng = resolve_rng(seed, rng)
+    network = getattr(system, "network", system)
+    report = HealthReport(code_tolerance=code_tolerance)
+    if isinstance(network, CrossbarArray):
+        report.layers.append(
+            probe_array(
+                network,
+                code_tolerance=code_tolerance,
+                n_functional=n_functional,
+                rng=rng,
+            )
+        )
+        return report
+    for name, _kind, module in _spiking_layers(network):
+        report.layers.append(
+            probe_array(
+                module.array,
+                layer=name,
+                code_tolerance=code_tolerance,
+                n_functional=n_functional,
+                rng=rng,
+            )
+        )
+    if not report.layers:
+        raise ValueError("system has no mapped crossbar layers; map it first")
+    if images is not None and hasattr(system, "verify_equivalence"):
+        report.equivalence_ok = bool(system.verify_equivalence(images))
+    return report

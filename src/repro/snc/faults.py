@@ -29,6 +29,7 @@ from typing import Optional
 import numpy as np
 
 from repro.snc.crossbar import CrossbarArray
+from repro.snc.seeding import resolve_rng
 
 
 @dataclass
@@ -50,29 +51,37 @@ def inject_stuck_faults(
     rate: float,
     sa1_fraction: float = 0.5,
     rng: Optional[np.random.Generator] = None,
+    seed: Optional[int] = None,
 ) -> FaultReport:
     """Force a random ``rate`` fraction of devices to stuck conductances.
 
     SA0 devices read ``g_min`` (filament never formed), SA1 devices read
     ``g_max`` (short).  Both polarities hit the g⁺ and g⁻ planes of every
-    tile uniformly.  Mutates the array in place.
+    tile uniformly.  Mutates the array in place and records which devices
+    are stuck in the tiles' stuck masks, so later reprogramming attempts
+    (:mod:`repro.snc.remediation`) know those cells cannot be rewritten.
     """
     if not 0.0 <= rate <= 1.0:
         raise ValueError(f"rate must be in [0, 1], got {rate}")
     if not 0.0 <= sa1_fraction <= 1.0:
         raise ValueError(f"sa1_fraction must be in [0, 1], got {sa1_fraction}")
-    rng = rng or np.random.default_rng()
+    rng = resolve_rng(seed, rng)
     device = array.device
     report = FaultReport(total_devices=0, stuck_sa0=0, stuck_sa1=0)
     for row_tiles in array.tiles:
         for tile in row_tiles:
-            for plane in (tile.g_plus, tile.g_minus):
+            tile.ensure_stuck_masks()
+            for plane, stuck_mask in (
+                (tile.g_plus, tile.stuck_plus),
+                (tile.g_minus, tile.stuck_minus),
+            ):
                 report.total_devices += plane.size
                 faulty = rng.random(plane.shape) < rate
                 stuck_high = faulty & (rng.random(plane.shape) < sa1_fraction)
                 stuck_low = faulty & ~stuck_high
                 plane[stuck_low] = device.g_min
                 plane[stuck_high] = device.g_max
+                stuck_mask |= faulty
                 report.stuck_sa0 += int(stuck_low.sum())
                 report.stuck_sa1 += int(stuck_high.sum())
     return report
@@ -107,6 +116,7 @@ def inject_faults_into_network(
     rate: float,
     sa1_fraction: float = 0.5,
     rng: Optional[np.random.Generator] = None,
+    seed: Optional[int] = None,
 ) -> FaultReport:
     """Inject stuck faults into every crossbar array of a mapped network.
 
@@ -116,7 +126,7 @@ def inject_faults_into_network(
     of a :class:`~repro.snc.system.SpikingSystem`).  Returns the aggregate
     fault report.
     """
-    rng = rng or np.random.default_rng()
+    rng = resolve_rng(seed, rng)
     total = FaultReport(total_devices=0, stuck_sa0=0, stuck_sa1=0)
     for array in _network_arrays(network):
         report = inject_stuck_faults(array, rate, sa1_fraction, rng)
@@ -171,5 +181,9 @@ def rescue_by_pair_swap(array: CrossbarArray) -> int:
                 plus = tile.g_plus[do_swap]
                 tile.g_plus[do_swap] = tile.g_minus[do_swap]
                 tile.g_minus[do_swap] = plus
+                if tile.stuck_plus is not None and tile.stuck_minus is not None:
+                    stuck = tile.stuck_plus[do_swap]
+                    tile.stuck_plus[do_swap] = tile.stuck_minus[do_swap]
+                    tile.stuck_minus[do_swap] = stuck
                 swapped += int(do_swap.sum())
     return swapped

@@ -77,6 +77,7 @@ class LayerMapping:
     crossbars: int
     scale: float
     bits: int
+    spare_tiles: int = 0
 
 
 class SpikingConv2d(Module):
@@ -196,14 +197,20 @@ class MappingReport:
     def total_crossbars(self) -> int:
         return sum(layer.crossbars for layer in self.layers)
 
+    @property
+    def total_spare_tiles(self) -> int:
+        return sum(layer.spare_tiles for layer in self.layers)
+
     def summary(self) -> str:
         lines = [f"Crossbar mapping (t={self.crossbar_size}):"]
         for layer in self.layers:
+            spares = f", {layer.spare_tiles} spares" if layer.spare_tiles else ""
             lines.append(
                 f"  {layer.name} [{layer.kind}]: {layer.rows}×{layer.cols} "
-                f"(+{layer.bias_rows} bias rows) → {layer.crossbars} crossbars"
+                f"(+{layer.bias_rows} bias rows) → {layer.crossbars} crossbars{spares}"
             )
-        lines.append(f"  total: {self.total_crossbars} crossbars")
+        total_spares = f" (+{self.total_spare_tiles} spares)" if self.total_spare_tiles else ""
+        lines.append(f"  total: {self.total_crossbars} crossbars{total_spares}")
         return "\n".join(lines)
 
 
@@ -213,13 +220,21 @@ def map_network(
     size: int = DEFAULT_CROSSBAR_SIZE,
     device: Optional[MemristorModel] = None,
     rng: Optional[np.random.Generator] = None,
+    spare_fraction: float = 0.0,
 ) -> MappingReport:
     """Replace every Conv2d/Linear in ``deployed`` with its crossbar twin.
 
     ``clustering`` must be the report produced when the model's weights
     were quantized (it carries the per-layer scales).  Mutates ``deployed``
     in place and returns the mapping report.
+
+    ``spare_fraction`` provisions redundant crossbars for the remediation
+    ladder (:mod:`repro.snc.remediation`): each layer's array reserves
+    ``ceil(crossbars · spare_fraction)`` pristine spare tiles that damaged
+    tiles can be remapped onto.
     """
+    if not 0.0 <= spare_fraction <= 1.0:
+        raise ValueError(f"spare_fraction must be in [0, 1], got {spare_fraction}")
     scales: Dict[int, float] = {}
     bits = clustering.bits
     for name, module in weight_bearing_modules(deployed):
@@ -244,26 +259,21 @@ def map_network(
         factory=build,
     )
     for name, module in deployed.named_modules():
-        if isinstance(module, SpikingConv2d):
+        if isinstance(module, (SpikingConv2d, SpikingLinear)):
+            spares = 0
+            if spare_fraction > 0:
+                spares = int(np.ceil(module.array.num_crossbars * spare_fraction))
+                module.array.provision_spares(spares)
             report.layers.append(
                 LayerMapping(
-                    name=name, kind="conv",
+                    name=name,
+                    kind="conv" if isinstance(module, SpikingConv2d) else "fc",
                     rows=module.array.rows - module._n_bias_rows,
                     cols=module.array.cols,
                     bias_rows=module._n_bias_rows,
                     crossbars=module.array.num_crossbars,
                     scale=module.scale, bits=module.bits,
-                )
-            )
-        elif isinstance(module, SpikingLinear):
-            report.layers.append(
-                LayerMapping(
-                    name=name, kind="fc",
-                    rows=module.array.rows - module._n_bias_rows,
-                    cols=module.array.cols,
-                    bias_rows=module._n_bias_rows,
-                    crossbars=module.array.num_crossbars,
-                    scale=module.scale, bits=module.bits,
+                    spare_tiles=spares,
                 )
             )
     return report

@@ -1,0 +1,356 @@
+"""Tiered, retraining-free remediation of diagnosed crossbar faults.
+
+Given a :class:`~repro.snc.diagnosis.HealthReport`, a deployment
+controller can repair a damaged chip without touching the trained model.
+The ladder climbs three tiers, re-probing after each and stopping as soon
+as the health spec is met:
+
+1. **Closed-loop reprogramming** — every deviating pair is re-written with
+   program-and-verify pulses (:class:`~repro.snc.programming.
+   ProgrammingModel` prices the pulses).  A pair with one stuck device is
+   *compensated*: the writable device is retargeted so the differential
+   ``g⁺ − g⁻`` still realizes the intended code, as long as the required
+   conductance stays inside the device window.  Retries are bounded; pulse
+   noise comes from per-device :func:`~repro.snc.seeding.substream`\\ s, so
+   a repeated repair replays identical pulses — the ladder is idempotent.
+2. **Differential pair swap** — the existing
+   :func:`~repro.snc.faults.rescue_by_pair_swap` reorients pairs whose
+   swapped reading is closer to the intended code (this moves a stuck
+   device to the role where compensation becomes feasible, so tier 1 runs
+   once more after the swap).
+3. **Spare-tile remapping** — tiles that remain out of spec are remapped
+   onto spare crossbars provisioned at mapping time
+   (:func:`~repro.snc.mapping.map_network` with ``spare_fraction``),
+   worst tile first, until the spares run out.  Each logical tile owns at
+   most one spare, so remapping is one-shot.
+
+Every write is accepted only if it strictly reduces the pair's code error,
+which — together with the deterministic pulse streams — guarantees the
+ladder never makes a chip worse and running it twice changes nothing the
+second time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.snc.crossbar import CrossbarArray
+from repro.snc.diagnosis import (
+    DEFAULT_CODE_TOLERANCE,
+    HealthReport,
+    diagnose,
+)
+from repro.snc.faults import rescue_by_pair_swap
+from repro.snc.programming import ProgrammingModel
+from repro.snc.seeding import substream
+
+
+@dataclass
+class RemediationConfig:
+    """Knobs of the repair ladder.
+
+    ``target_deviating_fraction`` is the health spec: the ladder stops as
+    soon as the fraction of deviating pairs (network-wide) falls to or
+    below it.  ``max_retries`` bounds program-and-verify attempts per
+    device pair; ``seed`` keys the deterministic pulse-noise streams.
+    """
+
+    code_tolerance: float = DEFAULT_CODE_TOLERANCE
+    target_deviating_fraction: float = 0.0
+    max_retries: int = 6
+    seed: int = 0
+    use_pair_swap: bool = True
+    use_spares: bool = True
+    programming: ProgrammingModel = field(default_factory=ProgrammingModel)
+
+
+@dataclass
+class TierOutcome:
+    """What one rung of the ladder did."""
+
+    tier: str
+    actions: int                 # pairs rewritten / pairs swapped / tiles remapped
+    deviating_before: int
+    deviating_after: int
+    pulses: float = 0.0          # program-and-verify pulses spent
+
+    @property
+    def recovered_pairs(self) -> int:
+        return self.deviating_before - self.deviating_after
+
+
+@dataclass
+class RemediationReport:
+    """Full ladder outcome, including before/after health."""
+
+    initial: HealthReport
+    final: HealthReport
+    tiers: List[TierOutcome] = field(default_factory=list)
+    spec_met: bool = False
+
+    @property
+    def total_pulses(self) -> float:
+        return sum(tier.pulses for tier in self.tiers)
+
+    @property
+    def pairs_recovered(self) -> int:
+        return self.initial.deviating_pairs - self.final.deviating_pairs
+
+    def summary(self) -> str:
+        lines = [
+            f"Remediation ladder: {self.initial.deviating_pairs} → "
+            f"{self.final.deviating_pairs} deviating pairs "
+            f"({'spec met' if self.spec_met else 'spec NOT met'}, "
+            f"{self.total_pulses:.0f} pulses)"
+        ]
+        for tier in self.tiers:
+            lines.append(
+                f"  {tier.tier}: {tier.actions} actions, "
+                f"{tier.deviating_before} → {tier.deviating_after} deviating"
+            )
+        return "\n".join(lines)
+
+
+def _compensation_targets(
+    code: int,
+    g_plus: float,
+    g_minus: float,
+    stuck_plus: bool,
+    stuck_minus: bool,
+    device,
+) -> Optional[Tuple[float, float, bool, bool]]:
+    """Target conductances realizing ``code`` given the stuck pattern.
+
+    Returns ``(t_plus, t_minus, write_plus, write_minus)`` or ``None``
+    when no in-window target exists (both devices stuck, or the
+    compensating conductance would leave the device window).
+    """
+    step = device.g_step
+    if stuck_plus and stuck_minus:
+        return None
+    if stuck_plus:
+        t_plus, t_minus = g_plus, g_plus - code * step
+        write_plus, write_minus = False, True
+    elif stuck_minus:
+        t_minus = g_minus
+        t_plus = g_minus + code * step
+        write_plus, write_minus = True, False
+    else:
+        t_plus = device.g_min + max(code, 0) * step
+        t_minus = device.g_min + max(-code, 0) * step
+        write_plus = write_minus = True
+    eps = 1e-15
+    for target in (t_plus, t_minus):
+        if not (device.g_min - eps <= target <= device.g_max + eps):
+            return None
+    return t_plus, t_minus, write_plus, write_minus
+
+
+def repair_tile_closed_loop(
+    array: CrossbarArray,
+    tile_row: int,
+    tile_col: int,
+    config: RemediationConfig,
+    layer: str = "array",
+) -> Tuple[int, int, float]:
+    """Program-and-verify every deviating pair of one tile.
+
+    Each attempt draws fresh (but deterministically seeded) pulse noise;
+    the best attempt is kept only if it strictly improves on the pair's
+    current error, and attempts stop early once within tolerance.  Returns
+    ``(pairs_written, pairs_repaired, pulses_spent)``.
+    """
+    device = array.device
+    step = device.g_step
+    sigma = device.variation_sigma
+    tile = array.tiles[tile_row][tile_col]
+    tile.ensure_stuck_masks()
+    intended = array.tile_codes(tile_row, tile_col)
+    realized = (tile.g_plus - tile.g_minus) / step
+    deviation = np.abs(realized - intended)
+    pulse_cost = config.programming.expected_pulses(device.levels)
+
+    written = repaired = 0
+    pulses = 0.0
+    for r, c in np.argwhere(deviation > config.code_tolerance):
+        code = int(intended[r, c])
+        targets = _compensation_targets(
+            code,
+            float(tile.g_plus[r, c]),
+            float(tile.g_minus[r, c]),
+            bool(tile.stuck_plus[r, c]),
+            bool(tile.stuck_minus[r, c]),
+            device,
+        )
+        if targets is None:
+            continue
+        t_plus, t_minus, write_plus, write_minus = targets
+        stream = substream(config.seed, layer, (tile_row, tile_col, r, c))
+        current_error = float(deviation[r, c])
+        best: Optional[Tuple[float, float, float]] = None  # (error, g_plus, g_minus)
+        for _ in range(config.max_retries):
+            pulses += pulse_cost
+            new_plus, new_minus = t_plus, t_minus
+            if sigma > 0:
+                if write_plus:
+                    new_plus = float(
+                        np.clip(t_plus * np.exp(stream.normal(0.0, sigma)),
+                                device.g_min, device.g_max)
+                    )
+                if write_minus:
+                    new_minus = float(
+                        np.clip(t_minus * np.exp(stream.normal(0.0, sigma)),
+                                device.g_min, device.g_max)
+                    )
+            realized_code = (new_plus - new_minus) / step
+            if code != 0 and realized_code * code < 0:
+                # A sign-flipped write would invite the pair-swap tier to
+                # undo it; never accept one.
+                continue
+            error = abs(realized_code - code)
+            if best is None or error < best[0]:
+                best = (error, new_plus, new_minus)
+            if error <= config.code_tolerance:
+                break
+        if best is not None and best[0] < current_error - 1e-12:
+            tile.g_plus[r, c] = best[1]
+            tile.g_minus[r, c] = best[2]
+            written += 1
+            if best[0] <= config.code_tolerance:
+                repaired += 1
+    return written, repaired, pulses
+
+
+def _network_layers(system) -> List[Tuple[str, CrossbarArray]]:
+    from repro.snc.export import _spiking_layers
+
+    network = getattr(system, "network", system)
+    if isinstance(network, CrossbarArray):
+        return [("array", network)]
+    layers = [(name, module.array) for name, _kind, module in _spiking_layers(network)]
+    if not layers:
+        raise ValueError("system has no mapped crossbar layers; map it first")
+    return layers
+
+
+def _reprogram_tier(system, config: RemediationConfig) -> Tuple[int, float]:
+    actions = 0
+    pulses = 0.0
+    for name, array in _network_layers(system):
+        for tile_row in range(len(array.tiles)):
+            for tile_col in range(len(array.tiles[tile_row])):
+                written, _repaired, spent = repair_tile_closed_loop(
+                    array, tile_row, tile_col, config, layer=name
+                )
+                actions += written
+                pulses += spent
+    return actions, pulses
+
+
+def _swap_tier(system, config: RemediationConfig) -> Tuple[int, float]:
+    actions = 0
+    for _name, array in _network_layers(system):
+        actions += rescue_by_pair_swap(array)
+    return actions, 0.0
+
+
+def _tile_deviation_counts(array: CrossbarArray, tolerance: float) -> List[Tuple[int, int, int]]:
+    """Per-tile deviating-pair counts, as ``(count, tile_row, tile_col)``."""
+    counts = []
+    for tile_row, row_tiles in enumerate(array.tiles):
+        for tile_col, tile in enumerate(row_tiles):
+            realized = (tile.g_plus - tile.g_minus) / array.device.g_step
+            deviating = int(
+                (np.abs(realized - array.tile_codes(tile_row, tile_col)) > tolerance).sum()
+            )
+            counts.append((deviating, tile_row, tile_col))
+    return counts
+
+
+def _spare_tier(system, config: RemediationConfig) -> Tuple[int, float]:
+    actions = 0
+    pulses = 0.0
+    pulse_cost = None
+    for name, array in _network_layers(system):
+        if array.spare_tiles_remaining < 1:
+            continue
+        if pulse_cost is None:
+            pulse_cost = config.programming.expected_pulses(array.device.levels)
+        # Worst tiles first; each logical tile owns at most one spare.
+        for deviating, tile_row, tile_col in sorted(
+            _tile_deviation_counts(array, config.code_tolerance), reverse=True
+        ):
+            if deviating == 0:
+                break
+            if array.spare_tiles_remaining < 1:
+                break
+            if (tile_row, tile_col) in array.remapped_tiles:
+                continue
+            rng = substream(config.seed, f"{name}:spare", (tile_row, tile_col))
+            fresh = array.replace_tile(tile_row, tile_col, rng=rng)
+            pulses += pulse_cost * fresh.g_plus.size * 2
+            _written, _repaired, spent = repair_tile_closed_loop(
+                array, tile_row, tile_col, config, layer=name
+            )
+            pulses += spent
+            actions += 1
+    return actions, pulses
+
+
+def run_remediation_ladder(
+    system,
+    config: Optional[RemediationConfig] = None,
+) -> RemediationReport:
+    """Climb the repair ladder until the health spec is met.
+
+    ``system`` is a :class:`~repro.snc.system.SpikingSystem` or any mapped
+    network.  Probes with :func:`~repro.snc.diagnosis.diagnose` before,
+    between, and after tiers; stops as soon as the network-wide deviating
+    fraction reaches ``config.target_deviating_fraction``.
+    """
+    config = config or RemediationConfig()
+
+    def probe() -> HealthReport:
+        return diagnose(
+            system, code_tolerance=config.code_tolerance,
+            n_functional=0, seed=config.seed,
+        )
+
+    def spec_met(report: HealthReport) -> bool:
+        fraction = report.deviating_pairs / max(report.total_pairs, 1)
+        return fraction <= config.target_deviating_fraction
+
+    initial = probe()
+    report = RemediationReport(initial=initial, final=initial, spec_met=spec_met(initial))
+    if report.spec_met:
+        return report
+
+    ladder = [("reprogram", _reprogram_tier)]
+    if config.use_pair_swap:
+        ladder.append(("pair_swap", _swap_tier))
+        ladder.append(("reprogram_post_swap", _reprogram_tier))
+    if config.use_spares:
+        ladder.append(("spare_remap", _spare_tier))
+
+    current = initial
+    for tier_name, tier_fn in ladder:
+        actions, pulses = tier_fn(system, config)
+        after = probe()
+        report.tiers.append(
+            TierOutcome(
+                tier=tier_name,
+                actions=actions,
+                deviating_before=current.deviating_pairs,
+                deviating_after=after.deviating_pairs,
+                pulses=pulses,
+            )
+        )
+        current = after
+        if spec_met(current):
+            break
+    report.final = current
+    report.spec_met = spec_met(current)
+    return report

@@ -1,0 +1,51 @@
+"""Deterministic RNG plumbing for defect studies.
+
+Every stochastic SNC API (fault injection, Monte-Carlo yield, diagnosis,
+remediation) accepts either an explicit ``numpy.random.Generator`` or an
+integer ``seed``; :func:`resolve_rng` normalizes the two.  Remediation
+additionally needs *per-device* streams that do not depend on iteration
+order — :func:`substream` derives one from a base seed plus coordinates,
+so re-running a repair on the same device replays the same pulse noise
+(the property that makes the repair ladder idempotent).
+"""
+
+from __future__ import annotations
+
+import zlib
+from typing import Optional, Sequence, Union
+
+import numpy as np
+
+
+def resolve_rng(
+    seed: Optional[int] = None,
+    rng: Optional[np.random.Generator] = None,
+) -> np.random.Generator:
+    """Return ``rng`` if given, else a fresh generator seeded by ``seed``.
+
+    Passing both is an error — callers must choose one source of
+    randomness so studies stay reproducible.
+    """
+    if rng is not None:
+        if seed is not None:
+            raise ValueError("pass either seed or rng, not both")
+        return rng
+    return np.random.default_rng(seed)
+
+
+def stable_hash(token: str) -> int:
+    """A process-independent 32-bit hash of a string (unlike ``hash()``)."""
+    return zlib.crc32(token.encode("utf-8"))
+
+
+def substream(
+    seed: int, token: str, coordinates: Sequence[Union[int, np.integer]] = ()
+) -> np.random.Generator:
+    """A generator keyed by ``(seed, token, *coordinates)``.
+
+    Two calls with identical arguments yield identical streams regardless
+    of how many other streams were consumed in between.
+    """
+    entropy = [int(seed) & 0xFFFFFFFF, stable_hash(token)]
+    entropy.extend(int(c) & 0xFFFFFFFF for c in coordinates)
+    return np.random.default_rng(entropy)

@@ -45,6 +45,7 @@ class SpikingSystemConfig:
     clustering_scope: str = "per_layer"
     signal_gain: float = 1.0          # IFC conversion gain, or "auto"
     seed: int = 0
+    spare_tile_fraction: float = 0.0  # redundant crossbars for self-healing
 
     @property
     def effective_input_bits(self) -> int:
@@ -96,6 +97,37 @@ class SpikingSystem:
             labels = dataset.labels[start : start + batch_size]
             correct += int((self.predict(images) == labels).sum())
         return correct / len(dataset)
+
+    def health_check(
+        self,
+        images: Optional[np.ndarray] = None,
+        code_tolerance: Optional[float] = None,
+        seed: Optional[int] = None,
+    ):
+        """Probe every mapped crossbar; returns a
+        :class:`~repro.snc.diagnosis.HealthReport`."""
+        from repro.snc.diagnosis import DEFAULT_CODE_TOLERANCE, diagnose
+
+        return diagnose(
+            self,
+            images=images,
+            code_tolerance=code_tolerance if code_tolerance is not None else DEFAULT_CODE_TOLERANCE,
+            seed=seed,
+        )
+
+    def remediate(self, config=None):
+        """Run the tiered repair ladder; returns a
+        :class:`~repro.snc.remediation.RemediationReport`."""
+        from repro.snc.remediation import run_remediation_ladder
+
+        return run_remediation_ladder(self, config)
+
+    def guarded(self, config=None):
+        """Wrap this system for guarded serving (health checks, repair,
+        software fallback) — see :mod:`repro.runtime.guard`."""
+        from repro.runtime.guard import GuardedSpikingSystem
+
+        return GuardedSpikingSystem(self, config)
 
     def verify_equivalence(self, images: np.ndarray, atol: float = 1e-6) -> bool:
         """Check hardware logits equal the quantized software model's.
@@ -180,6 +212,7 @@ def build_spiking_system(
         size=config.crossbar_size,
         device=device,
         rng=rng,
+        spare_fraction=config.spare_tile_fraction,
     )
     return SpikingSystem(
         network=hardware,

@@ -61,6 +61,31 @@ class TestModelCache:
         key_b = ModelCache._key("lenet", "proposed", 4, settings)
         assert key_a != key_b
 
+    def test_corrupt_archive_triggers_retrain(self, tmp_path, capsys):
+        from repro.datasets.mnist_like import generate_mnist_like
+
+        tiny = ExperimentSettings(
+            train_size=120,
+            test_size=60,
+            widths=(("lenet", 0.5),),
+            epochs=(("lenet", 1),),
+            cache_dir=str(tmp_path),
+        )
+        cache = ModelCache(tiny.cache_dir)
+        train = generate_mnist_like(tiny.train_size, seed=tiny.seed)
+        key = ModelCache._key("lenet", "none", 4, tiny)
+        path = cache.path_for(key)
+        with open(path, "wb") as handle:
+            handle.write(b"PK\x03\x04 truncated junk")
+
+        model = cache.get_or_train("lenet", "none", 4, tiny, train)
+        assert "discarding unreadable cache entry" in capsys.readouterr().out
+        assert model.conv1.weight.data.size > 0
+        # The retrained model was re-persisted and now loads cleanly.
+        cache._memory.clear()
+        again = cache.get_or_train("lenet", "none", 4, tiny, train)
+        np.testing.assert_allclose(model.conv1.weight.data, again.conv1.weight.data)
+
 
 class TestTableGenerators:
     def test_table2_shape(self, settings):

@@ -3,13 +3,11 @@
 import numpy as np
 import pytest
 
-from repro.core.deployment import DeploymentConfig, deploy_model
 from repro.core.finetune import FineTuneConfig, finetune_accuracy_gain, finetune_quantized
 from repro.core.modules import QuantizedActivation
 from repro.core.qat import Trainer, TrainerConfig
 from repro.datasets.mnist_like import generate_mnist_like
 from repro.models import LeNet
-from repro.analysis.metrics import evaluate_accuracy
 
 
 @pytest.fixture(scope="module")

@@ -12,7 +12,7 @@ from repro.core.surgery import (
     weight_bearing_modules,
 )
 from repro.core.taps import SignalTap, default_signal_modules
-from repro.nn.tensor import Tensor, no_grad
+from repro.nn.tensor import Tensor
 
 
 def mlp(rng):

@@ -1,0 +1,132 @@
+"""End-to-end self-healing: diagnose → repair ladder → guarded serving.
+
+The acceptance scenario from the robustness study: a trained LeNet deployed
+at 4 bits with programming variation σ=0.05 takes 1% stuck-at faults.  The
+repair ladder must win back at least half of the lost accuracy, and the
+guarded system must never serve worse than the quantized software twin once
+fallback triggers.
+"""
+
+import numpy as np
+import pytest
+
+from repro.analysis.metrics import evaluate_accuracy
+from repro.core.qat import Trainer, TrainerConfig
+from repro.datasets.mnist_like import generate_mnist_like
+from repro.models import LeNet
+from repro.nn.tensor import Tensor, no_grad
+from repro.runtime.guard import GuardConfig, GuardedSpikingSystem
+from repro.snc.faults import inject_faults_into_network
+from repro.snc.remediation import RemediationConfig
+from repro.snc.system import SpikingSystemConfig, build_spiking_system
+
+FAULT_RATE = 0.01
+SIGMA = 0.05
+
+
+@pytest.fixture(scope="module")
+def trained_lenet():
+    train = generate_mnist_like(600, seed=0)
+    model = LeNet(rng=np.random.default_rng(7))
+    Trainer(TrainerConfig(epochs=8, penalty="proposed", bits=4, seed=1)).fit(model, train)
+    return model, train
+
+
+@pytest.fixture(scope="module")
+def test_set():
+    return generate_mnist_like(200, seed=42)
+
+
+def deploy(trained_lenet, **overrides):
+    model, train = trained_lenet
+    settings = dict(
+        signal_bits=4, weight_bits=4, input_bits=8,
+        variation_sigma=SIGMA, spare_tile_fraction=0.25, seed=0,
+    )
+    settings.update(overrides)
+    return build_spiking_system(model, SpikingSystemConfig(**settings), train.images[:100])
+
+
+@pytest.fixture(scope="module")
+def healing_outcome(trained_lenet, test_set):
+    """Run the fault → diagnose → remediate scenario once for all asserts."""
+    system = deploy(trained_lenet)
+    pre_fault_acc = system.accuracy(test_set)
+    inject_faults_into_network(system.network, FAULT_RATE, seed=42)
+    health_before = system.health_check(seed=0)
+    faulty_acc = system.accuracy(test_set)
+    report = system.remediate(RemediationConfig(seed=0))
+    health_after = system.health_check(seed=0)
+    healed_acc = system.accuracy(test_set)
+    return {
+        "system": system,
+        "pre_fault_acc": pre_fault_acc,
+        "faulty_acc": faulty_acc,
+        "healed_acc": healed_acc,
+        "health_before": health_before,
+        "health_after": health_after,
+        "report": report,
+    }
+
+
+class TestRepairLadderRecovery:
+    def test_faults_detected_before_repair(self, healing_outcome):
+        health = healing_outcome["health_before"]
+        assert not health.healthy
+        assert health.estimated_stuck > 0
+        assert health.worst_layer is not None
+
+    def test_ladder_recovers_at_least_half_the_lost_accuracy(self, healing_outcome):
+        pre, faulty, healed = (
+            healing_outcome["pre_fault_acc"],
+            healing_outcome["faulty_acc"],
+            healing_outcome["healed_acc"],
+        )
+        lost = pre - faulty
+        assert lost > 0, "fault injection must cost accuracy for this scenario"
+        assert healed - faulty >= 0.5 * lost
+
+    def test_ladder_reduces_deviating_pairs(self, healing_outcome):
+        report = healing_outcome["report"]
+        assert report.pairs_recovered > 0
+        assert (
+            healing_outcome["health_after"].deviating_pairs
+            < healing_outcome["health_before"].deviating_pairs
+        )
+
+    def test_ladder_spends_pulses_and_reports_tiers(self, healing_outcome):
+        report = healing_outcome["report"]
+        assert report.total_pulses > 0
+        assert [tier.tier for tier in report.tiers][0] == "reprogram"
+
+
+class TestGuardedNeverWorseThanTwin:
+    def test_fallback_serving_matches_twin_exactly(self, trained_lenet, test_set):
+        system = deploy(trained_lenet)
+        inject_faults_into_network(system.network, FAULT_RATE, seed=42)
+        guard = GuardedSpikingSystem(
+            system,
+            GuardConfig(probe_every=1, max_deviating_fraction=0.0, auto_remediate=False),
+        )
+        batch = test_set.images[:20]
+        guarded = guard.infer(batch)
+        assert guard.counters.fallback_engaged, "probe must trigger fallback"
+        with no_grad():
+            twin = guard.software_twin(Tensor(batch)).data
+        np.testing.assert_allclose(guarded, twin)
+
+    def test_guarded_accuracy_equals_twin_and_beats_damaged_chip(
+        self, trained_lenet, test_set
+    ):
+        system = deploy(trained_lenet)
+        inject_faults_into_network(system.network, FAULT_RATE, seed=42)
+        faulty_acc = system.accuracy(test_set)
+        guard = GuardedSpikingSystem(
+            system,
+            GuardConfig(probe_every=1, max_deviating_fraction=0.0, auto_remediate=False),
+        )
+        guarded_acc = guard.accuracy(test_set)
+        twin_acc = evaluate_accuracy(system.software_reference, test_set)
+        assert guard.counters.fallback_engaged
+        assert guarded_acc == pytest.approx(twin_acc)
+        assert guarded_acc >= faulty_acc

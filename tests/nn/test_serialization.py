@@ -3,9 +3,10 @@
 import os
 
 import numpy as np
+import pytest
 
 from repro import nn
-from repro.nn.serialization import load_state, save_state
+from repro.nn.serialization import StateDictError, load_state, save_state
 from repro.nn.tensor import Tensor
 
 
@@ -41,3 +42,104 @@ def test_save_creates_directories(tmp_path, rng):
     path = str(tmp_path / "deep" / "nested" / "model.npz")
     save_state(model, path)
     assert os.path.exists(path)
+
+
+class TestAtomicSave:
+    def test_exact_path_even_without_npz_suffix(self, tmp_path, rng):
+        # np.savez normally appends ".npz" silently; save_state must not.
+        model = nn.Linear(2, 2, rng=rng)
+        path = str(tmp_path / "checkpoint")
+        save_state(model, path)
+        assert os.path.exists(path)
+        assert not os.path.exists(path + ".npz")
+
+    def test_no_temp_files_left_behind(self, tmp_path, rng):
+        model = nn.Linear(2, 2, rng=rng)
+        save_state(model, str(tmp_path / "model.npz"))
+        assert sorted(os.listdir(tmp_path)) == ["model.npz"]
+
+    def test_failed_save_leaves_previous_archive_intact(self, tmp_path, rng, monkeypatch):
+        model = nn.Linear(2, 2, rng=rng)
+        path = str(tmp_path / "model.npz")
+        save_state(model, path)
+        good = open(path, "rb").read()
+
+        from repro.nn import serialization
+
+        def exploding_savez(handle, **arrays):
+            raise OSError("disk full")
+
+        monkeypatch.setattr(serialization.np, "savez", exploding_savez)
+        with pytest.raises(OSError, match="disk full"):
+            save_state(model, path)
+        assert open(path, "rb").read() == good
+        assert sorted(os.listdir(tmp_path)) == ["model.npz"]
+
+    def test_overwrite_existing(self, tmp_path, rng):
+        model = nn.Linear(2, 2, rng=rng)
+        path = str(tmp_path / "model.npz")
+        save_state(model, path)
+        model.weight.data = model.weight.data + 1.0
+        save_state(model, path)
+        fresh = nn.Linear(2, 2, rng=np.random.default_rng(9))
+        load_state(fresh, path)
+        np.testing.assert_allclose(fresh.weight.data, model.weight.data)
+
+
+class TestLoadErrors:
+    def test_load_tolerates_appended_suffix(self, tmp_path, rng):
+        model = nn.Linear(2, 2, rng=rng)
+        np.savez(str(tmp_path / "legacy"), **model.state_dict())  # lands at legacy.npz
+        fresh = nn.Linear(2, 2, rng=np.random.default_rng(9))
+        load_state(fresh, str(tmp_path / "legacy"))
+        np.testing.assert_allclose(fresh.weight.data, model.weight.data)
+
+    def test_missing_file_names_both_candidates(self, tmp_path, rng):
+        with pytest.raises(FileNotFoundError, match=r"\.npz"):
+            load_state(nn.Linear(2, 2, rng=rng), str(tmp_path / "nope"))
+
+    def test_corrupt_archive_raises_state_dict_error(self, tmp_path, rng):
+        path = tmp_path / "garbage.npz"
+        path.write_bytes(b"this is not an npz archive")
+        with pytest.raises(StateDictError, match="not a readable"):
+            load_state(nn.Linear(2, 2, rng=rng), str(path))
+
+    def test_missing_and_unexpected_keys_all_reported(self, tmp_path, rng):
+        saved = nn.Sequential(nn.Linear(2, 3, rng=rng))
+        path = str(tmp_path / "state.npz")
+        save_state(saved, path)
+        target = nn.Sequential(nn.Linear(2, 3, rng=rng), nn.Linear(3, 2, rng=rng))
+        with pytest.raises(StateDictError) as excinfo:
+            load_state(target, path)
+        message = str(excinfo.value)
+        assert "missing keys" in message
+        assert "1.weight" in message and "1.bias" in message
+
+    def test_unexpected_keys_reported(self, tmp_path, rng):
+        saved = nn.Sequential(nn.Linear(2, 3, rng=rng), nn.Linear(3, 2, rng=rng))
+        path = str(tmp_path / "state.npz")
+        save_state(saved, path)
+        target = nn.Sequential(nn.Linear(2, 3, rng=rng))
+        with pytest.raises(StateDictError, match="unexpected keys"):
+            load_state(target, path)
+
+    def test_shape_mismatches_reported_with_both_shapes(self, tmp_path, rng):
+        saved = nn.Linear(2, 3, rng=rng)
+        path = str(tmp_path / "state.npz")
+        save_state(saved, path)
+        target = nn.Linear(4, 3, rng=rng)
+        with pytest.raises(StateDictError, match="shape mismatch") as excinfo:
+            load_state(target, path)
+        message = str(excinfo.value)
+        assert "(3, 4)" in message or "(4, 3)" in message  # module side
+        assert "(3, 2)" in message or "(2, 3)" in message  # file side
+
+    def test_module_untouched_on_mismatch(self, tmp_path, rng):
+        saved = nn.Linear(2, 3, rng=rng)
+        path = str(tmp_path / "state.npz")
+        save_state(saved, path)
+        target = nn.Linear(4, 3, rng=np.random.default_rng(9))
+        before = target.weight.data.copy()
+        with pytest.raises(StateDictError):
+            load_state(target, path)
+        np.testing.assert_allclose(target.weight.data, before)

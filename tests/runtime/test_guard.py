@@ -1,0 +1,196 @@
+"""Tests for guarded serving (repro.runtime.guard)."""
+
+import numpy as np
+import pytest
+
+from repro.datasets.mnist_like import generate_mnist_like
+from repro.models import LeNet
+from repro.nn.tensor import Tensor, no_grad
+from repro.runtime.guard import GuardConfig, GuardedSpikingSystem, RuntimeCounters
+from repro.snc.faults import inject_faults_into_network
+from repro.snc.system import SpikingSystemConfig, build_spiking_system
+
+
+@pytest.fixture(scope="module")
+def images():
+    return generate_mnist_like(80, seed=0).images
+
+
+def fresh_system(images, **overrides):
+    """An (untrained) LeNet deployed on an ideal chip — fast to build."""
+    settings = dict(signal_bits=4, weight_bits=4, input_bits=8, seed=0)
+    settings.update(overrides)
+    model = LeNet(rng=np.random.default_rng(3))
+    return build_spiking_system(model, SpikingSystemConfig(**settings), images[:40])
+
+
+def software_logits(guard, batch):
+    with no_grad():
+        return guard.software_twin(Tensor(batch)).data
+
+
+class TestHealthyServing:
+    def test_analog_path_used_when_healthy(self, images):
+        system = fresh_system(images)
+        guard = GuardedSpikingSystem(system, GuardConfig(probe_every=1))
+        logits = guard.infer(images[:8])
+        np.testing.assert_allclose(logits, system.infer(images[:8]))
+        assert guard.serving_path == "analog"
+        assert not guard.counters.fallback_engaged
+        assert guard.counters.requests_analog == 1
+        assert guard.counters.requests_software == 0
+        assert guard.last_report is not None and guard.last_report.healthy
+
+    def test_probe_cadence(self, images):
+        system = fresh_system(images)
+        guard = GuardedSpikingSystem(system, GuardConfig(probe_every=2))
+        for i in range(5):
+            guard.infer(images[i : i + 1])
+        # Probe before request 1, then before requests 3 and 5.
+        assert guard.counters.probes_run == 3
+        assert guard.counters.probe_latency_total_s > 0
+
+    def test_probe_every_zero_never_probes_implicitly(self, images):
+        system = fresh_system(images)
+        guard = GuardedSpikingSystem(system, GuardConfig(probe_every=0))
+        guard.infer(images[:4])
+        assert guard.counters.probes_run == 0
+        guard.check_health()  # on-demand still works
+        assert guard.counters.probes_run == 1
+
+
+class TestFallback:
+    def test_faulty_chip_engages_fallback_and_equals_twin(self, images):
+        system = fresh_system(images)
+        inject_faults_into_network(system.network, rate=0.1, seed=5)
+        guard = GuardedSpikingSystem(
+            system,
+            GuardConfig(probe_every=1, max_deviating_fraction=0.0, auto_remediate=False),
+        )
+        batch = images[:10]
+        logits = guard.infer(batch)
+        assert guard.counters.fallback_engaged
+        assert guard.serving_path == "software"
+        assert guard.counters.requests_software == 1
+        assert guard.counters.requests_analog == 0
+        np.testing.assert_allclose(logits, software_logits(guard, batch))
+
+    def test_fallback_output_differs_from_damaged_analog(self, images):
+        system = fresh_system(images)
+        inject_faults_into_network(system.network, rate=0.1, seed=5)
+        guard = GuardedSpikingSystem(
+            system,
+            GuardConfig(probe_every=1, max_deviating_fraction=0.0, auto_remediate=False),
+        )
+        batch = images[:10]
+        guarded = guard.infer(batch)
+        assert not np.allclose(guarded, system.infer(batch))
+
+    def test_auto_remediation_heals_and_clears_fallback(self, images):
+        # Full spare provisioning + ideal writes: the ladder heals the
+        # chip completely, so serving returns to the analog path.
+        system = fresh_system(images, spare_tile_fraction=1.0)
+        inject_faults_into_network(system.network, rate=0.02, seed=5)
+        guard = GuardedSpikingSystem(
+            system, GuardConfig(probe_every=1, max_deviating_fraction=0.0)
+        )
+        guard.infer(images[:4])
+        assert guard.counters.repairs_attempted == 1
+        assert guard.counters.repairs_succeeded == 1
+        assert not guard.counters.fallback_engaged
+        assert guard.serving_path == "analog"
+        assert guard.last_report.deviating_pairs == 0
+
+    def test_health_log_records_episodes(self, images):
+        system = fresh_system(images)
+        inject_faults_into_network(system.network, rate=0.1, seed=5)
+        guard = GuardedSpikingSystem(
+            system, GuardConfig(max_deviating_fraction=0.0, auto_remediate=False)
+        )
+        guard.check_health()
+        assert len(guard.health_log) == 1
+        event = guard.health_log[0]
+        assert not event.healthy
+        assert event.deviating_pairs > 0
+        assert not event.remediated
+
+
+class TestTransientRetry:
+    def test_transient_failure_retried_then_served_analog(self, images):
+        system = fresh_system(images)
+        failures = {"left": 1}
+        analog_infer = system.infer
+
+        def flaky(batch):
+            if failures["left"] > 0:
+                failures["left"] -= 1
+                raise RuntimeError("transient spike-path glitch")
+            return analog_infer(batch)
+
+        system.infer = flaky
+        guard = GuardedSpikingSystem(system, GuardConfig(max_retries=2))
+        logits = guard.infer(images[:4])
+        np.testing.assert_allclose(logits, analog_infer(images[:4]))
+        assert guard.counters.transient_failures == 1
+        assert guard.counters.transient_retries == 1
+        assert guard.counters.requests_analog == 1
+
+    def test_persistent_failure_serves_software_without_condemning(self, images):
+        system = fresh_system(images)
+
+        def broken(batch):
+            raise RuntimeError("dead link")
+
+        system.infer = broken
+        guard = GuardedSpikingSystem(system, GuardConfig(max_retries=2))
+        batch = images[:4]
+        logits = guard.infer(batch)
+        np.testing.assert_allclose(logits, software_logits(guard, batch))
+        assert guard.counters.transient_failures == 3  # initial try + 2 retries
+        assert guard.counters.requests_software == 1
+        # One bad request does not engage the persistent fallback path.
+        assert not guard.counters.fallback_engaged
+
+
+class TestObservability:
+    def test_runtime_stats_consistent(self, images):
+        system = fresh_system(images)
+        inject_faults_into_network(system.network, rate=0.1, seed=5)
+        guard = GuardedSpikingSystem(
+            system,
+            GuardConfig(probe_every=2, max_deviating_fraction=0.0, auto_remediate=False),
+        )
+        for i in range(4):
+            guard.infer(images[i : i + 1])
+        stats = guard.runtime_stats()
+        assert stats["requests_total"] == 4
+        assert stats["requests_analog"] + stats["requests_software"] == 4
+        assert stats["serving_path"] == "software"
+        assert stats["fallback_engaged"] is True
+        assert stats["health_checks_logged"] == stats["probes_run"]
+        assert stats["probe_latency_mean_s"] >= 0
+        for key in RuntimeCounters.__dataclass_fields__:
+            assert key in stats
+
+    def test_accuracy_runs_through_guard(self, images):
+        system = fresh_system(images)
+        guard = GuardedSpikingSystem(system)
+        dataset = generate_mnist_like(30, seed=1)
+        accuracy = guard.accuracy(dataset, batch_size=10)
+        assert 0.0 <= accuracy <= 1.0
+        assert guard.counters.requests_total == 3
+
+
+class TestConfigValidation:
+    def test_negative_probe_every_rejected(self):
+        with pytest.raises(ValueError):
+            GuardConfig(probe_every=-1)
+
+    def test_negative_retries_rejected(self):
+        with pytest.raises(ValueError):
+            GuardConfig(max_retries=-1)
+
+    def test_system_guarded_helper(self, images):
+        system = fresh_system(images)
+        guard = system.guarded()
+        assert isinstance(guard, GuardedSpikingSystem)

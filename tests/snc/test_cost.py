@@ -1,6 +1,5 @@
 """Tests for the Table 5 cost model."""
 
-import numpy as np
 import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st

@@ -1,0 +1,146 @@
+"""Tests for the test-vector health probe (repro.snc.diagnosis)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.snc.crossbar import CrossbarArray
+from repro.snc.diagnosis import (
+    DEFAULT_CODE_TOLERANCE,
+    HARD_FAULT_THRESHOLD,
+    HealthReport,
+    diagnose,
+    probe_array,
+)
+from repro.snc.faults import inject_stuck_faults
+from repro.snc.memristor import MemristorModel
+
+
+def make_array(rng, rows=64, cols=48, bits=4, sigma=0.0, seed=0):
+    codes = rng.integers(-8, 9, size=(rows, cols))
+    device = MemristorModel(levels=2 ** (bits - 1) + 1, variation_sigma=sigma)
+    return CrossbarArray(
+        codes, bits=bits, size=32, device=device, rng=np.random.default_rng(seed)
+    )
+
+
+class TestProbeArray:
+    def test_ideal_array_is_healthy(self, rng):
+        health = probe_array(make_array(rng), layer="l0", seed=0)
+        assert health.passed
+        assert health.deviating_pairs == 0
+        assert health.estimated_stuck == health.estimated_drift == 0
+        assert health.max_code_error < DEFAULT_CODE_TOLERANCE
+        assert health.functional_max_error < 1e-9
+        assert health.failing_tiles == []
+
+    def test_total_pairs_counts_every_weight(self, rng):
+        health = probe_array(make_array(rng, rows=40, cols=24), layer="l0", seed=0)
+        assert health.total_pairs == 40 * 24
+
+    def test_stuck_faults_detected_as_hard(self, rng):
+        array = make_array(rng)
+        inject_stuck_faults(array, rate=0.05, seed=3)
+        health = probe_array(array, layer="l0", seed=0)
+        assert not health.passed
+        assert health.deviating_pairs > 0
+        # A stuck extreme conductance moves the realized code by whole codes.
+        assert health.estimated_stuck > 0
+        assert health.max_code_error >= HARD_FAULT_THRESHOLD
+        assert health.failing_tiles
+
+    def test_drift_detected_as_soft(self, rng):
+        array = make_array(rng, sigma=0.08, seed=11)
+        health = probe_array(array, layer="l0", seed=0)
+        assert not health.passed
+        # Lognormal drift mostly lands under one full code at this sigma.
+        assert health.estimated_drift > health.estimated_stuck
+
+    def test_functional_probe_flags_faults(self, rng):
+        array = make_array(rng)
+        inject_stuck_faults(array, rate=0.1, seed=3)
+        health = probe_array(array, layer="l0", n_functional=4, seed=0)
+        assert health.functional_max_error > 0
+
+    def test_tolerance_widens_pass_band(self, rng):
+        array = make_array(rng, sigma=0.05, seed=11)
+        strict = probe_array(array, layer="l0", code_tolerance=0.05, seed=0)
+        loose = probe_array(array, layer="l0", code_tolerance=10.0, seed=0)
+        assert strict.deviating_pairs > loose.deviating_pairs
+        assert loose.passed
+
+    def test_seed_and_rng_are_exclusive(self, rng):
+        with pytest.raises(ValueError):
+            probe_array(make_array(rng), layer="l0", seed=0, rng=np.random.default_rng(0))
+
+
+class TestHealthReport:
+    def test_summary_mentions_verdict_and_layers(self, rng):
+        array = make_array(rng)
+        inject_stuck_faults(array, rate=0.05, seed=3)
+        report = HealthReport(
+            code_tolerance=DEFAULT_CODE_TOLERANCE,
+            layers=[
+                probe_array(make_array(rng), layer="clean", seed=0),
+                probe_array(array, layer="dirty", seed=0),
+            ],
+        )
+        assert not report.healthy
+        assert report.worst_layer == "dirty"
+        text = report.summary()
+        assert "FAULTY" in text
+        assert "clean" in text and "dirty" in text
+
+    def test_healthy_summary(self, rng):
+        report = HealthReport(
+            code_tolerance=DEFAULT_CODE_TOLERANCE,
+            layers=[probe_array(make_array(rng), layer="l0", seed=0)],
+        )
+        assert report.healthy
+        assert report.worst_layer is None
+        assert "HEALTHY" in report.summary()
+
+    def test_totals_aggregate_layers(self, rng):
+        a = make_array(rng, rows=32, cols=32)
+        b = make_array(rng, rows=64, cols=32)
+        report = HealthReport(
+            code_tolerance=DEFAULT_CODE_TOLERANCE,
+            layers=[
+                probe_array(a, layer="a", seed=0),
+                probe_array(b, layer="b", seed=0),
+            ],
+        )
+        assert report.total_pairs == 32 * 32 + 64 * 32
+
+
+class TestIdealAlwaysHealthyProperty:
+    @given(
+        rows=st.integers(2, 48),
+        cols=st.integers(2, 48),
+        bits=st.sampled_from([3, 4, 5]),
+        seed=st.integers(0, 2**31 - 1),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_ideal_array_never_flags(self, rows, cols, bits, seed):
+        rng = np.random.default_rng(seed)
+        half = 2 ** (bits - 1)
+        codes = rng.integers(-half, half + 1, size=(rows, cols))
+        array = CrossbarArray(codes, bits=bits, size=32)
+        health = probe_array(array, layer="l0", seed=seed)
+        assert health.passed
+        assert health.deviating_pairs == 0
+        assert health.functional_max_error < 1e-9
+
+
+class TestDiagnoseSystem:
+    def test_requires_mapped_layers(self):
+        class Dummy:
+            network = None
+
+        from repro.nn.modules import Sequential
+
+        dummy = Dummy()
+        dummy.network = Sequential()
+        with pytest.raises(ValueError):
+            diagnose(dummy)

@@ -4,8 +4,6 @@ import numpy as np
 import pytest
 
 from repro.snc.memristor import (
-    R_OFF_OHMS,
-    R_ON_OHMS,
     MemristorModel,
     levels_for_bits,
     model_for_bits,

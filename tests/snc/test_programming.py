@@ -4,7 +4,6 @@ import pytest
 
 from repro.models.specs import alexnet_spec, lenet_spec, resnet_spec
 from repro.snc.programming import (
-    ProgrammingCost,
     ProgrammingModel,
     programming_cost,
     programming_cost_ratio,

@@ -1,0 +1,217 @@
+"""Tests for the tiered repair ladder (repro.snc.remediation)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.snc.crossbar import CrossbarArray
+from repro.snc.diagnosis import probe_array
+from repro.snc.faults import inject_stuck_faults
+from repro.snc.memristor import MemristorModel
+from repro.snc.remediation import (
+    RemediationConfig,
+    repair_tile_closed_loop,
+    run_remediation_ladder,
+)
+
+
+def make_array(rng, rows=64, cols=48, bits=4, sigma=0.0, seed=0, spares=0):
+    codes = rng.integers(-8, 9, size=(rows, cols))
+    device = MemristorModel(levels=2 ** (bits - 1) + 1, variation_sigma=sigma)
+    array = CrossbarArray(
+        codes, bits=bits, size=32, device=device, rng=np.random.default_rng(seed)
+    )
+    if spares:
+        array.provision_spares(spares)
+    return array
+
+
+def snapshot(array):
+    """All mutable device state of an array, for idempotency comparisons."""
+    planes = []
+    for row_tiles in array.tiles:
+        for tile in row_tiles:
+            planes.append(tile.g_plus.copy())
+            planes.append(tile.g_minus.copy())
+    return planes, array.spare_tiles_remaining, list(array.remapped_tiles)
+
+
+def assert_same_state(before, after):
+    planes_a, spares_a, remapped_a = before
+    planes_b, spares_b, remapped_b = after
+    assert spares_a == spares_b
+    assert remapped_a == remapped_b
+    assert len(planes_a) == len(planes_b)
+    for a, b in zip(planes_a, planes_b):
+        np.testing.assert_array_equal(a, b)
+
+
+class TestClosedLoopRepair:
+    def test_ideal_array_needs_no_writes(self, rng):
+        array = make_array(rng)
+        config = RemediationConfig()
+        written, repaired, pulses = repair_tile_closed_loop(array, 0, 0, config)
+        assert written == repaired == 0
+        assert pulses == 0.0
+
+    def test_drift_repaired_exactly_with_ideal_writes(self, rng):
+        # sigma=0 at repair time: the rewrite lands exactly on target.
+        array = make_array(rng, sigma=0.0)
+        tile = array.tiles[0][0]
+        tile.ensure_stuck_masks()
+        tile.g_plus *= 1.4  # uniform drift
+        assert not probe_array(array, seed=0).passed
+        config = RemediationConfig()
+        for tr in range(len(array.tiles)):
+            for tc in range(len(array.tiles[tr])):
+                repair_tile_closed_loop(array, tr, tc, config)
+        assert probe_array(array, seed=0).passed
+
+    def test_single_stuck_device_is_compensated(self):
+        # Pair intends code +3 (g⁺ active).  SA1 on g⁻ pins it at g_max;
+        # the repair must raise g⁺ to g_max + 3·step... which is out of
+        # window — infeasible.  Use SA0 on g⁻ instead: g⁻ stuck at g_min is
+        # exactly where it should be, and g⁺ is writable, so after drift on
+        # g⁺ the pair is recoverable.
+        codes = np.full((4, 4), 3)
+        array = make_array(np.random.default_rng(0), rows=4, cols=4)
+        array.weight_codes = codes
+        tile = array.tiles[0][0]
+        step = array.device.g_step
+        tile.ensure_stuck_masks()
+        tile.g_plus[...] = array.device.g_min + 3 * step
+        tile.g_minus[...] = array.device.g_min
+        tile.g_plus[0, 0] = array.device.g_min + 7 * step  # drifted device
+        tile.stuck_minus[0, 0] = True                      # its partner is stuck
+        written, repaired, _ = repair_tile_closed_loop(array, 0, 0, RemediationConfig())
+        assert written == repaired == 1
+        assert probe_array(array, seed=0).passed
+
+    def test_both_stuck_is_infeasible(self):
+        array = make_array(np.random.default_rng(0), rows=4, cols=4)
+        tile = array.tiles[0][0]
+        tile.ensure_stuck_masks()
+        tile.g_plus[0, 0] = array.device.g_max
+        tile.stuck_plus[0, 0] = True
+        tile.stuck_minus[0, 0] = True
+        written, repaired, _ = repair_tile_closed_loop(array, 0, 0, RemediationConfig())
+        assert written == repaired == 0
+
+    def test_stuck_devices_never_rewritten(self, rng):
+        array = make_array(rng, sigma=0.05, seed=7)
+        inject_stuck_faults(array, rate=0.05, seed=3)
+        stuck_values = []
+        for row_tiles in array.tiles:
+            for tile in row_tiles:
+                stuck_values.append(
+                    (tile.g_plus[tile.stuck_plus].copy(),
+                     tile.g_minus[tile.stuck_minus].copy())
+                )
+        config = RemediationConfig()
+        for tr in range(len(array.tiles)):
+            for tc in range(len(array.tiles[tr])):
+                repair_tile_closed_loop(array, tr, tc, config)
+        for (plus_before, minus_before), row_tiles in zip(
+            stuck_values,
+            [tile for row in array.tiles for tile in row],
+        ):
+            np.testing.assert_array_equal(
+                row_tiles.g_plus[row_tiles.stuck_plus], plus_before
+            )
+            np.testing.assert_array_equal(
+                row_tiles.g_minus[row_tiles.stuck_minus], minus_before
+            )
+
+
+class TestLadder:
+    def test_healthy_array_short_circuits(self, rng):
+        array = make_array(rng)
+        report = run_remediation_ladder(array)
+        assert report.spec_met
+        assert report.tiers == []
+        assert report.pairs_recovered == 0
+
+    def test_ladder_reduces_deviations(self, rng):
+        array = make_array(rng, rows=96, cols=96, sigma=0.05, seed=9, spares=2)
+        inject_stuck_faults(array, rate=0.01, seed=4)
+        report = run_remediation_ladder(array, RemediationConfig(seed=0))
+        assert report.final.deviating_pairs < report.initial.deviating_pairs
+        assert report.pairs_recovered > 0
+        assert report.total_pulses > 0
+        tier_names = [tier.tier for tier in report.tiers]
+        assert tier_names[0] == "reprogram"
+
+    def test_ladder_never_worsens(self, rng):
+        for seed in (1, 2, 3):
+            array = make_array(
+                np.random.default_rng(seed), sigma=0.08, seed=seed, spares=1
+            )
+            inject_stuck_faults(array, rate=0.05, seed=seed + 10)
+            report = run_remediation_ladder(array, RemediationConfig(seed=0))
+            for tier in report.tiers:
+                assert tier.deviating_after <= tier.deviating_before
+
+    def test_spare_tier_consumes_spares(self, rng):
+        array = make_array(rng, sigma=0.0, seed=0, spares=4)
+        # Dense stuck faults that reprogramming cannot compensate.
+        inject_stuck_faults(array, rate=0.2, seed=5)
+        report = run_remediation_ladder(array, RemediationConfig(seed=0))
+        spare_tiers = [t for t in report.tiers if t.tier == "spare_remap"]
+        assert spare_tiers and spare_tiers[0].actions > 0
+        assert array.spare_tiles_remaining < 4
+        assert array.remapped_tiles
+        # Remapped tiles are pristine: with sigma=0 they reprogram exactly.
+        assert report.final.deviating_pairs < report.initial.deviating_pairs
+
+    def test_tiers_can_be_disabled(self, rng):
+        array = make_array(rng, sigma=0.05, seed=9, spares=2)
+        inject_stuck_faults(array, rate=0.05, seed=4)
+        report = run_remediation_ladder(
+            array, RemediationConfig(seed=0, use_pair_swap=False, use_spares=False)
+        )
+        assert [tier.tier for tier in report.tiers] == ["reprogram"]
+
+    def test_summary_mentions_tiers(self, rng):
+        array = make_array(rng, sigma=0.05, seed=9)
+        inject_stuck_faults(array, rate=0.02, seed=4)
+        text = run_remediation_ladder(array, RemediationConfig(seed=0)).summary()
+        assert "Remediation ladder" in text
+        assert "reprogram" in text
+
+
+class TestIdempotencyProperty:
+    @given(
+        sigma=st.floats(0.0, 0.12),
+        fault_rate=st.floats(0.0, 0.08),
+        seed=st.integers(0, 2**16),
+        spares=st.integers(0, 2),
+    )
+    @settings(max_examples=15, deadline=None)
+    def test_second_run_changes_nothing(self, sigma, fault_rate, seed, spares):
+        array = make_array(
+            np.random.default_rng(seed), rows=48, cols=40,
+            sigma=sigma, seed=seed, spares=spares,
+        )
+        if fault_rate:
+            inject_stuck_faults(array, rate=fault_rate, seed=seed + 1)
+        config = RemediationConfig(seed=17)
+        first = run_remediation_ladder(array, config)
+        state = snapshot(array)
+        second = run_remediation_ladder(array, config)
+        assert_same_state(state, snapshot(array))
+        assert second.initial.deviating_pairs == first.final.deviating_pairs
+        assert second.final.deviating_pairs == first.final.deviating_pairs
+
+
+class TestConfigValidation:
+    def test_default_config_used_when_none(self, rng):
+        array = make_array(rng)
+        report = run_remediation_ladder(array, None)
+        assert report.spec_met
+
+    def test_unmapped_system_raises(self):
+        from repro.nn.modules import Sequential
+
+        with pytest.raises(ValueError):
+            run_remediation_ladder(Sequential())

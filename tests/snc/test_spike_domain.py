@@ -12,7 +12,6 @@ IFC relates to the closed form:
 """
 
 import numpy as np
-import pytest
 
 from repro import nn
 from repro.core.quantizers import quantize_signals

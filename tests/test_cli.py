@@ -68,22 +68,51 @@ class TestTrainingFreeCommands:
         assert "relative_error_pct" in out
 
 
+def _isolated_fast_settings(tmp_path, monkeypatch):
+    # Redirect the cache so the test doesn't pollute .bench_cache.
+    from repro.analysis import experiments as E
+
+    fast = E.ExperimentSettings(
+        train_size=E.FAST_SETTINGS.train_size,
+        test_size=E.FAST_SETTINGS.test_size,
+        widths=E.FAST_SETTINGS.widths,
+        epochs=E.FAST_SETTINGS.epochs,
+        cache_dir=str(tmp_path),
+    )
+    monkeypatch.setattr(E, "FAST_SETTINGS", fast)
+
+
 class TestTrainingBackedCommand:
     def test_table2_fast_lenet(self, tmp_path, monkeypatch):
-        # Redirect the cache so the test doesn't pollute .bench_cache.
-        from repro.analysis import experiments as E
-
-        fast = E.ExperimentSettings(
-            train_size=E.FAST_SETTINGS.train_size,
-            test_size=E.FAST_SETTINGS.test_size,
-            widths=E.FAST_SETTINGS.widths,
-            epochs=E.FAST_SETTINGS.epochs,
-            cache_dir=str(tmp_path),
-        )
-        monkeypatch.setattr(E, "FAST_SETTINGS", fast)
+        _isolated_fast_settings(tmp_path, monkeypatch)
         out = run_command(
             build_parser().parse_args(
                 ["table2", "--fast", "--models", "lenet", "--bits", "3"]
             )
         )
         assert "lenet" in out and "recovered" in out
+
+    def test_healthcheck_faulty_chip_reports_findings(self, tmp_path, monkeypatch):
+        _isolated_fast_settings(tmp_path, monkeypatch)
+        out = run_command(
+            build_parser().parse_args(
+                ["healthcheck", "--fast", "--models", "lenet", "--bits", "4",
+                 "--fault-rate", "0.02", "--variation", "0.05", "--remediate"]
+            )
+        )
+        assert "FAULTY" in out
+        assert "Injected faults" in out
+        assert "Remediation ladder" in out
+        assert "after repair" in out
+
+    def test_healthcheck_ideal_chip_clean_bill(self, tmp_path, monkeypatch):
+        _isolated_fast_settings(tmp_path, monkeypatch)
+        out = run_command(
+            build_parser().parse_args(
+                ["healthcheck", "--fast", "--models", "lenet", "--bits", "4",
+                 "--fault-rate", "0"]
+            )
+        )
+        assert "HEALTHY" in out
+        assert "FAULTY" not in out
+        assert "0/" in out
