@@ -9,6 +9,7 @@ a full quantized-LeNet inference.
 import numpy as np
 import pytest
 
+from benchmarks.perf_report import record_benchmark
 from repro import nn
 from repro.core.weight_clustering import cluster_weights
 from repro.models import LeNet
@@ -28,6 +29,7 @@ def test_conv2d_forward(benchmark, rng):
     conv = nn.Conv2d(16, 32, 3, padding=1, rng=rng)
     with no_grad():
         benchmark(lambda: conv(x))
+    record_benchmark(benchmark, "kernels", "conv2d_forward")
 
 
 def test_conv2d_backward(benchmark, rng):
@@ -39,6 +41,7 @@ def test_conv2d_backward(benchmark, rng):
         conv.zero_grad()
 
     benchmark(step)
+    record_benchmark(benchmark, "kernels", "conv2d_backward")
 
 
 def test_crossbar_analog_mvm(benchmark, rng):
@@ -46,22 +49,26 @@ def test_crossbar_analog_mvm(benchmark, rng):
     array = CrossbarArray(codes, bits=4, size=32)
     inputs = rng.integers(0, 16, size=(64, 256)).astype(float)
     benchmark(lambda: array.multiply_analog(inputs))
+    record_benchmark(benchmark, "kernels", "crossbar_analog_mvm")
 
 
 def test_weight_clustering_kernel(benchmark, rng):
     weights = rng.normal(size=50_000) * 0.2
     benchmark(lambda: cluster_weights(weights, bits=4))
+    record_benchmark(benchmark, "kernels", "weight_clustering")
 
 
 def test_rate_coding_roundtrip(benchmark, rng):
     values = rng.integers(0, 16, size=(32, 1024))
     benchmark(lambda: decode_counts(encode_uniform(values, bits=4)))
+    record_benchmark(benchmark, "kernels", "rate_coding_roundtrip")
 
 
 def test_ifc_stepped_window(benchmark, rng):
     ifc = IntegrateAndFire(threshold=1.0, max_spikes=15)
     charges = rng.uniform(0, 0.3, size=(15, 4096))
     benchmark(lambda: ifc.run(charges))
+    record_benchmark(benchmark, "kernels", "ifc_stepped_window")
 
 
 def test_quantized_lenet_inference(benchmark, rng):
@@ -72,6 +79,7 @@ def test_quantized_lenet_inference(benchmark, rng):
     images = Tensor(rng.normal(size=(32, 1, 28, 28)))
     with no_grad():
         benchmark(lambda: deployed(images))
+    record_benchmark(benchmark, "kernels", "quantized_lenet_graph_inference")
 
 
 def test_training_step_lenet(benchmark, rng):
@@ -90,3 +98,4 @@ def test_training_step_lenet(benchmark, rng):
         opt.step()
 
     benchmark(step)
+    record_benchmark(benchmark, "kernels", "training_step_lenet")

@@ -1,0 +1,55 @@
+"""Recording helpers for the machine-readable performance report.
+
+Benchmarks append their numbers to ``BENCH_PR2.json`` at the repository
+root via :func:`record`.  The file is merged, not overwritten, so the
+micro-kernel timings and the engine speedup study can be produced by
+separate pytest invocations (or a partial re-run) without losing each
+other's sections.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Optional
+
+REPORT_PATH = os.path.abspath(
+    os.path.join(os.path.dirname(__file__), "..", "BENCH_PR2.json")
+)
+
+
+def record(section: str, name: str, payload: dict) -> str:
+    """Merge ``payload`` into ``BENCH_PR2.json`` under ``section/name``."""
+    data = {}
+    if os.path.exists(REPORT_PATH):
+        try:
+            with open(REPORT_PATH) as handle:
+                data = json.load(handle)
+        except ValueError:
+            data = {}
+    data.setdefault(section, {})[name] = payload
+    with open(REPORT_PATH, "w") as handle:
+        json.dump(data, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    return REPORT_PATH
+
+
+def record_benchmark(benchmark, section: str, name: str,
+                     extra: Optional[dict] = None) -> None:
+    """Record a pytest-benchmark fixture's stats.
+
+    No-op under ``--benchmark-disable`` (the fixture then runs the body
+    once for correctness but collects no statistics).
+    """
+    stats = getattr(getattr(benchmark, "stats", None), "stats", None)
+    if stats is None:
+        return
+    payload = {
+        "mean_ms": stats.mean * 1e3,
+        "min_ms": stats.min * 1e3,
+        "stddev_ms": stats.stddev * 1e3,
+        "rounds": stats.rounds,
+    }
+    if extra:
+        payload.update(extra)
+    record(section, name, payload)

@@ -566,4 +566,5 @@ def healthcheck_study(
         result["remediation"] = outcome
         result["health_after"] = system.health_check(images=probe_images, seed=seed)
         result["accuracy_after"] = system.accuracy(subset)
+    result["engine"] = system.engine().runtime_stats()
     return result

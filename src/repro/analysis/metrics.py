@@ -17,7 +17,26 @@ import numpy as np
 
 from repro.nn.data import Dataset
 from repro.nn.modules import Module
-from repro.nn.tensor import Tensor, no_grad
+
+
+def _batched_logits(model: Module, dataset: Dataset, batch_size: int):
+    """Yield ``(logits, labels)`` per batch, through a compiled plan.
+
+    Eval loops dominate experiment wall-clock, so batches run through an
+    :class:`~repro.runtime.engine.InferenceEngine` plan (float64, integer
+    path off — bit-identical to the graph executor; untraceable topologies
+    fall back to the graph transparently).  The engine is per-call, so
+    weight updates between calls are always picked up.
+    """
+    from repro.runtime.engine import EngineConfig, InferenceEngine
+
+    engine = InferenceEngine(
+        model, EngineConfig(dtype=np.float64, int_path="off")
+    )
+    for start in range(0, len(dataset), batch_size):
+        images = dataset.images[start : start + batch_size]
+        labels = dataset.labels[start : start + batch_size]
+        yield engine.run(images), labels
 
 
 def evaluate_accuracy(model: Module, dataset: Dataset, batch_size: int = 256) -> float:
@@ -29,12 +48,8 @@ def evaluate_accuracy(model: Module, dataset: Dataset, batch_size: int = 256) ->
     model.eval()
     correct = 0
     try:
-        with no_grad():
-            for start in range(0, len(dataset), batch_size):
-                images = dataset.images[start : start + batch_size]
-                labels = dataset.labels[start : start + batch_size]
-                logits = model(Tensor(images))
-                correct += int((logits.data.argmax(axis=1) == labels).sum())
+        for logits, labels in _batched_logits(model, dataset, batch_size):
+            correct += int((logits.argmax(axis=1) == labels).sum())
     finally:
         model.train(was_training)
     return correct / len(dataset)
@@ -46,13 +61,9 @@ def top_k_accuracy(model: Module, dataset: Dataset, k: int = 5, batch_size: int 
     model.eval()
     hits = 0
     try:
-        with no_grad():
-            for start in range(0, len(dataset), batch_size):
-                images = dataset.images[start : start + batch_size]
-                labels = dataset.labels[start : start + batch_size]
-                logits = model(Tensor(images)).data
-                top = np.argsort(-logits, axis=1)[:, :k]
-                hits += int((top == labels[:, None]).any(axis=1).sum())
+        for logits, labels in _batched_logits(model, dataset, batch_size):
+            top = np.argsort(-logits, axis=1)[:, :k]
+            hits += int((top == labels[:, None]).any(axis=1).sum())
     finally:
         model.train(was_training)
     return hits / len(dataset)
@@ -65,12 +76,8 @@ def confusion_matrix(model: Module, dataset: Dataset, batch_size: int = 256) -> 
     was_training = model.training
     model.eval()
     try:
-        with no_grad():
-            for start in range(0, len(dataset), batch_size):
-                images = dataset.images[start : start + batch_size]
-                labels = dataset.labels[start : start + batch_size]
-                preds = model(Tensor(images)).data.argmax(axis=1)
-                np.add.at(matrix, (labels, preds), 1)
+        for logits, labels in _batched_logits(model, dataset, batch_size):
+            np.add.at(matrix, (labels, logits.argmax(axis=1)), 1)
     finally:
         model.train(was_training)
     return matrix

@@ -24,7 +24,7 @@ from repro.analysis.tables import render_dict_table, render_histogram
 COMMANDS = (
     "table1", "table2", "table3", "table4", "table5",
     "fig1a", "fig1b", "fig3", "fig4",
-    "breakdown", "programming", "irdrop", "healthcheck", "list",
+    "breakdown", "programming", "irdrop", "healthcheck", "plan", "list",
 )
 
 
@@ -219,6 +219,45 @@ def run_command(args: argparse.Namespace) -> str:
             lines.append(result["health_after"].summary())
             lines.append(f"Hardware accuracy after repair: {result['accuracy_after']:.1%}")
         return "\n".join(lines)
+
+    if args.command == "plan":
+        import numpy as np
+
+        from repro import datasets
+        from repro.core.deployment import DeploymentConfig, deploy_model, make_inference_engine
+        from repro.models.registry import MODEL_DATASET, build_model
+
+        sections = []
+        for model_name in args.models:
+            maker = (
+                datasets.mnist_like
+                if MODEL_DATASET[model_name] == "mnist-like"
+                else datasets.cifar_like
+            )
+            train_set, test_set = maker(train_size=64, test_size=16, seed=args.seed)
+            model = build_model(model_name, rng=np.random.default_rng(args.seed))
+            model.eval()
+            deployed, _ = deploy_model(
+                model,
+                DeploymentConfig(
+                    signal_bits=args.bits[0],
+                    weight_bits=args.bits[0],
+                    input_bits=8,
+                    signal_gain=E.MODEL_SIGNAL_GAIN[model_name],
+                ),
+                train_set.images[:32],
+            )
+            engine = make_inference_engine(deployed)
+            engine.run(test_set.images[:8])
+            stats = engine.runtime_stats()
+            sections.append(
+                f"=== {model_name} (M=N={args.bits[0]}, input 8-bit) ===\n"
+                f"{engine.describe()}\n"
+                f"backend={stats['backend']} "
+                f"int_steps={stats.get('int_steps', 0)} "
+                f"pool_bytes={stats.get('pool_bytes', 0)}"
+            )
+        return "\n\n".join(sections)
 
     if args.command == "irdrop":
         from repro.snc.irdrop import ir_drop_error_vs_size

@@ -212,6 +212,22 @@ def make_fallback_reference(software: Module) -> Module:
     return twin
 
 
+def make_inference_engine(deployed: Module, **config_overrides):
+    """A compiled :class:`~repro.runtime.engine.InferenceEngine` for a
+    deployed model — the serving front end for batch inference.
+
+    On quantized deployments (``weight_mode="clustered"``/``"naive"`` with
+    signal quantizers) the engine's integer fast path engages
+    automatically; keyword overrides are forwarded to
+    :class:`~repro.runtime.engine.EngineConfig` (e.g. ``dtype=np.float64``
+    for bit-identical float plans, ``int_path="off"`` to force them).
+    """
+    # Lazy import: repro.runtime depends on this module.
+    from repro.runtime.engine import EngineConfig, InferenceEngine
+
+    return InferenceEngine(deployed, EngineConfig(**config_overrides))
+
+
 class _PrependInput(Module):
     """Run an input quantizer before the wrapped network."""
 

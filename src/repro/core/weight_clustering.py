@@ -240,6 +240,7 @@ def apply_weight_clustering(
             quantized = scale * codes / (2 ** bits)
             mse = float(np.mean((quantized - module.weight.data) ** 2))
             module.weight.data[...] = quantized
+            _stamp_grid(module, scale, bits)
             report.results[f"{name}.weight"] = ClusteringResult(
                 codes=codes, scale=scale, bits=bits, mse=mse, iterations=shared.iterations
             )
@@ -250,6 +251,7 @@ def apply_weight_clustering(
     for name, module in layers:
         result = cluster_weights(module.weight.data, bits, max_iterations=max_iterations)
         module.weight.data[...] = result.quantized
+        _stamp_grid(module, result.scale, bits)
         report.results[f"{name}.weight"] = result
         if include_bias and getattr(module, "bias", None) is not None:
             _cluster_bias(module, name, result.scale, bits, report)
@@ -298,9 +300,22 @@ def naive_weight_quantization(
         quantized = scale * codes / (2 ** bits)
         mse = float(np.mean((quantized - module.weight.data) ** 2))
         module.weight.data[...] = quantized
+        _stamp_grid(module, scale, bits)
         report.results[f"{name}.weight"] = ClusteringResult(
             codes=codes, scale=scale, bits=bits, mse=mse, iterations=0
         )
         if include_bias and getattr(module, "bias", None) is not None:
             _cluster_bias(module, name, scale, bits, report)
     return report
+
+
+def _stamp_grid(module: Module, scale: float, bits: int) -> None:
+    """Record the layer's fixed-point grid on the module itself.
+
+    The inference engine (:mod:`repro.runtime.plan`) recovers the integer
+    weight codes from these to compile its integer fast path; crossbar
+    mapping recomputes codes from the clustering report instead, so the
+    stamp is advisory metadata, not load-bearing state.
+    """
+    module._grid_scale = float(scale)
+    module._grid_bits = int(bits)

@@ -240,15 +240,22 @@ def max_pool2d(x: Tensor, kernel: IntPair, stride: Optional[IntPair] = None) -> 
     def backward(grad: np.ndarray) -> None:
         if not x.requires_grad:
             return
-        dx = np.zeros_like(x.data)
-        # Recover (row, col) of each max inside its window, then scatter.
-        ki = argmax // kw
-        kj = argmax % kw
-        b_idx, c_idx, i_idx, j_idx = np.indices(argmax.shape)
-        rows = i_idx * sh + ki
-        cols_ = j_idx * sw + kj
-        np.add.at(dx, (b_idx, c_idx, rows, cols_), grad)
-        x._accumulate(dx)
+        # Recover (row, col) of each max inside its window, flatten to a
+        # raveled index into the input, and scatter-add with bincount —
+        # one C-level histogram pass instead of np.indices + np.add.at
+        # (which materializes four index arrays and dispatches per-element).
+        ki, kj = np.divmod(argmax, kw)
+        rows = np.arange(out_h).reshape(1, 1, -1, 1) * sh + ki
+        cols_ = np.arange(out_w).reshape(1, 1, 1, -1) * sw + kj
+        plane = (
+            np.arange(batch).reshape(-1, 1, 1, 1) * channels
+            + np.arange(channels).reshape(1, -1, 1, 1)
+        ) * (height * width)
+        flat = (plane + rows * width + cols_).ravel()
+        dx = np.bincount(
+            flat, weights=grad.ravel(), minlength=batch * channels * height * width
+        )
+        x._accumulate(dx.reshape(x.shape))
 
     return Tensor._make(out_data, (x,), backward)
 

@@ -1,14 +1,32 @@
-"""repro.runtime — guarded serving on top of the deployed SNC.
+"""repro.runtime — compiled inference and guarded serving on the SNC.
 
 The simulation stack (:mod:`repro.snc`) models what a chip *is*; this
-package models how a production deployment *operates* one: periodic health
-probes, automatic remediation, bounded retries, and guarded fallback to
-the quantized software twin when the analog path misses spec.
+package models how a production deployment *operates* one: compiled
+execution plans for high-throughput inference, periodic health probes,
+automatic remediation, bounded retries, and guarded fallback to the
+quantized software twin when the analog path misses spec.
 
+- :mod:`repro.runtime.plan` — traced execution plans: fused kernels,
+  pooled buffers, and the integer fast path for quantized networks.
+- :mod:`repro.runtime.engine` — :class:`~repro.runtime.engine.
+  InferenceEngine`, the serving front end (staleness tracking, graph
+  fallback, batched streaming).
 - :mod:`repro.runtime.guard` — :class:`~repro.runtime.guard.
   GuardedSpikingSystem`, the self-healing serving wrapper.
 """
 
+from repro.runtime.engine import EngineConfig, EngineStats, InferenceEngine
 from repro.runtime.guard import GuardConfig, GuardedSpikingSystem, RuntimeCounters
+from repro.runtime.plan import ExecutionPlan, PlanError, compile_plan
 
-__all__ = ["GuardConfig", "GuardedSpikingSystem", "RuntimeCounters"]
+__all__ = [
+    "EngineConfig",
+    "EngineStats",
+    "ExecutionPlan",
+    "GuardConfig",
+    "GuardedSpikingSystem",
+    "InferenceEngine",
+    "PlanError",
+    "RuntimeCounters",
+    "compile_plan",
+]

@@ -1,0 +1,209 @@
+"""The inference engine: compiled plans with a guarded graph fallback.
+
+:class:`InferenceEngine` wraps a trained/deployed :class:`~repro.nn.modules.
+Module` for serving.  On first use it traces the module into an
+:class:`~repro.runtime.plan.ExecutionPlan` (fused kernels, pooled buffers,
+and — for quantized networks — the integer fast path); every later call
+replays the flat plan with zero autograd overhead.  Three guarantees:
+
+- **equivalence** — at trace time the plan's output is checked against the
+  graph executor on the trace batch; a deviating plan is rejected and the
+  engine serves from the graph instead.  Float64 plans mirror the graph's
+  operations bit for bit; the integer fast path is exact in its integer
+  arithmetic and agrees with the graph to tie-breaking precision.
+- **freshness** — before each run the plan compares the traced structure
+  and weight snapshots against the live module (remediation reprogramming,
+  re-quantization, or module surgery all mutate them) and re-traces
+  automatically when anything changed.
+- **graceful degradation** — anything the tracer cannot linearize
+  (residual topologies, training-mode layers) falls back to the graph
+  executor; the engine never refuses to serve.
+
+Dtype policy: ``EngineConfig.dtype`` (float32 by default, for serving
+throughput) applies to pure-float plans; plans that activate the integer
+fast path run their scalar tails in float64 so results stay comparable to
+the graph at full precision.  Pass ``dtype=np.float64`` for bit-identical
+float plans (what `SpikingSystem` and the analysis eval loops use).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+import numpy as np
+
+from repro.nn.modules import Module
+from repro.nn.tensor import Tensor, no_grad
+from repro.runtime.plan import ExecutionPlan, PlanError, compile_plan
+
+
+@dataclass
+class EngineConfig:
+    """How to compile and run inference plans.
+
+    Attributes
+    ----------
+    dtype:
+        Compute dtype for pure-float plans (float32 default for serving;
+        float64 reproduces the graph executor bit for bit).
+    int_path:
+        ``"auto"`` (default) activates the integer fast path whenever the
+        traced chain carries clustered N-bit weights and M-bit signal
+        quantizers; ``"off"`` forces all-float plans.
+    exploit_sparsity:
+        Prune all-zero GEMM columns on the integer path (exact — spike
+        counts the Neuron Convergence regularizer zeroed contribute
+        nothing).
+    sparsity_max_density:
+        Prune only when the fraction of live columns is at or below this
+        (pruning overhead must buy a real GEMM reduction).
+    min_sparsity_columns:
+        Skip the sparsity scan for small GEMMs.
+    verify_on_trace:
+        Check the compiled plan against the graph executor on the trace
+        batch before trusting it (cheap; runs once per trace).
+    check_staleness:
+        Compare weight snapshots before each run and re-trace on mismatch.
+    trace_batch:
+        Number of samples from the first batch used for tracing.
+    batch_size:
+        Default micro-batch for :meth:`InferenceEngine.infer_batched`.
+    """
+
+    dtype: type = np.float32
+    int_path: str = "auto"
+    exploit_sparsity: bool = True
+    sparsity_max_density: float = 0.75
+    min_sparsity_columns: int = 64
+    verify_on_trace: bool = True
+    check_staleness: bool = True
+    trace_batch: int = 2
+    batch_size: int = 256
+
+    def __post_init__(self) -> None:
+        if self.int_path not in ("auto", "off"):
+            raise ValueError(f"int_path must be 'auto' or 'off', got {self.int_path!r}")
+        if self.trace_batch < 1:
+            raise ValueError(f"trace_batch must be >= 1, got {self.trace_batch}")
+        if self.batch_size < 1:
+            raise ValueError(f"batch_size must be >= 1, got {self.batch_size}")
+
+
+@dataclass
+class EngineStats:
+    """Operational counters of one engine (scraped into runtime stats)."""
+
+    runs: int = 0
+    graph_runs: int = 0
+    retraces: int = 0
+    trace_failures: int = 0
+    sparsity: dict = field(default_factory=dict)
+
+
+class InferenceEngine:
+    """Serve inference for one module through compiled execution plans."""
+
+    def __init__(self, module: Module, config: Optional[EngineConfig] = None) -> None:
+        self.module = module
+        self.config = config or EngineConfig()
+        self.stats = EngineStats()
+        self._plan: Optional[ExecutionPlan] = None
+        self._graph_only = False
+
+    # -- serving ------------------------------------------------------------
+    def run(self, images: np.ndarray) -> np.ndarray:
+        """Run one batch; returns logits ``(batch, classes)`` (owned copy)."""
+        images = np.asarray(images, dtype=np.float64)
+        plan = self._ensure_plan(images)
+        if plan is None:
+            return self._graph_run(images)
+        self.stats.runs += 1
+        return np.array(plan.run(images))
+
+    def infer_batched(self, images: np.ndarray, batch_size: Optional[int] = None) -> np.ndarray:
+        """Stream ``images`` through the plan in micro-batches."""
+        batch_size = batch_size or self.config.batch_size
+        outputs = [
+            self.run(images[start : start + batch_size])
+            for start in range(0, len(images), batch_size)
+        ]
+        return np.concatenate(outputs, axis=0)
+
+    def predict(self, images: np.ndarray) -> np.ndarray:
+        return self.run(images).argmax(axis=1)
+
+    # -- plan lifecycle -----------------------------------------------------
+    def _ensure_plan(self, images: np.ndarray) -> Optional[ExecutionPlan]:
+        if self._graph_only:
+            return None
+        if (
+            self._plan is not None
+            and self.config.check_staleness
+            and self._plan.is_stale()
+        ):
+            self._plan = None
+            self.stats.retraces += 1
+        if self._plan is None:
+            sample = images[: self.config.trace_batch]
+            try:
+                self._plan = compile_plan(self.module, sample, self.config)
+            except PlanError:
+                self.stats.trace_failures += 1
+                self._graph_only = True
+                return None
+        return self._plan
+
+    def invalidate(self) -> None:
+        """Drop the current plan (next run re-traces)."""
+        self._plan = None
+
+    def _graph_run(self, images: np.ndarray) -> np.ndarray:
+        self.stats.graph_runs += 1
+        with no_grad():
+            return self.module(Tensor(images)).data
+
+    # -- observability ------------------------------------------------------
+    @property
+    def plan(self) -> Optional[ExecutionPlan]:
+        return self._plan
+
+    @property
+    def active_backend(self) -> str:
+        """``graph`` | ``untraced`` | ``int`` | ``float32`` | ``float64``."""
+        if self._graph_only:
+            return "graph"
+        if self._plan is None:
+            return "untraced"
+        if self._plan.uses_int_path:
+            return "int"
+        return self._plan.dtype.name
+
+    def describe(self) -> str:
+        if self._plan is not None:
+            return self._plan.describe()
+        return f"InferenceEngine(backend={self.active_backend}, not yet traced)"
+
+    def runtime_stats(self) -> dict:
+        stats = {
+            "backend": self.active_backend,
+            "runs": self.stats.runs,
+            "graph_runs": self.stats.graph_runs,
+            "retraces": self.stats.retraces,
+            "trace_failures": self.stats.trace_failures,
+        }
+        if self._plan is not None:
+            stats["steps"] = len(self._plan.steps)
+            stats["int_steps"] = self._plan.int_steps
+            stats["pool_bytes"] = self._plan.pool.nbytes
+            sparsity = {}
+            for step in self._plan.steps:
+                if hasattr(step, "last_density") and getattr(step, "gemm_runs", 0):
+                    sparsity[f"step{step.index}"] = {
+                        "density": round(step.last_density, 4),
+                        "pruned_runs": step.pruned_runs,
+                        "gemm_runs": step.gemm_runs,
+                    }
+            if sparsity:
+                stats["sparsity"] = sparsity
+        return stats

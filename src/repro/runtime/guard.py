@@ -29,7 +29,7 @@ from typing import Optional
 import numpy as np
 
 from repro.core.deployment import make_fallback_reference
-from repro.nn.tensor import Tensor, no_grad
+from repro.runtime.engine import EngineConfig, InferenceEngine
 from repro.snc.diagnosis import DEFAULT_CODE_TOLERANCE, HealthReport, diagnose
 from repro.snc.remediation import RemediationConfig, run_remediation_ladder
 
@@ -115,6 +115,12 @@ class GuardedSpikingSystem:
         self.system = system
         self.config = config or GuardConfig()
         self.software_twin = make_fallback_reference(system.software_reference)
+        # Fallback traffic is served through a compiled plan (float64, so
+        # bit-identical to the twin's graph executor; the integer fast path
+        # engages when the twin's weights sit on the clustering grid).
+        self.twin_engine = InferenceEngine(
+            self.software_twin, EngineConfig(dtype=np.float64)
+        )
         self.counters = RuntimeCounters()
         self.health_log: list = []
         self.last_report: Optional[HealthReport] = None
@@ -160,8 +166,7 @@ class GuardedSpikingSystem:
 
     def _software_infer(self, images: np.ndarray) -> np.ndarray:
         self.counters.requests_software += 1
-        with no_grad():
-            return self.software_twin(Tensor(images)).data
+        return self.twin_engine.run(images)
 
     # -- health -------------------------------------------------------------
     def _probe_due(self) -> bool:
@@ -225,4 +230,5 @@ class GuardedSpikingSystem:
         stats["probe_latency_mean_s"] = self.counters.probe_latency_mean_s
         stats["serving_path"] = self.serving_path
         stats["health_checks_logged"] = len(self.health_log)
+        stats["twin_engine"] = self.twin_engine.runtime_stats()
         return stats

@@ -1,0 +1,1192 @@
+"""Traced execution plans for inference (the engine's compile step).
+
+A deployed network is a *linear chain* of cheap, well-known layers; walking
+the autograd ``Module`` graph for every request re-allocates im2col
+workspaces, builds Tensor wrappers, and registers backward closures that
+inference never uses.  This module traces a module once (forward hooks on
+the atomic layers, chained by tensor identity) and compiles the chain into
+a flat list of fused steps sharing a per-shape buffer pool:
+
+- ``conv + bias + ReLU + quantize`` and ``linear + bias + quantize`` run as
+  one step (the quantizer's ``clip(⌊gain·y + ½⌋, 0, 2^M−1)`` subsumes the
+  ReLU, since negatives clip to zero either way);
+- im2col writes straight into a pooled workspace, matmuls write into
+  pooled outputs (``np.matmul(..., out=)``);
+- for quantized/deployed networks an **integer fast path** carries M-bit
+  activations as small-int spike counts and N-bit weight codes in a BLAS
+  carrier dtype chosen so every accumulation is exact (float32 while the
+  worst-case partial sum fits 2^24, float64 otherwise), with a single
+  affine rescale ``y = α·acc + β`` per layer — β folds the bias and any
+  input-quantizer offset;
+- spike-domain sparsity (the Neuron Convergence regularizer zeroes most
+  counts) is exploited by pruning all-zero GEMM columns, which is exact in
+  integer arithmetic.
+
+Networks the tracer cannot linearize (residual/branching topologies, or
+modules left in training mode) raise :class:`PlanError`; the engine then
+falls back to the graph executor, so tracing is an optimization, never a
+correctness requirement.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core import quantizers as Q
+from repro.core.deployment import DynamicQuantizedActivation
+from repro.core.modules import InputQuantizer, QuantizedActivation
+from repro.nn.modules import (
+    AvgPool2d,
+    BatchNorm2d,
+    Conv2d,
+    Dropout,
+    Flatten,
+    GlobalAvgPool2d,
+    Identity,
+    Linear,
+    MaxPool2d,
+    Module,
+    ReLU,
+)
+from repro.nn.tensor import Tensor, no_grad
+from repro.snc.mapping import SpikingConv2d, SpikingLinear
+
+
+class PlanError(RuntimeError):
+    """The module cannot be traced/compiled; callers fall back to the graph."""
+
+
+# ---------------------------------------------------------------------------
+# Buffer pool
+# ---------------------------------------------------------------------------
+
+class BufferPool:
+    """Preallocated arrays keyed by ``(step key, shape, dtype)``.
+
+    A plan owns one pool; each step asks for its workspaces by key, so a
+    steady-state batch loop allocates nothing after the first batch of a
+    given size.
+    """
+
+    def __init__(self) -> None:
+        self._buffers: dict = {}
+
+    def get(self, key, shape: Tuple[int, ...], dtype) -> np.ndarray:
+        dtype = np.dtype(dtype)
+        full_key = (key, tuple(shape), dtype.str)
+        buf = self._buffers.get(full_key)
+        if buf is None:
+            buf = np.empty(shape, dtype=dtype)
+            self._buffers[full_key] = buf
+        return buf
+
+    @property
+    def nbytes(self) -> int:
+        return sum(buf.nbytes for buf in self._buffers.values())
+
+    def __len__(self) -> int:
+        return len(self._buffers)
+
+
+def _block6(cols: np.ndarray, b: int, oh: int, ow: int, c: int, kh: int, kw: int) -> np.ndarray:
+    """View the first ``c·kh·kw`` columns of ``cols`` as (B, oh, ow, C, kh, kw).
+
+    ``cols`` may be wider than ``c·kh·kw`` (trailing constant bias-driver
+    columns for the crossbar path), in which case a plain reshape of the
+    slice would copy; the strided view writes in place.
+    """
+    s = cols.strides[1]
+    row = cols.shape[1] * s
+    return np.lib.stride_tricks.as_strided(
+        cols,
+        shape=(b, oh, ow, c, kh, kw),
+        strides=(oh * ow * row, ow * row, row, kh * kw * s, kw * s, s),
+    )
+
+
+def _im2col_into(
+    pool: BufferPool,
+    key,
+    x: np.ndarray,
+    kernel: int,
+    stride: int,
+    padding: int,
+    dtype,
+    extra_cols: int = 0,
+) -> Tuple[np.ndarray, int, int]:
+    """im2col into a pooled buffer; trailing ``extra_cols`` are set to 1."""
+    b, c, h, w = x.shape
+    kh = kw = kernel
+    if padding:
+        padded = pool.get((key, "pad"), (b, c, h + 2 * padding, w + 2 * padding), x.dtype)
+        padded.fill(0)
+        padded[:, :, padding : padding + h, padding : padding + w] = x
+        x = padded
+    oh = (h + 2 * padding - kh) // stride + 1
+    ow = (w + 2 * padding - kw) // stride + 1
+    k_data = c * kh * kw
+    cols = pool.get((key, "cols"), (b * oh * ow, k_data + extra_cols), dtype)
+    if extra_cols:
+        cols[:, k_data:] = 1.0
+    windows = np.lib.stride_tricks.sliding_window_view(x, (kh, kw), axis=(2, 3))
+    windows = windows[:, :, ::stride, ::stride, :, :]
+    np.copyto(_block6(cols, b, oh, ow, c, kh, kw), windows.transpose(0, 2, 3, 1, 4, 5))
+    return cols, oh, ow
+
+
+def _to_nchw(pool: BufferPool, key, mat: np.ndarray, b: int, oh: int, ow: int,
+             oc: int, dtype) -> np.ndarray:
+    """Copy a (B·oh·ow, oc) matmul result into a pooled NCHW buffer."""
+    out = pool.get((key, "nchw"), (b, oc, oh, ow), dtype)
+    np.copyto(out, mat.reshape(b, oh, ow, oc).transpose(0, 3, 1, 2), casting="unsafe")
+    return out
+
+
+def _counts_dtype(top: int):
+    if top <= np.iinfo(np.uint8).max:
+        return np.dtype(np.uint8)
+    if top <= np.iinfo(np.uint16).max:
+        return np.dtype(np.uint16)
+    return np.dtype(np.int64)
+
+
+# ---------------------------------------------------------------------------
+# Activation specs (what gets fused onto a weight layer)
+# ---------------------------------------------------------------------------
+
+@dataclass
+class ActSpec:
+    """Fused activation tail: optional ReLU, then one kind of quantizer."""
+
+    relu: bool = False
+    bits: Optional[int] = None      # M-bit signal quantizer (QuantizedActivation)
+    gain: float = 1.0
+    dyn_fmt: Optional[object] = None  # DynamicFixedPointFormat
+
+    @property
+    def top(self) -> float:
+        return float(2 ** self.bits - 1) if self.bits is not None else 0.0
+
+    def apply_float(self, mat: np.ndarray) -> None:
+        """In place, mirroring the graph ops bit for bit (f64 inputs)."""
+        if self.relu:
+            np.maximum(mat, 0.0, out=mat)
+        if self.bits is not None:
+            # ste_quantize_signals: clip(floor(x·gain + ½), 0, top) / gain
+            if self.gain != 1.0:
+                mat *= self.gain
+            mat += 0.5
+            np.floor(mat, out=mat)
+            np.clip(mat, 0.0, self.top, out=mat)
+            if self.gain != 1.0:
+                np.divide(mat, self.gain, out=mat)
+        elif self.dyn_fmt is not None:
+            np.copyto(mat, Q.quantize_dynamic_fixed_point(mat, self.dyn_fmt))
+
+    def apply_counts(self, mat: np.ndarray) -> None:
+        """Quantize float pre-activations to integer counts, in place.
+
+        ``clip(⌊gain·y + ½⌋, 0, top)`` — the clip-at-zero subsumes the ReLU
+        (``⌊gain·y + ½⌋ ≤ 0`` for every y ≤ 0), so counts match the graph's
+        relu-then-quantize exactly.
+        """
+        if self.gain != 1.0:
+            mat *= self.gain
+        mat += 0.5
+        np.floor(mat, out=mat)
+        np.clip(mat, 0.0, self.top, out=mat)
+
+    def describe(self) -> str:
+        parts = []
+        if self.relu:
+            parts.append("relu")
+        if self.bits is not None:
+            parts.append(f"quant[M={self.bits}, gain={self.gain:.4g}]")
+        if self.dyn_fmt is not None:
+            parts.append("dynq")
+        return "+".join(parts) if parts else "none"
+
+
+def _act_spec(module: Module) -> ActSpec:
+    if isinstance(module, QuantizedActivation):
+        if not isinstance(module.inner, ReLU):
+            raise PlanError(f"unsupported quantized inner activation {module.inner!r}")
+        if not module.enabled:
+            return ActSpec(relu=True)
+        return ActSpec(relu=True, bits=module.bits, gain=float(module.gain))
+    if isinstance(module, DynamicQuantizedActivation):
+        if not isinstance(module.inner, ReLU):
+            raise PlanError(f"unsupported quantized inner activation {module.inner!r}")
+        return ActSpec(relu=True, dyn_fmt=module.fmt)
+    if isinstance(module, ReLU):
+        return ActSpec(relu=True)
+    raise PlanError(f"not an activation module: {module!r}")
+
+
+# ---------------------------------------------------------------------------
+# Value representation between steps
+# ---------------------------------------------------------------------------
+
+@dataclass
+class CountsRep:
+    """Activations carried as integer spike counts.
+
+    ``style="act"``: value = counts / gain (QuantizedActivation output).
+    ``style="input"``: value = counts · (1/gain) + offset (InputQuantizer).
+    Both mirror the exact float ops of the graph executor, so a dequantize
+    step reconstructs bit-identical values.
+    """
+
+    gain: float
+    offset: float
+    top: int
+    style: str  # "act" | "input"
+
+    @property
+    def value_scale(self) -> float:
+        return 1.0 / self.gain
+
+
+FLOAT_REP = None  # rep is either None (plain float values) or a CountsRep
+
+
+# ---------------------------------------------------------------------------
+# Steps
+# ---------------------------------------------------------------------------
+
+class Step:
+    """One fused kernel of the plan.  ``run`` maps ndarray → ndarray."""
+
+    kind = "step"
+
+    def __init__(self, index: int) -> None:
+        self.index = index
+
+    def run(self, x: np.ndarray, pool: BufferPool) -> np.ndarray:
+        raise NotImplementedError
+
+    def describe(self) -> str:
+        return self.kind
+
+
+class InputQuantFloatStep(Step):
+    kind = "input-quant"
+
+    def __init__(self, index: int, module: InputQuantizer, dtype) -> None:
+        super().__init__(index)
+        self.bits = module.bits
+        self.offset = float(module.offset)
+        self.gain = float(module.gain)
+        self.top = float(2 ** module.bits - 1)
+        self.dtype = np.dtype(dtype)
+
+    def run(self, x: np.ndarray, pool: BufferPool) -> np.ndarray:
+        buf = pool.get(self.index, x.shape, self.dtype)
+        np.subtract(x, self.offset, out=buf, casting="unsafe")
+        buf *= self.gain
+        buf += 0.5
+        np.floor(buf, out=buf)
+        np.clip(buf, 0.0, self.top, out=buf)
+        buf *= 1.0 / self.gain
+        buf += self.offset
+        return buf
+
+    def describe(self) -> str:
+        return f"input-quant[M={self.bits}] :: {self.dtype.name}"
+
+
+class InputQuantCountsStep(Step):
+    kind = "input-quant-int"
+
+    def __init__(self, index: int, module: InputQuantizer) -> None:
+        super().__init__(index)
+        self.bits = module.bits
+        self.offset = float(module.offset)
+        self.gain = float(module.gain)
+        self.top = float(2 ** module.bits - 1)
+        self.rep = CountsRep(self.gain, self.offset, 2 ** module.bits - 1, "input")
+        self.out_dtype = _counts_dtype(self.rep.top)
+
+    def run(self, x: np.ndarray, pool: BufferPool) -> np.ndarray:
+        buf = pool.get((self.index, "f"), x.shape, np.float64)
+        np.subtract(x, self.offset, out=buf, casting="unsafe")
+        buf *= self.gain
+        buf += 0.5
+        np.floor(buf, out=buf)
+        np.clip(buf, 0.0, self.top, out=buf)
+        counts = pool.get((self.index, "c"), x.shape, self.out_dtype)
+        np.copyto(counts, buf, casting="unsafe")
+        return counts
+
+    def describe(self) -> str:
+        return f"input-quant[M={self.bits}] :: {self.out_dtype.name}-counts"
+
+
+class DequantStep(Step):
+    """Counts → float values, mirroring the graph's exact reconstruction."""
+
+    kind = "dequant"
+
+    def __init__(self, index: int, rep: CountsRep, dtype) -> None:
+        super().__init__(index)
+        self.rep = rep
+        self.dtype = np.dtype(dtype)
+
+    def run(self, x: np.ndarray, pool: BufferPool) -> np.ndarray:
+        buf = pool.get(self.index, x.shape, self.dtype)
+        if self.rep.style == "act":
+            np.divide(x, self.rep.gain, out=buf, casting="unsafe")
+        else:
+            np.multiply(x, 1.0 / self.rep.gain, out=buf, casting="unsafe")
+            buf += self.rep.offset
+        return buf
+
+    def describe(self) -> str:
+        return f"dequant[{self.rep.style}] :: {self.dtype.name}"
+
+
+class ActStep(Step):
+    """Standalone activation (not fused onto a weight layer)."""
+
+    kind = "act"
+
+    def __init__(self, index: int, act: ActSpec, dtype) -> None:
+        super().__init__(index)
+        self.act = act
+        self.dtype = np.dtype(dtype)
+
+    def run(self, x: np.ndarray, pool: BufferPool) -> np.ndarray:
+        buf = pool.get(self.index, x.shape, self.dtype)
+        np.copyto(buf, x, casting="unsafe")
+        self.act.apply_float(buf)
+        return buf
+
+    def describe(self) -> str:
+        return f"{self.act.describe()} :: {self.dtype.name}"
+
+
+class FloatConvStep(Step):
+    """conv + bias + fused activation, optionally emitting integer counts."""
+
+    kind = "conv2d"
+
+    def __init__(self, index: int, conv: Conv2d, act: Optional[ActSpec], dtype,
+                 counts_rep: Optional[CountsRep] = None) -> None:
+        super().__init__(index)
+        self.conv = conv
+        self.act = act
+        self.dtype = np.dtype(dtype)
+        self.counts_rep = counts_rep
+        self.out_dtype = (
+            _counts_dtype(counts_rep.top) if counts_rep is not None else self.dtype
+        )
+        w = conv.weight.data.reshape(conv.out_channels, -1)
+        # float64 keeps a view so the matmul is the graph's, bit for bit;
+        # other dtypes take a contiguous cast copy.
+        self.w_mat = w if self.dtype == np.float64 else np.ascontiguousarray(w, dtype=self.dtype)
+        self.bias = None if conv.bias is None else conv.bias.data.astype(self.dtype)
+
+    def run(self, x: np.ndarray, pool: BufferPool) -> np.ndarray:
+        b = x.shape[0]
+        oc = self.conv.out_channels
+        cols, oh, ow = _im2col_into(
+            pool, self.index, x, self.conv.kernel_size, self.conv.stride,
+            self.conv.padding, self.dtype,
+        )
+        out = pool.get((self.index, "mat"), (cols.shape[0], oc), self.dtype)
+        np.matmul(cols, self.w_mat.T, out=out)
+        if self.bias is not None:
+            out += self.bias
+        if self.counts_rep is not None:
+            self.act.apply_counts(out)
+        elif self.act is not None:
+            self.act.apply_float(out)
+        return _to_nchw(pool, self.index, out, b, oh, ow, oc, self.out_dtype)
+
+    def describe(self) -> str:
+        c = self.conv
+        tail = "none" if self.act is None else self.act.describe()
+        rep = f"{self.out_dtype.name}-counts" if self.counts_rep is not None else self.dtype.name
+        return (f"conv2d({c.in_channels}→{c.out_channels}, k={c.kernel_size}) "
+                f"+ {tail} :: {rep}")
+
+
+class FloatLinearStep(Step):
+    kind = "linear"
+
+    def __init__(self, index: int, lin: Linear, act: Optional[ActSpec], dtype,
+                 counts_rep: Optional[CountsRep] = None) -> None:
+        super().__init__(index)
+        self.lin = lin
+        self.act = act
+        self.dtype = np.dtype(dtype)
+        self.counts_rep = counts_rep
+        self.out_dtype = (
+            _counts_dtype(counts_rep.top) if counts_rep is not None else self.dtype
+        )
+        w = lin.weight.data
+        self.w_mat = w if self.dtype == np.float64 else np.ascontiguousarray(w, dtype=self.dtype)
+        self.bias = None if lin.bias is None else lin.bias.data.astype(self.dtype)
+
+    def run(self, x: np.ndarray, pool: BufferPool) -> np.ndarray:
+        xin = x
+        if xin.dtype != self.dtype:
+            cast = pool.get((self.index, "in"), x.shape, self.dtype)
+            np.copyto(cast, x, casting="unsafe")
+            xin = cast
+        out = pool.get((self.index, "mat"), (x.shape[0], self.lin.out_features), self.dtype)
+        np.matmul(xin, self.w_mat.T, out=out)
+        if self.bias is not None:
+            out += self.bias
+        if self.counts_rep is not None:
+            self.act.apply_counts(out)
+            counts = pool.get((self.index, "c"), out.shape, self.out_dtype)
+            np.copyto(counts, out, casting="unsafe")
+            return counts
+        if self.act is not None:
+            self.act.apply_float(out)
+        return out
+
+    def describe(self) -> str:
+        m = self.lin
+        tail = "none" if self.act is None else self.act.describe()
+        rep = f"{self.out_dtype.name}-counts" if self.counts_rep is not None else self.dtype.name
+        return f"linear({m.in_features}→{m.out_features}) + {tail} :: {rep}"
+
+
+def _grid_codes(module: Module) -> Optional[Tuple[np.ndarray, float, int]]:
+    """Integer weight codes if the layer's weights sit on a clustering grid."""
+    scale = getattr(module, "_grid_scale", None)
+    bits = getattr(module, "_grid_bits", None)
+    if scale is None or bits is None or scale <= 0:
+        return None
+    codes = module.weight.data * (2 ** bits) / scale
+    rounded = np.rint(codes)
+    if not np.allclose(codes, rounded, atol=1e-6):
+        return None
+    if np.abs(rounded).max(initial=0) > 2 ** (bits - 1):
+        return None
+    return rounded, float(scale), int(bits)
+
+
+class _IntGemmMixin:
+    """Shared integer-GEMM machinery for conv/linear fast-path steps."""
+
+    def _init_int(self, module: Module, codes: np.ndarray, scale: float, bits: int,
+                  rep_in: CountsRep, act: Optional[ActSpec], config) -> None:
+        oc = codes.shape[0]
+        k = codes.shape[1]
+        # Exact-carrier choice: every partial sum must be representable.
+        bound = k * rep_in.top * (2 ** (bits - 1))
+        self.carrier = np.dtype(np.float32) if bound < 2 ** 24 else np.dtype(np.float64)
+        self.codes_t = np.ascontiguousarray(codes.T, dtype=self.carrier)  # (K, oc)
+        self.alpha = rep_in.value_scale * scale / float(2 ** bits)
+        w_rowsum = module.weight.data.reshape(oc, -1).sum(axis=1)
+        bias = 0.0 if module.bias is None else module.bias.data
+        self.beta = bias + rep_in.offset * w_rowsum  # (oc,) float64
+        self.act = act
+        self.counts_rep = (
+            CountsRep(act.gain, 0.0, int(act.top), "act")
+            if act is not None and act.bits is not None else None
+        )
+        self.out_dtype = (
+            _counts_dtype(self.counts_rep.top) if self.counts_rep is not None
+            else np.dtype(np.float64)
+        )
+        if self.counts_rep is not None:
+            # Fold rescale and quantize into one affine pass:
+            #   counts = clip(⌊gain·(α·acc + β) + ½⌋, 0, top)
+            #          = clip(⌊(α·gain)·acc + (β·gain + ½)⌋, 0, top)
+            self.q_scale = self.alpha * act.gain
+            self.q_offset = self.beta * act.gain + 0.5
+        self.config = config
+        self.gemm_runs = 0
+        self.pruned_runs = 0
+        self.last_density = 1.0
+
+    def _gemm(self, cols: np.ndarray, pool: BufferPool, key) -> np.ndarray:
+        """``cols @ codes_t`` with optional exact all-zero-column pruning."""
+        self.gemm_runs += 1
+        k = cols.shape[1]
+        cfg = self.config
+        if cfg.exploit_sparsity and k >= cfg.min_sparsity_columns:
+            # Cheap sampled gate first: the exact full-matrix scan only
+            # runs when a row sample suggests pruning will pay for it.
+            sample = cols[: min(cols.shape[0], 256)]
+            if float(sample.any(axis=0).mean()) <= cfg.sparsity_max_density:
+                nonzero = cols.any(axis=0)
+                self.last_density = float(nonzero.mean())
+                if self.last_density <= cfg.sparsity_max_density:
+                    self.pruned_runs += 1
+                    used = np.flatnonzero(nonzero)
+                    # Dropped columns are exactly zero in every row, so the
+                    # pruned integer GEMM is exact, not approximate.
+                    return np.ascontiguousarray(cols[:, used]) @ self.codes_t[used]
+        acc = pool.get((key, "acc"), (cols.shape[0], self.codes_t.shape[1]), self.carrier)
+        np.matmul(cols, self.codes_t, out=acc)
+        return acc
+
+    def _rescale(self, acc: np.ndarray, pool: BufferPool, key) -> np.ndarray:
+        y = pool.get((key, "y"), acc.shape, np.float64)
+        if self.counts_rep is not None:
+            # Fused affine + quantize (see _init_int).  The caller's
+            # truncating cast into the counts buffer supplies the floor.
+            np.multiply(acc, self.q_scale, out=y, casting="unsafe")
+            y += self.q_offset
+            np.clip(y, 0.0, self.act.top, out=y)
+        else:
+            np.multiply(acc, self.alpha, out=y, casting="unsafe")
+            y += self.beta
+            if self.act is not None:
+                self.act.apply_float(y)
+        return y
+
+
+class IntConvStep(Step, _IntGemmMixin):
+    """Integer fast path conv: counts → GEMM in exact carrier → α·acc + β.
+
+    Works channel-major: activations flow as ``(C, B, H, W)``, the im2col
+    workspace is ``(K, B·oh·ow)`` filled by K contiguous slice copies, and
+    the GEMM is ``codes (oc, K) @ cols`` — so the output ``(oc, B, oh, ow)``
+    feeds the next pool/conv with no inter-layer transpose at all.  Only
+    exact-integer arithmetic is reordered; values are unchanged.
+    """
+
+    kind = "conv2d-int"
+
+    def __init__(self, index: int, conv: Conv2d, codes: np.ndarray, scale: float,
+                 bits: int, rep_in: CountsRep, act: Optional[ActSpec], config,
+                 channel_major_in: bool) -> None:
+        Step.__init__(self, index)
+        self.conv = conv
+        self.channel_major_in = channel_major_in
+        self._init_int(conv, codes.reshape(conv.out_channels, -1), scale, bits,
+                       rep_in, act, config)
+        self.codes_mat = np.ascontiguousarray(self.codes_t.T)  # (oc, K)
+        self.beta_col = (
+            self.beta.reshape(-1, 1) if isinstance(self.beta, np.ndarray) else self.beta
+        )
+        if self.counts_rep is not None:
+            self.q_offset_col = (
+                self.q_offset.reshape(-1, 1)
+                if isinstance(self.q_offset, np.ndarray) else self.q_offset
+            )
+        self.pool_k: Optional[int] = None
+        self.pool_s: Optional[int] = None
+
+    def fuse_maxpool(self, mp: MaxPool2d) -> None:
+        """Absorb a following max pool: pooling the raw accumulator commutes
+        with the per-channel affine + quantize (both monotone in acc), so the
+        rescale touches k²× fewer elements and stays bit-exact."""
+        self.pool_k = mp.kernel_size
+        self.pool_s = mp.stride
+
+    def run(self, x: np.ndarray, pool: BufferPool) -> np.ndarray:
+        m = self.conv
+        if self.channel_major_in:
+            c, b, h, w = x.shape
+        else:
+            b, c, h, w = x.shape
+        k, s, p = m.kernel_size, m.stride, m.padding
+        xf = pool.get((self.index, "xf"), (c, b, h + 2 * p, w + 2 * p), self.carrier)
+        if p:
+            xf.fill(0)  # zero counts are exact zero values (offset-free rep)
+        target = xf[:, :, p : p + h, p : p + w] if p else xf
+        np.copyto(target, x if self.channel_major_in else x.transpose(1, 0, 2, 3),
+                  casting="unsafe")
+        oh = (h + 2 * p - k) // s + 1
+        ow = (w + 2 * p - k) // s + 1
+        cols = pool.get((self.index, "cols"), (c * k * k, b, oh, ow), self.carrier)
+        # One grouped copy per kernel offset: row ci·k² + ki·k + kj of cols is
+        # cols_v[ci, ki, kj], matching the (oc, c·k·k) codes layout.
+        cols_v = cols.reshape(c, k, k, b, oh, ow)
+        for ki in range(k):
+            for kj in range(k):
+                np.copyto(
+                    cols_v[:, ki, kj],
+                    xf[:, :, ki : ki + (oh - 1) * s + 1 : s,
+                       kj : kj + (ow - 1) * s + 1 : s],
+                )
+        acc = self._gemm_rows(cols.reshape(c * k * k, -1), pool)
+        if self.pool_k is not None:
+            accv = acc.reshape(m.out_channels, b, oh, ow)
+            pk, ps = self.pool_k, self.pool_s
+            ph = (oh - pk) // ps + 1
+            pw = (ow - pk) // ps + 1
+            pacc = pool.get((self.index, "pacc"), (m.out_channels, b, ph, pw),
+                            self.carrier)
+            np.copyto(pacc, accv[..., : (ph - 1) * ps + 1 : ps,
+                                 : (pw - 1) * ps + 1 : ps])
+            for pi in range(pk):
+                for pj in range(pk):
+                    if pi == 0 and pj == 0:
+                        continue
+                    np.maximum(
+                        pacc,
+                        accv[..., pi : pi + (ph - 1) * ps + 1 : ps,
+                             pj : pj + (pw - 1) * ps + 1 : ps],
+                        out=pacc,
+                    )
+            acc = pacc.reshape(m.out_channels, -1)
+            oh, ow = ph, pw
+        y = pool.get((self.index, "y"), acc.shape, np.float64)
+        if self.counts_rep is not None:
+            # Fused affine + quantize (see _init_int).  No explicit floor:
+            # after the clip y is non-negative, so the truncating cast into
+            # the integer counts buffer below IS the floor.
+            np.multiply(acc, self.q_scale, out=y, casting="unsafe")
+            y += self.q_offset_col
+            np.clip(y, 0.0, self.act.top, out=y)
+        else:
+            np.multiply(acc, self.alpha, out=y, casting="unsafe")
+            y += self.beta_col
+            if self.act is not None:
+                self.act.apply_float(y)
+        out = pool.get((self.index, "out"), (m.out_channels, b, oh, ow), self.out_dtype)
+        np.copyto(out, y.reshape(m.out_channels, b, oh, ow), casting="unsafe")
+        return out
+
+    def _gemm_rows(self, cols: np.ndarray, pool: BufferPool) -> np.ndarray:
+        """``codes (oc, K) @ cols (K, N)``, pruning all-zero *rows* of cols."""
+        self.gemm_runs += 1
+        cfg = self.config
+        if cfg.exploit_sparsity and cols.shape[0] >= cfg.min_sparsity_columns:
+            sample = cols[:, : min(cols.shape[1], 256)]
+            if float(sample.any(axis=1).mean()) <= cfg.sparsity_max_density:
+                nonzero = cols.any(axis=1)
+                self.last_density = float(nonzero.mean())
+                if self.last_density <= cfg.sparsity_max_density:
+                    self.pruned_runs += 1
+                    used = np.flatnonzero(nonzero)
+                    # Dropped rows are exactly zero everywhere: exact prune.
+                    return np.ascontiguousarray(self.codes_mat[:, used]) @ cols[used]
+        acc = pool.get((self.index, "acc"), (self.codes_mat.shape[0], cols.shape[1]),
+                       self.carrier)
+        np.matmul(self.codes_mat, cols, out=acc)
+        return acc
+
+    def describe(self) -> str:
+        c = self.conv
+        tail = "none" if self.act is None else self.act.describe()
+        if self.pool_k is not None:
+            tail += f" + maxpool(k={self.pool_k}, s={self.pool_s})"
+        return (f"conv2d({c.in_channels}→{c.out_channels}, k={c.kernel_size}) "
+                f"+ {tail} :: int-gemm@{self.carrier.name} → {self.out_dtype.name}"
+                " [channel-major]")
+
+
+class IntLinearStep(Step, _IntGemmMixin):
+    kind = "linear-int"
+
+    def __init__(self, index: int, lin: Linear, codes: np.ndarray, scale: float,
+                 bits: int, rep_in: CountsRep, act: Optional[ActSpec], config) -> None:
+        Step.__init__(self, index)
+        self.lin = lin
+        self._init_int(lin, codes, scale, bits, rep_in, act, config)
+
+    def run(self, x: np.ndarray, pool: BufferPool) -> np.ndarray:
+        cols = pool.get((self.index, "in"), x.shape, self.carrier)
+        np.copyto(cols, x, casting="unsafe")
+        acc = self._gemm(cols, pool, self.index)
+        y = self._rescale(acc, pool, self.index)
+        if self.counts_rep is not None:
+            counts = pool.get((self.index, "c"), y.shape, self.out_dtype)
+            np.copyto(counts, y, casting="unsafe")
+            return counts
+        return y
+
+    def describe(self) -> str:
+        m = self.lin
+        tail = "none" if self.act is None else self.act.describe()
+        return (f"linear({m.in_features}→{m.out_features}) + {tail} "
+                f":: int-gemm@{self.carrier.name} → {self.out_dtype.name}")
+
+
+class SpikingConvStep(Step):
+    """Analog-crossbar conv; reads the live ``CrossbarArray`` every run so
+    fault injection and remediation reprogramming take effect immediately."""
+
+    kind = "spiking-conv2d"
+
+    def __init__(self, index: int, module: SpikingConv2d, act: Optional[ActSpec]) -> None:
+        super().__init__(index)
+        self.module = module
+        self.act = act
+
+    def run(self, x: np.ndarray, pool: BufferPool) -> np.ndarray:
+        m = self.module
+        b = x.shape[0]
+        cols, oh, ow = _im2col_into(
+            pool, self.index, x, m.kernel_size, m.stride, m.padding,
+            np.float64, extra_cols=m._n_bias_rows,
+        )
+        values = m.array.multiply_analog(cols)
+        values *= m.scale / float(2 ** m.bits)
+        if self.act is not None:
+            self.act.apply_float(values)
+        return _to_nchw(pool, self.index, values, b, oh, ow, m.out_channels, np.float64)
+
+    def describe(self) -> str:
+        m = self.module
+        tail = "none" if self.act is None else self.act.describe()
+        return (f"spiking-conv2d({m.in_channels}→{m.out_channels}, k={m.kernel_size}) "
+                f"+ {tail} :: analog/f64")
+
+
+class SpikingLinearStep(Step):
+    kind = "spiking-linear"
+
+    def __init__(self, index: int, module: SpikingLinear, act: Optional[ActSpec]) -> None:
+        super().__init__(index)
+        self.module = module
+        self.act = act
+
+    def run(self, x: np.ndarray, pool: BufferPool) -> np.ndarray:
+        m = self.module
+        data = x
+        if m._n_bias_rows:
+            buf = pool.get(self.index, (x.shape[0], m.in_features + m._n_bias_rows),
+                           np.float64)
+            buf[:, : m.in_features] = x
+            buf[:, m.in_features :] = 1.0
+            data = buf
+        values = m.array.multiply_analog(data)
+        values *= m.scale / float(2 ** m.bits)
+        if self.act is not None:
+            self.act.apply_float(values)
+        return values
+
+    def describe(self) -> str:
+        m = self.module
+        tail = "none" if self.act is None else self.act.describe()
+        return (f"spiking-linear({m.in_features}→{m.out_features}) "
+                f"+ {tail} :: analog/f64")
+
+
+class MaxPoolStep(Step):
+    """Max pool over the two trailing axes (so any leading layout works).
+
+    One strided ``np.maximum`` per kernel offset — k² passes over the
+    output instead of a reduction over a 6-D window view, which is an
+    order of magnitude faster and takes the same maxima exactly.
+    """
+
+    kind = "maxpool"
+
+    def __init__(self, index: int, module: MaxPool2d) -> None:
+        super().__init__(index)
+        self.kernel = module.kernel_size
+        self.stride = module.stride
+
+    def run(self, x: np.ndarray, pool: BufferPool) -> np.ndarray:
+        *lead, h, w = x.shape
+        k, s = self.kernel, self.stride
+        oh = (h - k) // s + 1
+        ow = (w - k) // s + 1
+        out = pool.get(self.index, (*lead, oh, ow), x.dtype)
+        np.copyto(out, x[..., : (oh - 1) * s + 1 : s, : (ow - 1) * s + 1 : s])
+        for i in range(k):
+            for j in range(k):
+                if i == 0 and j == 0:
+                    continue
+                region = x[..., i : i + (oh - 1) * s + 1 : s, j : j + (ow - 1) * s + 1 : s]
+                np.maximum(out, region, out=out)
+        return out
+
+    def describe(self) -> str:
+        return f"maxpool(k={self.kernel}, s={self.stride})"
+
+
+class AvgPoolStep(Step):
+    kind = "avgpool"
+
+    def __init__(self, index: int, module: AvgPool2d, dtype) -> None:
+        super().__init__(index)
+        self.kernel = module.kernel_size
+        self.stride = module.stride
+        self.dtype = np.dtype(dtype)
+
+    def run(self, x: np.ndarray, pool: BufferPool) -> np.ndarray:
+        b, c, h, w = x.shape
+        k, s = self.kernel, self.stride
+        oh = (h - k) // s + 1
+        ow = (w - k) // s + 1
+        windows = np.lib.stride_tricks.sliding_window_view(x, (k, k), axis=(2, 3))
+        windows = windows[:, :, ::s, ::s, :, :]
+        out = pool.get(self.index, (b, c, oh, ow), self.dtype)
+        np.mean(windows, axis=(-2, -1), out=out)
+        return out
+
+    def describe(self) -> str:
+        return f"avgpool(k={self.kernel}, s={self.stride})"
+
+
+class GlobalAvgPoolStep(Step):
+    kind = "gap"
+
+    def __init__(self, index: int, dtype) -> None:
+        super().__init__(index)
+        self.dtype = np.dtype(dtype)
+
+    def run(self, x: np.ndarray, pool: BufferPool) -> np.ndarray:
+        out = pool.get(self.index, x.shape[:2], self.dtype)
+        np.mean(x, axis=(2, 3), out=out)
+        return out
+
+
+class BatchNormEvalStep(Step):
+    """Inference-mode batchnorm (rarely survives deployment — BN is folded)."""
+
+    kind = "batchnorm"
+
+    def __init__(self, index: int, module: BatchNorm2d, dtype) -> None:
+        super().__init__(index)
+        self.module = module
+        self.dtype = np.dtype(dtype)
+
+    def run(self, x: np.ndarray, pool: BufferPool) -> np.ndarray:
+        m = self.module
+        shape = (1, -1, 1, 1) if x.ndim == 4 else (1, -1)
+        inv_std = 1.0 / np.sqrt(m.running_var + m.eps)
+        buf = pool.get(self.index, x.shape, self.dtype)
+        np.subtract(x, m.running_mean.reshape(shape), out=buf, casting="unsafe")
+        buf *= inv_std.reshape(shape)
+        buf *= m.gamma.data.reshape(shape)
+        buf += m.beta.data.reshape(shape)
+        return buf
+
+
+class ChannelMajorToBatchStep(Step):
+    """Restore ``(C, B, H, W)`` channel-major activations to ``(B, C, H, W)``."""
+
+    kind = "to-nchw"
+
+    def run(self, x: np.ndarray, pool: BufferPool) -> np.ndarray:
+        c, b, h, w = x.shape
+        out = pool.get(self.index, (b, c, h, w), x.dtype)
+        np.copyto(out, x.transpose(1, 0, 2, 3))
+        return out
+
+
+class FlattenStep(Step):
+    kind = "flatten"
+
+    def __init__(self, index: int, channel_major_in: bool = False) -> None:
+        super().__init__(index)
+        self.channel_major_in = channel_major_in
+
+    def run(self, x: np.ndarray, pool: BufferPool) -> np.ndarray:
+        if self.channel_major_in:
+            c, b = x.shape[:2]
+            out = pool.get(self.index, (b, x.size // b), x.dtype)
+            np.copyto(out.reshape(b, c, *x.shape[2:]), np.moveaxis(x, 0, 1))
+            return out
+        return np.ascontiguousarray(x).reshape(x.shape[0], -1)
+
+
+# ---------------------------------------------------------------------------
+# Tracing
+# ---------------------------------------------------------------------------
+
+_ATOMIC = (
+    Conv2d, Linear, BatchNorm2d, ReLU, MaxPool2d, AvgPool2d, GlobalAvgPool2d,
+    Flatten, Dropout, Identity, QuantizedActivation, DynamicQuantizedActivation,
+    InputQuantizer, SpikingConv2d, SpikingLinear,
+)
+
+
+def _atomic_modules(root: Module) -> List[Module]:
+    found: List[Module] = []
+
+    def visit(m: Module) -> None:
+        if isinstance(m, _ATOMIC):
+            found.append(m)
+            return
+        children = list(m._modules.values())
+        if not children:
+            raise PlanError(f"untraceable leaf module {type(m).__name__}")
+        for child in children:
+            visit(child)
+
+    visit(root)
+    return found
+
+
+def trace_chain(module: Module, sample: np.ndarray) -> Tuple[List[Module], np.ndarray]:
+    """Run one traced forward; return the atomic chain and its output.
+
+    Raises :class:`PlanError` when the dataflow is not a linear chain (each
+    atomic module consuming exactly the previous one's output) — residual
+    and branching topologies fall back to the graph executor.
+    """
+    atoms = _atomic_modules(module)
+    if not atoms:
+        raise PlanError("module has no traceable layers")
+    events: List[Tuple[Module, Tensor, Tensor]] = []
+
+    def hook(mod: Module, x: Tensor, out: Tensor) -> None:
+        events.append((mod, x, out))
+
+    removers = [m.register_forward_hook(hook) for m in atoms]
+    x0 = Tensor(np.asarray(sample, dtype=np.float64))
+    try:
+        with no_grad():
+            out = module(x0)
+    finally:
+        for remove in removers:
+            remove()
+
+    prev: Tensor = x0
+    ordered: List[Module] = []
+    for mod, xin, xout in events:
+        if xin is not prev:
+            raise PlanError(
+                f"{type(mod).__name__} does not consume the previous layer's "
+                "output — dataflow is not a linear chain"
+            )
+        ordered.append(mod)
+        prev = xout
+    if prev is not out:
+        raise PlanError("network output is not produced by the traced chain")
+    return ordered, out.data
+
+
+# ---------------------------------------------------------------------------
+# Compilation
+# ---------------------------------------------------------------------------
+
+_WEIGHT_TYPES = (Conv2d, Linear, SpikingConv2d, SpikingLinear)
+_ACT_TYPES = (ReLU, QuantizedActivation, DynamicQuantizedActivation)
+
+
+class ExecutionPlan:
+    """A compiled flat program: ordered steps + their buffer pool."""
+
+    def __init__(self, steps: Sequence[Step], pool: BufferPool, chain: Sequence[Module],
+                 dtype, int_steps: int) -> None:
+        self.steps = list(steps)
+        self.pool = pool
+        self.dtype = np.dtype(dtype)
+        self.int_steps = int_steps
+        self._chain = list(chain)
+        self._structure_sig = _structure_signature(self._chain)
+        self._weight_snaps = [
+            (m, m.weight.data.copy(),
+             None if getattr(m, "bias", None) is None else m.bias.data.copy())
+            for m in self._chain if isinstance(m, (Conv2d, Linear))
+        ]
+
+    @property
+    def uses_int_path(self) -> bool:
+        return self.int_steps > 0
+
+    def run(self, x: np.ndarray) -> np.ndarray:
+        for step in self.steps:
+            x = step.run(x, self.pool)
+        return x
+
+    def is_stale(self) -> bool:
+        """True when the traced structure or any traced weight changed.
+
+        Spiking layers read their crossbars live, so hardware reprogramming
+        never stales a plan; software Conv2d/Linear weights are snapshotted
+        at compile time (remediation or re-quantization mutates them in
+        place, which must trigger a re-trace).
+        """
+        if _structure_signature(self._chain) != self._structure_sig:
+            return True
+        for module, w_snap, b_snap in self._weight_snaps:
+            if not np.array_equal(module.weight.data, w_snap):
+                return True
+            if b_snap is not None and not np.array_equal(module.bias.data, b_snap):
+                return True
+        return False
+
+    def describe(self) -> str:
+        lines = [
+            f"ExecutionPlan: {len(self.steps)} steps, dtype={self.dtype.name}, "
+            f"int fast-path steps={self.int_steps}, pooled buffers={len(self.pool)}"
+        ]
+        for i, step in enumerate(self.steps):
+            lines.append(f"  [{i}] {step.describe()}")
+        return "\n".join(lines)
+
+
+def _structure_signature(chain: Sequence[Module]) -> Tuple:
+    sig = []
+    for m in chain:
+        entry: Tuple = (id(m), type(m).__name__, m.training)
+        if isinstance(m, QuantizedActivation):
+            entry += (m.bits, float(m.gain), m.enabled)
+        if isinstance(m, InputQuantizer):
+            entry += (m.bits, float(m.gain), float(m.offset))
+        sig.append(entry)
+    return tuple(sig)
+
+
+def compile_plan(module: Module, sample: np.ndarray, config) -> ExecutionPlan:
+    """Trace ``module`` and compile it into an :class:`ExecutionPlan`.
+
+    ``config`` is an ``EngineConfig`` (duck-typed: dtype, int_path,
+    exploit_sparsity, sparsity_max_density, min_sparsity_columns,
+    verify_on_trace).  Raises :class:`PlanError` when the module cannot be
+    traced or the compiled plan fails its trace-time verification.
+    """
+    chain, ref_out = trace_chain(module, sample)
+
+    # Is the integer fast path worth attempting?  Only for chains with at
+    # least one software weight layer on a clustering grid.
+    int_mode = config.int_path != "off" and any(
+        isinstance(m, (Conv2d, Linear)) and _grid_codes(m) is not None for m in chain
+    )
+    # Any float arithmetic inside an int plan runs in float64 so the fast
+    # path stays comparable to the graph executor at tie-breaking precision.
+    dtype = np.dtype(np.float64) if int_mode else np.dtype(config.dtype)
+
+    steps: List[Step] = []
+    pool = BufferPool()
+    rep: Optional[CountsRep] = FLOAT_REP
+    channel_major = False  # int convs flow activations as (C, B, H, W)
+    int_steps = 0
+    index = 0
+    i = 0
+
+    def restore_batch_major() -> None:
+        nonlocal channel_major, index
+        if channel_major:
+            steps.append(ChannelMajorToBatchStep(index))
+            index += 1
+            channel_major = False
+
+    def dequant_if_counts() -> None:
+        nonlocal rep, index
+        restore_batch_major()
+        if rep is not None:
+            steps.append(DequantStep(index, rep, dtype))
+            index += 1
+            rep = FLOAT_REP
+
+    while i < len(chain):
+        m = chain[i]
+        fused_act: Optional[ActSpec] = None
+        if isinstance(m, _WEIGHT_TYPES) and i + 1 < len(chain) and isinstance(chain[i + 1], _ACT_TYPES):
+            fused_act = _act_spec(chain[i + 1])
+
+        if isinstance(m, (BatchNorm2d, Dropout)) and m.training:
+            raise PlanError(f"{type(m).__name__} is in training mode; plans are inference-only")
+
+        if isinstance(m, (Identity, Dropout)):
+            i += 1
+            continue
+
+        if isinstance(m, InputQuantizer):
+            if int_mode:
+                step = InputQuantCountsStep(index, m)
+                rep = step.rep
+            else:
+                step = InputQuantFloatStep(index, m, dtype)
+            steps.append(step)
+
+        elif isinstance(m, (SpikingConv2d, SpikingLinear)):
+            dequant_if_counts()
+            cls = SpikingConvStep if isinstance(m, SpikingConv2d) else SpikingLinearStep
+            steps.append(cls(index, m, fused_act))
+            if fused_act is not None:
+                i += 1  # the activation was fused
+
+        elif isinstance(m, (Conv2d, Linear)):
+            grid = _grid_codes(m) if int_mode else None
+            # The integer rescale y = α·acc + β rounds differently from the
+            # graph's float GEMM; inside the chain the next quantizer absorbs
+            # that (counts agree exactly), but a layer with no quantized
+            # activation after it — the classifier tail — would leak the
+            # difference into the logits.  Run such layers through the float
+            # path on dequantized values instead, so int plans reproduce the
+            # graph's output bit for bit.
+            int_ok = rep is not None and fused_act is not None and fused_act.bits is not None
+            # β folds the representation offset as offset·Σ_k w_k, which
+            # assumes every GEMM column carries it — zero-padding injects
+            # true zeros instead, so a padded conv on an offset-carrying rep
+            # (the input quantizer's) must dequantize and run float.
+            if (
+                int_ok
+                and isinstance(m, Conv2d)
+                and m.padding > 0
+                and rep.offset != 0.0
+            ):
+                int_ok = False
+            if grid is not None and int_ok:
+                codes, scale, bits = grid
+                if isinstance(m, Conv2d):
+                    step = IntConvStep(index, m, codes, scale, bits, rep, fused_act,
+                                       config, channel_major_in=channel_major)
+                    channel_major = True
+                    # conv → quant → maxpool: absorb the pool into the conv
+                    # step so the rescale runs on the pooled accumulator.
+                    if i + 2 < len(chain) and isinstance(chain[i + 2], MaxPool2d):
+                        step.fuse_maxpool(chain[i + 2])
+                        i += 1  # the max pool was fused
+                else:
+                    step = IntLinearStep(index, m, codes, scale, bits, rep,
+                                         fused_act, config)
+                rep = step.counts_rep
+                int_steps += 1
+                steps.append(step)
+            else:
+                dequant_if_counts()
+                counts_rep = None
+                if int_mode and fused_act is not None and fused_act.bits is not None:
+                    counts_rep = CountsRep(fused_act.gain, 0.0, int(fused_act.top), "act")
+                cls = FloatConvStep if isinstance(m, Conv2d) else FloatLinearStep
+                steps.append(cls(index, m, fused_act, dtype, counts_rep))
+                rep = counts_rep
+            if fused_act is not None:
+                i += 1  # the activation was fused
+
+        elif isinstance(m, _ACT_TYPES):
+            dequant_if_counts()
+            steps.append(ActStep(index, _act_spec(m), dtype))
+
+        elif isinstance(m, MaxPool2d):
+            steps.append(MaxPoolStep(index, m))  # monotone: counts pass through
+
+        elif isinstance(m, AvgPool2d):
+            dequant_if_counts()
+            steps.append(AvgPoolStep(index, m, dtype))
+
+        elif isinstance(m, GlobalAvgPool2d):
+            dequant_if_counts()
+            steps.append(GlobalAvgPoolStep(index, dtype))
+
+        elif isinstance(m, BatchNorm2d):
+            dequant_if_counts()
+            steps.append(BatchNormEvalStep(index, m, dtype))
+
+        elif isinstance(m, Flatten):
+            steps.append(FlattenStep(index, channel_major_in=channel_major))
+            channel_major = False
+
+        else:  # pragma: no cover - _ATOMIC and branches must stay in sync
+            raise PlanError(f"no step compilation for {type(m).__name__}")
+
+        index += 1
+        i += 1
+
+    restore_batch_major()
+    if rep is not None:
+        steps.append(DequantStep(index, rep, dtype))
+    plan = ExecutionPlan(steps, pool, chain, dtype, int_steps)
+
+    if config.verify_on_trace:
+        got = plan.run(np.asarray(sample, dtype=np.float64))
+        scale = max(1.0, float(np.abs(ref_out).max()))
+        if plan.uses_int_path or plan.dtype != np.float64:
+            ok = np.allclose(got, ref_out, rtol=1e-3, atol=1e-3 * scale)
+        else:
+            ok = np.allclose(got, ref_out, rtol=1e-10, atol=1e-10 * scale)
+        if not ok:
+            raise PlanError("compiled plan output deviates from the graph executor")
+    return plan

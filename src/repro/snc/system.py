@@ -79,9 +79,35 @@ class SpikingSystem:
         self.mapping = mapping
         self.config = config
         self.software_reference = software_reference
+        self._engines: Dict[int, object] = {}
 
-    def infer(self, images: np.ndarray) -> np.ndarray:
-        """Run spike-domain inference; returns logits ``(batch, classes)``."""
+    def engine(self, module: Optional[Module] = None):
+        """The compiled :class:`~repro.runtime.engine.InferenceEngine` serving
+        ``module`` (the hardware network by default).
+
+        Engines run in float64 so compiled plans reproduce the graph
+        executor bit for bit; crossbar steps read the live arrays, so fault
+        injection and remediation take effect without a re-trace.
+        """
+        # Imported lazily: repro.runtime.guard (pulled in by the package
+        # __init__) imports this module back.
+        from repro.runtime.engine import EngineConfig, InferenceEngine
+
+        module = module if module is not None else self.network
+        eng = self._engines.get(id(module))
+        if eng is None:
+            eng = InferenceEngine(module, EngineConfig(dtype=np.float64))
+            self._engines[id(module)] = eng
+        return eng
+
+    def infer(self, images: np.ndarray, use_engine: bool = True) -> np.ndarray:
+        """Run spike-domain inference; returns logits ``(batch, classes)``.
+
+        ``use_engine=False`` forces the autograd graph executor (needed by
+        callers that attach forward hooks, e.g. spike statistics).
+        """
+        if use_engine:
+            return self.engine().run(images)
         with no_grad():
             return self.network(Tensor(images)).data
 
@@ -90,12 +116,15 @@ class SpikingSystem:
         return self.infer(images).argmax(axis=1)
 
     def accuracy(self, dataset: Dataset, batch_size: int = 128) -> float:
-        """Top-1 accuracy of the hardware twin on a dataset."""
+        """Top-1 accuracy of the hardware twin on a dataset (streamed
+        through the compiled engine in micro-batches)."""
+        engine = self.engine()
         correct = 0
         for start in range(0, len(dataset), batch_size):
             images = dataset.images[start : start + batch_size]
             labels = dataset.labels[start : start + batch_size]
-            correct += int((self.predict(images) == labels).sum())
+            predictions = engine.run(images).argmax(axis=1)
+            correct += int((predictions == labels).sum())
         return correct / len(dataset)
 
     def health_check(
@@ -133,11 +162,12 @@ class SpikingSystem:
         """Check hardware logits equal the quantized software model's.
 
         Holds exactly for ideal devices; fails (by design) once
-        ``variation_sigma > 0``.
+        ``variation_sigma > 0``.  Both sides run through compiled engines
+        (bit-identical to their graph executors), so probing is cheap
+        enough to use as a diagnosis test vector.
         """
         hardware = self.infer(images)
-        with no_grad():
-            software = self.software_reference(Tensor(images)).data
+        software = self.engine(self.software_reference).run(images)
         return bool(np.allclose(hardware, software, atol=atol))
 
     def spike_statistics(self, images: np.ndarray) -> SpikeStatistics:
@@ -165,7 +195,8 @@ class SpikingSystem:
         for name, module in quantizers:
             taps.append(module.register_forward_hook(make_hook(name)))
         try:
-            self.infer(images)
+            # Hooks only fire on the graph executor, not on compiled plans.
+            self.infer(images, use_engine=False)
         finally:
             for remover in taps:
                 remover()

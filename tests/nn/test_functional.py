@@ -177,6 +177,28 @@ class TestPooling:
         x = Tensor(rng.normal(size=(1, 1, 5, 5)))
         assert F.max_pool2d(x, 3, stride=1).shape == (1, 1, 3, 3)
 
+    @pytest.mark.parametrize("kernel,stride", [(2, 2), (3, 1), (2, 1)])
+    def test_max_pool_backward_matches_scatter_reference(self, rng, kernel, stride):
+        """The bincount scatter must equal a per-window np.add.at reference."""
+        x_data = rng.normal(size=(3, 4, 7, 7))
+        upstream = rng.normal(size=F.max_pool2d(Tensor(x_data), kernel, stride).shape)
+
+        x = Tensor(x_data, requires_grad=True)
+        out = F.max_pool2d(x, kernel, stride)
+        out.backward(upstream)
+
+        expected = np.zeros_like(x_data)
+        b_n, c_n, oh, ow = out.shape
+        for b in range(b_n):
+            for c in range(c_n):
+                for i in range(oh):
+                    for j in range(ow):
+                        window = x_data[b, c, i * stride : i * stride + kernel,
+                                        j * stride : j * stride + kernel]
+                        ki, kj = np.unravel_index(np.argmax(window), window.shape)
+                        expected[b, c, i * stride + ki, j * stride + kj] += upstream[b, c, i, j]
+        np.testing.assert_allclose(x.grad, expected, atol=1e-12)
+
     def test_avg_pool_forward(self):
         x = Tensor(np.arange(16, dtype=float).reshape(1, 1, 4, 4))
         out = F.avg_pool2d(x, 2)

@@ -1,0 +1,166 @@
+"""Tests for execution-plan compilation (repro.runtime.plan)."""
+
+import numpy as np
+import pytest
+
+from repro.core.deployment import DeploymentConfig, deploy_model
+from repro.datasets.mnist_like import generate_mnist_like
+from repro.models import LeNet
+from repro.models.resnet import ResNetCifar
+from repro.nn import modules as nn
+from repro.nn.tensor import Tensor, no_grad
+from repro.runtime.engine import EngineConfig
+from repro.runtime.plan import (
+    BufferPool,
+    PlanError,
+    compile_plan,
+    trace_chain,
+)
+
+
+@pytest.fixture(scope="module")
+def images():
+    return generate_mnist_like(48, seed=0).images
+
+
+@pytest.fixture(scope="module")
+def deployed_lenet(images):
+    model = LeNet(rng=np.random.default_rng(0))
+    model.eval()
+    deployed, _ = deploy_model(
+        model,
+        DeploymentConfig(signal_bits=4, weight_bits=4, input_bits=8),
+        images[:32],
+    )
+    return deployed
+
+
+def graph_logits(module, batch):
+    with no_grad():
+        return module(Tensor(batch)).data
+
+
+class TestTraceChain:
+    def test_orders_atomic_modules(self, deployed_lenet, images):
+        chain, out = trace_chain(deployed_lenet, images[:2])
+        names = [type(m).__name__ for m in chain]
+        assert names[0] == "InputQuantizer"
+        assert "Conv2d" in names and "Linear" in names
+        np.testing.assert_array_equal(out, graph_logits(deployed_lenet, images[:2]))
+
+    def test_rejects_residual_topology(self, images):
+        model = ResNetCifar(rng=np.random.default_rng(0))
+        model.eval()
+        rgb = np.random.default_rng(0).normal(size=(2, 3, 32, 32))
+        with pytest.raises(PlanError):
+            trace_chain(model, rgb)
+
+    def test_rejects_module_without_traceable_leaves(self):
+        class Opaque(nn.Module):
+            def forward(self, x):
+                return x
+
+        with pytest.raises(PlanError):
+            trace_chain(Opaque(), np.zeros((1, 4)))
+
+
+class TestCompile:
+    def test_int_plan_structure(self, deployed_lenet, images):
+        plan = compile_plan(deployed_lenet, images[:2], EngineConfig())
+        kinds = [step.kind for step in plan.steps]
+        # Input quantizer emits counts; convs/hidden linear run as fused
+        # integer GEMMs; the unquantized classifier tail runs float after
+        # an explicit dequantize.
+        assert kinds[0] == "input-quant-int"
+        assert kinds.count("conv2d-int") == 2
+        assert kinds.count("linear-int") == 1
+        assert kinds[-2:] == ["dequant", "linear"]
+        assert plan.uses_int_path and plan.int_steps == 3
+        assert plan.dtype == np.float64
+
+    def test_int_plan_carries_small_dtypes(self, deployed_lenet, images):
+        plan = compile_plan(deployed_lenet, images[:2], EngineConfig())
+        x = np.asarray(images[:2], dtype=np.float64)
+        seen = []
+        for step in plan.steps:
+            x = step.run(x, plan.pool)
+            seen.append(x.dtype)
+        # Counts travel as uint8 between quantized layers.
+        assert np.dtype(np.uint8) in seen
+        assert seen[-1] == np.dtype(np.float64)
+
+    def test_int_plan_bit_identical_to_graph(self, deployed_lenet, images):
+        plan = compile_plan(deployed_lenet, images[:2], EngineConfig())
+        got = plan.run(np.asarray(images[:16], dtype=np.float64))
+        np.testing.assert_array_equal(got, graph_logits(deployed_lenet, images[:16]))
+
+    def test_float64_plan_bit_identical_to_graph(self, deployed_lenet, images):
+        config = EngineConfig(dtype=np.float64, int_path="off")
+        plan = compile_plan(deployed_lenet, images[:2], config)
+        assert not plan.uses_int_path
+        got = plan.run(np.asarray(images[:16], dtype=np.float64))
+        np.testing.assert_array_equal(got, graph_logits(deployed_lenet, images[:16]))
+
+    def test_float32_plan_close_to_graph(self, deployed_lenet, images):
+        config = EngineConfig(dtype=np.float32, int_path="off")
+        plan = compile_plan(deployed_lenet, images[:2], config)
+        assert plan.dtype == np.float32
+        got = plan.run(np.asarray(images[:16], dtype=np.float64))
+        ref = graph_logits(deployed_lenet, images[:16])
+        np.testing.assert_allclose(got, ref, rtol=1e-4, atol=1e-4)
+
+    def test_unquantized_model_compiles_to_float_plan(self, images):
+        model = LeNet(rng=np.random.default_rng(1))
+        model.eval()
+        plan = compile_plan(model, images[:2], EngineConfig(dtype=np.float64))
+        assert not plan.uses_int_path
+        got = plan.run(np.asarray(images[:8], dtype=np.float64))
+        np.testing.assert_array_equal(got, graph_logits(model, images[:8]))
+
+    def test_training_mode_dropout_rejected(self, images):
+        model = nn.Sequential(
+            nn.Flatten(), nn.Dropout(0.5), nn.Linear(784, 10, rng=np.random.default_rng(0))
+        )
+        model.train()
+        with pytest.raises(PlanError):
+            compile_plan(model, images[:2], EngineConfig())
+
+    def test_buffer_pool_stops_allocating(self, deployed_lenet, images):
+        plan = compile_plan(deployed_lenet, images[:2], EngineConfig())
+        batch = np.asarray(images[:8], dtype=np.float64)
+        plan.run(batch)
+        buffers_after_first = len(plan.pool)
+        for _ in range(3):
+            plan.run(batch)
+        assert len(plan.pool) == buffers_after_first
+
+
+class TestStaleness:
+    def test_fresh_plan_not_stale(self, deployed_lenet, images):
+        plan = compile_plan(deployed_lenet, images[:2], EngineConfig())
+        assert not plan.is_stale()
+
+    def test_weight_mutation_stales(self, images):
+        model = LeNet(rng=np.random.default_rng(2))
+        model.eval()
+        plan = compile_plan(model, images[:2], EngineConfig(dtype=np.float64))
+        model.conv1.weight.data[0, 0, 0, 0] += 1.0
+        assert plan.is_stale()
+
+    def test_quantizer_toggle_stales(self, deployed_lenet, images):
+        plan = compile_plan(deployed_lenet, images[:2], EngineConfig())
+        quantizer = deployed_lenet.network.relu1  # QuantizedActivation after deploy
+        quantizer.enabled = False
+        try:
+            assert plan.is_stale()
+        finally:
+            quantizer.enabled = True
+
+
+def test_buffer_pool_reuses_by_key_shape_dtype():
+    pool = BufferPool()
+    a = pool.get("k", (4, 4), np.float64)
+    assert pool.get("k", (4, 4), np.float64) is a
+    assert pool.get("k", (4, 4), np.float32) is not a
+    assert pool.get("k", (4, 5), np.float64) is not a
+    assert pool.nbytes > 0

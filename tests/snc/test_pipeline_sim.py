@@ -56,6 +56,29 @@ class TestSimulation:
         stats = simulate_pipeline(windows, num_inferences=4)
         assert stats.first_latency == sum(windows)
 
+    @given(
+        st.lists(st.integers(min_value=1, max_value=25), min_size=1, max_size=6),
+        st.integers(min_value=2, max_value=40),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_property_matches_scalar_recurrence(self, windows, num_inferences):
+        """The cummax vectorization must reproduce the textbook flow-shop
+        recurrence start/finish tables exactly (integer arithmetic)."""
+        finish = [[0] * num_inferences for _ in windows]
+        for layer, w in enumerate(windows):
+            for i in range(num_inferences):
+                upstream = finish[layer - 1][i] if layer > 0 else 0
+                previous = finish[layer][i - 1] if i > 0 else 0
+                finish[layer][i] = max(upstream, previous) + w
+
+        stats = simulate_pipeline(windows, num_inferences)
+        assert stats.first_latency == finish[-1][0]
+        assert stats.total_cycles == finish[-1][-1]
+        if num_inferences >= 2:
+            assert stats.throughput == pytest.approx(
+                1.0 / (finish[-1][-1] - finish[-1][-2])
+            )
+
 
 class TestWindowCycles:
     def test_values(self):

@@ -67,6 +67,20 @@ class TestTrainingFreeCommands:
         out = run_command(build_parser().parse_args(["irdrop"]))
         assert "relative_error_pct" in out
 
+    def test_plan_lenet_uses_integer_fast_path(self):
+        out = run_command(
+            build_parser().parse_args(["plan", "--models", "lenet", "--bits", "4"])
+        )
+        assert "ExecutionPlan" in out
+        assert "int-gemm" in out
+        assert "backend=int" in out
+
+    def test_plan_resnet_falls_back_to_graph(self):
+        out = run_command(
+            build_parser().parse_args(["plan", "--models", "resnet", "--bits", "4"])
+        )
+        assert "backend=graph" in out
+
 
 def _isolated_fast_settings(tmp_path, monkeypatch):
     # Redirect the cache so the test doesn't pollute .bench_cache.
