@@ -155,6 +155,7 @@ _GLOBAL_CACHE: Optional[ModelCache] = None
 
 
 def get_cache(settings: ExperimentSettings) -> ModelCache:
+    """The process-wide :class:`ModelCache` for ``settings.cache_dir``."""
     global _GLOBAL_CACHE
     if _GLOBAL_CACHE is None or _GLOBAL_CACHE.directory != os.path.abspath(settings.cache_dir):
         _GLOBAL_CACHE = ModelCache(settings.cache_dir)

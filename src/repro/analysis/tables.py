@@ -12,6 +12,7 @@ Cell = Union[str, int, float]
 
 
 def format_cell(value: Cell, precision: int = 2) -> str:
+    """Render one table cell: floats at fixed precision, the rest as-is."""
     if isinstance(value, float):
         return f"{value:.{precision}f}"
     return str(value)

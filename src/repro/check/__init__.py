@@ -1,0 +1,41 @@
+"""Static deployment verifier: prove quantization/crossbar safety before
+a single spike is simulated.
+
+The subsystem abstractly interprets a module graph
+(:mod:`repro.check.abstract`), evaluates the paper's deployment
+constraints as rules (:mod:`repro.check.rules` — signal range and
+uniformity per Eq. 2–3, weight grids per Eq. 6, integer-fast-path
+mantissa fit, crossbar feasibility per Eq. 1), and emits structured
+:class:`Diagnostic` records (:mod:`repro.check.diagnostics`).  Consumers:
+the ``repro check`` CLI command, the deployment gate in
+:func:`repro.core.deployment.deploy_model`, and the pre-trace validation
+in :class:`repro.runtime.engine.InferenceEngine`.  See
+``docs/static_analysis.md`` for the full rule catalogue.
+"""
+
+from repro.check.abstract import (
+    AbstractSignal,
+    LayerFact,
+    SignalQuant,
+    analyze_module,
+    structural_facts,
+)
+from repro.check.diagnostics import RULES, SEVERITIES, CheckReport, Diagnostic
+from repro.check.rules import CheckConfig, check_module, evaluate_rules
+from repro.check.specs import check_spec
+
+__all__ = [
+    "AbstractSignal",
+    "CheckConfig",
+    "CheckReport",
+    "Diagnostic",
+    "LayerFact",
+    "RULES",
+    "SEVERITIES",
+    "SignalQuant",
+    "analyze_module",
+    "check_module",
+    "check_spec",
+    "evaluate_rules",
+    "structural_facts",
+]

@@ -1,0 +1,654 @@
+"""Abstract interpretation of module graphs — no data is ever run.
+
+The interpreter walks a :class:`~repro.nn.modules.Module` tree in
+definition order (which, for every network in this repo, is execution
+order; residual blocks get dedicated handlers) carrying an
+:class:`AbstractSignal`: the symbolic per-sample shape, a sound interval
+``[lo, hi]`` bounding every element the layer could ever produce, and the
+quantization grid the values sit on (if any).  Each layer contributes one
+:class:`LayerFact` — the per-layer record the rule engine
+(:mod:`repro.check.rules`) evaluates.
+
+Transfer functions are *sound over-approximations*: for a weight layer
+the output bounds come from splitting the weight matrix into its positive
+and negative parts (the classic interval matrix product), quantizers add
+the ``±½/gain`` rounding slack before clipping to ``[0, (2^M − 1)/gain]``,
+and zero-padding widens the input interval to include 0.  Whatever a real
+forward pass computes is guaranteed to lie inside the propagated
+interval, so anything the rules *prove* from these bounds (e.g. "every
+output saturates the M-bit window") really holds.
+
+When no input shape is known, :func:`structural_facts` builds the same
+fact stream without shapes or intervals (registration-order walk), so the
+purely structural rules (quantizer uniformity, weight grids, crossbar
+budgets, mantissa fit) still run.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Tuple, Type
+
+import numpy as np
+
+from repro.check.diagnostics import CheckReport
+from repro.core.deployment import DynamicQuantizedActivation, _PrependInput
+from repro.core.modules import InputQuantizer, QuantizedActivation
+from repro.models.resnet import BasicBlock
+from repro.nn.modules import (
+    AvgPool2d,
+    BatchNorm2d,
+    Conv2d,
+    Dropout,
+    Flatten,
+    GlobalAvgPool2d,
+    Identity,
+    Linear,
+    MaxPool2d,
+    Module,
+    ReLU,
+    Residual,
+    Sequential,
+)
+from repro.snc.mapping import SpikingConv2d, SpikingLinear
+
+
+@dataclass(frozen=True)
+class SignalQuant:
+    """The integer grid an inter-layer signal sits on.
+
+    ``value = counts / gain + offset`` with ``counts ∈ [0, 2^bits − 1]``;
+    ``source`` distinguishes the network-wide activation quantizers
+    (``"activation"``) from the input quantizer (``"input"``), which may
+    legitimately use a different bit width.
+    """
+
+    bits: int
+    gain: float
+    offset: float = 0.0
+    source: str = "activation"
+
+    @property
+    def top(self) -> int:
+        """Largest representable spike count, ``2^bits − 1``."""
+        return 2 ** self.bits - 1
+
+
+@dataclass
+class AbstractSignal:
+    """What the interpreter knows about an inter-layer value.
+
+    ``shape`` is the per-sample shape (no batch axis); ``lo``/``hi`` bound
+    every element for every admissible network input; ``quant`` is the
+    integer grid the values sit on, when they sit on one.
+    """
+
+    shape: Tuple[int, ...]
+    lo: float
+    hi: float
+    quant: Optional[SignalQuant] = None
+
+
+@dataclass
+class LayerFact:
+    """One layer's analysis record, consumed by the rule engine.
+
+    ``kind`` is one of ``"input-quant"``, ``"weight"``, ``"act-quant"``,
+    ``"act"``, ``"pool"``, ``"batchnorm"``, ``"flatten"``, ``"other"``.
+    Shape/interval fields are ``None`` in structural (shape-free) mode.
+    ``data`` carries rule-specific extras — weight grids, fan-in,
+    crossbar tile counts, pre-activation bounds, …
+    """
+
+    path: str
+    kind: str
+    module_type: str
+    in_shape: Optional[Tuple[int, ...]] = None
+    out_shape: Optional[Tuple[int, ...]] = None
+    lo: Optional[float] = None
+    hi: Optional[float] = None
+    data: dict = field(default_factory=dict)
+
+    def describe(self) -> str:
+        """One-line rendering for verbose reports."""
+        parts = [f"{self.path or '<root>'} [{self.module_type}]"]
+        if self.in_shape is not None:
+            parts.append(f"{self.in_shape}→{self.out_shape}")
+        if self.lo is not None:
+            parts.append(f"range=[{self.lo:.4g}, {self.hi:.4g}]")
+        for key in ("grid_bits", "fan_in", "crossbars", "carrier"):
+            if key in self.data and self.data[key] is not None:
+                parts.append(f"{key}={self.data[key]}")
+        return " ".join(parts)
+
+
+class _Abort(Exception):
+    """Raised when a shape error makes further propagation meaningless."""
+
+
+def _grid_info(module: Module) -> Optional[dict]:
+    """Grid metadata for a layer carrying clustered/quantized weights.
+
+    Mirrors :func:`repro.runtime.plan._grid_codes` but, instead of bailing
+    out, records *why* the grid is violated so QW301 can report it.
+    """
+    scale = getattr(module, "_grid_scale", None)
+    bits = getattr(module, "_grid_bits", None)
+    if scale is None or bits is None or scale <= 0:
+        return None
+    codes = module.weight.data * (2 ** bits) / scale
+    rounded = np.rint(codes)
+    on_grid = bool(np.allclose(codes, rounded, atol=1e-6))
+    max_abs_code = float(np.abs(rounded).max(initial=0.0))
+    return {
+        "bits": int(bits),
+        "scale": float(scale),
+        "on_grid": on_grid,
+        "max_abs_code": max_abs_code,
+        "in_range": max_abs_code <= 2 ** (bits - 1),
+    }
+
+
+def _bias_row_count(module: Module, grid: Optional[dict]) -> int:
+    """Bias wordlines the Fig. 2 mapping needs (0 when bias-free/ungridded)."""
+    bias = getattr(module, "bias", None)
+    if bias is None or grid is None:
+        return 0
+    step = grid["scale"] / float(2 ** grid["bits"])
+    codes = np.rint(bias.data / step)
+    half = 2 ** (grid["bits"] - 1)
+    if codes.size == 0:
+        return 1
+    return max(1, int(np.ceil(np.abs(codes).max() / half)))
+
+
+def _weight_fact_data(module: Module, fan_in: int, out_features: int,
+                      in_quant: Optional[SignalQuant]) -> dict:
+    """Shared ``data`` payload for software Conv2d/Linear facts."""
+    grid = _grid_info(module)
+    return {
+        "fan_in": int(fan_in),
+        "out_features": int(out_features),
+        "grid": grid,
+        "rows": int(fan_in) + _bias_row_count(module, grid),
+        "cols": int(out_features),
+        "in_quant": in_quant,
+        "padding": int(getattr(module, "padding", 0)),
+        "spiking": False,
+    }
+
+
+def _spiking_fact_data(module: Module, in_quant: Optional[SignalQuant]) -> dict:
+    """``data`` payload for crossbar-mapped layers (live array metadata)."""
+    array = module.array
+    fan_in = array.rows - module._n_bias_rows
+    return {
+        "fan_in": int(fan_in),
+        "out_features": int(array.cols),
+        "grid": {
+            "bits": int(module.bits),
+            "scale": float(module.scale),
+            "on_grid": True,
+            "max_abs_code": float(np.abs(array.weight_codes).max(initial=0.0)),
+            "in_range": True,
+        },
+        "rows": int(array.rows),
+        "cols": int(array.cols),
+        "in_quant": in_quant,
+        "padding": int(getattr(module, "padding", 0)),
+        "spiking": True,
+        "crossbars": int(array.num_crossbars),
+        "spares_remaining": int(array.spare_tiles_remaining),
+        "remapped_tiles": len(array.remapped_tiles),
+        "device_levels": int(array.device.levels),
+    }
+
+
+def _interval_affine(w_mat: np.ndarray, bias, lo: float, hi: float) -> Tuple[float, float]:
+    """Sound output bounds of ``W x + b`` for elementwise ``x ∈ [lo, hi]``.
+
+    ``w_mat`` is ``(out, fan_in)``.  Positive weights pull toward ``hi``,
+    negative toward ``lo``; the returned bounds are the extrema over all
+    outputs.
+    """
+    pos = np.clip(w_mat, 0.0, None).sum(axis=1)
+    neg = np.clip(w_mat, None, 0.0).sum(axis=1)
+    b = bias if bias is not None else 0.0
+    out_hi = pos * hi + neg * lo + b
+    out_lo = pos * lo + neg * hi + b
+    return float(np.min(out_lo)), float(np.max(out_hi))
+
+
+def _conv_out_hw(h: int, w: int, kernel: int, stride: int, padding: int) -> Tuple[int, int]:
+    """Spatial output dims of a conv/pool window; may be non-positive."""
+    oh = (h + 2 * padding - kernel) // stride + 1
+    ow = (w + 2 * padding - kernel) // stride + 1
+    return oh, ow
+
+
+class Interpreter:
+    """Walks a module tree, accumulating facts and shape diagnostics."""
+
+    def __init__(self, report: CheckReport) -> None:
+        self.report = report
+        self.facts: List[LayerFact] = report.facts
+        self.aborted = False
+
+    # -- entry --------------------------------------------------------------
+    def run(self, module: Module, signal: AbstractSignal) -> Optional[AbstractSignal]:
+        """Interpret ``module`` on ``signal``; ``None`` after a shape abort."""
+        try:
+            return self.visit(module, "", signal)
+        except _Abort:
+            self.aborted = True
+            return None
+
+    # -- dispatch -----------------------------------------------------------
+    def visit(self, module: Module, path: str, sig: AbstractSignal) -> AbstractSignal:
+        """Apply one module's transfer function (dispatch on type)."""
+        for cls, handler in _COMPOSITE_HANDLERS.items():
+            if isinstance(module, cls):
+                return handler(self, module, path, sig)
+        for cls, method_name in _TRANSFERS.items():
+            if isinstance(module, cls):
+                return getattr(self, method_name)(module, path, sig)
+        return self._generic(module, path, sig)
+
+    def _child_path(self, path: str, name: str) -> str:
+        return f"{path}.{name}" if path else name
+
+    def _generic(self, module: Module, path: str, sig: AbstractSignal) -> AbstractSignal:
+        """Containers fold their children in definition order; unknown
+        leaves pass the signal through and are flagged by QS102."""
+        children = list(module._modules.items())
+        if not children:
+            self._fact(path, "other", module, sig, sig, data={"unknown": True})
+            return sig
+        for name, child in children:
+            sig = self.visit(child, self._child_path(path, name), sig)
+        return sig
+
+    # -- bookkeeping --------------------------------------------------------
+    def _fact(self, path: str, kind: str, module: Module, sig_in: AbstractSignal,
+              sig_out: AbstractSignal, data: Optional[dict] = None) -> LayerFact:
+        fact = LayerFact(
+            path=path,
+            kind=kind,
+            module_type=type(module).__name__,
+            in_shape=sig_in.shape,
+            out_shape=sig_out.shape,
+            lo=sig_out.lo,
+            hi=sig_out.hi,
+            data=data or {},
+        )
+        self.facts.append(fact)
+        return fact
+
+    def _shape_error(self, path: str, message: str, hint: str = "", **details) -> None:
+        self.report.add(
+            "QS101", "error", path, message,
+            hint or "fix the layer dimensions; the network cannot run as wired",
+            **details,
+        )
+        raise _Abort
+
+    def _require_rank(self, path: str, sig: AbstractSignal, rank: int, what: str) -> None:
+        if len(sig.shape) != rank:
+            self._shape_error(
+                path,
+                f"{what} expects a rank-{rank} per-sample input, got shape {sig.shape}",
+            )
+
+    # -- transfers: weight layers -------------------------------------------
+    def _conv(self, m: Conv2d, path: str, sig: AbstractSignal) -> AbstractSignal:
+        self._require_rank(path, sig, 3, "Conv2d")
+        c, h, w = sig.shape
+        if c != m.in_channels:
+            self._shape_error(
+                path,
+                f"Conv2d expects {m.in_channels} input channels, signal has {c}",
+                expected=m.in_channels, got=c,
+            )
+        oh, ow = _conv_out_hw(h, w, m.kernel_size, m.stride, m.padding)
+        if oh < 1 or ow < 1:
+            self._shape_error(
+                path,
+                f"Conv2d kernel {m.kernel_size} (stride {m.stride}, padding "
+                f"{m.padding}) produces an empty output from {h}×{w} input",
+            )
+        lo, hi = sig.lo, sig.hi
+        if m.padding > 0:  # zero padding injects exact zeros into the window
+            lo, hi = min(lo, 0.0), max(hi, 0.0)
+        w_mat = m.weight.data.reshape(m.out_channels, -1)
+        bias = m.bias.data if m.bias is not None else None
+        out_lo, out_hi = _interval_affine(w_mat, bias, lo, hi)
+        out = AbstractSignal((m.out_channels, oh, ow), out_lo, out_hi, None)
+        fan_in = m.in_channels * m.kernel_size * m.kernel_size
+        self._fact(path, "weight", m, sig, out,
+                   _weight_fact_data(m, fan_in, m.out_channels, sig.quant))
+        return out
+
+    def _linear(self, m: Linear, path: str, sig: AbstractSignal) -> AbstractSignal:
+        self._require_rank(path, sig, 1, "Linear")
+        if sig.shape[0] != m.in_features:
+            self._shape_error(
+                path,
+                f"Linear expects {m.in_features} input features, signal has {sig.shape[0]}",
+                expected=m.in_features, got=sig.shape[0],
+            )
+        bias = m.bias.data if m.bias is not None else None
+        out_lo, out_hi = _interval_affine(m.weight.data, bias, sig.lo, sig.hi)
+        out = AbstractSignal((m.out_features,), out_lo, out_hi, None)
+        self._fact(path, "weight", m, sig, out,
+                   _weight_fact_data(m, m.in_features, m.out_features, sig.quant))
+        return out
+
+    def _spiking_conv(self, m: SpikingConv2d, path: str, sig: AbstractSignal) -> AbstractSignal:
+        self._require_rank(path, sig, 3, "SpikingConv2d")
+        c, h, w = sig.shape
+        if c != m.in_channels:
+            self._shape_error(
+                path,
+                f"SpikingConv2d expects {m.in_channels} input channels, signal has {c}",
+                expected=m.in_channels, got=c,
+            )
+        oh, ow = _conv_out_hw(h, w, m.kernel_size, m.stride, m.padding)
+        if oh < 1 or ow < 1:
+            self._shape_error(
+                path,
+                f"SpikingConv2d kernel {m.kernel_size} produces an empty output "
+                f"from {h}×{w} input",
+            )
+        lo, hi = sig.lo, sig.hi
+        if m.padding > 0:
+            lo, hi = min(lo, 0.0), max(hi, 0.0)
+        w_mat, bias = _spiking_weights(m)
+        out_lo, out_hi = _interval_affine(w_mat, bias, lo, hi)
+        out = AbstractSignal((m.out_channels, oh, ow), out_lo, out_hi, None)
+        self._fact(path, "weight", m, sig, out, _spiking_fact_data(m, sig.quant))
+        return out
+
+    def _spiking_linear(self, m: SpikingLinear, path: str, sig: AbstractSignal) -> AbstractSignal:
+        self._require_rank(path, sig, 1, "SpikingLinear")
+        if sig.shape[0] != m.in_features:
+            self._shape_error(
+                path,
+                f"SpikingLinear expects {m.in_features} input features, "
+                f"signal has {sig.shape[0]}",
+                expected=m.in_features, got=sig.shape[0],
+            )
+        w_mat, bias = _spiking_weights(m)
+        out_lo, out_hi = _interval_affine(w_mat, bias, sig.lo, sig.hi)
+        out = AbstractSignal((m.out_features,), out_lo, out_hi, None)
+        self._fact(path, "weight", m, sig, out, _spiking_fact_data(m, sig.quant))
+        return out
+
+    # -- transfers: quantizers ----------------------------------------------
+    def _input_quant(self, m: InputQuantizer, path: str, sig: AbstractSignal) -> AbstractSignal:
+        g = float(m.gain)
+        top = float(2 ** m.bits - 1)
+        offset = float(m.offset)
+        out_lo = min(max(sig.lo - 0.5 / g, offset), offset + top / g)
+        out_hi = max(min(sig.hi + 0.5 / g, offset + top / g), offset)
+        quant = SignalQuant(m.bits, g, offset, "input")
+        out = AbstractSignal(sig.shape, out_lo, out_hi, quant)
+        self._fact(path, "input-quant", m, sig, out, {
+            "bits": m.bits, "gain": g, "offset": offset,
+            "pre_lo": sig.lo, "pre_hi": sig.hi,
+        })
+        return out
+
+    def _quant_act(self, m: QuantizedActivation, path: str, sig: AbstractSignal) -> AbstractSignal:
+        # The inner module is ReLU in every deployment; anything else is
+        # interpreted generically (and flagged by QS102 if unknown).
+        if isinstance(m.inner, ReLU):
+            pre = AbstractSignal(sig.shape, max(sig.lo, 0.0), max(sig.hi, 0.0), None)
+        else:
+            pre = self.visit(m.inner, self._child_path(path, "inner"), sig)
+        if not m.enabled:
+            out = AbstractSignal(pre.shape, pre.lo, pre.hi, None)
+            self._fact(path, "act", m, sig, out, {"enabled": False})
+            return out
+        g = float(m.gain)
+        top = float(2 ** m.bits - 1)
+        out_lo = min(max(pre.lo - 0.5 / g, 0.0), top / g)
+        out_hi = max(min(pre.hi + 0.5 / g, top / g), 0.0)
+        quant = SignalQuant(m.bits, g, 0.0, "activation")
+        out = AbstractSignal(pre.shape, out_lo, out_hi, quant)
+        self._fact(path, "act-quant", m, sig, out, {
+            "bits": m.bits, "gain": g, "enabled": True, "dynamic": False,
+            "pre_lo": pre.lo, "pre_hi": pre.hi,
+        })
+        return out
+
+    def _dyn_act(self, m: DynamicQuantizedActivation, path: str,
+                 sig: AbstractSignal) -> AbstractSignal:
+        if isinstance(m.inner, ReLU):
+            pre = AbstractSignal(sig.shape, max(sig.lo, 0.0), max(sig.hi, 0.0), None)
+        else:
+            pre = self.visit(m.inner, self._child_path(path, "inner"), sig)
+        out_lo = float(np.clip(pre.lo, m.fmt.min_value, m.fmt.max_value))
+        out_hi = float(np.clip(pre.hi, m.fmt.min_value, m.fmt.max_value))
+        out = AbstractSignal(pre.shape, out_lo, out_hi, None)
+        self._fact(path, "act-quant", m, sig, out, {
+            "bits": m.fmt.bits, "gain": None, "enabled": True, "dynamic": True,
+            "pre_lo": pre.lo, "pre_hi": pre.hi,
+        })
+        return out
+
+    # -- transfers: shape/range plumbing ------------------------------------
+    def _relu(self, m: ReLU, path: str, sig: AbstractSignal) -> AbstractSignal:
+        quant = sig.quant if sig.lo >= 0 else None
+        out = AbstractSignal(sig.shape, max(sig.lo, 0.0), max(sig.hi, 0.0), quant)
+        self._fact(path, "act", m, sig, out)
+        return out
+
+    def _maxpool(self, m: MaxPool2d, path: str, sig: AbstractSignal) -> AbstractSignal:
+        self._require_rank(path, sig, 3, "MaxPool2d")
+        c, h, w = sig.shape
+        oh, ow = _conv_out_hw(h, w, m.kernel_size, m.stride, 0)
+        if oh < 1 or ow < 1:
+            self._shape_error(
+                path, f"MaxPool2d window {m.kernel_size} is larger than the {h}×{w} input"
+            )
+        out = AbstractSignal((c, oh, ow), sig.lo, sig.hi, sig.quant)
+        self._fact(path, "pool", m, sig, out)
+        return out
+
+    def _avgpool(self, m: AvgPool2d, path: str, sig: AbstractSignal) -> AbstractSignal:
+        self._require_rank(path, sig, 3, "AvgPool2d")
+        c, h, w = sig.shape
+        oh, ow = _conv_out_hw(h, w, m.kernel_size, m.stride, 0)
+        if oh < 1 or ow < 1:
+            self._shape_error(
+                path, f"AvgPool2d window {m.kernel_size} is larger than the {h}×{w} input"
+            )
+        out = AbstractSignal((c, oh, ow), sig.lo, sig.hi, None)
+        self._fact(path, "pool", m, sig, out)
+        return out
+
+    def _gap(self, m: GlobalAvgPool2d, path: str, sig: AbstractSignal) -> AbstractSignal:
+        self._require_rank(path, sig, 3, "GlobalAvgPool2d")
+        out = AbstractSignal((sig.shape[0],), sig.lo, sig.hi, None)
+        self._fact(path, "pool", m, sig, out)
+        return out
+
+    def _flatten(self, m: Flatten, path: str, sig: AbstractSignal) -> AbstractSignal:
+        size = int(np.prod(sig.shape))
+        out = AbstractSignal((size,), sig.lo, sig.hi, sig.quant)
+        self._fact(path, "flatten", m, sig, out)
+        return out
+
+    def _batchnorm(self, m: BatchNorm2d, path: str, sig: AbstractSignal) -> AbstractSignal:
+        self._require_rank(path, sig, 3, "BatchNorm2d")
+        if sig.shape[0] != m.num_features:
+            self._shape_error(
+                path,
+                f"BatchNorm2d expects {m.num_features} channels, signal has {sig.shape[0]}",
+            )
+        a = m.gamma.data / np.sqrt(m.running_var + m.eps)
+        d = m.beta.data - a * m.running_mean
+        candidates = np.stack([a * sig.lo + d, a * sig.hi + d])
+        out = AbstractSignal(sig.shape, float(candidates.min()), float(candidates.max()), None)
+        self._fact(path, "batchnorm", m, sig, out, {"training": m.training})
+        return out
+
+    def _dropout(self, m: Dropout, path: str, sig: AbstractSignal) -> AbstractSignal:
+        self._fact(path, "other", m, sig, sig, {"training": m.training})
+        return sig
+
+    def _identity(self, m: Identity, path: str, sig: AbstractSignal) -> AbstractSignal:
+        return sig
+
+
+def _spiking_weights(m) -> Tuple[np.ndarray, Optional[np.ndarray]]:
+    """Intended ``(out, fan_in)`` weights and effective bias of a mapped
+    layer, reconstructed from its crossbar codes (``w = scale·D/2^N``)."""
+    array = m.array
+    step = m.scale / float(2 ** m.bits)
+    fan_in = array.rows - m._n_bias_rows
+    taps = array.weight_codes[:fan_in]          # (fan_in, out)
+    w_mat = taps.T.astype(np.float64) * step    # (out, fan_in)
+    bias = None
+    if m._n_bias_rows:
+        bias = array.weight_codes[fan_in:].sum(axis=0).astype(np.float64) * step
+    return w_mat, bias
+
+
+# -- composite handlers ------------------------------------------------------
+
+def _visit_residual(interp: Interpreter, m: Residual, path: str,
+                    sig: AbstractSignal) -> AbstractSignal:
+    body = interp.visit(m.body, interp._child_path(path, "body"), sig)
+    short = interp.visit(m.shortcut, interp._child_path(path, "shortcut"), sig)
+    if body.shape != short.shape:
+        interp._shape_error(
+            path,
+            f"residual branches disagree: body {body.shape} vs shortcut {short.shape}",
+        )
+    merged = AbstractSignal(body.shape, body.lo + short.lo, body.hi + short.hi, None)
+    return interp.visit(m.activation, interp._child_path(path, "activation"), merged)
+
+
+def _visit_basic_block(interp: Interpreter, m: BasicBlock, path: str,
+                       sig: AbstractSignal) -> AbstractSignal:
+    join = interp._child_path
+    out = sig
+    for name in ("conv1", "bn1", "relu1", "conv2", "bn2"):
+        out = interp.visit(getattr(m, name), join(path, name), out)
+    short = interp.visit(m.shortcut, join(path, "shortcut"), sig)
+    if out.shape != short.shape:
+        interp._shape_error(
+            path,
+            f"residual branches disagree: body {out.shape} vs shortcut {short.shape}",
+        )
+    merged = AbstractSignal(out.shape, out.lo + short.lo, out.hi + short.hi, None)
+    return interp.visit(m.relu2, join(path, "relu2"), merged)
+
+
+_COMPOSITE_HANDLERS: Dict[Type[Module], Callable] = {
+    Residual: _visit_residual,
+    BasicBlock: _visit_basic_block,
+}
+
+# Dispatch table (order matters: subclasses before bases would go first;
+# these types are disjoint).  Sequential and _PrependInput fold generically.
+_TRANSFERS: Dict[Type[Module], str] = {
+    Conv2d: "_conv",
+    Linear: "_linear",
+    SpikingConv2d: "_spiking_conv",
+    SpikingLinear: "_spiking_linear",
+    InputQuantizer: "_input_quant",
+    QuantizedActivation: "_quant_act",
+    DynamicQuantizedActivation: "_dyn_act",
+    ReLU: "_relu",
+    MaxPool2d: "_maxpool",
+    AvgPool2d: "_avgpool",
+    GlobalAvgPool2d: "_gap",
+    Flatten: "_flatten",
+    BatchNorm2d: "_batchnorm",
+    Dropout: "_dropout",
+    Identity: "_identity",
+    Sequential: "_generic",
+    _PrependInput: "_generic",
+}
+
+
+def analyze_module(
+    module: Module,
+    input_shape: Tuple[int, ...],
+    input_range: Tuple[float, float] = (0.0, 1.0),
+    target: str = "module",
+) -> CheckReport:
+    """Abstractly interpret ``module`` from a given input shape/interval.
+
+    Returns a :class:`CheckReport` whose ``facts`` hold one
+    :class:`LayerFact` per interpreted layer and whose diagnostics hold
+    any shape errors (QS101) found along the way.  Rule evaluation is a
+    separate pass (:func:`repro.check.rules.evaluate_rules`).
+    """
+    report = CheckReport(target)
+    lo, hi = float(input_range[0]), float(input_range[1])
+    if hi < lo:
+        raise ValueError(f"input_range must be ordered, got ({lo}, {hi})")
+    signal = AbstractSignal(tuple(int(d) for d in input_shape), lo, hi, None)
+    Interpreter(report).run(module, signal)
+    return report
+
+
+# -- structural (shape-free) mode --------------------------------------------
+
+_STRUCTURAL_SKIP = (Identity,)
+
+
+def structural_facts(module: Module) -> List[LayerFact]:
+    """Fact stream without shapes/intervals, from a registration-order walk.
+
+    Used when no input shape is known: quantizer-uniformity, weight-grid,
+    mantissa and crossbar rules still apply; interval rules are skipped
+    (their fact fields stay ``None``).
+    """
+    facts: List[LayerFact] = []
+    quant: List[Optional[SignalQuant]] = [None]  # boxed: closures mutate it
+
+    def emit(path: str, kind: str, m: Module, data: dict) -> None:
+        facts.append(LayerFact(path=path, kind=kind, module_type=type(m).__name__, data=data))
+
+    for path, m in module.named_modules():
+        if isinstance(m, _STRUCTURAL_SKIP):
+            continue
+        if isinstance(m, (SpikingConv2d, SpikingLinear)):
+            emit(path, "weight", m, _spiking_fact_data(m, quant[0]))
+            quant[0] = None
+        elif isinstance(m, Conv2d):
+            fan_in = m.in_channels * m.kernel_size * m.kernel_size
+            emit(path, "weight", m, _weight_fact_data(m, fan_in, m.out_channels, quant[0]))
+            quant[0] = None
+        elif isinstance(m, Linear):
+            emit(path, "weight", m,
+                 _weight_fact_data(m, m.in_features, m.out_features, quant[0]))
+            quant[0] = None
+        elif isinstance(m, InputQuantizer):
+            quant[0] = SignalQuant(m.bits, float(m.gain), float(m.offset), "input")
+            emit(path, "input-quant", m,
+                 {"bits": m.bits, "gain": float(m.gain), "offset": float(m.offset)})
+        elif isinstance(m, QuantizedActivation):
+            if m.enabled:
+                quant[0] = SignalQuant(m.bits, float(m.gain), 0.0, "activation")
+                emit(path, "act-quant", m,
+                     {"bits": m.bits, "gain": float(m.gain), "enabled": True,
+                      "dynamic": False})
+            else:
+                emit(path, "act", m, {"enabled": False})
+        elif isinstance(m, DynamicQuantizedActivation):
+            quant[0] = None
+            emit(path, "act-quant", m,
+                 {"bits": m.fmt.bits, "gain": None, "enabled": True, "dynamic": True})
+        elif isinstance(m, (BatchNorm2d, Dropout)):
+            emit(path, "other", m, {"training": m.training})
+            if isinstance(m, BatchNorm2d):
+                quant[0] = None
+        elif isinstance(m, (AvgPool2d, GlobalAvgPool2d)):
+            emit(path, "pool", m, {})
+            quant[0] = None
+    return facts

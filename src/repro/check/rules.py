@@ -1,0 +1,396 @@
+"""Rule evaluation over the abstract interpreter's layer facts.
+
+Each rule inspects the :class:`~repro.check.abstract.LayerFact` stream and
+appends :class:`~repro.check.diagnostics.Diagnostic` records to the
+report.  The rules mirror the paper's deployment constraints:
+
+``QS2xx``
+    Uniform M-bit signal quantization (Sec 3.1, Eq. 2–3): one (M, gain)
+    pair network-wide, and no layer whose worst-case pre-activation
+    interval proves the quantizer window is violated.
+``QW3xx``
+    N-bit weight grids (Eq. 6): weights on ``scale·D/2^N`` with
+    ``|D| ≤ 2^(N−1)``, one N network-wide.
+``QI4xx``
+    The compiled engine's integer fast path
+    (:mod:`repro.runtime.plan`): worst-case partial sums must fit the
+    float32 mantissa (2^24) or the layer silently falls back to a
+    float64 carrier; padded convolutions on an offset-carrying input
+    representation cannot take the fast path at all.
+``QC5xx``
+    Crossbar feasibility (Eq. 1): tile counts against a budget,
+    conductance-level representability
+    (:func:`~repro.snc.memristor.levels_for_bits`, with the 64-level HP
+    Labs device ceiling [16]), and spare-tile headroom for the
+    remediation ladder (:mod:`repro.snc.remediation`).
+
+:func:`check_module` is the one-call entry point: interpret, evaluate,
+suppress, return the report.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+from repro.check.abstract import LayerFact, analyze_module, structural_facts
+from repro.check.diagnostics import CheckReport
+from repro.nn.modules import Module
+from repro.snc.crossbar import DEFAULT_CROSSBAR_SIZE, crossbars_required
+from repro.snc.memristor import levels_for_bits
+
+#: Float32 has a 24-bit significand: integer accumulations below this are
+#: exact in a float32 carrier (mirrors ``plan._IntGemmMixin._init_int``).
+FLOAT32_EXACT_LIMIT = 2 ** 24
+
+#: Conductance levels HP Labs demonstrated on real devices [16]; more is
+#: "heavy programming cost" territory (memristor.py).
+DEMONSTRATED_DEVICE_LEVELS = 64
+
+
+@dataclass
+class CheckConfig:
+    """Knobs for the rule engine.
+
+    Attributes
+    ----------
+    crossbar_size:
+        Physical tile side ``t`` for Eq. 1 counting (paper: 32).
+    max_crossbars:
+        Total tile budget; ``None`` disables QC501.
+    device_levels:
+        Conductance levels the target technology can program; ``None``
+        checks only against the 64-level demonstrated ceiling.
+    input_range:
+        Interval the network inputs are known to lie in (default: images
+        normalized to ``[0, 1]``).
+    suppress:
+        Rule ids to drop from the final report.
+    """
+
+    crossbar_size: int = DEFAULT_CROSSBAR_SIZE
+    max_crossbars: Optional[int] = None
+    device_levels: Optional[int] = None
+    input_range: Tuple[float, float] = (0.0, 1.0)
+    suppress: Tuple[str, ...] = field(default_factory=tuple)
+
+
+def _act_quant_facts(facts: List[LayerFact]) -> List[LayerFact]:
+    """Uniform (non-dynamic, enabled) signal quantizer facts."""
+    return [
+        f for f in facts
+        if f.kind == "act-quant" and not f.data.get("dynamic") and f.data.get("enabled", True)
+    ]
+
+
+def _weight_facts(facts: List[LayerFact]) -> List[LayerFact]:
+    return [f for f in facts if f.kind == "weight"]
+
+
+def _valid_grid(fact: LayerFact) -> Optional[dict]:
+    """The fact's grid metadata iff its weights genuinely sit on the grid."""
+    grid = fact.data.get("grid")
+    if grid and grid["on_grid"] and grid["in_range"]:
+        return grid
+    return None
+
+
+# -- QS1xx ------------------------------------------------------------------
+
+def _rule_unknown_modules(report: CheckReport, facts: List[LayerFact]) -> None:
+    for f in facts:
+        if f.data.get("unknown"):
+            report.add(
+                "QS102", "warning", f.path,
+                f"module type {f.module_type} is unknown to the verifier; "
+                "its output is assumed identical to its input",
+                "add a transfer function in repro.check.abstract or replace the module",
+            )
+
+
+def _rule_training_mode(report: CheckReport, facts: List[LayerFact]) -> None:
+    for f in facts:
+        if f.data.get("training"):
+            report.add(
+                "QS103", "warning", f.path,
+                f"{f.module_type} is in training mode; deployed inference "
+                "must run in eval mode (the plan compiler refuses it)",
+                "call .eval() on the network before deployment",
+            )
+
+
+# -- QS2xx ------------------------------------------------------------------
+
+def _rule_signal_uniformity(report: CheckReport, facts: List[LayerFact]) -> None:
+    quants = _act_quant_facts(facts)
+    variants = {}
+    for f in quants:
+        variants.setdefault((f.data["bits"], round(f.data["gain"], 12)), []).append(f.path)
+    if len(variants) > 1:
+        desc = "; ".join(
+            f"M={bits}, gain={gain:.6g} at {', '.join(paths)}"
+            for (bits, gain), paths in sorted(variants.items())
+        )
+        report.add(
+            "QS210", "error", "",
+            f"signal quantizers are not uniform across the network: {desc}",
+            "the SNC's IFC+counter pairs share one (M, gain) setting "
+            "network-wide (Sec 3.1); redeploy with a single configuration",
+            variants=[list(k) for k in variants],
+        )
+
+
+def _rule_signal_range(report: CheckReport, facts: List[LayerFact]) -> None:
+    for f in _act_quant_facts(facts):
+        pre_lo, pre_hi = f.data.get("pre_lo"), f.data.get("pre_hi")
+        if pre_hi is None:
+            continue  # structural mode: no intervals
+        gain = f.data["gain"]
+        top = 2 ** f.data["bits"] - 1
+        # counts = clip(⌊gain·x + ½⌋, 0, top): clipping begins at
+        # x ≥ (top + ½)/gain.
+        threshold = (top + 0.5) / gain
+        if pre_lo >= threshold:
+            report.add(
+                "QS201", "error", f.path,
+                f"every pre-activation value provably saturates the "
+                f"{f.data['bits']}-bit window: proven bounds "
+                f"[{pre_lo:.4g}, {pre_hi:.4g}] lie entirely at or above the "
+                f"clipping threshold {threshold:.4g}",
+                "the layer output carries no information; lower the signal "
+                "gain (signal_gain='auto') or retrain with the Neuron "
+                "Convergence regularizer (Eq. 7)",
+                pre_lo=pre_lo, pre_hi=pre_hi, threshold=threshold,
+            )
+        elif pre_hi >= threshold:
+            report.add(
+                "QS202", "info", f.path,
+                f"worst-case pre-activations reach {pre_hi:.4g}, above the "
+                f"clipping threshold {threshold:.4g}; adversarial inputs "
+                "would saturate some spike counters",
+                "expected for calibrated gains (clipping trades for "
+                "resolution); verify accuracy on held-out data",
+                pre_hi=pre_hi, threshold=threshold,
+            )
+
+
+# -- QW3xx ------------------------------------------------------------------
+
+def _rule_weight_grid(report: CheckReport, facts: List[LayerFact]) -> None:
+    for f in _weight_facts(facts):
+        grid = f.data.get("grid")
+        if grid is None:
+            continue
+        if not grid["on_grid"]:
+            report.add(
+                "QW301", "error", f.path,
+                f"weights claim an N={grid['bits']} grid (scale "
+                f"{grid['scale']:.6g}) but do not sit on it (Eq. 6: "
+                "w = scale·D/2^N with integer D)",
+                "re-quantize the layer (apply_weight_clustering) before "
+                "deployment; the crossbar mapper will refuse these weights",
+                bits=grid["bits"], scale=grid["scale"],
+            )
+        elif not grid["in_range"]:
+            half = 2 ** (grid["bits"] - 1)
+            report.add(
+                "QW301", "error", f.path,
+                f"weight codes reach ±{grid['max_abs_code']:.0f}, beyond the "
+                f"±{half} range an N={grid['bits']} differential pair can "
+                "program",
+                "increase the clustering scale or the weight bit width",
+                max_abs_code=grid["max_abs_code"], bits=grid["bits"],
+            )
+
+
+def _rule_weight_uniformity(report: CheckReport, facts: List[LayerFact]) -> None:
+    by_bits = {}
+    for f in _weight_facts(facts):
+        grid = f.data.get("grid")
+        if grid is not None:
+            by_bits.setdefault(grid["bits"], []).append(f.path)
+    if len(by_bits) > 1:
+        desc = "; ".join(
+            f"N={bits} at {', '.join(paths)}" for bits, paths in sorted(by_bits.items())
+        )
+        report.add(
+            "QW302", "error", "",
+            f"weight bit widths are not uniform across layers: {desc}",
+            "every crossbar shares one device technology (one level count); "
+            "redeploy with a single N",
+            bits=sorted(by_bits),
+        )
+
+
+# -- QI4xx ------------------------------------------------------------------
+
+def _int_path_applicable(facts: List[LayerFact], i: int) -> bool:
+    """Would ``compile_plan`` route weight-fact ``i`` through the int path?
+
+    Mirrors the compiler's conditions: software layer on a valid grid, a
+    counts-carrying input, and an immediately following enabled uniform
+    quantizer (the fused activation).  The padded-conv-on-offset exclusion
+    is checked separately (QI402).
+    """
+    f = facts[i]
+    if f.data.get("spiking") or _valid_grid(f) is None or f.data.get("in_quant") is None:
+        return False
+    if i + 1 >= len(facts):
+        return False
+    nxt = facts[i + 1]
+    return nxt.kind == "act-quant" and not nxt.data.get("dynamic") and nxt.data.get("enabled", True)
+
+
+def _rule_int_fast_path(report: CheckReport, facts: List[LayerFact]) -> None:
+    for i, f in enumerate(facts):
+        if f.kind != "weight":
+            continue
+        if not _int_path_applicable(facts, i):
+            continue
+        in_quant = f.data["in_quant"]
+        if f.data["padding"] > 0 and in_quant.offset != 0.0:
+            f.data["carrier"] = None
+            report.add(
+                "QI402", "info", f.path,
+                "padded convolution on an offset-carrying input "
+                "representation cannot take the integer fast path "
+                "(zero padding injects values the folded offset term "
+                "cannot account for); it runs through the float path",
+                "harmless for correctness; reorder the input quantizer or "
+                "accept the float-path cost",
+                padding=f.data["padding"], offset=in_quant.offset,
+            )
+            continue
+        grid = _valid_grid(f)
+        # Worst-case partial sum: every one of the K taps contributes the
+        # maximum count times the maximum weight-code magnitude (mirrors
+        # plan._IntGemmMixin._init_int's carrier choice).
+        bound = f.data["fan_in"] * in_quant.top * (2 ** (grid["bits"] - 1))
+        carrier = "float32" if bound < FLOAT32_EXACT_LIMIT else "float64"
+        f.data["carrier"] = carrier
+        if carrier == "float64":
+            report.add(
+                "QI401", "warning", f.path,
+                f"worst-case integer partial sum {bound:,} exceeds the "
+                f"float32 mantissa (2^24 = {FLOAT32_EXACT_LIMIT:,}); the "
+                "fast path silently falls back to a float64 carrier "
+                "(≈2× GEMM cost)",
+                "reduce fan-in, M, or N — e.g. split the layer — or accept "
+                "the float64 carrier",
+                bound=bound, fan_in=f.data["fan_in"],
+                input_top=in_quant.top, weight_bits=grid["bits"],
+            )
+
+
+# -- QC5xx ------------------------------------------------------------------
+
+def _rule_crossbar_budget(report: CheckReport, facts: List[LayerFact],
+                          config: CheckConfig) -> None:
+    total = 0
+    per_layer = []
+    for f in _weight_facts(facts):
+        if f.data.get("spiking"):
+            tiles = f.data["crossbars"]
+        else:
+            tiles = crossbars_required(f.data["rows"], f.data["cols"], config.crossbar_size)
+        f.data["crossbars"] = tiles
+        per_layer.append((f.path, tiles))
+        total += tiles
+    if config.max_crossbars is not None and total > config.max_crossbars:
+        worst = sorted(per_layer, key=lambda item: -item[1])[:3]
+        desc = ", ".join(f"{path}: {tiles}" for path, tiles in worst)
+        report.add(
+            "QC501", "error", "",
+            f"network needs {total} crossbars of size {config.crossbar_size} "
+            f"(Eq. 1) but the budget is {config.max_crossbars}; largest "
+            f"layers: {desc}",
+            "raise the budget, shrink the network (width_multiplier), or "
+            "increase the crossbar size",
+            total=total, budget=config.max_crossbars, size=config.crossbar_size,
+        )
+
+
+def _rule_conductance_levels(report: CheckReport, facts: List[LayerFact],
+                             config: CheckConfig) -> None:
+    for f in _weight_facts(facts):
+        grid = f.data.get("grid")
+        if grid is None:
+            continue
+        required = levels_for_bits(grid["bits"])
+        available = f.data.get("device_levels", config.device_levels)
+        if available is not None and required > available:
+            report.add(
+                "QC502", "error", f.path,
+                f"N={grid['bits']} weights need {required} conductance "
+                f"levels per device; the target technology provides "
+                f"{available}",
+                "lower the weight bit width or use a device with more levels",
+                required=required, available=available,
+            )
+        elif required > DEMONSTRATED_DEVICE_LEVELS:
+            report.add(
+                "QC502", "warning", f.path,
+                f"N={grid['bits']} weights need {required} conductance "
+                f"levels — beyond the {DEMONSTRATED_DEVICE_LEVELS} levels "
+                "demonstrated on real memristors [16]",
+                "expect heavy programming cost; the paper deploys at N=4 "
+                "(9 levels)",
+                required=required,
+            )
+
+
+def _rule_spare_headroom(report: CheckReport, facts: List[LayerFact]) -> None:
+    for f in _weight_facts(facts):
+        if not f.data.get("spiking"):
+            continue
+        if f.data["remapped_tiles"] > 0 and f.data["spares_remaining"] == 0:
+            report.add(
+                "QC503", "warning", f.path,
+                f"remediation has consumed all spare tiles "
+                f"({f.data['remapped_tiles']} remapped, 0 spares left); the "
+                "next tile fault on this layer cannot be remapped",
+                "provision more spares (map_network spare_fraction) or plan "
+                "for software fallback on the next fault",
+                remapped=f.data["remapped_tiles"],
+            )
+
+
+def evaluate_rules(report: CheckReport, config: Optional[CheckConfig] = None) -> CheckReport:
+    """Run every rule over ``report.facts``, appending diagnostics."""
+    config = config or CheckConfig()
+    facts = report.facts
+    _rule_unknown_modules(report, facts)
+    _rule_training_mode(report, facts)
+    _rule_signal_uniformity(report, facts)
+    _rule_signal_range(report, facts)
+    _rule_weight_grid(report, facts)
+    _rule_weight_uniformity(report, facts)
+    _rule_int_fast_path(report, facts)
+    _rule_crossbar_budget(report, facts, config)
+    _rule_conductance_levels(report, facts, config)
+    _rule_spare_headroom(report, facts)
+    return report
+
+
+def check_module(
+    module: Module,
+    input_shape: Optional[Tuple[int, ...]] = None,
+    config: Optional[CheckConfig] = None,
+    target: str = "module",
+) -> CheckReport:
+    """Statically verify a module graph for SNC deployment.
+
+    With ``input_shape`` (per-sample, no batch axis) the full abstract
+    interpretation runs — shapes, intervals, and every rule.  Without it,
+    only the structural rules apply (quantizer/weight uniformity, grids,
+    mantissa fit, crossbar feasibility).
+    """
+    config = config or CheckConfig()
+    if input_shape is not None:
+        report = analyze_module(module, input_shape, config.input_range, target)
+    else:
+        report = CheckReport(target, facts=structural_facts(module))
+    evaluate_rules(report, config)
+    if config.suppress:
+        report = report.suppressed(config.suppress)
+    return report

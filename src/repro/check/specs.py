@@ -1,0 +1,123 @@
+"""Static checking of :class:`~repro.models.specs.NetworkSpec` dimensions.
+
+A spec carries only layer dimensions — no weights, no quantizers — so the
+check synthesizes the fact stream a fully deployed network *would*
+produce (uniform M-bit signals between layers, N-bit weight grids, Fig. 2
+crossbar mapping without bias rows, matching
+:mod:`repro.analysis.cost`) and reuses the rule engine: dimension
+consistency (QS101), worst-case integer-GEMM mantissa fit (QI401),
+crossbar budget per Eq. 1 (QC501), and conductance representability
+(QC502).  This is what ``repro check --specs`` and the CI check job run
+over every registered model.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.check.abstract import LayerFact, SignalQuant
+from repro.check.diagnostics import CheckReport
+from repro.check.rules import CheckConfig, evaluate_rules
+from repro.models.specs import NetworkSpec
+
+#: Paper defaults (Sec 4.1): M = N = 4.
+DEFAULT_SIGNAL_BITS = 4
+DEFAULT_WEIGHT_BITS = 4
+
+
+def _check_dimension_continuity(report: CheckReport, spec: NetworkSpec) -> None:
+    """Adjacent layers must agree on the features they hand over."""
+    for i in range(1, len(spec.layers)):
+        prev, layer = spec.layers[i - 1], spec.layers[i]
+        name = f"layers[{i}]"
+        if layer.kind == "conv":
+            if layer.in_depth != prev.out_features:
+                report.add(
+                    "QS101", "error", name,
+                    f"conv expects in_depth == previous out_features "
+                    f"({prev.out_features}), got {layer.in_depth}",
+                    "fix the spec's channel widths",
+                    expected=prev.out_features, got=layer.in_depth,
+                )
+        elif prev.kind == "fc":
+            if layer.in_depth != prev.out_features:
+                report.add(
+                    "QS101", "error", name,
+                    f"fc expects in_depth == previous out_features "
+                    f"({prev.out_features}), got {layer.in_depth}",
+                    "fix the spec's fan-in",
+                    expected=prev.out_features, got=layer.in_depth,
+                )
+        else:
+            # fc after conv: fan-in is out_features × spatial positions,
+            # so it must at least be a multiple of the channel count.
+            if layer.in_depth % prev.out_features != 0:
+                report.add(
+                    "QS101", "error", name,
+                    f"fc fan-in {layer.in_depth} is not a multiple of the "
+                    f"previous conv's {prev.out_features} channels",
+                    "fix the spec's flatten dimensions",
+                    channels=prev.out_features, got=layer.in_depth,
+                )
+
+
+def _spec_facts(spec: NetworkSpec, signal_bits: int, weight_bits: int) -> list:
+    """The fact stream of the spec's fully quantized deployment.
+
+    Every layer reads M-bit counts and (except the classifier tail, which
+    stays float — mirroring ``deploy_model``, where only ReLUs gain
+    quantizers) feeds an M-bit quantizer; weights sit on the N-bit grid.
+    """
+    quant = SignalQuant(signal_bits, 1.0, 0.0, "activation")
+    facts = []
+    for i, layer in enumerate(spec.layers):
+        name = f"layers[{i}]"
+        facts.append(LayerFact(
+            path=name,
+            kind="weight",
+            module_type="conv" if layer.kind == "conv" else "fc",
+            data={
+                "fan_in": layer.rows,
+                "out_features": layer.columns,
+                "grid": {
+                    "bits": weight_bits, "scale": 1.0, "on_grid": True,
+                    "max_abs_code": float(2 ** (weight_bits - 1)),
+                    "in_range": True,
+                },
+                "rows": layer.rows,
+                "cols": layer.columns,
+                "in_quant": quant,
+                "padding": 0,
+                "spiking": False,
+            },
+        ))
+        if i < len(spec.layers) - 1:
+            facts.append(LayerFact(
+                path=f"{name}.act",
+                kind="act-quant",
+                module_type="QuantizedActivation",
+                data={"bits": signal_bits, "gain": 1.0, "enabled": True,
+                      "dynamic": False},
+            ))
+    return facts
+
+
+def check_spec(
+    spec: NetworkSpec,
+    signal_bits: int = DEFAULT_SIGNAL_BITS,
+    weight_bits: int = DEFAULT_WEIGHT_BITS,
+    config: Optional[CheckConfig] = None,
+) -> CheckReport:
+    """Statically verify one paper spec at the given (M, N) deployment.
+
+    Returns the rule engine's :class:`CheckReport`; ``repro check`` and the
+    CI job fail on any error-severity diagnostic.
+    """
+    config = config or CheckConfig()
+    report = CheckReport(f"{spec.name} (spec, M={signal_bits}, N={weight_bits})")
+    _check_dimension_continuity(report, spec)
+    report.facts.extend(_spec_facts(spec, signal_bits, weight_bits))
+    evaluate_rules(report, config)
+    if config.suppress:
+        report = report.suppressed(config.suppress)
+    return report

@@ -24,8 +24,61 @@ from repro.analysis.tables import render_dict_table, render_histogram
 COMMANDS = (
     "table1", "table2", "table3", "table4", "table5",
     "fig1a", "fig1b", "fig3", "fig4",
-    "breakdown", "programming", "irdrop", "healthcheck", "plan", "list",
+    "breakdown", "programming", "irdrop", "healthcheck", "plan", "check", "list",
 )
+
+
+def run_check(args: argparse.Namespace) -> tuple:
+    """The ``repro check`` command: static deployment verification.
+
+    Returns ``(output, exit_code)`` — nonzero when any checked target has
+    an error-severity diagnostic, so CI can gate on it.
+    """
+    import json
+
+    from repro.check import CheckConfig, check_module, check_spec
+    from repro.models.registry import get_spec
+
+    config = CheckConfig(
+        max_crossbars=args.max_crossbars,
+        suppress=tuple(args.suppress),
+    )
+    reports = []
+    for model_name in args.models:
+        spec = get_spec(model_name)
+        for bits in args.bits:
+            reports.append(check_spec(spec, signal_bits=bits, weight_bits=bits,
+                                      config=config))
+        if args.deep:
+            import numpy as np
+
+            from repro.core.deployment import DeploymentConfig, deploy_model
+            from repro.models.registry import build_model
+
+            model = build_model(model_name, rng=np.random.default_rng(args.seed))
+            model.eval()
+            for bits in args.bits:
+                deployed, _ = deploy_model(
+                    model,
+                    DeploymentConfig(signal_bits=bits, weight_bits=bits,
+                                     static_check="off"),
+                )
+                reports.append(check_module(
+                    deployed, input_shape=spec.input_shape, config=config,
+                    target=f"{model_name} (deployed, M=N={bits})",
+                ))
+    failed = any(report.has_errors for report in reports)
+    if args.json:
+        output = json.dumps([report.to_dict() for report in reports], indent=2)
+    else:
+        output = "\n\n".join(report.summary(verbose=args.verbose) for report in reports)
+        total_errors = sum(len(report.errors) for report in reports)
+        output += (
+            f"\n\nchecked {len(reports)} target(s): "
+            + ("FAIL" if failed else "OK")
+            + f" ({total_errors} error(s) total)"
+        )
+    return output, (1 if failed else 0)
 
 
 def _settings(args: argparse.Namespace) -> E.ExperimentSettings:
@@ -44,6 +97,9 @@ def run_command(args: argparse.Namespace) -> str:
     """Execute one CLI command and return its rendered output."""
     if args.command == "list":
         return "\n".join(COMMANDS[:-1])
+
+    if args.command == "check":
+        return run_check(args)[0]
 
     if args.command == "table1":
         rows = E.table1_ideal_accuracy(_settings(args))
@@ -311,11 +367,38 @@ def build_parser() -> argparse.ArgumentParser:
         "--remediate", action="store_true",
         help="run the tiered repair ladder after diagnosis and re-probe",
     )
+
+    check = parser.add_argument_group("check options")
+    check.add_argument(
+        "--json", action="store_true",
+        help="emit the check reports as JSON instead of text",
+    )
+    check.add_argument(
+        "--verbose", action="store_true",
+        help="include per-layer analysis facts in the text report",
+    )
+    check.add_argument(
+        "--suppress", nargs="*", default=[], metavar="RULE",
+        help="rule ids to drop from the reports (e.g. QS202 QI401)",
+    )
+    check.add_argument(
+        "--max-crossbars", type=int, default=None,
+        help="total crossbar-tile budget for the QC501 feasibility rule",
+    )
+    check.add_argument(
+        "--deep", action="store_true",
+        help="also deploy each model (random weights) and run the full "
+             "abstract interpretation, not just the spec check",
+    )
     return parser
 
 
 def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
+    if args.command == "check":
+        output, code = run_check(args)
+        print(output)
+        return code
     print(run_command(args))
     return 0
 

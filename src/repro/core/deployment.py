@@ -56,6 +56,12 @@ class DeploymentConfig:
     input_bits:
         If set, also quantize network *inputs* (full SNC deployment, where
         images enter as spike trains).  Requires calibration images.
+    static_check:
+        Gate deployment on the static verifier (:mod:`repro.check`):
+        ``"error"`` (default) refuses to return a network with any
+        error-severity diagnostic (:class:`DeploymentCheckError`);
+        ``"warn"`` records the report but never refuses; ``"off"``
+        skips the check entirely.
     signal_gain:
         IFC conversion gain, uniform across the whole network: spike count
         = ``round(gain · signal)``.  ``1.0`` (default) is the paper's
@@ -77,11 +83,16 @@ class DeploymentConfig:
     include_bias: bool = True
     input_bits: Optional[int] = None
     signal_gain: Union[float, str] = 1.0
+    static_check: str = "error"
 
     def __post_init__(self) -> None:
         valid = ("clustered", "naive", "naive_range", "none")
         if self.weight_mode not in valid:
             raise ValueError(f"weight_mode must be one of {valid}, got {self.weight_mode!r}")
+        if self.static_check not in ("off", "warn", "error"):
+            raise ValueError(
+                f"static_check must be 'off', 'warn' or 'error', got {self.static_check!r}"
+            )
         if isinstance(self.signal_gain, str):
             if self.signal_gain != "auto":
                 raise ValueError(
@@ -100,6 +111,17 @@ class DeploymentInfo:
     clustering: Optional[ModelClusteringReport] = None
     dynamic_formats: Dict[str, Q.DynamicFixedPointFormat] = field(default_factory=dict)
     signal_gain: float = 1.0
+    check_report: Optional[object] = None  # repro.check.CheckReport
+
+
+class DeploymentCheckError(RuntimeError):
+    """The static verifier refused the deployment; ``.report`` has why."""
+
+    def __init__(self, report) -> None:
+        super().__init__(
+            "static check refused deployment:\n" + report.summary()
+        )
+        self.report = report
 
 
 def calibrate_signal_gain(
@@ -195,6 +217,21 @@ def deploy_model(
             raise ValueError("input_bits requires calibration_images")
         quantizer = calibrate_input_quantizer(calibration_images, config.input_bits)
         deployed = _PrependInput(quantizer, deployed)
+
+    if config.static_check != "off":
+        # Lazy import: repro.check interprets the module types defined here.
+        from repro.check import check_module
+
+        input_shape = (
+            tuple(calibration_images.shape[1:]) if calibration_images is not None else None
+        )
+        report = check_module(
+            deployed, input_shape=input_shape,
+            target=f"deploy:{type(model).__name__}",
+        )
+        info.check_report = report
+        if config.static_check == "error" and report.has_errors:
+            raise DeploymentCheckError(report)
 
     return deployed, info
 

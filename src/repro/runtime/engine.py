@@ -63,6 +63,12 @@ class EngineConfig:
     verify_on_trace:
         Check the compiled plan against the graph executor on the trace
         batch before trusting it (cheap; runs once per trace).
+    static_check:
+        Run the static verifier (:mod:`repro.check`) on the module before
+        the first trace.  Error-severity findings mean the plan compiler's
+        assumptions do not hold, so the engine degrades to the graph
+        executor (it never refuses to serve) and records the report in
+        :attr:`InferenceEngine.check_report`.
     check_staleness:
         Compare weight snapshots before each run and re-trace on mismatch.
     trace_batch:
@@ -77,6 +83,7 @@ class EngineConfig:
     sparsity_max_density: float = 0.75
     min_sparsity_columns: int = 64
     verify_on_trace: bool = True
+    static_check: bool = True
     check_staleness: bool = True
     trace_batch: int = 2
     batch_size: int = 256
@@ -98,6 +105,7 @@ class EngineStats:
     graph_runs: int = 0
     retraces: int = 0
     trace_failures: int = 0
+    precheck_errors: int = 0
     sparsity: dict = field(default_factory=dict)
 
 
@@ -110,6 +118,7 @@ class InferenceEngine:
         self.stats = EngineStats()
         self._plan: Optional[ExecutionPlan] = None
         self._graph_only = False
+        self.check_report = None  # repro.check.CheckReport after first trace
 
     # -- serving ------------------------------------------------------------
     def run(self, images: np.ndarray) -> np.ndarray:
@@ -146,6 +155,8 @@ class InferenceEngine:
             self.stats.retraces += 1
         if self._plan is None:
             sample = images[: self.config.trace_batch]
+            if not self._precheck(sample):
+                return None
             try:
                 self._plan = compile_plan(self.module, sample, self.config)
             except PlanError:
@@ -153,6 +164,30 @@ class InferenceEngine:
                 self._graph_only = True
                 return None
         return self._plan
+
+    def _precheck(self, sample: np.ndarray) -> bool:
+        """Statically verify the module before the first trace.
+
+        Errors mean the plan compiler's invariants (uniform quantizers,
+        on-grid weights, consistent shapes) do not hold — serve from the
+        graph executor instead of trusting a compiled plan.  Runs before
+        every (re-)trace, so freshness matches the plan's.
+        """
+        if not self.config.static_check:
+            return True
+        # Lazy import: repro.check pulls in model/deployment modules the
+        # engine itself never needs.
+        from repro.check import check_module
+
+        self.check_report = check_module(
+            self.module, input_shape=tuple(sample.shape[1:]),
+            target=f"engine:{type(self.module).__name__}",
+        )
+        if self.check_report.has_errors:
+            self.stats.precheck_errors = len(self.check_report.errors)
+            self._graph_only = True
+            return False
+        return True
 
     def invalidate(self) -> None:
         """Drop the current plan (next run re-traces)."""
@@ -192,6 +227,8 @@ class InferenceEngine:
             "retraces": self.stats.retraces,
             "trace_failures": self.stats.trace_failures,
         }
+        if self.stats.precheck_errors:
+            stats["precheck_errors"] = self.stats.precheck_errors
         if self._plan is not None:
             stats["steps"] = len(self._plan.steps)
             stats["int_steps"] = self._plan.int_steps

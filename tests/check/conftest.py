@@ -1,0 +1,13 @@
+"""Fixtures for the static-verifier test suite."""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+
+@pytest.fixture
+def repo_root() -> Path:
+    """The repository root (two levels above this file)."""
+    return Path(__file__).resolve().parents[2]

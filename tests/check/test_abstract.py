@@ -1,0 +1,159 @@
+"""Tests for the abstract interpreter (repro.check.abstract).
+
+The load-bearing property is *soundness*: real forward passes on inputs
+inside the declared range must always land inside the propagated
+intervals, and inferred shapes must match what the network actually
+produces.
+"""
+
+import numpy as np
+import pytest
+
+from repro.check import analyze_module, check_module, structural_facts
+from repro.core.deployment import DeploymentConfig, deploy_model
+from repro.core.modules import QuantizedActivation
+from repro.models.lenet import LeNet
+from repro.models.resnet import ResNetCifar
+from repro.nn.modules import (
+    Conv2d,
+    Flatten,
+    Identity,
+    Linear,
+    MaxPool2d,
+    Module,
+    ReLU,
+    Residual,
+    Sequential,
+)
+from repro.nn.tensor import Tensor, no_grad
+
+
+def _assert_sound(module, input_shape, n_samples=64, seed=0):
+    """Sampled forward outputs must lie inside the final propagated interval."""
+    report = analyze_module(module, input_shape, (0.0, 1.0))
+    assert report.ok, report.summary()
+    final = report.facts[-1]
+    rng = np.random.default_rng(seed)
+    x = rng.uniform(0.0, 1.0, size=(n_samples,) + tuple(input_shape))
+    with no_grad():
+        out = module(Tensor(x)).data
+    assert out.shape[1:] == final.out_shape
+    assert out.min() >= final.lo - 1e-9, (out.min(), final.lo)
+    assert out.max() <= final.hi + 1e-9, (out.max(), final.hi)
+    return report
+
+
+class TestIntervalSoundness:
+    def test_float_lenet(self, rng):
+        model = LeNet(rng=rng)
+        model.eval()
+        _assert_sound(model, (1, 28, 28))
+
+    def test_deployed_lenet(self, rng):
+        model = LeNet(rng=rng)
+        model.eval()
+        deployed, _ = deploy_model(model, DeploymentConfig())
+        report = _assert_sound(deployed, (1, 28, 28))
+        # Quantized layers carry act-quant facts with pre-activation bounds.
+        quants = [f for f in report.facts if f.kind == "act-quant"]
+        assert quants and all("pre_hi" in f.data for f in quants)
+
+    def test_residual_network(self, rng):
+        model = ResNetCifar(width_multiplier=0.125, rng=rng)
+        model.eval()
+        _assert_sound(model, (3, 32, 32), n_samples=8)
+
+    def test_padding_widens_interval_to_zero(self, rng):
+        # All-positive inputs through a padded conv with negative weights:
+        # the zero-padded border must be inside the propagated input bounds.
+        conv = Conv2d(1, 1, kernel_size=3, padding=1, rng=rng)
+        conv.weight.data[...] = -1.0
+        conv.bias.data[...] = 0.0
+        net = Sequential(conv)
+        net.eval()
+        report = analyze_module(net, (1, 4, 4), (0.5, 1.0))
+        fact = report.facts[0]
+        # Border sums see zeros, so the max is above the all-interior worst
+        # case of -9·0.5; interior minimum is -9·1.0.
+        assert fact.lo == pytest.approx(-9.0)
+        assert fact.hi == pytest.approx(0.0)
+
+
+class TestShapeInference:
+    def test_shapes_per_layer(self, rng):
+        model = LeNet(rng=rng)
+        model.eval()
+        report = analyze_module(model, (1, 28, 28))
+        by_path = {f.path: f for f in report.facts}
+        assert by_path["conv1"].out_shape == (6, 24, 24)
+        assert by_path["pool1"].out_shape == (6, 12, 12)
+        assert by_path["flatten"].out_shape == (256,)
+        assert by_path["fc2"].out_shape == (10,)
+
+    def test_channel_mismatch_is_qs101(self, rng):
+        net = Sequential(Conv2d(3, 4, 3, rng=rng))
+        net.eval()
+        report = analyze_module(net, (1, 8, 8))
+        assert [d.rule for d in report.errors] == ["QS101"]
+
+    def test_fanin_mismatch_is_qs101(self, rng):
+        net = Sequential(Flatten(), Linear(100, 10, rng=rng))
+        net.eval()
+        report = analyze_module(net, (4, 4))
+        assert [d.rule for d in report.errors] == ["QS101"]
+
+    def test_oversized_pool_is_qs101(self, rng):
+        net = Sequential(MaxPool2d(9))
+        net.eval()
+        report = analyze_module(net, (1, 4, 4))
+        assert [d.rule for d in report.errors] == ["QS101"]
+
+    def test_analysis_stops_after_shape_error(self, rng):
+        net = Sequential(Conv2d(3, 4, 3, rng=rng), Linear(10, 10, rng=rng))
+        net.eval()
+        report = analyze_module(net, (1, 8, 8))
+        # The Linear is never reached; exactly one diagnostic.
+        assert len(report.diagnostics) == 1
+
+    def test_residual_branch_mismatch_is_qs101(self, rng):
+        block = Residual(Conv2d(2, 3, 1, rng=rng), shortcut=Identity())
+        block.eval()
+        report = analyze_module(block, (2, 4, 4))
+        assert [d.rule for d in report.errors] == ["QS101"]
+
+
+class TestUnknownModules:
+    def test_unknown_leaf_flagged_and_passed_through(self, rng):
+        class Mystery(Module):
+            def forward(self, x):
+                return x
+
+        net = Sequential(Linear(4, 4, rng=rng), Mystery())
+        net.eval()
+        report = check_module(net, input_shape=(4,))
+        assert [d.rule for d in report.warnings] == ["QS102"]
+
+
+class TestStructuralMode:
+    def test_facts_without_shapes(self, rng):
+        model = LeNet(rng=rng)
+        model.eval()
+        deployed, _ = deploy_model(model, DeploymentConfig())
+        facts = structural_facts(deployed)
+        kinds = [f.kind for f in facts]
+        assert kinds.count("weight") == 4
+        assert kinds.count("act-quant") == 3
+        assert all(f.in_shape is None and f.lo is None for f in facts)
+
+    def test_quant_state_threads_to_next_weight_layer(self, rng):
+        net = Sequential(
+            Linear(4, 4, rng=rng),
+            QuantizedActivation(ReLU(), bits=4, gain=2.0),
+            Linear(4, 2, rng=rng),
+        )
+        net.eval()
+        facts = structural_facts(net)
+        weights = [f for f in facts if f.kind == "weight"]
+        assert weights[0].data["in_quant"] is None
+        assert weights[1].data["in_quant"].bits == 4
+        assert weights[1].data["in_quant"].gain == 2.0

@@ -1,0 +1,70 @@
+"""Tests for the ``repro check`` CLI command."""
+
+import json
+
+from repro.cli import build_parser, main, run_check
+
+
+def _args(*extra):
+    return build_parser().parse_args(["check", *extra])
+
+
+class TestRunCheck:
+    def test_registered_specs_are_clean(self):
+        output, code = run_check(_args("--bits", "4"))
+        assert code == 0
+        assert "OK" in output and "FAIL" not in output
+        assert "0 error(s) total" in output
+
+    def test_exit_code_reflects_errors(self):
+        output, code = run_check(_args("--bits", "4", "--max-crossbars", "1"))
+        assert code == 1
+        assert "FAIL" in output
+        assert "QC501" in output
+
+    def test_json_output_is_parseable(self):
+        output, code = run_check(_args("--models", "lenet", "--bits", "4", "--json"))
+        assert code == 0
+        payload = json.loads(output)
+        assert len(payload) == 1
+        assert payload[0]["errors"] == 0
+        assert "lenet" in payload[0]["target"]
+
+    def test_one_report_per_model_and_bit_width(self):
+        output, code = run_check(
+            _args("--models", "lenet", "resnet", "--bits", "3", "4", "--json")
+        )
+        payload = json.loads(output)
+        assert len(payload) == 4
+
+    def test_suppress_drops_rules(self):
+        _, code = run_check(
+            _args("--bits", "4", "--max-crossbars", "1", "--suppress", "QC501")
+        )
+        assert code == 0
+
+    def test_deep_mode_deploys_and_checks(self):
+        output, code = run_check(
+            _args("--models", "lenet", "--bits", "4", "--deep", "--json")
+        )
+        assert code == 0
+        payload = json.loads(output)
+        targets = [r["target"] for r in payload]
+        assert any("deployed" in t for t in targets)
+        assert any("spec" in t for t in targets)
+
+
+class TestMainEntry:
+    def test_main_returns_check_exit_code(self, capsys):
+        assert main(["check", "--models", "lenet", "--bits", "4"]) == 0
+        assert "OK" in capsys.readouterr().out
+
+    def test_main_propagates_failure(self, capsys):
+        code = main(["check", "--models", "lenet", "--bits", "4",
+                     "--max-crossbars", "1"])
+        assert code == 1
+        assert "FAIL" in capsys.readouterr().out
+
+    def test_check_is_listed(self, capsys):
+        assert main(["list"]) == 0
+        assert "check" in capsys.readouterr().out

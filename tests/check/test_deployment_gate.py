@@ -1,0 +1,96 @@
+"""Tests for the deploy-time refuse-on-error gate (core.deployment)."""
+
+import numpy as np
+import pytest
+
+from repro.core.deployment import (
+    DeploymentCheckError,
+    DeploymentConfig,
+    deploy_model,
+)
+from repro.models.lenet import LeNet
+from repro.nn.modules import Linear, ReLU, Sequential
+
+
+def _saturating_model(rng):
+    """A model whose quantized deployment provably saturates (QS201)."""
+    net = Sequential(Linear(4, 4, rng=rng), ReLU())
+    net.eval()
+    net.layers[0].weight.data[...] = 0.0
+    net.layers[0].bias.data[...] = 100.0
+    return net
+
+
+# Quantize signals only: the constant bias=100 stays exactly on any grid,
+# so QS201 is the *only* defect the checker can find.
+_BAD_CONFIG = dict(signal_bits=4, weight_bits=None, weight_mode="none")
+_CALIB = np.zeros((2, 4))
+
+
+class TestRefuseOnError:
+    def test_gate_refuses_saturating_network(self, rng):
+        with pytest.raises(DeploymentCheckError) as excinfo:
+            deploy_model(
+                _saturating_model(rng),
+                DeploymentConfig(**_BAD_CONFIG, static_check="error"),
+                calibration_images=_CALIB,
+            )
+        report = excinfo.value.report
+        assert report.has_errors
+        assert [d.rule for d in report.errors] == ["QS201"]
+        assert "QS201" in str(excinfo.value)
+
+    def test_error_mode_is_the_default(self, rng):
+        with pytest.raises(DeploymentCheckError):
+            deploy_model(
+                _saturating_model(rng),
+                DeploymentConfig(**_BAD_CONFIG),
+                calibration_images=_CALIB,
+            )
+
+    def test_warn_mode_records_but_returns(self, rng):
+        deployed, info = deploy_model(
+            _saturating_model(rng),
+            DeploymentConfig(**_BAD_CONFIG, static_check="warn"),
+            calibration_images=_CALIB,
+        )
+        assert deployed is not None
+        assert info.check_report is not None and info.check_report.has_errors
+
+    def test_off_mode_skips_the_check(self, rng):
+        _, info = deploy_model(
+            _saturating_model(rng),
+            DeploymentConfig(**_BAD_CONFIG, static_check="off"),
+            calibration_images=_CALIB,
+        )
+        assert info.check_report is None
+
+    def test_invalid_mode_rejected(self):
+        with pytest.raises(ValueError, match="static_check"):
+            DeploymentConfig(static_check="maybe")
+
+
+class TestCleanDeploymentsPass:
+    def test_lenet_deploys_under_the_gate(self, rng):
+        model = LeNet(rng=rng)
+        model.eval()
+        deployed, info = deploy_model(model, DeploymentConfig())
+        assert deployed is not None
+        assert info.check_report is not None and info.check_report.ok
+
+    def test_structural_check_without_calibration_images(self, rng):
+        # No calibration images → no input shape → structural-mode facts.
+        model = LeNet(rng=rng)
+        model.eval()
+        _, info = deploy_model(model, DeploymentConfig())
+        assert info.check_report.facts
+        assert all(f.in_shape is None for f in info.check_report.facts)
+
+    def test_full_snc_deployment_passes(self, rng):
+        model = LeNet(rng=rng)
+        model.eval()
+        images = rng.uniform(0, 1, size=(8, 1, 28, 28))
+        deployed, info = deploy_model(
+            model, DeploymentConfig(input_bits=8), calibration_images=images
+        )
+        assert info.check_report.ok, info.check_report.summary()

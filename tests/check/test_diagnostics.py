@@ -1,0 +1,101 @@
+"""Tests for the diagnostic records and check reports (repro.check.diagnostics)."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.check import RULES, SEVERITIES, CheckReport, Diagnostic
+
+
+class TestDiagnostic:
+    def test_valid_construction(self):
+        d = Diagnostic("QS201", "error", "relu2", "saturates", "lower the gain")
+        assert d.rule == "QS201"
+        assert d.severity == "error"
+
+    def test_unknown_rule_rejected(self):
+        with pytest.raises(ValueError, match="unknown rule"):
+            Diagnostic("XX999", "error", "", "nope")
+
+    def test_bad_severity_rejected(self):
+        with pytest.raises(ValueError, match="severity"):
+            Diagnostic("QS201", "fatal", "", "nope")
+
+    def test_format_includes_rule_layer_and_hint(self):
+        d = Diagnostic("QC501", "error", "conv1", "too many tiles", "shrink it")
+        text = d.format()
+        assert "QC501" in text and "conv1" in text and "shrink it" in text
+
+    def test_network_wide_findings_render_placeholder(self):
+        d = Diagnostic("QS210", "error", "", "mixed M")
+        assert "<network>" in d.format()
+
+    def test_to_dict_coerces_numpy_scalars(self):
+        d = Diagnostic("QI401", "warning", "fc1", "m", details={
+            "bound": np.int64(123), "values": (np.float64(1.5), 2)})
+        payload = d.to_dict()
+        assert payload["details"]["bound"] == 123
+        assert payload["details"]["values"] == [1.5, 2]
+        json.dumps(payload)  # fully serializable
+
+
+class TestCheckReport:
+    def _report(self):
+        r = CheckReport("unit")
+        r.add("QS201", "error", "a", "e1")
+        r.add("QI401", "warning", "b", "w1")
+        r.add("QS202", "info", "c", "i1")
+        return r
+
+    def test_severity_accessors(self):
+        r = self._report()
+        assert len(r.errors) == 1 and len(r.warnings) == 1 and len(r.infos) == 1
+        assert r.has_errors and not r.ok
+        assert len(r) == 3
+
+    def test_ok_without_errors(self):
+        r = CheckReport("unit")
+        r.add("QI401", "warning", "b", "w1")
+        assert r.ok and not r.has_errors
+
+    def test_suppression_drops_rules(self):
+        r = self._report().suppressed(["QS201", "QS202"])
+        assert [d.rule for d in r.diagnostics] == ["QI401"]
+        assert r.ok
+
+    def test_by_rule(self):
+        r = self._report()
+        assert len(r.by_rule("QI401")) == 1
+        assert r.by_rule("QC501") == []
+
+    def test_extend_absorbs(self):
+        r = self._report()
+        other = CheckReport("other")
+        other.add("QC503", "warning", "x", "w2")
+        r.extend(other)
+        assert len(r) == 4
+
+    def test_summary_orders_errors_first(self):
+        text = self._report().summary()
+        assert text.index("QS201") < text.index("QI401") < text.index("QS202")
+        assert "FAIL" in text
+
+    def test_json_roundtrip(self):
+        payload = json.loads(self._report().to_json())
+        assert payload["target"] == "unit"
+        assert payload["errors"] == 1
+        assert len(payload["diagnostics"]) == 3
+
+
+class TestRuleCatalogue:
+    def test_severities_order(self):
+        assert SEVERITIES == ("error", "warning", "info")
+
+    def test_rule_ids_follow_convention(self):
+        assert all(len(rule) == 5 and rule[0] == "Q" for rule in RULES)
+
+    def test_docs_cover_every_rule(self, repo_root):
+        doc = (repo_root / "docs" / "static_analysis.md").read_text()
+        missing = [rule for rule in RULES if rule not in doc]
+        assert not missing, f"docs/static_analysis.md missing rules: {missing}"

@@ -1,0 +1,74 @@
+"""Tests for the engine's pre-trace static check (runtime.engine)."""
+
+import numpy as np
+
+from repro.core.deployment import DeploymentConfig, deploy_model
+from repro.core.modules import QuantizedActivation
+from repro.models.lenet import LeNet
+from repro.nn.modules import ReLU
+from repro.runtime.engine import EngineConfig, InferenceEngine
+
+
+def _deployed_lenet(rng):
+    model = LeNet(rng=rng)
+    model.eval()
+    deployed, _ = deploy_model(model, DeploymentConfig())
+    return deployed
+
+
+def _images(rng, n=4):
+    return rng.uniform(0, 1, size=(n, 1, 28, 28))
+
+
+class TestPrecheckDegradation:
+    def test_failing_module_serves_from_graph(self, rng):
+        deployed = _deployed_lenet(rng)
+        deployed.relu2 = QuantizedActivation(ReLU(), bits=6, gain=1.0)  # mixed M
+        engine = InferenceEngine(deployed)
+        images = _images(rng)
+        out = engine.run(images)
+        assert engine.active_backend == "graph"
+        assert engine.stats.precheck_errors > 0
+        assert engine.check_report is not None and engine.check_report.has_errors
+        # Graph fallback still computes the true forward pass.
+        from repro.nn.tensor import Tensor, no_grad
+
+        with no_grad():
+            expected = deployed(Tensor(images)).data
+        np.testing.assert_allclose(out, expected)
+
+    def test_stats_surface_precheck_errors(self, rng):
+        deployed = _deployed_lenet(rng)
+        deployed.relu2 = QuantizedActivation(ReLU(), bits=6, gain=1.0)
+        engine = InferenceEngine(deployed)
+        engine.run(_images(rng))
+        stats = engine.runtime_stats()
+        assert stats["backend"] == "graph"
+        assert stats["precheck_errors"] == 1
+
+
+class TestPrecheckPasses:
+    def test_clean_module_compiles_a_plan(self, rng):
+        engine = InferenceEngine(_deployed_lenet(rng))
+        engine.run(_images(rng))
+        assert engine.active_backend != "graph"
+        assert engine.plan is not None
+        assert engine.check_report is not None and engine.check_report.ok
+        assert engine.stats.precheck_errors == 0
+        assert "precheck_errors" not in engine.runtime_stats()
+
+    def test_precheck_can_be_disabled(self, rng):
+        deployed = _deployed_lenet(rng)
+        deployed.relu2 = QuantizedActivation(ReLU(), bits=6, gain=1.0)
+        engine = InferenceEngine(deployed, EngineConfig(static_check=False))
+        engine.run(_images(rng))
+        assert engine.check_report is None
+        assert engine.stats.precheck_errors == 0
+
+    def test_precheck_reruns_on_retrace(self, rng):
+        engine = InferenceEngine(_deployed_lenet(rng))
+        engine.run(_images(rng))
+        first = engine.check_report
+        engine.invalidate()
+        engine.run(_images(rng))
+        assert engine.check_report is not first

@@ -1,0 +1,201 @@
+"""Seeded-defect tests for the rule engine (repro.check.rules).
+
+Each fixture plants exactly one defect class from the issue list —
+activation-range overflow, mantissa-unsafe integer path, crossbar-budget
+overrun, mixed M across layers — and the checker must produce exactly the
+expected diagnostic (and no spurious errors on the clean twin).
+"""
+
+import numpy as np
+
+from repro.check import CheckConfig, check_module
+from repro.core.deployment import DeploymentConfig, _PrependInput, deploy_model
+from repro.core.modules import InputQuantizer, QuantizedActivation
+from repro.models.lenet import LeNet
+from repro.nn.modules import Linear, ReLU, Sequential
+
+
+def _deployed_lenet(rng):
+    model = LeNet(rng=rng)
+    model.eval()
+    deployed, _ = deploy_model(model, DeploymentConfig())
+    return deployed
+
+
+def _on_grid(linear, bits, scale=1.0):
+    """Snap a layer's weights onto the Eq. 6 grid and tag it."""
+    step = scale / float(2 ** bits)
+    half_value = scale / 2.0
+    np.clip(linear.weight.data, -half_value, half_value, out=linear.weight.data)
+    linear.weight.data[...] = np.rint(linear.weight.data / step) * step
+    if linear.bias is not None:
+        linear.bias.data[...] = np.rint(linear.bias.data / step) * step
+    linear._grid_scale = scale
+    linear._grid_bits = bits
+
+
+class TestMixedSignalQuantizers:
+    def test_mixed_m_is_qs210_error(self, rng):
+        deployed = _deployed_lenet(rng)
+        deployed.relu2 = QuantizedActivation(ReLU(), bits=6, gain=1.0)
+        report = check_module(deployed, input_shape=(1, 28, 28))
+        assert [d.rule for d in report.errors] == ["QS210"]
+        assert "relu2" in report.errors[0].message
+
+    def test_mixed_gain_is_qs210_error(self, rng):
+        deployed = _deployed_lenet(rng)
+        deployed.relu3 = QuantizedActivation(ReLU(), bits=4, gain=2.0)
+        report = check_module(deployed, input_shape=(1, 28, 28))
+        assert [d.rule for d in report.errors] == ["QS210"]
+
+    def test_input_quantizer_bits_do_not_count(self, rng):
+        # 8-bit inputs with 4-bit signals is the paper's own deployment.
+        model = LeNet(rng=rng)
+        model.eval()
+        images = rng.uniform(0, 1, size=(8, 1, 28, 28))
+        deployed, _ = deploy_model(
+            model, DeploymentConfig(input_bits=8), calibration_images=images
+        )
+        report = check_module(deployed, input_shape=(1, 28, 28))
+        assert not report.by_rule("QS210")
+
+
+class TestActivationRangeOverflow:
+    def test_proven_saturation_is_qs201_error(self, rng):
+        net = Sequential(
+            Linear(4, 4, rng=rng),
+            QuantizedActivation(ReLU(), bits=4, gain=1.0),
+        )
+        net.eval()
+        net.layers[0].weight.data[...] = 0.0
+        net.layers[0].bias.data[...] = 100.0  # every output is 100 ≫ 15.5
+        report = check_module(net, input_shape=(4,))
+        assert [d.rule for d in report.errors] == ["QS201"]
+
+    def test_possible_clipping_is_info_only(self, rng):
+        net = Sequential(
+            Linear(4, 4, rng=rng),
+            QuantizedActivation(ReLU(), bits=4, gain=1.0),
+        )
+        net.eval()
+        net.layers[0].weight.data[...] = 30.0  # hi = 120, lo = 0: clips but not always
+        net.layers[0].bias.data[...] = 0.0
+        report = check_module(net, input_shape=(4,))
+        assert report.ok
+        assert [d.rule for d in report.infos] == ["QS202"]
+
+
+class TestWeightGrid:
+    def test_off_grid_weights_are_qw301(self, rng):
+        net = Sequential(Linear(8, 8, rng=rng))
+        net.eval()
+        net.layers[0]._grid_bits = 4  # claims a grid it does not sit on
+        net.layers[0]._grid_scale = 1.0
+        report = check_module(net, input_shape=(8,))
+        assert [d.rule for d in report.errors] == ["QW301"]
+
+    def test_mixed_n_is_qw302(self, rng):
+        net = Sequential(Linear(8, 8, rng=rng), ReLU(), Linear(8, 4, rng=rng))
+        net.eval()
+        _on_grid(net.layers[0], bits=4)
+        _on_grid(net.layers[2], bits=5)
+        report = check_module(net, input_shape=(8,))
+        assert [d.rule for d in report.errors] == ["QW302"]
+
+    def test_deployed_network_is_on_grid(self, rng):
+        report = check_module(_deployed_lenet(rng), input_shape=(1, 28, 28))
+        assert not report.by_rule("QW301") and not report.by_rule("QW302")
+
+
+class TestIntegerFastPath:
+    def _int_path_net(self, rng, fan_in, m_bits, n_bits):
+        """input-quant → gridded linear → act-quant: the int-path shape."""
+        lin = Linear(fan_in, 10, rng=rng)
+        _on_grid(lin, bits=n_bits)
+        net = _PrependInput(
+            InputQuantizer(bits=m_bits, offset=0.0, gain=float(2 ** m_bits - 1)),
+            Sequential(lin, QuantizedActivation(ReLU(), bits=m_bits, gain=1.0),
+                       Linear(10, 10, rng=rng)),
+        )
+        net.eval()
+        return net
+
+    def test_mantissa_unsafe_layer_is_qi401_warning(self, rng):
+        # K·top·2^(N−1) = 600·255·128 ≈ 1.96e7 ≥ 2^24: float64 fallback.
+        net = self._int_path_net(rng, fan_in=600, m_bits=8, n_bits=8)
+        report = check_module(net, input_shape=(600,))
+        assert report.ok  # warning, not error
+        diags = report.by_rule("QI401")
+        assert len(diags) == 1 and diags[0].severity == "warning"
+        assert diags[0].details["bound"] >= 2 ** 24
+
+    def test_mantissa_safe_layer_is_silent(self, rng):
+        # 16·15·8 = 1920 ≪ 2^24: float32 carrier, nothing to report.
+        net = self._int_path_net(rng, fan_in=16, m_bits=4, n_bits=4)
+        report = check_module(net, input_shape=(16,))
+        assert not report.by_rule("QI401")
+        weight_facts = [f for f in report.facts if f.kind == "weight"]
+        assert weight_facts[0].data["carrier"] == "float32"
+
+    def test_deployed_lenet_is_mantissa_safe(self, rng):
+        report = check_module(_deployed_lenet(rng), input_shape=(1, 28, 28))
+        assert not report.by_rule("QI401")
+
+
+class TestCrossbarFeasibility:
+    def test_budget_overrun_is_qc501(self, rng):
+        deployed = _deployed_lenet(rng)
+        report = check_module(
+            deployed, input_shape=(1, 28, 28),
+            config=CheckConfig(max_crossbars=3),
+        )
+        diags = report.by_rule("QC501")
+        assert len(diags) == 1 and diags[0].severity == "error"
+        assert diags[0].details["total"] > 3
+
+    def test_sufficient_budget_is_silent(self, rng):
+        deployed = _deployed_lenet(rng)
+        report = check_module(
+            deployed, input_shape=(1, 28, 28),
+            config=CheckConfig(max_crossbars=10_000),
+        )
+        assert not report.by_rule("QC501")
+
+    def test_excess_levels_for_device_is_qc502(self, rng):
+        net = Sequential(Linear(8, 8, rng=rng))
+        net.eval()
+        _on_grid(net.layers[0], bits=4)  # needs 9 levels
+        report = check_module(
+            net, input_shape=(8,), config=CheckConfig(device_levels=4),
+        )
+        diags = report.by_rule("QC502")
+        assert len(diags) == 1 and diags[0].severity == "error"
+
+    def test_beyond_demonstrated_levels_is_warning(self, rng):
+        net = Sequential(Linear(8, 8, rng=rng))
+        net.eval()
+        _on_grid(net.layers[0], bits=8)  # needs 129 levels > 64 demonstrated
+        report = check_module(net, input_shape=(8,))
+        diags = report.by_rule("QC502")
+        assert len(diags) == 1 and diags[0].severity == "warning"
+
+
+class TestSuppression:
+    def test_suppressed_rules_are_dropped(self, rng):
+        deployed = _deployed_lenet(rng)
+        deployed.relu2 = QuantizedActivation(ReLU(), bits=6, gain=1.0)
+        report = check_module(
+            deployed, input_shape=(1, 28, 28),
+            config=CheckConfig(suppress=("QS210", "QS202")),
+        )
+        assert report.ok
+
+
+class TestTrainingMode:
+    def test_training_mode_is_qs103_warning(self, rng):
+        from repro.nn.modules import Dropout
+
+        net = Sequential(Linear(4, 4, rng=rng), Dropout(0.5, rng=rng))
+        net.train()
+        report = check_module(net, input_shape=(4,))
+        assert [d.rule for d in report.warnings] == ["QS103"]

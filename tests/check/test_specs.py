@@ -1,0 +1,81 @@
+"""Tests for spec-level checking (repro.check.specs)."""
+
+import pytest
+
+from repro.check import CheckConfig, check_spec
+from repro.models.registry import available_models, get_spec
+from repro.models.specs import LayerSpec, NetworkSpec
+
+
+class TestRegisteredSpecsAreClean:
+    @pytest.mark.parametrize("name", sorted(available_models()))
+    def test_spec_has_no_errors_at_paper_bits(self, name):
+        report = check_spec(get_spec(name))
+        assert report.ok, report.summary()
+
+    @pytest.mark.parametrize("bits", [3, 4, 5])
+    def test_all_paper_bit_widths(self, bits):
+        for name in available_models():
+            report = check_spec(get_spec(name), signal_bits=bits, weight_bits=bits)
+            assert report.ok, report.summary()
+
+
+class TestSeededSpecDefects:
+    def _spec(self, layers):
+        return NetworkSpec(
+            name="broken", dataset="unit", input_shape=(1, 8, 8),
+            layers=tuple(layers), ideal_accuracy=0.0,
+        )
+
+    def test_conv_channel_discontinuity_is_qs101(self):
+        spec = self._spec([
+            LayerSpec("conv", out_features=6, in_depth=1, kernel=3),
+            LayerSpec("conv", out_features=8, in_depth=7, kernel=3),  # 7 != 6
+        ])
+        report = check_spec(spec)
+        assert [d.rule for d in report.errors] == ["QS101"]
+
+    def test_fc_fanin_discontinuity_is_qs101(self):
+        spec = self._spec([
+            LayerSpec("fc", out_features=16, in_depth=64),
+            LayerSpec("fc", out_features=10, in_depth=17),  # 17 != 16
+        ])
+        report = check_spec(spec)
+        assert [d.rule for d in report.errors] == ["QS101"]
+
+    def test_conv_to_fc_non_multiple_is_qs101(self):
+        spec = self._spec([
+            LayerSpec("conv", out_features=6, in_depth=1, kernel=3),
+            LayerSpec("fc", out_features=10, in_depth=100),  # 100 % 6 != 0
+        ])
+        report = check_spec(spec)
+        assert [d.rule for d in report.errors] == ["QS101"]
+
+    def test_crossbar_budget_overrun_is_qc501(self):
+        report = check_spec(get_spec("lenet"), config=CheckConfig(max_crossbars=1))
+        diags = report.by_rule("QC501")
+        assert len(diags) == 1 and diags[0].severity == "error"
+
+    def test_wide_bits_trip_the_mantissa_rule(self):
+        # ResNet's 3·3·512-row layers at M=N=8 overflow 2^24 worst-case.
+        report = check_spec(get_spec("resnet"), signal_bits=8, weight_bits=8)
+        assert report.by_rule("QI401")
+        assert report.ok  # still only warnings
+
+    def test_wide_bits_trip_the_conductance_rule(self):
+        report = check_spec(get_spec("lenet"), signal_bits=4, weight_bits=8)
+        diags = report.by_rule("QC502")
+        assert diags and all(d.severity == "warning" for d in diags)
+
+
+class TestSpecReportShape:
+    def test_target_names_the_spec_and_bits(self):
+        report = check_spec(get_spec("lenet"), signal_bits=4, weight_bits=4)
+        assert "lenet" in report.target and "M=4" in report.target
+
+    def test_facts_cover_every_layer(self):
+        spec = get_spec("lenet")
+        report = check_spec(spec)
+        weights = [f for f in report.facts if f.kind == "weight"]
+        assert len(weights) == len(spec.layers)
+        assert all(f.data.get("crossbars") for f in weights)

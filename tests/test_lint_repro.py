@@ -1,0 +1,183 @@
+"""Tests for the repo-invariant AST lint (tools/lint_repro.py)."""
+
+import importlib.util
+import textwrap
+from pathlib import Path
+
+_TOOL = Path(__file__).resolve().parents[1] / "tools" / "lint_repro.py"
+_spec = importlib.util.spec_from_file_location("lint_repro", _TOOL)
+lint_repro = importlib.util.module_from_spec(_spec)
+_spec.loader.exec_module(lint_repro)
+
+
+def _write(path: Path, source: str) -> Path:
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(textwrap.dedent(source))
+    return path
+
+
+def _rules(findings):
+    return [f.rule for f in findings]
+
+
+class TestGlobalRandomRule:
+    def test_global_state_call_is_rl001(self, tmp_path):
+        f = _write(tmp_path / "mod.py", """
+            import numpy as np
+            x = np.random.normal(0, 1, size=3)
+        """)
+        findings = lint_repro.lint_paths([f])
+        assert _rules(findings) == ["RL001"]
+        assert "np.random.normal" in findings[0].message
+
+    def test_seed_call_is_rl001(self, tmp_path):
+        f = _write(tmp_path / "mod.py", """
+            import numpy
+            numpy.random.seed(0)
+        """)
+        assert _rules(lint_repro.lint_paths([f])) == ["RL001"]
+
+    def test_generator_usage_is_clean(self, tmp_path):
+        f = _write(tmp_path / "mod.py", """
+            import numpy as np
+            rng = np.random.default_rng(0)
+            x = rng.normal(0, 1, size=3)
+        """)
+        assert lint_repro.lint_paths([f]) == []
+
+    def test_seeding_module_is_exempt(self, tmp_path):
+        f = _write(tmp_path / "snc" / "seeding.py", """
+            import numpy as np
+            np.random.seed(0)
+        """)
+        assert lint_repro.lint_paths([f]) == []
+
+    def test_unrelated_random_attribute_is_clean(self, tmp_path):
+        f = _write(tmp_path / "mod.py", """
+            import numpy as np
+
+            class Box:
+                pass
+
+            box = Box()
+            box.random = lambda: 0.5
+            y = box.random()
+        """)
+        assert lint_repro.lint_paths([f]) == []
+
+
+class TestStepAllocationRule:
+    def test_allocation_in_step_run_is_rl002(self, tmp_path):
+        f = _write(tmp_path / "runtime" / "plan.py", """
+            import numpy as np
+
+            class GemmStep:
+                def run(self, pool):
+                    scratch = np.zeros((4, 4))
+                    return scratch
+        """)
+        findings = lint_repro.lint_paths([f])
+        assert _rules(findings) == ["RL002"]
+        assert "GemmStep.run" in findings[0].message
+
+    def test_asarray_in_step_run_is_allowed(self, tmp_path):
+        f = _write(tmp_path / "runtime" / "plan.py", """
+            import numpy as np
+
+            class CastStep:
+                def run(self, x):
+                    return np.asarray(x, dtype=np.float32)
+        """)
+        assert lint_repro.lint_paths([f]) == []
+
+    def test_allocation_outside_run_is_allowed(self, tmp_path):
+        f = _write(tmp_path / "runtime" / "plan.py", """
+            import numpy as np
+
+            class GemmStep:
+                def __init__(self):
+                    self.scratch = np.zeros((4, 4))
+        """)
+        assert lint_repro.lint_paths([f]) == []
+
+    def test_rule_only_applies_to_plan_module(self, tmp_path):
+        f = _write(tmp_path / "other.py", """
+            import numpy as np
+
+            class GemmStep:
+                def run(self):
+                    return np.zeros(3)
+        """)
+        assert lint_repro.lint_paths([f]) == []
+
+
+class TestDocstringRule:
+    def _package(self, tmp_path):
+        _write(tmp_path / "repro" / "__init__.py",
+               "from repro.util import documented, naked\n")
+        return _write(tmp_path / "repro" / "util.py", """
+            def documented():
+                '''Has one.'''
+
+            def naked():
+                return 1
+
+            def _private_needs_none():
+                return 2
+        """)
+
+    def test_missing_docstring_is_rl003(self, tmp_path):
+        self._package(tmp_path)
+        findings = lint_repro.lint_paths([tmp_path])
+        assert _rules(findings) == ["RL003"]
+        assert "naked" in findings[0].message
+
+    def test_unexported_module_is_exempt(self, tmp_path):
+        _write(tmp_path / "repro" / "__init__.py", "")
+        _write(tmp_path / "repro" / "util.py", """
+            def naked():
+                return 1
+        """)
+        assert lint_repro.lint_paths([tmp_path]) == []
+
+
+class TestSuppression:
+    def test_inline_ignore_silences_the_line(self, tmp_path):
+        f = _write(tmp_path / "mod.py", """
+            import numpy as np
+            x = np.random.normal()  # lint: ignore[RL001]
+            y = np.random.uniform()
+        """)
+        findings = lint_repro.lint_paths([f])
+        assert _rules(findings) == ["RL001"]
+        assert findings[0].line == 4
+
+    def test_ignore_must_name_the_right_rule(self, tmp_path):
+        f = _write(tmp_path / "mod.py", """
+            import numpy as np
+            x = np.random.normal()  # lint: ignore[RL002]
+        """)
+        assert _rules(lint_repro.lint_paths([f])) == ["RL001"]
+
+
+class TestCli:
+    def test_clean_tree_exits_zero(self, tmp_path, capsys):
+        _write(tmp_path / "ok.py", "import numpy as np\n")
+        assert lint_repro.main([str(tmp_path)]) == 0
+
+    def test_findings_exit_nonzero(self, tmp_path, capsys):
+        _write(tmp_path / "bad.py",
+               "import numpy as np\nnp.random.seed(0)\n")
+        assert lint_repro.main([str(tmp_path)]) == 1
+        assert "RL001" in capsys.readouterr().out
+
+    def test_repo_source_tree_is_clean(self):
+        repo_src = Path(__file__).resolve().parents[1] / "src"
+        assert lint_repro.lint_paths([repo_src]) == []
+
+
+class TestRuleTable:
+    def test_rules_documented(self):
+        doc = _TOOL.read_text()
+        for rule in lint_repro.RULES:
+            assert rule in doc

@@ -1,0 +1,269 @@
+#!/usr/bin/env python3
+"""AST lint enforcing repo-specific invariants ruff cannot express.
+
+Rules
+-----
+``RL001`` — no ``np.random.*`` global-state calls outside
+    ``snc/seeding.py``.  Reproducibility rests on explicit
+    ``np.random.Generator`` objects threaded through the code; a stray
+    ``np.random.seed``/``np.random.normal`` silently couples unrelated
+    experiments.  ``default_rng`` and ``Generator`` are fine anywhere.
+``RL002`` — no array allocation inside ``ExecutionPlan`` kernel replay
+    bodies (the ``run`` methods of ``Step`` subclasses in
+    ``src/repro/runtime/plan.py``).  Steady-state inference must allocate
+    nothing; workspaces come from the :class:`BufferPool`.  View/cast
+    helpers (``asarray``, ``ascontiguousarray``) are allowed.
+``RL003`` — public module-level functions in modules re-exported by a
+    ``src/repro/**/__init__.py`` must carry docstrings: they are the
+    package API.
+
+Suppress a finding by appending ``# lint: ignore[RL002]`` to the
+offending line.
+
+Usage: ``python tools/lint_repro.py src/ [more paths...]``
+Exits nonzero when any finding survives suppression.  Standard library
+only — the CI lint job runs it without installing the package.
+"""
+
+from __future__ import annotations
+
+import argparse
+import ast
+import re
+import sys
+from pathlib import Path
+from typing import Iterator, List, NamedTuple, Optional, Sequence, Set
+
+#: np.random functions that mutate or read the hidden global RandomState.
+GLOBAL_STATE_RANDOM = frozenset({
+    "seed", "random", "rand", "randn", "randint", "random_sample", "ranf",
+    "sample", "choice", "bytes", "shuffle", "permutation", "beta", "binomial",
+    "chisquare", "dirichlet", "exponential", "gamma", "geometric", "gumbel",
+    "hypergeometric", "laplace", "logistic", "lognormal", "logseries",
+    "multinomial", "multivariate_normal", "negative_binomial", "noncentral_chisquare",
+    "noncentral_f", "normal", "pareto", "poisson", "power", "rayleigh",
+    "standard_cauchy", "standard_exponential", "standard_gamma", "standard_normal",
+    "standard_t", "triangular", "uniform", "vonmises", "wald", "weibull", "zipf",
+    "get_state", "set_state",
+})
+
+#: numpy allocators forbidden in kernel replay bodies.  View/cast helpers
+#: (asarray, ascontiguousarray, reshape) stay legal — they only copy when
+#: the layout demands it, which the plans control deliberately.
+ALLOCATORS = frozenset({
+    "empty", "zeros", "ones", "full", "empty_like", "zeros_like", "ones_like",
+    "full_like", "array", "arange", "linspace", "eye", "identity",
+})
+
+RULES = {
+    "RL001": "np.random global-state call outside snc/seeding.py",
+    "RL002": "array allocation inside an ExecutionPlan kernel replay body",
+    "RL003": "public function in an __init__-exported module lacks a docstring",
+}
+
+_IGNORE_RE = re.compile(r"#\s*lint:\s*ignore\[([A-Z0-9,\s]+)\]")
+
+
+class Finding(NamedTuple):
+    """One lint violation: where, which rule, and what happened."""
+
+    path: Path
+    line: int
+    rule: str
+    message: str
+
+    def format(self) -> str:
+        return f"{self.path}:{self.line}: {self.rule} {self.message}"
+
+
+def _suppressions(source: str) -> dict:
+    """Map line number → set of rule ids suppressed on that line."""
+    ignores = {}
+    for lineno, line in enumerate(source.splitlines(), start=1):
+        match = _IGNORE_RE.search(line)
+        if match:
+            ignores[lineno] = {rule.strip() for rule in match.group(1).split(",")}
+    return ignores
+
+
+def _numpy_aliases(tree: ast.Module) -> Set[str]:
+    """Names the module binds to the numpy package (usually {"np"})."""
+    aliases = set()
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                if alias.name == "numpy":
+                    aliases.add(alias.asname or "numpy")
+    return aliases
+
+
+def _attr_chain(node: ast.AST) -> Optional[List[str]]:
+    """``a.b.c`` → ["a", "b", "c"]; None for non-name chains."""
+    parts: List[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return parts[::-1]
+    return None
+
+
+def check_global_random(path: Path, tree: ast.Module) -> Iterator[Finding]:
+    """RL001: np.random.<global-state fn>(...) calls."""
+    if path.as_posix().endswith("snc/seeding.py"):
+        return
+    numpy_names = _numpy_aliases(tree)
+    if not numpy_names:
+        return
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.Call):
+            continue
+        chain = _attr_chain(node.func)
+        if (
+            chain is not None
+            and len(chain) == 3
+            and chain[0] in numpy_names
+            and chain[1] == "random"
+            and chain[2] in GLOBAL_STATE_RANDOM
+        ):
+            yield Finding(
+                path, node.lineno, "RL001",
+                f"call to {'.'.join(chain)} uses numpy's hidden global RNG; "
+                "thread an np.random.Generator through instead (see snc/seeding.py)",
+            )
+
+
+def _is_step_class(cls: ast.ClassDef) -> bool:
+    """A Step subclass: named *Step, or directly based on Step."""
+    if cls.name.endswith("Step"):
+        return True
+    for base in cls.bases:
+        chain = _attr_chain(base)
+        if chain and chain[-1] == "Step":
+            return True
+    return False
+
+
+def check_step_allocations(path: Path, tree: ast.Module) -> Iterator[Finding]:
+    """RL002: numpy allocators inside Step.run bodies in runtime/plan.py."""
+    if not path.as_posix().endswith("runtime/plan.py"):
+        return
+    numpy_names = _numpy_aliases(tree)
+    for cls in tree.body:
+        if not (isinstance(cls, ast.ClassDef) and _is_step_class(cls)):
+            continue
+        for fn in cls.body:
+            if not (isinstance(fn, ast.FunctionDef) and fn.name == "run"):
+                continue
+            for node in ast.walk(fn):
+                if not isinstance(node, ast.Call):
+                    continue
+                chain = _attr_chain(node.func)
+                if (
+                    chain is not None
+                    and len(chain) == 2
+                    and chain[0] in numpy_names
+                    and chain[1] in ALLOCATORS
+                ):
+                    yield Finding(
+                        path, node.lineno, "RL002",
+                        f"{'.'.join(chain)} allocates inside {cls.name}.run; "
+                        "take a pooled buffer (pool.get) so steady-state "
+                        "replay allocates nothing",
+                    )
+
+
+def _exported_modules(root: Path) -> Set[Path]:
+    """Module files re-exported by any ``__init__.py`` under ``root``.
+
+    A module counts as exported when an ``__init__.py`` does
+    ``from <pkg>.<mod> import ...``; those modules form the package API
+    surface whose public functions must be documented.
+    """
+    exported: Set[Path] = set()
+    for init in root.rglob("__init__.py"):
+        try:
+            tree = ast.parse(init.read_text(encoding="utf-8"))
+        except SyntaxError:
+            continue
+        for node in tree.body:
+            if not isinstance(node, ast.ImportFrom) or node.module is None or node.level:
+                continue
+            candidate = root / Path(*node.module.split(".")[1:])
+            module_file = candidate.with_suffix(".py")
+            if node.module.startswith("repro.") and module_file.is_file():
+                exported.add(module_file.resolve())
+    return exported
+
+
+def check_docstrings(path: Path, tree: ast.Module,
+                     exported: Set[Path]) -> Iterator[Finding]:
+    """RL003: public top-level functions in exported modules need docstrings."""
+    if path.resolve() not in exported:
+        return
+    for node in tree.body:
+        if (
+            isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef))
+            and not node.name.startswith("_")
+            and ast.get_docstring(node) is None
+        ):
+            yield Finding(
+                path, node.lineno, "RL003",
+                f"public function {node.name}() in an __init__-exported "
+                "module has no docstring",
+            )
+
+
+def lint_paths(paths: Sequence[Path]) -> List[Finding]:
+    """Lint every ``.py`` file under the given paths; return the findings."""
+    files: List[Path] = []
+    repro_roots: List[Path] = []
+    for path in paths:
+        if path.is_dir():
+            files.extend(sorted(path.rglob("*.py")))
+            repro_roots.extend(p for p in (path / "repro",) if p.is_dir())
+            if path.name == "repro":
+                repro_roots.append(path)
+        elif path.suffix == ".py":
+            files.append(path)
+    exported: Set[Path] = set()
+    for root in repro_roots:
+        exported |= _exported_modules(root)
+
+    findings: List[Finding] = []
+    for file in files:
+        source = file.read_text(encoding="utf-8")
+        try:
+            tree = ast.parse(source, filename=str(file))
+        except SyntaxError as exc:
+            print(f"{file}: syntax error: {exc}", file=sys.stderr)
+            continue
+        ignores = _suppressions(source)
+        for finding in (
+            *check_global_random(file, tree),
+            *check_step_allocations(file, tree),
+            *check_docstrings(file, tree, exported),
+        ):
+            if finding.rule not in ignores.get(finding.line, ()):
+                findings.append(finding)
+    return findings
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI entry point: lint the given paths, print findings, exit 0/1."""
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("paths", nargs="+", type=Path,
+                        help="files or directories to lint (e.g. src/)")
+    args = parser.parse_args(argv)
+    findings = lint_paths(args.paths)
+    for finding in findings:
+        print(finding.format())
+    if findings:
+        print(f"\n{len(findings)} finding(s)", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
