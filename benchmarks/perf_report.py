@@ -1,10 +1,11 @@
-"""Recording helpers for the machine-readable performance report.
+"""Recording helpers for the machine-readable performance reports.
 
-Benchmarks append their numbers to ``BENCH_PR2.json`` at the repository
-root via :func:`record`.  The file is merged, not overwritten, so the
-micro-kernel timings and the engine speedup study can be produced by
-separate pytest invocations (or a partial re-run) without losing each
-other's sections.
+Benchmarks append their numbers to a ``BENCH_*.json`` file at the
+repository root via :func:`record` — ``BENCH_PR2.json`` (engine/kernels)
+by default, or any other report named via ``report``
+(``bench_serving.py`` writes ``BENCH_PR4.json``).  Files are merged, not
+overwritten, so separate pytest invocations (or a partial re-run) never
+lose each other's sections.
 """
 
 from __future__ import annotations
@@ -13,25 +14,32 @@ import json
 import os
 from typing import Optional
 
-REPORT_PATH = os.path.abspath(
-    os.path.join(os.path.dirname(__file__), "..", "BENCH_PR2.json")
-)
+_ROOT = os.path.abspath(os.path.join(os.path.dirname(__file__), ".."))
+DEFAULT_REPORT = "BENCH_PR2.json"
+REPORT_PATH = os.path.join(_ROOT, DEFAULT_REPORT)
 
 
-def record(section: str, name: str, payload: dict) -> str:
-    """Merge ``payload`` into ``BENCH_PR2.json`` under ``section/name``."""
+def report_path(report: str = DEFAULT_REPORT) -> str:
+    """Absolute path of a repo-root benchmark report file."""
+    return os.path.join(_ROOT, report)
+
+
+def record(section: str, name: str, payload: dict,
+           report: str = DEFAULT_REPORT) -> str:
+    """Merge ``payload`` into ``report`` under ``section/name``."""
+    path = report_path(report)
     data = {}
-    if os.path.exists(REPORT_PATH):
+    if os.path.exists(path):
         try:
-            with open(REPORT_PATH) as handle:
+            with open(path) as handle:
                 data = json.load(handle)
         except ValueError:
             data = {}
     data.setdefault(section, {})[name] = payload
-    with open(REPORT_PATH, "w") as handle:
+    with open(path, "w") as handle:
         json.dump(data, handle, indent=2, sort_keys=True)
         handle.write("\n")
-    return REPORT_PATH
+    return path
 
 
 def record_benchmark(benchmark, section: str, name: str,

@@ -24,8 +24,115 @@ from repro.analysis.tables import render_dict_table, render_histogram
 COMMANDS = (
     "table1", "table2", "table3", "table4", "table5",
     "fig1a", "fig1b", "fig3", "fig4",
-    "breakdown", "programming", "irdrop", "healthcheck", "plan", "check", "list",
+    "breakdown", "programming", "irdrop", "healthcheck", "plan", "check",
+    "serve-bench", "list",
 )
+
+
+def run_serve_bench(args: argparse.Namespace) -> str:
+    """The ``repro serve-bench`` command: micro-benchmark the serving layer.
+
+    Deploys a quantized model (random weights — serving throughput does
+    not depend on training), then offers a deterministic closed-loop
+    load to a :class:`~repro.serve.server.ModelServer` at each requested
+    worker count and reports throughput and latency percentiles next to
+    the single-caller engine and graph-executor baselines.
+    """
+    import time as _time
+
+    import numpy as np
+
+    from repro import datasets
+    from repro.core.deployment import (
+        DeploymentConfig, deploy_model, make_inference_engine, make_model_server,
+    )
+    from repro.models.registry import MODEL_DATASET, build_model
+    from repro.nn.tensor import Tensor, no_grad
+    from repro.serve import LoadGenConfig, ServeConfig, run_load
+
+    if args.max_wait_ms < 0:
+        raise SystemExit(
+            f"repro serve-bench: --max-wait-ms must be >= 0, got {args.max_wait_ms}"
+        )
+    if any(w < 1 for w in args.workers):
+        raise SystemExit(
+            f"repro serve-bench: --workers must all be >= 1, got {args.workers}"
+        )
+    model_name = args.models[0]
+    bits = args.bits[0]
+    if args.quick:
+        pool_size, batch_size, clients, requests = 64, 32, 2, 6
+        workers_list = [1, 2]
+    else:
+        pool_size, batch_size, clients, requests = 256, 128, 8, 24
+        workers_list = sorted(set(args.workers))
+    maker = (
+        datasets.mnist_like
+        if MODEL_DATASET[model_name] == "mnist-like"
+        else datasets.cifar_like
+    )
+    train_set, _ = maker(train_size=pool_size, test_size=16, seed=args.seed)
+    images = train_set.images
+    model = build_model(model_name, rng=np.random.default_rng(args.seed))
+    model.eval()
+    deployed, _ = deploy_model(
+        model,
+        DeploymentConfig(signal_bits=bits, weight_bits=bits, input_bits=8),
+        images[:32],
+    )
+
+    def timed_rows_per_s(fn, rows: int, reps: int = 5) -> float:
+        fn()  # warm up
+        times = []
+        for _ in range(reps):
+            start = _time.perf_counter()
+            fn()
+            times.append(_time.perf_counter() - start)
+        return rows / float(np.median(times))
+
+    batch = images[:batch_size]
+    with no_grad():
+        graph_rps = timed_rows_per_s(
+            lambda: deployed(Tensor(np.asarray(batch, dtype=np.float64))).data,
+            len(batch),
+        )
+    engine = make_inference_engine(deployed)
+    engine_rps = timed_rows_per_s(lambda: engine.run(batch), len(batch))
+
+    load = LoadGenConfig(
+        clients=clients, requests_per_client=requests,
+        min_rows=max(batch_size // 8, 1), max_rows=max(batch_size // 2, 1),
+        seed=args.seed,
+    )
+    rows = [
+        {"config": "graph 1-caller", "rows_per_s": round(graph_rps, 1),
+         "p50_ms": "-", "p99_ms": "-"},
+        {"config": "engine 1-caller", "rows_per_s": round(engine_rps, 1),
+         "p50_ms": "-", "p99_ms": "-"},
+    ]
+    for workers in workers_list:
+        server = make_model_server(
+            deployed,
+            ServeConfig(workers=workers, batch_size=batch_size,
+                        max_wait_ms=args.max_wait_ms),
+            warmup_images=images[:2],
+        )
+        try:
+            report = run_load(server, images, load)
+        finally:
+            server.close()
+        rows.append({
+            "config": f"server {workers}w",
+            "rows_per_s": round(report.throughput_rows_per_s, 1),
+            "p50_ms": round(report.latency_ms(50), 2),
+            "p99_ms": round(report.latency_ms(99), 2),
+        })
+    title = (
+        f"Serving throughput — {model_name} M=N={bits}, batch {batch_size}, "
+        f"max_wait {args.max_wait_ms}ms, {clients} closed-loop clients"
+    )
+    return render_dict_table(rows, ["config", "rows_per_s", "p50_ms", "p99_ms"],
+                             title=title)
 
 
 def run_check(args: argparse.Namespace) -> tuple:
@@ -100,6 +207,9 @@ def run_command(args: argparse.Namespace) -> str:
 
     if args.command == "check":
         return run_check(args)[0]
+
+    if args.command == "serve-bench":
+        return run_serve_bench(args)
 
     if args.command == "table1":
         rows = E.table1_ideal_accuracy(_settings(args))
@@ -366,6 +476,20 @@ def build_parser() -> argparse.ArgumentParser:
     healthcheck.add_argument(
         "--remediate", action="store_true",
         help="run the tiered repair ladder after diagnosis and re-probe",
+    )
+
+    serve = parser.add_argument_group("serve-bench options")
+    serve.add_argument(
+        "--workers", nargs="+", type=int, default=[1, 4],
+        help="replica counts to benchmark (one server run per count)",
+    )
+    serve.add_argument(
+        "--max-wait-ms", type=float, default=2.0,
+        help="micro-batch formation wait budget",
+    )
+    serve.add_argument(
+        "--quick", action="store_true",
+        help="tiny model/load for CI smoke runs (seconds, not minutes)",
     )
 
     check = parser.add_argument_group("check options")

@@ -265,6 +265,38 @@ def make_inference_engine(deployed: Module, **config_overrides):
     return InferenceEngine(deployed, EngineConfig(**config_overrides))
 
 
+def make_model_server(
+    deployed: Module,
+    serve_config=None,
+    warmup_images: Optional[np.ndarray] = None,
+    fallback=None,
+    health_probe=None,
+    **engine_overrides,
+):
+    """A :class:`~repro.serve.server.ModelServer` over ``deployed`` — the
+    serving front end for *concurrent* traffic.
+
+    Each replica gets its own engine via :func:`make_inference_engine`
+    (plans and buffer pools are per-replica); ``engine_overrides`` are
+    forwarded to every replica's :class:`~repro.runtime.engine.
+    EngineConfig`.  Pass ``warmup_images`` to trace all plans before the
+    first request, and ``serve_config`` (a :class:`~repro.serve.server.
+    ServeConfig`) to tune workers / batch size / wait budget / queue
+    bound.  See ``docs/serving.md`` for the architecture and tuning
+    guide.
+    """
+    # Lazy import: repro.serve sits above this module.
+    from repro.serve import ModelServer
+
+    return ModelServer(
+        engine_factory=lambda: make_inference_engine(deployed, **engine_overrides),
+        config=serve_config,
+        fallback=fallback,
+        health_probe=health_probe,
+        warmup_images=warmup_images,
+    )
+
+
 class _PrependInput(Module):
     """Run an input quantizer before the wrapped network."""
 

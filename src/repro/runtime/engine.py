@@ -132,7 +132,10 @@ class InferenceEngine:
 
     def infer_batched(self, images: np.ndarray, batch_size: Optional[int] = None) -> np.ndarray:
         """Stream ``images`` through the plan in micro-batches."""
-        batch_size = batch_size or self.config.batch_size
+        if batch_size is None:
+            batch_size = self.config.batch_size
+        if batch_size < 1:
+            raise ValueError(f"batch_size must be >= 1, got {batch_size}")
         outputs = [
             self.run(images[start : start + batch_size])
             for start in range(0, len(images), batch_size)

@@ -18,10 +18,19 @@ gracefully instead of silently serving wrong answers:
 
 Operational counters are exposed via :meth:`GuardedSpikingSystem.
 runtime_stats` for scraping by a metrics pipeline.
+
+Thread safety: the guard serializes :meth:`GuardedSpikingSystem.infer`
+and :meth:`GuardedSpikingSystem.check_health` behind one re-entrant
+lock.  Counter updates, probe scheduling, and the underlying engines
+(whose buffer pools are single-threaded by design) are therefore
+race-free when many pool replicas share one guard as their degraded
+path — parallelism belongs to the per-replica engines of
+:mod:`repro.serve`, not to the guard.
 """
 
 from __future__ import annotations
 
+import threading
 import time
 from dataclasses import asdict, dataclass
 from typing import Optional
@@ -125,31 +134,42 @@ class GuardedSpikingSystem:
         self.health_log: list = []
         self.last_report: Optional[HealthReport] = None
         self._requests_since_probe: Optional[int] = None  # None = never probed
+        # Serializes serving, counter mutation, and probe scheduling so
+        # concurrent callers (e.g. serve-pool replicas in degraded mode)
+        # cannot race counters or interleave probes with remediation.
+        # Re-entrant because infer() probes via check_health().
+        self._lock = threading.RLock()
 
     # -- serving ------------------------------------------------------------
     def infer(self, images: np.ndarray) -> np.ndarray:
-        """Serve one batch; returns logits ``(batch, classes)``."""
-        if self._probe_due():
-            self.check_health()
-        self.counters.requests_total += 1
-        if self._requests_since_probe is not None:
-            self._requests_since_probe += 1
-        if self.counters.fallback_engaged:
-            return self._software_infer(images)
-        for attempt in range(self.config.max_retries + 1):
-            try:
-                logits = self.system.infer(images)
-            except Exception:
-                self.counters.transient_failures += 1
-                if attempt < self.config.max_retries:
-                    self.counters.transient_retries += 1
-                    continue
-                # Retries exhausted: serve this request from software
-                # without condemning the analog path.
+        """Serve one batch; returns logits ``(batch, classes)``.
+
+        Safe to call from many threads: the whole request (probe
+        scheduling, counters, analog/software execution) runs under the
+        guard's lock.
+        """
+        with self._lock:
+            if self._probe_due():
+                self.check_health()
+            self.counters.requests_total += 1
+            if self._requests_since_probe is not None:
+                self._requests_since_probe += 1
+            if self.counters.fallback_engaged:
                 return self._software_infer(images)
-            self.counters.requests_analog += 1
-            return logits
-        raise AssertionError("unreachable")  # pragma: no cover
+            for attempt in range(self.config.max_retries + 1):
+                try:
+                    logits = self.system.infer(images)
+                except Exception:
+                    self.counters.transient_failures += 1
+                    if attempt < self.config.max_retries:
+                        self.counters.transient_retries += 1
+                        continue
+                    # Retries exhausted: serve this request from software
+                    # without condemning the analog path.
+                    return self._software_infer(images)
+                self.counters.requests_analog += 1
+                return logits
+            raise AssertionError("unreachable")  # pragma: no cover
 
     def predict(self, images: np.ndarray) -> np.ndarray:
         """Class predictions for a batch."""
@@ -186,37 +206,38 @@ class GuardedSpikingSystem:
         Returns the final :class:`~repro.snc.diagnosis.HealthReport`
         (post-repair, if the ladder ran).
         """
-        start = time.perf_counter()
-        report = diagnose(
-            self.system,
-            code_tolerance=self.config.code_tolerance,
-            seed=self.config.seed,
-        )
-        self.counters.probes_run += 1
-        event = _HealthEvent(
-            request_index=self.counters.requests_total,
-            healthy=report.healthy,
-            deviating_pairs=report.deviating_pairs,
-        )
-        if not self._within_spec(report):
-            self.counters.probes_failed += 1
-            if self.config.auto_remediate:
-                self.counters.repairs_attempted += 1
-                outcome = run_remediation_ladder(self.system, self.config.remediation_config())
-                report = outcome.final
-                event.remediated = True
-                event.spec_met_after = outcome.spec_met
-                if outcome.spec_met:
-                    self.counters.repairs_succeeded += 1
-            # Engage (or clear) the fallback path based on the final state.
-            self.counters.fallback_engaged = not self._within_spec(report)
-        else:
-            self.counters.fallback_engaged = False
-        self.counters.probe_latency_total_s += time.perf_counter() - start
-        self.last_report = report
-        self.health_log.append(event)
-        self._requests_since_probe = 0
-        return report
+        with self._lock:
+            start = time.perf_counter()
+            report = diagnose(
+                self.system,
+                code_tolerance=self.config.code_tolerance,
+                seed=self.config.seed,
+            )
+            self.counters.probes_run += 1
+            event = _HealthEvent(
+                request_index=self.counters.requests_total,
+                healthy=report.healthy,
+                deviating_pairs=report.deviating_pairs,
+            )
+            if not self._within_spec(report):
+                self.counters.probes_failed += 1
+                if self.config.auto_remediate:
+                    self.counters.repairs_attempted += 1
+                    outcome = run_remediation_ladder(self.system, self.config.remediation_config())
+                    report = outcome.final
+                    event.remediated = True
+                    event.spec_met_after = outcome.spec_met
+                    if outcome.spec_met:
+                        self.counters.repairs_succeeded += 1
+                # Engage (or clear) the fallback path based on the final state.
+                self.counters.fallback_engaged = not self._within_spec(report)
+            else:
+                self.counters.fallback_engaged = False
+            self.counters.probe_latency_total_s += time.perf_counter() - start
+            self.last_report = report
+            self.health_log.append(event)
+            self._requests_since_probe = 0
+            return report
 
     # -- observability ------------------------------------------------------
     @property
@@ -225,10 +246,15 @@ class GuardedSpikingSystem:
         return "software" if self.counters.fallback_engaged else "analog"
 
     def runtime_stats(self) -> dict:
-        """A flat dict of counters, ready for a metrics scraper."""
-        stats = asdict(self.counters)
-        stats["probe_latency_mean_s"] = self.counters.probe_latency_mean_s
-        stats["serving_path"] = self.serving_path
-        stats["health_checks_logged"] = len(self.health_log)
-        stats["twin_engine"] = self.twin_engine.runtime_stats()
-        return stats
+        """A flat dict of counters, ready for a metrics scraper.
+
+        Taken under the guard's lock, so the snapshot is internally
+        consistent even while other threads serve requests.
+        """
+        with self._lock:
+            stats = asdict(self.counters)
+            stats["probe_latency_mean_s"] = self.counters.probe_latency_mean_s
+            stats["serving_path"] = self.serving_path
+            stats["health_checks_logged"] = len(self.health_log)
+            stats["twin_engine"] = self.twin_engine.runtime_stats()
+            return stats

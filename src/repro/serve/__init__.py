@@ -1,0 +1,59 @@
+"""repro.serve — the traffic-scale serving layer.
+
+:mod:`repro.runtime` makes a *single caller* fast (compiled plans,
+integer fast path); this package multiplexes *many concurrent callers*
+onto those engines, the missing layer between "fast kernel" and "fast
+system":
+
+- :mod:`repro.serve.queue` — bounded admission with explicit
+  backpressure (:class:`ServerOverloaded`) and per-request deadlines
+  (:class:`DeadlineExceeded`).
+- :mod:`repro.serve.batcher` — dynamic micro-batching: coalesce queued
+  requests to ``batch_size`` rows or a ``max_wait`` budget, scatter
+  logits back bit-exactly.
+- :mod:`repro.serve.pool` — a replica pool of worker threads, each
+  owning its own :class:`~repro.runtime.engine.InferenceEngine`, with
+  health probes, degraded-mode fallback, and graceful drain.
+- :mod:`repro.serve.server` — the :class:`ModelServer` facade
+  (``submit`` / ``submit_many`` / ``stats`` / ``close``).
+- :mod:`repro.serve.loadgen` — a deterministic closed-loop load
+  generator for benchmarking (seeded via :mod:`repro.snc.seeding`).
+
+Build one with :func:`repro.core.deployment.make_model_server` or
+:meth:`repro.snc.system.SpikingSystem.serve`; see ``docs/serving.md``.
+"""
+
+from repro.serve.batcher import MicroBatch, MicroBatcher
+from repro.serve.loadgen import LoadGenConfig, LoadReport, run_load
+from repro.serve.pool import Replica, ReplicaPool, ReplicaStats
+from repro.serve.queue import (
+    AdmissionQueue,
+    DeadlineExceeded,
+    ServeError,
+    ServeFuture,
+    ServeRequest,
+    ServerClosed,
+    ServerOverloaded,
+)
+from repro.serve.server import LatencyWindow, ModelServer, ServeConfig
+
+__all__ = [
+    "AdmissionQueue",
+    "DeadlineExceeded",
+    "LatencyWindow",
+    "LoadGenConfig",
+    "LoadReport",
+    "MicroBatch",
+    "MicroBatcher",
+    "ModelServer",
+    "Replica",
+    "ReplicaPool",
+    "ReplicaStats",
+    "ServeConfig",
+    "ServeError",
+    "ServeFuture",
+    "ServeRequest",
+    "ServerClosed",
+    "ServerOverloaded",
+    "run_load",
+]

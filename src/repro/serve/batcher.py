@@ -1,0 +1,125 @@
+"""Dynamic micro-batching: coalesce small requests into engine-sized runs.
+
+The paper's pipelined crossbar layers (and their software twin, the
+compiled :class:`~repro.runtime.engine.InferenceEngine`) amortize their
+per-invocation overhead across the batch dimension — Table 5's speedups
+assume the substrate is kept *full*.  Interactive traffic arrives one
+small request at a time, so the :class:`MicroBatcher` sits between the
+admission queue and the engines and coalesces:
+
+- dispatch as soon as ``batch_size`` rows are gathered, **or**
+- after ``max_wait_s`` has elapsed since the first request of the batch
+  was pulled (bounded latency: a lone request never waits for company
+  longer than the wait budget),
+
+whichever comes first.  The request→row mapping is carried in the
+:class:`MicroBatch` so logits are scattered back to each caller's future
+bit-exactly — batching is a throughput optimization, never a semantic
+change.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Callable, List, Optional
+
+import numpy as np
+
+from repro.serve.queue import AdmissionQueue, ServeRequest
+
+
+@dataclass
+class MicroBatch:
+    """A dispatchable unit: concatenated rows plus the scatter map."""
+
+    requests: List[ServeRequest]
+    images: np.ndarray
+    formed_at: float
+
+    @property
+    def rows(self) -> int:
+        """Total image rows across all member requests."""
+        return len(self.images)
+
+    def scatter(self, logits: np.ndarray) -> None:
+        """Split ``logits`` back onto each request's future, row-exact."""
+        if len(logits) != self.rows:
+            self.fail(RuntimeError(
+                f"engine returned {len(logits)} rows for a {self.rows}-row batch"
+            ))
+            return
+        offset = 0
+        for request in self.requests:
+            # np.array(...) gives each caller an owned copy, so one
+            # caller mutating its logits cannot corrupt a neighbour's.
+            request.future.set_result(np.array(logits[offset : offset + request.rows]))
+            offset += request.rows
+
+    def fail(self, error: BaseException) -> None:
+        """Complete every member request with ``error``."""
+        for request in self.requests:
+            request.future.set_exception(error)
+
+
+class MicroBatcher:
+    """Form :class:`MicroBatch` units from an :class:`AdmissionQueue`.
+
+    Thread-safe by construction: all state lives in the queue, and each
+    call to :meth:`next_batch` builds an independent batch, so any number
+    of pool workers can call it concurrently.
+    """
+
+    def __init__(
+        self,
+        queue: AdmissionQueue,
+        batch_size: int,
+        max_wait_s: float = 0.002,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        if batch_size < 1:
+            raise ValueError(f"batch_size must be >= 1, got {batch_size}")
+        if max_wait_s < 0:
+            raise ValueError(f"max_wait_s must be >= 0, got {max_wait_s}")
+        self.queue = queue
+        self.batch_size = batch_size
+        self.max_wait_s = max_wait_s
+        self.clock = clock
+
+    def next_batch(self, poll_s: float = 0.25) -> Optional[MicroBatch]:
+        """Block for the next batch; ``None`` once the queue is drained shut.
+
+        Waits (in ``poll_s`` slices, so a closed queue is noticed) for a
+        first request, then coalesces more until the batch is full or the
+        wait budget is spent.
+        """
+        first = None
+        while first is None:
+            first = self.queue.pop(timeout=poll_s)
+            if first is None and self.queue.closed:
+                return None
+        requests = [first]
+        gathered = first.rows
+        wait_until = self.clock() + self.max_wait_s
+        while gathered < self.batch_size:
+            request = self.queue.pop_nowait()
+            if request is None:
+                remaining = wait_until - self.clock()
+                if remaining <= 0 or self.queue.closed:
+                    break
+                # Blocking pop waits on the queue's condition variable —
+                # no sleep-polling, so a coalescing worker costs nothing
+                # until a request actually arrives.
+                request = self.queue.pop(timeout=remaining)
+                if request is None:
+                    break
+            requests.append(request)
+            gathered += request.rows
+        return self._assemble(requests)
+
+    def _assemble(self, requests: List[ServeRequest]) -> MicroBatch:
+        if len(requests) == 1:
+            images = np.asarray(requests[0].images)
+        else:
+            images = np.concatenate([r.images for r in requests], axis=0)
+        return MicroBatch(requests=requests, images=images, formed_at=self.clock())

@@ -1,0 +1,185 @@
+"""Deterministic closed-loop load generator for serving benchmarks.
+
+Drives a :class:`~repro.serve.server.ModelServer` with ``clients``
+threads, each submitting requests back-to-back (closed loop: a client
+never has more than one request in flight, so offered load scales with
+client count and observed latency — the standard way to measure a
+server's throughput/latency trade-off without open-loop coordination
+omission).
+
+Reproducibility: request sizes and image offsets come from
+:func:`repro.snc.seeding.substream` keyed by ``(seed, client, request)``
+— RL001-compliant (no global RNG), and independent of thread scheduling,
+so two runs against the same server offer the *same* request sequence
+per client even though arrival interleaving differs.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+import numpy as np
+
+from repro.snc.seeding import substream
+
+__all__ = ["LoadGenConfig", "LoadReport", "run_load"]
+
+
+@dataclass
+class LoadGenConfig:
+    """Shape of the offered load.
+
+    ``min_rows``/``max_rows`` bound the per-request image count
+    (uniformly drawn from the request's substream); ``deadline_ms``
+    forwards an SLO deadline with every request.
+    """
+
+    clients: int = 4
+    requests_per_client: int = 32
+    min_rows: int = 1
+    max_rows: int = 16
+    deadline_ms: Optional[float] = None
+    seed: int = 0
+    timeout_s: float = 120.0
+
+    def __post_init__(self) -> None:
+        if self.clients < 1:
+            raise ValueError(f"clients must be >= 1, got {self.clients}")
+        if self.requests_per_client < 1:
+            raise ValueError(
+                f"requests_per_client must be >= 1, got {self.requests_per_client}"
+            )
+        if not 1 <= self.min_rows <= self.max_rows:
+            raise ValueError(
+                f"need 1 <= min_rows <= max_rows, got {self.min_rows}..{self.max_rows}"
+            )
+
+
+@dataclass
+class LoadReport:
+    """What one load run measured."""
+
+    clients: int
+    requests_sent: int
+    requests_ok: int
+    requests_rejected: int
+    requests_deadline_expired: int
+    requests_failed: int
+    rows_served: int
+    wall_s: float
+    latencies_s: List[float] = field(default_factory=list)
+
+    @property
+    def throughput_rows_per_s(self) -> float:
+        """Served image rows per wall-clock second."""
+        return self.rows_served / self.wall_s if self.wall_s > 0 else 0.0
+
+    @property
+    def throughput_requests_per_s(self) -> float:
+        """Completed requests per wall-clock second."""
+        return self.requests_ok / self.wall_s if self.wall_s > 0 else 0.0
+
+    def latency_ms(self, percentile: float) -> float:
+        """A latency percentile over successful requests, in ms."""
+        if not self.latencies_s:
+            return float("nan")
+        return float(np.percentile(np.array(self.latencies_s), percentile) * 1e3)
+
+    def to_dict(self) -> dict:
+        """A JSON-ready summary (percentiles, not raw samples)."""
+        return {
+            "clients": self.clients,
+            "requests_sent": self.requests_sent,
+            "requests_ok": self.requests_ok,
+            "requests_rejected": self.requests_rejected,
+            "requests_deadline_expired": self.requests_deadline_expired,
+            "requests_failed": self.requests_failed,
+            "rows_served": self.rows_served,
+            "wall_s": self.wall_s,
+            "throughput_rows_per_s": self.throughput_rows_per_s,
+            "throughput_requests_per_s": self.throughput_requests_per_s,
+            "latency_p50_ms": self.latency_ms(50),
+            "latency_p99_ms": self.latency_ms(99),
+        }
+
+
+def plan_requests(config: LoadGenConfig, image_pool_size: int) -> List[List[tuple]]:
+    """The deterministic request schedule: per client, ``(offset, rows)``.
+
+    Exposed separately so tests (and bit-exactness checks) can replay
+    the exact slices a load run submitted.
+    """
+    schedule: List[List[tuple]] = []
+    for client in range(config.clients):
+        plan: List[tuple] = []
+        for index in range(config.requests_per_client):
+            rng = substream(config.seed, "serve.loadgen", (client, index))
+            rows = int(rng.integers(config.min_rows, config.max_rows + 1))
+            rows = min(rows, image_pool_size)
+            offset = int(rng.integers(0, image_pool_size - rows + 1))
+            plan.append((offset, rows))
+        schedule.append(plan)
+    return schedule
+
+
+def run_load(server, images: np.ndarray, config: LoadGenConfig) -> LoadReport:
+    """Offer the configured closed-loop load to ``server``; measure it.
+
+    ``images`` is the pool request payloads are sliced from.  Rejected
+    submissions (:class:`~repro.serve.queue.ServerOverloaded`) and
+    expired deadlines (:class:`~repro.serve.queue.DeadlineExceeded`) are
+    counted, not raised — shedding load is the behaviour under test.
+    """
+    from repro.serve.queue import DeadlineExceeded, ServerOverloaded
+
+    schedule = plan_requests(config, len(images))
+    report = LoadReport(
+        clients=config.clients,
+        requests_sent=0, requests_ok=0, requests_rejected=0,
+        requests_deadline_expired=0, requests_failed=0,
+        rows_served=0, wall_s=0.0,
+    )
+    lock = threading.Lock()
+
+    def client_loop(client: int) -> None:
+        for offset, rows in schedule[client]:
+            payload = images[offset : offset + rows]
+            start = time.perf_counter()
+            try:
+                with lock:
+                    report.requests_sent += 1
+                logits = server.submit(
+                    payload,
+                    deadline_ms=config.deadline_ms,
+                    timeout=config.timeout_s,
+                )
+                latency = time.perf_counter() - start
+                with lock:
+                    report.requests_ok += 1
+                    report.rows_served += len(logits)
+                    report.latencies_s.append(latency)
+            except ServerOverloaded:
+                with lock:
+                    report.requests_rejected += 1
+            except DeadlineExceeded:
+                with lock:
+                    report.requests_deadline_expired += 1
+            except Exception:
+                with lock:
+                    report.requests_failed += 1
+
+    threads = [
+        threading.Thread(target=client_loop, args=(client,), daemon=True,
+                         name=f"repro-loadgen-{client}")
+        for client in range(config.clients)
+    ]
+    wall_start = time.perf_counter()
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    report.wall_s = time.perf_counter() - wall_start
+    return report

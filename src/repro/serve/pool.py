@@ -1,0 +1,342 @@
+"""Engine replica pool: N worker threads, each owning one compiled engine.
+
+Each :class:`Replica` holds its **own** :class:`~repro.runtime.engine.
+InferenceEngine` — execution plans and buffer pools are per-replica, so
+the hot path shares no mutable state between workers (the deployed
+module's weights are shared, but only read).  The numpy GEMMs that
+dominate plan replay release the GIL, so replicas genuinely overlap on
+multicore hosts.
+
+Two extra behaviours production demands:
+
+- **degraded mode** — every ``probe_every_batches`` dispatches a replica
+  runs its health probe; a tripped probe (or repeated engine failures)
+  flips the replica to the fallback path — typically
+  :meth:`~repro.runtime.guard.GuardedSpikingSystem.infer`, which is
+  itself internally locked, probed, and never worse than the software
+  twin.  A replica with no fallback fails the batch instead.
+- **graceful drain** — :meth:`ReplicaPool.close` with ``drain=True``
+  stops admissions but keeps workers pulling until the queue is empty,
+  so every in-flight and queued request gets an answer before the
+  threads exit.
+
+Tracing is serialized across replicas: ``compile_plan`` attaches forward
+hooks to the (shared) module while tracing, so only one replica may
+trace at a time; steady-state replay never touches the module's hooks.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional
+
+import numpy as np
+
+from repro.serve.batcher import MicroBatch, MicroBatcher
+from repro.serve.queue import ServerClosed
+
+
+@dataclass
+class ReplicaStats:
+    """Operational counters of one replica (scraped into server stats)."""
+
+    batches: int = 0
+    rows: int = 0
+    fallback_batches: int = 0
+    engine_failures: int = 0
+    probes_run: int = 0
+    probes_failed: int = 0
+    degraded: bool = False
+
+
+class Replica:
+    """One worker: a private engine plus the shared fallback path."""
+
+    #: consecutive engine failures before a replica condemns itself.
+    MAX_CONSECUTIVE_FAILURES = 3
+    #: smallest padded run (tiny batches share one buffer-pool shape).
+    MIN_BUCKET = 8
+
+    def __init__(
+        self,
+        index: int,
+        engine,
+        fallback: Optional[Callable[[np.ndarray], np.ndarray]] = None,
+        health_probe: Optional[Callable[[], bool]] = None,
+        probe_every_batches: int = 0,
+        trace_lock: Optional[threading.Lock] = None,
+        batch_rows: int = 128,
+    ) -> None:
+        if batch_rows < 1:
+            raise ValueError(f"batch_rows must be >= 1, got {batch_rows}")
+        self.index = index
+        self.engine = engine
+        self.fallback = fallback
+        self.health_probe = health_probe
+        self.probe_every_batches = probe_every_batches
+        self.batch_rows = batch_rows
+        self.stats = ReplicaStats()
+        self._trace_lock = trace_lock or threading.Lock()
+        self._consecutive_failures = 0
+        self._pad_buffers: dict = {}
+
+    # -- serving ------------------------------------------------------------
+    def serve(self, batch: MicroBatch) -> None:
+        """Run one micro-batch and complete its futures (never raises)."""
+        self.stats.batches += 1
+        self.stats.rows += batch.rows
+        if self._probe_due():
+            self.run_probe()
+        if self.stats.degraded:
+            self._serve_fallback(batch)
+            return
+        try:
+            logits = self._engine_run(batch.images)
+        except Exception as error:
+            self.stats.engine_failures += 1
+            self._consecutive_failures += 1
+            if self._consecutive_failures >= self.MAX_CONSECUTIVE_FAILURES:
+                self.stats.degraded = True
+            if self.fallback is not None:
+                self._serve_fallback(batch)
+            else:
+                batch.fail(error)
+            return
+        self._consecutive_failures = 0
+        batch.scatter(logits)
+
+    def _engine_run(self, images: np.ndarray) -> np.ndarray:
+        """Run ``images`` through the engine in shape-stable chunks.
+
+        The plan's :class:`~repro.runtime.plan.BufferPool` keys its
+        workspaces by shape, so feeding it a different row count every
+        dispatch (coalesced batches naturally vary) would allocate a
+        fresh multi-megabyte buffer set per batch — a ~16x slowdown and
+        unbounded pool growth.  Chunking to ``batch_rows`` and padding
+        the tail up to a power-of-two bucket keeps the set of shapes the
+        engine ever sees small and fixed.  Padding rows are zeros and
+        are sliced off the output; on the integer fast path (and the
+        float64 path's row-independent GEMMs) the kept rows are
+        bit-identical to an unpadded run.
+        """
+        rows = len(images)
+        if rows == self.batch_rows:
+            return self._engine_call(images)
+        outputs = [
+            self._run_chunk(images[start : start + self.batch_rows])
+            for start in range(0, rows, self.batch_rows)
+        ]
+        return outputs[0] if len(outputs) == 1 else np.concatenate(outputs, axis=0)
+
+    def _engine_call(self, array: np.ndarray) -> np.ndarray:
+        if self.engine.plan is None:
+            # Tracing attaches forward hooks to the (shared) module: one
+            # replica at a time.  Engines that stay planless (graph-only
+            # fallback) keep serializing here, which is safe — the graph
+            # executor walks the shared module's hook lists.
+            with self._trace_lock:
+                return self.engine.run(array)
+        return self.engine.run(array)
+
+    def _bucket(self, rows: int) -> int:
+        bucket = self.MIN_BUCKET
+        while bucket < rows:
+            bucket *= 2
+        return min(bucket, self.batch_rows) if rows <= self.batch_rows else rows
+
+    def _run_chunk(self, chunk: np.ndarray) -> np.ndarray:
+        rows = len(chunk)
+        bucket = self._bucket(rows)
+        if bucket == rows:
+            return self.engine.run(chunk)
+        key = (bucket, chunk.shape[1:])
+        buffer = self._pad_buffers.get(key)
+        if buffer is None:
+            # float64 up front: engine.run casts inputs to float64 anyway.
+            buffer = np.zeros((bucket,) + chunk.shape[1:], dtype=np.float64)
+            self._pad_buffers[key] = buffer
+        buffer[:rows] = chunk
+        buffer[rows:] = 0.0
+        return self._engine_call(buffer)[:rows]
+
+    def _serve_fallback(self, batch: MicroBatch) -> None:
+        if self.fallback is None:
+            batch.fail(RuntimeError(
+                f"replica {self.index} is degraded and has no fallback path"
+            ))
+            return
+        self.stats.fallback_batches += 1
+        try:
+            batch.scatter(np.asarray(self.fallback(batch.images)))
+        except Exception as error:
+            batch.fail(error)
+
+    # -- health -------------------------------------------------------------
+    def _probe_due(self) -> bool:
+        if self.probe_every_batches <= 0 or self.health_probe is None:
+            return False
+        if self.stats.degraded:
+            return False
+        return self.stats.batches % self.probe_every_batches == 0
+
+    def run_probe(self) -> bool:
+        """Run the health probe now; trip degraded mode on failure."""
+        if self.health_probe is None:
+            return True
+        self.stats.probes_run += 1
+        try:
+            healthy = bool(self.health_probe())
+        except Exception:
+            healthy = False
+        if not healthy:
+            self.stats.probes_failed += 1
+            self.stats.degraded = True
+        return healthy
+
+    def warmup(self, sample: np.ndarray) -> None:
+        """Trace this replica's plan outside the serving path."""
+        self._engine_run(sample)
+
+
+@dataclass
+class PoolStats:
+    """Aggregate view over every replica (plus per-replica detail)."""
+
+    workers: int = 0
+    batches: int = 0
+    rows: int = 0
+    fallback_batches: int = 0
+    engine_failures: int = 0
+    degraded_replicas: int = 0
+    replicas: List[dict] = field(default_factory=list)
+
+
+def _available_cores() -> int:
+    """Cores this process may schedule on (affinity-aware where possible)."""
+    if hasattr(os, "sched_getaffinity"):
+        return max(len(os.sched_getaffinity(0)), 1)
+    return max(os.cpu_count() or 1, 1)
+
+
+class ReplicaPool:
+    """Drive N replicas from one shared :class:`MicroBatcher`.
+
+    ``compute_slots`` bounds how many replicas *execute* at once
+    (batch formation still overlaps freely).  It defaults to
+    ``min(workers, available cores)``: engine GEMMs release the GIL, so
+    more concurrent runs than cores just timeslice against each other
+    and thrash caches — on an oversubscribed host the semaphore keeps
+    per-run working sets hot instead.
+    """
+
+    def __init__(
+        self,
+        engine_factory: Callable[[], object],
+        batcher: MicroBatcher,
+        workers: int = 4,
+        fallback: Optional[Callable[[np.ndarray], np.ndarray]] = None,
+        health_probe: Optional[Callable[[], bool]] = None,
+        probe_every_batches: int = 0,
+        compute_slots: Optional[int] = None,
+    ) -> None:
+        if workers < 1:
+            raise ValueError(f"workers must be >= 1, got {workers}")
+        if compute_slots is not None and compute_slots < 1:
+            raise ValueError(f"compute_slots must be >= 1, got {compute_slots}")
+        self.batcher = batcher
+        self.compute_slots = compute_slots or min(workers, _available_cores())
+        self._compute = threading.BoundedSemaphore(self.compute_slots)
+        trace_lock = threading.Lock()
+        self.replicas = [
+            Replica(
+                index=i,
+                engine=engine_factory(),
+                fallback=fallback,
+                health_probe=health_probe,
+                probe_every_batches=probe_every_batches,
+                trace_lock=trace_lock,
+                batch_rows=batcher.batch_size,
+            )
+            for i in range(workers)
+        ]
+        self._threads: List[threading.Thread] = []
+        self._started = False
+
+    # -- lifecycle ----------------------------------------------------------
+    def start(self) -> None:
+        """Spawn one daemon worker thread per replica (idempotent)."""
+        if self._started:
+            return
+        self._started = True
+        for replica in self.replicas:
+            thread = threading.Thread(
+                target=self._worker_loop,
+                args=(replica,),
+                name=f"repro-serve-replica-{replica.index}",
+                daemon=True,
+            )
+            self._threads.append(thread)
+            thread.start()
+
+    def warmup(self, sample: np.ndarray) -> None:
+        """Trace every replica's plan before serving traffic."""
+        for replica in self.replicas:
+            replica.warmup(sample)
+
+    def _worker_loop(self, replica: Replica) -> None:
+        while True:
+            # The compute slot is taken *before* pulling: surplus workers
+            # (workers > slots) park on the semaphore fully idle instead
+            # of forming batches that then wait on compute — on an
+            # oversubscribed host that churn steals the GIL from the
+            # replica actually running.
+            with self._compute:
+                batch = self.batcher.next_batch()
+                if batch is None:  # queue closed and drained
+                    return
+                replica.serve(batch)
+
+    def close(self, drain: bool = True, timeout: float = 30.0) -> None:
+        """Stop the pool; with ``drain`` the queue is flushed first."""
+        queue = self.batcher.queue
+        if not drain:
+            # Fail whatever is still queued, then shut the door.
+            while True:
+                request = queue.pop_nowait()
+                if request is None:
+                    break
+                request.future.set_exception(
+                    ServerClosed("server closed without draining")
+                )
+        queue.close()
+        for thread in self._threads:
+            thread.join(timeout)
+        self._threads = []
+        self._started = False
+
+    # -- observability ------------------------------------------------------
+    def stats(self) -> PoolStats:
+        """Aggregate counters across replicas (point-in-time snapshot)."""
+        aggregate = PoolStats(workers=len(self.replicas))
+        for replica in self.replicas:
+            stats = replica.stats
+            aggregate.batches += stats.batches
+            aggregate.rows += stats.rows
+            aggregate.fallback_batches += stats.fallback_batches
+            aggregate.engine_failures += stats.engine_failures
+            aggregate.degraded_replicas += int(stats.degraded)
+            detail = {
+                "index": replica.index,
+                "batches": stats.batches,
+                "rows": stats.rows,
+                "fallback_batches": stats.fallback_batches,
+                "engine_failures": stats.engine_failures,
+                "probes_run": stats.probes_run,
+                "probes_failed": stats.probes_failed,
+                "degraded": stats.degraded,
+                "backend": getattr(replica.engine, "active_backend", "unknown"),
+            }
+            aggregate.replicas.append(detail)
+        return aggregate

@@ -1,0 +1,257 @@
+"""The :class:`ModelServer` facade: submit → batch → replicate → answer.
+
+Composes the serving layer end to end::
+
+    callers ──submit──▶ AdmissionQueue ──▶ MicroBatcher ──▶ ReplicaPool
+                 │  (bounded, deadlines)   (coalesce to      │ (N engines)
+                 │                          batch/max-wait)  ├─▶ InferenceEngine
+                 ◀──────────── ServeFuture ◀─ scatter ───────┴─▶ guard fallback
+
+A server is built from an *engine factory* so each replica owns its own
+compiled plan and buffer pool; the usual entry points are
+:func:`repro.core.deployment.make_model_server` (software deployments)
+and :meth:`repro.snc.system.SpikingSystem.serve` (hardware twins with a
+guarded fallback).
+
+SLO-aware admission: every request can carry a latency deadline
+(``deadline_ms``, defaulting to ``ServeConfig.default_deadline_ms``).
+The queue bound rejects load the server cannot absorb
+(:class:`~repro.serve.queue.ServerOverloaded`); deadlines shed load it
+absorbed but cannot serve in time
+(:class:`~repro.serve.queue.DeadlineExceeded`).  Together they keep tail
+latency bounded instead of letting the queue build unbounded delay.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Sequence
+
+import numpy as np
+
+from repro.serve.batcher import MicroBatcher
+from repro.serve.pool import ReplicaPool
+from repro.serve.queue import AdmissionQueue, ServeFuture
+
+__all__ = ["ServeConfig", "ModelServer", "LatencyWindow"]
+
+
+@dataclass
+class ServeConfig:
+    """Serving-layer policy knobs.
+
+    Attributes
+    ----------
+    workers:
+        Replica count (one engine + one thread each).
+    batch_size:
+        Target micro-batch rows; dispatch happens at this size or at
+        ``max_wait_ms``, whichever first.
+    max_wait_ms:
+        Batch-formation wait budget.  ``0`` disables coalescing delay
+        (lowest latency, smallest batches); a few ms trades p50 latency
+        for throughput under load.
+    max_queue_rows:
+        Admission bound (image rows).  Submissions beyond it are
+        rejected with :class:`~repro.serve.queue.ServerOverloaded`.
+    default_deadline_ms:
+        Deadline applied to requests that do not carry their own;
+        ``None`` means queued requests never expire.
+    probe_every_batches:
+        Per-replica health-probe cadence (``0`` = never probe).
+    compute_slots:
+        Max replicas *executing* simultaneously; ``None`` defaults to
+        ``min(workers, available cores)`` so oversubscribed hosts do
+        not timeslice engine runs against each other.
+    latency_window:
+        How many recent request latencies the server retains for
+        percentile stats (bounded ring buffer).
+    """
+
+    workers: int = 4
+    batch_size: int = 128
+    max_wait_ms: float = 2.0
+    max_queue_rows: int = 4096
+    default_deadline_ms: Optional[float] = None
+    probe_every_batches: int = 0
+    compute_slots: Optional[int] = None
+    latency_window: int = 4096
+
+    def __post_init__(self) -> None:
+        if self.workers < 1:
+            raise ValueError(f"workers must be >= 1, got {self.workers}")
+        if self.batch_size < 1:
+            raise ValueError(f"batch_size must be >= 1, got {self.batch_size}")
+        if self.max_wait_ms < 0:
+            raise ValueError(f"max_wait_ms must be >= 0, got {self.max_wait_ms}")
+        if self.max_queue_rows < 1:
+            raise ValueError(f"max_queue_rows must be >= 1, got {self.max_queue_rows}")
+        if self.default_deadline_ms is not None and self.default_deadline_ms <= 0:
+            raise ValueError(
+                f"default_deadline_ms must be positive, got {self.default_deadline_ms}"
+            )
+        if self.compute_slots is not None and self.compute_slots < 1:
+            raise ValueError(f"compute_slots must be >= 1, got {self.compute_slots}")
+        if self.latency_window < 1:
+            raise ValueError(f"latency_window must be >= 1, got {self.latency_window}")
+
+
+class LatencyWindow:
+    """A fixed-size ring of recent latencies (seconds) with percentiles."""
+
+    def __init__(self, size: int) -> None:
+        self._values = np.zeros(size, dtype=np.float64)
+        self._count = 0
+        self._lock = threading.Lock()
+
+    def record(self, latency_s: float) -> None:
+        """Append one latency sample, evicting the oldest beyond the window."""
+        with self._lock:
+            self._values[self._count % len(self._values)] = latency_s
+            self._count += 1
+
+    def snapshot(self) -> np.ndarray:
+        """The retained samples (oldest-beyond-window already evicted)."""
+        with self._lock:
+            filled = min(self._count, len(self._values))
+            return np.array(self._values[:filled])
+
+    def percentiles(self, qs: Sequence[float] = (50, 99)) -> dict:
+        """``{"p50_ms": ..., "p99_ms": ...}`` over the window (empty → {})."""
+        values = self.snapshot()
+        if values.size == 0:
+            return {}
+        return {
+            f"p{int(q)}_ms": float(np.percentile(values, q) * 1e3) for q in qs
+        }
+
+
+class ModelServer:
+    """Serve concurrent inference requests through batched engine replicas."""
+
+    def __init__(
+        self,
+        engine_factory: Callable[[], object],
+        config: Optional[ServeConfig] = None,
+        fallback: Optional[Callable[[np.ndarray], np.ndarray]] = None,
+        health_probe: Optional[Callable[[], bool]] = None,
+        warmup_images: Optional[np.ndarray] = None,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        self.config = config or ServeConfig()
+        self.queue = AdmissionQueue(max_rows=self.config.max_queue_rows, clock=clock)
+        self.batcher = MicroBatcher(
+            self.queue,
+            batch_size=self.config.batch_size,
+            max_wait_s=self.config.max_wait_ms / 1e3,
+            clock=clock,
+        )
+        self.pool = ReplicaPool(
+            engine_factory,
+            self.batcher,
+            workers=self.config.workers,
+            fallback=fallback,
+            health_probe=health_probe,
+            probe_every_batches=self.config.probe_every_batches,
+            compute_slots=self.config.compute_slots,
+        )
+        self.latencies = LatencyWindow(self.config.latency_window)
+        self.clock = clock
+        self._completed = 0
+        self._rejected = 0
+        self._stats_lock = threading.Lock()
+        if warmup_images is not None:
+            self.pool.warmup(warmup_images)
+        self.pool.start()
+
+    # -- request path -------------------------------------------------------
+    def submit_async(
+        self,
+        images: np.ndarray,
+        deadline_ms: Optional[float] = None,
+    ) -> ServeFuture:
+        """Admit one request; returns its future immediately.
+
+        Raises :class:`~repro.serve.queue.ServerOverloaded` (queue full)
+        or :class:`~repro.serve.queue.ServerClosed` synchronously — the
+        backpressure signal must reach the caller, not the future.
+        """
+        if deadline_ms is None:
+            deadline_ms = self.config.default_deadline_ms
+        try:
+            request = self.queue.submit(
+                images,
+                deadline_s=None if deadline_ms is None else deadline_ms / 1e3,
+            )
+        except Exception:
+            with self._stats_lock:
+                self._rejected += 1
+            raise
+        start = request.enqueued_at
+
+        def record_latency(_future: ServeFuture) -> None:
+            self.latencies.record(self.clock() - start)
+            with self._stats_lock:
+                self._completed += 1
+
+        request.future.add_done_callback(record_latency)
+        return request.future
+
+    def submit(
+        self,
+        images: np.ndarray,
+        deadline_ms: Optional[float] = None,
+        timeout: Optional[float] = 60.0,
+    ) -> np.ndarray:
+        """Admit one request and block for its logits."""
+        return self.submit_async(images, deadline_ms=deadline_ms).result(timeout)
+
+    def submit_many(
+        self,
+        batches: Sequence[np.ndarray],
+        deadline_ms: Optional[float] = None,
+        timeout: Optional[float] = 60.0,
+    ) -> List[np.ndarray]:
+        """Admit several requests at once, then wait for all of them.
+
+        Submitting before waiting lets the batcher coalesce the whole
+        group into engine-sized runs.
+        """
+        futures = [self.submit_async(b, deadline_ms=deadline_ms) for b in batches]
+        return [future.result(timeout) for future in futures]
+
+    # -- lifecycle ----------------------------------------------------------
+    def close(self, drain: bool = True) -> None:
+        """Shut down; with ``drain`` every queued request is answered first."""
+        self.pool.close(drain=drain)
+
+    def __enter__(self) -> "ModelServer":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # -- observability ------------------------------------------------------
+    def stats(self) -> dict:
+        """One nested dict of queue depth, pool counters, and latency."""
+        pool = self.pool.stats()
+        with self._stats_lock:
+            completed, rejected = self._completed, self._rejected
+        stats = {
+            "completed_requests": completed,
+            "rejected_requests": rejected,
+            "queue": self.queue.depth(),
+            "workers": pool.workers,
+            "compute_slots": self.pool.compute_slots,
+            "batches": pool.batches,
+            "rows": pool.rows,
+            "mean_batch_rows": pool.rows / pool.batches if pool.batches else 0.0,
+            "fallback_batches": pool.fallback_batches,
+            "engine_failures": pool.engine_failures,
+            "degraded_replicas": pool.degraded_replicas,
+            "replicas": pool.replicas,
+        }
+        stats.update(self.latencies.percentiles())
+        return stats

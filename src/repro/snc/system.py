@@ -158,6 +158,39 @@ class SpikingSystem:
 
         return GuardedSpikingSystem(self, config)
 
+    def serve(self, serve_config=None, guard_config=None,
+              warmup_images: Optional[np.ndarray] = None):
+        """A :class:`~repro.serve.server.ModelServer` over this system —
+        concurrent traffic, micro-batched onto per-replica engines.
+
+        Replica engines compile the hardware network in float64 (same
+        policy as :meth:`engine`, so served logits match direct
+        inference bit for bit); the degraded path routes through a
+        :class:`~repro.runtime.guard.GuardedSpikingSystem`, whose health
+        probe doubles as each replica's probe.  See ``docs/serving.md``.
+        """
+        # Lazy imports: repro.serve and repro.runtime sit above this module.
+        from repro.runtime.engine import EngineConfig, InferenceEngine
+        from repro.runtime.guard import GuardedSpikingSystem
+        from repro.serve import ModelServer
+
+        guard = GuardedSpikingSystem(self, guard_config)
+
+        def probe() -> bool:
+            report = guard.check_health()
+            fraction = report.deviating_pairs / max(report.total_pairs, 1)
+            return fraction <= guard.config.max_deviating_fraction
+
+        return ModelServer(
+            engine_factory=lambda: InferenceEngine(
+                self.network, EngineConfig(dtype=np.float64)
+            ),
+            config=serve_config,
+            fallback=guard.infer,
+            health_probe=probe,
+            warmup_images=warmup_images,
+        )
+
     def verify_equivalence(self, images: np.ndarray, atol: float = 1e-6) -> bool:
         """Check hardware logits equal the quantized software model's.
 

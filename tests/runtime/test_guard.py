@@ -194,3 +194,67 @@ class TestConfigValidation:
         system = fresh_system(images)
         guard = system.guarded()
         assert isinstance(guard, GuardedSpikingSystem)
+
+
+class TestConcurrentCallers:
+    """Regression: guard counters and probe scheduling are lock-protected.
+
+    Before the serving layer, GuardedSpikingSystem was only ever called
+    from one thread; repro.serve routes degraded replicas through a
+    shared guard, so concurrent infer() must neither lose counter
+    increments nor double-probe.
+    """
+
+    def test_counters_exact_under_concurrent_infer(self, images):
+        import threading
+
+        system = fresh_system(images)
+        guard = GuardedSpikingSystem(system, GuardConfig(probe_every=0))
+        per_thread, threads_n = 8, 4
+        errors = []
+
+        def caller(index):
+            try:
+                for i in range(per_thread):
+                    batch = images[(index + i) % 16 : (index + i) % 16 + 2]
+                    logits = guard.infer(batch)
+                    assert logits.shape[0] == 2
+            except Exception as error:  # pragma: no cover - failure path
+                errors.append(error)
+
+        threads = [
+            threading.Thread(target=caller, args=(i,)) for i in range(threads_n)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(60.0)
+        assert errors == []
+        total = per_thread * threads_n
+        assert guard.counters.requests_total == total
+        assert (
+            guard.counters.requests_analog + guard.counters.requests_software
+            == total
+        )
+
+    def test_probe_cadence_exact_under_concurrent_infer(self, images):
+        import threading
+
+        system = fresh_system(images)
+        guard = GuardedSpikingSystem(system, GuardConfig(probe_every=2))
+        barrier = threading.Barrier(4)
+
+        def caller():
+            barrier.wait(10.0)
+            for i in range(4):
+                guard.infer(images[i : i + 1])
+
+        threads = [threading.Thread(target=caller) for _ in range(4)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(60.0)
+        # 16 requests at probe_every=2 → exactly one probe per 2 requests
+        # (requests 1, 3, 5, ... trigger), never a lost or doubled probe.
+        assert guard.counters.requests_total == 16
+        assert guard.counters.probes_run == 8

@@ -1,0 +1,118 @@
+"""Tests of the deterministic closed-loop load generator (repro.serve.loadgen)."""
+
+import numpy as np
+import pytest
+
+from repro.serve import LoadGenConfig, ModelServer, ServeConfig, run_load
+from repro.serve.loadgen import plan_requests
+from repro.serve.queue import DeadlineExceeded, ServerOverloaded
+
+
+class TestPlanRequests:
+    def test_schedule_is_deterministic(self):
+        config = LoadGenConfig(clients=3, requests_per_client=5, seed=42)
+        assert plan_requests(config, 64) == plan_requests(config, 64)
+
+    def test_schedule_depends_on_seed(self):
+        base = LoadGenConfig(clients=2, requests_per_client=8, seed=0)
+        other = LoadGenConfig(clients=2, requests_per_client=8, seed=1)
+        assert plan_requests(base, 64) != plan_requests(other, 64)
+
+    def test_slices_stay_inside_the_pool(self):
+        config = LoadGenConfig(
+            clients=4, requests_per_client=16, min_rows=1, max_rows=32, seed=3
+        )
+        pool = 40
+        for plan in plan_requests(config, pool):
+            for offset, rows in plan:
+                assert 1 <= rows <= 32
+                assert 0 <= offset and offset + rows <= pool
+
+    def test_rows_clamped_to_small_pools(self):
+        config = LoadGenConfig(
+            clients=1, requests_per_client=8, min_rows=4, max_rows=16, seed=0
+        )
+        for offset, rows in plan_requests(config, 5)[0]:
+            assert rows <= 5
+
+    def test_config_validated(self):
+        with pytest.raises(ValueError):
+            LoadGenConfig(clients=0)
+        with pytest.raises(ValueError):
+            LoadGenConfig(min_rows=8, max_rows=4)
+        with pytest.raises(ValueError):
+            LoadGenConfig(requests_per_client=0)
+
+
+class FakeServer:
+    """Counts submissions; scriptable to shed load."""
+
+    def __init__(self, reject_every=0, expire_every=0):
+        self.reject_every = reject_every
+        self.expire_every = expire_every
+        self.calls = 0
+
+    def submit(self, images, deadline_ms=None, timeout=None):
+        self.calls += 1
+        if self.reject_every and self.calls % self.reject_every == 0:
+            raise ServerOverloaded("shed")
+        if self.expire_every and self.calls % self.expire_every == 0:
+            raise DeadlineExceeded("late")
+        return np.zeros((len(images), 10))
+
+
+class TestRunLoad:
+    def test_counts_and_rows_add_up(self):
+        images = np.zeros((32, 2, 4, 4))
+        config = LoadGenConfig(clients=2, requests_per_client=6, max_rows=8, seed=0)
+        report = run_load(FakeServer(), images, config)
+        assert report.requests_sent == 12
+        assert report.requests_ok == 12
+        assert report.requests_rejected == 0
+        expected_rows = sum(
+            rows for plan in plan_requests(config, 32) for _, rows in plan
+        )
+        assert report.rows_served == expected_rows
+        assert len(report.latencies_s) == 12
+        assert report.throughput_rows_per_s > 0
+
+    def test_shed_load_is_counted_not_raised(self):
+        images = np.zeros((32, 2, 4, 4))
+        config = LoadGenConfig(clients=1, requests_per_client=9, seed=0)
+        report = run_load(FakeServer(reject_every=3), images, config)
+        assert report.requests_rejected == 3
+        assert report.requests_ok == 6
+        assert report.requests_failed == 0
+
+    def test_expired_deadlines_counted_separately(self):
+        images = np.zeros((32, 2, 4, 4))
+        config = LoadGenConfig(clients=1, requests_per_client=4, seed=0)
+        report = run_load(FakeServer(expire_every=2), images, config)
+        assert report.requests_deadline_expired == 2
+        assert report.requests_ok == 2
+
+    def test_report_dict_has_headline_metrics(self):
+        images = np.zeros((16, 2, 4, 4))
+        config = LoadGenConfig(clients=1, requests_per_client=2, seed=0)
+        payload = run_load(FakeServer(), images, config).to_dict()
+        for key in ("throughput_rows_per_s", "latency_p50_ms", "latency_p99_ms",
+                    "requests_ok", "rows_served", "wall_s"):
+            assert key in payload
+
+    def test_against_a_real_server(self):
+        class Engine:
+            plan = object()
+            active_backend = "fake"
+
+            def run(self, images):
+                flat = np.asarray(images).reshape(len(images), -1)
+                return np.stack([flat[:, 0], flat[:, 0] + 1.0], axis=1)
+
+        images = np.arange(64, dtype=np.float64).reshape(16, 1, 2, 2)
+        config = LoadGenConfig(clients=3, requests_per_client=4, max_rows=6, seed=1)
+        with ModelServer(
+            Engine, config=ServeConfig(workers=2, batch_size=8, max_wait_ms=1.0)
+        ) as server:
+            report = run_load(server, images, config)
+        assert report.requests_failed == 0
+        assert report.requests_ok == 12

@@ -1,0 +1,250 @@
+"""Tests of replica behaviour and pool lifecycle (repro.serve.pool)."""
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro.serve.batcher import MicroBatcher
+from repro.serve.pool import Replica, ReplicaPool
+from repro.serve.queue import AdmissionQueue, ServerClosed
+
+
+def logits_of(images):
+    flat = np.asarray(images).reshape(len(images), -1)
+    return np.stack([flat[:, 0] * 2.0 + 1.0, flat[:, 0] - 3.0], axis=1)
+
+
+class FakeEngine:
+    """Engine stand-in: deterministic per-row logits, scriptable failures."""
+
+    def __init__(self, fail_times=0):
+        self.plan = object()  # pretend already traced
+        self.active_backend = "fake"
+        self.calls = []
+        self.fail_times = fail_times
+
+    def run(self, images):
+        self.calls.append(np.asarray(images).shape)
+        if self.fail_times > 0:
+            self.fail_times -= 1
+            raise RuntimeError("engine exploded")
+        return logits_of(images)
+
+
+def make_batch(queue_rows=4096, sizes=(3,), batch_size=None, tag0=1):
+    queue = AdmissionQueue(max_rows=queue_rows)
+    requests = [
+        queue.submit(np.full((rows, 4), float(tag0 + i)))
+        for i, rows in enumerate(sizes)
+    ]
+    batcher = MicroBatcher(
+        queue, batch_size=batch_size or sum(sizes), max_wait_s=60.0
+    )
+    return batcher.next_batch(), requests
+
+
+class TestReplicaServing:
+    def test_serves_bit_exact_per_request(self):
+        batch, requests = make_batch(sizes=(2, 3))
+        replica = Replica(index=0, engine=FakeEngine(), batch_rows=8)
+        replica.serve(batch)
+        for request in requests:
+            np.testing.assert_array_equal(
+                request.future.result(0), logits_of(request.images)
+            )
+        assert replica.stats.batches == 1
+        assert replica.stats.rows == 5
+
+    def test_shapes_seen_by_engine_are_bucketed(self):
+        """The engine only ever sees pow2 buckets (≥8) or batch_rows — the
+        property that keeps its shape-keyed buffer pool bounded."""
+        engine = FakeEngine()
+        replica = Replica(index=0, engine=engine, batch_rows=16)
+        for rows in (1, 5, 8, 11, 16, 23, 37):
+            batch, _ = make_batch(sizes=(rows,))
+            replica.serve(batch)
+        assert {shape[0] for shape in engine.calls} <= {8, 16}
+
+    def test_padded_rows_sliced_off(self):
+        batch, requests = make_batch(sizes=(3,))  # pads 3 → bucket 8
+        replica = Replica(index=0, engine=FakeEngine(), batch_rows=16)
+        replica.serve(batch)
+        result = requests[0].future.result(0)
+        assert result.shape == (3, 2)
+        np.testing.assert_array_equal(result, logits_of(requests[0].images))
+
+    def test_bucket_bounds(self):
+        replica = Replica(index=0, engine=FakeEngine(), batch_rows=128)
+        assert replica._bucket(1) == 8
+        assert replica._bucket(8) == 8
+        assert replica._bucket(9) == 16
+        assert replica._bucket(100) == 128  # clamped to batch_rows
+        assert replica._bucket(130) == 130  # oversize passes through
+
+    def test_batch_rows_validated(self):
+        with pytest.raises(ValueError):
+            Replica(index=0, engine=FakeEngine(), batch_rows=0)
+
+
+class TestReplicaFailures:
+    def test_engine_failure_falls_back(self):
+        batch, requests = make_batch(sizes=(2,))
+        replica = Replica(
+            index=0, engine=FakeEngine(fail_times=1), fallback=logits_of
+        )
+        replica.serve(batch)
+        np.testing.assert_array_equal(
+            requests[0].future.result(0), logits_of(requests[0].images)
+        )
+        assert replica.stats.engine_failures == 1
+        assert replica.stats.fallback_batches == 1
+        assert not replica.stats.degraded  # one failure is not condemnation
+
+    def test_engine_failure_without_fallback_fails_batch(self):
+        batch, requests = make_batch(sizes=(2,))
+        replica = Replica(index=0, engine=FakeEngine(fail_times=1))
+        replica.serve(batch)
+        with pytest.raises(RuntimeError, match="engine exploded"):
+            requests[0].future.result(0)
+
+    def test_repeated_failures_trip_degraded_mode(self):
+        engine = FakeEngine(fail_times=Replica.MAX_CONSECUTIVE_FAILURES)
+        replica = Replica(index=0, engine=engine, fallback=logits_of)
+        for _ in range(Replica.MAX_CONSECUTIVE_FAILURES):
+            batch, _ = make_batch(sizes=(1,))
+            replica.serve(batch)
+        assert replica.stats.degraded
+        # Degraded replicas stop touching the engine entirely.
+        calls_before = len(engine.calls)
+        batch, requests = make_batch(sizes=(1,))
+        replica.serve(batch)
+        assert len(engine.calls) == calls_before
+        assert requests[0].future.done()
+
+    def test_success_resets_consecutive_failures(self):
+        engine = FakeEngine(fail_times=1)
+        replica = Replica(index=0, engine=engine, fallback=logits_of)
+        for _ in range(4):  # fail, ok, ok, ok — never trips
+            batch, _ = make_batch(sizes=(1,))
+            replica.serve(batch)
+        assert not replica.stats.degraded
+
+    def test_failed_probe_trips_degraded(self):
+        replica = Replica(
+            index=0,
+            engine=FakeEngine(),
+            fallback=logits_of,
+            health_probe=lambda: False,
+            probe_every_batches=1,
+        )
+        batch, requests = make_batch(sizes=(1,))
+        replica.serve(batch)
+        assert replica.stats.degraded
+        assert replica.stats.probes_failed == 1
+        assert replica.stats.fallback_batches == 1
+        assert requests[0].future.done()
+
+    def test_probe_exception_counts_as_failure(self):
+        def bad_probe():
+            raise RuntimeError("probe crashed")
+
+        replica = Replica(index=0, engine=FakeEngine(), health_probe=bad_probe)
+        assert replica.run_probe() is False
+        assert replica.stats.degraded
+
+
+class TestPoolLifecycle:
+    def _pool(self, workers=2, **kwargs):
+        queue = AdmissionQueue(max_rows=4096)
+        batcher = MicroBatcher(queue, batch_size=8, max_wait_s=0.001)
+        pool = ReplicaPool(FakeEngine, batcher, workers=workers, **kwargs)
+        return queue, pool
+
+    def test_drain_close_answers_queued_requests(self):
+        queue, pool = self._pool()
+        requests = [queue.submit(np.full((2, 4), float(i))) for i in range(6)]
+        pool.start()
+        pool.close(drain=True)
+        for request in requests:
+            np.testing.assert_array_equal(
+                request.future.result(5.0), logits_of(request.images)
+            )
+
+    def test_non_drain_close_fails_queued_with_server_closed(self):
+        queue, pool = self._pool()
+        # Workers never started: everything submitted stays queued.
+        requests = [queue.submit(np.full((2, 4), 1.0)) for _ in range(3)]
+        pool.close(drain=False)
+        for request in requests:
+            with pytest.raises(ServerClosed):
+                request.future.result(0)
+
+    def test_close_is_idempotent_and_start_after_close_is_safe(self):
+        _, pool = self._pool()
+        pool.start()
+        pool.close()
+        pool.close()
+
+    def test_compute_slots_never_exceed_workers(self):
+        _, pool = self._pool(workers=2)
+        assert 1 <= pool.compute_slots <= 2
+
+    def test_explicit_compute_slots_validated(self):
+        with pytest.raises(ValueError):
+            self._pool(workers=2, compute_slots=0)
+
+    def test_workers_validated(self):
+        with pytest.raises(ValueError):
+            self._pool(workers=0)
+
+    def test_stats_aggregate_across_replicas(self):
+        queue, pool = self._pool(workers=2)
+        pool.start()
+        requests = [queue.submit(np.full((4, 4), float(i))) for i in range(4)]
+        for request in requests:
+            request.future.result(5.0)
+        pool.close()
+        stats = pool.stats()
+        assert stats.workers == 2
+        assert stats.rows == 16
+        assert stats.degraded_replicas == 0
+        assert len(stats.replicas) == 2
+        assert {r["backend"] for r in stats.replicas} == {"fake"}
+
+
+class TestTraceSerialization:
+    def test_planless_engines_trace_one_at_a_time(self):
+        """While engine.plan is None, runs hold the shared trace lock."""
+
+        class PlanlessEngine(FakeEngine):
+            concurrent = 0
+            max_concurrent = 0
+            gate = threading.Lock()
+
+            def __init__(self):
+                super().__init__()
+                self.plan = None
+
+            def run(self, images):
+                cls = PlanlessEngine
+                with cls.gate:
+                    cls.concurrent += 1
+                    cls.max_concurrent = max(cls.max_concurrent, cls.concurrent)
+                try:
+                    return logits_of(images)
+                finally:
+                    with cls.gate:
+                        cls.concurrent -= 1
+
+        queue = AdmissionQueue(max_rows=4096)
+        batcher = MicroBatcher(queue, batch_size=4, max_wait_s=0.0)
+        pool = ReplicaPool(
+            PlanlessEngine, batcher, workers=4, compute_slots=4
+        )
+        pool.start()
+        requests = [queue.submit(np.full((4, 4), float(i))) for i in range(12)]
+        for request in requests:
+            request.future.result(10.0)
+        pool.close()
+        assert PlanlessEngine.max_concurrent == 1

@@ -181,3 +181,109 @@ class TestRuleTable:
         doc = _TOOL.read_text()
         for rule in lint_repro.RULES:
             assert rule in doc
+
+
+class TestBoundedQueueRule:
+    def test_unbounded_stdlib_queue_is_rl004(self, tmp_path):
+        f = _write(tmp_path / "repro" / "serve" / "mod.py", """
+            import queue
+            q = queue.Queue()
+        """)
+        findings = lint_repro.lint_paths([f])
+        assert _rules(findings) == ["RL004"]
+        assert "maxsize" in findings[0].message
+
+    def test_zero_maxsize_still_flagged(self, tmp_path):
+        f = _write(tmp_path / "repro" / "serve" / "mod.py", """
+            import queue
+            q = queue.Queue(maxsize=0)
+        """)
+        assert _rules(lint_repro.lint_paths([f])) == ["RL004"]
+
+    def test_bounded_queue_is_clean(self, tmp_path):
+        f = _write(tmp_path / "repro" / "serve" / "mod.py", """
+            import queue
+            q = queue.Queue(maxsize=64)
+            p = queue.PriorityQueue(128)
+        """)
+        assert lint_repro.lint_paths([f]) == []
+
+    def test_simple_queue_always_flagged(self, tmp_path):
+        f = _write(tmp_path / "repro" / "serve" / "mod.py", """
+            import queue
+            q = queue.SimpleQueue()
+        """)
+        assert _rules(lint_repro.lint_paths([f])) == ["RL004"]
+
+    def test_deque_without_maxlen_is_rl004(self, tmp_path):
+        f = _write(tmp_path / "repro" / "serve" / "mod.py", """
+            from collections import deque
+            buffer = deque()
+        """)
+        assert _rules(lint_repro.lint_paths([f])) == ["RL004"]
+
+    def test_deque_with_maxlen_is_clean(self, tmp_path):
+        f = _write(tmp_path / "repro" / "serve" / "mod.py", """
+            from collections import deque
+            buffer = deque(maxlen=100)
+        """)
+        assert lint_repro.lint_paths([f]) == []
+
+    def test_self_append_without_bound_is_rl004(self, tmp_path):
+        f = _write(tmp_path / "repro" / "serve" / "mod.py", """
+            class Collector:
+                def __init__(self):
+                    self.items = []
+
+                def push(self, item):
+                    self.items.append(item)
+        """)
+        findings = lint_repro.lint_paths([f])
+        assert _rules(findings) == ["RL004"]
+        assert "Collector" in findings[0].message
+
+    def test_self_append_with_declared_bound_is_clean(self, tmp_path):
+        f = _write(tmp_path / "repro" / "serve" / "mod.py", """
+            class Bounded:
+                def __init__(self, max_items):
+                    self.max_items = max_items
+                    self.items = []
+
+                def push(self, item):
+                    if len(self.items) >= self.max_items:
+                        raise OverflowError("full")
+                    self.items.append(item)
+        """)
+        assert lint_repro.lint_paths([f]) == []
+
+    def test_local_list_append_is_clean(self, tmp_path):
+        f = _write(tmp_path / "repro" / "serve" / "mod.py", """
+            class Stateless:
+                def collect(self, xs):
+                    out = []
+                    for x in xs:
+                        out.append(x)
+                    return out
+        """)
+        assert lint_repro.lint_paths([f]) == []
+
+    def test_rule_only_applies_inside_serve(self, tmp_path):
+        f = _write(tmp_path / "repro" / "runtime" / "mod.py", """
+            import queue
+            q = queue.Queue()
+        """)
+        assert lint_repro.lint_paths([f]) == []
+
+    def test_suppression_comment_works(self, tmp_path):
+        f = _write(tmp_path / "repro" / "serve" / "mod.py", """
+            import queue
+            q = queue.Queue()  # lint: ignore[RL004]
+        """)
+        assert lint_repro.lint_paths([f]) == []
+
+    def test_actual_serve_package_is_clean(self):
+        serve_dir = Path(_TOOL).parents[1] / "src" / "repro" / "serve"
+        findings = [
+            f for f in lint_repro.lint_paths([serve_dir]) if f.rule == "RL004"
+        ]
+        assert findings == []

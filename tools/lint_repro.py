@@ -16,6 +16,15 @@ Rules
 ``RL003`` — public module-level functions in modules re-exported by a
     ``src/repro/**/__init__.py`` must carry docstrings: they are the
     package API.
+``RL004`` — no unbounded queues or buffers inside ``repro/serve/``.
+    The serving layer's contract is explicit backpressure: admission
+    rejects with ``ServerOverloaded`` instead of queueing without limit.
+    Flags ``queue.Queue``/``LifoQueue``/``PriorityQueue`` constructed
+    without a positive ``maxsize``, ``queue.SimpleQueue`` (never
+    boundable), ``collections.deque`` without ``maxlen``, and
+    ``self.<attr>.append(...)`` in classes that declare no bound
+    (heuristic: no identifier matching ``max``/``bound`` anywhere in the
+    class body).
 
 Suppress a finding by appending ``# lint: ignore[RL002]`` to the
 offending line.
@@ -59,7 +68,13 @@ RULES = {
     "RL001": "np.random global-state call outside snc/seeding.py",
     "RL002": "array allocation inside an ExecutionPlan kernel replay body",
     "RL003": "public function in an __init__-exported module lacks a docstring",
+    "RL004": "unbounded queue or buffer inside the serving layer (repro/serve/)",
 }
+
+#: stdlib queue classes that accept (and default to an unbounded) maxsize.
+BOUNDABLE_QUEUES = frozenset({"Queue", "LifoQueue", "PriorityQueue"})
+
+_BOUND_NAME_RE = re.compile(r"max|bound", re.IGNORECASE)
 
 _IGNORE_RE = re.compile(r"#\s*lint:\s*ignore\[([A-Z0-9,\s]+)\]")
 
@@ -215,6 +230,93 @@ def check_docstrings(path: Path, tree: ast.Module,
             )
 
 
+def _has_positive_maxsize(node: ast.Call) -> bool:
+    """Whether a queue constructor passes a usable bound.
+
+    A literal ``0`` (stdlib spelling of "unbounded") or negative constant
+    does not count; any other expression is assumed to be a real bound.
+    """
+    candidates = list(node.args[:1])
+    candidates.extend(kw.value for kw in node.keywords if kw.arg == "maxsize")
+    for value in candidates:
+        if isinstance(value, ast.Constant):
+            if isinstance(value.value, (int, float)) and value.value > 0:
+                return True
+        else:
+            return True
+    return False
+
+
+def _class_declares_bound(cls: ast.ClassDef) -> bool:
+    """Heuristic: any identifier in the class body mentions max/bound."""
+    for node in ast.walk(cls):
+        name = None
+        if isinstance(node, ast.Name):
+            name = node.id
+        elif isinstance(node, ast.Attribute):
+            name = node.attr
+        elif isinstance(node, ast.arg):
+            name = node.arg
+        if name is not None and _BOUND_NAME_RE.search(name):
+            return True
+    return False
+
+
+def check_bounded_queues(path: Path, tree: ast.Module) -> Iterator[Finding]:
+    """RL004: unbounded queues/buffers inside src/repro/serve/."""
+    if "repro/serve/" not in path.as_posix():
+        return
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.Call):
+            continue
+        chain = _attr_chain(node.func)
+        if chain is None:
+            continue
+        name = chain[-1]
+        stdlib_spelling = len(chain) == 1 or (
+            len(chain) == 2 and chain[0] in ("queue", "collections")
+        )
+        if not stdlib_spelling:
+            continue
+        if name in BOUNDABLE_QUEUES and not _has_positive_maxsize(node):
+            yield Finding(
+                path, node.lineno, "RL004",
+                f"{name}() without a positive maxsize is an unbounded queue; "
+                "the serving layer must reject load it cannot hold",
+            )
+        elif name == "SimpleQueue":
+            yield Finding(
+                path, node.lineno, "RL004",
+                "SimpleQueue cannot be bounded; use a maxsize-limited queue "
+                "or an explicit row-count bound",
+            )
+        elif name == "deque" and not any(
+            kw.arg == "maxlen" for kw in node.keywords
+        ) and len(node.args) < 2:
+            yield Finding(
+                path, node.lineno, "RL004",
+                "deque() without maxlen grows without bound; pass maxlen or "
+                "enforce an explicit bound before appending",
+            )
+    for cls in tree.body:
+        if not isinstance(cls, ast.ClassDef) or _class_declares_bound(cls):
+            continue
+        for node in ast.walk(cls):
+            if (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Attribute)
+                and node.func.attr == "append"
+            ):
+                chain = _attr_chain(node.func.value)
+                if chain and chain[0] == "self":
+                    yield Finding(
+                        path, node.lineno, "RL004",
+                        f"{cls.name} appends to self.{'.'.join(chain[1:])} but "
+                        "declares no bound (no max*/bound* identifier in the "
+                        "class); buffers in repro/serve must be bounded",
+                    )
+
+
 def lint_paths(paths: Sequence[Path]) -> List[Finding]:
     """Lint every ``.py`` file under the given paths; return the findings."""
     files: List[Path] = []
@@ -244,6 +346,7 @@ def lint_paths(paths: Sequence[Path]) -> List[Finding]:
             *check_global_random(file, tree),
             *check_step_allocations(file, tree),
             *check_docstrings(file, tree, exported),
+            *check_bounded_queues(file, tree),
         ):
             if finding.rule not in ignores.get(finding.line, ()):
                 findings.append(finding)
