@@ -25,8 +25,87 @@ COMMANDS = (
     "table1", "table2", "table3", "table4", "table5",
     "fig1a", "fig1b", "fig3", "fig4",
     "breakdown", "programming", "irdrop", "healthcheck", "plan", "check",
-    "serve-bench", "list",
+    "serve-bench", "metrics", "list",
 )
+
+
+def run_metrics(args: argparse.Namespace) -> str:
+    """The ``repro metrics`` command: exercise the stack and export telemetry.
+
+    Deploys the first requested model, serves one instrumented batch
+    through a :class:`~repro.serve.server.ModelServer`, measures spike
+    activity on the hardware twin, and exports the populated registry as
+    JSON (default) or Prometheus text.  The JSON export is round-tripped
+    through :func:`repro.obs.from_json` before printing, so a successful
+    run certifies the export parses and carries engine, serve, and snc
+    families.
+    """
+    import numpy as np
+
+    from repro import datasets
+    from repro.core.deployment import DeploymentConfig, deploy_model, make_model_server
+    from repro.models.registry import MODEL_DATASET, build_model
+    from repro.obs import Telemetry, from_json, to_prometheus
+    from repro.serve import ServeConfig
+    from repro.snc.system import SpikingSystemConfig, build_spiking_system
+
+    model_name = args.models[0]
+    bits = args.bits[0]
+    if not 1 <= bits <= 16:
+        raise SystemExit(f"repro metrics: --bits must be in [1, 16], got {bits}")
+    telemetry = Telemetry()
+    maker = (
+        datasets.mnist_like
+        if MODEL_DATASET[model_name] == "mnist-like"
+        else datasets.cifar_like
+    )
+    train_set, _ = maker(train_size=32, test_size=8, seed=args.seed)
+    images = train_set.images
+    model = build_model(model_name, rng=np.random.default_rng(args.seed))
+    model.eval()
+    deployed, _ = deploy_model(
+        model,
+        DeploymentConfig(signal_bits=bits, weight_bits=bits, input_bits=8),
+        images[:16],
+    )
+    server = make_model_server(
+        deployed,
+        ServeConfig(workers=1, batch_size=8, max_wait_ms=0.5),
+        warmup_images=images[:2],
+        telemetry=telemetry,
+    )
+    try:
+        server.submit(images[:8])
+    finally:
+        server.close()
+    system = build_spiking_system(
+        model,
+        SpikingSystemConfig(signal_bits=bits, weight_bits=bits, seed=args.seed),
+        images[:16],
+    )
+    system.attach_telemetry(telemetry)
+    system.spike_statistics(images[:8])
+
+    document = telemetry.export_json()
+    snapshot = from_json(document)  # certifies the export round-trips
+    names = snapshot.names()
+    for prefix in ("engine_", "serve_", "snc_"):
+        if not any(name.startswith(prefix) for name in names):
+            raise SystemExit(
+                f"repro metrics: export is missing {prefix}* families"
+            )
+    if args.format == "prometheus":
+        output = to_prometheus(snapshot)
+    else:
+        output = document
+    if args.output:
+        with open(args.output, "w") as handle:
+            handle.write(output)
+        return (
+            f"wrote {len(names)} metric families "
+            f"({args.format}) to {args.output}"
+        )
+    return output
 
 
 def run_serve_bench(args: argparse.Namespace) -> str:
@@ -48,8 +127,10 @@ def run_serve_bench(args: argparse.Namespace) -> str:
     )
     from repro.models.registry import MODEL_DATASET, build_model
     from repro.nn.tensor import Tensor, no_grad
+    from repro.obs import Telemetry, to_prometheus
     from repro.serve import LoadGenConfig, ServeConfig, run_load
 
+    telemetry = Telemetry() if args.metrics else None
     if args.max_wait_ms < 0:
         raise SystemExit(
             f"repro serve-bench: --max-wait-ms must be >= 0, got {args.max_wait_ms}"
@@ -96,7 +177,7 @@ def run_serve_bench(args: argparse.Namespace) -> str:
             lambda: deployed(Tensor(np.asarray(batch, dtype=np.float64))).data,
             len(batch),
         )
-    engine = make_inference_engine(deployed)
+    engine = make_inference_engine(deployed, telemetry=telemetry)
     engine_rps = timed_rows_per_s(lambda: engine.run(batch), len(batch))
 
     load = LoadGenConfig(
@@ -116,6 +197,7 @@ def run_serve_bench(args: argparse.Namespace) -> str:
             ServeConfig(workers=workers, batch_size=batch_size,
                         max_wait_ms=args.max_wait_ms),
             warmup_images=images[:2],
+            telemetry=telemetry,
         )
         try:
             report = run_load(server, images, load)
@@ -131,8 +213,12 @@ def run_serve_bench(args: argparse.Namespace) -> str:
         f"Serving throughput — {model_name} M=N={bits}, batch {batch_size}, "
         f"max_wait {args.max_wait_ms}ms, {clients} closed-loop clients"
     )
-    return render_dict_table(rows, ["config", "rows_per_s", "p50_ms", "p99_ms"],
-                             title=title)
+    output = render_dict_table(rows, ["config", "rows_per_s", "p50_ms", "p99_ms"],
+                               title=title)
+    if telemetry is not None:
+        output += "\n\n--- metrics (Prometheus text) ---\n"
+        output += to_prometheus(telemetry.registry)
+    return output
 
 
 def run_check(args: argparse.Namespace) -> tuple:
@@ -210,6 +296,9 @@ def run_command(args: argparse.Namespace) -> str:
 
     if args.command == "serve-bench":
         return run_serve_bench(args)
+
+    if args.command == "metrics":
+        return run_metrics(args)
 
     if args.command == "table1":
         rows = E.table1_ideal_accuracy(_settings(args))
@@ -490,6 +579,21 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument(
         "--quick", action="store_true",
         help="tiny model/load for CI smoke runs (seconds, not minutes)",
+    )
+    serve.add_argument(
+        "--metrics", action="store_true",
+        help="instrument the bench with telemetry and append the "
+             "Prometheus export to the output",
+    )
+
+    metrics = parser.add_argument_group("metrics options")
+    metrics.add_argument(
+        "--format", choices=["json", "prometheus"], default="json",
+        help="export format for the metrics command",
+    )
+    metrics.add_argument(
+        "--output", default=None, metavar="PATH",
+        help="write the export to PATH instead of stdout",
     )
 
     check = parser.add_argument_group("check options")

@@ -249,7 +249,7 @@ def make_fallback_reference(software: Module) -> Module:
     return twin
 
 
-def make_inference_engine(deployed: Module, **config_overrides):
+def make_inference_engine(deployed: Module, telemetry=None, **config_overrides):
     """A compiled :class:`~repro.runtime.engine.InferenceEngine` for a
     deployed model — the serving front end for batch inference.
 
@@ -258,11 +258,14 @@ def make_inference_engine(deployed: Module, **config_overrides):
     automatically; keyword overrides are forwarded to
     :class:`~repro.runtime.engine.EngineConfig` (e.g. ``dtype=np.float64``
     for bit-identical float plans, ``int_path="off"`` to force them).
+    ``telemetry`` (a :class:`repro.obs.Telemetry`) turns on run spans,
+    latency histograms, and registry-mirrored counters.
     """
     # Lazy import: repro.runtime depends on this module.
     from repro.runtime.engine import EngineConfig, InferenceEngine
 
-    return InferenceEngine(deployed, EngineConfig(**config_overrides))
+    return InferenceEngine(deployed, EngineConfig(**config_overrides),
+                           telemetry=telemetry)
 
 
 def make_model_server(
@@ -271,6 +274,7 @@ def make_model_server(
     warmup_images: Optional[np.ndarray] = None,
     fallback=None,
     health_probe=None,
+    telemetry=None,
     **engine_overrides,
 ):
     """A :class:`~repro.serve.server.ModelServer` over ``deployed`` — the
@@ -283,17 +287,21 @@ def make_model_server(
     first request, and ``serve_config`` (a :class:`~repro.serve.server.
     ServeConfig`) to tune workers / batch size / wait budget / queue
     bound.  See ``docs/serving.md`` for the architecture and tuning
-    guide.
+    guide.  ``telemetry`` (a :class:`repro.obs.Telemetry`) instruments
+    the queue, batcher, replicas, and every replica engine.
     """
     # Lazy import: repro.serve sits above this module.
     from repro.serve import ModelServer
 
     return ModelServer(
-        engine_factory=lambda: make_inference_engine(deployed, **engine_overrides),
+        engine_factory=lambda: make_inference_engine(
+            deployed, telemetry=telemetry, **engine_overrides
+        ),
         config=serve_config,
         fallback=fallback,
         health_probe=health_probe,
         warmup_images=warmup_images,
+        telemetry=telemetry,
     )
 
 

@@ -1,0 +1,94 @@
+"""Unified observability: metrics registry, span tracing, exporters.
+
+One :class:`Telemetry` object is the whole spine.  Components across the
+stack (``InferenceEngine``, the serve layer, ``GuardedSpikingSystem``,
+``SpikingSystem``) accept ``telemetry: Optional[Telemetry] = None``:
+
+- ``None`` (the default) means telemetry is **off** — no clock reads, no
+  spans, no shared registry.  Components that need thread-safe counters
+  for correctness (the engine's run/retrace stats) fall back to a
+  private registry, so disabling telemetry never reintroduces races.
+- A :class:`Telemetry` instance turns on spans, timing histograms, and a
+  shared registry that aggregates across every component it is passed to.
+
+The clock is part of the facade and is *injected* everywhere (RL005: no
+``time.*`` calls in instrumented hot paths), so a
+:class:`~repro.obs.clock.FakeClock` drives fully deterministic tests.
+
+Typical use::
+
+    from repro.obs import Telemetry, to_prometheus
+
+    telemetry = Telemetry()
+    engine = make_inference_engine(deployed, telemetry=telemetry)
+    engine.run(images)
+    print(to_prometheus(telemetry.registry))
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from .clock import SYSTEM_CLOCK, Clock, FakeClock
+from .export import EXPORT_SCHEMA_VERSION, from_json, to_json, to_prometheus
+from .metrics import (
+    Counter,
+    FamilySnapshot,
+    Gauge,
+    Histogram,
+    HistogramSnapshot,
+    MetricsRegistry,
+    RegistrySnapshot,
+)
+from .tracing import Span, Tracer
+
+__all__ = [
+    "Telemetry",
+    "Clock",
+    "SYSTEM_CLOCK",
+    "FakeClock",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "HistogramSnapshot",
+    "MetricsRegistry",
+    "RegistrySnapshot",
+    "FamilySnapshot",
+    "Span",
+    "Tracer",
+    "to_prometheus",
+    "to_json",
+    "from_json",
+    "EXPORT_SCHEMA_VERSION",
+]
+
+
+class Telemetry:
+    """The telemetry spine: one clock, one registry, one tracer.
+
+    Pass a single instance to every component you want observed; their
+    metrics aggregate in :attr:`registry` and their spans interleave in
+    :attr:`tracer`.  Construct with a
+    :class:`~repro.obs.clock.FakeClock` for deterministic tests.
+    """
+
+    def __init__(self, clock: Clock = SYSTEM_CLOCK,
+                 reservoir_size: Optional[int] = None,
+                 max_spans: Optional[int] = None) -> None:
+        self.clock: Clock = clock
+        registry_kwargs = {}
+        if reservoir_size is not None:
+            registry_kwargs["default_reservoir_size"] = reservoir_size
+        self.registry = MetricsRegistry(**registry_kwargs)
+        tracer_kwargs = {"clock": clock}
+        if max_spans is not None:
+            tracer_kwargs["max_spans"] = max_spans
+        self.tracer = Tracer(**tracer_kwargs)
+
+    def export_json(self, indent: int = 2) -> str:
+        """The registry as a JSON document (see :func:`to_json`)."""
+        return to_json(self.registry, indent=indent)
+
+    def export_prometheus(self) -> str:
+        """The registry in Prometheus text format (see :func:`to_prometheus`)."""
+        return to_prometheus(self.registry)

@@ -1,0 +1,62 @@
+"""Injectable clocks: the only module allowed to touch ``time.*``.
+
+Every instrumented hot path in the repo receives its clock as a value
+(constructor argument or :class:`~repro.obs.Telemetry` attribute) instead
+of calling ``time.monotonic()``/``time.perf_counter()`` directly — lint
+rule RL005 (``tools/lint_repro.py``) enforces this.  Injection buys two
+things:
+
+- **deterministic tests** — a :class:`FakeClock` makes span durations,
+  deadlines, and latency histograms exact, so timing behaviour is
+  assertable instead of flaky;
+- **zero hidden cost** — a disabled telemetry path cannot accidentally
+  pay for clock syscalls, because there is no ambient clock to reach for.
+
+A clock is any zero-argument callable returning monotonic seconds as a
+float.  :data:`SYSTEM_CLOCK` is the production default.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable
+
+__all__ = ["Clock", "SYSTEM_CLOCK", "FakeClock"]
+
+#: A clock is any ``() -> float`` returning monotonic seconds.
+Clock = Callable[[], float]
+
+#: The production clock (monotonic, unaffected by wall-clock jumps).
+SYSTEM_CLOCK: Clock = time.monotonic
+
+
+class FakeClock:
+    """A manually-advanced clock for deterministic timing tests.
+
+    ``clock()`` returns the current reading; :meth:`advance` moves it
+    forward.  ``auto_step`` (optional) advances the clock by a fixed
+    amount on every read, which makes "every span has nonzero duration"
+    style tests trivial.
+    """
+
+    def __init__(self, start: float = 0.0, auto_step: float = 0.0) -> None:
+        if auto_step < 0:
+            raise ValueError(f"auto_step must be >= 0, got {auto_step}")
+        self._now = float(start)
+        self.auto_step = float(auto_step)
+
+    def __call__(self) -> float:
+        reading = self._now
+        self._now += self.auto_step
+        return reading
+
+    def advance(self, seconds: float) -> None:
+        """Move the clock forward (never backward — it is monotonic)."""
+        if seconds < 0:
+            raise ValueError(f"cannot advance a monotonic clock by {seconds}")
+        self._now += float(seconds)
+
+    @property
+    def now(self) -> float:
+        """The current reading without consuming an ``auto_step``."""
+        return self._now

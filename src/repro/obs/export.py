@@ -1,0 +1,202 @@
+"""Exporters: registry snapshots as Prometheus text or JSON.
+
+Both exporters operate on a :class:`~repro.obs.metrics.RegistrySnapshot`
+(or accept a live :class:`~repro.obs.metrics.MetricsRegistry` and
+snapshot it), so exporting is always consistent under concurrency and
+never perturbs the instruments.
+
+- :func:`to_prometheus` renders the classic text exposition format:
+  ``# HELP`` / ``# TYPE`` headers, one ``name{labels} value`` line per
+  series.  Histograms render as summaries (``{quantile="0.5"}`` etc.
+  plus ``_sum``/``_count``/``_min``/``_max``).
+- :func:`to_json` / :func:`from_json` round-trip the full snapshot —
+  including retained histogram reservoirs — through a stable,
+  schema-checked JSON document (``from_json(to_json(r))`` reconstructs
+  an equal :class:`RegistrySnapshot`).
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, List, Union
+
+from .metrics import (
+    FamilySnapshot,
+    HistogramSnapshot,
+    MetricsRegistry,
+    RegistrySnapshot,
+)
+
+__all__ = ["to_prometheus", "to_json", "from_json", "EXPORT_SCHEMA_VERSION"]
+
+#: Bumped on any incompatible change to the JSON document layout.
+EXPORT_SCHEMA_VERSION = 1
+
+#: Quantiles rendered in the Prometheus summary view.
+_SUMMARY_QUANTILES = (0.5, 0.9, 0.99)
+
+_Source = Union[MetricsRegistry, RegistrySnapshot]
+
+
+def _as_snapshot(source: _Source) -> RegistrySnapshot:
+    if isinstance(source, MetricsRegistry):
+        return source.snapshot()
+    return source
+
+
+def _escape_label_value(value: str) -> str:
+    return value.replace("\\", r"\\").replace('"', r"\"").replace("\n", r"\n")
+
+
+def _format_labels(labels: Dict[str, str], extra: Dict[str, str] = {}) -> str:
+    merged = {**labels, **extra}
+    if not merged:
+        return ""
+    body = ",".join(
+        f'{key}="{_escape_label_value(str(value))}"'
+        for key, value in sorted(merged.items())
+    )
+    return "{" + body + "}"
+
+
+def _format_value(value: float) -> str:
+    as_float = float(value)
+    if as_float == int(as_float) and abs(as_float) < 1e15:
+        return str(int(as_float))
+    return repr(as_float)
+
+
+def to_prometheus(source: _Source) -> str:
+    """Render a registry (or snapshot) in Prometheus text exposition format."""
+    snap = _as_snapshot(source)
+    lines: List[str] = []
+    for family in snap.families:
+        prom_type = "summary" if family.kind == "histogram" else family.kind
+        if family.help:
+            lines.append(f"# HELP {family.name} {family.help}")
+        lines.append(f"# TYPE {family.name} {prom_type}")
+        for labels, value in family.series:
+            if isinstance(value, HistogramSnapshot):
+                for q in _SUMMARY_QUANTILES:
+                    estimate = value.quantile(q)
+                    rendered = "NaN" if estimate != estimate else _format_value(estimate)
+                    lines.append(
+                        f"{family.name}{_format_labels(labels, {'quantile': str(q)})}"
+                        f" {rendered}"
+                    )
+                lines.append(f"{family.name}_sum{_format_labels(labels)}"
+                             f" {_format_value(value.total)}")
+                lines.append(f"{family.name}_count{_format_labels(labels)}"
+                             f" {value.count}")
+                if value.minimum is not None:
+                    lines.append(f"{family.name}_min{_format_labels(labels)}"
+                                 f" {_format_value(value.minimum)}")
+                if value.maximum is not None:
+                    lines.append(f"{family.name}_max{_format_labels(labels)}"
+                                 f" {_format_value(value.maximum)}")
+            else:
+                lines.append(f"{family.name}{_format_labels(labels)}"
+                             f" {_format_value(value)}")
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def _series_to_json(kind: str, labels: Dict[str, str], value: object) -> Dict:
+    if kind == "histogram":
+        assert isinstance(value, HistogramSnapshot)
+        return {
+            "labels": dict(labels),
+            "count": value.count,
+            "total": value.total,
+            "min": value.minimum,
+            "max": value.maximum,
+            "samples": list(value.samples),
+            "reservoir_size": value.reservoir_size,
+        }
+    return {"labels": dict(labels), "value": float(value)}  # type: ignore[arg-type]
+
+
+def to_json(source: _Source, indent: int = 2) -> str:
+    """Serialize a registry (or snapshot) to a stable JSON document."""
+    snap = _as_snapshot(source)
+    document = {
+        "schema_version": EXPORT_SCHEMA_VERSION,
+        "families": [
+            {
+                "name": family.name,
+                "kind": family.kind,
+                "help": family.help,
+                "series": [
+                    _series_to_json(family.kind, labels, value)
+                    for labels, value in family.series
+                ],
+            }
+            for family in snap.families
+        ],
+    }
+    return json.dumps(document, indent=indent, sort_keys=True)
+
+
+def _series_from_json(kind: str, entry: Dict) -> tuple:
+    labels = entry.get("labels")
+    if not isinstance(labels, dict):
+        raise ValueError("series entry is missing its 'labels' mapping")
+    labels = {str(k): str(v) for k, v in labels.items()}
+    if kind == "histogram":
+        for required in ("count", "total", "samples", "reservoir_size"):
+            if required not in entry:
+                raise ValueError(f"histogram series is missing {required!r}")
+        value: object = HistogramSnapshot(
+            count=int(entry["count"]),
+            total=float(entry["total"]),
+            minimum=None if entry.get("min") is None else float(entry["min"]),
+            maximum=None if entry.get("max") is None else float(entry["max"]),
+            samples=tuple(float(s) for s in entry["samples"]),
+            reservoir_size=int(entry["reservoir_size"]),
+        )
+    else:
+        if "value" not in entry:
+            raise ValueError(f"{kind} series is missing 'value'")
+        value = float(entry["value"])
+    return labels, value
+
+
+def from_json(text: str) -> RegistrySnapshot:
+    """Parse :func:`to_json` output back into a :class:`RegistrySnapshot`.
+
+    Raises :class:`ValueError` on malformed documents (wrong schema
+    version, missing fields, unknown metric kinds).
+    """
+    try:
+        document = json.loads(text)
+    except json.JSONDecodeError as exc:
+        raise ValueError(f"metrics export is not valid JSON: {exc}") from exc
+    if not isinstance(document, dict):
+        raise ValueError("metrics export must be a JSON object")
+    version = document.get("schema_version")
+    if version != EXPORT_SCHEMA_VERSION:
+        raise ValueError(
+            f"unsupported metrics schema_version {version!r} "
+            f"(expected {EXPORT_SCHEMA_VERSION})"
+        )
+    families_raw = document.get("families")
+    if not isinstance(families_raw, list):
+        raise ValueError("metrics export is missing its 'families' list")
+    families = []
+    for entry in families_raw:
+        if not isinstance(entry, dict):
+            raise ValueError("family entry must be a JSON object")
+        kind = entry.get("kind")
+        if kind not in ("counter", "gauge", "histogram"):
+            raise ValueError(f"unknown metric kind {kind!r}")
+        name = entry.get("name")
+        if not isinstance(name, str) or not name:
+            raise ValueError("family entry is missing its 'name'")
+        series_raw = entry.get("series")
+        if not isinstance(series_raw, list):
+            raise ValueError(f"family {name!r} is missing its 'series' list")
+        series = tuple(_series_from_json(kind, s) for s in series_raw)
+        families.append(
+            FamilySnapshot(name=name, kind=kind,
+                           help=str(entry.get("help", "")), series=series)
+        )
+    return RegistrySnapshot(families=tuple(families))

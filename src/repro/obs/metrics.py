@@ -1,0 +1,370 @@
+"""Thread-safe metric primitives and the registry that names them.
+
+Three instrument kinds, chosen for the serving stack's needs:
+
+- :class:`Counter` — monotonically increasing totals (requests served,
+  spikes emitted).  Increments are lock-protected, so counters shared
+  across serve replicas or guard callers never lose updates (plain
+  ``x += 1`` on a Python attribute can drop increments when threads
+  interleave between the read and the write).
+- :class:`Gauge` — point-in-time levels (queue depth, estimated energy).
+- :class:`Histogram` — a bounded *reservoir* of observations (latencies,
+  batch sizes, per-step runtimes).  Memory is fixed at
+  ``reservoir_size`` samples regardless of observation count; beyond the
+  bound, Vitter's algorithm R keeps a uniform sample of everything seen,
+  driven by a private seeded generator so runs are reproducible.
+  ``count``/``total``/``min``/``max`` are tracked exactly.
+
+:meth:`Histogram.snapshot` produces an immutable
+:class:`HistogramSnapshot`; snapshots **merge** (deterministically, no
+RNG) so per-replica histograms can be combined into one serving-wide
+view whose quantiles are bounded by the inputs' extrema.
+
+The :class:`MetricsRegistry` is the namespace: ``registry.counter(name,
+**labels)`` returns the one live instrument for that (name, labels)
+series, creating it on first use.  Re-registering a name with a
+different kind is an error — a name means one thing forever.
+"""
+
+from __future__ import annotations
+
+import random
+import re
+import threading
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "HistogramSnapshot",
+    "MetricsRegistry",
+    "RegistrySnapshot",
+    "FamilySnapshot",
+]
+
+#: Prometheus-compatible metric and label names.
+_NAME_RE = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+_LABEL_RE = re.compile(r"^[a-zA-Z_][a-zA-Z0-9_]*$")
+
+#: Default bound on retained histogram samples.
+DEFAULT_RESERVOIR_SIZE = 512
+
+
+class Counter:
+    """A monotonically increasing total.  Thread-safe."""
+
+    kind = "counter"
+
+    def __init__(self) -> None:
+        self._value = 0.0
+        self._lock = threading.Lock()
+
+    def inc(self, amount: float = 1.0) -> None:
+        """Add ``amount`` (>= 0; counters never decrease)."""
+        if amount < 0:
+            raise ValueError(f"counters are monotonic; cannot inc by {amount}")
+        with self._lock:
+            self._value += amount
+
+    @property
+    def value(self) -> float:
+        with self._lock:
+            return self._value
+
+
+class Gauge:
+    """A point-in-time level that can move both ways.  Thread-safe."""
+
+    kind = "gauge"
+
+    def __init__(self) -> None:
+        self._value = 0.0
+        self._lock = threading.Lock()
+
+    def set(self, value: float) -> None:
+        """Replace the current level."""
+        with self._lock:
+            self._value = float(value)
+
+    def add(self, delta: float) -> None:
+        """Shift the current level by ``delta`` (either sign)."""
+        with self._lock:
+            self._value += delta
+
+    @property
+    def value(self) -> float:
+        with self._lock:
+            return self._value
+
+
+@dataclass(frozen=True)
+class HistogramSnapshot:
+    """An immutable, mergeable view of one histogram.
+
+    ``samples`` is the sorted retained reservoir; ``count``/``total``/
+    ``minimum``/``maximum`` are exact over *all* observations, retained
+    or not.  Quantiles interpolate over the reservoir, so they are
+    estimates bounded by the exact extrema.
+    """
+
+    count: int
+    total: float
+    minimum: Optional[float]
+    maximum: Optional[float]
+    samples: Tuple[float, ...]
+    reservoir_size: int
+
+    @property
+    def mean(self) -> float:
+        """Exact mean of every observation (0.0 when empty)."""
+        return self.total / self.count if self.count else 0.0
+
+    def quantile(self, q: float) -> float:
+        """Estimated ``q``-quantile (``0 <= q <= 1``) over the reservoir.
+
+        Returns ``nan`` for an empty snapshot.  Always lies within
+        ``[minimum, maximum]`` — the reservoir is a subset of the
+        observations and the exact extrema clamp the estimate.
+        """
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"quantile must be in [0, 1], got {q}")
+        if not self.samples:
+            return float("nan")
+        estimate = float(np.quantile(np.asarray(self.samples), q))
+        return min(max(estimate, self.minimum), self.maximum)
+
+    def merge(self, other: "HistogramSnapshot") -> "HistogramSnapshot":
+        """Combine two snapshots into one (deterministic, RNG-free).
+
+        Exact fields add; extrema take the wider bound.  The merged
+        reservoir keeps every sample when they fit, otherwise it takes
+        evenly-spaced picks from each side's *sorted* reservoir in
+        proportion to the sides' observation counts — preserving each
+        side's quantile structure, so merged quantiles stay within
+        ``[min(minima), max(maxima)]``.
+        """
+        cap = max(self.reservoir_size, other.reservoir_size)
+        combined = sorted(self.samples + other.samples)
+        if len(combined) > cap:
+            total_count = self.count + other.count
+            share = self.count / total_count if total_count else 0.5
+            take_self = min(len(self.samples), max(int(round(cap * share)), 0))
+            take_other = min(len(other.samples), cap - take_self)
+            take_self = min(len(self.samples), cap - take_other)
+            combined = sorted(
+                _evenly_spaced(sorted(self.samples), take_self)
+                + _evenly_spaced(sorted(other.samples), take_other)
+            )
+        minima = [m for m in (self.minimum, other.minimum) if m is not None]
+        maxima = [m for m in (self.maximum, other.maximum) if m is not None]
+        return HistogramSnapshot(
+            count=self.count + other.count,
+            total=self.total + other.total,
+            minimum=min(minima) if minima else None,
+            maximum=max(maxima) if maxima else None,
+            samples=tuple(combined),
+            reservoir_size=cap,
+        )
+
+
+def _evenly_spaced(values: List[float], k: int) -> List[float]:
+    """``k`` evenly-spaced elements of ``values`` (all of them if k >= len)."""
+    if k >= len(values):
+        return list(values)
+    if k <= 0:
+        return []
+    indices = np.linspace(0, len(values) - 1, k).round().astype(int)
+    return [values[i] for i in indices]
+
+
+class Histogram:
+    """Bounded-reservoir histogram.  Thread-safe.
+
+    Holds at most ``reservoir_size`` samples.  The first
+    ``reservoir_size`` observations are kept verbatim; afterwards,
+    observation *i* replaces a uniformly random retained sample with
+    probability ``reservoir_size / i`` (Vitter's algorithm R), so the
+    reservoir is always a uniform sample of the full stream.  The
+    replacement draw comes from a private seeded generator — reruns of a
+    deterministic workload retain identical samples.
+    """
+
+    kind = "histogram"
+
+    def __init__(self, reservoir_size: int = DEFAULT_RESERVOIR_SIZE,
+                 seed: int = 0) -> None:
+        if reservoir_size < 1:
+            raise ValueError(f"reservoir_size must be >= 1, got {reservoir_size}")
+        self.reservoir_size = reservoir_size
+        self._samples: List[float] = []
+        self._count = 0
+        self._total = 0.0
+        self._min: Optional[float] = None
+        self._max: Optional[float] = None
+        # stdlib RNG, not numpy: observe() sits on serving hot paths and
+        # Generator.integers costs microseconds per draw; randrange is
+        # an order of magnitude cheaper and just as deterministic.
+        self._rng = random.Random(seed)
+        self._lock = threading.Lock()
+
+    def observe(self, value: float) -> None:
+        """Record one observation."""
+        value = float(value)
+        with self._lock:
+            self._count += 1
+            self._total += value
+            if self._min is None or value < self._min:
+                self._min = value
+            if self._max is None or value > self._max:
+                self._max = value
+            if len(self._samples) < self.reservoir_size:
+                self._samples.append(value)
+            else:
+                slot = self._rng.randrange(self._count)
+                if slot < self.reservoir_size:
+                    self._samples[slot] = value
+
+    @property
+    def count(self) -> int:
+        with self._lock:
+            return self._count
+
+    def snapshot(self) -> HistogramSnapshot:
+        """An immutable point-in-time view (idempotent: no state changes)."""
+        with self._lock:
+            return HistogramSnapshot(
+                count=self._count,
+                total=self._total,
+                minimum=self._min,
+                maximum=self._max,
+                samples=tuple(sorted(self._samples)),
+                reservoir_size=self.reservoir_size,
+            )
+
+
+#: One registered series: (family name, sorted (label, value) pairs).
+_SeriesKey = Tuple[str, Tuple[Tuple[str, str], ...]]
+
+
+@dataclass(frozen=True)
+class FamilySnapshot:
+    """All series of one metric family at snapshot time."""
+
+    name: str
+    kind: str
+    help: str
+    #: ``(labels dict, value)`` — value is a float for counters/gauges
+    #: and a :class:`HistogramSnapshot` for histograms.
+    series: Tuple[Tuple[Dict[str, str], object], ...]
+
+
+@dataclass(frozen=True)
+class RegistrySnapshot:
+    """A consistent point-in-time view of every family in a registry."""
+
+    families: Tuple[FamilySnapshot, ...]
+
+    def family(self, name: str) -> Optional[FamilySnapshot]:
+        """The named family, or ``None`` if it was never registered."""
+        for fam in self.families:
+            if fam.name == name:
+                return fam
+        return None
+
+    def names(self) -> List[str]:
+        """All family names, sorted."""
+        return sorted(fam.name for fam in self.families)
+
+
+class MetricsRegistry:
+    """The namespace of instruments: get-or-create by (name, labels).
+
+    All three accessors are thread-safe and idempotent — any number of
+    engines, replicas, or guard threads may ask for the same series and
+    receive the same live instrument.  A name is bound to one kind for
+    the registry's lifetime; asking for it as another kind raises.
+    """
+
+    def __init__(self, default_reservoir_size: int = DEFAULT_RESERVOIR_SIZE) -> None:
+        self.default_reservoir_size = default_reservoir_size
+        self._metrics: Dict[_SeriesKey, object] = {}
+        self._kinds: Dict[str, str] = {}
+        self._help: Dict[str, str] = {}
+        self._lock = threading.Lock()
+
+    # -- accessors ----------------------------------------------------------
+    def counter(self, name: str, help: str = "", **labels: str) -> Counter:
+        """The live :class:`Counter` for this series (created on first use)."""
+        return self._get(name, "counter", help, labels, Counter)
+
+    def gauge(self, name: str, help: str = "", **labels: str) -> Gauge:
+        """The live :class:`Gauge` for this series (created on first use)."""
+        return self._get(name, "gauge", help, labels, Gauge)
+
+    def histogram(self, name: str, help: str = "",
+                  reservoir_size: Optional[int] = None, **labels: str) -> Histogram:
+        """The live :class:`Histogram` for this series (created on first use)."""
+        size = reservoir_size or self.default_reservoir_size
+        return self._get(name, "histogram", help, labels,
+                         lambda: Histogram(reservoir_size=size))
+
+    def _get(self, name: str, kind: str, help: str, labels: Dict[str, str],
+             factory) -> object:
+        if not _NAME_RE.match(name):
+            raise ValueError(f"invalid metric name {name!r}")
+        for label in labels:
+            if not _LABEL_RE.match(label):
+                raise ValueError(f"invalid label name {label!r}")
+        key: _SeriesKey = (name, tuple(sorted((k, str(v)) for k, v in labels.items())))
+        with self._lock:
+            bound = self._kinds.get(name)
+            if bound is not None and bound != kind:
+                raise ValueError(
+                    f"metric {name!r} is already registered as a {bound}, "
+                    f"cannot re-register as a {kind}"
+                )
+            metric = self._metrics.get(key)
+            if metric is None:
+                metric = factory()
+                self._metrics[key] = metric
+                self._kinds[name] = kind
+                if help:
+                    self._help[name] = help
+            elif help and name not in self._help:
+                self._help[name] = help
+        return metric
+
+    # -- introspection ------------------------------------------------------
+    def names(self) -> List[str]:
+        """All registered family names, sorted."""
+        with self._lock:
+            return sorted(self._kinds)
+
+    def snapshot(self) -> RegistrySnapshot:
+        """A point-in-time view of every family (safe under concurrency)."""
+        with self._lock:
+            items = list(self._metrics.items())
+            kinds = dict(self._kinds)
+            helps = dict(self._help)
+        by_family: Dict[str, List[Tuple[Dict[str, str], object]]] = {}
+        for (name, label_items), metric in sorted(items, key=lambda kv: kv[0]):
+            labels = dict(label_items)
+            if isinstance(metric, Histogram):
+                value: object = metric.snapshot()
+            else:
+                value = metric.value  # Counter / Gauge
+            by_family.setdefault(name, []).append((labels, value))
+        families = tuple(
+            FamilySnapshot(
+                name=name,
+                kind=kinds[name],
+                help=helps.get(name, ""),
+                series=tuple(series),
+            )
+            for name, series in sorted(by_family.items())
+        )
+        return RegistrySnapshot(families=families)

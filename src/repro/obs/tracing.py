@@ -1,0 +1,223 @@
+"""Structured span tracing with an injected clock and a bounded buffer.
+
+A :class:`Span` is one named, timed unit of work (an engine run, a
+micro-batch formation, a replica chunk).  The :class:`Tracer` hands out
+spans through a context manager::
+
+    with tracer.span("engine.run", model="lenet") as span:
+        ...                      # timed work
+        span.set(rows=64)        # attach attributes mid-flight
+
+or records pre-timed intervals directly via :meth:`Tracer.record` when
+the caller already read the clock (plan step timings do this so the hot
+loop pays exactly two clock reads per step, both through the injected
+clock).
+
+Parentage is tracked per-thread: a span opened while another is active
+on the same thread becomes its child, so a serve trace nests
+``server.submit -> batch.form -> replica.chunk -> engine.run``.
+
+Finished spans land in a bounded ring (``max_spans``); old spans fall
+off rather than growing memory.  ``spans_started``/``spans_finished``
+counters are exact even after eviction.  The tracer never reads
+``time.*`` itself — the clock is injected (RL005), so a
+:class:`~repro.obs.clock.FakeClock` makes every duration assertable.
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+from collections import deque
+from typing import Dict, Iterator, List, Optional
+
+from .clock import SYSTEM_CLOCK, Clock
+
+__all__ = ["Span", "Tracer"]
+
+#: Default bound on retained finished spans.
+DEFAULT_MAX_SPANS = 4096
+
+
+class Span:
+    """One named, timed unit of work.
+
+    A plain ``__slots__`` class rather than a dataclass: spans are
+    created on serving hot paths (one per plan step), so construction
+    cost matters.
+    """
+
+    __slots__ = ("name", "span_id", "parent_id", "start", "end", "attributes")
+
+    def __init__(self, name: str, span_id: int, parent_id: Optional[int],
+                 start: float, end: Optional[float] = None,
+                 attributes: Optional[Dict[str, object]] = None) -> None:
+        self.name = name
+        self.span_id = span_id
+        self.parent_id = parent_id
+        self.start = start
+        self.end = end
+        self.attributes = {} if attributes is None else attributes
+
+    def __repr__(self) -> str:
+        return (
+            f"Span(name={self.name!r}, span_id={self.span_id}, "
+            f"parent_id={self.parent_id}, start={self.start}, "
+            f"end={self.end}, attributes={self.attributes})"
+        )
+
+    @property
+    def duration(self) -> float:
+        """Elapsed seconds (0.0 while the span is still open)."""
+        if self.end is None:
+            return 0.0
+        return self.end - self.start
+
+    def set(self, **attributes: object) -> None:
+        """Attach attributes to the span (last write per key wins)."""
+        self.attributes.update(attributes)
+
+    def to_dict(self) -> Dict[str, object]:
+        """A JSON-serializable view of the span."""
+        return {
+            "name": self.name,
+            "span_id": self.span_id,
+            "parent_id": self.parent_id,
+            "start": self.start,
+            "end": self.end,
+            "duration": self.duration,
+            "attributes": dict(self.attributes),
+        }
+
+
+class _SpanContext:
+    """Context manager that times a span and maintains the thread stack."""
+
+    def __init__(self, tracer: "Tracer", span: Span) -> None:
+        self._tracer = tracer
+        self.span = span
+
+    def __enter__(self) -> Span:
+        return self.span
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        if exc_type is not None:
+            self.span.attributes.setdefault("error", exc_type.__name__)
+        self._tracer._finish(self.span)
+
+
+class Tracer:
+    """Collects spans into a bounded ring.  Thread-safe.
+
+    The clock is injected at construction and is the only time source
+    the tracer ever reads.
+    """
+
+    def __init__(self, clock: Clock = SYSTEM_CLOCK,
+                 max_spans: int = DEFAULT_MAX_SPANS) -> None:
+        if max_spans < 1:
+            raise ValueError(f"max_spans must be >= 1, got {max_spans}")
+        self.clock = clock
+        self.max_spans = max_spans
+        self._finished: deque = deque(maxlen=max_spans)
+        self._ids = itertools.count(1)
+        self._lock = threading.Lock()
+        self._local = threading.local()
+        self._started = 0
+        self._completed = 0
+
+    # -- span lifecycle -----------------------------------------------------
+    def span(self, name: str, **attributes: object) -> _SpanContext:
+        """Open a span; finishes (and is recorded) when the ``with`` exits."""
+        parent = self._current()
+        span = Span(
+            name=name,
+            span_id=next(self._ids),
+            parent_id=parent.span_id if parent else None,
+            start=self.clock(),
+            attributes=attributes,  # kwargs dict is already fresh and ours
+        )
+        stack = self._stack()
+        stack.append(span)
+        with self._lock:
+            self._started += 1
+        return _SpanContext(self, span)
+
+    def record(self, name: str, start: float, end: float,
+               **attributes: object) -> Span:
+        """Record a pre-timed interval (caller already read the clock).
+
+        Parented under the thread's currently open span, if any.  This is
+        the cheap path for hot loops: no context-manager machinery, no
+        extra clock reads.
+        """
+        parent = self._current()
+        span = Span(
+            name=name,
+            span_id=next(self._ids),
+            parent_id=parent.span_id if parent else None,
+            start=start,
+            end=end,
+            attributes=attributes,  # kwargs dict is already fresh and ours
+        )
+        with self._lock:
+            self._started += 1
+            self._completed += 1
+            self._finished.append(span)
+        return span
+
+    def _finish(self, span: Span) -> None:
+        span.end = self.clock()
+        stack = self._stack()
+        if stack and stack[-1] is span:
+            stack.pop()
+        elif span in stack:  # exited out of order; drop it wherever it sits
+            stack.remove(span)
+        with self._lock:
+            self._completed += 1
+            self._finished.append(span)
+
+    # -- inspection ---------------------------------------------------------
+    def spans(self, name: Optional[str] = None) -> List[Span]:
+        """Finished spans still in the ring, oldest first.
+
+        ``name`` filters to one span name.
+        """
+        with self._lock:
+            out = list(self._finished)
+        if name is not None:
+            out = [s for s in out if s.name == name]
+        return out
+
+    def iter_spans(self) -> Iterator[Span]:
+        """Iterate over a stable copy of the finished-span ring."""
+        return iter(self.spans())
+
+    @property
+    def spans_started(self) -> int:
+        """Total spans ever opened (exact, survives ring eviction)."""
+        with self._lock:
+            return self._started
+
+    @property
+    def spans_finished(self) -> int:
+        """Total spans ever finished (exact, survives ring eviction)."""
+        with self._lock:
+            return self._completed
+
+    def clear(self) -> None:
+        """Drop all retained finished spans (totals are preserved)."""
+        with self._lock:
+            self._finished.clear()
+
+    # -- internals ----------------------------------------------------------
+    def _stack(self) -> List[Span]:
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = []
+            self._local.stack = stack
+        return stack
+
+    def _current(self) -> Optional[Span]:
+        stack = self._stack()
+        return stack[-1] if stack else None

@@ -24,17 +24,29 @@ throughput) applies to pure-float plans; plans that activate the integer
 fast path run their scalar tails in float64 so results stay comparable to
 the graph at full precision.  Pass ``dtype=np.float64`` for bit-identical
 float plans (what `SpikingSystem` and the analysis eval loops use).
+
+Observability: :attr:`InferenceEngine.stats` counters are backed by a
+private thread-safe :class:`~repro.obs.metrics.MetricsRegistry`, so
+engines shared across serve replicas never lose increments.  Passing a
+:class:`~repro.obs.Telemetry` additionally mirrors the counters into the
+shared registry (labelled by model, aggregated across engines), records
+run-latency histograms, emits ``engine.run``/``engine.graph_run`` spans,
+and times each plan step by op class — all through the telemetry's
+injected clock; with telemetry off the serving path reads no clock at
+all.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Optional
 
 import numpy as np
 
 from repro.nn.modules import Module
 from repro.nn.tensor import Tensor, no_grad
+from repro.obs import Telemetry
+from repro.obs.metrics import Counter, MetricsRegistry
 from repro.runtime.plan import ExecutionPlan, PlanError, compile_plan
 
 
@@ -97,28 +109,105 @@ class EngineConfig:
             raise ValueError(f"batch_size must be >= 1, got {self.batch_size}")
 
 
-@dataclass
 class EngineStats:
-    """Operational counters of one engine (scraped into runtime stats)."""
+    """Operational counters of one engine (scraped into runtime stats).
 
-    runs: int = 0
-    graph_runs: int = 0
-    retraces: int = 0
-    trace_failures: int = 0
-    precheck_errors: int = 0
-    sparsity: dict = field(default_factory=dict)
+    Each field is a thread-safe registry counter read back as an ``int``
+    property, so engines shared across serve replicas or guard threads
+    never lose increments (a plain ``stats.runs += 1`` drops updates when
+    two threads interleave between the read and the write).  The backing
+    registry is private to the engine; fleet-wide aggregation happens in
+    the shared :class:`~repro.obs.Telemetry` registry instead.
+    """
+
+    FIELDS = {
+        "runs": "Batches served from a compiled plan",
+        "graph_runs": "Batches served by the graph executor",
+        "retraces": "Plans dropped as stale and re-traced",
+        "trace_failures": "Trace attempts rejected with PlanError",
+        "precheck_errors": "Static-check errors that forced graph-only mode",
+    }
+
+    def __init__(self) -> None:
+        self._registry = MetricsRegistry()
+        self._counters = {
+            name: self._registry.counter(f"engine_{name}_total", help=text)
+            for name, text in self.FIELDS.items()
+        }
+        self.sparsity: dict = {}
+
+    def counter(self, name: str) -> Counter:
+        """The live backing counter for ``name`` (one of :attr:`FIELDS`)."""
+        return self._counters[name]
+
+    def inc(self, name: str, amount: float = 1) -> None:
+        """Increment one counter (thread-safe)."""
+        self._counters[name].inc(amount)
+
+    @property
+    def runs(self) -> int:
+        return int(self._counters["runs"].value)
+
+    @property
+    def graph_runs(self) -> int:
+        return int(self._counters["graph_runs"].value)
+
+    @property
+    def retraces(self) -> int:
+        return int(self._counters["retraces"].value)
+
+    @property
+    def trace_failures(self) -> int:
+        return int(self._counters["trace_failures"].value)
+
+    @property
+    def precheck_errors(self) -> int:
+        return int(self._counters["precheck_errors"].value)
+
+
+def _model_label(module: Module) -> str:
+    """Telemetry label for a served module.
+
+    Deployed networks arrive wrapped (input quantizer + network body);
+    the body's class name — ``LeNet``, not ``_PrependInput`` — is the
+    series label operators will look for.
+    """
+    inner = getattr(module, "network", None)
+    if isinstance(inner, Module):
+        return type(inner).__name__
+    return type(module).__name__
 
 
 class InferenceEngine:
     """Serve inference for one module through compiled execution plans."""
 
-    def __init__(self, module: Module, config: Optional[EngineConfig] = None) -> None:
+    def __init__(self, module: Module, config: Optional[EngineConfig] = None,
+                 telemetry: Optional[Telemetry] = None) -> None:
         self.module = module
         self.config = config or EngineConfig()
         self.stats = EngineStats()
+        self.telemetry = telemetry
+        self._model_name = _model_label(module)
+        # Mirror counters in the shared registry, labelled by model so
+        # replicas of the same deployment aggregate into one series.
+        self._mirror = (
+            {
+                name: telemetry.registry.counter(
+                    f"engine_{name}_total", help=text, model=self._model_name
+                )
+                for name, text in EngineStats.FIELDS.items()
+            }
+            if telemetry is not None
+            else None
+        )
         self._plan: Optional[ExecutionPlan] = None
         self._graph_only = False
         self.check_report = None  # repro.check.CheckReport after first trace
+
+    def _count(self, name: str, amount: float = 1) -> None:
+        self.stats.inc(name, amount)
+        if self._mirror is not None:
+            self._mirror[name].inc(amount)
 
     # -- serving ------------------------------------------------------------
     def run(self, images: np.ndarray) -> np.ndarray:
@@ -127,8 +216,31 @@ class InferenceEngine:
         plan = self._ensure_plan(images)
         if plan is None:
             return self._graph_run(images)
-        self.stats.runs += 1
-        return np.array(plan.run(images))
+        self._count("runs")
+        if self.telemetry is None:
+            return np.array(plan.run(images))
+        return self._plan_run_observed(plan, images)
+
+    def _plan_run_observed(self, plan: ExecutionPlan, images: np.ndarray) -> np.ndarray:
+        """Plan replay with spans, per-step timings, and latency histograms."""
+        telemetry = self.telemetry
+        backend = "int" if plan.uses_int_path else plan.dtype.name
+        start = telemetry.clock()
+        out = np.array(plan.run_timed(images, telemetry, model=self._model_name))
+        end = telemetry.clock()
+        telemetry.tracer.record(
+            "engine.run", start, end,
+            model=self._model_name, rows=len(images), backend=backend,
+        )
+        telemetry.registry.histogram(
+            "engine_run_seconds", help="Wall time of one engine batch",
+            model=self._model_name, backend=backend,
+        ).observe(end - start)
+        telemetry.registry.counter(
+            "engine_rows_total", help="Input rows served by engines",
+            model=self._model_name,
+        ).inc(len(images))
+        return out
 
     def infer_batched(self, images: np.ndarray, batch_size: Optional[int] = None) -> np.ndarray:
         """Stream ``images`` through the plan in micro-batches."""
@@ -155,7 +267,7 @@ class InferenceEngine:
             and self._plan.is_stale()
         ):
             self._plan = None
-            self.stats.retraces += 1
+            self._count("retraces")
         if self._plan is None:
             sample = images[: self.config.trace_batch]
             if not self._precheck(sample):
@@ -163,7 +275,7 @@ class InferenceEngine:
             try:
                 self._plan = compile_plan(self.module, sample, self.config)
             except PlanError:
-                self.stats.trace_failures += 1
+                self._count("trace_failures")
                 self._graph_only = True
                 return None
         return self._plan
@@ -187,7 +299,7 @@ class InferenceEngine:
             target=f"engine:{type(self.module).__name__}",
         )
         if self.check_report.has_errors:
-            self.stats.precheck_errors = len(self.check_report.errors)
+            self._count("precheck_errors", len(self.check_report.errors))
             self._graph_only = True
             return False
         return True
@@ -197,9 +309,24 @@ class InferenceEngine:
         self._plan = None
 
     def _graph_run(self, images: np.ndarray) -> np.ndarray:
-        self.stats.graph_runs += 1
+        self._count("graph_runs")
+        telemetry = self.telemetry
+        if telemetry is None:
+            with no_grad():
+                return self.module(Tensor(images)).data
+        start = telemetry.clock()
         with no_grad():
-            return self.module(Tensor(images)).data
+            out = self.module(Tensor(images)).data
+        end = telemetry.clock()
+        telemetry.tracer.record(
+            "engine.graph_run", start, end,
+            model=self._model_name, rows=len(images),
+        )
+        telemetry.registry.histogram(
+            "engine_run_seconds", help="Wall time of one engine batch",
+            model=self._model_name, backend="graph",
+        ).observe(end - start)
+        return out
 
     # -- observability ------------------------------------------------------
     @property

@@ -31,13 +31,13 @@ path — parallelism belongs to the per-replica engines of
 from __future__ import annotations
 
 import threading
-import time
 from dataclasses import asdict, dataclass
 from typing import Optional
 
 import numpy as np
 
 from repro.core.deployment import make_fallback_reference
+from repro.obs import SYSTEM_CLOCK, Clock, Telemetry
 from repro.runtime.engine import EngineConfig, InferenceEngine
 from repro.snc.diagnosis import DEFAULT_CODE_TOLERANCE, HealthReport, diagnose
 from repro.snc.remediation import RemediationConfig, run_remediation_ladder
@@ -120,15 +120,24 @@ class GuardedSpikingSystem:
     software model's.
     """
 
-    def __init__(self, system, config: Optional[GuardConfig] = None) -> None:
+    def __init__(self, system, config: Optional[GuardConfig] = None,
+                 telemetry: Optional[Telemetry] = None,
+                 clock: Optional[Clock] = None) -> None:
         self.system = system
         self.config = config or GuardConfig()
+        self.telemetry = telemetry
+        # Probe latency is timed through an injected clock (RL005): the
+        # telemetry clock when observed, the system clock otherwise.
+        self.clock: Clock = clock or (
+            telemetry.clock if telemetry is not None else SYSTEM_CLOCK
+        )
         self.software_twin = make_fallback_reference(system.software_reference)
         # Fallback traffic is served through a compiled plan (float64, so
         # bit-identical to the twin's graph executor; the integer fast path
         # engages when the twin's weights sit on the clustering grid).
         self.twin_engine = InferenceEngine(
-            self.software_twin, EngineConfig(dtype=np.float64)
+            self.software_twin, EngineConfig(dtype=np.float64),
+            telemetry=telemetry,
         )
         self.counters = RuntimeCounters()
         self.health_log: list = []
@@ -139,6 +148,19 @@ class GuardedSpikingSystem:
         # cannot race counters or interleave probes with remediation.
         # Re-entrant because infer() probes via check_health().
         self._lock = threading.RLock()
+
+    def _obs_inc(self, name: str, help: str, amount: float = 1,
+                 **labels: str) -> None:
+        """Mirror one counter increment into the shared telemetry registry."""
+        if self.telemetry is not None:
+            self.telemetry.registry.counter(name, help=help, **labels).inc(amount)
+
+    def _obs_fallback_gauge(self) -> None:
+        if self.telemetry is not None:
+            self.telemetry.registry.gauge(
+                "guard_fallback_engaged",
+                help="1 while all traffic is served by the software twin",
+            ).set(1.0 if self.counters.fallback_engaged else 0.0)
 
     # -- serving ------------------------------------------------------------
     def infer(self, images: np.ndarray) -> np.ndarray:
@@ -161,6 +183,8 @@ class GuardedSpikingSystem:
                     logits = self.system.infer(images)
                 except Exception:
                     self.counters.transient_failures += 1
+                    self._obs_inc("guard_transient_failures_total",
+                                  "Analog-path exceptions caught by the guard")
                     if attempt < self.config.max_retries:
                         self.counters.transient_retries += 1
                         continue
@@ -168,6 +192,8 @@ class GuardedSpikingSystem:
                     # without condemning the analog path.
                     return self._software_infer(images)
                 self.counters.requests_analog += 1
+                self._obs_inc("guard_requests_total",
+                              "Guarded requests by serving path", path="analog")
                 return logits
             raise AssertionError("unreachable")  # pragma: no cover
 
@@ -186,6 +212,8 @@ class GuardedSpikingSystem:
 
     def _software_infer(self, images: np.ndarray) -> np.ndarray:
         self.counters.requests_software += 1
+        self._obs_inc("guard_requests_total",
+                      "Guarded requests by serving path", path="software")
         return self.twin_engine.run(images)
 
     # -- health -------------------------------------------------------------
@@ -207,13 +235,14 @@ class GuardedSpikingSystem:
         (post-repair, if the ladder ran).
         """
         with self._lock:
-            start = time.perf_counter()
+            start = self.clock()
             report = diagnose(
                 self.system,
                 code_tolerance=self.config.code_tolerance,
                 seed=self.config.seed,
             )
             self.counters.probes_run += 1
+            self._obs_inc("guard_probes_total", "Health probes run")
             event = _HealthEvent(
                 request_index=self.counters.requests_total,
                 healthy=report.healthy,
@@ -221,19 +250,31 @@ class GuardedSpikingSystem:
             )
             if not self._within_spec(report):
                 self.counters.probes_failed += 1
+                self._obs_inc("guard_probes_failed_total",
+                              "Health probes that missed the serving spec")
                 if self.config.auto_remediate:
                     self.counters.repairs_attempted += 1
+                    self._obs_inc("guard_repairs_attempted_total",
+                                  "Remediation-ladder runs triggered by probes")
                     outcome = run_remediation_ladder(self.system, self.config.remediation_config())
                     report = outcome.final
                     event.remediated = True
                     event.spec_met_after = outcome.spec_met
                     if outcome.spec_met:
                         self.counters.repairs_succeeded += 1
+                        self._obs_inc("guard_repairs_succeeded_total",
+                                      "Remediation-ladder runs that restored spec")
                 # Engage (or clear) the fallback path based on the final state.
                 self.counters.fallback_engaged = not self._within_spec(report)
             else:
                 self.counters.fallback_engaged = False
-            self.counters.probe_latency_total_s += time.perf_counter() - start
+            self._obs_fallback_gauge()
+            probe_seconds = self.clock() - start
+            self.counters.probe_latency_total_s += probe_seconds
+            if self.telemetry is not None:
+                self.telemetry.registry.histogram(
+                    "guard_probe_seconds", help="Wall time of one health probe",
+                ).observe(probe_seconds)
             self.last_report = report
             self.health_log.append(event)
             self._requests_since_probe = 0

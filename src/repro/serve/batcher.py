@@ -20,12 +20,12 @@ change.
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass
 from typing import Callable, List, Optional
 
 import numpy as np
 
+from repro.obs import SYSTEM_CLOCK, Telemetry
 from repro.serve.queue import AdmissionQueue, ServeRequest
 
 
@@ -75,7 +75,8 @@ class MicroBatcher:
         queue: AdmissionQueue,
         batch_size: int,
         max_wait_s: float = 0.002,
-        clock: Callable[[], float] = time.monotonic,
+        clock: Optional[Callable[[], float]] = None,
+        telemetry: Optional[Telemetry] = None,
     ) -> None:
         if batch_size < 1:
             raise ValueError(f"batch_size must be >= 1, got {batch_size}")
@@ -84,7 +85,21 @@ class MicroBatcher:
         self.queue = queue
         self.batch_size = batch_size
         self.max_wait_s = max_wait_s
-        self.clock = clock
+        self.telemetry = telemetry
+        if clock is not None:
+            self.clock = clock
+        elif telemetry is not None:
+            self.clock = telemetry.clock
+        else:
+            self.clock = SYSTEM_CLOCK
+        if telemetry is not None:
+            registry = telemetry.registry
+            self._obs_batches = registry.counter(
+                "serve_batches_formed_total", help="Micro-batches dispatched")
+            self._obs_rows = registry.histogram(
+                "serve_batch_rows", help="Image rows per micro-batch")
+            self._obs_coalesced = registry.histogram(
+                "serve_batch_requests", help="Requests coalesced per micro-batch")
 
     def next_batch(self, poll_s: float = 0.25) -> Optional[MicroBatch]:
         """Block for the next batch; ``None`` once the queue is drained shut.
@@ -122,4 +137,14 @@ class MicroBatcher:
             images = np.asarray(requests[0].images)
         else:
             images = np.concatenate([r.images for r in requests], axis=0)
-        return MicroBatch(requests=requests, images=images, formed_at=self.clock())
+        batch = MicroBatch(requests=requests, images=images, formed_at=self.clock())
+        if self.telemetry is not None:
+            self._obs_batches.inc()
+            self._obs_rows.observe(batch.rows)
+            self._obs_coalesced.observe(len(requests))
+            self.telemetry.tracer.record(
+                "batch.form",
+                min(r.enqueued_at for r in requests), batch.formed_at,
+                rows=batch.rows, requests=len(requests),
+            )
+        return batch

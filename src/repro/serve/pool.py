@@ -34,6 +34,7 @@ from typing import Callable, List, Optional
 
 import numpy as np
 
+from repro.obs import Telemetry
 from repro.serve.batcher import MicroBatch, MicroBatcher
 from repro.serve.queue import ServerClosed
 
@@ -68,6 +69,7 @@ class Replica:
         probe_every_batches: int = 0,
         trace_lock: Optional[threading.Lock] = None,
         batch_rows: int = 128,
+        telemetry: Optional[Telemetry] = None,
     ) -> None:
         if batch_rows < 1:
             raise ValueError(f"batch_rows must be >= 1, got {batch_rows}")
@@ -77,16 +79,57 @@ class Replica:
         self.health_probe = health_probe
         self.probe_every_batches = probe_every_batches
         self.batch_rows = batch_rows
+        self.telemetry = telemetry
         self.stats = ReplicaStats()
         self._trace_lock = trace_lock or threading.Lock()
         self._consecutive_failures = 0
         self._pad_buffers: dict = {}
+        # Instruments resolved once; the replica label keeps per-worker
+        # series while sums across replicas give the pool-wide view.
+        if telemetry is not None:
+            registry = telemetry.registry
+            label = str(index)
+            self._obs = {
+                "batches": registry.counter(
+                    "serve_replica_batches_total",
+                    help="Micro-batches served, by replica", replica=label),
+                "rows": registry.counter(
+                    "serve_replica_rows_total",
+                    help="Image rows served, by replica", replica=label),
+                "fallback_batches": registry.counter(
+                    "serve_fallback_batches_total",
+                    help="Micro-batches served by the fallback path",
+                    replica=label),
+                "engine_failures": registry.counter(
+                    "serve_engine_failures_total",
+                    help="Engine exceptions caught while serving",
+                    replica=label),
+            }
+            self._obs_degraded = registry.gauge(
+                "serve_replica_degraded",
+                help="1 while the replica serves from its fallback path",
+                replica=label)
+
+    def _obs_inc(self, key: str, amount: float = 1) -> None:
+        if self.telemetry is not None:
+            self._obs[key].inc(amount)
 
     # -- serving ------------------------------------------------------------
     def serve(self, batch: MicroBatch) -> None:
         """Run one micro-batch and complete its futures (never raises)."""
+        if self.telemetry is None:
+            self._serve(batch)
+            return
+        with self.telemetry.tracer.span(
+            "replica.serve", replica=self.index, rows=batch.rows,
+        ):
+            self._serve(batch)
+
+    def _serve(self, batch: MicroBatch) -> None:
         self.stats.batches += 1
         self.stats.rows += batch.rows
+        self._obs_inc("batches")
+        self._obs_inc("rows", batch.rows)
         if self._probe_due():
             self.run_probe()
         if self.stats.degraded:
@@ -96,9 +139,10 @@ class Replica:
             logits = self._engine_run(batch.images)
         except Exception as error:
             self.stats.engine_failures += 1
+            self._obs_inc("engine_failures")
             self._consecutive_failures += 1
             if self._consecutive_failures >= self.MAX_CONSECUTIVE_FAILURES:
-                self.stats.degraded = True
+                self._set_degraded()
             if self.fallback is not None:
                 self._serve_fallback(batch)
             else:
@@ -106,6 +150,11 @@ class Replica:
             return
         self._consecutive_failures = 0
         batch.scatter(logits)
+
+    def _set_degraded(self) -> None:
+        self.stats.degraded = True
+        if self.telemetry is not None:
+            self._obs_degraded.set(1.0)
 
     def _engine_run(self, images: np.ndarray) -> np.ndarray:
         """Run ``images`` through the engine in shape-stable chunks.
@@ -168,6 +217,7 @@ class Replica:
             ))
             return
         self.stats.fallback_batches += 1
+        self._obs_inc("fallback_batches")
         try:
             batch.scatter(np.asarray(self.fallback(batch.images)))
         except Exception as error:
@@ -192,7 +242,7 @@ class Replica:
             healthy = False
         if not healthy:
             self.stats.probes_failed += 1
-            self.stats.degraded = True
+            self._set_degraded()
         return healthy
 
     def warmup(self, sample: np.ndarray) -> None:
@@ -240,12 +290,14 @@ class ReplicaPool:
         health_probe: Optional[Callable[[], bool]] = None,
         probe_every_batches: int = 0,
         compute_slots: Optional[int] = None,
+        telemetry: Optional[Telemetry] = None,
     ) -> None:
         if workers < 1:
             raise ValueError(f"workers must be >= 1, got {workers}")
         if compute_slots is not None and compute_slots < 1:
             raise ValueError(f"compute_slots must be >= 1, got {compute_slots}")
         self.batcher = batcher
+        self.telemetry = telemetry
         self.compute_slots = compute_slots or min(workers, _available_cores())
         self._compute = threading.BoundedSemaphore(self.compute_slots)
         trace_lock = threading.Lock()
@@ -258,9 +310,18 @@ class ReplicaPool:
                 probe_every_batches=probe_every_batches,
                 trace_lock=trace_lock,
                 batch_rows=batcher.batch_size,
+                telemetry=telemetry,
             )
             for i in range(workers)
         ]
+        if telemetry is not None:
+            telemetry.registry.gauge(
+                "serve_pool_workers", help="Replica workers in the pool",
+            ).set(workers)
+            telemetry.registry.gauge(
+                "serve_compute_slots",
+                help="Replicas allowed to execute concurrently",
+            ).set(self.compute_slots)
         self._threads: List[threading.Thread] = []
         self._started = False
 

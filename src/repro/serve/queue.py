@@ -23,11 +23,12 @@ from __future__ import annotations
 
 import itertools
 import threading
-import time
 from dataclasses import dataclass
 from typing import Callable, List, Optional
 
 import numpy as np
+
+from repro.obs import SYSTEM_CLOCK, Telemetry
 
 
 class ServeError(RuntimeError):
@@ -134,18 +135,53 @@ class AdmissionQueue:
     def __init__(
         self,
         max_rows: int = 4096,
-        clock: Callable[[], float] = time.monotonic,
+        clock: Optional[Callable[[], float]] = None,
+        telemetry: Optional[Telemetry] = None,
     ) -> None:
         if max_rows < 1:
             raise ValueError(f"max_rows must be >= 1, got {max_rows}")
         self.max_rows = max_rows
-        self.clock = clock
+        self.telemetry = telemetry
+        # Clock resolution order: explicit arg, telemetry's injected
+        # clock, system monotonic (RL005: never read time.* directly).
+        if clock is not None:
+            self.clock = clock
+        elif telemetry is not None:
+            self.clock = telemetry.clock
+        else:
+            self.clock = SYSTEM_CLOCK
         self._items: List[ServeRequest] = []
         self._rows = 0
         self._closed = False
         self._lock = threading.Lock()
         self._not_empty = threading.Condition(self._lock)
         self._ids = itertools.count()
+        # Instruments are resolved once; hot-path cost is a lock + add.
+        if telemetry is not None:
+            registry = telemetry.registry
+            self._obs_admitted = registry.counter(
+                "serve_admitted_total", help="Requests admitted to the queue")
+            self._obs_rejected_overload = registry.counter(
+                "serve_rejected_total", help="Requests refused at admission",
+                reason="overloaded")
+            self._obs_rejected_closed = registry.counter(
+                "serve_rejected_total", help="Requests refused at admission",
+                reason="closed")
+            self._obs_expired = registry.counter(
+                "serve_deadline_expired_total",
+                help="Queued requests that expired before dispatch")
+            self._obs_depth_requests = registry.gauge(
+                "serve_queue_requests", help="Requests currently queued")
+            self._obs_depth_rows = registry.gauge(
+                "serve_queue_rows", help="Image rows currently queued")
+            self._obs_wait = registry.histogram(
+                "serve_queue_wait_seconds",
+                help="Time requests spent queued before dispatch")
+
+    def _obs_depth_locked(self) -> None:
+        if self.telemetry is not None:
+            self._obs_depth_requests.set(len(self._items))
+            self._obs_depth_rows.set(self._rows)
 
     # -- producer side ------------------------------------------------------
     def submit(
@@ -178,14 +214,21 @@ class AdmissionQueue:
         )
         with self._lock:
             if self._closed:
+                if self.telemetry is not None:
+                    self._obs_rejected_closed.inc()
                 raise ServerClosed("server is closed to new requests")
             if self._rows + rows > self.max_rows:
+                if self.telemetry is not None:
+                    self._obs_rejected_overload.inc()
                 raise ServerOverloaded(
                     f"queue holds {self._rows} rows; admitting {rows} more "
                     f"would exceed the bound of {self.max_rows}"
                 )
             self._items.append(request)
             self._rows += rows
+            if self.telemetry is not None:
+                self._obs_admitted.inc()
+                self._obs_depth_locked()
             self._not_empty.notify()
         return request
 
@@ -223,15 +266,22 @@ class AdmissionQueue:
 
     def _pop_admissible_locked(self) -> Optional[ServeRequest]:
         now = self.clock()
+        observed = self.telemetry is not None
         while self._items:
             request = self._items.pop(0)
             self._rows -= request.rows
             if request.expired(now):
+                if observed:
+                    self._obs_expired.inc()
+                    self._obs_depth_locked()
                 request.future.set_exception(DeadlineExceeded(
                     f"request {request.request_id} expired after "
                     f"{now - request.enqueued_at:.4f}s in queue"
                 ))
                 continue
+            if observed:
+                self._obs_wait.observe(now - request.enqueued_at)
+                self._obs_depth_locked()
             return request
         return None
 

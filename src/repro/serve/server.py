@@ -25,12 +25,12 @@ latency bounded instead of letting the queue build unbounded delay.
 from __future__ import annotations
 
 import threading
-import time
 from dataclasses import dataclass
 from typing import Callable, List, Optional, Sequence
 
 import numpy as np
 
+from repro.obs import SYSTEM_CLOCK, Telemetry
 from repro.serve.batcher import MicroBatcher
 from repro.serve.pool import ReplicaPool
 from repro.serve.queue import AdmissionQueue, ServeFuture
@@ -138,15 +138,29 @@ class ModelServer:
         fallback: Optional[Callable[[np.ndarray], np.ndarray]] = None,
         health_probe: Optional[Callable[[], bool]] = None,
         warmup_images: Optional[np.ndarray] = None,
-        clock: Callable[[], float] = time.monotonic,
+        clock: Optional[Callable[[], float]] = None,
+        telemetry: Optional[Telemetry] = None,
     ) -> None:
         self.config = config or ServeConfig()
-        self.queue = AdmissionQueue(max_rows=self.config.max_queue_rows, clock=clock)
+        self.telemetry = telemetry
+        # One clock drives queue, batcher, and latency accounting (RL005:
+        # injected, never read from time.* here).
+        if clock is not None:
+            self.clock = clock
+        elif telemetry is not None:
+            self.clock = telemetry.clock
+        else:
+            self.clock = SYSTEM_CLOCK
+        clock = self.clock
+        self.queue = AdmissionQueue(
+            max_rows=self.config.max_queue_rows, clock=clock, telemetry=telemetry,
+        )
         self.batcher = MicroBatcher(
             self.queue,
             batch_size=self.config.batch_size,
             max_wait_s=self.config.max_wait_ms / 1e3,
             clock=clock,
+            telemetry=telemetry,
         )
         self.pool = ReplicaPool(
             engine_factory,
@@ -156,9 +170,16 @@ class ModelServer:
             health_probe=health_probe,
             probe_every_batches=self.config.probe_every_batches,
             compute_slots=self.config.compute_slots,
+            telemetry=telemetry,
         )
+        if telemetry is not None:
+            registry = telemetry.registry
+            self._obs_completed = registry.counter(
+                "serve_completed_total", help="Requests completed (any outcome)")
+            self._obs_latency = registry.histogram(
+                "serve_request_seconds",
+                help="Submit-to-completion latency per request")
         self.latencies = LatencyWindow(self.config.latency_window)
-        self.clock = clock
         self._completed = 0
         self._rejected = 0
         self._stats_lock = threading.Lock()
@@ -192,9 +213,13 @@ class ModelServer:
         start = request.enqueued_at
 
         def record_latency(_future: ServeFuture) -> None:
-            self.latencies.record(self.clock() - start)
+            latency_s = self.clock() - start
+            self.latencies.record(latency_s)
             with self._stats_lock:
                 self._completed += 1
+            if self.telemetry is not None:
+                self._obs_completed.inc()
+                self._obs_latency.observe(latency_s)
 
         request.future.add_done_callback(record_latency)
         return request.future

@@ -47,9 +47,15 @@ class PipelineStats:
 
 
 def simulate_pipeline(
-    layer_windows: Sequence[int], num_inferences: int = 64
+    layer_windows: Sequence[int], num_inferences: int = 64,
+    telemetry=None,
 ) -> PipelineStats:
-    """Run the flow-shop recurrence and measure latency/throughput."""
+    """Run the flow-shop recurrence and measure latency/throughput.
+
+    With ``telemetry`` (a :class:`repro.obs.Telemetry`), the resulting
+    cycle counts are published as ``snc_pipeline_*`` gauges so pipeline
+    behaviour shows up next to the serving and spike-activity metrics.
+    """
     windows = [int(w) for w in layer_windows]
     if not windows or any(w < 1 for w in windows):
         raise ValueError("layer_windows must be non-empty positive integers")
@@ -74,7 +80,7 @@ def simulate_pipeline(
     completions = finish
     # Steady-state interval: difference between the last two completions.
     interval = int(completions[-1] - completions[-2])
-    return PipelineStats(
+    stats = PipelineStats(
         num_layers=num_layers,
         num_inferences=num_inferences,
         first_latency=int(completions[0]),
@@ -82,6 +88,24 @@ def simulate_pipeline(
         throughput=1.0 / interval,
         bottleneck_layer=int(np.argmax(windows)),
     )
+    if telemetry is not None:
+        registry = telemetry.registry
+        registry.gauge(
+            "snc_pipeline_first_latency_cycles",
+            help="Cycles until the first inference completes",
+        ).set(stats.first_latency)
+        registry.gauge(
+            "snc_pipeline_interval_cycles",
+            help="Steady-state cycles between completions",
+        ).set(stats.steady_interval)
+        registry.gauge(
+            "snc_pipeline_bottleneck_layer",
+            help="Index of the slowest pipeline stage",
+        ).set(stats.bottleneck_layer)
+        registry.counter(
+            "snc_pipeline_simulations_total", help="Pipeline simulations run",
+        ).inc()
+    return stats
 
 
 def window_cycles(signal_bits: int, overhead_cycles: float = 0.0) -> int:

@@ -28,6 +28,7 @@ from repro.core.surgery import clone_module
 from repro.nn.data import Dataset
 from repro.nn.modules import Module
 from repro.nn.tensor import Tensor, no_grad
+from repro.obs import Telemetry
 from repro.snc.mapping import MappingReport, map_network
 from repro.snc.memristor import MemristorModel
 from repro.snc.spikes import window_length
@@ -74,12 +75,23 @@ class SpikingSystem:
         mapping: MappingReport,
         config: SpikingSystemConfig,
         software_reference: Module,
+        telemetry: Optional[Telemetry] = None,
     ) -> None:
         self.network = network
         self.mapping = mapping
         self.config = config
         self.software_reference = software_reference
+        self.telemetry = telemetry
         self._engines: Dict[int, object] = {}
+
+    def attach_telemetry(self, telemetry: Optional[Telemetry]) -> None:
+        """Attach (or detach) the telemetry spine.
+
+        Cached engines are dropped so the next run compiles instrumented
+        (or uninstrumented) engines consistently.
+        """
+        self.telemetry = telemetry
+        self._engines = {}
 
     def engine(self, module: Optional[Module] = None):
         """The compiled :class:`~repro.runtime.engine.InferenceEngine` serving
@@ -96,7 +108,9 @@ class SpikingSystem:
         module = module if module is not None else self.network
         eng = self._engines.get(id(module))
         if eng is None:
-            eng = InferenceEngine(module, EngineConfig(dtype=np.float64))
+            eng = InferenceEngine(
+                module, EngineConfig(dtype=np.float64), telemetry=self.telemetry
+            )
             self._engines[id(module)] = eng
         return eng
 
@@ -159,7 +173,8 @@ class SpikingSystem:
         return GuardedSpikingSystem(self, config)
 
     def serve(self, serve_config=None, guard_config=None,
-              warmup_images: Optional[np.ndarray] = None):
+              warmup_images: Optional[np.ndarray] = None,
+              telemetry: Optional[Telemetry] = None):
         """A :class:`~repro.serve.server.ModelServer` over this system —
         concurrent traffic, micro-batched onto per-replica engines.
 
@@ -174,7 +189,8 @@ class SpikingSystem:
         from repro.runtime.guard import GuardedSpikingSystem
         from repro.serve import ModelServer
 
-        guard = GuardedSpikingSystem(self, guard_config)
+        telemetry = telemetry if telemetry is not None else self.telemetry
+        guard = GuardedSpikingSystem(self, guard_config, telemetry=telemetry)
 
         def probe() -> bool:
             report = guard.check_health()
@@ -183,12 +199,13 @@ class SpikingSystem:
 
         return ModelServer(
             engine_factory=lambda: InferenceEngine(
-                self.network, EngineConfig(dtype=np.float64)
+                self.network, EngineConfig(dtype=np.float64), telemetry=telemetry
             ),
             config=serve_config,
             fallback=guard.infer,
             health_probe=probe,
             warmup_images=warmup_images,
+            telemetry=telemetry,
         )
 
     def verify_equivalence(self, images: np.ndarray, atol: float = 1e-6) -> bool:
@@ -233,7 +250,59 @@ class SpikingSystem:
         finally:
             for remover in taps:
                 remover()
+        if self.telemetry is not None:
+            self._record_activity(stats, batch_rows=len(images))
         return stats
+
+    def estimated_energy_uj(self, stats: SpikeStatistics) -> float:
+        """Estimated crossbar energy per classified sample, in µJ.
+
+        Applies the fitted Table 5 energy model
+        (:class:`~repro.snc.cost.EnergyParameters`) to *measured* spike
+        activity: dynamic energy charges every emitted output spike (IFC
+        fire + counter toggle + routing), static energy charges every
+        mapped differential pair for the window the arrays stay biased.
+        """
+        from repro.snc.cost import EnergyParameters, generic_speed_profile
+
+        energy = EnergyParameters()
+        num_layers = max(len(stats.per_layer_counts), 1)
+        profile = generic_speed_profile(num_layers)
+        inference_time_us = (stats.window + 1 + profile.overhead_cycles) / profile.f_mhz
+        cells = self.mapping.total_crossbars * self.config.crossbar_size ** 2 * 2
+        dynamic = energy.e_output_event_uj * stats.total_mean_spikes
+        static = energy.p_cell_uw * cells * inference_time_us
+        return dynamic + static
+
+    def _record_activity(self, stats: SpikeStatistics, batch_rows: int) -> None:
+        """Publish one batch's spike activity to the telemetry registry."""
+        registry = self.telemetry.registry
+        total_spikes = 0.0
+        for layer, mean_count in stats.per_layer_counts.items():
+            batch_spikes = mean_count * batch_rows
+            total_spikes += batch_spikes
+            registry.counter(
+                "snc_spikes_total",
+                help="Output spikes emitted, by quantized-activation layer",
+                layer=layer,
+            ).inc(batch_spikes)
+        # Every output spike is one integrate-and-fire conversion.
+        registry.counter(
+            "snc_ifc_fires_total", help="Integrate-and-fire converter fire events",
+        ).inc(total_spikes)
+        registry.counter(
+            "snc_samples_total", help="Samples measured for spike activity",
+        ).inc(batch_rows)
+        registry.gauge(
+            "snc_spike_window_cycles", help="Spike window length (2^M - 1 cycles)",
+        ).set(stats.window)
+        registry.gauge(
+            "snc_energy_estimate_uj",
+            help="Estimated crossbar energy per sample (fitted Table 5 model)",
+        ).set(self.estimated_energy_uj(stats))
+        registry.gauge(
+            "snc_mapped_crossbars", help="Crossbars occupied by the deployment",
+        ).set(self.mapping.total_crossbars)
 
 
 def build_spiking_system(

@@ -1,0 +1,146 @@
+"""Exporters: Prometheus text shape and JSON round-trip fidelity."""
+
+import json
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.obs.export import (
+    EXPORT_SCHEMA_VERSION,
+    from_json,
+    to_json,
+    to_prometheus,
+)
+from repro.obs.metrics import MetricsRegistry
+
+
+def _populated_registry():
+    registry = MetricsRegistry()
+    registry.counter("requests_total", help="Requests served",
+                     model="lenet").inc(7)
+    registry.counter("requests_total", model="alexnet").inc(2)
+    registry.gauge("queue_depth", help="Rows waiting").set(3)
+    hist = registry.histogram("latency_seconds", help="Request latency")
+    for value in (0.001, 0.002, 0.004, 0.010):
+        hist.observe(value)
+    return registry
+
+
+class TestJsonRoundTrip:
+    def test_round_trip_reconstructs_equal_snapshot(self):
+        registry = _populated_registry()
+        snap = registry.snapshot()
+        assert from_json(to_json(registry)) == snap
+        # Snapshot input works too, and exporting never mutates.
+        assert from_json(to_json(snap)) == registry.snapshot()
+
+    def test_empty_registry_round_trips(self):
+        registry = MetricsRegistry()
+        assert from_json(to_json(registry)) == registry.snapshot()
+
+    def test_document_is_stable(self):
+        registry = _populated_registry()
+        assert to_json(registry) == to_json(registry)
+        document = json.loads(to_json(registry))
+        assert document["schema_version"] == EXPORT_SCHEMA_VERSION
+
+    @given(
+        values=st.lists(
+            st.floats(min_value=-1e6, max_value=1e6, allow_nan=False),
+            min_size=0, max_size=100,
+        )
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_histogram_reservoirs_round_trip_exactly(self, values):
+        registry = MetricsRegistry()
+        hist = registry.histogram("h", seen="fuzz")
+        for value in values:
+            hist.observe(value)
+        assert from_json(to_json(registry)) == registry.snapshot()
+
+
+class TestJsonValidation:
+    def test_rejects_non_json(self):
+        with pytest.raises(ValueError, match="not valid JSON"):
+            from_json("{nope")
+
+    def test_rejects_non_object(self):
+        with pytest.raises(ValueError, match="JSON object"):
+            from_json("[1, 2]")
+
+    def test_rejects_wrong_schema_version(self):
+        document = json.loads(to_json(_populated_registry()))
+        document["schema_version"] = 999
+        with pytest.raises(ValueError, match="schema_version"):
+            from_json(json.dumps(document))
+
+    def test_rejects_missing_families(self):
+        with pytest.raises(ValueError, match="families"):
+            from_json(json.dumps({"schema_version": EXPORT_SCHEMA_VERSION}))
+
+    def test_rejects_unknown_kind(self):
+        document = json.loads(to_json(_populated_registry()))
+        document["families"][0]["kind"] = "exotic"
+        with pytest.raises(ValueError, match="unknown metric kind"):
+            from_json(json.dumps(document))
+
+    def test_rejects_series_without_value(self):
+        document = json.loads(to_json(_populated_registry()))
+        for family in document["families"]:
+            if family["kind"] == "counter":
+                del family["series"][0]["value"]
+        with pytest.raises(ValueError, match="missing 'value'"):
+            from_json(json.dumps(document))
+
+    def test_rejects_histogram_missing_samples(self):
+        document = json.loads(to_json(_populated_registry()))
+        for family in document["families"]:
+            if family["kind"] == "histogram":
+                del family["series"][0]["samples"]
+        with pytest.raises(ValueError, match="samples"):
+            from_json(json.dumps(document))
+
+    def test_rejects_missing_name(self):
+        document = json.loads(to_json(_populated_registry()))
+        del document["families"][0]["name"]
+        with pytest.raises(ValueError, match="name"):
+            from_json(json.dumps(document))
+
+
+class TestPrometheus:
+    def test_counter_and_gauge_lines(self):
+        text = to_prometheus(_populated_registry())
+        assert "# HELP requests_total Requests served" in text
+        assert "# TYPE requests_total counter" in text
+        assert 'requests_total{model="lenet"} 7' in text
+        assert 'requests_total{model="alexnet"} 2' in text
+        assert "# TYPE queue_depth gauge" in text
+        assert "queue_depth 3" in text
+
+    def test_histogram_renders_as_summary(self):
+        text = to_prometheus(_populated_registry())
+        assert "# TYPE latency_seconds summary" in text
+        assert 'latency_seconds{quantile="0.5"}' in text
+        assert 'latency_seconds{quantile="0.99"}' in text
+        assert "latency_seconds_sum 0.017" in text
+        assert "latency_seconds_count 4" in text
+        assert "latency_seconds_min 0.001" in text
+        assert "latency_seconds_max 0.01" in text
+
+    def test_label_values_escaped(self):
+        registry = MetricsRegistry()
+        registry.counter("c", path='a"b\\c\nd').inc()
+        text = to_prometheus(registry)
+        assert r'c{path="a\"b\\c\nd"} 1' in text
+
+    def test_empty_registry_renders_empty(self):
+        assert to_prometheus(MetricsRegistry()) == ""
+
+    def test_empty_histogram_quantiles_are_nan(self):
+        registry = MetricsRegistry()
+        registry.histogram("h")
+        text = to_prometheus(registry)
+        assert 'h{quantile="0.5"} NaN' in text
+        assert "h_count 0" in text
+        assert "h_min" not in text

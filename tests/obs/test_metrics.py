@@ -1,0 +1,270 @@
+"""Metrics primitives: units plus the hypothesis property suite.
+
+The properties the exporters and mergers lean on:
+
+- merged snapshot quantiles are bounded by the inputs' exact extrema,
+- snapshots are idempotent (pure reads, equal when taken back to back),
+- counters are monotonic and lose no increments under thread interleaving.
+"""
+
+import threading
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    HistogramSnapshot,
+    MetricsRegistry,
+)
+
+finite_floats = st.floats(
+    min_value=-1e9, max_value=1e9, allow_nan=False, allow_infinity=False
+)
+sample_lists = st.lists(finite_floats, min_size=1, max_size=200)
+
+
+def _snapshot_of(values, reservoir_size=64):
+    hist = Histogram(reservoir_size=reservoir_size)
+    for value in values:
+        hist.observe(value)
+    return hist.snapshot()
+
+
+class TestCounter:
+    def test_monotonic_increments(self):
+        counter = Counter()
+        counter.inc()
+        counter.inc(2.5)
+        assert counter.value == 3.5
+
+    def test_negative_increment_rejected(self):
+        with pytest.raises(ValueError):
+            Counter().inc(-1)
+
+    @given(amounts=st.lists(st.floats(min_value=0, max_value=1e6,
+                                      allow_nan=False), max_size=50))
+    def test_value_is_sum_of_increments(self, amounts):
+        counter = Counter()
+        for amount in amounts:
+            counter.inc(amount)
+        assert counter.value == pytest.approx(sum(amounts))
+
+    @given(
+        threads=st.integers(min_value=2, max_value=8),
+        increments=st.integers(min_value=1, max_value=200),
+    )
+    @settings(max_examples=20, deadline=None)
+    def test_no_lost_increments_under_interleaved_threads(self, threads, increments):
+        counter = Counter()
+        barrier = threading.Barrier(threads)
+        observed = []
+
+        def worker():
+            barrier.wait()  # maximize interleaving
+            for _ in range(increments):
+                counter.inc()
+                observed.append(counter.value)
+
+        pool = [threading.Thread(target=worker) for _ in range(threads)]
+        for thread in pool:
+            thread.start()
+        for thread in pool:
+            thread.join()
+        assert counter.value == threads * increments
+        # Every observed reading is positive and none exceeds the final total.
+        assert all(0 < v <= threads * increments for v in observed)
+
+
+class TestGauge:
+    def test_set_and_add(self):
+        gauge = Gauge()
+        gauge.set(10)
+        gauge.add(-2.5)
+        assert gauge.value == 7.5
+
+
+class TestHistogram:
+    def test_exact_fields(self):
+        snap = _snapshot_of([3.0, 1.0, 2.0])
+        assert snap.count == 3
+        assert snap.total == 6.0
+        assert snap.minimum == 1.0
+        assert snap.maximum == 3.0
+        assert snap.mean == 2.0
+        assert snap.samples == (1.0, 2.0, 3.0)
+
+    def test_reservoir_is_bounded(self):
+        hist = Histogram(reservoir_size=16)
+        for i in range(10_000):
+            hist.observe(float(i))
+        snap = hist.snapshot()
+        assert len(snap.samples) == 16
+        assert snap.count == 10_000
+        assert snap.minimum == 0.0 and snap.maximum == 9999.0
+
+    def test_reservoir_is_deterministic(self):
+        def fill():
+            hist = Histogram(reservoir_size=8)
+            for i in range(1000):
+                hist.observe(float(i))
+            return hist.snapshot()
+
+        assert fill() == fill()
+
+    def test_empty_quantile_is_nan(self):
+        snap = Histogram().snapshot()
+        assert np.isnan(snap.quantile(0.5))
+
+    def test_quantile_range_validated(self):
+        with pytest.raises(ValueError):
+            _snapshot_of([1.0]).quantile(1.5)
+
+    @given(values=sample_lists, q=st.floats(min_value=0, max_value=1))
+    @settings(max_examples=100, deadline=None)
+    def test_quantile_bounded_by_extrema(self, values, q):
+        snap = _snapshot_of(values)
+        estimate = snap.quantile(q)
+        assert min(values) <= estimate <= max(values)
+
+    @given(values=sample_lists)
+    @settings(max_examples=100, deadline=None)
+    def test_snapshot_idempotent(self, values):
+        hist = Histogram(reservoir_size=32)
+        for value in values:
+            hist.observe(value)
+        first = hist.snapshot()
+        second = hist.snapshot()
+        assert first == second
+        # Reading quantiles is pure: the snapshot compares equal afterwards.
+        first.quantile(0.5)
+        assert first == second
+
+    @given(a=sample_lists, b=sample_lists,
+           q=st.sampled_from([0.0, 0.25, 0.5, 0.9, 0.99, 1.0]))
+    @settings(max_examples=150, deadline=None)
+    def test_merge_quantiles_bounded_by_inputs(self, a, b, q):
+        merged = _snapshot_of(a).merge(_snapshot_of(b))
+        low = min(min(a), min(b))
+        high = max(max(a), max(b))
+        assert merged.count == len(a) + len(b)
+        assert merged.total == pytest.approx(sum(a) + sum(b))
+        assert merged.minimum == low and merged.maximum == high
+        assert low <= merged.quantile(q) <= high
+        assert len(merged.samples) <= merged.reservoir_size
+
+    @given(a=sample_lists, b=sample_lists)
+    @settings(max_examples=50, deadline=None)
+    def test_merge_is_deterministic_and_symmetric_in_count(self, a, b):
+        left = _snapshot_of(a).merge(_snapshot_of(b))
+        again = _snapshot_of(a).merge(_snapshot_of(b))
+        assert left == again
+        flipped = _snapshot_of(b).merge(_snapshot_of(a))
+        assert flipped.count == left.count
+        assert flipped.minimum == left.minimum
+        assert flipped.maximum == left.maximum
+
+    def test_merge_empty_snapshots(self):
+        empty = Histogram().snapshot()
+        merged = empty.merge(empty)
+        assert merged.count == 0
+        assert merged.minimum is None and merged.maximum is None
+
+
+class TestRegistry:
+    def test_get_or_create_returns_same_instrument(self):
+        registry = MetricsRegistry()
+        a = registry.counter("requests_total", model="lenet")
+        b = registry.counter("requests_total", model="lenet")
+        assert a is b
+        other = registry.counter("requests_total", model="alexnet")
+        assert other is not a
+
+    def test_kind_conflict_rejected(self):
+        registry = MetricsRegistry()
+        registry.counter("thing")
+        with pytest.raises(ValueError, match="already registered"):
+            registry.gauge("thing")
+
+    def test_invalid_names_rejected(self):
+        registry = MetricsRegistry()
+        with pytest.raises(ValueError):
+            registry.counter("bad name")
+        with pytest.raises(ValueError):
+            registry.counter("ok", **{"0bad": "x"})
+
+    def test_snapshot_carries_all_series(self):
+        registry = MetricsRegistry()
+        registry.counter("c", help="a counter", k="1").inc(2)
+        registry.gauge("g").set(5)
+        registry.histogram("h").observe(1.0)
+        snap = registry.snapshot()
+        assert snap.names() == ["c", "g", "h"]
+        family = snap.family("c")
+        assert family.kind == "counter" and family.help == "a counter"
+        labels, value = family.series[0]
+        assert labels == {"k": "1"} and value == 2.0
+        assert snap.family("missing") is None
+
+    def test_concurrent_get_or_create_single_instrument(self):
+        registry = MetricsRegistry()
+        results = []
+        barrier = threading.Barrier(8)
+
+        def worker():
+            barrier.wait()
+            counter = registry.counter("shared_total")
+            counter.inc()
+            results.append(counter)
+
+        pool = [threading.Thread(target=worker) for _ in range(8)]
+        for thread in pool:
+            thread.start()
+        for thread in pool:
+            thread.join()
+        assert all(c is results[0] for c in results)
+        assert results[0].value == 8
+
+
+class TestEngineStatsRegression:
+    """EngineStats used to keep bare ints; concurrent runs dropped counts."""
+
+    def test_concurrent_increments_are_exact(self):
+        from repro.runtime.engine import EngineStats
+
+        stats = EngineStats()
+        barrier = threading.Barrier(8)
+
+        def worker():
+            barrier.wait()
+            for _ in range(500):
+                stats.inc("runs")
+                stats.inc("retraces")
+
+        pool = [threading.Thread(target=worker) for _ in range(8)]
+        for thread in pool:
+            thread.start()
+        for thread in pool:
+            thread.join()
+        assert stats.runs == 4000
+        assert stats.retraces == 4000
+
+
+class TestSnapshotMergeUnit:
+    def test_merge_respects_count_proportions(self):
+        heavy = _snapshot_of([0.0] * 150, reservoir_size=64)
+        light = _snapshot_of([100.0] * 10, reservoir_size=64)
+        merged = heavy.merge(light)
+        # The heavy side contributes proportionally more retained samples.
+        zeros = sum(1 for s in merged.samples if s == 0.0)
+        hundreds = sum(1 for s in merged.samples if s == 100.0)
+        assert zeros > hundreds
+        assert merged.count == 160
+
+    def test_merge_type(self):
+        merged = _snapshot_of([1.0]).merge(_snapshot_of([2.0]))
+        assert isinstance(merged, HistogramSnapshot)

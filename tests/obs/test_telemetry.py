@@ -1,0 +1,44 @@
+"""The Telemetry facade: one clock, one registry, one tracer."""
+
+from repro.obs import SYSTEM_CLOCK, FakeClock, Telemetry, from_json
+
+
+class TestTelemetry:
+    def test_defaults(self):
+        telemetry = Telemetry()
+        assert telemetry.clock is SYSTEM_CLOCK
+        assert telemetry.tracer.clock is SYSTEM_CLOCK
+
+    def test_clock_is_shared_with_the_tracer(self):
+        clock = FakeClock()
+        telemetry = Telemetry(clock=clock)
+        with telemetry.tracer.span("work") as span:
+            clock.advance(2.0)
+        assert span.duration == 2.0
+
+    def test_reservoir_size_propagates(self):
+        telemetry = Telemetry(reservoir_size=4)
+        hist = telemetry.registry.histogram("h")
+        for i in range(100):
+            hist.observe(float(i))
+        assert len(hist.snapshot().samples) == 4
+
+    def test_max_spans_propagates(self):
+        telemetry = Telemetry(max_spans=2)
+        for i in range(5):
+            telemetry.tracer.record("s", float(i), float(i) + 1.0)
+        assert len(telemetry.tracer.spans()) == 2
+        assert telemetry.tracer.spans_finished == 5
+
+    def test_export_json_round_trips(self):
+        telemetry = Telemetry(clock=FakeClock())
+        telemetry.registry.counter("c").inc(3)
+        telemetry.registry.histogram("h").observe(0.5)
+        assert from_json(telemetry.export_json()) == telemetry.registry.snapshot()
+
+    def test_export_prometheus(self):
+        telemetry = Telemetry()
+        telemetry.registry.gauge("g", help="a gauge").set(1.5)
+        text = telemetry.export_prometheus()
+        assert "# TYPE g gauge" in text
+        assert "g 1.5" in text

@@ -1,0 +1,155 @@
+"""Tracer behaviour under an injected FakeClock: every duration is exact."""
+
+import threading
+
+import pytest
+
+from repro.obs.clock import SYSTEM_CLOCK, FakeClock
+from repro.obs.tracing import Tracer
+
+
+class TestFakeClock:
+    def test_manual_advance(self):
+        clock = FakeClock(start=10.0)
+        assert clock() == 10.0
+        clock.advance(2.5)
+        assert clock() == 12.5
+
+    def test_auto_step(self):
+        clock = FakeClock(auto_step=1.0)
+        assert clock() == 0.0
+        assert clock() == 1.0
+        assert clock() == 2.0
+
+    def test_negative_advance_rejected(self):
+        with pytest.raises(ValueError):
+            FakeClock().advance(-1.0)
+
+    def test_system_clock_is_monotonic(self):
+        assert SYSTEM_CLOCK() <= SYSTEM_CLOCK()
+
+
+class TestSpans:
+    def test_span_duration_from_injected_clock(self):
+        clock = FakeClock()
+        tracer = Tracer(clock=clock)
+        with tracer.span("engine.run", model="lenet") as span:
+            clock.advance(0.125)
+            span.set(rows=8)
+        (finished,) = tracer.spans("engine.run")
+        assert finished is span
+        assert finished.duration == 0.125
+        assert finished.attributes == {"model": "lenet", "rows": 8}
+
+    def test_open_span_has_zero_duration(self):
+        tracer = Tracer(clock=FakeClock(auto_step=1.0))
+        context = tracer.span("work")
+        assert context.span.duration == 0.0
+
+    def test_nested_spans_are_parented(self):
+        tracer = Tracer(clock=FakeClock(auto_step=0.5))
+        with tracer.span("outer") as outer:
+            with tracer.span("inner") as inner:
+                pass
+        assert inner.parent_id == outer.span_id
+        assert outer.parent_id is None
+        # Inner finishes first, so it lands in the ring first.
+        assert [s.name for s in tracer.spans()] == ["inner", "outer"]
+
+    def test_record_parents_under_open_span(self):
+        tracer = Tracer(clock=FakeClock())
+        with tracer.span("replica.serve") as outer:
+            recorded = tracer.record("plan.matmul", 1.0, 1.5, index=3)
+        assert recorded.parent_id == outer.span_id
+        assert recorded.duration == 0.5
+        assert recorded.attributes == {"index": 3}
+
+    def test_record_without_open_span_is_root(self):
+        tracer = Tracer(clock=FakeClock())
+        span = tracer.record("plan.relu", 0.0, 1.0)
+        assert span.parent_id is None
+
+    def test_exception_marks_error_attribute(self):
+        tracer = Tracer(clock=FakeClock())
+        with pytest.raises(RuntimeError):
+            with tracer.span("engine.run"):
+                raise RuntimeError("boom")
+        (span,) = tracer.spans()
+        assert span.attributes["error"] == "RuntimeError"
+        assert span.end is not None
+
+    def test_to_dict_is_json_shape(self):
+        tracer = Tracer(clock=FakeClock(auto_step=1.0))
+        with tracer.span("work", a=1):
+            pass
+        payload = tracer.spans()[0].to_dict()
+        assert payload["name"] == "work"
+        assert payload["duration"] == payload["end"] - payload["start"]
+        assert payload["attributes"] == {"a": 1}
+
+
+class TestRing:
+    def test_ring_is_bounded_but_totals_exact(self):
+        tracer = Tracer(clock=FakeClock(), max_spans=4)
+        for i in range(10):
+            tracer.record("step", float(i), float(i) + 0.1)
+        assert len(tracer.spans()) == 4
+        assert tracer.spans_started == 10
+        assert tracer.spans_finished == 10
+        # Oldest spans were evicted; the ring holds the most recent four.
+        assert [s.start for s in tracer.spans()] == [6.0, 7.0, 8.0, 9.0]
+
+    def test_invalid_max_spans_rejected(self):
+        with pytest.raises(ValueError):
+            Tracer(max_spans=0)
+
+    def test_clear_preserves_totals(self):
+        tracer = Tracer(clock=FakeClock())
+        tracer.record("a", 0.0, 1.0)
+        tracer.clear()
+        assert tracer.spans() == []
+        assert tracer.spans_finished == 1
+
+    def test_name_filter(self):
+        tracer = Tracer(clock=FakeClock())
+        tracer.record("a", 0.0, 1.0)
+        tracer.record("b", 1.0, 2.0)
+        assert [s.name for s in tracer.spans("b")] == ["b"]
+
+
+class TestThreading:
+    def test_parentage_is_per_thread(self):
+        tracer = Tracer(clock=FakeClock())
+        results = {}
+
+        def worker(tag):
+            with tracer.span(f"root.{tag}") as root:
+                child = tracer.record(f"child.{tag}", 0.0, 1.0)
+            results[tag] = (root, child)
+
+        pool = [threading.Thread(target=worker, args=(i,)) for i in range(4)]
+        for thread in pool:
+            thread.start()
+        for thread in pool:
+            thread.join()
+        for tag, (root, child) in results.items():
+            # Each child is parented under ITS thread's root, never another's.
+            assert child.parent_id == root.span_id
+        assert tracer.spans_finished == 8
+
+    def test_concurrent_record_loses_nothing(self):
+        tracer = Tracer(clock=FakeClock(), max_spans=10_000)
+        barrier = threading.Barrier(6)
+
+        def worker():
+            barrier.wait()
+            for i in range(200):
+                tracer.record("hot", float(i), float(i) + 1.0)
+
+        pool = [threading.Thread(target=worker) for _ in range(6)]
+        for thread in pool:
+            thread.start()
+        for thread in pool:
+            thread.join()
+        assert tracer.spans_finished == 1200
+        assert len(tracer.spans()) == 1200

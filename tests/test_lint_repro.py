@@ -287,3 +287,81 @@ class TestBoundedQueueRule:
             f for f in lint_repro.lint_paths([serve_dir]) if f.rule == "RL004"
         ]
         assert findings == []
+
+
+class TestInjectedClockRule:
+    def test_direct_clock_call_in_serve_is_rl005(self, tmp_path):
+        f = _write(tmp_path / "repro" / "serve" / "mod.py", """
+            import time
+            start = time.perf_counter()
+        """)
+        findings = lint_repro.lint_paths([f])
+        assert _rules(findings) == ["RL005"]
+        assert "time.perf_counter" in findings[0].message
+
+    def test_from_import_alias_is_caught(self, tmp_path):
+        f = _write(tmp_path / "repro" / "obs" / "mod.py", """
+            from time import monotonic as now
+            t = now()
+        """)
+        findings = lint_repro.lint_paths([f])
+        assert _rules(findings) == ["RL005"]
+        assert "time.monotonic" in findings[0].message
+
+    def test_ns_variants_are_caught(self, tmp_path):
+        f = _write(tmp_path / "repro" / "runtime" / "engine.py", """
+            import time
+            t = time.monotonic_ns()
+        """)
+        assert _rules(lint_repro.lint_paths([f])) == ["RL005"]
+
+    def test_clock_reference_as_default_is_clean(self, tmp_path):
+        f = _write(tmp_path / "repro" / "runtime" / "guard.py", """
+            import time
+
+            def probe(clock=time.monotonic):
+                return clock()
+        """)
+        assert lint_repro.lint_paths([f]) == []
+
+    def test_sleep_is_not_a_clock_read(self, tmp_path):
+        f = _write(tmp_path / "repro" / "serve" / "mod.py", """
+            import time
+            time.sleep(0.01)
+        """)
+        assert lint_repro.lint_paths([f]) == []
+
+    def test_obs_clock_module_is_exempt(self, tmp_path):
+        f = _write(tmp_path / "repro" / "obs" / "clock.py", """
+            import time
+            t = time.monotonic()
+        """)
+        assert lint_repro.lint_paths([f]) == []
+
+    def test_loadgen_measurement_client_is_exempt(self, tmp_path):
+        f = _write(tmp_path / "repro" / "serve" / "loadgen.py", """
+            import time
+            t = time.perf_counter()
+        """)
+        assert lint_repro.lint_paths([f]) == []
+
+    def test_uncovered_module_is_clean(self, tmp_path):
+        f = _write(tmp_path / "repro" / "training" / "loop.py", """
+            import time
+            t = time.perf_counter()
+        """)
+        assert lint_repro.lint_paths([f]) == []
+
+    def test_suppression_comment_works(self, tmp_path):
+        f = _write(tmp_path / "repro" / "serve" / "mod.py", """
+            import time
+            t = time.time()  # lint: ignore[RL005]
+        """)
+        assert lint_repro.lint_paths([f]) == []
+
+    def test_actual_hot_paths_are_clean(self):
+        src = Path(_TOOL).parents[1] / "src"
+        findings = [
+            f for f in lint_repro.lint_paths([src]) if f.rule == "RL005"
+        ]
+        assert findings == []

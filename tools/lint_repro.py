@@ -25,6 +25,16 @@ Rules
     ``self.<attr>.append(...)`` in classes that declare no bound
     (heuristic: no identifier matching ``max``/``bound`` anywhere in the
     class body).
+``RL005`` — no direct clock *calls* (``time.time``/``perf_counter``/
+    ``monotonic`` and their ``_ns`` variants) in obs-instrumented hot
+    paths: ``repro/obs/`` (except ``obs/clock.py``, the one sanctioned
+    ``time.*`` user), ``runtime/engine.py``, ``runtime/plan.py``,
+    ``runtime/guard.py``, and ``repro/serve/`` (except
+    ``serve/loadgen.py``, which is a measurement *client*, not the
+    serving path).  Clocks must be injected values so disabled telemetry
+    pays zero syscalls and tests can use a FakeClock.  References
+    (``clock=time.monotonic`` as a default) are fine — only calls are
+    flagged.
 
 Suppress a finding by appending ``# lint: ignore[RL002]`` to the
 offending line.
@@ -69,7 +79,24 @@ RULES = {
     "RL002": "array allocation inside an ExecutionPlan kernel replay body",
     "RL003": "public function in an __init__-exported module lacks a docstring",
     "RL004": "unbounded queue or buffer inside the serving layer (repro/serve/)",
+    "RL005": "direct time.* clock call in an obs-instrumented hot path",
 }
+
+#: time-module functions that read a clock; calling one hides a time
+#: source the telemetry layer cannot control or fake.
+CLOCK_READS = frozenset({
+    "time", "time_ns", "perf_counter", "perf_counter_ns",
+    "monotonic", "monotonic_ns", "process_time", "process_time_ns",
+})
+
+#: suffixes of files where clocks must be injected, not read (RL005).
+CLOCK_INJECTED_SUFFIXES = (
+    "runtime/engine.py", "runtime/plan.py", "runtime/guard.py",
+)
+
+#: RL005 exemptions: clock.py IS the injection point; loadgen.py is a
+#: measurement client sitting outside the serving path.
+CLOCK_EXEMPT_SUFFIXES = ("obs/clock.py", "serve/loadgen.py")
 
 #: stdlib queue classes that accept (and default to an unbounded) maxsize.
 BOUNDABLE_QUEUES = frozenset({"Queue", "LifoQueue", "PriorityQueue"})
@@ -317,6 +344,61 @@ def check_bounded_queues(path: Path, tree: ast.Module) -> Iterator[Finding]:
                     )
 
 
+def _time_aliases(tree: ast.Module) -> tuple:
+    """(module aliases for ``time``, local names bound to clock reads).
+
+    Catches both ``import time`` / ``import time as t`` and
+    ``from time import perf_counter [as pc]``.
+    """
+    modules: Set[str] = set()
+    functions: dict = {}
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                if alias.name == "time":
+                    modules.add(alias.asname or "time")
+        elif isinstance(node, ast.ImportFrom) and node.module == "time":
+            for alias in node.names:
+                if alias.name in CLOCK_READS:
+                    functions[alias.asname or alias.name] = alias.name
+    return modules, functions
+
+
+def check_injected_clocks(path: Path, tree: ast.Module) -> Iterator[Finding]:
+    """RL005: direct clock calls where the clock must be injected."""
+    posix = path.as_posix()
+    if any(posix.endswith(suffix) for suffix in CLOCK_EXEMPT_SUFFIXES):
+        return
+    covered = (
+        "repro/obs/" in posix
+        or "repro/serve/" in posix
+        or any(posix.endswith(suffix) for suffix in CLOCK_INJECTED_SUFFIXES)
+    )
+    if not covered:
+        return
+    modules, functions = _time_aliases(tree)
+    if not modules and not functions:
+        return
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.Call):
+            continue
+        chain = _attr_chain(node.func)
+        if chain is None:
+            continue
+        read = None
+        if len(chain) == 2 and chain[0] in modules and chain[1] in CLOCK_READS:
+            read = f"{chain[0]}.{chain[1]}"
+        elif len(chain) == 1 and chain[0] in functions:
+            read = f"{chain[0]} (time.{functions[chain[0]]})"
+        if read is not None:
+            yield Finding(
+                path, node.lineno, "RL005",
+                f"{read}() reads a hidden clock in an instrumented hot path; "
+                "accept a Clock value (see repro/obs/clock.py) so telemetry "
+                "stays fake-able and free when disabled",
+            )
+
+
 def lint_paths(paths: Sequence[Path]) -> List[Finding]:
     """Lint every ``.py`` file under the given paths; return the findings."""
     files: List[Path] = []
@@ -347,6 +429,7 @@ def lint_paths(paths: Sequence[Path]) -> List[Finding]:
             *check_step_allocations(file, tree),
             *check_docstrings(file, tree, exported),
             *check_bounded_queues(file, tree),
+            *check_injected_clocks(file, tree),
         ):
             if finding.rule not in ignores.get(finding.line, ()):
                 findings.append(finding)
