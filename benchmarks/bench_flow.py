@@ -1,0 +1,133 @@
+#!/usr/bin/env python3
+"""Flow runner overhead and resume speedup.
+
+Two claims back the orchestration layer (PR 6):
+
+1. **Checkpointing is cheap** — running a pipeline of small steps through
+   the runner with a checkpoint store attached costs little absolute
+   wall-time over the bare function calls (the payload hashing/pickling
+   is the price of crash-safety; it must stay in the tens of
+   milliseconds for typical step outputs).
+2. **Resume pays for it immediately** — re-running a pipeline whose
+   expensive steps are checkpointed skips them; the second run must be
+   at least 5× faster than the first on the bench pipeline, because only
+   the cheap aggregation re-executes (nothing re-executes unless keys
+   changed — here none do).
+
+Results land in ``BENCH_PR6.json`` under ``flow/``.
+
+Usage::
+
+    python benchmarks/bench_flow.py          # full (5 trials)
+    python benchmarks/bench_flow.py --quick  # CI smoke (2 trials)
+
+Exits nonzero when the resume speedup bar is missed.
+"""
+
+import argparse
+import shutil
+import statistics
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+import numpy as np
+
+# Runnable directly (`python benchmarks/bench_flow.py`): the repo root is
+# not on sys.path then, only the script's own directory.
+sys.path.insert(0, str(Path(__file__).resolve().parents[1]))
+
+from benchmarks.perf_report import record  # noqa: E402
+from repro.flow import CheckpointStore, FlowRunner, Pipeline  # noqa: E402
+
+REPORT = "BENCH_PR6.json"
+#: Acceptance bar: a fully-checkpointed re-run ≥ 5× the cold run.
+MIN_RESUME_SPEEDUP = 5.0
+
+
+def _build_pipeline(work_items: int, payload_rows: int) -> Pipeline:
+    """Synthetic but honest shape: expensive compute, cheap aggregate."""
+    rng_seed = 0
+
+    def simulate() -> np.ndarray:
+        rng = np.random.default_rng(rng_seed)
+        acc = np.zeros((payload_rows, payload_rows))
+        for _ in range(work_items):
+            acc = acc + rng.standard_normal((payload_rows, payload_rows))
+            acc = np.tanh(acc @ acc.T / payload_rows)
+        return acc
+
+    pipe = Pipeline("bench/flow")
+    pipe.step("simulate", simulate,
+              config={"work_items": work_items, "rows": payload_rows,
+                      "seed": rng_seed})
+    pipe.step("reduce", lambda acc: float(np.abs(acc).mean()),
+              inputs=("simulate",), config={})
+    return pipe
+
+
+def _timed_run(pipeline: Pipeline, store) -> float:
+    start = time.perf_counter()
+    FlowRunner(store=store).run(pipeline)
+    return time.perf_counter() - start
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--quick", action="store_true",
+                        help="CI smoke scale (2 trials, smaller payloads)")
+    args = parser.parse_args(argv)
+
+    trials = 2 if args.quick else 5
+    work_items, payload_rows = (40, 96) if args.quick else (120, 160)
+
+    warmup = _build_pipeline(work_items, payload_rows)
+    warmup.steps[1].fn(warmup.steps[0].fn())  # JIT/np warmup outside timing
+
+    cold_times, bare_times, resumed_times = [], [], []
+    for _ in range(trials):
+        pipeline = _build_pipeline(work_items, payload_rows)
+
+        start = time.perf_counter()
+        acc = pipeline.steps[0].fn()
+        pipeline.steps[1].fn(acc)
+        bare_times.append(time.perf_counter() - start)
+
+        run_dir = tempfile.mkdtemp(prefix="bench_flow_")
+        try:
+            cold_times.append(_timed_run(pipeline, CheckpointStore(run_dir)))
+            resumed_times.append(_timed_run(pipeline, CheckpointStore(run_dir)))
+        finally:
+            shutil.rmtree(run_dir, ignore_errors=True)
+
+    bare = statistics.median(bare_times)
+    cold = statistics.median(cold_times)
+    resumed = statistics.median(resumed_times)
+    overhead_ms = (cold - bare) * 1e3
+    speedup = cold / resumed if resumed > 0 else float("inf")
+
+    payload = {
+        "bare_ms": round(bare * 1e3, 3),
+        "cold_ms": round(cold * 1e3, 3),
+        "resumed_ms": round(resumed * 1e3, 3),
+        "checkpoint_overhead_ms": round(overhead_ms, 3),
+        "resume_speedup": round(speedup, 2),
+        "trials": trials,
+        "quick": args.quick,
+        "bar_min_resume_speedup": MIN_RESUME_SPEEDUP,
+    }
+    record("flow", "checkpoint_overhead_and_resume", payload, report=REPORT)
+    print(f"bare {bare * 1e3:.1f} ms | cold {cold * 1e3:.1f} ms "
+          f"(overhead {overhead_ms:.1f} ms) | resumed {resumed * 1e3:.1f} ms "
+          f"({speedup:.1f}x)")
+
+    if speedup < MIN_RESUME_SPEEDUP:
+        print(f"FAIL: resume speedup {speedup:.2f}x under the "
+              f"{MIN_RESUME_SPEEDUP}x bar", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

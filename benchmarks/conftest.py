@@ -30,11 +30,11 @@ BENCH_SETTINGS = ExperimentSettings(
 
 
 def save_result(name: str, text: str) -> str:
-    """Persist a rendered table/figure under benchmarks/results/."""
-    os.makedirs(RESULTS_DIR, exist_ok=True)
+    """Persist a rendered table/figure under benchmarks/results/ (atomic)."""
+    from repro.nn.serialization import atomic_write_text
+
     path = os.path.join(RESULTS_DIR, f"{name}.txt")
-    with open(path, "w") as handle:
-        handle.write(text + "\n")
+    atomic_write_text(path, text + "\n")
     return path
 
 

@@ -5,7 +5,9 @@ repository root via :func:`record` — ``BENCH_PR2.json`` (engine/kernels)
 by default, or any other report named via ``report``
 (``bench_serving.py`` writes ``BENCH_PR4.json``).  Files are merged, not
 overwritten, so separate pytest invocations (or a partial re-run) never
-lose each other's sections.
+lose each other's sections.  Writes go through
+:func:`repro.nn.serialization.atomic_write_text` (temp file + rename), so
+an interrupted bench can never leave a truncated JSON behind.
 """
 
 from __future__ import annotations
@@ -13,6 +15,8 @@ from __future__ import annotations
 import json
 import os
 from typing import Optional
+
+from repro.nn.serialization import atomic_write_text
 
 _ROOT = os.path.abspath(os.path.join(os.path.dirname(__file__), ".."))
 DEFAULT_REPORT = "BENCH_PR2.json"
@@ -36,9 +40,7 @@ def record(section: str, name: str, payload: dict,
         except ValueError:
             data = {}
     data.setdefault(section, {})[name] = payload
-    with open(path, "w") as handle:
-        json.dump(data, handle, indent=2, sort_keys=True)
-        handle.write("\n")
+    atomic_write_text(path, json.dumps(data, indent=2, sort_keys=True) + "\n")
     return path
 
 

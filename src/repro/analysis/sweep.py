@@ -1,18 +1,35 @@
-"""Parameter sweep utilities for benchmarks and ablations."""
+"""Parameter sweep utilities for benchmarks and ablations.
+
+Sweeps execute through the flow layer's map primitive
+(:func:`repro.flow.run_map`), which gives them per-point failure routing:
+``run_sweep(..., on_error="failsink")`` records a crashing point — params,
+exception, traceback — in a :class:`~repro.flow.Failsink` and keeps
+sweeping, instead of losing every completed point to one bad
+configuration.  The strict default (``on_error="raise"``) preserves the
+historical fail-fast behaviour.
+"""
 
 from __future__ import annotations
 
 import itertools
 from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, Iterable, List, Sequence
+from typing import Any, Callable, Dict, Iterable, List, Optional, Sequence
+
+from repro.flow.failsink import Failsink
+from repro.flow.runner import run_map
 
 
 @dataclass
 class SweepResult:
-    """All points of one sweep, each a (params, value) pair."""
+    """All points of one sweep, each a (params, value) pair.
+
+    ``failures`` holds the failsink records of points that crashed when
+    the sweep ran with ``on_error="failsink"`` (empty in strict mode).
+    """
 
     parameter_names: Sequence[str]
     points: List[Dict[str, Any]] = field(default_factory=list)
+    failures: List[Any] = field(default_factory=list)
 
     def add(self, params: Dict[str, Any], **metrics: Any) -> None:
         self.points.append({**params, **metrics})
@@ -22,7 +39,19 @@ class SweepResult:
 
     def best(self, metric: str, maximize: bool = True) -> Dict[str, Any]:
         if not self.points:
-            raise ValueError("sweep has no points")
+            raise ValueError(
+                f"cannot take best({metric!r}) of a sweep with no completed "
+                "points"
+                + (f" ({len(self.failures)} point(s) failed — see .failures)"
+                   if self.failures else "")
+            )
+        missing = [p for p in self.points if metric not in p]
+        if missing:
+            available = sorted(self.points[0])
+            raise ValueError(
+                f"metric {metric!r} is absent from {len(missing)} sweep "
+                f"point(s); available keys: {', '.join(available)}"
+            )
         chooser = max if maximize else min
         return chooser(self.points, key=lambda p: p[metric])
 
@@ -39,13 +68,32 @@ def grid(**axes: Iterable) -> List[Dict[str, Any]]:
 
 
 def run_sweep(
-    fn: Callable[..., Dict[str, Any]], params_list: Sequence[Dict[str, Any]]
+    fn: Callable[..., Dict[str, Any]],
+    params_list: Sequence[Dict[str, Any]],
+    on_error: str = "raise",
+    failsink: Optional[Failsink] = None,
 ) -> SweepResult:
-    """Evaluate ``fn(**params) -> metrics dict`` over every param set."""
+    """Evaluate ``fn(**params) -> metrics dict`` over every param set.
+
+    ``on_error="failsink"`` routes per-point exceptions to ``failsink``
+    (one is created if not given) and keeps going; the records land in
+    ``SweepResult.failures``.  The default ``"raise"`` propagates the
+    first failure, as before.
+    """
     if not params_list:
         raise ValueError("empty parameter list")
+    if failsink is not None and on_error == "raise":
+        on_error = "failsink"
+    sink = failsink if failsink is not None else Failsink()
     result = SweepResult(parameter_names=list(params_list[0]))
-    for params in params_list:
-        metrics = fn(**params)
-        result.add(params, **metrics)
+    output = run_map(
+        lambda params: fn(**params),
+        params_list,
+        step="run_sweep",
+        failsink=sink,
+        on_error=on_error,
+    )
+    for index, metrics in zip(output.indices, output.results):
+        result.add(params_list[index], **metrics)
+    result.failures = list(sink.records)
     return result

@@ -15,6 +15,7 @@ cache the benchmark harness uses), so repeated invocations are fast.
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 from typing import List, Optional
 
@@ -25,8 +26,75 @@ COMMANDS = (
     "table1", "table2", "table3", "table4", "table5",
     "fig1a", "fig1b", "fig3", "fig4",
     "breakdown", "programming", "irdrop", "healthcheck", "plan", "check",
-    "serve-bench", "metrics", "list",
+    "serve-bench", "metrics", "run", "list",
 )
+
+
+def run_flow(args: argparse.Namespace) -> tuple:
+    """The ``repro run`` command: execute a named pipeline on the DAG runner.
+
+    ``repro run <pipeline>`` builds one of the named pipelines
+    (:data:`repro.flow.pipelines.PIPELINES`), attaches a checkpoint store
+    under ``--run-dir`` (resume is the default — re-running after a crash
+    skips completed steps), a retry policy (``--retries``), and a JSONL
+    failsink (``--failsink``).  Returns ``(output, exit_code)`` — nonzero
+    when a step exhausted its attempts.
+    """
+    from repro.flow import CheckpointStore, Failsink, FlowRunner, RetryPolicy, StepFailed
+    from repro.flow.pipelines import PIPELINES, build_named_pipeline
+
+    if args.target is None:
+        return (
+            "repro run: name a pipeline: " + ", ".join(sorted(PIPELINES)),
+            2,
+        )
+    if args.retries < 0:
+        raise SystemExit(f"repro run: --retries must be >= 0, got {args.retries}")
+    try:
+        pipeline, summarize = build_named_pipeline(
+            args.target, fast=args.fast, seed=args.seed
+        )
+    except ValueError as error:
+        return f"repro run: {error}", 2
+
+    run_dir = args.run_dir or os.path.join(".flow_runs", args.target)
+    store = CheckpointStore(run_dir)
+    failsink = Failsink(path=args.failsink or store.failsink_path())
+    runner = FlowRunner(
+        store=store,
+        retry=RetryPolicy(max_attempts=args.retries + 1),
+        failsink=failsink,
+        seed=args.seed,
+    )
+    force: object = False
+    if args.force is not None:
+        force = True if not args.force else set(args.force)
+    failed_step = None
+    try:
+        result = runner.run(pipeline, resume=not args.no_resume, force=force)
+    except StepFailed as error:
+        failed_step = error
+        result = None
+    finally:
+        failsink.close()
+
+    lines = [f"pipeline {pipeline.name} (run dir: {run_dir})"]
+    if result is not None:
+        rows = [
+            {"step": r.name, "status": r.status, "attempts": r.attempts,
+             "duration_s": round(r.duration_s, 3)}
+            for r in result.steps.values()
+        ]
+        lines.append(render_dict_table(
+            rows, ["step", "status", "attempts", "duration_s"], title="steps"))
+        lines.append(failsink.summary())
+        lines.append("")
+        lines.append(summarize(result))
+        return "\n".join(lines), 0
+    lines.append(f"FAILED: {failed_step}")
+    lines.append(failsink.summary())
+    lines.append("completed steps keep their checkpoints; re-run to resume")
+    return "\n".join(lines), 1
 
 
 def run_metrics(args: argparse.Namespace) -> str:
@@ -294,6 +362,9 @@ def run_command(args: argparse.Namespace) -> str:
     if args.command == "check":
         return run_check(args)[0]
 
+    if args.command == "run":
+        return run_flow(args)[0]
+
     if args.command == "serve-bench":
         return run_serve_bench(args)
 
@@ -536,6 +607,10 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument("command", choices=COMMANDS)
     parser.add_argument(
+        "target", nargs="?", default=None,
+        help="pipeline name for the run command (quantization, sweep, yield)",
+    )
+    parser.add_argument(
         "--fast", action="store_true",
         help="use the small/fast experiment settings (less faithful)",
     )
@@ -596,6 +671,30 @@ def build_parser() -> argparse.ArgumentParser:
         help="write the export to PATH instead of stdout",
     )
 
+    flow = parser.add_argument_group("run options")
+    flow.add_argument(
+        "--run-dir", default=None, metavar="DIR",
+        help="checkpoint directory (default .flow_runs/<pipeline>)",
+    )
+    flow.add_argument(
+        "--no-resume", action="store_true",
+        help="ignore existing checkpoints and re-execute every step",
+    )
+    flow.add_argument(
+        "--force", nargs="*", default=None, metavar="STEP",
+        help="invalidate checkpoints before running: bare --force drops "
+             "all, --force s1 s2 drops just those steps",
+    )
+    flow.add_argument(
+        "--retries", type=int, default=2,
+        help="retries per step on transient failures (attempts = retries+1)",
+    )
+    flow.add_argument(
+        "--failsink", default=None, metavar="PATH",
+        help="JSONL file for per-item failure records "
+             "(default <run-dir>/failsink.jsonl)",
+    )
+
     check = parser.add_argument_group("check options")
     check.add_argument(
         "--json", action="store_true",
@@ -625,6 +724,10 @@ def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
     if args.command == "check":
         output, code = run_check(args)
+        print(output)
+        return code
+    if args.command == "run":
+        output, code = run_flow(args)
         print(output)
         return code
     print(run_command(args))

@@ -10,10 +10,19 @@ paper's Table 4 for a chosen network and bit widths:
    weights (naive grid for the traditional model, Weight Clustering for
    the proposed one);
 4. evaluate everything and report with/without/recovered/drop.
+
+The stages execute as a :class:`~repro.flow.Pipeline` on a
+:class:`~repro.flow.FlowRunner`: by default an ephemeral in-memory run
+(exactly the old monolithic behaviour), but pass a runner with a
+:class:`~repro.flow.CheckpointStore` and a run that died after the
+expensive trainings resumes from them instead of re-training — each
+step's checkpoint key covers the config *and* a fingerprint of the
+datasets, so stale checkpoints can never be mistaken for current ones.
 """
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass, field
 from typing import Callable, Optional, Union
 
@@ -22,11 +31,24 @@ import numpy as np
 from repro.analysis.metrics import QuantizationOutcome, evaluate_accuracy
 from repro.core.deployment import DeploymentConfig, deploy_model
 from repro.core.qat import Trainer, TrainerConfig
+from repro.flow.runner import FlowRunner, Pipeline
 from repro.models.registry import build_model
 from repro.nn.data import Dataset
 from repro.nn.modules import Module
 
 ModelSource = Union[str, Callable[[], Module]]
+
+
+def dataset_fingerprint(dataset: Dataset) -> str:
+    """A short content hash of a dataset (images + labels).
+
+    Folded into every checkpoint key so a pipeline resumed against
+    different data recomputes instead of silently reusing stale steps.
+    """
+    hasher = hashlib.sha256()
+    hasher.update(np.ascontiguousarray(dataset.images).tobytes())
+    hasher.update(np.ascontiguousarray(dataset.labels).tobytes())
+    return hasher.hexdigest()[:16]
 
 
 @dataclass
@@ -114,55 +136,128 @@ class QuantizationPipeline:
             )
         )
 
+    def build_pipeline(
+        self,
+        model_source: ModelSource,
+        train_set: Dataset,
+        test_set: Dataset,
+        model_name: Optional[str] = None,
+    ) -> Pipeline:
+        """The run as a checkpointable DAG (see module docstring).
+
+        Steps: two trainings (the expensive ones), two deployments, four
+        evaluations.  Every step is deterministic given its config — each
+        builds its own seeded RNGs — so a resumed run is bit-exact with
+        an uninterrupted one.
+        """
+        cfg = self.config
+        name = model_name or (model_source if isinstance(model_source, str) else "model")
+        base_config = {
+            "model": name,
+            "signal_bits": cfg.signal_bits,
+            "weight_bits": cfg.weight_bits,
+            "epochs": cfg.epochs,
+            "batch_size": cfg.batch_size,
+            "lr": cfg.lr,
+            "weight_decay": cfg.weight_decay,
+            "alpha": cfg.alpha,
+            "strength": cfg.strength,
+            "clustering_scope": cfg.clustering_scope,
+            "width_multiplier": cfg.width_multiplier,
+            "seed": cfg.seed,
+            "train_data": dataset_fingerprint(train_set),
+            "test_data": dataset_fingerprint(test_set),
+        }
+
+        def train(penalty: str) -> Module:
+            model = self._make_model(model_source)
+            self._trainer(penalty).fit(model, train_set)
+            return model
+
+        def accuracy_pct(model: Module) -> float:
+            return evaluate_accuracy(model, test_set) * 100.0
+
+        def deploy_without(baseline: Module) -> Module:
+            deployed, _ = deploy_model(
+                baseline,
+                DeploymentConfig(
+                    signal_bits=cfg.signal_bits,
+                    weight_bits=cfg.weight_bits,
+                    weight_mode="naive" if cfg.weight_bits is not None else "none",
+                ),
+            )
+            return deployed
+
+        def deploy_with(proposed: Module) -> tuple:
+            deployed, info = deploy_model(
+                proposed,
+                DeploymentConfig(
+                    signal_bits=cfg.signal_bits,
+                    weight_bits=cfg.weight_bits,
+                    weight_mode="clustered" if cfg.weight_bits is not None else "none",
+                    clustering_scope=cfg.clustering_scope,
+                ),
+            )
+            return deployed, {
+                "quantized_activations": info.quantized_activations,
+                "folded_batchnorms": info.folded_batchnorms,
+            }
+
+        pipe = Pipeline(f"quantization/{name}")
+        pipe.step("train_baseline", lambda: train("none"),
+                  config={**base_config, "penalty": "none"})
+        pipe.step("train_proposed", lambda: train("proposed"),
+                  config={**base_config, "penalty": "proposed"})
+        pipe.step("eval_ideal", accuracy_pct, inputs=("train_baseline",),
+                  config=base_config)
+        pipe.step("eval_proposed_fp32", accuracy_pct, inputs=("train_proposed",),
+                  config=base_config)
+        pipe.step("deploy_without", deploy_without, inputs=("train_baseline",),
+                  config=base_config)
+        pipe.step("deploy_with", deploy_with, inputs=("train_proposed",),
+                  config=base_config)
+        pipe.step("eval_without", accuracy_pct, inputs=("deploy_without",),
+                  config=base_config)
+        pipe.step("eval_with", lambda pair: accuracy_pct(pair[0]),
+                  inputs=("deploy_with",), config=base_config)
+        return pipe
+
     def run(
         self,
         model_source: ModelSource,
         train_set: Dataset,
         test_set: Dataset,
         model_name: Optional[str] = None,
+        runner: Optional[FlowRunner] = None,
     ) -> PipelineReport:
-        """Train both arms, deploy, and measure (slow: two trainings)."""
-        cfg = self.config
+        """Train both arms, deploy, and measure (slow: two trainings).
+
+        With the default ephemeral runner this is the classic monolithic
+        run; pass a :class:`~repro.flow.FlowRunner` with a checkpoint
+        store to get resume/retry semantics (``repro run quantization``
+        does exactly that).
+        """
         name = model_name or (model_source if isinstance(model_source, str) else "model")
+        pipe = self.build_pipeline(model_source, train_set, test_set, model_name=name)
+        result = (runner or FlowRunner()).run(pipe)
+        return self.report_from(result, name)
 
-        baseline = self._make_model(model_source)
-        self._trainer("none").fit(baseline, train_set)
-        ideal = evaluate_accuracy(baseline, test_set) * 100.0
+    def report_from(self, result, model_name: str) -> PipelineReport:
+        """Assemble the :class:`PipelineReport` from a finished run.
 
-        proposed = self._make_model(model_source)
-        self._trainer("proposed").fit(proposed, train_set)
-        proposed_fp32 = evaluate_accuracy(proposed, test_set) * 100.0
-
-        without_model, _ = deploy_model(
-            baseline,
-            DeploymentConfig(
-                signal_bits=cfg.signal_bits,
-                weight_bits=cfg.weight_bits,
-                weight_mode="naive" if cfg.weight_bits is not None else "none",
-            ),
-        )
-        with_model, info = deploy_model(
-            proposed,
-            DeploymentConfig(
-                signal_bits=cfg.signal_bits,
-                weight_bits=cfg.weight_bits,
-                weight_mode="clustered" if cfg.weight_bits is not None else "none",
-                clustering_scope=cfg.clustering_scope,
-            ),
-        )
-        without_accuracy = evaluate_accuracy(without_model, test_set) * 100.0
-        with_accuracy = evaluate_accuracy(with_model, test_set) * 100.0
-
+        ``result`` is the :class:`~repro.flow.RunResult` of a pipeline
+        built by :meth:`build_pipeline` (the ``repro run quantization``
+        CLI uses this to report on externally-driven runs).
+        """
+        cfg = self.config
+        _, info = result.output("deploy_with")
         return PipelineReport(
-            model_name=name,
+            model_name=model_name,
             signal_bits=cfg.signal_bits,
             weight_bits=cfg.weight_bits,
-            ideal_accuracy=ideal,
-            without_accuracy=without_accuracy,
-            with_accuracy=with_accuracy,
-            proposed_fp32_accuracy=proposed_fp32,
-            info={
-                "quantized_activations": info.quantized_activations,
-                "folded_batchnorms": info.folded_batchnorms,
-            },
+            ideal_accuracy=result.output("eval_ideal"),
+            without_accuracy=result.output("eval_without"),
+            with_accuracy=result.output("eval_with"),
+            proposed_fp32_accuracy=result.output("eval_proposed_fp32"),
+            info=info,
         )

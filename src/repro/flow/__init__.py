@@ -1,0 +1,93 @@
+"""repro.flow — crash-safe pipeline orchestration.
+
+A checkpointed DAG runner with first-class robustness semantics:
+
+- content-addressed checkpoints (resume-after-crash, selective ``force``
+  invalidation, digest-verified loads) — :mod:`repro.flow.checkpoint`;
+- a typed error taxonomy (transient / fatal / corrupt) —
+  :mod:`repro.flow.errors`;
+- bounded retries with deterministic backoff + jitter —
+  :mod:`repro.flow.retry`;
+- per-item failsink routing for map-style steps —
+  :mod:`repro.flow.failsink`;
+- a deterministic chaos harness that proves all of the above —
+  :mod:`repro.flow.chaos`.
+
+Typical use::
+
+    from repro.flow import CheckpointStore, FlowRunner, Pipeline, RetryPolicy
+
+    pipe = Pipeline("study")
+    pipe.step("train", train_fn, config={"epochs": 10, "seed": 0})
+    pipe.step("evaluate", eval_fn, inputs=("train",))
+
+    runner = FlowRunner(store=CheckpointStore(".flow_runs/study"),
+                        retry=RetryPolicy(max_attempts=3))
+    result = runner.run(pipe)          # crash here? rerun resumes.
+    accuracy = result.output("evaluate")
+
+The named pipelines behind ``repro run <pipeline>`` live in
+:mod:`repro.flow.pipelines`.
+"""
+
+from __future__ import annotations
+
+from .checkpoint import CheckpointStore, canonical_config, step_key
+from .chaos import (
+    ChaosInjected,
+    ClockStall,
+    FlakyCalls,
+    corrupt_checkpoint,
+    fault_schedule,
+    faulty,
+    truncate_checkpoint,
+)
+from .errors import (
+    CorruptCheckpointError,
+    FatalError,
+    FlowError,
+    StepFailed,
+    StepTimeout,
+    TransientError,
+    classify_error,
+)
+from .failsink import Failsink, FailsinkRecord
+from .retry import RetryPolicy, backoff_delay
+from .runner import FlowRunner, MapOutput, Pipeline, RunResult, Step, StepResult, run_map
+
+__all__ = [
+    # runner
+    "Pipeline",
+    "Step",
+    "FlowRunner",
+    "RunResult",
+    "StepResult",
+    "MapOutput",
+    "run_map",
+    # checkpoints
+    "CheckpointStore",
+    "step_key",
+    "canonical_config",
+    # errors
+    "FlowError",
+    "TransientError",
+    "FatalError",
+    "CorruptCheckpointError",
+    "StepTimeout",
+    "StepFailed",
+    "classify_error",
+    # retry
+    "RetryPolicy",
+    "backoff_delay",
+    # failsink
+    "Failsink",
+    "FailsinkRecord",
+    # chaos
+    "ChaosInjected",
+    "FlakyCalls",
+    "ClockStall",
+    "fault_schedule",
+    "faulty",
+    "corrupt_checkpoint",
+    "truncate_checkpoint",
+]

@@ -1,0 +1,161 @@
+"""Deterministic fault injection: the harness that proves the runner.
+
+Chaos here is *scheduled*, never random-at-runtime: every injector is
+driven by an explicit call count or a :func:`repro.snc.seeding.substream`
+seed, so a failing chaos test replays exactly.  The injectors cover the
+three failure families the runner claims to survive:
+
+- **crashes** — :class:`FlakyCalls` raises on chosen call numbers
+  (raise-on-Nth), which simulates a step dying mid-pipeline; re-running
+  the pipeline afterwards proves resume-after-crash;
+- **checkpoint rot** — :func:`corrupt_checkpoint` /
+  :func:`truncate_checkpoint` damage persisted blobs in place, proving
+  digest verification catches them and the runner recomputes;
+- **stalls** — :class:`ClockStall` advances a
+  :class:`~repro.obs.clock.FakeClock` from inside a step, deterministically
+  tripping the cooperative timeout path.
+
+:func:`fault_schedule` picks which items of a map-style step fail, as a
+seed-derived index set — e.g. "10% of dies blow up" — so tests can assert
+the failsink holds *exactly* the injected items.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Any, Callable, Collection, FrozenSet, Optional
+
+from repro.obs.clock import FakeClock
+from repro.snc.seeding import substream
+
+from .errors import TransientError
+
+__all__ = [
+    "ChaosInjected",
+    "FlakyCalls",
+    "ClockStall",
+    "fault_schedule",
+    "faulty",
+    "corrupt_checkpoint",
+    "truncate_checkpoint",
+]
+
+
+class ChaosInjected(TransientError):
+    """The exception every injector raises by default (retryable)."""
+
+
+class FlakyCalls:
+    """Wrap a callable; raise on chosen call numbers (1-based).
+
+    ``FlakyCalls(fn, fail_on={1, 2})`` fails the first two calls and
+    succeeds afterwards — the canonical "transient blip" for retry tests.
+    ``fail_on=range(1, 10**9)`` (or any large range) models a hard crash.
+    ``calls`` counts every invocation, so tests can assert how often the
+    runner really called the step.
+    """
+
+    def __init__(
+        self,
+        fn: Callable[..., Any],
+        fail_on: Collection[int],
+        error: Optional[Callable[[int], BaseException]] = None,
+    ) -> None:
+        self.fn = fn
+        # Keep ranges lazy: ``range(1, 10**9)`` is the documented idiom for
+        # "always fail", and membership on a range is O(1) anyway.
+        self.fail_on = (
+            fail_on if isinstance(fail_on, range)
+            else frozenset(int(n) for n in fail_on)
+        )
+        self.error = error or (lambda n: ChaosInjected(f"injected fault on call {n}"))
+        self.calls = 0
+
+    def __call__(self, *args: Any, **kwargs: Any) -> Any:
+        self.calls += 1
+        if self.calls in self.fail_on:
+            raise self.error(self.calls)
+        return self.fn(*args, **kwargs)
+
+
+class ClockStall:
+    """Wrap a callable; stall a :class:`FakeClock` during each call.
+
+    The stall happens *inside* the step, so the runner's before/after
+    clock readings straddle it — the deterministic way to exercise the
+    cooperative timeout path without sleeping.
+    """
+
+    def __init__(self, fn: Callable[..., Any], clock: FakeClock, stall_s: float) -> None:
+        self.fn = fn
+        self.clock = clock
+        self.stall_s = float(stall_s)
+
+    def __call__(self, *args: Any, **kwargs: Any) -> Any:
+        value = self.fn(*args, **kwargs)
+        self.clock.advance(self.stall_s)
+        return value
+
+
+def fault_schedule(n_items: int, fraction: float, seed: int,
+                   token: str = "chaos.items") -> FrozenSet[int]:
+    """A deterministic set of item indices to fail.
+
+    ``round(n_items * fraction)`` distinct indices drawn without
+    replacement from ``substream(seed, token)`` — identical arguments
+    always schedule identical faults.
+    """
+    if not 0.0 <= fraction <= 1.0:
+        raise ValueError(f"fraction must be in [0, 1], got {fraction}")
+    n_faults = int(round(n_items * fraction))
+    if n_faults == 0:
+        return frozenset()
+    rng = substream(seed, token)
+    picks = rng.choice(n_items, size=n_faults, replace=False)
+    return frozenset(int(i) for i in picks)
+
+
+def faulty(fn: Callable[[Any], Any], schedule: Collection[int]) -> Callable[[Any], Any]:
+    """Per-item injector: fail when the item's *ordinal* is scheduled.
+
+    Returns a wrapper suitable as a map-step ``fn``; the Nth invocation
+    (0-based) raises :class:`ChaosInjected` iff ``N in schedule``.
+    """
+    scheduled = frozenset(int(n) for n in schedule)
+    counter = {"n": -1}
+
+    def wrapper(item: Any) -> Any:
+        counter["n"] += 1
+        if counter["n"] in scheduled:
+            raise ChaosInjected(f"injected item fault at index {counter['n']}")
+        return fn(item)
+
+    return wrapper
+
+
+def corrupt_checkpoint(path: str, offset: int = -1) -> None:
+    """Flip one byte of a checkpoint file in place (digest now fails).
+
+    ``offset`` indexes into the file (negative = from the end, default:
+    last byte, i.e. inside the payload).
+    """
+    with open(path, "rb") as handle:
+        raw = bytearray(handle.read())
+    if not raw:
+        raise ValueError(f"cannot corrupt empty file {path!r}")
+    raw[offset] ^= 0xFF
+    with open(path, "wb") as handle:
+        handle.write(bytes(raw))
+
+
+def truncate_checkpoint(path: str, keep_bytes: Optional[int] = None) -> None:
+    """Truncate a checkpoint file, simulating a crash mid-write.
+
+    Defaults to keeping half the file.  (The runner's own writes are
+    atomic, so this models *external* damage — a full disk, a copied
+    partial file — which digest verification must still catch.)
+    """
+    size = os.path.getsize(path)
+    keep = size // 2 if keep_bytes is None else keep_bytes
+    with open(path, "rb+") as handle:
+        handle.truncate(keep)

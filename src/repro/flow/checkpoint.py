@@ -1,0 +1,110 @@
+"""Content-addressed checkpoint store for the DAG runner.
+
+A step's **key** is the SHA-256 of its name, its canonicalized config,
+and the content digests of every upstream output it consumes
+(:func:`step_key`).  Two consequences fall out of that definition:
+
+- resume is *safe by construction* — if a config knob or any upstream
+  result changes, the key changes, and the stale checkpoint simply is
+  never looked up again;
+- ``--force`` can invalidate selectively: dropping one step's checkpoint
+  re-executes it, and its new output digest transparently invalidates
+  every downstream key.
+
+Payloads are persisted through :func:`repro.nn.serialization.save_blob`
+(atomic temp-file + rename, digest-framed pickle), so a crash mid-write
+never leaves a half-checkpoint, and a corrupted/truncated file surfaces
+as :class:`~repro.flow.errors.CorruptCheckpointError` on load — the
+runner's cue to recompute rather than trust it.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from typing import Any, Dict, Mapping, Optional, Tuple
+
+from repro.nn.serialization import BlobError, load_blob, save_blob
+
+from .errors import CorruptCheckpointError
+
+__all__ = ["step_key", "canonical_config", "CheckpointStore"]
+
+
+def canonical_config(config: Mapping[str, Any]) -> str:
+    """A stable textual form of a step config for hashing.
+
+    JSON with sorted keys; non-JSON values fall back to ``repr`` — fine
+    for keys, which only need stability, not reversibility.
+    """
+    return json.dumps(config, sort_keys=True, default=repr)
+
+
+def step_key(name: str, config: Mapping[str, Any],
+             upstream_digests: Mapping[str, str]) -> str:
+    """The content address of a step's output.
+
+    ``upstream_digests`` maps upstream step name → its output's payload
+    digest; sorted into the hash so declaration order is irrelevant.
+    """
+    hasher = hashlib.sha256()
+    hasher.update(name.encode("utf-8"))
+    hasher.update(b"\0")
+    hasher.update(canonical_config(config).encode("utf-8"))
+    for upstream, digest in sorted(upstream_digests.items()):
+        hasher.update(b"\0")
+        hasher.update(f"{upstream}={digest}".encode("utf-8"))
+    return hasher.hexdigest()[:24]
+
+
+class CheckpointStore:
+    """Blob files under ``<directory>/steps/``, addressed by step key."""
+
+    def __init__(self, directory: str) -> None:
+        self.directory = os.path.abspath(directory)
+        self.steps_dir = os.path.join(self.directory, "steps")
+        os.makedirs(self.steps_dir, exist_ok=True)
+
+    def path_for(self, key: str) -> str:
+        """Filesystem path of the checkpoint for ``key``."""
+        return os.path.join(self.steps_dir, f"{key}.ckpt")
+
+    def has(self, key: str) -> bool:
+        """Whether a checkpoint file exists for ``key`` (unverified)."""
+        return os.path.exists(self.path_for(key))
+
+    def save(self, key: str, value: Any) -> str:
+        """Persist a step output; returns its payload digest."""
+        return save_blob(self.path_for(key), value)
+
+    def load(self, key: str) -> Tuple[Any, str]:
+        """Load ``(value, digest)``; :class:`CorruptCheckpointError` on rot."""
+        try:
+            return load_blob(self.path_for(key))
+        except BlobError as error:
+            raise CorruptCheckpointError(
+                f"checkpoint {key} is unusable: {error}"
+            ) from error
+
+    def invalidate(self, key: str) -> bool:
+        """Delete one checkpoint; returns whether a file was removed."""
+        path = self.path_for(key)
+        if os.path.exists(path):
+            os.unlink(path)
+            return True
+        return False
+
+    def keys(self) -> Dict[str, str]:
+        """Map of stored key → checkpoint path (for inspection/tests)."""
+        out: Dict[str, str] = {}
+        if os.path.isdir(self.steps_dir):
+            for entry in sorted(os.listdir(self.steps_dir)):
+                if entry.endswith(".ckpt"):
+                    out[entry[:-5]] = os.path.join(self.steps_dir, entry)
+        return out
+
+    def failsink_path(self, run_name: Optional[str] = None) -> str:
+        """Default JSONL failsink location inside this store's directory."""
+        name = f"failsink_{run_name}.jsonl" if run_name else "failsink.jsonl"
+        return os.path.join(self.directory, name)

@@ -1,0 +1,97 @@
+"""Typed error taxonomy for pipeline orchestration.
+
+Every failure the runner handles is sorted into one of three classes,
+because each class demands a different response:
+
+- :class:`TransientError` — might succeed on a retry (flaky I/O, a
+  seeded-fault die that trips a numeric guard, resource pressure).  The
+  runner retries these under the step's :class:`~repro.flow.retry.RetryPolicy`.
+- :class:`FatalError` — deterministic; retrying burns time and hides the
+  bug.  The runner fails the step (and the run) immediately.
+- :class:`CorruptCheckpointError` — a persisted artifact failed its
+  integrity check.  The runner discards it and *recomputes* the step
+  instead of loading garbage.
+
+Exceptions outside the taxonomy (a stray ``ValueError`` from user step
+code) are classified by :func:`classify_error`; by default they count as
+fatal — retrying an unknown deterministic bug is how flaky pipelines are
+born — but a :class:`~repro.flow.retry.RetryPolicy` can opt in to
+retrying them (``retry_unclassified=True``).
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "FlowError",
+    "TransientError",
+    "FatalError",
+    "CorruptCheckpointError",
+    "StepTimeout",
+    "StepFailed",
+    "classify_error",
+]
+
+
+class FlowError(Exception):
+    """Base class for every orchestration-layer error."""
+
+
+class TransientError(FlowError):
+    """A failure that may clear on retry; the runner retries it."""
+
+
+class FatalError(FlowError):
+    """A deterministic failure; retrying would only hide the bug."""
+
+
+class CorruptCheckpointError(FlowError):
+    """A checkpoint failed its digest check; recompute, never load."""
+
+
+class StepTimeout(TransientError):
+    """A step attempt exceeded its time budget (retryable)."""
+
+    def __init__(self, step: str, elapsed_s: float, timeout_s: float) -> None:
+        super().__init__(
+            f"step {step!r} took {elapsed_s:.3f}s, over its "
+            f"{timeout_s:.3f}s budget"
+        )
+        self.step = step
+        self.elapsed_s = elapsed_s
+        self.timeout_s = timeout_s
+
+
+class StepFailed(FlowError):
+    """Terminal verdict on a step: every permitted attempt failed.
+
+    Carries the step name, the attempt count, and the final underlying
+    exception (also chained as ``__cause__``).
+    """
+
+    def __init__(self, step: str, attempts: int, cause: BaseException) -> None:
+        super().__init__(
+            f"step {step!r} failed after {attempts} attempt(s): "
+            f"{type(cause).__name__}: {cause}"
+        )
+        self.step = step
+        self.attempts = attempts
+        self.cause = cause
+
+
+def classify_error(error: BaseException, retry_unclassified: bool = False) -> str:
+    """Sort an exception into ``"transient"``, ``"fatal"``, or ``"corrupt"``.
+
+    Taxonomy subclasses classify themselves; ``MemoryError`` and
+    ``OSError`` are treated as transient (resource pressure / flaky I/O
+    are exactly what retries exist for); everything else is fatal unless
+    ``retry_unclassified`` says otherwise.
+    """
+    if isinstance(error, CorruptCheckpointError):
+        return "corrupt"
+    if isinstance(error, TransientError):
+        return "transient"
+    if isinstance(error, FatalError):
+        return "fatal"
+    if isinstance(error, (MemoryError, OSError)):
+        return "transient"
+    return "transient" if retry_unclassified else "fatal"

@@ -1,0 +1,103 @@
+"""Per-item failure routing: record, skip, and keep the run alive.
+
+A map-style step (one sweep point per item, one Monte-Carlo die per item)
+must not lose an entire run to one bad input.  Each failing item becomes a
+:class:`FailsinkRecord` — input repr, exception type/message, traceback,
+and the *seed* that reproduces it — appended to a :class:`Failsink`.  The
+sink keeps records in memory, optionally mirrors them to a JSONL file
+(one atomic line per record, flushed immediately so a crash loses at most
+the in-flight record), and surfaces counts through the obs registry
+(``flow_failsink_records_total{step=...}``) when telemetry is attached.
+"""
+
+from __future__ import annotations
+
+import json
+import traceback as traceback_module
+from dataclasses import asdict, dataclass, field
+from typing import IO, List, Optional
+
+__all__ = ["FailsinkRecord", "Failsink"]
+
+
+@dataclass
+class FailsinkRecord:
+    """Everything needed to reproduce one skipped item offline."""
+
+    step: str
+    index: int
+    item: str                    # repr of the failing input
+    error_type: str
+    message: str
+    traceback: str
+    seed: Optional[int] = None   # per-item seed, when the step has one
+
+    def to_json(self) -> str:
+        """One-line JSON encoding (the JSONL mirror format)."""
+        return json.dumps(asdict(self), sort_keys=True)
+
+
+@dataclass
+class Failsink:
+    """An append-only sink of :class:`FailsinkRecord`; never raises back."""
+
+    path: Optional[str] = None
+    records: List[FailsinkRecord] = field(default_factory=list)
+    _handle: Optional[IO[str]] = field(default=None, repr=False, compare=False)
+
+    def record(
+        self,
+        step: str,
+        index: int,
+        item: object,
+        error: BaseException,
+        seed: Optional[int] = None,
+    ) -> FailsinkRecord:
+        """Capture a failing item; returns the record just written."""
+        entry = FailsinkRecord(
+            step=step,
+            index=index,
+            item=repr(item),
+            error_type=type(error).__name__,
+            message=str(error),
+            traceback="".join(
+                traceback_module.format_exception(type(error), error, error.__traceback__)
+            ),
+            seed=seed,
+        )
+        self.records.append(entry)
+        if self.path is not None:
+            if self._handle is None:
+                self._handle = open(self.path, "a", encoding="utf-8")
+            self._handle.write(entry.to_json() + "\n")
+            self._handle.flush()
+        return entry
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    def count_for(self, step: str) -> int:
+        """How many records this sink holds for one step."""
+        return sum(1 for r in self.records if r.step == step)
+
+    def close(self) -> None:
+        """Close the JSONL mirror (records stay in memory)."""
+        if self._handle is not None:
+            self._handle.close()
+            self._handle = None
+
+    def __enter__(self) -> "Failsink":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    def summary(self) -> str:
+        """Human-readable one-liner for CLI output."""
+        if not self.records:
+            return "failsink: empty"
+        by_step: dict = {}
+        for record in self.records:
+            by_step[record.step] = by_step.get(record.step, 0) + 1
+        parts = ", ".join(f"{step}: {n}" for step, n in sorted(by_step.items()))
+        return f"failsink: {len(self.records)} record(s) ({parts})"

@@ -1,0 +1,174 @@
+"""Named pipelines behind ``repro run <pipeline>``.
+
+Each builder returns ``(Pipeline, summarize)`` where ``summarize`` turns
+the finished :class:`~repro.flow.RunResult` into the CLI's human-readable
+report.  Three workloads — the paper's three long-running, partially-
+failing job shapes — are wired up:
+
+- ``quantization`` — the full train → quantize → evaluate comparison
+  (:class:`~repro.core.pipeline.QuantizationPipeline` as a DAG; the two
+  trainings checkpoint, so a killed run resumes without re-training);
+- ``sweep`` — a bit-width ablation as a map step (one bad point lands in
+  the failsink instead of aborting the sweep);
+- ``yield`` — a Monte-Carlo die study as a map step over die seeds (a
+  die that blows up mid-eval is recorded with its seed and skipped).
+
+All builders are deterministic from ``seed`` and bounded by ``fast``.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Tuple
+
+from .runner import Pipeline, RunResult
+
+__all__ = ["PIPELINES", "build_named_pipeline"]
+
+Summarize = Callable[[RunResult], str]
+
+
+def _quantization(fast: bool, seed: int) -> Tuple[Pipeline, Summarize]:
+    from repro import datasets
+    from repro.core.pipeline import PipelineConfig, QuantizationPipeline
+
+    train_size, test_size, epochs = (200, 100, 2) if fast else (600, 300, 8)
+    train_set, test_set = datasets.mnist_like(
+        train_size=train_size, test_size=test_size, seed=seed
+    )
+    quant = QuantizationPipeline(
+        PipelineConfig(signal_bits=4, weight_bits=4, epochs=epochs, seed=seed)
+    )
+    pipe = quant.build_pipeline("lenet", train_set, test_set, model_name="lenet")
+
+    def summarize(result: RunResult) -> str:
+        return quant.report_from(result, "lenet").summary()
+
+    return pipe, summarize
+
+
+def _sweep(fast: bool, seed: int) -> Tuple[Pipeline, Summarize]:
+    import numpy as np
+
+    from repro import datasets
+    from repro.analysis.metrics import evaluate_accuracy
+    from repro.core.deployment import DeploymentConfig, deploy_model
+    from repro.core.qat import Trainer, TrainerConfig
+    from repro.models.registry import build_model
+
+    train_size, test_size, epochs = (200, 100, 2) if fast else (600, 300, 6)
+    bits_axis = [5, 4, 3] if fast else [6, 5, 4, 3, 2]
+    train_set, test_set = datasets.mnist_like(
+        train_size=train_size, test_size=test_size, seed=seed
+    )
+    base = {"model": "lenet", "epochs": epochs, "seed": seed,
+            "train_size": train_size, "test_size": test_size}
+
+    def train() -> object:
+        model = build_model("lenet", rng=np.random.default_rng(seed))
+        Trainer(TrainerConfig(epochs=epochs, penalty="proposed", bits=4,
+                              seed=seed)).fit(model, train_set)
+        return model
+
+    def eval_point(params: dict, model: object) -> dict:
+        deployed, _ = deploy_model(
+            model,
+            DeploymentConfig(signal_bits=params["bits"],
+                             weight_bits=params["bits"],
+                             weight_mode="clustered"),
+        )
+        return {**params, "accuracy": evaluate_accuracy(deployed, test_set) * 100.0}
+
+    pipe = Pipeline("sweep/bits")
+    pipe.step("train", train, config=base)
+    pipe.step("points", lambda: [{"bits": b} for b in bits_axis],
+              config={**base, "bits_axis": bits_axis})
+    pipe.step("evaluate", eval_point, inputs=("points", "train"),
+              map_over=True, config=base)
+
+    def summarize(result: RunResult) -> str:
+        output = result.output("evaluate")
+        lines = [f"bits={row['bits']}: {row['accuracy']:.2f}%"
+                 for row in output.results]
+        if output.failed_indices:
+            lines.append(f"{len(output.failed_indices)} point(s) in the failsink")
+        best = max(output.results, key=lambda row: row["accuracy"], default=None)
+        if best is not None:
+            lines.append(f"best: bits={best['bits']} at {best['accuracy']:.2f}%")
+        return "\n".join(lines)
+
+    return pipe, summarize
+
+
+def _yield(fast: bool, seed: int) -> Tuple[Pipeline, Summarize]:
+    import numpy as np
+
+    from repro import datasets
+    from repro.models.registry import build_model
+    from repro.snc.montecarlo import YieldReport, die_accuracy, programming_image
+    from repro.snc.system import SpikingSystemConfig, build_spiking_system
+
+    n_dies, eval_samples, sigma, threshold = (
+        (4, 60, 0.15, 0.05) if fast else (12, 200, 0.15, 0.5)
+    )
+    train_set, test_set = datasets.mnist_like(
+        train_size=120, test_size=max(eval_samples, 60), seed=seed
+    )
+    base = {"model": "lenet", "seed": seed, "sigma": sigma,
+            "threshold": threshold, "eval_samples": eval_samples}
+
+    def prepare() -> tuple:
+        model = build_model("lenet", rng=np.random.default_rng(seed))
+        model.eval()
+        system = build_spiking_system(
+            model,
+            SpikingSystemConfig(signal_bits=4, weight_bits=4, seed=seed),
+            train_set.images[:64],
+        )
+        subset = test_set.subset(min(eval_samples, len(test_set)))
+        return system, programming_image(system), subset
+
+    def one_die(die: int, prepared: tuple) -> float:
+        system, image, subset = prepared
+        return die_accuracy(system, image, subset, sigma, seed + die)
+
+    pipe = Pipeline("yield/montecarlo")
+    pipe.step("prepare", prepare, config=base)
+    pipe.step("dies", lambda: list(range(n_dies)),
+              config={**base, "n_dies": n_dies})
+    pipe.step("evaluate", one_die, inputs=("dies", "prepare"), map_over=True,
+              item_seed=lambda index, die: seed + die, config=base)
+
+    def summarize(result: RunResult) -> str:
+        output = result.output("evaluate")
+        report = YieldReport(
+            variation_sigma=sigma, threshold=threshold,
+            accuracies=list(output.results),
+            failed_dies=len(output.failed_indices),
+        )
+        return report.summary()
+
+    return pipe, summarize
+
+
+#: name → builder(fast, seed) for every pipeline ``repro run`` accepts.
+PIPELINES: Dict[str, Callable[[bool, int], Tuple[Pipeline, Summarize]]] = {
+    "quantization": _quantization,
+    "sweep": _sweep,
+    "yield": _yield,
+}
+
+
+def build_named_pipeline(name: str, fast: bool = False,
+                         seed: int = 0) -> Tuple[Pipeline, Summarize]:
+    """Build the named pipeline and its result summarizer.
+
+    Raises ``ValueError`` listing the valid names when ``name`` is
+    unknown.
+    """
+    try:
+        builder = PIPELINES[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown pipeline {name!r}; available: {', '.join(sorted(PIPELINES))}"
+        ) from None
+    return builder(fast, seed)

@@ -1,0 +1,59 @@
+"""Retry policy: bounded attempts, exponential backoff, deterministic jitter.
+
+Backoff delays are ``base * 2^(attempt-1)`` capped at ``max_delay``, with
+multiplicative jitter drawn from a :func:`repro.snc.seeding.substream`
+keyed by ``(seed, step name, attempt)`` — so two runs of the same pipeline
+produce *identical* delay schedules, and a chaos test can assert the exact
+waits.  No wall clock is consulted anywhere: the runner injects a
+:data:`~repro.obs.clock.Clock` to measure and a
+:data:`~repro.obs.clock.Sleep` to wait (RL005).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.snc.seeding import substream
+
+__all__ = ["RetryPolicy", "backoff_delay"]
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """How many times to try a step and how long to wait between tries.
+
+    ``max_attempts`` counts the first execution: ``max_attempts=1`` means
+    no retries.  ``jitter`` is the half-width of the multiplicative noise
+    band around each delay (0.2 → delays scaled by a deterministic factor
+    in [0.8, 1.2]).  ``retry_unclassified=True`` additionally retries
+    exceptions outside the flow taxonomy (default: they are fatal).
+    """
+
+    max_attempts: int = 1
+    base_delay_s: float = 0.05
+    max_delay_s: float = 5.0
+    jitter: float = 0.2
+    retry_unclassified: bool = False
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ValueError(f"max_attempts must be >= 1, got {self.max_attempts}")
+        if self.base_delay_s < 0 or self.max_delay_s < 0:
+            raise ValueError("delays must be >= 0")
+        if not 0.0 <= self.jitter < 1.0:
+            raise ValueError(f"jitter must be in [0, 1), got {self.jitter}")
+
+
+def backoff_delay(policy: RetryPolicy, step: str, attempt: int, seed: int) -> float:
+    """The deterministic wait before retry number ``attempt`` (1-based).
+
+    ``attempt=1`` is the delay after the first failure.  Identical
+    ``(policy, step, attempt, seed)`` always yields the identical delay.
+    """
+    if attempt < 1:
+        raise ValueError(f"attempt must be >= 1, got {attempt}")
+    delay = min(policy.base_delay_s * (2.0 ** (attempt - 1)), policy.max_delay_s)
+    if policy.jitter > 0.0 and delay > 0.0:
+        rng = substream(seed, f"flow.retry.{step}", (attempt,))
+        delay *= 1.0 + policy.jitter * float(rng.uniform(-1.0, 1.0))
+    return delay

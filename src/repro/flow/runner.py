@@ -1,0 +1,392 @@
+"""The checkpointed DAG runner.
+
+A :class:`Pipeline` is an ordered DAG of :class:`Step` objects; each step
+declares the upstream steps it consumes, a config dict (part of its
+content address), and optional robustness knobs (retry policy, timeout,
+map-style failsink routing).  A :class:`FlowRunner` executes the DAG:
+
+- **resume** — with a :class:`~repro.flow.checkpoint.CheckpointStore`
+  attached, each step's output is persisted under its content address
+  (:func:`~repro.flow.checkpoint.step_key`); re-running the same pipeline
+  loads completed steps instead of re-executing them, and a corrupted
+  checkpoint (digest mismatch) is detected and recomputed, never loaded;
+- **retry** — transient failures are retried under the step's
+  :class:`~repro.flow.retry.RetryPolicy` with deterministic exponential
+  backoff (injected :data:`~repro.obs.clock.Clock` /
+  :data:`~repro.obs.clock.Sleep` — the runner never touches ``time.*``);
+- **timeouts** — cooperative: the injected clock measures each attempt,
+  and an attempt that overran its budget is discarded and retried as a
+  :class:`~repro.flow.errors.StepTimeout` (deterministically testable via
+  a stalled :class:`~repro.obs.clock.FakeClock`);
+- **failsink** — map-style steps route per-item failures to a
+  :class:`~repro.flow.failsink.Failsink` instead of aborting, recording
+  input, exception, traceback, and per-item seed.
+
+Counts for all of the above surface through the obs registry when a
+:class:`~repro.obs.Telemetry` is attached (``flow_steps_total``,
+``flow_step_retries_total``, ``flow_failsink_records_total``,
+``flow_checkpoint_corrupt_total``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Iterable, List, Optional, Sequence, Tuple, Union
+
+from repro.obs import Telemetry
+from repro.obs.clock import SYSTEM_CLOCK, SYSTEM_SLEEP, Clock, Sleep
+
+from .checkpoint import CheckpointStore, step_key
+from .errors import (
+    CorruptCheckpointError,
+    FatalError,
+    StepFailed,
+    StepTimeout,
+    classify_error,
+)
+from .failsink import Failsink
+from .retry import RetryPolicy, backoff_delay
+
+__all__ = [
+    "Step",
+    "Pipeline",
+    "StepResult",
+    "RunResult",
+    "FlowRunner",
+    "MapOutput",
+    "run_map",
+]
+
+
+@dataclass
+class Step:
+    """One node of the DAG.
+
+    ``fn`` receives the outputs of ``inputs`` positionally, in declared
+    order.  ``config`` is hashed into the step's content address — put
+    every knob that changes the output there, and nothing else.  A
+    ``map_over`` step treats its *first* input's output as a sequence and
+    applies ``fn`` per item, routing per-item failures to the run's
+    failsink (``on_item_error="failsink"``) instead of aborting;
+    ``item_seed(index, item)`` lets the failsink record carry the seed
+    that reproduces a failing item.
+    """
+
+    name: str
+    fn: Callable[..., Any]
+    inputs: Tuple[str, ...] = ()
+    config: Dict[str, Any] = field(default_factory=dict)
+    retry: Optional[RetryPolicy] = None
+    timeout_s: Optional[float] = None
+    map_over: bool = False
+    on_item_error: str = "failsink"
+    item_seed: Optional[Callable[[int, Any], Optional[int]]] = None
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("step name must be non-empty")
+        if self.map_over and not self.inputs:
+            raise ValueError(f"map step {self.name!r} needs at least one input")
+        if self.on_item_error not in ("failsink", "raise"):
+            raise ValueError(
+                f"on_item_error must be 'failsink' or 'raise', got {self.on_item_error!r}"
+            )
+
+
+class Pipeline:
+    """An insertion-ordered DAG of named steps.
+
+    ``add`` validates that names are unique and that every declared input
+    refers to an already-added step — which makes the insertion order a
+    topological order by construction, and cycles unrepresentable.
+    """
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self._steps: Dict[str, Step] = {}
+
+    def add(self, step: Step) -> Step:
+        """Append a step; returns it for chaining."""
+        if step.name in self._steps:
+            raise ValueError(f"duplicate step name {step.name!r}")
+        for upstream in step.inputs:
+            if upstream not in self._steps:
+                raise ValueError(
+                    f"step {step.name!r} consumes unknown step {upstream!r} "
+                    "(inputs must be added before their consumers)"
+                )
+        self._steps[step.name] = step
+        return step
+
+    def step(self, name: str, fn: Callable[..., Any], **kwargs: Any) -> Step:
+        """Convenience: build and :meth:`add` a :class:`Step` in one call."""
+        return self.add(Step(name=name, fn=fn, **kwargs))
+
+    @property
+    def steps(self) -> List[Step]:
+        """Steps in topological (= insertion) order."""
+        return list(self._steps.values())
+
+    def __getitem__(self, name: str) -> Step:
+        """Look up a step by name (chaos harnesses wrap ``step.fn``)."""
+        return self._steps[name]
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._steps
+
+    def __len__(self) -> int:
+        return len(self._steps)
+
+
+@dataclass
+class MapOutput:
+    """Result of a map-style step over ``n_items`` inputs.
+
+    ``results`` holds the outputs of the items that succeeded, aligned
+    with ``indices`` (their positions in the input sequence);
+    ``failed_indices`` are the items routed to the failsink.
+    """
+
+    results: List[Any] = field(default_factory=list)
+    indices: List[int] = field(default_factory=list)
+    failed_indices: List[int] = field(default_factory=list)
+
+    @property
+    def n_items(self) -> int:
+        """Total items offered to the step."""
+        return len(self.indices) + len(self.failed_indices)
+
+
+@dataclass
+class StepResult:
+    """What happened to one step during one run."""
+
+    name: str
+    status: str                  # "executed" | "cached" | "failed"
+    value: Any = None
+    key: Optional[str] = None
+    digest: Optional[str] = None
+    attempts: int = 0
+    duration_s: float = 0.0
+    error: Optional[BaseException] = None
+
+
+@dataclass
+class RunResult:
+    """Outcome of one :meth:`FlowRunner.run` invocation."""
+
+    pipeline: str
+    steps: Dict[str, StepResult] = field(default_factory=dict)
+    failsink: Optional[Failsink] = None
+
+    def output(self, name: str) -> Any:
+        """The output value of a completed step."""
+        result = self.steps[name]
+        if result.status == "failed":
+            raise StepFailed(name, result.attempts, result.error)  # pragma: no cover
+        return result.value
+
+    @property
+    def executed(self) -> List[str]:
+        """Names of steps that actually ran (cache misses), in order."""
+        return [r.name for r in self.steps.values() if r.status == "executed"]
+
+    @property
+    def cached(self) -> List[str]:
+        """Names of steps satisfied from checkpoints, in order."""
+        return [r.name for r in self.steps.values() if r.status == "cached"]
+
+
+class FlowRunner:
+    """Executes pipelines with resume, retry, timeout, and failsink semantics.
+
+    ``store=None`` disables checkpointing (every step executes, nothing
+    persists) — the mode in-process callers like
+    :class:`~repro.core.pipeline.QuantizationPipeline` default to.
+    ``seed`` keys the deterministic retry jitter.
+    """
+
+    def __init__(
+        self,
+        store: Optional[CheckpointStore] = None,
+        retry: Optional[RetryPolicy] = None,
+        failsink: Optional[Failsink] = None,
+        telemetry: Optional[Telemetry] = None,
+        clock: Clock = SYSTEM_CLOCK,
+        sleep: Sleep = SYSTEM_SLEEP,
+        seed: int = 0,
+    ) -> None:
+        self.store = store
+        self.default_retry = retry if retry is not None else RetryPolicy()
+        self.failsink = failsink if failsink is not None else Failsink()
+        self.telemetry = telemetry
+        self.clock = clock
+        self.sleep = sleep
+        self.seed = seed
+
+    # -- telemetry ----------------------------------------------------------
+    def _count(self, name: str, help: str, **labels: str) -> None:
+        if self.telemetry is not None:
+            self.telemetry.registry.counter(name, help, **labels).inc()
+
+    def _mark_failsink(self, step: str) -> None:
+        self._count("flow_failsink_records_total",
+                    "items routed to the failsink instead of aborting",
+                    step=step)
+        if self.telemetry is not None:
+            self.telemetry.registry.gauge(
+                "flow_failsink_size", "records currently held by the failsink"
+            ).set(float(len(self.failsink)))
+
+    # -- execution ----------------------------------------------------------
+    def run(
+        self,
+        pipeline: Pipeline,
+        resume: bool = True,
+        force: Union[bool, Iterable[str]] = False,
+    ) -> RunResult:
+        """Run every step; resume from checkpoints where possible.
+
+        ``force=True`` recomputes everything; ``force={names}``
+        invalidates just those steps (downstream steps recompute only if
+        the forced step's output digest actually changes).  Raises
+        :class:`StepFailed` when a step exhausts its attempts — completed
+        steps keep their checkpoints, so the next run resumes after them.
+        """
+        forced = set() if force in (False, True) else set(force)
+        force_all = force is True
+        result = RunResult(pipeline=pipeline.name, failsink=self.failsink)
+        digests: Dict[str, str] = {}
+
+        for step in pipeline.steps:
+            upstream_values = [result.output(name) for name in step.inputs]
+            key: Optional[str] = None
+            if self.store is not None:
+                upstream_digests = {name: digests[name] for name in step.inputs}
+                key = step_key(step.name, step.config, upstream_digests)
+                if force_all or step.name in forced:
+                    self.store.invalidate(key)
+                elif resume and self.store.has(key):
+                    try:
+                        value, digest = self.store.load(key)
+                    except CorruptCheckpointError:
+                        self._count(
+                            "flow_checkpoint_corrupt_total",
+                            "checkpoints that failed integrity checks and were recomputed",
+                            step=step.name,
+                        )
+                        self.store.invalidate(key)
+                    else:
+                        digests[step.name] = digest
+                        result.steps[step.name] = StepResult(
+                            name=step.name, status="cached", value=value,
+                            key=key, digest=digest,
+                        )
+                        self._count("flow_steps_total", "step outcomes by status",
+                                    status="cached")
+                        continue
+
+            step_result = self._execute(step, upstream_values)
+            step_result.key = key
+            result.steps[step.name] = step_result
+            if step_result.status == "failed":
+                self._count("flow_steps_total", "step outcomes by status",
+                            status="failed")
+                raise StepFailed(step.name, step_result.attempts, step_result.error)
+            if self.store is not None:
+                digest = self.store.save(key, step_result.value)
+                step_result.digest = digest
+                digests[step.name] = digest
+            self._count("flow_steps_total", "step outcomes by status",
+                        status="executed")
+        return result
+
+    def _execute(self, step: Step, upstream_values: Sequence[Any]) -> StepResult:
+        """Run one step's attempts; never raises, reports via status."""
+        policy = step.retry if step.retry is not None else self.default_retry
+        result = StepResult(name=step.name, status="executed")
+        started = self.clock()
+        last_error: Optional[BaseException] = None
+        for attempt in range(1, policy.max_attempts + 1):
+            result.attempts = attempt
+            attempt_start = self.clock()
+            try:
+                value = self._call(step, upstream_values)
+                elapsed = self.clock() - attempt_start
+                if step.timeout_s is not None and elapsed > step.timeout_s:
+                    raise StepTimeout(step.name, elapsed, step.timeout_s)
+            except (KeyboardInterrupt, SystemExit):
+                raise
+            except Exception as error:
+                last_error = error
+                verdict = classify_error(error, policy.retry_unclassified)
+                if verdict != "transient" or attempt == policy.max_attempts:
+                    break
+                self._count("flow_step_retries_total",
+                            "transient step failures that were retried",
+                            step=step.name)
+                self.sleep(backoff_delay(policy, step.name, attempt, self.seed))
+            else:
+                result.value = value
+                result.duration_s = self.clock() - started
+                return result
+        result.status = "failed"
+        result.error = last_error
+        result.duration_s = self.clock() - started
+        return result
+
+    def _call(self, step: Step, upstream_values: Sequence[Any]) -> Any:
+        if not step.map_over:
+            return step.fn(*upstream_values)
+        items, rest = upstream_values[0], upstream_values[1:]
+        return run_map(
+            lambda item: step.fn(item, *rest),
+            items,
+            step=step.name,
+            failsink=self.failsink if step.on_item_error == "failsink" else None,
+            on_error=step.on_item_error,
+            item_seed=step.item_seed,
+            on_record=self._mark_failsink,
+        )
+
+
+def run_map(
+    fn: Callable[[Any], Any],
+    items: Sequence[Any],
+    step: str = "map",
+    failsink: Optional[Failsink] = None,
+    on_error: str = "failsink",
+    item_seed: Optional[Callable[[int, Any], Optional[int]]] = None,
+    on_record: Optional[Callable[[str], None]] = None,
+) -> MapOutput:
+    """Apply ``fn`` to every item, routing failures to a failsink.
+
+    The shared map-execution primitive: :class:`FlowRunner` map steps,
+    :func:`repro.analysis.sweep.run_sweep`, and
+    :func:`repro.snc.montecarlo.estimate_yield` all funnel through it.
+    ``on_error="raise"`` propagates the first failure (strict mode);
+    ``"failsink"`` records it — with the item's seed when ``item_seed``
+    provides one — and moves on.  ``KeyboardInterrupt``/``SystemExit``
+    always propagate.
+    """
+    if on_error not in ("failsink", "raise"):
+        raise ValueError(f"on_error must be 'failsink' or 'raise', got {on_error!r}")
+    sink = failsink if failsink is not None else Failsink()
+    output = MapOutput()
+    for index, item in enumerate(items):
+        try:
+            value = fn(item)
+        except (KeyboardInterrupt, SystemExit):
+            raise
+        except Exception as error:
+            if on_error == "raise":
+                raise
+            seed = item_seed(index, item) if item_seed is not None else None
+            sink.record(step, index, item, error, seed=seed)
+            if on_record is not None:
+                on_record(step)
+            output.failed_indices.append(index)
+        else:
+            output.results.append(value)
+            output.indices.append(index)
+    return output

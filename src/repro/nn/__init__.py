@@ -26,7 +26,16 @@ from repro.nn.modules import (
     Sequential,
 )
 from repro.nn.optim import SGD, Adam, CosineLR, Optimizer, StepLR
-from repro.nn.serialization import StateDictError, load_state, save_state
+from repro.nn.serialization import (
+    BlobError,
+    StateDictError,
+    atomic_write_bytes,
+    atomic_write_text,
+    load_blob,
+    load_state,
+    save_blob,
+    save_state,
+)
 from repro.nn.tensor import Tensor, as_tensor, concatenate, no_grad, stack
 
 __all__ = [
@@ -62,4 +71,9 @@ __all__ = [
     "save_state",
     "load_state",
     "StateDictError",
+    "save_blob",
+    "load_blob",
+    "BlobError",
+    "atomic_write_bytes",
+    "atomic_write_text",
 ]

@@ -1,4 +1,4 @@
-"""Save / load model state as ``.npz`` archives.
+"""Save / load model state as ``.npz`` archives, plus atomic file helpers.
 
 ``save_state`` is atomic (temp file + ``os.replace``), so a crash mid-write
 never leaves a truncated archive at the target path, and it pins the file
@@ -6,14 +6,26 @@ to exactly the path you asked for — working around ``np.savez`` silently
 appending ``.npz`` when the suffix is missing.  ``load_state`` validates
 the archive against the module before loading and reports *all* missing /
 unexpected keys and shape mismatches in one error.
+
+The same temp-file + rename discipline is exposed for any writer via
+:func:`atomic_write_bytes` / :func:`atomic_write_text` (benchmark result
+files use it so an interrupted bench cannot leave a truncated JSON), and
+:func:`save_blob` / :func:`load_blob` generalize it to arbitrary pickled
+payloads framed with a SHA-256 digest — the content-addressed checkpoint
+format of the :mod:`repro.flow` runner.  A blob whose bytes do not hash to
+the recorded digest raises :class:`BlobError` instead of deserializing
+garbage, which is what lets the runner *detect* a corrupted checkpoint and
+recompute the step rather than resume from it.
 """
 
 from __future__ import annotations
 
+import hashlib
 import os
+import pickle
 import tempfile
 import zipfile
-from typing import Dict
+from typing import Any, Dict, Optional, Tuple
 
 import numpy as np
 
@@ -22,6 +34,98 @@ from repro.nn.modules import Module
 
 class StateDictError(ValueError):
     """A saved state does not match the module it is being loaded into."""
+
+
+class BlobError(ValueError):
+    """A blob file is missing, truncated, corrupted, or mislabeled."""
+
+
+#: frame header of a digest-verified blob file (format version 1).
+BLOB_MAGIC = b"REPRO-BLOB-1\n"
+
+
+def atomic_write_bytes(path: str, data: bytes) -> None:
+    """Write ``data`` to ``path`` via a temp sibling + ``os.replace``.
+
+    Readers never observe a partial file: either the old content is still
+    there or the new content is complete.  The parent directory is created
+    if needed.
+    """
+    path = os.path.abspath(path)
+    directory = os.path.dirname(path)
+    os.makedirs(directory, exist_ok=True)
+    fd, tmp_path = tempfile.mkstemp(prefix=".tmp_blob_", dir=directory)
+    try:
+        with os.fdopen(fd, "wb") as handle:
+            handle.write(data)
+        os.replace(tmp_path, path)
+    except BaseException:
+        if os.path.exists(tmp_path):
+            os.unlink(tmp_path)
+        raise
+
+
+def atomic_write_text(path: str, text: str, encoding: str = "utf-8") -> None:
+    """Atomically write a text file (see :func:`atomic_write_bytes`)."""
+    atomic_write_bytes(path, text.encode(encoding))
+
+
+def payload_digest(payload: bytes) -> str:
+    """The hex SHA-256 content digest used to address blob payloads."""
+    return hashlib.sha256(payload).hexdigest()
+
+
+def save_blob(path: str, obj: Any) -> str:
+    """Atomically persist a picklable object with a digest frame.
+
+    The file layout is ``BLOB_MAGIC + <sha256 hex> + "\\n" + pickle``;
+    returns the payload digest, which callers may use as a content
+    address (the flow runner feeds it into downstream step keys).
+    """
+    payload = pickle.dumps(obj, protocol=4)
+    digest = payload_digest(payload)
+    atomic_write_bytes(path, BLOB_MAGIC + digest.encode("ascii") + b"\n" + payload)
+    return digest
+
+
+def load_blob(path: str, expected_digest: Optional[str] = None) -> Tuple[Any, str]:
+    """Load a blob written by :func:`save_blob`; returns ``(obj, digest)``.
+
+    Raises :class:`BlobError` when the file is absent, carries the wrong
+    magic, is truncated, fails its recorded digest, mismatches
+    ``expected_digest``, or does not unpickle — corruption is *reported*,
+    never silently deserialized.
+    """
+    try:
+        with open(path, "rb") as handle:
+            raw = handle.read()
+    except OSError as error:
+        raise BlobError(f"cannot read blob {path!r}: {error}") from error
+    if not raw.startswith(BLOB_MAGIC):
+        raise BlobError(f"{path!r} is not a repro blob (bad magic)")
+    body = raw[len(BLOB_MAGIC):]
+    newline = body.find(b"\n")
+    if newline != 64:  # a hex sha256 is exactly 64 bytes
+        raise BlobError(f"{path!r} has a malformed digest header")
+    recorded = body[:newline].decode("ascii")
+    payload = body[newline + 1:]
+    actual = payload_digest(payload)
+    if actual != recorded:
+        raise BlobError(
+            f"{path!r} failed its integrity check: payload hashes to "
+            f"{actual[:12]}… but the header records {recorded[:12]}… "
+            "(truncated or corrupted)"
+        )
+    if expected_digest is not None and actual != expected_digest:
+        raise BlobError(
+            f"{path!r} holds content {actual[:12]}… but "
+            f"{expected_digest[:12]}… was expected (stale or substituted)"
+        )
+    try:
+        obj = pickle.loads(payload)
+    except Exception as error:
+        raise BlobError(f"{path!r} payload does not unpickle: {error}") from error
+    return obj, actual
 
 
 def save_state(module: Module, path: str) -> None:

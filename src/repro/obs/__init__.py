@@ -29,7 +29,7 @@ from __future__ import annotations
 
 from typing import Optional
 
-from .clock import SYSTEM_CLOCK, Clock, FakeClock
+from .clock import SYSTEM_CLOCK, SYSTEM_SLEEP, Clock, FakeClock, Sleep
 from .export import EXPORT_SCHEMA_VERSION, from_json, to_json, to_prometheus
 from .metrics import (
     Counter,
@@ -46,6 +46,8 @@ __all__ = [
     "Telemetry",
     "Clock",
     "SYSTEM_CLOCK",
+    "Sleep",
+    "SYSTEM_SLEEP",
     "FakeClock",
     "Counter",
     "Gauge",

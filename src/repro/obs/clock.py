@@ -21,13 +21,21 @@ from __future__ import annotations
 import time
 from typing import Callable
 
-__all__ = ["Clock", "SYSTEM_CLOCK", "FakeClock"]
+__all__ = ["Clock", "SYSTEM_CLOCK", "Sleep", "SYSTEM_SLEEP", "FakeClock"]
 
 #: A clock is any ``() -> float`` returning monotonic seconds.
 Clock = Callable[[], float]
 
 #: The production clock (monotonic, unaffected by wall-clock jumps).
 SYSTEM_CLOCK: Clock = time.monotonic
+
+#: A sleeper is any ``(seconds: float) -> None``; injected alongside the
+#: clock wherever code must wait (retry backoff in :mod:`repro.flow`), so
+#: tests substitute :meth:`FakeClock.sleep` and never actually block.
+Sleep = Callable[[float], None]
+
+#: The production sleeper.
+SYSTEM_SLEEP: Sleep = time.sleep
 
 
 class FakeClock:
@@ -55,6 +63,15 @@ class FakeClock:
         if seconds < 0:
             raise ValueError(f"cannot advance a monotonic clock by {seconds}")
         self._now += float(seconds)
+
+    def sleep(self, seconds: float) -> None:
+        """A :data:`Sleep` that advances the clock instead of blocking.
+
+        Pass ``clock=fake, sleep=fake.sleep`` to code that waits (e.g. the
+        flow runner's retry backoff) and the wait becomes an instantaneous,
+        assertable clock jump.
+        """
+        self.advance(seconds)
 
     @property
     def now(self) -> float:

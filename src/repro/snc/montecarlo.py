@@ -7,16 +7,25 @@ team asks is *yield*: what fraction of dies meets the accuracy spec?
 :func:`estimate_yield` programs ``n_dies`` virtual chips from one
 programming image (via :mod:`repro.snc.export`), evaluates each on a test
 set, and reports the pass fraction plus the accuracy distribution.
+
+Die evaluation runs through :func:`repro.flow.run_map`: a die whose
+programming, installation, or evaluation raises does not abort the study —
+it is routed to a :class:`~repro.flow.Failsink` with its *seed* in the
+record (``seed + die_index``), so the exact failing die can be replayed
+offline, and the yield is computed over the dies that completed (failed
+dies are counted in :attr:`YieldReport.failed_dies`).
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List
+from typing import List, Optional
 
 import numpy as np
 
 from repro.core.surgery import clone_module
+from repro.flow.failsink import Failsink
+from repro.flow.runner import run_map
 from repro.nn.data import Dataset
 from repro.snc.export import install_chip, program_chip
 from repro.snc.system import SpikingSystem
@@ -29,6 +38,7 @@ class YieldReport:
     variation_sigma: float
     threshold: float             # accuracy spec (fraction in [0, 1])
     accuracies: List[float] = field(default_factory=list)
+    failed_dies: int = 0         # dies routed to the failsink, not evaluated
 
     @property
     def n_dies(self) -> int:
@@ -50,9 +60,10 @@ class YieldReport:
         return float(min(self.accuracies)) if self.accuracies else 0.0
 
     def summary(self) -> str:
+        failed = f", {self.failed_dies} die(s) failed" if self.failed_dies else ""
         return (
             f"σ={self.variation_sigma:.0%}: yield {self.yield_fraction:.0%} "
-            f"({self.n_dies} dies, spec ≥{self.threshold:.0%}), "
+            f"({self.n_dies} dies, spec ≥{self.threshold:.0%}{failed}), "
             f"mean {self.mean_accuracy:.1%}, worst {self.worst_die:.1%}"
         )
 
@@ -65,6 +76,8 @@ def estimate_yield(
     n_dies: int = 10,
     seed: int = 0,
     eval_samples: int = 200,
+    failsink: Optional[Failsink] = None,
+    on_error: str = "failsink",
 ) -> YieldReport:
     """Program ``n_dies`` virtual chips and measure the pass fraction.
 
@@ -72,13 +85,35 @@ def estimate_yield(
     programming image is taken from the mapped arrays in place.  Each die
     gets an independent noise draw; evaluation uses the first
     ``eval_samples`` test samples to bound runtime.
+
+    A die that raises is recorded in ``failsink`` (created on demand)
+    with seed ``seed + die`` and skipped — the study completes over the
+    remaining dies.  Pass ``on_error="raise"`` for the strict historical
+    behaviour (first die failure aborts the estimate).
     """
     if not 0.0 <= threshold <= 1.0:
         raise ValueError("threshold must be in [0, 1]")
     if n_dies < 1:
         raise ValueError("n_dies must be >= 1")
 
-    # Extract the image directly from the deployed network's arrays.
+    image = programming_image(system)
+    subset = test_set.subset(min(eval_samples, len(test_set)))
+    report = YieldReport(variation_sigma=variation_sigma, threshold=threshold)
+    output = run_map(
+        lambda die: die_accuracy(system, image, subset, variation_sigma, seed + die),
+        range(n_dies),
+        step="estimate_yield",
+        failsink=failsink,
+        on_error=on_error,
+        item_seed=lambda index, die: seed + die,
+    )
+    report.accuracies.extend(output.results)
+    report.failed_dies = len(output.failed_indices)
+    return report
+
+
+def programming_image(system: SpikingSystem) -> dict:
+    """The programming image of a deployed system's mapped arrays."""
     from repro.snc.export import LayerImage, _spiking_layers
 
     image = {}
@@ -93,23 +128,32 @@ def estimate_yield(
         )
     if not image:
         raise ValueError("system has no mapped crossbar layers")
+    return image
 
-    subset = test_set.subset(min(eval_samples, len(test_set)))
-    report = YieldReport(variation_sigma=variation_sigma, threshold=threshold)
-    for die in range(n_dies):
-        chip = program_chip(
-            image,
-            crossbar_size=system.config.crossbar_size,
-            variation_sigma=variation_sigma,
-            seed=seed + die,
-        )
-        die_network = clone_module(system.network)
-        install_chip(die_network, chip)
-        correct = 0
-        predictions = _predict(die_network, subset.images)
-        correct = int((predictions == subset.labels).sum())
-        report.accuracies.append(correct / len(subset))
-    return report
+
+def die_accuracy(
+    system: SpikingSystem,
+    image: dict,
+    subset: Dataset,
+    variation_sigma: float,
+    die_seed: int,
+) -> float:
+    """Program one virtual die from ``image`` and measure its accuracy.
+
+    The unit of work of a yield study: deterministic given ``die_seed``,
+    which is exactly what a failsink record carries to replay a bad die.
+    """
+    chip = program_chip(
+        image,
+        crossbar_size=system.config.crossbar_size,
+        variation_sigma=variation_sigma,
+        seed=die_seed,
+    )
+    die_network = clone_module(system.network)
+    install_chip(die_network, chip)
+    predictions = _predict(die_network, subset.images)
+    correct = int((predictions == subset.labels).sum())
+    return correct / len(subset)
 
 
 def _predict(network, images: np.ndarray) -> np.ndarray:

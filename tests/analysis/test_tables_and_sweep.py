@@ -97,3 +97,39 @@ class TestRunSweep:
     def test_best_empty_raises(self):
         with pytest.raises(ValueError):
             SweepResult(parameter_names=["x"]).best("y")
+
+
+class TestSweepFailureRouting:
+    def _flaky(self, bits):
+        if bits == 4:
+            raise RuntimeError("point exploded")
+        return {"acc": bits * 10.0}
+
+    def test_failsink_mode_completes_with_records(self):
+        result = run_sweep(self._flaky, grid(bits=[3, 4, 5]), on_error="failsink")
+        assert result.column("bits") == [3, 5]
+        assert len(result.failures) == 1
+        record = result.failures[0]
+        assert record.index == 1 and record.error_type == "RuntimeError"
+        assert "'bits': 4" in record.item
+
+    def test_passing_a_failsink_implies_routing(self):
+        from repro.flow import Failsink
+
+        sink = Failsink()
+        result = run_sweep(self._flaky, grid(bits=[3, 4, 5]), failsink=sink)
+        assert len(sink) == 1 and len(result.failures) == 1
+
+    def test_strict_default_raises(self):
+        with pytest.raises(RuntimeError, match="point exploded"):
+            run_sweep(self._flaky, grid(bits=[3, 4, 5]))
+
+    def test_best_empty_message_mentions_failures(self):
+        result = run_sweep(self._flaky, grid(bits=[4]), on_error="failsink")
+        with pytest.raises(ValueError, match=r"1 point\(s\) failed"):
+            result.best("acc")
+
+    def test_best_missing_metric_lists_available_keys(self):
+        result = run_sweep(lambda bits: {"acc": 1.0}, grid(bits=[3]))
+        with pytest.raises(ValueError, match="available keys: acc, bits"):
+            result.best("accuracy")

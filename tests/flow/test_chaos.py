@@ -1,0 +1,252 @@
+"""Chaos harness: crash/resume, checkpoint rot, scheduled item faults.
+
+These are the acceptance tests of the orchestration layer: every fault is
+deterministic (call-scheduled or seed-scheduled), so each scenario replays
+exactly.
+"""
+
+import numpy as np
+import pytest
+
+from repro.flow import (
+    ChaosInjected,
+    CheckpointStore,
+    Failsink,
+    FatalError,
+    FlakyCalls,
+    FlowRunner,
+    Pipeline,
+    StepFailed,
+    corrupt_checkpoint,
+    fault_schedule,
+    faulty,
+    truncate_checkpoint,
+)
+from repro.obs import Telemetry
+
+
+def _logits_pipeline(calls=None):
+    """Deterministic numeric DAG ending in a 'logits' array."""
+    calls = calls if calls is not None else {}
+
+    def counted(name, fn):
+        def wrapper(*args):
+            calls[name] = calls.get(name, 0) + 1
+            return fn(*args)
+        return wrapper
+
+    def make_data():
+        rng = np.random.default_rng(3)
+        return rng.standard_normal((16, 8))
+
+    def make_weights():
+        rng = np.random.default_rng(4)
+        return rng.standard_normal((8, 10))
+
+    pipe = Pipeline("chaos/logits")
+    pipe.step("data", counted("data", make_data), config={"seed": 3})
+    pipe.step("weights", counted("weights", make_weights), config={"seed": 4})
+    pipe.step("logits", counted("logits", lambda x, w: np.tanh(x @ w)),
+              inputs=("data", "weights"), config={})
+    pipe.step("metrics", counted("metrics", lambda z: {
+        "mean": float(z.mean()), "argmax": int(z.argmax()),
+    }), inputs=("logits",), config={})
+    return pipe
+
+
+class TestKillResume:
+    def test_resume_after_crash_is_bit_exact(self, tmp_path):
+        # Ground truth: one uninterrupted run (no checkpoints at all).
+        uninterrupted = FlowRunner().run(_logits_pipeline())
+
+        # Chaos arm: the same pipeline dies at step 3 ("logits").
+        store = CheckpointStore(str(tmp_path))
+        calls = {}
+        crashing = _logits_pipeline(calls)
+        crashing["logits"].fn = FlakyCalls(
+            crashing["logits"].fn, fail_on={1},
+            error=lambda n: FatalError("simulated crash"),
+        )
+        with pytest.raises(StepFailed) as excinfo:
+            FlowRunner(store=store).run(crashing)
+        assert excinfo.value.step == "logits"
+        assert calls == {"data": 1, "weights": 1}  # steps 1..k completed
+
+        # Resume: a fresh process would rebuild the pipeline and re-run.
+        resumed = FlowRunner(store=store).run(_logits_pipeline(calls))
+        # Steps 1..k were NOT re-executed...
+        assert resumed.cached == ["data", "weights"]
+        assert calls == {"data": 1, "weights": 1, "logits": 1, "metrics": 1}
+        # ...and the outputs are bit-exact with the uninterrupted run.
+        assert np.array_equal(resumed.output("logits"),
+                              uninterrupted.output("logits"))
+        assert resumed.output("metrics") == uninterrupted.output("metrics")
+
+    def test_repeated_crashes_still_make_progress(self, tmp_path):
+        # Every run dies on its SECOND uncached step: the first one
+        # completes and checkpoints, so each crash-and-rerun cycle still
+        # advances the frontier by one step.  Cached steps never call fn,
+        # so the shared counter only sees real executions.
+        store = CheckpointStore(str(tmp_path))
+
+        def crashing_pipeline():
+            executed = {"n": 0}
+            pipe = _logits_pipeline()
+            for step in pipe.steps:
+                def wrapper(*args, original=step.fn):
+                    executed["n"] += 1
+                    if executed["n"] == 2:
+                        raise FatalError("simulated kill")
+                    return original(*args)
+                step.fn = wrapper
+            return pipe
+
+        crashes = 0
+        result = None
+        for _ in range(10):
+            try:
+                result = FlowRunner(store=store).run(crashing_pipeline())
+                break
+            except StepFailed:
+                crashes += 1
+        assert result is not None
+        # 4 steps, one new checkpoint per crash: exactly 3 crashes before
+        # the run that starts at the final step (only 1 uncached left).
+        assert crashes == 3
+        truth = FlowRunner().run(_logits_pipeline())
+        assert result.output("metrics") == truth.output("metrics")
+
+
+class TestCheckpointRot:
+    def _run_once(self, tmp_path, calls=None):
+        store = CheckpointStore(str(tmp_path))
+        result = FlowRunner(store=store).run(_logits_pipeline(calls))
+        return store, result
+
+    def test_corrupted_checkpoint_detected_and_recomputed(self, tmp_path):
+        calls = {}
+        store, first = self._run_once(tmp_path, calls)
+        corrupt_checkpoint(store.path_for(first.steps["weights"].key))
+
+        telemetry = Telemetry()
+        rerun = FlowRunner(store=store, telemetry=telemetry).run(
+            _logits_pipeline(calls))
+        # Only the damaged step re-executed; the digest mismatch was
+        # counted; downstream stayed cached (same recomputed digest).
+        assert rerun.executed == ["weights"]
+        assert sorted(rerun.cached) == ["data", "logits", "metrics"]
+        assert calls["weights"] == 2 and calls["data"] == 1
+        corrupt = telemetry.registry.counter(
+            "flow_checkpoint_corrupt_total", step="weights")
+        assert corrupt.value == 1.0
+        assert np.array_equal(rerun.output("logits"), first.output("logits"))
+
+    def test_truncated_checkpoint_detected(self, tmp_path):
+        calls = {}
+        store, first = self._run_once(tmp_path, calls)
+        truncate_checkpoint(store.path_for(first.steps["data"].key))
+        rerun = FlowRunner(store=store).run(_logits_pipeline(calls))
+        assert "data" in rerun.executed
+        assert np.array_equal(rerun.output("logits"), first.output("logits"))
+
+    def test_corrupt_helper_rejects_empty_file(self, tmp_path):
+        path = tmp_path / "empty.ckpt"
+        path.write_bytes(b"")
+        with pytest.raises(ValueError):
+            corrupt_checkpoint(str(path))
+
+    def test_truncate_keep_bytes(self, tmp_path):
+        path = tmp_path / "blob.ckpt"
+        path.write_bytes(b"x" * 100)
+        truncate_checkpoint(str(path), keep_bytes=10)
+        assert path.stat().st_size == 10
+        truncate_checkpoint(str(path))
+        assert path.stat().st_size == 5
+
+
+class TestScheduledItemFaults:
+    def test_schedule_is_deterministic_and_sized(self):
+        schedule = fault_schedule(30, 0.10, seed=5)
+        assert schedule == fault_schedule(30, 0.10, seed=5)
+        assert len(schedule) == 3
+        assert all(0 <= i < 30 for i in schedule)
+        assert fault_schedule(30, 0.10, seed=6) != schedule  # seed matters
+        assert fault_schedule(30, 0.0, seed=5) == frozenset()
+        with pytest.raises(ValueError):
+            fault_schedule(30, 1.5, seed=5)
+
+    def test_sweep_with_ten_percent_faults_fails_exactly_the_injected(self):
+        n_items, fraction = 30, 0.10
+        schedule = fault_schedule(n_items, fraction, seed=5)
+
+        sink = Failsink()
+        pipe = Pipeline("chaos/map")
+        pipe.step("items", lambda: list(range(n_items)))
+        pipe.step("apply", faulty(lambda item: item * item, schedule),
+                  inputs=("items",), map_over=True,
+                  item_seed=lambda index, item: 1000 + index)
+        output = FlowRunner(failsink=sink).run(pipe).output("apply")
+
+        # The failsink holds records for exactly the injected items.
+        assert sorted(output.failed_indices) == sorted(schedule)
+        assert sorted(r.index for r in sink.records) == sorted(schedule)
+        assert all(r.error_type == "ChaosInjected" for r in sink.records)
+        assert all(r.seed == 1000 + r.index for r in sink.records)
+        # Every non-injected item completed, correctly.
+        assert output.indices == [i for i in range(n_items) if i not in schedule]
+        assert output.results == [i * i for i in output.indices]
+
+    def test_faulty_wrapper_counts_ordinals_not_values(self):
+        wrapped = faulty(lambda item: item, {1})
+        assert wrapped("a") == "a"
+        with pytest.raises(ChaosInjected):
+            wrapped("b")
+        assert wrapped("c") == "c"
+
+
+class TestQuantizationPipelineResume:
+    """The real workload: kill the paper pipeline mid-run, resume bit-exact."""
+
+    def test_kill_after_training_resumes_without_retraining(self, tmp_path):
+        from repro.core.pipeline import PipelineConfig, QuantizationPipeline
+        from repro.datasets.mnist_like import generate_mnist_like
+
+        train = generate_mnist_like(160, seed=0)
+        test = generate_mnist_like(80, seed=1)
+        quant = QuantizationPipeline(
+            PipelineConfig(signal_bits=4, weight_bits=4, epochs=1, seed=0))
+
+        # Ground truth: uninterrupted, uncheckpointed run.
+        truth = quant.run("lenet", train, test, model_name="lenet")
+
+        # Chaos arm: crash right after both trainings completed.
+        store = CheckpointStore(str(tmp_path))
+        crashing = quant.build_pipeline("lenet", train, test, model_name="lenet")
+        crashing["deploy_without"].fn = FlakyCalls(
+            crashing["deploy_without"].fn, fail_on={1},
+            error=lambda n: FatalError("simulated kill"),
+        )
+        with pytest.raises(StepFailed):
+            FlowRunner(store=store).run(crashing)
+
+        # Resume: both trainings (the expensive steps) come from disk.
+        fresh = quant.build_pipeline("lenet", train, test, model_name="lenet")
+        trained = {"n": 0}
+        for name in ("train_baseline", "train_proposed"):
+            original = fresh[name].fn
+
+            def counting(original=original):
+                trained["n"] += 1
+                return original()
+
+            fresh[name].fn = counting
+        result = FlowRunner(store=store).run(fresh)
+        assert trained["n"] == 0
+        assert {"train_baseline", "train_proposed"} <= set(result.cached)
+
+        report = quant.report_from(result, "lenet")
+        # Bit-exact equality, not approx: resume must change nothing.
+        assert report.ideal_accuracy == truth.ideal_accuracy
+        assert report.without_accuracy == truth.without_accuracy
+        assert report.with_accuracy == truth.with_accuracy
+        assert report.proposed_fp32_accuracy == truth.proposed_fp32_accuracy

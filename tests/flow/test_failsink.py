@@ -1,0 +1,91 @@
+"""Tests for failsink records and the JSONL mirror."""
+
+import json
+
+from repro.flow import Failsink, FailsinkRecord, run_map
+
+
+def _boom(item):
+    raise RuntimeError(f"bad {item}")
+
+
+class TestFailsinkRecord:
+    def test_to_json_roundtrips(self):
+        record = FailsinkRecord(step="s", index=3, item="'x'",
+                                error_type="ValueError", message="m",
+                                traceback="tb", seed=17)
+        parsed = json.loads(record.to_json())
+        assert parsed == {"step": "s", "index": 3, "item": "'x'",
+                          "error_type": "ValueError", "message": "m",
+                          "traceback": "tb", "seed": 17}
+
+
+class TestFailsink:
+    def test_record_captures_everything(self):
+        sink = Failsink()
+        try:
+            _boom("die-4")
+        except RuntimeError as error:
+            entry = sink.record("study", 4, "die-4", error, seed=42)
+        assert entry.step == "study" and entry.index == 4
+        assert entry.item == "'die-4'" and entry.seed == 42
+        assert entry.error_type == "RuntimeError"
+        assert "bad die-4" in entry.message
+        assert "_boom" in entry.traceback
+        assert len(sink) == 1 and sink.count_for("study") == 1
+        assert sink.count_for("other") == 0
+
+    def test_jsonl_mirror_flushed_per_record(self, tmp_path):
+        path = tmp_path / "failsink.jsonl"
+        with Failsink(path=str(path)) as sink:
+            for i in range(3):
+                try:
+                    _boom(i)
+                except RuntimeError as error:
+                    sink.record("s", i, i, error, seed=i)
+            # Flushed immediately: readable before close.
+            lines = path.read_text().splitlines()
+            assert len(lines) == 3
+        parsed = [json.loads(line) for line in lines]
+        assert [p["index"] for p in parsed] == [0, 1, 2]
+        assert [p["seed"] for p in parsed] == [0, 1, 2]
+
+    def test_summary(self):
+        sink = Failsink()
+        assert sink.summary() == "failsink: empty"
+        error = ValueError("x")
+        sink.record("a", 0, 0, error)
+        sink.record("a", 1, 1, error)
+        sink.record("b", 0, 0, error)
+        assert sink.summary() == "failsink: 3 record(s) (a: 2, b: 1)"
+
+    def test_close_idempotent(self, tmp_path):
+        sink = Failsink(path=str(tmp_path / "f.jsonl"))
+        sink.record("s", 0, 0, ValueError("x"))
+        sink.close()
+        sink.close()
+
+
+class TestRunMap:
+    def test_strict_mode_propagates(self):
+        try:
+            run_map(_boom, [1], on_error="raise")
+        except RuntimeError as error:
+            assert "bad 1" in str(error)
+        else:  # pragma: no cover
+            raise AssertionError("expected RuntimeError")
+
+    def test_invalid_on_error(self):
+        try:
+            run_map(lambda x: x, [1], on_error="explode")
+        except ValueError as error:
+            assert "on_error" in str(error)
+        else:  # pragma: no cover
+            raise AssertionError("expected ValueError")
+
+    def test_partial_failure_keeps_alignment(self):
+        output = run_map(lambda x: 1 // x, [2, 0, 4], step="div")
+        assert output.results == [0, 0]
+        assert output.indices == [0, 2]
+        assert output.failed_indices == [1]
+        assert output.n_items == 3

@@ -1,0 +1,189 @@
+"""Tests for retry policy, backoff determinism, timeouts, and the taxonomy."""
+
+import pytest
+
+from repro.flow import (
+    ChaosInjected,
+    ClockStall,
+    CorruptCheckpointError,
+    FatalError,
+    FlakyCalls,
+    FlowRunner,
+    Pipeline,
+    RetryPolicy,
+    StepFailed,
+    StepTimeout,
+    TransientError,
+    backoff_delay,
+    classify_error,
+)
+from repro.obs import Telemetry
+from repro.obs.clock import FakeClock
+
+
+class TestClassifyError:
+    def test_taxonomy_classes(self):
+        assert classify_error(TransientError("x")) == "transient"
+        assert classify_error(FatalError("x")) == "fatal"
+        assert classify_error(CorruptCheckpointError("x")) == "corrupt"
+        assert classify_error(StepTimeout("s", 2.0, 1.0)) == "transient"
+
+    def test_resource_pressure_is_transient(self):
+        assert classify_error(MemoryError()) == "transient"
+        assert classify_error(OSError("disk")) == "transient"
+
+    def test_unclassified_fatal_by_default(self):
+        assert classify_error(ValueError("bug")) == "fatal"
+        assert classify_error(ValueError("bug"), retry_unclassified=True) == "transient"
+
+
+class TestRetryPolicy:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RetryPolicy(max_attempts=0)
+        with pytest.raises(ValueError):
+            RetryPolicy(base_delay_s=-1.0)
+        with pytest.raises(ValueError):
+            RetryPolicy(jitter=1.0)
+
+    def test_backoff_is_deterministic(self):
+        policy = RetryPolicy(max_attempts=5, base_delay_s=0.1, jitter=0.2)
+        delays = [backoff_delay(policy, "s", a, seed=7) for a in (1, 2, 3)]
+        again = [backoff_delay(policy, "s", a, seed=7) for a in (1, 2, 3)]
+        assert delays == again
+
+    def test_backoff_exponential_and_capped(self):
+        policy = RetryPolicy(max_attempts=9, base_delay_s=0.1, max_delay_s=0.4,
+                             jitter=0.0)
+        assert backoff_delay(policy, "s", 1, 0) == pytest.approx(0.1)
+        assert backoff_delay(policy, "s", 2, 0) == pytest.approx(0.2)
+        assert backoff_delay(policy, "s", 3, 0) == pytest.approx(0.4)
+        assert backoff_delay(policy, "s", 6, 0) == pytest.approx(0.4)  # capped
+
+    def test_jitter_band_and_keying(self):
+        policy = RetryPolicy(max_attempts=3, base_delay_s=1.0, jitter=0.2)
+        delay = backoff_delay(policy, "s", 1, seed=0)
+        assert 0.8 <= delay <= 1.2
+        # Different step, attempt, or seed -> different draw.
+        assert backoff_delay(policy, "t", 1, seed=0) != delay
+        assert backoff_delay(policy, "s", 1, seed=1) != delay
+
+    def test_attempt_validation(self):
+        with pytest.raises(ValueError):
+            backoff_delay(RetryPolicy(), "s", 0, 0)
+
+
+def _single_step(fn, **step_kwargs):
+    pipe = Pipeline("p")
+    pipe.step("work", fn, **step_kwargs)
+    return pipe
+
+
+class TestRunnerRetries:
+    def test_transient_blip_retried_to_success(self):
+        clock = FakeClock()
+        flaky = FlakyCalls(lambda: 42, fail_on={1, 2})
+        telemetry = Telemetry()
+        runner = FlowRunner(retry=RetryPolicy(max_attempts=3),
+                            telemetry=telemetry, clock=clock, sleep=clock.sleep)
+        result = runner.run(_single_step(flaky))
+        assert result.output("work") == 42
+        assert flaky.calls == 3
+        assert result.steps["work"].attempts == 3
+        retries = telemetry.registry.counter("flow_step_retries_total", step="work")
+        assert retries.value == 2.0
+
+    def test_retries_are_bounded(self):
+        clock = FakeClock()
+        flaky = FlakyCalls(lambda: 42, fail_on=range(1, 10 ** 9))
+        runner = FlowRunner(retry=RetryPolicy(max_attempts=4),
+                            clock=clock, sleep=clock.sleep)
+        with pytest.raises(StepFailed) as excinfo:
+            runner.run(_single_step(flaky))
+        assert flaky.calls == 4  # never more than max_attempts
+        assert excinfo.value.attempts == 4
+        assert isinstance(excinfo.value.cause, ChaosInjected)
+
+    def test_backoff_waits_match_schedule_exactly(self):
+        clock = FakeClock()
+        policy = RetryPolicy(max_attempts=3, base_delay_s=0.05, jitter=0.2)
+        flaky = FlakyCalls(lambda: 1, fail_on={1, 2})
+        runner = FlowRunner(retry=policy, clock=clock, sleep=clock.sleep, seed=7)
+        runner.run(_single_step(flaky))
+        expected = (backoff_delay(policy, "work", 1, 7)
+                    + backoff_delay(policy, "work", 2, 7))
+        assert clock.now == pytest.approx(expected)
+
+    def test_fatal_never_retried(self):
+        flaky = FlakyCalls(lambda: 1, fail_on={1},
+                           error=lambda n: FatalError("deterministic bug"))
+        runner = FlowRunner(retry=RetryPolicy(max_attempts=5))
+        with pytest.raises(StepFailed) as excinfo:
+            runner.run(_single_step(flaky))
+        assert flaky.calls == 1 and excinfo.value.attempts == 1
+
+    def test_unclassified_fatal_unless_opted_in(self):
+        flaky = FlakyCalls(lambda: 1, fail_on={1},
+                           error=lambda n: ValueError("stray"))
+        with pytest.raises(StepFailed):
+            FlowRunner(retry=RetryPolicy(max_attempts=3)).run(_single_step(flaky))
+        assert flaky.calls == 1
+
+        clock = FakeClock()
+        flaky2 = FlakyCalls(lambda: 1, fail_on={1},
+                            error=lambda n: ValueError("stray"))
+        runner = FlowRunner(
+            retry=RetryPolicy(max_attempts=3, retry_unclassified=True),
+            clock=clock, sleep=clock.sleep,
+        )
+        assert runner.run(_single_step(flaky2)).output("work") == 1
+        assert flaky2.calls == 2
+
+    def test_per_step_policy_overrides_default(self):
+        clock = FakeClock()
+        flaky = FlakyCalls(lambda: 1, fail_on={1})
+        runner = FlowRunner(retry=RetryPolicy(max_attempts=1),
+                            clock=clock, sleep=clock.sleep)
+        pipe = _single_step(flaky, retry=RetryPolicy(max_attempts=2))
+        assert runner.run(pipe).output("work") == 1
+
+
+class TestTimeouts:
+    def test_stalled_step_times_out_then_recovers(self):
+        clock = FakeClock()
+        # Stall 2s on every call against a 1s budget; fail the budget only
+        # while the stall exceeds it — here: shrink the stall after 2 calls.
+        stall = ClockStall(lambda: 5, clock, stall_s=2.0)
+        calls = {"n": 0}
+
+        def step():
+            calls["n"] += 1
+            if calls["n"] <= 2:
+                return stall()
+            return 5
+
+        runner = FlowRunner(retry=RetryPolicy(max_attempts=3, jitter=0.0),
+                            clock=clock, sleep=clock.sleep)
+        result = runner.run(_single_step(step, timeout_s=1.0))
+        assert result.output("work") == 5
+        assert result.steps["work"].attempts == 3
+
+    def test_persistent_stall_exhausts_attempts(self):
+        clock = FakeClock()
+        stalled = ClockStall(lambda: 5, clock, stall_s=2.0)
+        runner = FlowRunner(retry=RetryPolicy(max_attempts=2, jitter=0.0),
+                            clock=clock, sleep=clock.sleep)
+        with pytest.raises(StepFailed) as excinfo:
+            runner.run(_single_step(stalled, timeout_s=1.0))
+        cause = excinfo.value.cause
+        assert isinstance(cause, StepTimeout)
+        assert cause.step == "work"
+        assert cause.elapsed_s == pytest.approx(2.0)
+        assert cause.timeout_s == pytest.approx(1.0)
+
+    def test_fast_step_unaffected_by_timeout(self):
+        clock = FakeClock()
+        runner = FlowRunner(clock=clock, sleep=clock.sleep)
+        result = runner.run(_single_step(lambda: 9, timeout_s=1.0))
+        assert result.output("work") == 9
+        assert result.steps["work"].attempts == 1

@@ -1,0 +1,255 @@
+"""Tests for the DAG runner: structure, checkpointing, map steps."""
+
+import numpy as np
+import pytest
+
+from repro.flow import (
+    CheckpointStore,
+    Failsink,
+    FatalError,
+    FlowRunner,
+    MapOutput,
+    Pipeline,
+    Step,
+    StepFailed,
+    canonical_config,
+    step_key,
+)
+from repro.obs import Telemetry
+
+
+def _linear_pipeline(calls=None):
+    """a -> b -> c over small ints; ``calls`` counts real executions."""
+    calls = calls if calls is not None else {}
+
+    def counted(name, fn):
+        def wrapper(*args):
+            calls[name] = calls.get(name, 0) + 1
+            return fn(*args)
+        return wrapper
+
+    pipe = Pipeline("test/linear")
+    pipe.step("a", counted("a", lambda: 2), config={"v": 2})
+    pipe.step("b", counted("b", lambda x: x * 10), inputs=("a",), config={})
+    pipe.step("c", counted("c", lambda x: x + 1), inputs=("b",), config={})
+    return pipe
+
+
+class TestPipelineStructure:
+    def test_insertion_order_is_topological(self):
+        pipe = _linear_pipeline()
+        assert [s.name for s in pipe.steps] == ["a", "b", "c"]
+        assert "b" in pipe and len(pipe) == 3
+        assert pipe["b"].inputs == ("a",)
+
+    def test_duplicate_name_rejected(self):
+        pipe = Pipeline("p")
+        pipe.step("a", lambda: 1)
+        with pytest.raises(ValueError, match="duplicate"):
+            pipe.step("a", lambda: 2)
+
+    def test_unknown_input_rejected(self):
+        pipe = Pipeline("p")
+        with pytest.raises(ValueError, match="unknown step"):
+            pipe.step("b", lambda x: x, inputs=("a",))
+
+    def test_cycles_unrepresentable(self):
+        # A step cannot name itself: it is not added yet when validated.
+        pipe = Pipeline("p")
+        with pytest.raises(ValueError, match="unknown step"):
+            pipe.step("a", lambda x: x, inputs=("a",))
+
+    def test_step_validation(self):
+        with pytest.raises(ValueError, match="non-empty"):
+            Step(name="", fn=lambda: 1)
+        with pytest.raises(ValueError, match="at least one input"):
+            Step(name="m", fn=lambda x: x, map_over=True)
+        with pytest.raises(ValueError, match="on_item_error"):
+            Step(name="m", fn=lambda x: x, inputs=("a",), map_over=True,
+                 on_item_error="explode")
+
+
+class TestStepKey:
+    def test_deterministic(self):
+        key = step_key("s", {"a": 1, "b": [2, 3]}, {"up": "d" * 64})
+        assert key == step_key("s", {"b": [2, 3], "a": 1}, {"up": "d" * 64})
+        assert len(key) == 24
+
+    def test_sensitive_to_all_parts(self):
+        base = step_key("s", {"a": 1}, {"up": "d" * 64})
+        assert step_key("t", {"a": 1}, {"up": "d" * 64}) != base
+        assert step_key("s", {"a": 2}, {"up": "d" * 64}) != base
+        assert step_key("s", {"a": 1}, {"up": "e" * 64}) != base
+        assert step_key("s", {"a": 1}, {}) != base
+
+    def test_upstream_order_irrelevant(self):
+        digests = {"x": "1" * 64, "y": "2" * 64}
+        flipped = dict(reversed(list(digests.items())))
+        assert step_key("s", {}, digests) == step_key("s", {}, flipped)
+
+    def test_canonical_config_handles_non_json(self):
+        text = canonical_config({"arr": np.arange(3), "f": 1.5})
+        assert "arr" in text and canonical_config({"f": 1.5, "arr": np.arange(3)}) == text
+
+
+class TestEphemeralRun:
+    def test_values_flow_through_dag(self):
+        result = FlowRunner().run(_linear_pipeline())
+        assert result.output("c") == 21
+        assert result.executed == ["a", "b", "c"]
+        assert result.cached == []
+
+    def test_no_store_never_caches(self):
+        runner = FlowRunner()
+        calls = {}
+        pipe = _linear_pipeline(calls)
+        runner.run(pipe)
+        runner.run(pipe)
+        assert calls == {"a": 2, "b": 2, "c": 2}
+
+    def test_fan_in(self):
+        pipe = Pipeline("p")
+        pipe.step("x", lambda: 3)
+        pipe.step("y", lambda: 4)
+        pipe.step("sum", lambda a, b: a + b, inputs=("x", "y"))
+        assert FlowRunner().run(pipe).output("sum") == 7
+
+
+class TestResume:
+    def test_second_run_fully_cached(self, tmp_path):
+        store = CheckpointStore(str(tmp_path))
+        calls = {}
+        first = FlowRunner(store=store).run(_linear_pipeline(calls))
+        second = FlowRunner(store=store).run(_linear_pipeline(calls))
+        assert first.output("c") == second.output("c") == 21
+        assert second.cached == ["a", "b", "c"]
+        assert calls == {"a": 1, "b": 1, "c": 1}
+
+    def test_no_resume_reexecutes(self, tmp_path):
+        store = CheckpointStore(str(tmp_path))
+        calls = {}
+        FlowRunner(store=store).run(_linear_pipeline(calls))
+        FlowRunner(store=store).run(_linear_pipeline(calls), resume=False)
+        assert calls == {"a": 2, "b": 2, "c": 2}
+
+    def test_config_change_invalidates_step_and_downstream(self, tmp_path):
+        store = CheckpointStore(str(tmp_path))
+        calls = {}
+        FlowRunner(store=store).run(_linear_pipeline(calls))
+
+        changed = {}
+        pipe = Pipeline("test/linear")
+        pipe.step("a", lambda: (changed.setdefault("a", 0), 5)[1], config={"v": 5})
+        pipe.step("b", lambda x: x * 10, inputs=("a",), config={})
+        pipe.step("c", lambda x: x + 1, inputs=("b",), config={})
+        result = FlowRunner(store=store).run(pipe)
+        # New config for "a" -> new key -> new output digest -> b and c
+        # recompute too (their keys depend on upstream digests).
+        assert result.executed == ["a", "b", "c"]
+        assert result.output("c") == 51
+
+    def test_force_all(self, tmp_path):
+        store = CheckpointStore(str(tmp_path))
+        calls = {}
+        FlowRunner(store=store).run(_linear_pipeline(calls))
+        FlowRunner(store=store).run(_linear_pipeline(calls), force=True)
+        assert calls == {"a": 2, "b": 2, "c": 2}
+
+    def test_force_selective_same_output_keeps_downstream(self, tmp_path):
+        store = CheckpointStore(str(tmp_path))
+        calls = {}
+        FlowRunner(store=store).run(_linear_pipeline(calls))
+        result = FlowRunner(store=store).run(_linear_pipeline(calls), force={"b"})
+        # b re-executes, but its output (and digest) is unchanged, so c's
+        # key is unchanged and c stays cached.
+        assert calls == {"a": 1, "b": 2, "c": 1}
+        assert result.cached == ["a", "c"]
+        assert result.executed == ["b"]
+
+    def test_failed_run_keeps_completed_checkpoints(self, tmp_path):
+        store = CheckpointStore(str(tmp_path))
+        calls = {}
+        pipe = _linear_pipeline(calls)
+        original_c = pipe["c"].fn
+
+        def boom(x):
+            raise FatalError("chaos")
+
+        pipe["c"].fn = boom
+        with pytest.raises(StepFailed) as excinfo:
+            FlowRunner(store=store).run(pipe)
+        assert excinfo.value.step == "c"
+
+        pipe["c"].fn = original_c
+        result = FlowRunner(store=store).run(pipe)
+        assert result.cached == ["a", "b"]
+        assert result.output("c") == 21
+        assert calls == {"a": 1, "b": 1, "c": 1}
+
+
+class TestMapSteps:
+    def _map_pipeline(self, fn):
+        pipe = Pipeline("p")
+        pipe.step("items", lambda: [1, 2, 3, 4])
+        pipe.step("scale", lambda: 10)
+        pipe.step("apply", fn, inputs=("items", "scale"), map_over=True,
+                  item_seed=lambda index, item: 100 + index)
+        return pipe
+
+    def test_map_applies_per_item_with_extra_inputs(self):
+        result = FlowRunner().run(self._map_pipeline(lambda item, scale: item * scale))
+        output = result.output("apply")
+        assert isinstance(output, MapOutput)
+        assert output.results == [10, 20, 30, 40]
+        assert output.indices == [0, 1, 2, 3]
+        assert output.failed_indices == [] and output.n_items == 4
+
+    def test_item_failures_routed_to_failsink(self):
+        def sometimes(item, scale):
+            if item % 2 == 0:
+                raise ValueError(f"bad item {item}")
+            return item * scale
+
+        sink = Failsink()
+        telemetry = Telemetry()
+        runner = FlowRunner(failsink=sink, telemetry=telemetry)
+        output = runner.run(self._map_pipeline(sometimes)).output("apply")
+        assert output.results == [10, 30]
+        assert output.failed_indices == [1, 3]
+        assert len(sink) == 2 and sink.count_for("apply") == 2
+        record = sink.records[0]
+        assert record.error_type == "ValueError" and record.seed == 101
+        assert "bad item 2" in record.message and "ValueError" in record.traceback
+        counter = telemetry.registry.counter("flow_failsink_records_total", step="apply")
+        assert counter.value == 2.0
+        assert telemetry.registry.gauge("flow_failsink_size").value == 2.0
+
+    def test_on_item_error_raise_is_strict(self):
+        def boom(item, scale):
+            raise ValueError("nope")
+
+        pipe = self._map_pipeline(boom)
+        pipe["apply"].on_item_error = "raise"
+        with pytest.raises(StepFailed) as excinfo:
+            FlowRunner().run(pipe)
+        assert isinstance(excinfo.value.cause, ValueError)
+
+    def test_map_output_checkpoints_roundtrip(self, tmp_path):
+        store = CheckpointStore(str(tmp_path))
+        fn = lambda item, scale: item * scale  # noqa: E731
+        first = FlowRunner(store=store).run(self._map_pipeline(fn))
+        second = FlowRunner(store=store).run(self._map_pipeline(fn))
+        assert second.cached == ["items", "scale", "apply"]
+        assert second.output("apply").results == first.output("apply").results
+
+
+class TestTelemetry:
+    def test_step_status_counters(self, tmp_path):
+        telemetry = Telemetry()
+        store = CheckpointStore(str(tmp_path))
+        runner = FlowRunner(store=store, telemetry=telemetry)
+        runner.run(_linear_pipeline())
+        runner.run(_linear_pipeline())
+        registry = telemetry.registry
+        assert registry.counter("flow_steps_total", status="executed").value == 3.0
+        assert registry.counter("flow_steps_total", status="cached").value == 3.0

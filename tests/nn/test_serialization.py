@@ -143,3 +143,71 @@ class TestLoadErrors:
         with pytest.raises(StateDictError):
             load_state(target, path)
         np.testing.assert_allclose(target.weight.data, before)
+
+
+class TestBlobs:
+    """Digest-framed pickle blobs (the flow checkpoint payload format)."""
+
+    def test_roundtrip_returns_matching_digest(self, tmp_path):
+        from repro.nn.serialization import load_blob, save_blob
+
+        path = str(tmp_path / "value.blob")
+        obj = {"arr": np.arange(5.0), "n": 3}
+        digest = save_blob(path, obj)
+        value, loaded_digest = load_blob(path)
+        assert loaded_digest == digest and len(digest) == 64
+        assert value["n"] == 3
+        np.testing.assert_array_equal(value["arr"], np.arange(5.0))
+
+    def test_expected_digest_enforced(self, tmp_path):
+        from repro.nn.serialization import BlobError, load_blob, save_blob
+
+        path = str(tmp_path / "value.blob")
+        digest = save_blob(path, [1, 2, 3])
+        load_blob(path, expected_digest=digest)  # matching: fine
+        with pytest.raises(BlobError, match="digest"):
+            load_blob(path, expected_digest="0" * 64)
+
+    def test_flipped_payload_byte_detected(self, tmp_path):
+        from repro.nn.serialization import BlobError, load_blob, save_blob
+
+        path = tmp_path / "value.blob"
+        save_blob(str(path), list(range(100)))
+        raw = bytearray(path.read_bytes())
+        raw[-1] ^= 0xFF
+        path.write_bytes(bytes(raw))
+        with pytest.raises(BlobError):
+            load_blob(str(path))
+
+    def test_truncation_detected(self, tmp_path):
+        from repro.nn.serialization import BlobError, load_blob, save_blob
+
+        path = tmp_path / "value.blob"
+        save_blob(str(path), list(range(100)))
+        raw = path.read_bytes()
+        path.write_bytes(raw[: len(raw) // 2])
+        with pytest.raises(BlobError):
+            load_blob(str(path))
+
+    def test_wrong_magic_rejected(self, tmp_path):
+        from repro.nn.serialization import BlobError, load_blob
+
+        path = tmp_path / "value.blob"
+        path.write_bytes(b"NOT-A-BLOB\n" + b"0" * 64 + b"\n")
+        with pytest.raises(BlobError, match="magic"):
+            load_blob(str(path))
+
+    def test_atomic_write_leaves_no_temp_files(self, tmp_path):
+        from repro.nn.serialization import save_blob
+
+        save_blob(str(tmp_path / "value.blob"), {"k": 1})
+        assert sorted(os.listdir(tmp_path)) == ["value.blob"]
+
+    def test_atomic_write_text_replaces_existing(self, tmp_path):
+        from repro.nn.serialization import atomic_write_text
+
+        path = tmp_path / "report.json"
+        atomic_write_text(str(path), "first")
+        atomic_write_text(str(path), "second")
+        assert path.read_text() == "second"
+        assert sorted(os.listdir(tmp_path)) == ["report.json"]

@@ -89,3 +89,53 @@ class TestSweep:
             n_dies=4, eval_samples=100,
         )
         assert reports[0].yield_fraction >= reports[1].yield_fraction
+
+
+class TestFailurePaths:
+    """A die that blows up must be skipped and recorded, not fatal."""
+
+    def _explode_on(self, bad_seed):
+        from repro.snc import montecarlo as M
+
+        real = M.die_accuracy
+
+        def sometimes(system, image, subset, variation_sigma, die_seed):
+            if die_seed == bad_seed:
+                raise RuntimeError(f"die {die_seed} hit a numeric guard")
+            return real(system, image, subset, variation_sigma, die_seed)
+
+        return sometimes
+
+    def test_failing_die_does_not_abort_estimate(self, deployed, monkeypatch):
+        from repro.flow import Failsink
+        from repro.snc import montecarlo as M
+
+        system, test = deployed
+        seed, bad_die = 50, 2
+        monkeypatch.setattr(M, "die_accuracy", self._explode_on(seed + bad_die))
+        sink = Failsink()
+        report = estimate_yield(
+            system, test, variation_sigma=0.1, threshold=0.5,
+            n_dies=4, seed=seed, eval_samples=50, failsink=sink,
+        )
+        assert report.n_dies == 3            # the other dies completed
+        assert report.failed_dies == 1
+        assert "1 die(s) failed" in report.summary()
+
+        record = sink.records[0]
+        assert record.step == "estimate_yield"
+        assert record.index == bad_die
+        # The record carries the exact seed that replays the bad die.
+        assert record.seed == seed + bad_die
+        assert record.error_type == "RuntimeError"
+
+    def test_strict_mode_still_raises(self, deployed, monkeypatch):
+        from repro.snc import montecarlo as M
+
+        system, test = deployed
+        monkeypatch.setattr(M, "die_accuracy", self._explode_on(1))
+        with pytest.raises(RuntimeError, match="numeric guard"):
+            estimate_yield(
+                system, test, variation_sigma=0.1, threshold=0.5,
+                n_dies=3, seed=0, eval_samples=50, on_error="raise",
+            )

@@ -130,3 +130,83 @@ class TestTrainingBackedCommand:
         assert "HEALTHY" in out
         assert "FAULTY" not in out
         assert "0/" in out
+
+
+class TestRunCommand:
+    """``repro run``: named pipelines on the checkpointed DAG runner."""
+
+    @staticmethod
+    def _toy_builder(calls):
+        def builder(fast, seed):
+            from repro.flow import Pipeline
+
+            def work():
+                calls["work"] = calls.get("work", 0) + 1
+                return 2 + seed
+
+            pipe = Pipeline("toy/pipeline")
+            pipe.step("work", work, config={"seed": seed})
+            pipe.step("double", lambda x: x * 2, inputs=("work",))
+            summarize = lambda result: f"toy total={result.output('double')}"  # noqa: E731
+            return pipe, summarize
+        return builder
+
+    def _install_toy(self, monkeypatch, calls):
+        from repro.flow import pipelines
+
+        monkeypatch.setitem(pipelines.PIPELINES, "toy", self._toy_builder(calls))
+
+    def test_missing_target_lists_pipelines(self, capsys):
+        assert main(["run"]) == 2
+        out = capsys.readouterr().out
+        assert "quantization" in out and "sweep" in out and "yield" in out
+
+    def test_unknown_pipeline_rejected(self, capsys):
+        assert main(["run", "nope"]) == 2
+        assert "unknown pipeline" in capsys.readouterr().out
+
+    def test_negative_retries_rejected(self, tmp_path):
+        args = build_parser().parse_args(
+            ["run", "toy", "--retries", "-1", "--run-dir", str(tmp_path)])
+        with pytest.raises(SystemExit, match="retries"):
+            run_command(args)
+
+    def test_run_executes_then_resumes(self, tmp_path, monkeypatch, capsys):
+        calls = {}
+        self._install_toy(monkeypatch, calls)
+        argv = ["run", "toy", "--run-dir", str(tmp_path)]
+
+        assert main(argv) == 0
+        first = capsys.readouterr().out
+        assert "toy total=4" in first and "executed" in first
+        assert "failsink: empty" in first
+
+        assert main(argv) == 0
+        second = capsys.readouterr().out
+        assert "toy total=4" in second and "cached" in second
+        assert calls == {"work": 1}  # resume: nothing re-executed
+
+    def test_force_reexecutes(self, tmp_path, monkeypatch, capsys):
+        calls = {}
+        self._install_toy(monkeypatch, calls)
+        argv = ["run", "toy", "--run-dir", str(tmp_path)]
+        assert main(argv) == 0
+        assert main(argv + ["--force"]) == 0
+        assert calls == {"work": 2}
+        assert "executed" in capsys.readouterr().out
+
+    def test_failed_step_reports_and_exits_nonzero(self, tmp_path, monkeypatch, capsys):
+        from repro.flow import FatalError, Pipeline, pipelines
+
+        def broken_builder(fast, seed):
+            def boom():
+                raise FatalError("injected")
+
+            pipe = Pipeline("toy/broken")
+            pipe.step("boom", boom)
+            return pipe, lambda result: ""
+
+        monkeypatch.setitem(pipelines.PIPELINES, "broken", broken_builder)
+        assert main(["run", "broken", "--run-dir", str(tmp_path)]) == 1
+        out = capsys.readouterr().out
+        assert "FAILED" in out and "re-run to resume" in out

@@ -365,3 +365,106 @@ class TestInjectedClockRule:
             f for f in lint_repro.lint_paths([src]) if f.rule == "RL005"
         ]
         assert findings == []
+
+
+class TestExceptionHygieneRule:
+    def test_bare_except_in_flow_is_rl006(self, tmp_path):
+        f = _write(tmp_path / "repro" / "flow" / "mod.py", """
+            def load():
+                try:
+                    return open("x")
+                except:
+                    return None
+        """)
+        findings = lint_repro.lint_paths([f])
+        assert _rules(findings) == ["RL006"]
+        assert "bare `except:`" in findings[0].message
+
+    def test_silent_pass_handler_in_serve_is_rl006(self, tmp_path):
+        f = _write(tmp_path / "repro" / "serve" / "mod.py", """
+            def submit(queue, item):
+                try:
+                    queue.put(item)
+                except ValueError:
+                    pass
+        """)
+        findings = lint_repro.lint_paths([f])
+        assert _rules(findings) == ["RL006"]
+        assert "swallows" in findings[0].message
+
+    def test_ellipsis_handler_in_runtime_is_rl006(self, tmp_path):
+        f = _write(tmp_path / "repro" / "runtime" / "mod.py", """
+            def replay(plan):
+                try:
+                    plan.run()
+                except RuntimeError:
+                    ...
+        """)
+        assert _rules(lint_repro.lint_paths([f])) == ["RL006"]
+
+    def test_handler_that_records_is_clean(self, tmp_path):
+        f = _write(tmp_path / "repro" / "flow" / "mod.py", """
+            def apply(fn, item, sink):
+                try:
+                    return fn(item)
+                except ValueError as error:
+                    sink.record("apply", 0, item, error)
+                    return None
+        """)
+        assert lint_repro.lint_paths([f]) == []
+
+    def test_handler_that_reraises_is_clean(self, tmp_path):
+        f = _write(tmp_path / "repro" / "flow" / "mod.py", """
+            def apply(fn):
+                try:
+                    return fn()
+                except (KeyboardInterrupt, SystemExit):
+                    raise
+        """)
+        assert lint_repro.lint_paths([f]) == []
+
+    def test_rule_only_applies_to_strict_dirs(self, tmp_path):
+        f = _write(tmp_path / "repro" / "analysis" / "mod.py", """
+            def probe():
+                try:
+                    return 1
+                except Exception:
+                    pass
+        """)
+        assert lint_repro.lint_paths([f]) == []
+
+    def test_suppression_comment_works(self, tmp_path):
+        f = _write(tmp_path / "repro" / "flow" / "mod.py", """
+            def probe():
+                try:
+                    return 1
+                except Exception:  # lint: ignore[RL006]
+                    pass
+        """)
+        assert lint_repro.lint_paths([f]) == []
+
+    def test_flow_package_is_clean(self):
+        flow = Path(__file__).resolve().parents[1] / "src" / "repro" / "flow"
+        findings = [f for f in lint_repro.lint_paths([flow])
+                    if f.rule == "RL006"]
+        assert findings == []
+
+
+class TestFlowClockCoverage:
+    def test_direct_clock_call_in_flow_is_rl005(self, tmp_path):
+        f = _write(tmp_path / "repro" / "flow" / "mod.py", """
+            import time
+
+            def wait():
+                return time.monotonic()
+        """)
+        assert _rules(lint_repro.lint_paths([f])) == ["RL005"]
+
+    def test_clock_reference_in_flow_is_clean(self, tmp_path):
+        f = _write(tmp_path / "repro" / "flow" / "mod.py", """
+            import time
+
+            def runner(clock=time.monotonic):
+                return clock()
+        """)
+        assert lint_repro.lint_paths([f]) == []

@@ -34,7 +34,16 @@ Rules
     serving path).  Clocks must be injected values so disabled telemetry
     pays zero syscalls and tests can use a FakeClock.  References
     (``clock=time.monotonic`` as a default) are fine — only calls are
-    flagged.
+    flagged.  Also covers ``repro/flow/`` — the orchestration layer's
+    retry/timeout machinery must run on injected clocks.
+``RL006`` — no bare ``except:`` and no silently swallowed exceptions in
+    the robustness-critical layers ``repro/flow/``, ``repro/serve/``,
+    and ``repro/runtime/``.  A bare ``except`` catches
+    ``KeyboardInterrupt``/``SystemExit`` and turns a crash into a hang;
+    a handler whose body is only ``pass``/``...`` makes a failure
+    unobservable — exactly what the failsink/telemetry machinery exists
+    to prevent.  Handlers must name the exceptions they can recover from
+    and record, re-raise, or transform what they catch.
 
 Suppress a finding by appending ``# lint: ignore[RL002]`` to the
 offending line.
@@ -80,7 +89,12 @@ RULES = {
     "RL003": "public function in an __init__-exported module lacks a docstring",
     "RL004": "unbounded queue or buffer inside the serving layer (repro/serve/)",
     "RL005": "direct time.* clock call in an obs-instrumented hot path",
+    "RL006": "bare except or silently swallowed exception in a robustness-critical layer",
 }
+
+#: directories where RL006 applies: layers whose whole point is making
+#: failures visible and recoverable.
+EXCEPTION_STRICT_DIRS = ("repro/flow/", "repro/serve/", "repro/runtime/")
 
 #: time-module functions that read a clock; calling one hides a time
 #: source the telemetry layer cannot control or fake.
@@ -372,6 +386,7 @@ def check_injected_clocks(path: Path, tree: ast.Module) -> Iterator[Finding]:
     covered = (
         "repro/obs/" in posix
         or "repro/serve/" in posix
+        or "repro/flow/" in posix
         or any(posix.endswith(suffix) for suffix in CLOCK_INJECTED_SUFFIXES)
     )
     if not covered:
@@ -396,6 +411,45 @@ def check_injected_clocks(path: Path, tree: ast.Module) -> Iterator[Finding]:
                 f"{read}() reads a hidden clock in an instrumented hot path; "
                 "accept a Clock value (see repro/obs/clock.py) so telemetry "
                 "stays fake-able and free when disabled",
+            )
+
+
+def _handler_body_is_silent(handler: ast.ExceptHandler) -> bool:
+    """Whether a handler's body does nothing observable (only pass/...)."""
+    for stmt in handler.body:
+        if isinstance(stmt, ast.Pass):
+            continue
+        if (
+            isinstance(stmt, ast.Expr)
+            and isinstance(stmt.value, ast.Constant)
+            and (stmt.value.value is Ellipsis or isinstance(stmt.value.value, str))
+        ):
+            continue  # `...` or a bare docstring-style literal
+        return False
+    return True
+
+
+def check_exception_hygiene(path: Path, tree: ast.Module) -> Iterator[Finding]:
+    """RL006: bare excepts / silent swallowing in flow, serve, runtime."""
+    posix = path.as_posix()
+    if not any(directory in posix for directory in EXCEPTION_STRICT_DIRS):
+        return
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.ExceptHandler):
+            continue
+        if node.type is None:
+            yield Finding(
+                path, node.lineno, "RL006",
+                "bare `except:` also catches KeyboardInterrupt/SystemExit and "
+                "turns a kill into a hang; name the exceptions this handler "
+                "can actually recover from",
+            )
+        elif _handler_body_is_silent(node):
+            yield Finding(
+                path, node.lineno, "RL006",
+                "handler swallows the exception without recording it; route "
+                "it to a Failsink, count it in telemetry, or re-raise — "
+                "silent failures defeat the robustness layer",
             )
 
 
@@ -430,6 +484,7 @@ def lint_paths(paths: Sequence[Path]) -> List[Finding]:
             *check_docstrings(file, tree, exported),
             *check_bounded_queues(file, tree),
             *check_injected_clocks(file, tree),
+            *check_exception_hygiene(file, tree),
         ):
             if finding.rule not in ignores.get(finding.line, ()):
                 findings.append(finding)
