@@ -1,0 +1,119 @@
+"""CI perf-regression guard: per-step medians vs the committed baseline.
+
+Two gates, both designed to survive noisy shared CI machines:
+
+* **Engine steps.** The ``engine_int`` per-step hot medians on quantized
+  LeNet (batch 128) are compared against
+  ``benchmarks/baselines/engine_steps_lenet.json``.  Because CI machines
+  are slower or faster than the box that recorded the baseline, the guard
+  first estimates a machine-speed factor — the median of
+  ``measured/baseline`` across the significant steps, clamped to
+  ``[0.5, 8]`` — and fails only a step that is more than
+  ``REPRO_PERF_TOLERANCE`` (default 25%) slower than its *rescaled*
+  baseline.  A uniform slowdown therefore passes (it's the machine); a
+  single step blowing up relative to its siblings fails (it's a
+  regression).  Steps under ``min_step_ms`` are ignored — their medians
+  are timer noise.
+* **Weight clustering.** ``cluster_weights`` on 50k weights must stay
+  under an absolute ceiling chosen ~6× above the vectorized kernel's
+  measured median but ~30% below the pre-vectorization loop — generous
+  to machine drift, fatal to reverting the vectorization.
+"""
+
+import json
+import os
+import time
+
+import numpy as np
+import pytest
+
+from repro.core.deployment import DeploymentConfig, deploy_model, make_inference_engine
+from repro.core.weight_clustering import cluster_weights
+from repro.datasets.mnist_like import generate_mnist_like
+from repro.models import LeNet
+
+BASELINE = os.path.join(os.path.dirname(__file__), "baselines",
+                        "engine_steps_lenet.json")
+BATCH = 128
+TOLERANCE = float(os.environ.get("REPRO_PERF_TOLERANCE", "0.25"))
+SCALE_BOUNDS = (0.5, 8.0)
+
+
+def _median_ms(fn, reps=30):
+    fn()
+    fn()  # warm the buffer pool and BLAS
+    times = []
+    for _ in range(reps):
+        start = time.perf_counter()
+        fn()
+        times.append(time.perf_counter() - start)
+    return float(np.median(times)) * 1e3
+
+
+@pytest.fixture(scope="module")
+def baseline():
+    with open(BASELINE) as handle:
+        return json.load(handle)
+
+
+@pytest.fixture(scope="module")
+def measured_steps():
+    images = generate_mnist_like(BATCH + 32, seed=0).images
+    model = LeNet(rng=np.random.default_rng(0))
+    model.eval()
+    net, _ = deploy_model(
+        model,
+        DeploymentConfig(signal_bits=4, weight_bits=4, input_bits=8),
+        images[:32],
+    )
+    engine = make_inference_engine(net)
+    batch = images[:BATCH]
+    engine.run(batch)
+    plan = engine.plan
+    inputs = [np.asarray(batch, dtype=np.float64)]
+    for step in plan.steps:
+        inputs.append(step.run(inputs[-1], plan.pool))
+    return {
+        f"{step.index:02d}-{step.kind}":
+            _median_ms(lambda s=step, v=x: s.run(v, plan.pool))
+        for step, x in zip(plan.steps, inputs)
+    }
+
+
+def test_engine_steps_within_tolerance_of_baseline(baseline, measured_steps):
+    min_ms = baseline.get("min_step_ms", 0.05)
+    base = {k: v for k, v in baseline["steps"].items() if v >= min_ms}
+    missing = set(base) - set(measured_steps)
+    assert not missing, (
+        f"baseline steps {sorted(missing)} not present in the compiled plan; "
+        "re-record benchmarks/baselines/engine_steps_lenet.json"
+    )
+    ratios = sorted(measured_steps[k] / base[k] for k in base)
+    machine = float(np.clip(np.median(ratios), *SCALE_BOUNDS))
+    failures = []
+    for name, base_ms in sorted(base.items()):
+        got = measured_steps[name]
+        allowed = base_ms * machine * (1.0 + TOLERANCE)
+        if got > allowed:
+            failures.append(
+                f"{name}: {got:.3f} ms > {allowed:.3f} ms "
+                f"(baseline {base_ms:.3f} × machine {machine:.2f} × "
+                f"{1.0 + TOLERANCE:.2f})"
+            )
+    assert not failures, (
+        "per-step perf regression vs committed baseline:\n  "
+        + "\n  ".join(failures)
+    )
+
+
+def test_weight_clustering_throughput_floor():
+    rng = np.random.default_rng(0)
+    weights = rng.normal(0.0, 0.25, size=50_000)
+    ms = _median_ms(lambda: cluster_weights(weights, bits=4), reps=5)
+    # Vectorized kernel: ~9 ms here.  The pre-vectorization Python loop:
+    # ~88 ms.  The 60 ms ceiling tolerates a ~6× slower machine but not
+    # the loop coming back.
+    assert ms < 60.0, (
+        f"cluster_weights(50k, bits=4) took {ms:.1f} ms — the vectorized "
+        "hot loop has regressed"
+    )

@@ -42,6 +42,8 @@ RULES: Dict[str, str] = {
     "QS201": "signal range overflow: every output provably saturates the M-bit window",
     "QS202": "worst-case signals may clip at the top of the M-bit window",
     "QS210": "inter-layer signal quantizers are not uniform (mixed M or gain)",
+    "QS220": "requantize scale is off the power-of-two grid required by shift mode",
+    "QS221": "requantize shift falls outside the provable [0, 62] range",
     "QW301": "weights are off the N-bit fixed-point grid (Eq. 6) or exceed ±2^(N−1)",
     "QW302": "weight bit widths are not uniform across layers",
     "QI401": "integer fast path exceeds the float32 mantissa; falls back to float64 carrier",

@@ -30,6 +30,7 @@ suppress, return the report.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
 from typing import List, Optional, Tuple
 
@@ -64,6 +65,11 @@ class CheckConfig:
     input_range:
         Interval the network inputs are known to lie in (default: images
         normalized to ``[0, 1]``).
+    require_pow2_scales:
+        Prove the multiplier-less shift requantize is available: every
+        int-fast-path layer's folded requantize scale must sit exactly on
+        the power-of-two grid with a shift amount in ``[0, 62]``
+        (QS220/QS221).  Enabled by the engine for ``int_path="shift"``.
     suppress:
         Rule ids to drop from the final report.
     """
@@ -72,6 +78,7 @@ class CheckConfig:
     max_crossbars: Optional[int] = None
     device_levels: Optional[int] = None
     input_range: Tuple[float, float] = (0.0, 1.0)
+    require_pow2_scales: bool = False
     suppress: Tuple[str, ...] = field(default_factory=tuple)
 
 
@@ -222,6 +229,60 @@ def _rule_weight_uniformity(report: CheckReport, facts: List[LayerFact]) -> None
         )
 
 
+def _rule_pow2_requantize(report: CheckReport, facts: List[LayerFact],
+                          config: CheckConfig) -> None:
+    """QS220/QS221: shift-mode feasibility (``int_path="shift"``).
+
+    The fused requantize multiplies the integer accumulator by
+    ``q_scale = scale·gain_out / (2^N·gain_in)`` (see
+    ``plan._IntGemmMixin``).  The multiplier-less engine replaces that
+    with an arithmetic right shift, which is only exact when ``q_scale``
+    is ``2^-shift`` for an integer ``shift`` in ``[0, 62]`` — this rule
+    proves both, mirroring ``plan._IntGemmMixin._init_shift``.
+    """
+    if not config.require_pow2_scales:
+        return
+    for i, f in enumerate(facts):
+        if f.kind != "weight" or not _int_path_applicable(facts, i):
+            continue
+        in_quant = f.data["in_quant"]
+        if f.data["padding"] > 0 and in_quant.offset != 0.0:
+            continue  # float path (QI402); no shift epilogue runs here
+        grid = _valid_grid(f)
+        gain_out = facts[i + 1].data["gain"]
+        q_scale = grid["scale"] * gain_out / (2 ** grid["bits"] * in_quant.gain)
+        if q_scale <= 0:
+            report.add(
+                "QS220", "error", f.path,
+                f"requantize scale {q_scale:.6g} is not positive; the shift "
+                "engine cannot represent it",
+                "snap the layer scales (repro.core.pow2.snap_scales_pow2)",
+                q_scale=q_scale,
+            )
+            continue
+        exact = -math.log2(q_scale)
+        shift = round(exact)
+        if abs(exact - shift) > 1e-9:
+            report.add(
+                "QS220", "error", f.path,
+                f"requantize scale {q_scale:.6g} is off the power-of-two "
+                f"grid (nearest is 2^-{shift}); shift-only requantization "
+                "would change every count",
+                "snap the layer scales (repro.core.pow2.snap_scales_pow2) "
+                "before deploying with int_path='shift'",
+                q_scale=q_scale, nearest_shift=shift,
+            )
+        elif not 0 <= shift <= 62:
+            report.add(
+                "QS221", "error", f.path,
+                f"requantize shift {shift} falls outside the provable "
+                "arithmetic-shift range [0, 62] for a 64-bit accumulator",
+                "rescale the layer (weight scale or signal gains) so the "
+                "folded requantize shift is representable",
+                shift=shift, q_scale=q_scale,
+            )
+
+
 # -- QI4xx ------------------------------------------------------------------
 
 def _int_path_applicable(facts: List[LayerFact], i: int) -> bool:
@@ -365,6 +426,7 @@ def evaluate_rules(report: CheckReport, config: Optional[CheckConfig] = None) ->
     _rule_signal_range(report, facts)
     _rule_weight_grid(report, facts)
     _rule_weight_uniformity(report, facts)
+    _rule_pow2_requantize(report, facts, config)
     _rule_int_fast_path(report, facts)
     _rule_crossbar_budget(report, facts, config)
     _rule_conductance_levels(report, facts, config)

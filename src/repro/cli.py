@@ -245,7 +245,10 @@ def run_serve_bench(args: argparse.Namespace) -> str:
             lambda: deployed(Tensor(np.asarray(batch, dtype=np.float64))).data,
             len(batch),
         )
-    engine = make_inference_engine(deployed, telemetry=telemetry)
+    engine = make_inference_engine(
+        deployed, telemetry=telemetry,
+        int_path=args.int_path, int_kernels=args.int_kernels,
+    )
     engine_rps = timed_rows_per_s(lambda: engine.run(batch), len(batch))
 
     load = LoadGenConfig(
@@ -573,7 +576,9 @@ def run_command(args: argparse.Namespace) -> str:
                 ),
                 train_set.images[:32],
             )
-            engine = make_inference_engine(deployed)
+            engine = make_inference_engine(
+                deployed, int_path=args.int_path, int_kernels=args.int_kernels,
+            )
             engine.run(test_set.images[:8])
             stats = engine.runtime_stats()
             sections.append(
@@ -640,6 +645,19 @@ def build_parser() -> argparse.ArgumentParser:
     healthcheck.add_argument(
         "--remediate", action="store_true",
         help="run the tiered repair ladder after diagnosis and re-probe",
+    )
+
+    engine = parser.add_argument_group("engine options (plan, serve-bench)")
+    engine.add_argument(
+        "--int-path", choices=["auto", "off", "shift"], default="auto",
+        help="integer fast path: auto (multiply requantize), off (float "
+             "plans), or shift (snap scales to the pow2 grid and requantize "
+             "with arithmetic right shifts — multiplier-less MACs)",
+    )
+    engine.add_argument(
+        "--int-kernels", choices=["fused", "legacy"], default="fused",
+        help="integer conv/linear kernels: fused uint8 GEMM with the "
+             "requantize epilogue, or the legacy per-step kernels",
     )
 
     serve = parser.add_argument_group("serve-bench options")

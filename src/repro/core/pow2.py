@@ -1,0 +1,161 @@
+"""Snap per-layer scales onto the power-of-two grid (MINT-style).
+
+The integer fast path requantizes each layer with one folded multiply,
+``counts = clip(⌊q_scale·acc + q_offset⌋, 0, top)`` where
+
+    q_scale = scale · gain_out / (2^N · gain_in)
+
+(``scale`` the layer's weight-clustering scale, ``gain_in``/``gain_out``
+the surrounding signal-quantizer gains).  Following MINT, a multiplier is
+unnecessary when ``q_scale = 2^-shift``: the requantize becomes a pure
+arithmetic right shift (:func:`repro.runtime.plan.shift_requantize`), the
+MAC datapath needs no multiplier at all, and :mod:`repro.snc.cost` credits
+the energy difference.
+
+:func:`snap_scales_pow2` rewrites each fast-path layer's *weight scale* so
+its ``q_scale`` lands exactly on that grid — signal gains are left alone,
+preserving the paper's network-wide uniform (M, gain) constraint (QS210).
+Weights are re-assigned onto the snapped grid, which perturbs them by at
+most half a quantization step per weight; the graph executor of the
+snapped module is the reference that ``engine_shift`` conformance checks
+against (see ``docs/performance.md`` for what that does and does not
+guarantee).
+
+The transform is two-phase (validate everything, then mutate) and
+idempotent: a module already on the grid is returned unchanged.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List, Optional
+
+import numpy as np
+
+from repro.core.modules import InputQuantizer, QuantizedActivation
+from repro.core.weight_clustering import _assign, _stamp_grid
+from repro.nn.modules import Conv2d, Linear, Module
+
+#: Largest provable arithmetic shift for a 64-bit accumulator (QS221).
+MAX_SHIFT = 62
+
+#: Log-domain tolerance for "already on the grid" (matches the plan's
+#: ``_init_shift`` acceptance test).
+GRID_TOLERANCE = 1e-9
+
+_STOP_TYPES = (InputQuantizer, QuantizedActivation, Conv2d, Linear)
+
+
+@dataclass
+class SnapRecord:
+    """One layer's snap: what moved, by how much."""
+
+    layer: str
+    old_scale: float
+    new_scale: float
+    shift: int
+    max_weight_delta: float
+    snapped: bool  # False when the layer was already on the grid
+
+
+def _ordered_leaves(root: Module) -> List[Module]:
+    """Module leaves in forward order, stopping at the types we reason about.
+
+    ``QuantizedActivation`` wraps an inner ReLU child, so the stop-set
+    keeps it whole; containers recurse; unrelated leaves pass through
+    (they carry no scales).
+    """
+    found: List[Module] = []
+
+    def visit(m: Module) -> None:
+        if isinstance(m, _STOP_TYPES):
+            found.append(m)
+            return
+        children = list(m._modules.values())
+        if not children:
+            found.append(m)
+            return
+        for child in children:
+            visit(child)
+
+    visit(root)
+    return found
+
+
+def snap_scales_pow2(module: Module) -> List[SnapRecord]:
+    """Snap every integer-fast-path layer of ``module`` onto the pow2 grid.
+
+    Walks the module in forward order tracking the incoming signal gain
+    (input quantizer, then each enabled M-bit activation quantizer).  For
+    each grid-stamped ``Conv2d``/``Linear`` immediately followed by an
+    enabled quantizer, the weight scale is replaced by the unique value
+    that makes ``q_scale`` exactly ``2^-shift``, and the weights are
+    re-assigned onto the new grid.
+
+    Returns one :class:`SnapRecord` per fast-path layer (``snapped=False``
+    for layers already on the grid).  Raises :class:`ValueError` — before
+    mutating anything — when any layer's nearest shift falls outside
+    ``[0, 62]``, since a negative shift would need a left-shifting
+    requantize the engine does not implement.
+    """
+    leaves = _ordered_leaves(module)
+    gain_in: Optional[float] = None
+    todo: List[tuple] = []
+    records: List[SnapRecord] = []
+    problems: List[str] = []
+
+    for i, m in enumerate(leaves):
+        if isinstance(m, InputQuantizer):
+            gain_in = float(m.gain)
+        elif isinstance(m, QuantizedActivation):
+            if m.enabled:
+                gain_in = float(m.gain)
+        elif isinstance(m, (Conv2d, Linear)):
+            scale = getattr(m, "_grid_scale", None)
+            bits = getattr(m, "_grid_bits", None)
+            nxt = leaves[i + 1] if i + 1 < len(leaves) else None
+            if (
+                scale is None or bits is None or scale <= 0
+                or gain_in is None
+                or not isinstance(nxt, QuantizedActivation)
+                or not nxt.enabled
+            ):
+                continue
+            name = f"{type(m).__name__}[{i}]"
+            gain_out = float(nxt.gain)
+            q_scale = scale * gain_out / (2 ** bits * gain_in)
+            exact = -math.log2(q_scale)
+            shift = round(exact)
+            if not 0 <= shift <= MAX_SHIFT:
+                problems.append(
+                    f"{name}: requantize scale {q_scale:.6g} needs shift "
+                    f"{shift}, outside [0, {MAX_SHIFT}]"
+                )
+                continue
+            if abs(exact - shift) <= GRID_TOLERANCE:
+                records.append(SnapRecord(
+                    layer=name, old_scale=float(scale), new_scale=float(scale),
+                    shift=shift, max_weight_delta=0.0, snapped=False,
+                ))
+                continue
+            new_scale = (2.0 ** -shift) * (2 ** bits) * gain_in / gain_out
+            todo.append((m, name, float(scale), float(new_scale), int(bits), shift))
+
+    if problems:
+        raise ValueError(
+            "cannot snap scales to the power-of-two grid: " + "; ".join(problems)
+        )
+
+    for m, name, old_scale, new_scale, bits, shift in todo:
+        weights = m.weight.data
+        codes = _assign(weights, bits, new_scale)
+        snapped = new_scale * codes / float(2 ** bits)
+        delta = float(np.max(np.abs(snapped - weights), initial=0.0))
+        weights[...] = snapped
+        _stamp_grid(m, new_scale, bits)
+        records.append(SnapRecord(
+            layer=name, old_scale=old_scale, new_scale=new_scale,
+            shift=shift, max_weight_delta=delta, snapped=True,
+        ))
+    return records

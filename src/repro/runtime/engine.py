@@ -62,7 +62,18 @@ class EngineConfig:
     int_path:
         ``"auto"`` (default) activates the integer fast path whenever the
         traced chain carries clustered N-bit weights and M-bit signal
-        quantizers; ``"off"`` forces all-float plans.
+        quantizers; ``"off"`` forces all-float plans; ``"shift"`` is the
+        multiplier-less ``engine_shift`` variant — before tracing, the
+        module's per-layer scales are snapped to the power-of-two grid
+        (:func:`repro.core.pow2.snap_scales_pow2` — this mutates the
+        module and in general perturbs its logits, see
+        ``docs/performance.md``), so every requantize runs as an
+        arithmetic right shift with no multiplier.
+    int_kernels:
+        ``"fused"`` (default) uses the cached-lowering batched/channel-major
+        GEMM conv kernels with the pool-fused epilogue; ``"legacy"`` keeps
+        the PR2-era kernels for same-machine A/B benchmarking (not
+        compatible with ``int_path="shift"``).
     exploit_sparsity:
         Prune all-zero GEMM columns on the integer path (exact — spike
         counts the Neuron Convergence regularizer zeroed contribute
@@ -91,6 +102,7 @@ class EngineConfig:
 
     dtype: type = np.float32
     int_path: str = "auto"
+    int_kernels: str = "fused"
     exploit_sparsity: bool = True
     sparsity_max_density: float = 0.75
     min_sparsity_columns: int = 64
@@ -101,8 +113,16 @@ class EngineConfig:
     batch_size: int = 256
 
     def __post_init__(self) -> None:
-        if self.int_path not in ("auto", "off"):
-            raise ValueError(f"int_path must be 'auto' or 'off', got {self.int_path!r}")
+        if self.int_path not in ("auto", "off", "shift"):
+            raise ValueError(
+                f"int_path must be 'auto', 'off', or 'shift', got {self.int_path!r}"
+            )
+        if self.int_kernels not in ("fused", "legacy"):
+            raise ValueError(
+                f"int_kernels must be 'fused' or 'legacy', got {self.int_kernels!r}"
+            )
+        if self.int_kernels == "legacy" and self.int_path == "shift":
+            raise ValueError("int_path='shift' requires the fused int kernels")
         if self.trace_batch < 1:
             raise ValueError(f"trace_batch must be >= 1, got {self.trace_batch}")
         if self.batch_size < 1:
@@ -224,7 +244,10 @@ class InferenceEngine:
     def _plan_run_observed(self, plan: ExecutionPlan, images: np.ndarray) -> np.ndarray:
         """Plan replay with spans, per-step timings, and latency histograms."""
         telemetry = self.telemetry
-        backend = "int" if plan.uses_int_path else plan.dtype.name
+        if plan.uses_int_path:
+            backend = "shift" if self.config.int_path == "shift" else "int"
+        else:
+            backend = plan.dtype.name
         start = telemetry.clock()
         out = np.array(plan.run_timed(images, telemetry, model=self._model_name))
         end = telemetry.clock()
@@ -270,6 +293,8 @@ class InferenceEngine:
             self._count("retraces")
         if self._plan is None:
             sample = images[: self.config.trace_batch]
+            if self.config.int_path == "shift" and not self._snap_pow2():
+                return None
             if not self._precheck(sample):
                 return None
             try:
@@ -279,6 +304,26 @@ class InferenceEngine:
                 self._graph_only = True
                 return None
         return self._plan
+
+    def _snap_pow2(self) -> bool:
+        """Snap the module's scales onto the power-of-two grid (shift mode).
+
+        Runs before every (re-)trace and is idempotent, so a module already
+        on the grid is untouched.  Mutates weight scales and activation
+        gains in place — the graph executor of this module then computes
+        the *snapped* network, which is what shift-mode conformance
+        compares against.  An unsnappable module (a layer whose requantize
+        shift would be negative) degrades to graph-only serving.
+        """
+        from repro.core.pow2 import snap_scales_pow2
+
+        try:
+            snap_scales_pow2(self.module)
+        except ValueError:
+            self._count("trace_failures")
+            self._graph_only = True
+            return False
+        return True
 
     def _precheck(self, sample: np.ndarray) -> bool:
         """Statically verify the module before the first trace.
@@ -292,10 +337,13 @@ class InferenceEngine:
             return True
         # Lazy import: repro.check pulls in model/deployment modules the
         # engine itself never needs.
-        from repro.check import check_module
+        from repro.check import CheckConfig, check_module
 
         self.check_report = check_module(
             self.module, input_shape=tuple(sample.shape[1:]),
+            config=CheckConfig(
+                require_pow2_scales=(self.config.int_path == "shift")
+            ),
             target=f"engine:{type(self.module).__name__}",
         )
         if self.check_report.has_errors:
@@ -335,13 +383,13 @@ class InferenceEngine:
 
     @property
     def active_backend(self) -> str:
-        """``graph`` | ``untraced`` | ``int`` | ``float32`` | ``float64``."""
+        """``graph`` | ``untraced`` | ``int`` | ``shift`` | ``float32`` | ``float64``."""
         if self._graph_only:
             return "graph"
         if self._plan is None:
             return "untraced"
         if self._plan.uses_int_path:
-            return "int"
+            return "shift" if self.config.int_path == "shift" else "int"
         return self._plan.dtype.name
 
     def describe(self) -> str:

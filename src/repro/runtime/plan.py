@@ -20,7 +20,15 @@ a flat list of fused steps sharing a per-shape buffer pool:
   input-quantizer offset;
 - spike-domain sparsity (the Neuron Convergence regularizer zeroes most
   counts) is exploited by pruning all-zero GEMM columns, which is exact in
-  integer arithmetic.
+  integer arithmetic;
+- the integer conv kernels compile their im2col lowering into cached
+  ``(dst_view, src_view)`` copy programs feeding a tap-major workspace
+  and a batched GEMM over strided per-image panels, and absorb a trailing
+  max pool into the requantize epilogue (see :class:`IntConvStep`);
+- with ``int_path="shift"`` (``engine_shift``) per-layer scales are snapped
+  to the power-of-two grid beforehand (:func:`repro.core.pow2.
+  snap_scales_pow2`) and requantization runs multiplier-free as
+  :func:`shift_requantize`.
 
 Networks the tracer cannot linearize (residual/branching topologies, or
 modules left in training mode) raise :class:`PlanError`; the engine then
@@ -75,8 +83,11 @@ class BufferPool:
         self._buffers: dict = {}
 
     def get(self, key, shape: Tuple[int, ...], dtype) -> np.ndarray:
-        dtype = np.dtype(dtype)
-        full_key = (key, tuple(shape), dtype.str)
+        # Hot path: called dozens of times per batch.  The key keeps the
+        # caller's dtype object verbatim (np.float32 vs np.dtype("f4") hash
+        # apart, which only costs a duplicate entry if a step is
+        # inconsistent with itself) to avoid per-call dtype normalization.
+        full_key = (key, shape, dtype)
         buf = self._buffers.get(full_key)
         if buf is None:
             buf = np.empty(shape, dtype=dtype)
@@ -151,6 +162,29 @@ def _counts_dtype(top: int):
     if top <= np.iinfo(np.uint16).max:
         return np.dtype(np.uint16)
     return np.dtype(np.int64)
+
+
+def shift_requantize(acc: np.ndarray, shift, offsets, top: int,
+                     out: np.ndarray) -> np.ndarray:
+    """Multiplier-less requantize: ``counts = clip((acc + offsets) >> shift, 0, top)``.
+
+    For integer ``acc`` and ``offsets = ⌊q_offset · 2^shift⌋`` this equals
+    the multiply epilogue ``clip(⌊2^-shift·acc + q_offset⌋, 0, top)``
+    exactly: with ``n`` integer and ``f`` real, ``⌊n + f⌋ = n + ⌊f⌋`` and
+    ``⌊x / 2^s⌋ = ⌊⌊x⌋ / 2^s⌋``, and numpy's ``right_shift`` on signed
+    integers is an arithmetic shift, i.e. floor division by ``2^s``.
+
+    ``shift`` and ``offsets`` may be scalars or per-channel arrays
+    broadcastable against ``acc``.  ``acc`` is clobbered in place; the
+    counts land in ``out`` via a truncating cast.  This is the entire
+    per-element cost of requantization in ``engine_shift`` mode — no
+    multiplier anywhere (see :mod:`repro.snc.cost` for the energy delta).
+    """
+    np.add(acc, offsets, out=acc)
+    np.right_shift(acc, shift, out=acc)
+    np.clip(acc, 0, top, out=acc)
+    np.copyto(out, acc, casting="unsafe")
+    return out
 
 
 # ---------------------------------------------------------------------------
@@ -312,13 +346,17 @@ class InputQuantCountsStep(Step):
 
     def run(self, x: np.ndarray, pool: BufferPool) -> np.ndarray:
         buf = pool.get((self.index, "f"), x.shape, np.float64)
-        np.subtract(x, self.offset, out=buf, casting="unsafe")
-        buf *= self.gain
+        if self.offset != 0.0:
+            np.subtract(x, self.offset, out=buf, casting="unsafe")
+            buf *= self.gain
+        else:
+            np.multiply(x, self.gain, out=buf, casting="unsafe")
         buf += 0.5
-        np.floor(buf, out=buf)
-        np.clip(buf, 0.0, self.top, out=buf)
         counts = pool.get((self.index, "c"), x.shape, self.out_dtype)
-        np.copyto(counts, buf, casting="unsafe")
+        # No explicit floor: the clip bounds are integers, so clipping first
+        # and letting the truncating cast floor afterwards yields exactly
+        # clip(⌊v⌋, 0, top) — negatives clip to 0 before the cast.
+        np.clip(buf, 0.0, self.top, out=counts, casting="unsafe")
         return counts
 
     def describe(self) -> str:
@@ -488,6 +526,9 @@ class _IntGemmMixin:
         bias = 0.0 if module.bias is None else module.bias.data
         self.beta = bias + rep_in.offset * w_rowsum  # (oc,) float64
         self.act = act
+        # Honest describe() metadata: what actually flows through the GEMM.
+        self.in_dtype = _counts_dtype(rep_in.top)
+        self.code_dtype = np.dtype(np.int8) if bits <= 8 else np.dtype(np.int16)
         self.counts_rep = (
             CountsRep(act.gain, 0.0, int(act.top), "act")
             if act is not None and act.bits is not None else None
@@ -496,16 +537,52 @@ class _IntGemmMixin:
             _counts_dtype(self.counts_rep.top) if self.counts_rep is not None
             else np.dtype(np.float64)
         )
+        self.shift: Optional[int] = None
         if self.counts_rep is not None:
             # Fold rescale and quantize into one affine pass:
             #   counts = clip(⌊gain·(α·acc + β) + ½⌋, 0, top)
             #          = clip(⌊(α·gain)·acc + (β·gain + ½)⌋, 0, top)
             self.q_scale = self.alpha * act.gain
             self.q_offset = self.beta * act.gain + 0.5
+            if getattr(config, "int_path", "auto") == "shift":
+                self._init_shift(bound)
         self.config = config
         self.gemm_runs = 0
         self.pruned_runs = 0
         self.last_density = 1.0
+
+    def _init_shift(self, bound: float) -> None:
+        """Derive the pure-shift requantize parameters (engine_shift mode).
+
+        Requires ``q_scale`` to sit exactly on the power-of-two grid —
+        :func:`repro.core.pow2.snap_scales_pow2` arranges that at
+        plan-build time.  ``shift_requantize`` then replaces the per-
+        element multiply with an arithmetic right shift; the rounding
+        term ``+½`` and the folded bias/offset live in the pre-shift
+        integer offset ``⌊q_offset · 2^shift⌋``.
+        """
+        exact = float(-np.log2(self.q_scale)) if self.q_scale > 0 else float("nan")
+        shift = int(np.rint(exact)) if np.isfinite(exact) else -1
+        if not np.isfinite(exact) or abs(exact - shift) > 1e-9 or not 0 <= shift <= 62:
+            raise PlanError(
+                f"requantize scale {self.q_scale!r} is not on the power-of-two "
+                "grid; snap the layer scales (repro.core.pow2.snap_scales_pow2) "
+                "before requesting int_path='shift'"
+            )
+        offsets = np.floor(np.asarray(self.q_offset, dtype=np.float64) * (2.0 ** shift))
+        worst = bound + float(np.max(np.abs(offsets)))
+        self.acc_int_dtype = (
+            np.dtype(np.int32) if worst < 2 ** 31 else np.dtype(np.int64)
+        )
+        self.shift = shift
+        self.shift_offsets = offsets.astype(self.acc_int_dtype)
+
+    def _gemm_label(self) -> str:
+        """Honest dtype summary: logical operands @ the real BLAS carrier."""
+        label = f"{self.in_dtype.name}·{self.code_dtype.name} @ {self.carrier.name}"
+        if self.shift is not None:
+            label += f", acc={self.acc_int_dtype.name} >>{self.shift}"
+        return label
 
     def _gemm(self, cols: np.ndarray, pool: BufferPool, key) -> np.ndarray:
         """``cols @ codes_t`` with optional exact all-zero-column pruning."""
@@ -545,17 +622,22 @@ class _IntGemmMixin:
         return y
 
 
-class IntConvStep(Step, _IntGemmMixin):
-    """Integer fast path conv: counts → GEMM in exact carrier → α·acc + β.
+class LegacyIntConvStep(Step, _IntGemmMixin):
+    """PR2-era integer conv kept for same-machine A/B benchmarking.
 
     Works channel-major: activations flow as ``(C, B, H, W)``, the im2col
     workspace is ``(K, B·oh·ow)`` filled by K contiguous slice copies, and
     the GEMM is ``codes (oc, K) @ cols`` — so the output ``(oc, B, oh, ow)``
     feeds the next pool/conv with no inter-layer transpose at all.  Only
     exact-integer arithmetic is reordered; values are unchanged.
+
+    Selected via ``EngineConfig(int_kernels="legacy")``; the default is the
+    fused :class:`IntConvStep` below.  Does not implement the shift
+    epilogue (``int_path="shift"`` requires the fused kernels).
     """
 
     kind = "conv2d-int"
+    channel_major_out = True
 
     def __init__(self, index: int, conv: Conv2d, codes: np.ndarray, scale: float,
                  bits: int, rep_in: CountsRep, act: Optional[ActSpec], config,
@@ -674,11 +756,13 @@ class IntConvStep(Step, _IntGemmMixin):
         if self.pool_k is not None:
             tail += f" + maxpool(k={self.pool_k}, s={self.pool_s})"
         return (f"conv2d({c.in_channels}→{c.out_channels}, k={c.kernel_size}) "
-                f"+ {tail} :: int-gemm@{self.carrier.name} → {self.out_dtype.name}"
+                f"+ {tail} :: int-gemm[{self._gemm_label()}] → {self.out_dtype.name}"
                 " [channel-major]")
 
 
-class IntLinearStep(Step, _IntGemmMixin):
+class LegacyIntLinearStep(Step, _IntGemmMixin):
+    """PR2-era integer linear kept for same-machine A/B benchmarking."""
+
     kind = "linear-int"
 
     def __init__(self, index: int, lin: Linear, codes: np.ndarray, scale: float,
@@ -702,7 +786,299 @@ class IntLinearStep(Step, _IntGemmMixin):
         m = self.lin
         tail = "none" if self.act is None else self.act.describe()
         return (f"linear({m.in_features}→{m.out_features}) + {tail} "
-                f":: int-gemm@{self.carrier.name} → {self.out_dtype.name}")
+                f":: int-gemm[{self._gemm_label()}] → {self.out_dtype.name}")
+
+
+class IntConvStep(Step, _IntGemmMixin):
+    """Fused integer conv: cached im2col program → int GEMM → one epilogue.
+
+    Three wins over :class:`LegacyIntConvStep`:
+
+    - **Cached lowering.** The im2col copy is compiled once per buffer
+      pairing into a list of ``(dst_view, src_view)`` slice pairs; each
+      replay is pure ``np.copyto`` over precomputed views (no padded
+      intermediate is ever materialized — padded convs pre-zero the
+      workspace and copy only the in-image tap ranges).
+    - **Batch-last lowering, spatial-panel GEMM.** Activations flow
+      batch-LAST: the input is staged once per run into ``(c, h, w, b)``
+      with a single contiguous cast (counts → carrier), and the tap-major
+      workspace is ``(c·k·k, oh·ow, tile)``.  Because ``b`` is the
+      trailing axis, every window-tap copy runs contiguous over the whole
+      tile — inner memcpy runs of ``tile`` elements instead of ``ow``,
+      which measures ~3× faster than batch-major im2col (the copy is
+      iteration-overhead-bound, not bandwidth-bound).  The GEMM is one
+      batched ``codes (oc, K) @ cols.transpose(1, 0, 2)`` over ``oh·ow``
+      spatial panels ``(K, tile)`` — strided views BLAS consumes without
+      packing copies — and the epilogue writes ``(oc, ph, pw, b)``, so
+      the *next* conv's staging is again a contiguous cast.  The batch is
+      processed in tiles of ``_BLOCK`` images to bound the workspace.
+    - **Pool-then-requantize.** A following max pool is absorbed and runs
+      on the raw accumulator (max commutes with the monotone epilogue), so
+      the per-element requantize touches k²× fewer elements and no
+      full-resolution activation exists.
+
+    The epilogue is either the fused multiply ``clip(⌊q_scale·acc +
+    q_offset⌋, 0, top)`` or, in ``int_path="shift"`` mode, the
+    multiplier-less :func:`shift_requantize`.  Both are bit-exact
+    reorderings of the graph's relu→quantize on exact-integer accumulators.
+    """
+
+    kind = "conv2d-int"
+
+    #: Batch tile.  Tiling exists to bound the im2col workspace for very
+    #: large batches (measured: smaller cache-sized tiles are *not* faster
+    #: here — BLAS prefers the long batch of panels), so the tile is
+    #: deliberately generous.
+    _BLOCK = 128
+
+    def __init__(self, index: int, conv: Conv2d, codes: np.ndarray, scale: float,
+                 bits: int, rep_in: CountsRep, act: Optional[ActSpec], config,
+                 layout_in: str = "batch") -> None:
+        Step.__init__(self, index)
+        self.conv = conv
+        self.layout_in = layout_in
+        self._init_int(conv, codes.reshape(conv.out_channels, -1), scale, bits,
+                       rep_in, act, config)
+        if self.counts_rep is None:
+            raise PlanError("integer conv requires a fused M-bit quantizer")
+        self.codes_mat = np.ascontiguousarray(self.codes_t.T)  # (oc, K)
+        self.layout_out = "blast"
+        # Per-channel vectors broadcast over batch-last (ph, pw, oc, tile).
+        ax = (1, 1, -1, 1)
+        self.q_off_b = (
+            self.q_offset.reshape(ax)
+            if isinstance(self.q_offset, np.ndarray) else self.q_offset
+        )
+        if self.shift is not None:
+            ofs = self.shift_offsets
+            self.shift_off_b = ofs.reshape(ax) if ofs.ndim else ofs
+        self.pool_k: Optional[int] = None
+        self.pool_s: Optional[int] = None
+        self._program: Optional[tuple] = None
+
+    def fuse_maxpool(self, mp: MaxPool2d) -> None:
+        """Absorb a following max pool: pooling the raw accumulator commutes
+        with the per-channel affine + quantize (both monotone in acc), so the
+        requantize touches k²× fewer elements and stays bit-exact."""
+        self.pool_k = mp.kernel_size
+        self.pool_s = mp.stride
+
+    def _src_view(self, x: np.ndarray) -> np.ndarray:
+        """One ``(C, H, W, B)`` source view serves every input convention."""
+        if self.layout_in == "blast":
+            return x
+        if self.layout_in == "cmajor":
+            return x.transpose(0, 2, 3, 1)
+        return x.transpose(1, 2, 3, 0)
+
+    def run(self, x: np.ndarray, pool: BufferPool) -> np.ndarray:
+        m = self.conv
+        if self.layout_in == "blast":
+            c, h, w, b = x.shape
+        elif self.layout_in == "cmajor":
+            c, b, h, w = x.shape
+        else:
+            b, c, h, w = x.shape
+        k, s, p = m.kernel_size, m.stride, m.padding
+        oc = m.out_channels
+        oh = (h + 2 * p - k) // s + 1
+        ow = (w + 2 * p - k) // s + 1
+        self.gemm_runs += 1
+        if self.pool_k is not None:
+            ph = (oh - self.pool_k) // self.pool_s + 1
+            pw = (ow - self.pool_k) // self.pool_s + 1
+        else:
+            ph, pw = oh, ow
+        nb = min(b, self._BLOCK)
+        tb = b % nb
+        # Stage the counts into the carrier dtype with ONE cast (contiguous
+        # when the producer is another fused conv); the per-tap window
+        # copies below then run dtype-preserving with batch-contiguous
+        # inner runs — plain memcpy loops.  Staging also anchors the
+        # compiled program on pool-stable buffers only, so it survives
+        # callers that alternate input arrays of the same shape.
+        sbuf = pool.get((self.index, "src"), (c, h, w, b), self.carrier)
+        cols = pool.get((self.index, "cols", nb), (c * k * k, oh * ow, nb),
+                        self.carrier)
+        tcols = (
+            pool.get((self.index, "cols", tb), (c * k * k, oh * ow, tb),
+                     self.carrier)
+            if tb else None
+        )
+        prog = self._program
+        if (prog is None or prog[0] is not sbuf or prog[1] is not cols
+                or prog[2] is not tcols):
+            prog = self._build_program(sbuf, cols, tcols, b, c, h, w, oh, ow)
+            self._program = prog
+        np.copyto(sbuf, self._src_view(x), casting="unsafe")
+        out = pool.get((self.index, "out"), (oc, ph, pw, b), self.out_dtype)
+        for s0, s1, cbuf, bview, pairs in prog[3]:
+            if p:
+                cbuf.fill(0)  # padding injects exact zeros (offset-free rep)
+            for dst, src in pairs:
+                np.copyto(dst, src, casting="unsafe")
+            blen = s1 - s0
+            acc = pool.get((self.index, "acc", blen), (oh * ow, oc, blen),
+                           self.carrier)
+            np.matmul(self.codes_mat, bview, out=acc)
+            accv = acc.reshape(oh, ow, oc, blen)
+            if self.pool_k is not None:
+                accv = self._fused_pool(accv, pool, blen)
+            outv = out[..., s0:s1].transpose(1, 2, 0, 3)  # (ph, pw, oc, tile)
+            self._epilogue(accv, pool, outv, blen)
+        return out
+
+    def _build_program(self, sbuf: np.ndarray, cols: np.ndarray,
+                       tcols: Optional[np.ndarray], b: int, c: int, h: int,
+                       w: int, oh: int, ow: int) -> tuple:
+        """Compile the batch-tiled im2col into cached ``(dst, src)`` pairs.
+
+        Runs outside the replay hot path — once per concrete (staged input,
+        workspace) buffer pairing, which the pool keeps stable per batch
+        shape; validity is checked by array identity in :meth:`run`.  Each
+        tile lowers into the tap-major workspace ``(c·k·k, oh·ow, tile)``:
+        an unpadded conv needs exactly one pair per tile (a transposed
+        sliding-window view over the staged input), and because dst and src
+        both trail with the batch axis, every inner copy run is ``tile``
+        elements long and padded-conv tap pairs need no transpose at all.
+        Each block also carries its ``(oh·ow, K, tile)`` transpose view —
+        the strided spatial panels the batched GEMM consumes directly.
+        """
+        m = self.conv
+        k, s, p = m.kernel_size, m.stride, m.padding
+        win = None
+        if p == 0:
+            win = np.lib.stride_tricks.sliding_window_view(sbuf, (k, k),
+                                                           axis=(1, 2))
+            # (c, oh, ow, b, k, k) → (c, k, k, oh, ow, b), tap-major.
+            win = win[:, ::s, ::s].transpose(0, 4, 5, 1, 2, 3)
+        blocks = []
+        nb = cols.shape[2]
+        for s0 in range(0, b, nb):
+            s1 = min(b, s0 + nb)
+            blen = s1 - s0
+            cbuf = cols if blen == nb else tcols
+            cols_v = cbuf.reshape(c, k, k, oh, ow, blen)
+            bview = cbuf.transpose(1, 0, 2)
+            if p == 0:
+                pairs = [(cols_v, win[..., s0:s1])]
+                blocks.append((s0, s1, cbuf, bview, pairs))
+                continue
+            srcb = sbuf[..., s0:s1]
+            pairs = []
+            for ki in range(k):
+                o0h = max(0, -((ki - p) // s))
+                o1h = min(oh, (h - 1 - ki + p) // s + 1)
+                i0h = ki + o0h * s - p
+                for kj in range(k):
+                    o0w = max(0, -((kj - p) // s))
+                    o1w = min(ow, (w - 1 - kj + p) // s + 1)
+                    i0w = kj + o0w * s - p
+                    if o1h <= o0h or o1w <= o0w:
+                        continue  # tap never lands in-image; stays zero
+                    sv = srcb[:, i0h : i0h + (o1h - o0h - 1) * s + 1 : s,
+                              i0w : i0w + (o1w - o0w - 1) * s + 1 : s]
+                    pairs.append((cols_v[:, ki, kj, o0h:o1h, o0w:o1w], sv))
+            blocks.append((s0, s1, cbuf, bview, pairs))
+        return (sbuf, cols, tcols, blocks)
+
+    @staticmethod
+    def _sep_max(wins: list, out: np.ndarray) -> np.ndarray:
+        if len(wins) == 1:
+            np.copyto(out, wins[0])
+        else:
+            np.maximum(wins[0], wins[1], out=out)
+            for extra in wins[2:]:
+                np.maximum(out, extra, out=out)
+        return out
+
+    def _fused_pool(self, accv: np.ndarray, pool: BufferPool,
+                    blk: Optional[int]) -> np.ndarray:
+        """Max pool the raw accumulator, separably: width first, then height.
+
+        ``2k`` strided maxima instead of ``k²`` — the second stage reads the
+        already width-reduced buffer, so the total traffic drops from
+        ``k²·|out|`` to ``k·(|mid| + |out|)``.  Max is associative, so the
+        staged maxima equal the windowed maxima exactly.  The accumulator
+        is spatial-major ``(oh, ow, oc, tile)``, so pooling slices the two
+        *leading* axes.
+        """
+        pk, ps = self.pool_k, self.pool_s
+        oh, ow, *tail = accv.shape
+        ph = (oh - pk) // ps + 1
+        pw = (ow - pk) // ps + 1
+        mid = pool.get((self.index, "pmid", blk), (oh, pw, *tail), self.carrier)
+        self._sep_max(
+            [accv[:, pj : pj + (pw - 1) * ps + 1 : ps] for pj in range(pk)],
+            mid)
+        pacc = pool.get((self.index, "pacc", blk), (ph, pw, *tail), self.carrier)
+        return self._sep_max(
+            [mid[pi : pi + (ph - 1) * ps + 1 : ps] for pi in range(pk)],
+            pacc)
+
+    def _epilogue(self, accv: np.ndarray, pool: BufferPool, out: np.ndarray,
+                  blk: Optional[int]) -> np.ndarray:
+        if self.shift is not None:
+            acci = pool.get((self.index, "acci", blk), accv.shape,
+                            self.acc_int_dtype)
+            # Exact: the carrier holds integers, so the truncating cast is
+            # the identity on values.
+            np.copyto(acci, accv, casting="unsafe")
+            return shift_requantize(acci, self.shift, self.shift_off_b,
+                                    self.counts_rep.top, out)
+        y = pool.get((self.index, "y", blk), accv.shape, np.float64)
+        # Fused affine + quantize (see _init_int).  No explicit floor: after
+        # the clip y is non-negative, so the truncating cast into ``out`` IS
+        # the floor.
+        np.multiply(accv, self.q_scale, out=y, casting="unsafe")
+        np.add(y, self.q_off_b, out=y)
+        np.clip(y, 0.0, self.act.top, out=out, casting="unsafe")
+        return out
+
+    def describe(self) -> str:
+        c = self.conv
+        tail = "none" if self.act is None else self.act.describe()
+        if self.pool_k is not None:
+            tail += f" + maxpool(k={self.pool_k}, s={self.pool_s})"
+        return (f"conv2d({c.in_channels}→{c.out_channels}, k={c.kernel_size}) "
+                f"+ {tail} :: int-gemm[{self._gemm_label()}] → {self.out_dtype.name}"
+                f" [batch-last im2col ×{self._BLOCK}]")
+
+
+class IntLinearStep(Step, _IntGemmMixin):
+    """Integer fast-path linear with the fused (multiply or shift) epilogue."""
+
+    kind = "linear-int"
+
+    def __init__(self, index: int, lin: Linear, codes: np.ndarray, scale: float,
+                 bits: int, rep_in: CountsRep, act: Optional[ActSpec], config) -> None:
+        Step.__init__(self, index)
+        self.lin = lin
+        self._init_int(lin, codes, scale, bits, rep_in, act, config)
+        if self.counts_rep is None:
+            raise PlanError("integer linear requires a fused M-bit quantizer")
+
+    def run(self, x: np.ndarray, pool: BufferPool) -> np.ndarray:
+        cols = pool.get((self.index, "in"), x.shape, self.carrier)
+        np.copyto(cols, x, casting="unsafe")
+        acc = self._gemm(cols, pool, self.index)
+        out = pool.get((self.index, "c"), acc.shape, self.out_dtype)
+        if self.shift is not None:
+            acci = pool.get((self.index, "acci"), acc.shape, self.acc_int_dtype)
+            np.copyto(acci, acc, casting="unsafe")
+            return shift_requantize(acci, self.shift, self.shift_offsets,
+                                    self.counts_rep.top, out)
+        y = pool.get((self.index, "y"), acc.shape, np.float64)
+        np.multiply(acc, self.q_scale, out=y, casting="unsafe")
+        np.add(y, self.q_offset, out=y)
+        np.clip(y, 0.0, self.act.top, out=out, casting="unsafe")
+        return out
+
+    def describe(self) -> str:
+        m = self.lin
+        tail = "none" if self.act is None else self.act.describe()
+        return (f"linear({m.in_features}→{m.out_features}) + {tail} "
+                f":: int-gemm[{self._gemm_label()}] → {self.out_dtype.name}")
 
 
 class SpikingConvStep(Step):
@@ -860,11 +1236,21 @@ class BatchNormEvalStep(Step):
 
 
 class ChannelMajorToBatchStep(Step):
-    """Restore ``(C, B, H, W)`` channel-major activations to ``(B, C, H, W)``."""
+    """Restore batch-last ``(C, H, W, B)`` (fused int conv) or channel-major
+    ``(C, B, H, W)`` (legacy int conv) activations to ``(B, C, H, W)``."""
 
     kind = "to-nchw"
 
+    def __init__(self, index: int, layout: str = "cmajor") -> None:
+        super().__init__(index)
+        self.layout = layout
+
     def run(self, x: np.ndarray, pool: BufferPool) -> np.ndarray:
+        if self.layout == "blast":
+            c, h, w, b = x.shape
+            out = pool.get(self.index, (b, c, h, w), x.dtype)
+            np.copyto(out, x.transpose(3, 0, 1, 2))
+            return out
         c, b, h, w = x.shape
         out = pool.get(self.index, (b, c, h, w), x.dtype)
         np.copyto(out, x.transpose(1, 0, 2, 3))
@@ -874,12 +1260,17 @@ class ChannelMajorToBatchStep(Step):
 class FlattenStep(Step):
     kind = "flatten"
 
-    def __init__(self, index: int, channel_major_in: bool = False) -> None:
+    def __init__(self, index: int, layout: str = "batch") -> None:
         super().__init__(index)
-        self.channel_major_in = channel_major_in
+        self.layout = layout
 
     def run(self, x: np.ndarray, pool: BufferPool) -> np.ndarray:
-        if self.channel_major_in:
+        if self.layout == "blast":
+            b = x.shape[-1]
+            out = pool.get(self.index, (b, x.size // b), x.dtype)
+            np.copyto(out, x.reshape(-1, b).T)
+            return out
+        if self.layout == "cmajor":
             c, b = x.shape[:2]
             out = pool.get(self.index, (b, x.size // b), x.dtype)
             np.copyto(out.reshape(b, c, *x.shape[2:]), np.moveaxis(x, 0, 1))
@@ -973,9 +1364,12 @@ class ExecutionPlan:
         self.int_steps = int_steps
         self._chain = list(chain)
         self._structure_sig = _structure_signature(self._chain)
+        # Byte snapshots: staleness is checked on every engine run, and a
+        # memcmp over the raw bytes is several times cheaper than an
+        # elementwise array compare.
         self._weight_snaps = [
-            (m, m.weight.data.copy(),
-             None if getattr(m, "bias", None) is None else m.bias.data.copy())
+            (m, m.weight.data.shape, m.weight.data.tobytes(),
+             None if getattr(m, "bias", None) is None else m.bias.data.tobytes())
             for m in self._chain if isinstance(m, (Conv2d, Linear))
         ]
 
@@ -1039,10 +1433,11 @@ class ExecutionPlan:
         """
         if _structure_signature(self._chain) != self._structure_sig:
             return True
-        for module, w_snap, b_snap in self._weight_snaps:
-            if not np.array_equal(module.weight.data, w_snap):
+        for module, w_shape, w_bytes, b_bytes in self._weight_snaps:
+            w = module.weight.data
+            if w.shape != w_shape or w.tobytes() != w_bytes:
                 return True
-            if b_snap is not None and not np.array_equal(module.bias.data, b_snap):
+            if b_bytes is not None and module.bias.data.tobytes() != b_bytes:
                 return True
         return False
 
@@ -1083,6 +1478,11 @@ def compile_plan(module: Module, sample: np.ndarray, config) -> ExecutionPlan:
     int_mode = config.int_path != "off" and any(
         isinstance(m, (Conv2d, Linear)) and _grid_codes(m) is not None for m in chain
     )
+    int_kernels = getattr(config, "int_kernels", "fused")
+    if int_kernels == "legacy" and config.int_path == "shift":
+        raise PlanError("the legacy int kernels do not implement the shift epilogue")
+    conv_cls = LegacyIntConvStep if int_kernels == "legacy" else IntConvStep
+    lin_cls = LegacyIntLinearStep if int_kernels == "legacy" else IntLinearStep
     # Any float arithmetic inside an int plan runs in float64 so the fast
     # path stays comparable to the graph executor at tie-breaking precision.
     dtype = np.dtype(np.float64) if int_mode else np.dtype(config.dtype)
@@ -1090,17 +1490,19 @@ def compile_plan(module: Module, sample: np.ndarray, config) -> ExecutionPlan:
     steps: List[Step] = []
     pool = BufferPool()
     rep: Optional[CountsRep] = FLOAT_REP
-    channel_major = False  # int convs flow activations as (C, B, H, W)
+    # Int convs flow activations in whatever layout their GEMM scheme emits:
+    # "blast" (C,H,W,B) for the fused kernels, "cmajor" (C,B,H,W) legacy.
+    layout = "batch"
     int_steps = 0
     index = 0
     i = 0
 
     def restore_batch_major() -> None:
-        nonlocal channel_major, index
-        if channel_major:
-            steps.append(ChannelMajorToBatchStep(index))
+        nonlocal layout, index
+        if layout != "batch":
+            steps.append(ChannelMajorToBatchStep(index, layout))
             index += 1
-            channel_major = False
+            layout = "batch"
 
     def dequant_if_counts() -> None:
         nonlocal rep, index
@@ -1162,17 +1564,22 @@ def compile_plan(module: Module, sample: np.ndarray, config) -> ExecutionPlan:
             if grid is not None and int_ok:
                 codes, scale, bits = grid
                 if isinstance(m, Conv2d):
-                    step = IntConvStep(index, m, codes, scale, bits, rep, fused_act,
-                                       config, channel_major_in=channel_major)
-                    channel_major = True
+                    if int_kernels == "legacy":
+                        step = conv_cls(index, m, codes, scale, bits, rep,
+                                        fused_act, config,
+                                        channel_major_in=(layout == "cmajor"))
+                    else:
+                        step = conv_cls(index, m, codes, scale, bits, rep,
+                                        fused_act, config, layout_in=layout)
+                    layout = getattr(step, "layout_out", "cmajor")
                     # conv → quant → maxpool: absorb the pool into the conv
                     # step so the rescale runs on the pooled accumulator.
                     if i + 2 < len(chain) and isinstance(chain[i + 2], MaxPool2d):
                         step.fuse_maxpool(chain[i + 2])
                         i += 1  # the max pool was fused
                 else:
-                    step = IntLinearStep(index, m, codes, scale, bits, rep,
-                                         fused_act, config)
+                    step = lin_cls(index, m, codes, scale, bits, rep,
+                                   fused_act, config)
                 rep = step.counts_rep
                 int_steps += 1
                 steps.append(step)
@@ -1192,6 +1599,10 @@ def compile_plan(module: Module, sample: np.ndarray, config) -> ExecutionPlan:
             steps.append(ActStep(index, _act_spec(m), dtype))
 
         elif isinstance(m, MaxPool2d):
+            if layout == "blast":
+                # MaxPoolStep pools the trailing axes; batch-last keeps
+                # space in the middle, so restore batch-major first.
+                restore_batch_major()
             steps.append(MaxPoolStep(index, m))  # monotone: counts pass through
 
         elif isinstance(m, AvgPool2d):
@@ -1207,8 +1618,8 @@ def compile_plan(module: Module, sample: np.ndarray, config) -> ExecutionPlan:
             steps.append(BatchNormEvalStep(index, m, dtype))
 
         elif isinstance(m, Flatten):
-            steps.append(FlattenStep(index, channel_major_in=channel_major))
-            channel_major = False
+            steps.append(FlattenStep(index, layout=layout))
+            layout = "batch"
 
         else:  # pragma: no cover - _ATOMIC and branches must stay in sync
             raise PlanError(f"no step compilation for {type(m).__name__}")

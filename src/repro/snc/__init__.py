@@ -23,12 +23,15 @@ from repro.snc.cost import (
     AreaParameters,
     EnergyParameters,
     NetworkAggregates,
+    RequantEnergyDelta,
+    RequantEnergyParameters,
     SpeedProfile,
     SystemCost,
     aggregate_network,
     evaluate_system_cost,
     generic_speed_profile,
     layer_breakdown,
+    requant_energy_delta,
     table5_row,
 )
 from repro.snc.crossbar import (
@@ -151,6 +154,9 @@ __all__ = [
     "NetworkAggregates",
     "aggregate_network",
     "evaluate_system_cost",
+    "RequantEnergyDelta",
+    "RequantEnergyParameters",
+    "requant_energy_delta",
     "generic_speed_profile",
     "layer_breakdown",
     "table5_row",

@@ -261,6 +261,67 @@ def layer_breakdown(
     return rows
 
 
+@dataclass(frozen=True)
+class RequantEnergyParameters:
+    """Digital requantize-datapath energy constants (Horowitz-style, 45nm).
+
+    Each output count leaving an integer fast-path layer passes exactly one
+    requantize.  In multiply mode that is a 32-bit multiply plus an add; in
+    ``engine_shift`` mode (scales snapped to the power-of-two grid, see
+    :mod:`repro.core.pow2`) the multiplier disappears and the same
+    requantize is an arithmetic right shift plus an add.  The per-op
+    energies follow the widely used Horowitz ISSCC'14 numbers: a 32-bit
+    integer multiply ≈ 3.1 pJ, a 32-bit add ≈ 0.1 pJ, and a barrel shift
+    ≈ 0.13 pJ (comparable to an add — it is a mux tree, not an array
+    multiplier).
+    """
+
+    e_mult32_pj: float = 3.1
+    e_add32_pj: float = 0.1
+    e_shift32_pj: float = 0.13
+
+
+@dataclass(frozen=True)
+class RequantEnergyDelta:
+    """Per-inference requantize energy, multiply mode vs shift mode."""
+
+    requant_ops: float          # output elements requantized per inference
+    multiply_uj: float          # multiply-mode requantize energy
+    shift_uj: float             # shift-mode requantize energy
+    saving_uj: float            # multiply_uj − shift_uj (≥ 0)
+
+    @property
+    def saving_fraction(self) -> float:
+        return 1.0 - self.shift_uj / self.multiply_uj if self.multiply_uj else 0.0
+
+
+def requant_energy_delta(
+    spec: NetworkSpec,
+    params: RequantEnergyParameters = RequantEnergyParameters(),
+    crossbar_size: int = DEFAULT_CROSSBAR_SIZE,
+) -> RequantEnergyDelta:
+    """Energy credit of the multiplier-less ``engine_shift`` requantize.
+
+    Counts one requantize per output element per inference
+    (``Σ cols_i · spatial_i`` over the network's layers — the same
+    aggregate that drives the spike-event energy model) and prices it on
+    both datapaths.  This models the *digital* deployment of the integer
+    fast path; it is reported alongside, not folded into, the analog
+    crossbar energy of :func:`evaluate_system_cost`, whose MACs never had
+    a digital multiplier to begin with.
+    """
+    aggregates = aggregate_network(spec, crossbar_size)
+    ops = aggregates.output_events_per_window
+    multiply_uj = (params.e_mult32_pj + params.e_add32_pj) * ops * 1e-6
+    shift_uj = (params.e_shift32_pj + params.e_add32_pj) * ops * 1e-6
+    return RequantEnergyDelta(
+        requant_ops=ops,
+        multiply_uj=multiply_uj,
+        shift_uj=shift_uj,
+        saving_uj=multiply_uj - shift_uj,
+    )
+
+
 def table5_row(spec: NetworkSpec, signal_bits: int) -> Dict[str, float]:
     """One generated Table 5 row plus the ratios against the 8-bit baseline."""
     ours = evaluate_system_cost(spec, signal_bits)

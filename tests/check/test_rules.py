@@ -180,6 +180,70 @@ class TestCrossbarFeasibility:
         assert len(diags) == 1 and diags[0].severity == "warning"
 
 
+class TestShiftModeFeasibility:
+    """QS220/QS221: pow2-grid requantize scales (int_path="shift")."""
+
+    def _net(self, rng, scale, gain_in, fan_in=16, m_bits=4, n_bits=4):
+        lin = Linear(fan_in, 10, rng=rng)
+        _on_grid(lin, bits=n_bits, scale=scale)
+        net = _PrependInput(
+            InputQuantizer(bits=8, offset=0.0, gain=gain_in),
+            Sequential(lin, QuantizedActivation(ReLU(), bits=m_bits, gain=1.0),
+                       Linear(10, 10, rng=rng)),
+        )
+        net.eval()
+        return net
+
+    def test_off_grid_scale_is_qs220_error(self, rng):
+        # q_scale = 1/(2^4·15) = 1/240 — not a power of two.
+        net = self._net(rng, scale=1.0, gain_in=15.0)
+        report = check_module(
+            net, input_shape=(16,),
+            config=CheckConfig(require_pow2_scales=True),
+        )
+        diags = report.by_rule("QS220")
+        assert len(diags) == 1 and diags[0].severity == "error"
+        assert "power-of-two" in diags[0].message
+
+    def test_on_grid_scale_is_silent(self, rng):
+        # q_scale = 1/(2^4·16) = 2^-8 — exactly on the grid.
+        net = self._net(rng, scale=1.0, gain_in=16.0)
+        report = check_module(
+            net, input_shape=(16,),
+            config=CheckConfig(require_pow2_scales=True),
+        )
+        assert not report.by_rule("QS220")
+        assert not report.by_rule("QS221")
+
+    def test_negative_shift_is_qs221_error(self, rng):
+        # q_scale = 32/(2^4·1) = 2 = 2^+1: on the grid but needs shift −1.
+        net = self._net(rng, scale=32.0, gain_in=1.0)
+        report = check_module(
+            net, input_shape=(16,),
+            config=CheckConfig(require_pow2_scales=True),
+        )
+        diags = report.by_rule("QS221")
+        assert len(diags) == 1 and diags[0].severity == "error"
+
+    def test_rules_off_by_default(self, rng):
+        net = self._net(rng, scale=1.0, gain_in=15.0)
+        report = check_module(net, input_shape=(16,))
+        assert not report.by_rule("QS220")
+        assert not report.by_rule("QS221")
+
+    def test_snapping_clears_qs220(self, rng):
+        from repro.core.pow2 import snap_scales_pow2
+
+        net = self._net(rng, scale=1.0, gain_in=15.0)
+        snap_scales_pow2(net)
+        report = check_module(
+            net, input_shape=(16,),
+            config=CheckConfig(require_pow2_scales=True),
+        )
+        assert not report.by_rule("QS220")
+        assert not report.by_rule("QS221")
+
+
 class TestSuppression:
     def test_suppressed_rules_are_dropped(self, rng):
         deployed = _deployed_lenet(rng)

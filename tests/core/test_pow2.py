@@ -1,0 +1,85 @@
+"""Snapping per-layer scales onto the power-of-two grid (repro.core.pow2)."""
+
+import copy
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.deployment import DeploymentConfig, deploy_model
+from repro.core.pow2 import MAX_SHIFT, snap_scales_pow2
+from repro.core.weight_clustering import _stamp_grid
+from repro.datasets.mnist_like import generate_mnist_like
+from repro.models import LeNet
+from repro.nn.modules import Conv2d, Linear
+
+
+BITS = 4
+
+
+@pytest.fixture(scope="module")
+def deployed_lenet():
+    images = generate_mnist_like(48, seed=0).images
+    model = LeNet(rng=np.random.default_rng(0))
+    model.eval()
+    deployed, _ = deploy_model(
+        model,
+        DeploymentConfig(signal_bits=BITS, weight_bits=BITS, input_bits=8),
+        images[:32],
+    )
+    return deployed
+
+
+def _weight_layers(module):
+    return [m for m in module.modules() if isinstance(m, (Conv2d, Linear))]
+
+
+class TestSnap:
+    def test_snaps_every_fast_path_layer_onto_the_grid(self, deployed_lenet):
+        module = copy.deepcopy(deployed_lenet)
+        records = snap_scales_pow2(module)
+        # LeNet's fast path: conv1, conv2, and the hidden linear (the
+        # classifier tail has no trailing quantizer and is left alone).
+        assert len(records) == 3
+        for rec in records:
+            assert 0 <= rec.shift <= MAX_SHIFT
+            # new_scale · gain_out / (2^N · gain_in) == 2^-shift exactly.
+            assert rec.new_scale > 0
+        # Every snapped layer's weights sit on its new grid.
+        for m, rec in zip(_weight_layers(module)[:3], records):
+            assert math.isclose(m._grid_scale, rec.new_scale, rel_tol=0, abs_tol=0)
+            step = rec.new_scale / 2 ** BITS
+            codes = m.weight.data / step
+            np.testing.assert_allclose(codes, np.round(codes), atol=1e-9)
+
+    def test_idempotent(self, deployed_lenet):
+        module = copy.deepcopy(deployed_lenet)
+        snap_scales_pow2(module)
+        before = [m.weight.data.tobytes() for m in _weight_layers(module)]
+        again = snap_scales_pow2(module)
+        assert all(not rec.snapped for rec in again)
+        assert [m.weight.data.tobytes() for m in _weight_layers(module)] == before
+
+    def test_weight_perturbation_bounded_by_half_step(self, deployed_lenet):
+        module = copy.deepcopy(deployed_lenet)
+        for rec in snap_scales_pow2(module):
+            if rec.snapped:
+                half_step = rec.new_scale / 2 ** BITS / 2
+                # Rounding moves each weight at most half a grid step; when
+                # the scale shrinks, weights near the old ±scale/2 edge also
+                # clip to the new edge, adding at most (old−new)/2.
+                clip = max(0.0, (rec.old_scale - rec.new_scale) / 2)
+                assert rec.max_weight_delta <= clip + half_step
+
+    def test_off_range_shift_raises_before_mutating(self, deployed_lenet):
+        module = copy.deepcopy(deployed_lenet)
+        layers = _weight_layers(module)
+        # First layer needs a left shift (q_scale > 1) → hard error; the
+        # *other* layers are snappable, and must not have been touched.
+        _stamp_grid(layers[0], 1e9, BITS)
+        before = [m.weight.data.tobytes() for m in layers]
+        scales = [m._grid_scale for m in layers]
+        with pytest.raises(ValueError, match="outside"):
+            snap_scales_pow2(module)
+        assert [m.weight.data.tobytes() for m in layers] == before
+        assert [m._grid_scale for m in layers] == scales

@@ -10,11 +10,22 @@ spec, across all three serving paths:
 2. ``InferenceEngine.run`` (compiled plan replay, float64 policy),
 3. ``ModelServer`` (admission → micro-batching → replica pool).
 
-Each path is exercised with telemetry off AND on, and every pairwise
-comparison is ``np.array_equal`` — no tolerances.  Models are built at a
-reduced width multiplier so the full matrix stays fast; the arithmetic
-paths exercised are identical to full-width deployments.
+Each path is exercised with telemetry off AND on, and the engine is
+exercised in all three plan variants: ``float64`` (integer fast path
+off), ``int`` (fused uint8 GEMM with multiply requantize), and ``shift``
+(scales snapped to the pow2 grid, requantize by arithmetic right shift).
+The float and int variants must reproduce the graph executor's logits
+bit-for-bit (``np.array_equal`` — no tolerances).  The shift variant
+computes a *different* network — snapping perturbs the weight grids — so
+its reference is the graph executor of the snapped module, and the
+guarantee is exact argmax agreement plus replay determinism (the shifted
+requantize can land on the other side of a float64 floor boundary for a
+handful of activations; see ``docs/performance.md``).  Models are built
+at a reduced width multiplier so the full matrix stays fast; the
+arithmetic paths exercised are identical to full-width deployments.
 """
+
+import copy
 
 import numpy as np
 import pytest
@@ -33,6 +44,11 @@ from repro.serve import ServeConfig
 
 BATCH_ROWS = 8
 SIGNAL_BITS = 4
+
+#: Models the plan compiler cannot lower (residual topology): the engine
+#: honours its never-refuse-to-serve contract by degrading to the graph
+#: executor, so every variant must still match the reference exactly.
+GRAPH_ONLY_MODELS = {"resnet"}
 
 
 @pytest.fixture(scope="module", params=available_models())
@@ -65,17 +81,40 @@ def _telemetry(enabled: bool):
 
 @pytest.mark.parametrize("observed", [False, True], ids=["telemetry-off", "telemetry-on"])
 class TestConformance:
-    def test_engine_matches_graph(self, deployment, observed):
+    @pytest.mark.parametrize("variant", ["float64", "int", "shift"])
+    def test_engine_matches_graph(self, deployment, observed, variant):
         name, deployed, images, reference = deployment
         telemetry = _telemetry(observed)
+        if variant == "shift":
+            # Snapping mutates weight scales in place; keep the shared
+            # module-scoped deployment pristine for the other variants.
+            deployed = copy.deepcopy(deployed)
         engine = make_inference_engine(
-            deployed, telemetry=telemetry, dtype=np.float64
+            deployed, telemetry=telemetry, dtype=np.float64,
+            int_path={"float64": "off", "int": "auto", "shift": "shift"}[variant],
         )
         logits = engine.run(images)
-        assert np.array_equal(logits, reference), (
-            f"{name}: engine ({engine.active_backend}) deviates from the "
-            f"graph executor with telemetry {'on' if observed else 'off'}"
+        expected_backend = "graph" if name in GRAPH_ONLY_MODELS else variant
+        assert engine.active_backend == expected_backend, (
+            f"{name}: expected the {expected_backend} backend, engine "
+            f"reports {engine.active_backend}"
         )
+        if variant == "shift":
+            # The engine snapped its module; the snapped graph is the
+            # reference, and the contract is argmax-exactness.
+            with no_grad():
+                reference = deployed(Tensor(images)).data
+            assert np.array_equal(
+                np.argmax(logits, axis=1), np.argmax(reference, axis=1)
+            ), (
+                f"{name}: shift engine changes predictions vs the snapped "
+                f"graph with telemetry {'on' if observed else 'off'}"
+            )
+        else:
+            assert np.array_equal(logits, reference), (
+                f"{name}: engine ({engine.active_backend}) deviates from the "
+                f"graph executor with telemetry {'on' if observed else 'off'}"
+            )
         # Replays must be deterministic, instrumented or not.
         assert np.array_equal(engine.run(images), logits)
         if observed:

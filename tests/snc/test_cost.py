@@ -8,10 +8,12 @@ from repro.models.specs import alexnet_spec, lenet_spec, paper_specs, resnet_spe
 from repro.snc.cost import (
     PAPER_SPEED_PROFILES,
     PAPER_TABLE5,
+    RequantEnergyParameters,
     SpeedProfile,
     aggregate_network,
     evaluate_system_cost,
     generic_speed_profile,
+    requant_energy_delta,
     table5_row,
 )
 
@@ -135,3 +137,33 @@ class TestTable5Row:
         row = table5_row(lenet_spec(), 8)
         assert row["speedup"] == pytest.approx(1.0)
         assert row["energy_saving"] == pytest.approx(0.0)
+
+
+class TestRequantEnergyDelta:
+    """engine_shift's multiplier-less requantize, priced per inference."""
+
+    def test_lenet_delta(self):
+        delta = requant_energy_delta(lenet_spec())
+        # One requantize per fast-path output event per window.
+        assert delta.requant_ops == aggregate_network(
+            lenet_spec()
+        ).output_events_per_window
+        assert delta.shift_uj < delta.multiply_uj
+        assert delta.saving_uj == pytest.approx(
+            delta.multiply_uj - delta.shift_uj
+        )
+        # Horowitz ISSCC'14 figures: 1 − (0.13+0.1)/(3.1+0.1) ≈ 0.928.
+        assert delta.saving_fraction == pytest.approx(0.928125)
+
+    def test_parameters_flow_through(self):
+        params = RequantEnergyParameters(
+            e_mult32_pj=4.0, e_add32_pj=0.0, e_shift32_pj=1.0
+        )
+        delta = requant_energy_delta(lenet_spec(), params=params)
+        assert delta.saving_fraction == pytest.approx(0.75)
+
+    def test_scales_with_network_size(self):
+        assert (
+            requant_energy_delta(alexnet_spec()).saving_uj
+            > requant_energy_delta(lenet_spec()).saving_uj
+        )
