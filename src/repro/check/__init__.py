@@ -6,10 +6,14 @@ The subsystem abstractly interprets a module graph
 constraints as rules (:mod:`repro.check.rules` — signal range and
 uniformity per Eq. 2–3, weight grids per Eq. 6, integer-fast-path
 mantissa fit, crossbar feasibility per Eq. 1), and emits structured
-:class:`Diagnostic` records (:mod:`repro.check.diagnostics`).  Consumers:
-the ``repro check`` CLI command, the deployment gate in
-:func:`repro.core.deployment.deploy_model`, and the pre-trace validation
-in :class:`repro.runtime.engine.InferenceEngine`.  See
+:class:`Diagnostic` records (:mod:`repro.check.diagnostics`).  A second
+verifier (:mod:`repro.check.plancheck`, rules PL601–PL605) proves the
+*compiled* :class:`~repro.runtime.plan.ExecutionPlan` IR safe — overflow,
+aliasing, layout/dtype contracts, shift feasibility, replay purity —
+before the engine replays it.  Consumers: the ``repro check`` CLI command
+(``--plans`` for the plan verifier), the deployment gate in
+:func:`repro.core.deployment.deploy_model`, and the pre-trace/post-trace
+validation in :class:`repro.runtime.engine.InferenceEngine`.  See
 ``docs/static_analysis.md`` for the full rule catalogue.
 """
 
@@ -21,6 +25,12 @@ from repro.check.abstract import (
     structural_facts,
 )
 from repro.check.diagnostics import RULES, SEVERITIES, CheckReport, Diagnostic
+from repro.check.plancheck import (
+    PlanCheckConfig,
+    accumulator_bound,
+    check_plan,
+    check_plan_ir,
+)
 from repro.check.rules import CheckConfig, check_module, evaluate_rules
 from repro.check.specs import check_spec
 
@@ -30,11 +40,15 @@ __all__ = [
     "CheckReport",
     "Diagnostic",
     "LayerFact",
+    "PlanCheckConfig",
     "RULES",
     "SEVERITIES",
     "SignalQuant",
+    "accumulator_bound",
     "analyze_module",
     "check_module",
+    "check_plan",
+    "check_plan_ir",
     "check_spec",
     "evaluate_rules",
     "structural_facts",

@@ -51,6 +51,11 @@ RULES: Dict[str, str] = {
     "QC501": "crossbar budget overrun (Eq. 1 tile count exceeds the configured maximum)",
     "QC502": "weight codes are not representable in the memristor conductance range",
     "QC503": "no spare-tile headroom remains for remediation",
+    "PL601": "worst-case integer GEMM accumulator can overflow its declared carrier",
+    "PL602": "copy program or pooled buffers alias (overlapping live memory)",
+    "PL603": "step boundary breaks a layout, counts-window, or dtype contract",
+    "PL604": "shift epilogue infeasible (scale off the pow2 grid or shift out of range)",
+    "PL605": "plan touches buffers outside its declared pre-allocated working set",
 }
 
 

@@ -292,16 +292,89 @@ def run_serve_bench(args: argparse.Namespace) -> str:
     return output
 
 
+def _render_check_reports(reports: list, args: argparse.Namespace) -> tuple:
+    """Render CheckReports as text or JSON; exit code 1 on any error."""
+    import json
+
+    failed = any(report.has_errors for report in reports)
+    if args.json:
+        output = json.dumps([report.to_dict() for report in reports], indent=2)
+    else:
+        output = "\n\n".join(report.summary(verbose=args.verbose) for report in reports)
+        total_errors = sum(len(report.errors) for report in reports)
+        output += (
+            f"\n\nchecked {len(reports)} target(s): "
+            + ("FAIL" if failed else "OK")
+            + f" ({total_errors} error(s) total)"
+        )
+    return output, (1 if failed else 0)
+
+
+def _check_plans(args: argparse.Namespace) -> tuple:
+    """``repro check --plans``: statically verify compiled execution plans.
+
+    Deploys each model at each bit width, traces a plan under every
+    integer-path variant (fused int, shift, legacy kernels), and runs the
+    PL6xx plan verifier on the compiled IR.  The engine's own post-trace
+    gate is disabled here so findings surface in the report (and the exit
+    code) instead of being silently swallowed by graph fallback.  Models
+    the tracer cannot linearize (residual topologies) get an empty OK
+    report noting the fallback — the graph executor needs no plan proof.
+    """
+    import numpy as np
+
+    from repro.check import CheckReport
+    from repro.check.plancheck import PlanCheckConfig, check_plan
+    from repro.core.deployment import DeploymentConfig, deploy_model
+    from repro.models.registry import build_model, get_spec
+    from repro.runtime.engine import EngineConfig, InferenceEngine
+
+    variants = (
+        ("int", {"int_path": "auto", "int_kernels": "fused"}),
+        ("shift", {"int_path": "shift", "int_kernels": "fused"}),
+        ("legacy", {"int_path": "auto", "int_kernels": "legacy"}),
+    )
+    config = PlanCheckConfig(suppress=tuple(args.suppress))
+    reports = []
+    for model_name in args.models:
+        spec = get_spec(model_name)
+        rng = np.random.default_rng(args.seed)
+        sample = rng.uniform(0.0, 1.0, size=(2, *spec.input_shape))
+        for bits in args.bits:
+            for variant, overrides in variants:
+                target = f"{model_name} plan (M=N={bits}, {variant})"
+                model = build_model(model_name, rng=np.random.default_rng(args.seed))
+                model.eval()
+                deployed, _ = deploy_model(
+                    model,
+                    DeploymentConfig(signal_bits=bits, weight_bits=bits,
+                                     static_check="off"),
+                )
+                engine = InferenceEngine(
+                    deployed, EngineConfig(plan_check=False, **overrides)
+                )
+                engine.run(sample)
+                if engine.plan is None:
+                    reports.append(CheckReport(
+                        f"{target}: no traceable plan (graph fallback)"))
+                else:
+                    reports.append(check_plan(engine.plan, config=config,
+                                              target=target))
+    return _render_check_reports(reports, args)
+
+
 def run_check(args: argparse.Namespace) -> tuple:
     """The ``repro check`` command: static deployment verification.
 
     Returns ``(output, exit_code)`` — nonzero when any checked target has
-    an error-severity diagnostic, so CI can gate on it.
+    an error-severity diagnostic, so CI can gate on it.  With ``--plans``
+    the compiled execution plans are verified instead of the specs.
     """
-    import json
-
     from repro.check import CheckConfig, check_module, check_spec
     from repro.models.registry import get_spec
+
+    if args.plans:
+        return _check_plans(args)
 
     config = CheckConfig(
         max_crossbars=args.max_crossbars,
@@ -331,18 +404,7 @@ def run_check(args: argparse.Namespace) -> tuple:
                     deployed, input_shape=spec.input_shape, config=config,
                     target=f"{model_name} (deployed, M=N={bits})",
                 ))
-    failed = any(report.has_errors for report in reports)
-    if args.json:
-        output = json.dumps([report.to_dict() for report in reports], indent=2)
-    else:
-        output = "\n\n".join(report.summary(verbose=args.verbose) for report in reports)
-        total_errors = sum(len(report.errors) for report in reports)
-        output += (
-            f"\n\nchecked {len(reports)} target(s): "
-            + ("FAIL" if failed else "OK")
-            + f" ({total_errors} error(s) total)"
-        )
-    return output, (1 if failed else 0)
+    return _render_check_reports(reports, args)
 
 
 def _settings(args: argparse.Namespace) -> E.ExperimentSettings:
@@ -734,6 +796,12 @@ def build_parser() -> argparse.ArgumentParser:
         "--deep", action="store_true",
         help="also deploy each model (random weights) and run the full "
              "abstract interpretation, not just the spec check",
+    )
+    check.add_argument(
+        "--plans", action="store_true",
+        help="deploy and trace each model and statically verify the "
+             "compiled execution plans (PL6xx rules) for every int "
+             "variant: int, shift, and legacy kernels",
     )
     return parser
 

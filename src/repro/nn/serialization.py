@@ -44,6 +44,21 @@ class BlobError(ValueError):
 BLOB_MAGIC = b"REPRO-BLOB-1\n"
 
 
+def _publish_permissions(tmp_path: str) -> None:
+    """Give a mkstemp temp file the permissions a plain ``open()`` would.
+
+    ``mkstemp`` creates files ``0600`` regardless of umask (it is built
+    for private scratch files), but these temp files are renamed into
+    place as durable artifacts — checkpoints, benchmark blobs — that
+    should be readable like any other created file.  Re-apply the
+    process umask to the conventional ``0666`` creation mode before the
+    rename publishes the file.
+    """
+    umask = os.umask(0)
+    os.umask(umask)
+    os.chmod(tmp_path, 0o666 & ~umask)
+
+
 def atomic_write_bytes(path: str, data: bytes) -> None:
     """Write ``data`` to ``path`` via a temp sibling + ``os.replace``.
 
@@ -58,6 +73,7 @@ def atomic_write_bytes(path: str, data: bytes) -> None:
     try:
         with os.fdopen(fd, "wb") as handle:
             handle.write(data)
+        _publish_permissions(tmp_path)
         os.replace(tmp_path, path)
     except BaseException:
         if os.path.exists(tmp_path):
@@ -147,6 +163,7 @@ def save_state(module: Module, path: str) -> None:
         with os.fdopen(fd, "wb") as handle:
             # npz keys cannot contain "/" reliably; dots are fine.
             np.savez(handle, **state)
+        _publish_permissions(tmp_path)
         os.replace(tmp_path, path)
     except BaseException:
         if os.path.exists(tmp_path):

@@ -92,6 +92,16 @@ class EngineConfig:
         assumptions do not hold, so the engine degrades to the graph
         executor (it never refuses to serve) and records the report in
         :attr:`InferenceEngine.check_report`.
+    plan_check:
+        Run the static *plan* verifier (:mod:`repro.check.plancheck`,
+        rules PL601–PL605) on every freshly compiled plan before trusting
+        it.  The pre-trace check proves module-level invariants; this one
+        proves the compiled artifact — accumulator bounds, copy-program
+        aliasing, layout/dtype handoffs, shift feasibility, replay
+        purity.  Error findings drop the plan and degrade to graph-only
+        serving, recorded as ``plancheck_errors``; the report lands in
+        :attr:`InferenceEngine.plan_report` and merges into
+        :attr:`InferenceEngine.check_report` when one exists.
     check_staleness:
         Compare weight snapshots before each run and re-trace on mismatch.
     trace_batch:
@@ -108,6 +118,7 @@ class EngineConfig:
     min_sparsity_columns: int = 64
     verify_on_trace: bool = True
     static_check: bool = True
+    plan_check: bool = True
     check_staleness: bool = True
     trace_batch: int = 2
     batch_size: int = 256
@@ -146,6 +157,7 @@ class EngineStats:
         "retraces": "Plans dropped as stale and re-traced",
         "trace_failures": "Trace attempts rejected with PlanError",
         "precheck_errors": "Static-check errors that forced graph-only mode",
+        "plancheck_errors": "Plan-verifier errors that forced graph-only mode",
     }
 
     def __init__(self) -> None:
@@ -183,6 +195,10 @@ class EngineStats:
     @property
     def precheck_errors(self) -> int:
         return int(self._counters["precheck_errors"].value)
+
+    @property
+    def plancheck_errors(self) -> int:
+        return int(self._counters["plancheck_errors"].value)
 
 
 def _model_label(module: Module) -> str:
@@ -223,6 +239,7 @@ class InferenceEngine:
         self._plan: Optional[ExecutionPlan] = None
         self._graph_only = False
         self.check_report = None  # repro.check.CheckReport after first trace
+        self.plan_report = None   # plan-verifier CheckReport after each compile
 
     def _count(self, name: str, amount: float = 1) -> None:
         self.stats.inc(name, amount)
@@ -298,11 +315,14 @@ class InferenceEngine:
             if not self._precheck(sample):
                 return None
             try:
-                self._plan = compile_plan(self.module, sample, self.config)
+                plan = compile_plan(self.module, sample, self.config)
             except PlanError:
                 self._count("trace_failures")
                 self._graph_only = True
                 return None
+            if not self._postcheck(plan):
+                return None
+            self._plan = plan
         return self._plan
 
     def _snap_pow2(self) -> bool:
@@ -348,6 +368,33 @@ class InferenceEngine:
         )
         if self.check_report.has_errors:
             self._count("precheck_errors", len(self.check_report.errors))
+            self._graph_only = True
+            return False
+        return True
+
+    def _postcheck(self, plan: ExecutionPlan) -> bool:
+        """Statically verify the compiled plan IR before trusting it.
+
+        The pre-trace check proves module-level invariants; this one
+        proves the *compiled artifact* — accumulator bounds (PL601),
+        copy-program aliasing (PL602), layout/dtype handoffs (PL603),
+        shift feasibility (PL604), replay purity (PL605).  Error findings
+        mean the plan must not run: the engine refuses it and falls back
+        to the graph executor, recording the count in
+        ``plancheck_errors`` and the report in :attr:`plan_report` (also
+        merged into :attr:`check_report` when the precheck produced one).
+        """
+        if not self.config.plan_check:
+            return True
+        # Lazy import, mirroring _precheck: repro.check is optional here.
+        from repro.check.plancheck import check_plan
+
+        report = check_plan(plan, target=f"engine-plan:{type(self.module).__name__}")
+        self.plan_report = report
+        if self.check_report is not None:
+            self.check_report.extend(report)
+        if report.has_errors:
+            self._count("plancheck_errors", len(report.errors))
             self._graph_only = True
             return False
         return True
@@ -407,6 +454,8 @@ class InferenceEngine:
         }
         if self.stats.precheck_errors:
             stats["precheck_errors"] = self.stats.precheck_errors
+        if self.stats.plancheck_errors:
+            stats["plancheck_errors"] = self.stats.plancheck_errors
         if self._plan is not None:
             stats["steps"] = len(self._plan.steps)
             stats["int_steps"] = self._plan.int_steps

@@ -177,7 +177,7 @@ class GuardedSpikingSystem:
             if self._requests_since_probe is not None:
                 self._requests_since_probe += 1
             if self.counters.fallback_engaged:
-                return self._software_infer(images)
+                return self._software_infer_locked(images)
             for attempt in range(self.config.max_retries + 1):
                 try:
                     logits = self.system.infer(images)
@@ -190,7 +190,7 @@ class GuardedSpikingSystem:
                         continue
                     # Retries exhausted: serve this request from software
                     # without condemning the analog path.
-                    return self._software_infer(images)
+                    return self._software_infer_locked(images)
                 self.counters.requests_analog += 1
                 self._obs_inc("guard_requests_total",
                               "Guarded requests by serving path", path="analog")
@@ -210,7 +210,9 @@ class GuardedSpikingSystem:
             correct += int((self.predict(images) == labels).sum())
         return correct / len(dataset)
 
-    def _software_infer(self, images: np.ndarray) -> np.ndarray:
+    def _software_infer_locked(self, images: np.ndarray) -> np.ndarray:
+        # Caller must hold self._lock (enforced by naming: lint RL007
+        # exempts *_locked helpers but flags any other unlocked mutation).
         self.counters.requests_software += 1
         self._obs_inc("guard_requests_total",
                       "Guarded requests by serving path", path="software")

@@ -38,8 +38,8 @@ correctness requirement.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import List, Optional, Sequence, Tuple
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -98,8 +98,152 @@ class BufferPool:
     def nbytes(self) -> int:
         return sum(buf.nbytes for buf in self._buffers.values())
 
+    def entries(self) -> List[Tuple[object, Tuple[int, ...], np.dtype, np.ndarray]]:
+        """Snapshot of ``(key, shape, dtype, buffer)`` for every pooled array.
+
+        The declared-IR surface over the pool: :meth:`ExecutionPlan.summarize`
+        turns these into :class:`BufferIR` records so the static plan
+        verifier can audit the working set without reading ``_buffers``.
+        """
+        return [
+            (key, tuple(shape), np.dtype(dtype), buf)
+            for (key, shape, dtype), buf in self._buffers.items()
+        ]
+
     def __len__(self) -> int:
         return len(self._buffers)
+
+
+# ---------------------------------------------------------------------------
+# Declared plan IR (what repro.check.plancheck verifies)
+# ---------------------------------------------------------------------------
+#
+# Every step *declares* its contract — accepted/produced layouts, counts
+# windows, GEMM geometry, workspace keys, copy-program views — as plain
+# records.  The static verifier consumes only this IR, never private step
+# state, so a step that lies in its summary is a bug the seeded-defect
+# tests catch, and new step kinds extend the IR instead of the verifier.
+
+
+@dataclass(frozen=True)
+class ViewIR:
+    """Byte extent of one ndarray view relative to its base allocation."""
+
+    base: int               #: ``id()`` of the owning base array
+    lo: int                 #: first byte the view can touch
+    hi: int                 #: one past the last byte the view can touch
+    shape: Tuple[int, ...]
+
+    def overlaps(self, other: "ViewIR") -> bool:
+        """Conservative aliasing test: same base, intersecting byte ranges.
+
+        Byte-interval intersection over-approximates true element overlap
+        for strided views — the sound direction for a safety check.
+        """
+        return self.base == other.base and self.lo < other.hi and other.lo < self.hi
+
+
+@dataclass(frozen=True)
+class BufferIR:
+    """One pooled allocation, attributed to the step whose key claimed it."""
+
+    owner: Optional[int]    #: step index from the pool key; None = foreign key
+    tag: str                #: workspace tag from the pool key ("" = bare key)
+    shape: Tuple[int, ...]
+    dtype: str
+    base: int               #: ``id()`` of the base array (aliasing identity)
+    nbytes: int
+
+
+@dataclass
+class StepIR:
+    """One step's declared contract.
+
+    ``None`` consistently means "no claim": a ``None`` layout list accepts
+    any layout (elementwise step), a ``None`` ``layout_out`` leaves the
+    layout unchanged, a ``None`` workspace dtype is input-dependent and
+    exempt from the dtype audit.
+    """
+
+    index: int
+    kind: str
+    summary: str            #: the step's describe() line, for messages
+    layouts_in: Optional[Tuple[str, ...]] = None
+    layout_out: Optional[str] = None
+    out_dtype: Optional[str] = None
+    consumes_top: Optional[int] = None   #: counts window the step reads
+    produces_top: Optional[int] = None   #: counts window the step emits
+    rep_passthrough: bool = False        #: forwards the incoming rep unchanged
+    carrier: Optional[str] = None        #: BLAS carrier of the int GEMM
+    acc_dtype: Optional[str] = None      #: shift-mode integer accumulator
+    reduction_k: Optional[int] = None    #: GEMM reduction length
+    weight_bits: Optional[int] = None
+    codes: Optional[np.ndarray] = None   #: (out, K) integer weight codes
+    q_scale: Optional[float] = None
+    shift: Optional[int] = None
+    shift_offsets_absmax: Optional[float] = None
+    fused_pool: Optional[Tuple[int, int]] = None
+    workspaces: Dict[str, Optional[str]] = field(default_factory=dict)
+    copy_views: Optional[List[Tuple[ViewIR, ViewIR]]] = None
+
+
+@dataclass
+class PlanIR:
+    """The whole plan as declared records: step contracts + traced pool."""
+
+    steps: List[StepIR]
+    buffers: List[BufferIR]
+    dtype: str
+    int_steps: int
+    int_path: str
+    int_kernels: str
+
+
+def _base_array(arr: np.ndarray) -> np.ndarray:
+    """Chase ``.base`` to the array that owns the memory."""
+    base = arr
+    while isinstance(base.base, np.ndarray):
+        base = base.base
+    return base
+
+
+def _view_ir(arr: np.ndarray) -> ViewIR:
+    """Describe ``arr`` as a byte extent over its base allocation.
+
+    Computed from shape/strides directly (``np.byte_bounds`` is gone in
+    numpy 2.x): negative strides extend the range downwards, positive
+    upwards, plus one trailing itemsize.
+    """
+    base = _base_array(arr)
+    origin = int(base.__array_interface__["data"][0])
+    lo = hi = int(arr.__array_interface__["data"][0]) - origin
+    if 0 in arr.shape:
+        return ViewIR(base=id(base), lo=lo, hi=hi, shape=tuple(arr.shape))
+    for n, stride in zip(arr.shape, arr.strides):
+        extent = (n - 1) * stride
+        if extent >= 0:
+            hi += extent
+        else:
+            lo += extent
+    return ViewIR(base=id(base), lo=lo, hi=hi + arr.itemsize, shape=tuple(arr.shape))
+
+
+def _pool_key_owner(key: object) -> Tuple[Optional[int], str]:
+    """``(owner step index, workspace tag)`` declared by a pool key.
+
+    Pool keys are ``index``, ``(index, tag)`` or ``(index, tag, block)``;
+    anything else is foreign to the plan and reported as ``(None, repr)``.
+    """
+    if isinstance(key, (int, np.integer)):
+        return int(key), ""
+    if (
+        isinstance(key, tuple)
+        and key
+        and isinstance(key[0], (int, np.integer))
+        and (len(key) == 1 or isinstance(key[1], str))
+    ):
+        return int(key[0]), (key[1] if len(key) > 1 else "")
+    return None, repr(key)
 
 
 def _block6(cols: np.ndarray, b: int, oh: int, ow: int, c: int, kh: int, kw: int) -> np.ndarray:
@@ -305,6 +449,10 @@ class Step:
     def describe(self) -> str:
         return self.kind
 
+    def summarize(self) -> StepIR:
+        """This step's declared IR record (see :class:`StepIR`)."""
+        return StepIR(self.index, self.kind, self.describe(), workspaces={"": None})
+
 
 class InputQuantFloatStep(Step):
     kind = "input-quant"
@@ -330,6 +478,11 @@ class InputQuantFloatStep(Step):
 
     def describe(self) -> str:
         return f"input-quant[M={self.bits}] :: {self.dtype.name}"
+
+    def summarize(self) -> StepIR:
+        """Declared IR: elementwise, float values out."""
+        return StepIR(self.index, self.kind, self.describe(),
+                      out_dtype=self.dtype.name, workspaces={"": self.dtype.name})
 
 
 class InputQuantCountsStep(Step):
@@ -362,6 +515,13 @@ class InputQuantCountsStep(Step):
     def describe(self) -> str:
         return f"input-quant[M={self.bits}] :: {self.out_dtype.name}-counts"
 
+    def summarize(self) -> StepIR:
+        """Declared IR: elementwise, opens the input counts window."""
+        return StepIR(self.index, self.kind, self.describe(),
+                      out_dtype=self.out_dtype.name,
+                      produces_top=int(self.rep.top),
+                      workspaces={"f": "float64", "c": self.out_dtype.name})
+
 
 class DequantStep(Step):
     """Counts → float values, mirroring the graph's exact reconstruction."""
@@ -385,6 +545,12 @@ class DequantStep(Step):
     def describe(self) -> str:
         return f"dequant[{self.rep.style}] :: {self.dtype.name}"
 
+    def summarize(self) -> StepIR:
+        """Declared IR: closes the counts window, emits float values."""
+        return StepIR(self.index, self.kind, self.describe(),
+                      out_dtype=self.dtype.name, consumes_top=int(self.rep.top),
+                      workspaces={"": self.dtype.name})
+
 
 class ActStep(Step):
     """Standalone activation (not fused onto a weight layer)."""
@@ -404,6 +570,11 @@ class ActStep(Step):
 
     def describe(self) -> str:
         return f"{self.act.describe()} :: {self.dtype.name}"
+
+    def summarize(self) -> StepIR:
+        """Declared IR: elementwise float activation."""
+        return StepIR(self.index, self.kind, self.describe(),
+                      out_dtype=self.dtype.name, workspaces={"": self.dtype.name})
 
 
 class FloatConvStep(Step):
@@ -451,6 +622,17 @@ class FloatConvStep(Step):
         return (f"conv2d({c.in_channels}→{c.out_channels}, k={c.kernel_size}) "
                 f"+ {tail} :: {rep}")
 
+    def summarize(self) -> StepIR:
+        """Declared IR: batch-major float conv, optionally emitting counts."""
+        return StepIR(
+            self.index, self.kind, self.describe(),
+            layouts_in=("batch",), layout_out="batch",
+            out_dtype=self.out_dtype.name,
+            produces_top=(int(self.counts_rep.top) if self.counts_rep is not None else None),
+            workspaces={"pad": None, "cols": self.dtype.name,
+                        "mat": self.dtype.name, "nchw": self.out_dtype.name},
+        )
+
 
 class FloatLinearStep(Step):
     kind = "linear"
@@ -494,6 +676,17 @@ class FloatLinearStep(Step):
         rep = f"{self.out_dtype.name}-counts" if self.counts_rep is not None else self.dtype.name
         return f"linear({m.in_features}→{m.out_features}) + {tail} :: {rep}"
 
+    def summarize(self) -> StepIR:
+        """Declared IR: flat float linear, optionally emitting counts."""
+        return StepIR(
+            self.index, self.kind, self.describe(),
+            layouts_in=("flat",), layout_out="flat",
+            out_dtype=self.out_dtype.name,
+            produces_top=(int(self.counts_rep.top) if self.counts_rep is not None else None),
+            workspaces={"in": self.dtype.name, "mat": self.dtype.name,
+                        "c": self.out_dtype.name},
+        )
+
 
 def _grid_codes(module: Module) -> Optional[Tuple[np.ndarray, float, int]]:
     """Integer weight codes if the layer's weights sit on a clustering grid."""
@@ -526,6 +719,10 @@ class _IntGemmMixin:
         bias = 0.0 if module.bias is None else module.bias.data
         self.beta = bias + rep_in.offset * w_rowsum  # (oc,) float64
         self.act = act
+        # Declared-IR metadata for the static plan verifier (PL601 reproves
+        # the carrier/accumulator bounds from these, independently).
+        self.in_top = int(rep_in.top)
+        self.weight_bits = int(bits)
         # Honest describe() metadata: what actually flows through the GEMM.
         self.in_dtype = _counts_dtype(rep_in.top)
         self.code_dtype = np.dtype(np.int8) if bits <= 8 else np.dtype(np.int16)
@@ -576,6 +773,39 @@ class _IntGemmMixin:
         )
         self.shift = shift
         self.shift_offsets = offsets.astype(self.acc_int_dtype)
+
+    def _int_ir(self, layouts_in: Tuple[str, ...], layout_out: str,
+                workspaces: Dict[str, Optional[str]]) -> StepIR:
+        """Declared-IR fields common to every integer GEMM step."""
+        return StepIR(
+            self.index, self.kind, self.describe(),
+            layouts_in=layouts_in, layout_out=layout_out,
+            out_dtype=self.out_dtype.name,
+            consumes_top=self.in_top,
+            produces_top=(
+                int(self.counts_rep.top) if self.counts_rep is not None else None
+            ),
+            carrier=self.carrier.name,
+            acc_dtype=(self.acc_int_dtype.name if self.shift is not None else None),
+            reduction_k=int(self.codes_t.shape[0]),
+            weight_bits=self.weight_bits,
+            codes=self.codes_t.T,
+            q_scale=(float(self.q_scale) if self.counts_rep is not None else None),
+            shift=self.shift,
+            shift_offsets_absmax=(
+                float(np.max(np.abs(self.shift_offsets)))
+                if self.shift is not None else None
+            ),
+            workspaces=workspaces,
+        )
+
+    def _int_workspaces(self, *tags: str) -> Dict[str, Optional[str]]:
+        """Carrier workspaces for ``tags`` plus the shared epilogue buffers."""
+        ws: Dict[str, Optional[str]] = {tag: self.carrier.name for tag in tags}
+        ws["y"] = "float64"
+        if self.shift is not None:
+            ws["acci"] = self.acc_int_dtype.name
+        return ws
 
     def _gemm_label(self) -> str:
         """Honest dtype summary: logical operands @ the real BLAS carrier."""
@@ -759,6 +989,16 @@ class LegacyIntConvStep(Step, _IntGemmMixin):
                 f"+ {tail} :: int-gemm[{self._gemm_label()}] → {self.out_dtype.name}"
                 " [channel-major]")
 
+    def summarize(self) -> StepIR:
+        """Declared IR: channel-major integer conv (no shift epilogue)."""
+        ws = self._int_workspaces("xf", "cols", "acc", "pacc")
+        ws["out"] = self.out_dtype.name
+        ir = self._int_ir(
+            ("cmajor",) if self.channel_major_in else ("batch",), "cmajor", ws)
+        if self.pool_k is not None:
+            ir.fused_pool = (self.pool_k, self.pool_s)
+        return ir
+
 
 class LegacyIntLinearStep(Step, _IntGemmMixin):
     """PR2-era integer linear kept for same-machine A/B benchmarking."""
@@ -787,6 +1027,12 @@ class LegacyIntLinearStep(Step, _IntGemmMixin):
         tail = "none" if self.act is None else self.act.describe()
         return (f"linear({m.in_features}→{m.out_features}) + {tail} "
                 f":: int-gemm[{self._gemm_label()}] → {self.out_dtype.name}")
+
+    def summarize(self) -> StepIR:
+        """Declared IR: flat integer linear (legacy, no shift epilogue)."""
+        ws = self._int_workspaces("in", "acc")
+        ws["c"] = self.out_dtype.name
+        return self._int_ir(("flat",), "flat", ws)
 
 
 class IntConvStep(Step, _IntGemmMixin):
@@ -1044,6 +1290,26 @@ class IntConvStep(Step, _IntGemmMixin):
                 f"+ {tail} :: int-gemm[{self._gemm_label()}] → {self.out_dtype.name}"
                 f" [batch-last im2col ×{self._BLOCK}]")
 
+    def summarize(self) -> StepIR:
+        """Declared IR: fused batch-last conv, including its copy program.
+
+        The cached im2col ``(dst, src)`` view pairs are exposed as
+        :class:`ViewIR` byte extents so the verifier can prove the replay
+        copies alias-free (PL602) without re-deriving the tap geometry.
+        """
+        ws = self._int_workspaces("src", "cols", "acc", "pmid", "pacc")
+        ws["out"] = self.out_dtype.name
+        ir = self._int_ir((self.layout_in,), self.layout_out, ws)
+        if self.pool_k is not None:
+            ir.fused_pool = (self.pool_k, self.pool_s)
+        if self._program is not None:
+            ir.copy_views = [
+                (_view_ir(dst), _view_ir(src))
+                for _, _, _, _, pairs in self._program[3]
+                for dst, src in pairs
+            ]
+        return ir
+
 
 class IntLinearStep(Step, _IntGemmMixin):
     """Integer fast-path linear with the fused (multiply or shift) epilogue."""
@@ -1080,6 +1346,12 @@ class IntLinearStep(Step, _IntGemmMixin):
         return (f"linear({m.in_features}→{m.out_features}) + {tail} "
                 f":: int-gemm[{self._gemm_label()}] → {self.out_dtype.name}")
 
+    def summarize(self) -> StepIR:
+        """Declared IR: flat integer linear with multiply/shift epilogue."""
+        ws = self._int_workspaces("in", "acc")
+        ws["c"] = self.out_dtype.name
+        return self._int_ir(("flat",), "flat", ws)
+
 
 class SpikingConvStep(Step):
     """Analog-crossbar conv; reads the live ``CrossbarArray`` every run so
@@ -1111,6 +1383,13 @@ class SpikingConvStep(Step):
         return (f"spiking-conv2d({m.in_channels}→{m.out_channels}, k={m.kernel_size}) "
                 f"+ {tail} :: analog/f64")
 
+    def summarize(self) -> StepIR:
+        """Declared IR: batch-major analog conv on float64 values."""
+        return StepIR(self.index, self.kind, self.describe(),
+                      layouts_in=("batch",), layout_out="batch",
+                      out_dtype="float64",
+                      workspaces={"pad": None, "cols": "float64", "nchw": "float64"})
+
 
 class SpikingLinearStep(Step):
     kind = "spiking-linear"
@@ -1140,6 +1419,12 @@ class SpikingLinearStep(Step):
         tail = "none" if self.act is None else self.act.describe()
         return (f"spiking-linear({m.in_features}→{m.out_features}) "
                 f"+ {tail} :: analog/f64")
+
+    def summarize(self) -> StepIR:
+        """Declared IR: flat analog linear on float64 values."""
+        return StepIR(self.index, self.kind, self.describe(),
+                      layouts_in=("flat",), layout_out="flat",
+                      out_dtype="float64", workspaces={"": "float64"})
 
 
 class MaxPoolStep(Step):
@@ -1175,6 +1460,12 @@ class MaxPoolStep(Step):
     def describe(self) -> str:
         return f"maxpool(k={self.kernel}, s={self.stride})"
 
+    def summarize(self) -> StepIR:
+        """Declared IR: pools trailing axes — spatial-last layouts only."""
+        return StepIR(self.index, self.kind, self.describe(),
+                      layouts_in=("batch", "cmajor"), rep_passthrough=True,
+                      workspaces={"": None})
+
 
 class AvgPoolStep(Step):
     kind = "avgpool"
@@ -1199,6 +1490,12 @@ class AvgPoolStep(Step):
     def describe(self) -> str:
         return f"avgpool(k={self.kernel}, s={self.stride})"
 
+    def summarize(self) -> StepIR:
+        """Declared IR: batch-major average pooling on float values."""
+        return StepIR(self.index, self.kind, self.describe(),
+                      layouts_in=("batch",), layout_out="batch",
+                      out_dtype=self.dtype.name, workspaces={"": self.dtype.name})
+
 
 class GlobalAvgPoolStep(Step):
     kind = "gap"
@@ -1211,6 +1508,12 @@ class GlobalAvgPoolStep(Step):
         out = pool.get(self.index, x.shape[:2], self.dtype)
         np.mean(x, axis=(2, 3), out=out)
         return out
+
+    def summarize(self) -> StepIR:
+        """Declared IR: batch-major in, flat (B, C) out."""
+        return StepIR(self.index, self.kind, self.describe(),
+                      layouts_in=("batch",), layout_out="flat",
+                      out_dtype=self.dtype.name, workspaces={"": self.dtype.name})
 
 
 class BatchNormEvalStep(Step):
@@ -1234,6 +1537,11 @@ class BatchNormEvalStep(Step):
         buf += m.beta.data.reshape(shape)
         return buf
 
+    def summarize(self) -> StepIR:
+        """Declared IR: per-channel affine, layout preserved."""
+        return StepIR(self.index, self.kind, self.describe(),
+                      out_dtype=self.dtype.name, workspaces={"": self.dtype.name})
+
 
 class ChannelMajorToBatchStep(Step):
     """Restore batch-last ``(C, H, W, B)`` (fused int conv) or channel-major
@@ -1256,6 +1564,12 @@ class ChannelMajorToBatchStep(Step):
         np.copyto(out, x.transpose(1, 0, 2, 3))
         return out
 
+    def summarize(self) -> StepIR:
+        """Declared IR: restores the declared source layout to batch-major."""
+        return StepIR(self.index, self.kind, self.describe(),
+                      layouts_in=(self.layout,), layout_out="batch",
+                      rep_passthrough=True, workspaces={"": None})
+
 
 class FlattenStep(Step):
     kind = "flatten"
@@ -1276,6 +1590,12 @@ class FlattenStep(Step):
             np.copyto(out.reshape(b, c, *x.shape[2:]), np.moveaxis(x, 0, 1))
             return out
         return np.ascontiguousarray(x).reshape(x.shape[0], -1)
+
+    def summarize(self) -> StepIR:
+        """Declared IR: flattens the declared source layout to (B, features)."""
+        return StepIR(self.index, self.kind, self.describe(),
+                      layouts_in=(self.layout,), layout_out="flat",
+                      rep_passthrough=True, workspaces={"": None})
 
 
 # ---------------------------------------------------------------------------
@@ -1357,11 +1677,14 @@ class ExecutionPlan:
     """A compiled flat program: ordered steps + their buffer pool."""
 
     def __init__(self, steps: Sequence[Step], pool: BufferPool, chain: Sequence[Module],
-                 dtype, int_steps: int) -> None:
+                 dtype, int_steps: int, int_path: str = "auto",
+                 int_kernels: str = "fused") -> None:
         self.steps = list(steps)
         self.pool = pool
         self.dtype = np.dtype(dtype)
         self.int_steps = int_steps
+        self.int_path = int_path
+        self.int_kernels = int_kernels
         self._chain = list(chain)
         self._structure_sig = _structure_signature(self._chain)
         # Byte snapshots: staleness is checked on every engine run, and a
@@ -1440,6 +1763,26 @@ class ExecutionPlan:
             if b_bytes is not None and module.bias.data.tobytes() != b_bytes:
                 return True
         return False
+
+    def summarize(self) -> PlanIR:
+        """The plan's declared IR: per-step contracts plus the traced pool.
+
+        This is the surface :mod:`repro.check.plancheck` verifies.  Steps
+        declare layouts, counts windows, GEMM geometry, workspace keys and
+        copy-program views; the pool reports what tracing actually
+        allocated — so the verifier can cross-examine declaration against
+        reality without reaching into private step state.
+        """
+        buffers = []
+        for key, shape, dtype, buf in self.pool.entries():
+            owner, tag = _pool_key_owner(key)
+            buffers.append(BufferIR(owner=owner, tag=tag, shape=shape,
+                                    dtype=dtype.name, base=id(_base_array(buf)),
+                                    nbytes=buf.nbytes))
+        return PlanIR(steps=[step.summarize() for step in self.steps],
+                      buffers=buffers, dtype=self.dtype.name,
+                      int_steps=self.int_steps, int_path=self.int_path,
+                      int_kernels=self.int_kernels)
 
     def describe(self) -> str:
         lines = [
@@ -1630,7 +1973,9 @@ def compile_plan(module: Module, sample: np.ndarray, config) -> ExecutionPlan:
     restore_batch_major()
     if rep is not None:
         steps.append(DequantStep(index, rep, dtype))
-    plan = ExecutionPlan(steps, pool, chain, dtype, int_steps)
+    plan = ExecutionPlan(steps, pool, chain, dtype, int_steps,
+                         int_path=("off" if not int_mode else config.int_path),
+                         int_kernels=int_kernels)
 
     if config.verify_on_trace:
         got = plan.run(np.asarray(sample, dtype=np.float64))

@@ -322,24 +322,28 @@ class ReplicaPool:
                 "serve_compute_slots",
                 help="Replicas allowed to execute concurrently",
             ).set(self.compute_slots)
+        # Guards the start/close lifecycle state below.  Worker threads
+        # never take it, so joining them while holding it cannot deadlock.
+        self._lifecycle_lock = threading.Lock()
         self._threads: List[threading.Thread] = []
         self._started = False
 
     # -- lifecycle ----------------------------------------------------------
     def start(self) -> None:
         """Spawn one daemon worker thread per replica (idempotent)."""
-        if self._started:
-            return
-        self._started = True
-        for replica in self.replicas:
-            thread = threading.Thread(
-                target=self._worker_loop,
-                args=(replica,),
-                name=f"repro-serve-replica-{replica.index}",
-                daemon=True,
-            )
-            self._threads.append(thread)
-            thread.start()
+        with self._lifecycle_lock:
+            if self._started:
+                return
+            self._started = True
+            for replica in self.replicas:
+                thread = threading.Thread(
+                    target=self._worker_loop,
+                    args=(replica,),
+                    name=f"repro-serve-replica-{replica.index}",
+                    daemon=True,
+                )
+                self._threads.append(thread)
+                thread.start()
 
     def warmup(self, sample: np.ndarray) -> None:
         """Trace every replica's plan before serving traffic."""
@@ -372,10 +376,11 @@ class ReplicaPool:
                     ServerClosed("server closed without draining")
                 )
         queue.close()
-        for thread in self._threads:
-            thread.join(timeout)
-        self._threads = []
-        self._started = False
+        with self._lifecycle_lock:
+            for thread in self._threads:
+                thread.join(timeout)
+            self._threads = []
+            self._started = False
 
     # -- observability ------------------------------------------------------
     def stats(self) -> PoolStats:

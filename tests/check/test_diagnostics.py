@@ -93,7 +93,13 @@ class TestRuleCatalogue:
         assert SEVERITIES == ("error", "warning", "info")
 
     def test_rule_ids_follow_convention(self):
-        assert all(len(rule) == 5 and rule[0] == "Q" for rule in RULES)
+        # Q*-prefixed rules verify module graphs; PL-prefixed rules verify
+        # compiled plan IR (repro.check.plancheck).
+        assert all(
+            len(rule) == 5 and (rule[0] == "Q" or rule.startswith("PL"))
+            for rule in RULES
+        )
+        assert any(rule.startswith("PL6") for rule in RULES)
 
     def test_docs_cover_every_rule(self, repo_root):
         doc = (repo_root / "docs" / "static_analysis.md").read_text()

@@ -1,0 +1,211 @@
+"""Tests for the static plan verifier (repro.check.plancheck).
+
+Covers the clean pass on real traced plans (all three integer variants),
+one seeded defect per PL6xx rule — each must be rejected with *that*
+rule id — the soundness of the PL601 accumulator bound against concrete
+worst-case data, and the engine's refuse-or-fallback post-trace gate.
+"""
+
+import numpy as np
+import pytest
+
+from repro.check import CheckReport, PlanCheckConfig, accumulator_bound, check_plan
+from repro.core.deployment import DeploymentConfig, deploy_model
+from repro.datasets.mnist_like import generate_mnist_like
+from repro.models import LeNet
+from repro.runtime.engine import EngineConfig, InferenceEngine
+
+hypothesis = pytest.importorskip("hypothesis")
+from hypothesis import given, settings, strategies as st  # noqa: E402
+
+
+@pytest.fixture(scope="module")
+def images():
+    return generate_mnist_like(48, seed=0).images
+
+
+@pytest.fixture(scope="module")
+def deployed_lenet(images):
+    model = LeNet(rng=np.random.default_rng(0))
+    model.eval()
+    deployed, _ = deploy_model(
+        model,
+        DeploymentConfig(signal_bits=4, weight_bits=4, input_bits=8),
+        images[:32],
+    )
+    return deployed
+
+
+def _traced_engine(deployed, images, **overrides):
+    """An engine with a freshly traced plan (plan gate off: tests seed
+    defects into the plan afterwards and run the verifier directly)."""
+    engine = InferenceEngine(deployed, EngineConfig(plan_check=False, **overrides))
+    engine.run(images[:8])
+    assert engine.plan is not None
+    return engine
+
+
+def _int_conv_steps(plan):
+    return [step for step in plan.steps if hasattr(step, "codes_t")
+            and step.kind == "conv2d-int"]
+
+
+class TestCleanPlans:
+    @pytest.mark.parametrize("overrides", [
+        {"int_path": "auto", "int_kernels": "fused"},
+        {"int_path": "shift", "int_kernels": "fused"},
+        {"int_path": "auto", "int_kernels": "legacy"},
+    ], ids=["int", "shift", "legacy"])
+    def test_traced_lenet_plan_verifies(self, deployed_lenet, images, overrides):
+        engine = _traced_engine(deployed_lenet, images, **overrides)
+        report = check_plan(engine.plan)
+        assert report.ok and len(report) == 0, report.summary()
+
+    def test_float_plan_verifies(self, deployed_lenet, images):
+        engine = _traced_engine(deployed_lenet, images,
+                                int_path="off", dtype=np.float64)
+        report = check_plan(engine.plan)
+        assert report.ok and len(report) == 0, report.summary()
+
+    def test_suppression_config(self, deployed_lenet, images):
+        engine = _traced_engine(deployed_lenet, images)
+        step = _int_conv_steps(engine.plan)[0]
+        step.codes_t = step.codes_t * 4096.0
+        report = check_plan(engine.plan, config=PlanCheckConfig(suppress=("PL601",)))
+        assert report.by_rule("PL601") == []
+
+
+class TestSeededDefects:
+    def test_oversized_codes_fire_pl601(self, deployed_lenet, images):
+        engine = _traced_engine(deployed_lenet, images)
+        step = _int_conv_steps(engine.plan)[0]
+        # Inflate the codebook until the worst-case accumulator no longer
+        # fits the float32 carrier's exact-integer window.
+        step.codes_t = step.codes_t * 4096.0
+        report = check_plan(engine.plan)
+        assert report.has_errors
+        assert report.by_rule("PL601"), report.summary()
+
+    def test_aliasing_copy_program_fires_pl602(self, deployed_lenet, images):
+        engine = _traced_engine(deployed_lenet, images)
+        step = next(s for s in _int_conv_steps(engine.plan)
+                    if getattr(s, "_program", None) is not None)
+        sbuf, cols, tcols, blocks = step._program
+        s0, s1, cbuf, bview, pairs = blocks[0]
+        dst, _src = pairs[0]
+        corrupt = [(s0, s1, cbuf, bview, [(dst, dst)])] + list(blocks[1:])
+        step._program = (sbuf, cols, tcols, corrupt)
+        report = check_plan(engine.plan)
+        assert report.by_rule("PL602"), report.summary()
+
+    def test_shared_pooled_buffer_fires_pl602(self, deployed_lenet, images):
+        engine = _traced_engine(deployed_lenet, images)
+        plan = engine.plan
+        convs = _int_conv_steps(plan)
+        assert len(convs) >= 2
+        donor, thief = convs[0], convs[1]
+        buf = next(b for (key, shape, dtype, b) in plan.pool.entries()
+                   if key == (donor.index, "src"))
+        plan.pool._buffers[((thief.index, "src"), buf.shape, buf.dtype)] = buf
+        report = check_plan(plan)
+        assert report.by_rule("PL602"), report.summary()
+
+    def test_dtype_lie_fires_pl603(self, deployed_lenet, images):
+        engine = _traced_engine(deployed_lenet, images)
+        step = _int_conv_steps(engine.plan)[0]
+        # Claim float64 workspaces while the pooled buffers stay float32.
+        step.carrier = np.dtype(np.float64)
+        report = check_plan(engine.plan)
+        assert report.by_rule("PL603"), report.summary()
+
+    def test_off_grid_scale_fires_pl604(self, deployed_lenet, images):
+        engine = _traced_engine(deployed_lenet, images, int_path="shift")
+        step = _int_conv_steps(engine.plan)[0]
+        step.q_scale = step.q_scale * 1.5
+        report = check_plan(engine.plan)
+        assert report.by_rule("PL604"), report.summary()
+
+    def test_rogue_pool_entry_fires_pl605(self, deployed_lenet, images):
+        engine = _traced_engine(deployed_lenet, images)
+        plan = engine.plan
+        plan.pool._buffers[((99, "rogue"), (4,), np.dtype(np.float64))] = (
+            np.empty(4)
+        )
+        report = check_plan(plan)
+        assert report.by_rule("PL605"), report.summary()
+
+    def test_undeclared_workspace_tag_fires_pl605(self, deployed_lenet, images):
+        engine = _traced_engine(deployed_lenet, images)
+        plan = engine.plan
+        step = _int_conv_steps(plan)[0]
+        plan.pool._buffers[((step.index, "bogus"), (4,), np.dtype(np.float32))] = (
+            np.empty(4, dtype=np.float32)
+        )
+        report = check_plan(plan)
+        assert report.by_rule("PL605"), report.summary()
+
+
+class TestAccumulatorBoundSoundness:
+    @given(
+        seed=st.integers(0, 2**32 - 1),
+        k=st.integers(1, 64),
+        oc=st.integers(1, 8),
+        bits=st.integers(2, 8),
+        m=st.integers(1, 6),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_concrete_accumulator_never_exceeds_bound(self, seed, k, oc, bits, m):
+        # The proved bound must dominate |x @ codes.T| for every integer
+        # input in [0, top] — sample adversarially dense random instances.
+        rng = np.random.default_rng(seed)
+        half = 2 ** (bits - 1)
+        codes = rng.integers(-half, half + 1, size=(oc, k)).astype(np.float64)
+        top = 2 ** m - 1
+        bound = accumulator_bound(codes, top)
+        x = rng.integers(0, top + 1, size=(32, k)).astype(np.float64)
+        assert np.abs(x @ codes.T).max(initial=0.0) <= bound + 1e-9
+        # Tightness: feeding top where a code row is positive and zero
+        # elsewhere attains the positive half of the proved bound.
+        attained = max(
+            (float((np.where(codes[i] > 0, top, 0.0) * codes[i]).sum())
+             for i in range(oc)),
+            default=0.0,
+        )
+        assert attained <= bound + 1e-9
+
+
+class TestEnginePlanGate:
+    def test_rejected_plan_falls_back_to_graph(self, deployed_lenet, images,
+                                               monkeypatch):
+        import repro.check.plancheck as plancheck
+
+        def rejecting_check_plan(plan, config=None, target=None):
+            report = CheckReport(target or "seeded")
+            report.add("PL601", "error", "step0:int_conv", "seeded overflow")
+            return report
+
+        monkeypatch.setattr(plancheck, "check_plan", rejecting_check_plan)
+        engine = InferenceEngine(deployed_lenet)
+        out = engine.run(images[:6])
+        assert engine.active_backend == "graph"
+        assert engine.plan is None
+        assert engine.stats.plancheck_errors == 1
+        assert engine.plan_report is not None and engine.plan_report.has_errors
+        assert engine.runtime_stats()["plancheck_errors"] == 1
+        # The request is still served — from the graph executor.
+        clean = InferenceEngine(deployed_lenet, EngineConfig(plan_check=False))
+        np.testing.assert_array_equal(out, clean._graph_run(images[:6]))
+
+    def test_clean_plan_passes_gate(self, deployed_lenet, images):
+        engine = InferenceEngine(deployed_lenet)
+        engine.run(images[:6])
+        assert engine.active_backend == "int"
+        assert engine.plan_report is not None and engine.plan_report.ok
+        assert engine.stats.plancheck_errors == 0
+        assert "plancheck_errors" not in engine.runtime_stats()
+
+    def test_gate_can_be_disabled(self, deployed_lenet, images):
+        engine = InferenceEngine(deployed_lenet, EngineConfig(plan_check=False))
+        engine.run(images[:6])
+        assert engine.plan is not None
+        assert engine.plan_report is None

@@ -85,6 +85,32 @@ class TestAtomicSave:
         load_state(fresh, path)
         np.testing.assert_allclose(fresh.weight.data, model.weight.data)
 
+    def test_saved_state_honors_umask(self, tmp_path, rng):
+        # mkstemp creates 0600 temp files regardless of umask; the published
+        # archive must carry the permissions a plain open() would have given.
+        import stat
+
+        model = nn.Linear(2, 2, rng=rng)
+        path = str(tmp_path / "model.npz")
+        old = os.umask(0o022)
+        try:
+            save_state(model, path)
+        finally:
+            os.umask(old)
+        assert stat.S_IMODE(os.stat(path).st_mode) == 0o644
+
+    def test_saved_state_respects_strict_umask(self, tmp_path, rng):
+        import stat
+
+        model = nn.Linear(2, 2, rng=rng)
+        path = str(tmp_path / "model.npz")
+        old = os.umask(0o027)
+        try:
+            save_state(model, path)
+        finally:
+            os.umask(old)
+        assert stat.S_IMODE(os.stat(path).st_mode) == 0o640
+
 
 class TestLoadErrors:
     def test_load_tolerates_appended_suffix(self, tmp_path, rng):
@@ -202,6 +228,19 @@ class TestBlobs:
 
         save_blob(str(tmp_path / "value.blob"), {"k": 1})
         assert sorted(os.listdir(tmp_path)) == ["value.blob"]
+
+    def test_blob_honors_umask(self, tmp_path):
+        import stat
+
+        from repro.nn.serialization import save_blob
+
+        path = tmp_path / "value.blob"
+        old = os.umask(0o022)
+        try:
+            save_blob(str(path), {"k": 1})
+        finally:
+            os.umask(old)
+        assert stat.S_IMODE(os.stat(path).st_mode) == 0o644
 
     def test_atomic_write_text_replaces_existing(self, tmp_path):
         from repro.nn.serialization import atomic_write_text

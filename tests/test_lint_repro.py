@@ -468,3 +468,140 @@ class TestFlowClockCoverage:
                 return clock()
         """)
         assert lint_repro.lint_paths([f]) == []
+
+
+class TestLockDisciplineRule:
+    def test_unlocked_assignment_is_rl007(self, tmp_path):
+        f = _write(tmp_path / "runtime" / "guard.py", """
+            class Guard:
+                def infer(self):
+                    self.counters = {}
+        """)
+        findings = lint_repro.lint_paths([f])
+        assert _rules(findings) == ["RL007"]
+        assert "_lock" in findings[0].message
+
+    def test_locked_mutation_is_clean(self, tmp_path):
+        f = _write(tmp_path / "runtime" / "guard.py", """
+            class Guard:
+                def infer(self):
+                    with self._lock:
+                        self.counters = {}
+                        self.health_log.append(1)
+        """)
+        assert lint_repro.lint_paths([f]) == []
+
+    def test_unlocked_mutator_call_is_rl007(self, tmp_path):
+        f = _write(tmp_path / "runtime" / "guard.py", """
+            class Guard:
+                def record(self):
+                    self.health_log.append(1)
+        """)
+        assert _rules(lint_repro.lint_paths([f])) == ["RL007"]
+
+    def test_unlocked_augmented_assignment_is_rl007(self, tmp_path):
+        f = _write(tmp_path / "runtime" / "guard.py", """
+            class Guard:
+                def bump(self):
+                    self.counters.requests_total += 1
+        """)
+        assert _rules(lint_repro.lint_paths([f])) == ["RL007"]
+
+    def test_mutation_in_branch_under_lock_is_clean(self, tmp_path):
+        f = _write(tmp_path / "runtime" / "guard.py", """
+            class Guard:
+                def infer(self):
+                    with self._lock:
+                        if self.ready:
+                            self.last_report = None
+        """)
+        assert lint_repro.lint_paths([f]) == []
+
+    def test_mutation_in_branch_outside_lock_is_rl007(self, tmp_path):
+        f = _write(tmp_path / "runtime" / "guard.py", """
+            class Guard:
+                def infer(self):
+                    if self.ready:
+                        self.last_report = None
+        """)
+        assert _rules(lint_repro.lint_paths([f])) == ["RL007"]
+
+    def test_init_is_exempt(self, tmp_path):
+        f = _write(tmp_path / "runtime" / "guard.py", """
+            class Guard:
+                def __init__(self):
+                    self.counters = {}
+                    self.health_log = []
+        """)
+        assert lint_repro.lint_paths([f]) == []
+
+    def test_locked_suffix_helper_is_exempt(self, tmp_path):
+        f = _write(tmp_path / "runtime" / "guard.py", """
+            class Guard:
+                def _serve_locked(self):
+                    self.counters.requests_software += 1
+        """)
+        assert lint_repro.lint_paths([f]) == []
+
+    def test_wrong_lock_does_not_satisfy_contract(self, tmp_path):
+        f = _write(tmp_path / "runtime" / "guard.py", """
+            class Guard:
+                def infer(self):
+                    with self._other_lock:
+                        self.counters = {}
+        """)
+        assert _rules(lint_repro.lint_paths([f])) == ["RL007"]
+
+    def test_unrelated_attribute_is_clean(self, tmp_path):
+        f = _write(tmp_path / "runtime" / "guard.py", """
+            class Guard:
+                def configure(self):
+                    self.config = {}
+        """)
+        assert lint_repro.lint_paths([f]) == []
+
+    def test_pool_contract_unlocked_threads_is_rl007(self, tmp_path):
+        f = _write(tmp_path / "serve" / "pool.py", """
+            class Pool:
+                max_workers = 4
+
+                def close(self):
+                    self._threads = []
+                    self._started = False
+        """)
+        assert _rules(lint_repro.lint_paths([f])) == ["RL007", "RL007"]
+
+    def test_pool_contract_locked_lifecycle_is_clean(self, tmp_path):
+        f = _write(tmp_path / "serve" / "pool.py", """
+            class Pool:
+                max_workers = 4
+
+                def close(self):
+                    with self._lifecycle_lock:
+                        self._threads = []
+                        self._started = False
+        """)
+        assert lint_repro.lint_paths([f]) == []
+
+    def test_rule_only_applies_to_contract_files(self, tmp_path):
+        f = _write(tmp_path / "runtime" / "engine.py", """
+            class Engine:
+                def run(self):
+                    self.counters = {}
+        """)
+        assert lint_repro.lint_paths([f]) == []
+
+    def test_suppression_comment_works(self, tmp_path):
+        f = _write(tmp_path / "runtime" / "guard.py", """
+            class Guard:
+                def infer(self):
+                    self.counters = {}  # lint: ignore[RL007]
+        """)
+        assert lint_repro.lint_paths([f]) == []
+
+    def test_actual_contract_files_are_clean(self):
+        src = Path(__file__).resolve().parents[1] / "src" / "repro"
+        targets = [src / "runtime" / "guard.py", src / "serve" / "pool.py"]
+        findings = [f for f in lint_repro.lint_paths(targets)
+                    if f.rule == "RL007"]
+        assert findings == []

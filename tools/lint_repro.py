@@ -44,6 +44,15 @@ Rules
     unobservable — exactly what the failsink/telemetry machinery exists
     to prevent.  Handlers must name the exceptions they can recover from
     and record, re-raise, or transform what they catch.
+``RL007`` — lock discipline for the concurrency-critical classes in
+    ``runtime/guard.py`` and ``serve/pool.py``.  Each file declares a
+    contract (lock attribute + the shared attributes it protects) in
+    ``LOCK_CONTRACTS``; any method that assigns one of those attributes,
+    or calls a mutating container method on one (``append``/``update``/
+    ``pop``…), must do so lexically inside ``with self.<lock>``.
+    ``__init__`` is exempt (no concurrent callers exist yet), as are
+    methods whose name ends in ``_locked`` — the naming convention for
+    helpers documented as callable only with the lock already held.
 
 Suppress a finding by appending ``# lint: ignore[RL002]`` to the
 offending line.
@@ -90,7 +99,24 @@ RULES = {
     "RL004": "unbounded queue or buffer inside the serving layer (repro/serve/)",
     "RL005": "direct time.* clock call in an obs-instrumented hot path",
     "RL006": "bare except or silently swallowed exception in a robustness-critical layer",
+    "RL007": "shared attribute mutated outside its declared lock",
 }
+
+#: RL007 contracts: file suffix → (lock attribute, shared attributes that
+#: must only be mutated while lexically inside ``with self.<lock>``).
+LOCK_CONTRACTS = {
+    "runtime/guard.py": ("_lock", frozenset({
+        "counters", "health_log", "last_report", "_requests_since_probe",
+    })),
+    "serve/pool.py": ("_lifecycle_lock", frozenset({"_threads", "_started"})),
+}
+
+#: container methods that mutate their receiver (RL007 flags
+#: ``self.<shared>.<mutator>(...)`` outside the lock).
+MUTATORS = frozenset({
+    "append", "appendleft", "extend", "add", "insert", "remove", "discard",
+    "pop", "popleft", "popitem", "clear", "update", "setdefault", "sort",
+})
 
 #: directories where RL006 applies: layers whose whole point is making
 #: failures visible and recoverable.
@@ -453,6 +479,101 @@ def check_exception_hygiene(path: Path, tree: ast.Module) -> Iterator[Finding]:
             )
 
 
+def _locks_in_with(node: ast.With, lock: str) -> bool:
+    """Whether one of the ``with`` items acquires ``self.…<lock>``."""
+    for item in node.items:
+        chain = _attr_chain(item.context_expr)
+        if chain is not None and chain[0] == "self" and chain[-1] == lock:
+            return True
+    return False
+
+
+def _flatten_targets(targets: Sequence[ast.AST]) -> Iterator[ast.AST]:
+    for target in targets:
+        if isinstance(target, (ast.Tuple, ast.List)):
+            yield from _flatten_targets(target.elts)
+        else:
+            yield target
+
+
+def _unlocked_mutations(path: Path, stmt: ast.stmt, lock: str,
+                        attrs: frozenset) -> Iterator[Finding]:
+    """RL007 findings for one simple statement outside the lock."""
+    if isinstance(stmt, (ast.Assign, ast.AugAssign, ast.AnnAssign)):
+        targets = stmt.targets if isinstance(stmt, ast.Assign) else [stmt.target]
+        for target in _flatten_targets(targets):
+            chain = _attr_chain(target)
+            if (
+                chain is not None
+                and len(chain) >= 2
+                and chain[0] == "self"
+                and chain[1] in attrs
+            ):
+                yield Finding(
+                    path, stmt.lineno, "RL007",
+                    f"self.{'.'.join(chain[1:])} is assigned outside "
+                    f"`with self.{lock}`; shared state must be mutated under "
+                    "its declared lock (or from a *_locked helper)",
+                )
+    elif isinstance(stmt, ast.Expr) and isinstance(stmt.value, ast.Call):
+        chain = _attr_chain(stmt.value.func)
+        if (
+            chain is not None
+            and len(chain) >= 3
+            and chain[0] == "self"
+            and chain[1] in attrs
+            and chain[-1] in MUTATORS
+        ):
+            yield Finding(
+                path, stmt.lineno, "RL007",
+                f"self.{'.'.join(chain[1:])}() mutates shared state outside "
+                f"`with self.{lock}`; acquire the lock first (or move this "
+                "into a *_locked helper)",
+            )
+
+
+def _walk_lock_scope(path: Path, stmts: Sequence[ast.stmt], lock: str,
+                     attrs: frozenset, guarded: bool) -> Iterator[Finding]:
+    """Walk statements tracking whether the contract lock is lexically held."""
+    for stmt in stmts:
+        if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+            continue  # nested defs run later, under their own discipline
+        if isinstance(stmt, (ast.With, ast.AsyncWith)):
+            inner = guarded or _locks_in_with(stmt, lock)
+            yield from _walk_lock_scope(path, stmt.body, lock, attrs, inner)
+            continue
+        if not guarded:
+            yield from _unlocked_mutations(path, stmt, lock, attrs)
+        for field in ("body", "orelse", "finalbody"):
+            children = getattr(stmt, field, None)
+            if children:
+                yield from _walk_lock_scope(path, children, lock, attrs, guarded)
+        for handler in getattr(stmt, "handlers", ()) or ():
+            yield from _walk_lock_scope(path, handler.body, lock, attrs, guarded)
+
+
+def check_lock_discipline(path: Path, tree: ast.Module) -> Iterator[Finding]:
+    """RL007: contract-listed shared attributes mutated outside their lock."""
+    posix = path.as_posix()
+    contract = next(
+        (spec for suffix, spec in LOCK_CONTRACTS.items()
+         if posix.endswith(suffix)),
+        None,
+    )
+    if contract is None:
+        return
+    lock, attrs = contract
+    for cls in tree.body:
+        if not isinstance(cls, ast.ClassDef):
+            continue
+        for fn in cls.body:
+            if not isinstance(fn, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            if fn.name == "__init__" or fn.name.endswith("_locked"):
+                continue
+            yield from _walk_lock_scope(path, fn.body, lock, attrs, False)
+
+
 def lint_paths(paths: Sequence[Path]) -> List[Finding]:
     """Lint every ``.py`` file under the given paths; return the findings."""
     files: List[Path] = []
@@ -485,6 +606,7 @@ def lint_paths(paths: Sequence[Path]) -> List[Finding]:
             *check_bounded_queues(file, tree),
             *check_injected_clocks(file, tree),
             *check_exception_hygiene(file, tree),
+            *check_lock_discipline(file, tree),
         ):
             if finding.rule not in ignores.get(finding.line, ()):
                 findings.append(finding)
