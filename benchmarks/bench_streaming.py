@@ -1,0 +1,119 @@
+"""Benchmarks of the event-driven streaming path (``repro.serve.stream``).
+
+Offers deterministic event-stream traffic (procedural DVS-gesture-like
+streams, seeded through ``snc/seeding``) to a
+:class:`~repro.serve.stream.StreamingServer` over quantized LeNet and
+records sustained windows/s plus whole-session p50/p99 latency in
+``BENCH_PR9.json``.
+
+Headline assertions (run even under ``--benchmark-disable`` so the CI
+smoke job exercises them):
+
+* session-served per-window logits are **bit-exact** against a direct
+  :func:`~repro.snc.temporal.replay_frames` of the same stream with the
+  canonical window grouping, and
+* the simulated SNC pipeline keeps up with the configured stride
+  (no QT703 real-time violation at the paper's speed profile).
+"""
+
+import numpy as np
+import pytest
+
+from benchmarks.perf_report import record
+from repro.check import check_temporal
+from repro.datasets.event_stream import generate_event_streams
+from repro.models import LeNet
+from repro.models.specs import lenet_spec
+from repro.serve.loadgen import StreamLoadConfig, run_stream_load
+from repro.serve.stream import StreamConfig, StreamingServer
+from repro.snc.system import SpikingSystemConfig, build_spiking_system
+from repro.snc.temporal import (
+    TemporalConfig,
+    replay_frames,
+    stream_timing,
+    stream_to_frames,
+)
+
+REPORT = "BENCH_PR9.json"
+SIGNAL_BITS = 4
+TEMPORAL = TemporalConfig(signal_bits=SIGNAL_BITS, batch_windows=4)
+
+LOAD = StreamLoadConfig(clients=4, streams_per_client=6, seed=0)
+
+
+@pytest.fixture(scope="module")
+def streams():
+    return generate_event_streams(8, seed=11).streams
+
+
+@pytest.fixture(scope="module")
+def system(streams):
+    model = LeNet(width_multiplier=0.5, rng=np.random.default_rng(3))
+    config = SpikingSystemConfig(
+        signal_bits=SIGNAL_BITS, weight_bits=4, input_bits=SIGNAL_BITS,
+        signal_gain="auto",
+    )
+    return build_spiking_system(
+        model, config, stream_to_frames(streams[0], TEMPORAL)
+    )
+
+
+def test_streaming_throughput(system):
+    """Sustained windows/s and session latency under concurrent sessions."""
+    for workers in (1, 2, 4):
+        with StreamingServer.for_system(
+            system, StreamConfig(temporal=TEMPORAL), workers=workers
+        ) as streaming:
+            report = run_stream_load(streaming, LOAD)
+            stats = streaming.stats()
+        assert report.streams_failed == 0
+        assert report.streams_ok == LOAD.clients * LOAD.streams_per_client
+        payload = report.to_dict()
+        payload.pop("stream_log")  # provenance, not a measurement
+        payload["workers"] = workers
+        payload["windows_served_stat"] = stats["windows_served"]
+        record("streaming", f"sessions_{workers}w", payload, report=REPORT)
+
+
+def test_sessions_bit_exact_vs_direct_replay(system, streams):
+    """The PR-9 determinism bar: sessions ≡ direct engine replay."""
+    engine = system.engine()
+    with StreamingServer.for_system(
+        system, StreamConfig(temporal=TEMPORAL), workers=2
+    ) as streaming:
+        exact = True
+        windows = 0
+        for stream in streams:
+            result = streaming.serve_stream(stream)
+            expected = replay_frames(
+                engine, stream_to_frames(stream, TEMPORAL),
+                TEMPORAL.batch_windows,
+            )
+            windows += result.total_windows
+            exact = exact and np.array_equal(result.per_window_logits, expected)
+    record("streaming", "determinism", {
+        "streams": len(streams),
+        "windows": windows,
+        "batch_windows": TEMPORAL.batch_windows,
+        "bit_exact_vs_replay_frames": bool(exact),
+    }, report=REPORT)
+    assert exact
+
+
+def test_simulated_pipeline_keeps_up(streams):
+    """The SNC pipeline must sustain the stride (QT703 clean) — and the
+    simulated hardware windows/s goes in the report for context."""
+    timing = stream_timing(lenet_spec(), TEMPORAL, total_windows=64)
+    report = check_temporal(
+        TEMPORAL.window_us, TEMPORAL.stride_us, TEMPORAL.signal_bits,
+        streams=streams, spec=lenet_spec(),
+    )
+    record("streaming", "simulated_pipeline", {
+        "windows_per_second": timing.windows_per_second,
+        "first_window_us": timing.first_window_us,
+        "sustainable_stride_us": timing.keeps_up_with,
+        "stride_us": TEMPORAL.stride_us,
+        "qt_errors": len(report.errors),
+        "qt_warnings": len(report.warnings),
+    }, report=REPORT)
+    assert not report.by_rule("QT703"), report.summary()

@@ -33,6 +33,7 @@ from repro.check.plancheck import (
 )
 from repro.check.rules import CheckConfig, check_module, evaluate_rules
 from repro.check.specs import check_spec
+from repro.check.temporal import check_temporal
 
 __all__ = [
     "AbstractSignal",
@@ -50,6 +51,7 @@ __all__ = [
     "check_plan",
     "check_plan_ir",
     "check_spec",
+    "check_temporal",
     "evaluate_rules",
     "structural_facts",
 ]

@@ -56,6 +56,15 @@ RULES: Dict[str, str] = {
     "PL603": "step boundary breaks a layout, counts-window, or dtype contract",
     "PL604": "shift epilogue infeasible (scale off the pow2 grid or shift out of range)",
     "PL605": "plan touches buffers outside its declared pre-allocated working set",
+    "QT701": "temporal window configuration invalid (stride exceeds window, events dropped)",
+    "QT702": "event counts saturate the M-bit window within some sliding window",
+    "QT703": "stream stride outpaces the simulated pipeline (real-time violation)",
+    "QT704": "temporal binning bits disagree with the deployed input quantizer",
+    "QN801": "NIR archive carries the wrong format tag or an unsupported version",
+    "QN802": "NIR node kind is outside the documented vocabulary",
+    "QN803": "NIR node arrays are missing or inconsistent with declared attributes",
+    "QN804": "NIR graph is malformed (dangling child/edge references or missing root)",
+    "QN805": "NIR quantized activations are not uniform (mixed M bits or gain)",
 }
 
 

@@ -1,0 +1,149 @@
+"""Static checks for the temporal (event-driven) serving path (QT7xx).
+
+The frame-path rules prove properties of a module graph; these prove
+properties of a *windowing configuration* against its context — the
+deployed input precision, the event streams it will bin, and the
+simulated hardware pipeline that has to keep up with the stride.  All
+four rules run before a single window is served, from the same raw
+numbers a CLI or config file would supply (so a bad config is a
+diagnostic, not a crash).
+
+- **QT701** (error) — the window geometry itself is invalid:
+  non-positive window/stride, or a stride longer than the window (the
+  gap between consecutive windows would silently drop events).
+- **QT702** (warning) — measured saturation: some sliding window of the
+  supplied streams holds more events on one pixel than the M-bit count
+  window ``2^M − 1`` can represent, so binning provably clips.
+- **QT703** (error) — real-time violation: the simulated layer pipeline
+  (:func:`~repro.snc.temporal.stream_timing`) completes windows slower
+  than the stride delivers them, so a live session falls behind without
+  bound.
+- **QT704** (error) — precision mismatch: the binning bits disagree with
+  the deployed input quantizer's bits, so a saturated count does not map
+  to the quantizer's full scale.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro.check.diagnostics import CheckReport
+
+__all__ = ["check_temporal"]
+
+
+def check_temporal(
+    window_us: int,
+    stride_us: int,
+    signal_bits: int,
+    *,
+    input_bits: Optional[int] = None,
+    streams: Sequence = (),
+    spec=None,
+    profile=None,
+    nominal_windows: int = 64,
+    target: str = "temporal",
+) -> CheckReport:
+    """Statically verify a temporal serving configuration.
+
+    Parameters
+    ----------
+    window_us, stride_us, signal_bits:
+        The raw windowing numbers (deliberately *unvalidated* — QT701
+        reports what a :class:`~repro.snc.temporal.TemporalConfig`
+        constructor would reject).
+    input_bits:
+        The deployed system's input quantizer precision
+        (``system.config.input_bits``); enables QT704.
+    streams:
+        Event streams the configuration will serve; enables the QT702
+        saturation measurement.
+    spec:
+        A :class:`~repro.models.specs.NetworkSpec`; enables the QT703
+        real-time check via the pipeline timing model (``profile``
+        optionally picks the speed profile, ``nominal_windows`` sizes
+        the simulated run).
+    """
+    report = CheckReport(target)
+
+    geometry_ok = True
+    if window_us < 1 or stride_us < 1:
+        geometry_ok = False
+        report.add(
+            "QT701", "error", "",
+            f"window_us={window_us} and stride_us={stride_us} must both be "
+            f"positive",
+            hint="pick a positive window and stride (defaults: 25000/12500)",
+            window_us=window_us, stride_us=stride_us,
+        )
+    elif stride_us > window_us:
+        geometry_ok = False
+        report.add(
+            "QT701", "error", "",
+            f"stride_us ({stride_us}) exceeds window_us ({window_us}): "
+            f"events in the {stride_us - window_us}µs gap between "
+            f"consecutive windows are never binned",
+            hint="use stride_us <= window_us so windows tile the recording",
+            window_us=window_us, stride_us=stride_us,
+        )
+    if signal_bits < 1:
+        geometry_ok = False
+        report.add(
+            "QT701", "error", "",
+            f"signal_bits must be >= 1, got {signal_bits}",
+            hint="bin with the deployed system's signal precision",
+            signal_bits=signal_bits,
+        )
+
+    if input_bits is not None and signal_bits >= 1 and signal_bits != input_bits:
+        report.add(
+            "QT704", "error", "",
+            f"binning uses {signal_bits}-bit count windows but the deployed "
+            f"input quantizer is {input_bits}-bit: a saturated count does "
+            f"not map to the quantizer's full scale",
+            hint="set TemporalConfig.signal_bits = system.config.input_bits",
+            signal_bits=signal_bits, input_bits=input_bits,
+        )
+
+    if streams and geometry_ok:
+        from repro.datasets.event_stream import max_window_count
+        from repro.snc.spikes import window_length
+
+        top = window_length(signal_bits)
+        peak = max_window_count(streams, window_us, stride_us)
+        if peak > top:
+            report.add(
+                "QT702", "warning", "",
+                f"peak per-pixel count {peak} in a {window_us}µs window "
+                f"exceeds the {signal_bits}-bit window 2^M−1 = {top}: "
+                f"binning clips ({len(streams)} stream(s) measured)",
+                hint="raise signal_bits, shorten the window, or accept the "
+                     "saturation (it caps, not corrupts, hot pixels)",
+                peak_count=peak, window_top=top,
+            )
+
+    if spec is not None and geometry_ok:
+        from repro.snc.temporal import TemporalConfig, stream_timing
+
+        timing = stream_timing(
+            spec,
+            TemporalConfig(window_us=window_us, stride_us=stride_us,
+                           signal_bits=signal_bits),
+            total_windows=max(nominal_windows, 2),
+            profile=profile,
+        )
+        if timing.keeps_up_with > stride_us:
+            report.add(
+                "QT703", "error", "",
+                f"stride delivers a window every {stride_us}µs but the "
+                f"pipeline sustains one per {timing.keeps_up_with:.1f}µs "
+                f"({timing.windows_per_second:.0f} windows/s): a live "
+                f"session falls behind without bound",
+                hint="lengthen the stride, reduce signal_bits, or use a "
+                     "faster speed profile",
+                stride_us=stride_us,
+                sustainable_stride_us=timing.keeps_up_with,
+                windows_per_second=timing.windows_per_second,
+            )
+
+    return report

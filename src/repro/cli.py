@@ -26,7 +26,7 @@ COMMANDS = (
     "table1", "table2", "table3", "table4", "table5",
     "fig1a", "fig1b", "fig3", "fig4",
     "breakdown", "programming", "irdrop", "healthcheck", "plan", "check",
-    "serve-bench", "metrics", "run", "list",
+    "serve-bench", "stream-bench", "metrics", "run", "list",
 )
 
 
@@ -292,6 +292,119 @@ def run_serve_bench(args: argparse.Namespace) -> str:
     return output
 
 
+def run_stream_bench(args: argparse.Namespace) -> str:
+    """The ``repro stream-bench`` command: benchmark event-stream serving.
+
+    Builds a quantized spiking system (random weights — streaming
+    throughput does not depend on training), statically verifies the
+    windowing configuration (QT7xx), then offers deterministic
+    event-stream traffic to a :class:`~repro.serve.stream.
+    StreamingServer` at each requested worker count.  Reports served
+    windows/s and whole-session latency percentiles next to the
+    simulated SNC pipeline rate, and ends with a determinism audit:
+    one stream served through a session must be bit-exact against a
+    direct engine replay with the canonical window grouping.
+    """
+    import numpy as np
+
+    from repro.check import check_temporal
+    from repro.datasets.event_stream import generate_event_streams
+    from repro.models.registry import build_model, get_spec
+    from repro.serve.loadgen import StreamLoadConfig, run_stream_load
+    from repro.serve.stream import StreamConfig, StreamingServer
+    from repro.snc.system import SpikingSystemConfig, build_spiking_system
+    from repro.snc.temporal import (
+        TemporalConfig, replay_frames, stream_timing, stream_to_frames,
+    )
+
+    model_name = args.models[0]
+    if model_name != "lenet":
+        raise SystemExit(
+            "repro stream-bench: event streams are single-channel 28x28; "
+            "only lenet consumes them (got --models "
+            f"{model_name})"
+        )
+    bits = args.bits[0]
+    if any(w < 1 for w in args.workers):
+        raise SystemExit(
+            f"repro stream-bench: --workers must all be >= 1, got {args.workers}"
+        )
+    if args.quick:
+        clients, per_client, workers_list = 2, 3, [1, 2]
+    else:
+        clients, per_client, workers_list = 4, 8, sorted(set(args.workers))
+    temporal = TemporalConfig(signal_bits=bits)
+    spec = get_spec(model_name)
+    streams = generate_event_streams(6, seed=args.seed).streams
+
+    gate = check_temporal(
+        temporal.window_us, temporal.stride_us, temporal.signal_bits,
+        input_bits=bits, streams=streams, spec=spec,
+    )
+    if gate.has_errors:
+        raise SystemExit(gate.summary())
+
+    model = build_model(model_name, rng=np.random.default_rng(args.seed))
+    model.eval()
+    system = build_spiking_system(
+        model,
+        SpikingSystemConfig(signal_bits=bits, weight_bits=bits,
+                            input_bits=bits, signal_gain="auto"),
+        stream_to_frames(streams[0], temporal),
+    )
+
+    timing = stream_timing(spec, temporal, total_windows=64)
+    rows = [{
+        "config": "simulated SNC pipeline",
+        "windows_per_s": round(timing.windows_per_second, 1),
+        "session_p50_ms": "-", "session_p99_ms": "-",
+    }]
+    load = StreamLoadConfig(clients=clients, streams_per_client=per_client,
+                            seed=args.seed)
+    for workers in workers_list:
+        with StreamingServer.for_system(
+            system, StreamConfig(temporal=temporal), workers=workers
+        ) as streaming:
+            report = run_stream_load(streaming, load)
+        if report.streams_failed:
+            raise SystemExit(
+                f"repro stream-bench: {report.streams_failed} session(s) failed"
+            )
+        rows.append({
+            "config": f"sessions {workers}w",
+            "windows_per_s": round(report.windows_per_second, 1),
+            "session_p50_ms": round(report.latency_ms(50), 2),
+            "session_p99_ms": round(report.latency_ms(99), 2),
+        })
+
+    with StreamingServer.for_system(
+        system, StreamConfig(temporal=temporal), workers=1
+    ) as streaming:
+        served = streaming.serve_stream(streams[0])
+    expected = replay_frames(
+        system.engine(), stream_to_frames(streams[0], temporal),
+        temporal.batch_windows,
+    )
+    exact = bool(np.array_equal(served.per_window_logits, expected))
+    title = (
+        f"Streaming sessions — {model_name} M=N={bits}, window "
+        f"{temporal.window_us}µs / stride {temporal.stride_us}µs, "
+        f"batch_windows {temporal.batch_windows}, {clients} clients"
+    )
+    output = render_dict_table(
+        rows, ["config", "windows_per_s", "session_p50_ms", "session_p99_ms"],
+        title=title,
+    )
+    output += (
+        "\nsession vs direct replay: "
+        + ("bit-exact" if exact else "MISMATCH")
+        + f" ({served.total_windows} windows)"
+    )
+    if not exact:
+        raise SystemExit(output)
+    return output
+
+
 def _render_check_reports(reports: list, args: argparse.Namespace) -> tuple:
     """Render CheckReports as text or JSON; exit code 1 on any error."""
     import json
@@ -432,6 +545,9 @@ def run_command(args: argparse.Namespace) -> str:
 
     if args.command == "serve-bench":
         return run_serve_bench(args)
+
+    if args.command == "stream-bench":
+        return run_stream_bench(args)
 
     if args.command == "metrics":
         return run_metrics(args)
@@ -722,7 +838,7 @@ def build_parser() -> argparse.ArgumentParser:
              "requantize epilogue, or the legacy per-step kernels",
     )
 
-    serve = parser.add_argument_group("serve-bench options")
+    serve = parser.add_argument_group("serve-bench / stream-bench options")
     serve.add_argument(
         "--workers", nargs="+", type=int, default=[1, 4],
         help="replica counts to benchmark (one server run per count)",

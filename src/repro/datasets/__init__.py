@@ -15,6 +15,16 @@ from repro.datasets.augmentation import (
     random_shift,
 )
 from repro.datasets.cifar_like import cifar_like, generate_cifar_like, render_class_image
+from repro.datasets.event_stream import (
+    EventStream,
+    EventStreamDataset,
+    counts_to_frames,
+    event_stream_like,
+    events_to_counts,
+    generate_event_stream,
+    generate_event_streams,
+    sliding_window_counts,
+)
 from repro.datasets.glyphs import all_glyphs, digit_glyph
 from repro.datasets.mnist_like import generate_mnist_like, mnist_like, render_digit
 from repro.datasets.registry import (
@@ -33,6 +43,14 @@ __all__ = [
     "render_class_image",
     "digit_glyph",
     "all_glyphs",
+    "EventStream",
+    "EventStreamDataset",
+    "event_stream_like",
+    "generate_event_stream",
+    "generate_event_streams",
+    "events_to_counts",
+    "sliding_window_counts",
+    "counts_to_frames",
     "load_dataset",
     "register_dataset",
     "available_datasets",

@@ -1,0 +1,430 @@
+"""Procedural DVS-gesture-like event-stream dataset.
+
+The paper's target substrate is a *spiking* neuromorphic system, whose
+natural input is not a frame but an address-event stream: a sparse
+sequence of ``(t, x, y, polarity)`` tuples emitted where scene brightness
+changes — the output format of a dynamic vision sensor (DVS).  Real DVS
+gesture recordings cannot be downloaded in this offline environment, so
+this module generates a procedural stand-in with the same data shape:
+each sample is an event stream whose *class identity is a temporal
+pattern* (sweep direction, rotation sense, radial expansion…), not a
+static shape — classifying a single frozen window is deliberately
+ambiguous, while a handful of consecutive windows disambiguate.
+
+Generation is a change-detection camera pointed at a procedurally moving
+bright pattern: the pattern's occupancy grid is rasterized at a fixed
+step rate, newly covered pixels emit ON events and vacated pixels emit
+OFF events (timestamps jittered uniformly inside the step), plus a low
+rate of salt-and-pepper noise events.  Every sample is deterministic
+from ``(seed, index)`` via :func:`repro.snc.seeding.substream`, exactly
+like the glyph-rendered image sets — regeneration order never matters.
+
+Windowing (:func:`events_to_counts`, :func:`sliding_window_counts`)
+turns a stream back into M-bit *count frames*: per-pixel event counts
+over a time window, clipped to the ``2^M − 1`` spike window the SNC's
+rate code can carry (Sec. 1 / Eq. 2) — counts above the window saturate,
+exactly as a real IFC+counter pair would.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+
+def _substream(seed: int, token: str, coordinates: Tuple[int, ...] = ()) -> np.random.Generator:
+    # Imported lazily: repro.snc's package init reaches repro.core →
+    # repro.analysis → datasets.registry, which imports this module — a
+    # module-level import here would close that cycle.
+    from repro.snc.seeding import substream
+
+    return substream(seed, token, coordinates)
+
+
+def _window_length(bits: int) -> int:
+    from repro.snc.spikes import window_length  # lazy: see _substream
+
+    return window_length(bits)
+
+
+GRID_SIZE = 28
+NUM_CLASSES = 10
+DEFAULT_DURATION_US = 100_000  # 100 ms per gesture sample
+DEFAULT_STEPS = 64             # rasterization steps per sample
+
+#: Temporal pattern behind each class label.
+CLASS_PATTERNS: Tuple[str, ...] = (
+    "sweep-right", "sweep-left", "sweep-down", "sweep-up",
+    "rotate-cw", "rotate-ccw", "expand", "contract",
+    "converge", "diverge",
+)
+
+
+@dataclass(frozen=True)
+class EventStream:
+    """One address-event stream: parallel arrays sorted by timestamp.
+
+    Attributes
+    ----------
+    t:
+        Event timestamps in microseconds, ``int64``, ascending.
+    x, y:
+        Pixel coordinates, ``int16`` (``x`` is the column, ``y`` the row).
+    polarity:
+        ``int8``: ``1`` for ON (brightness increase), ``0`` for OFF.
+    label:
+        Class index (see :data:`CLASS_PATTERNS`).
+    duration_us:
+        Length of the recording — events satisfy ``0 <= t < duration_us``.
+    height, width:
+        Sensor grid size.
+    """
+
+    t: np.ndarray
+    x: np.ndarray
+    y: np.ndarray
+    polarity: np.ndarray
+    label: int
+    duration_us: int
+    height: int = GRID_SIZE
+    width: int = GRID_SIZE
+
+    def __post_init__(self) -> None:
+        n = len(self.t)
+        if not (len(self.x) == len(self.y) == len(self.polarity) == n):
+            raise ValueError("event arrays must be parallel (equal length)")
+        if n and np.any(np.diff(self.t) < 0):
+            raise ValueError("event timestamps must be ascending")
+
+    def __len__(self) -> int:
+        return len(self.t)
+
+    @property
+    def num_events(self) -> int:
+        """Number of events in the stream."""
+        return len(self.t)
+
+    def slice_time(self, t0_us: int, t1_us: int) -> "EventStream":
+        """Events with ``t0_us <= t < t1_us`` (timestamps kept absolute)."""
+        lo = int(np.searchsorted(self.t, t0_us, side="left"))
+        hi = int(np.searchsorted(self.t, t1_us, side="left"))
+        return EventStream(
+            t=self.t[lo:hi], x=self.x[lo:hi], y=self.y[lo:hi],
+            polarity=self.polarity[lo:hi], label=self.label,
+            duration_us=self.duration_us, height=self.height, width=self.width,
+        )
+
+
+class EventStreamDataset:
+    """A labeled collection of :class:`EventStream` samples.
+
+    The event analogue of :class:`repro.nn.data.Dataset` — paired
+    ``(streams, labels)`` rather than ``(images, labels)``; batch
+    consumers window each stream into count frames first.
+    """
+
+    def __init__(self, streams: Sequence[EventStream], name: str = "events") -> None:
+        self.streams: List[EventStream] = list(streams)
+        self.labels = np.array([s.label for s in self.streams], dtype=np.int64)
+        self.name = name
+
+    def __len__(self) -> int:
+        return len(self.streams)
+
+    def __getitem__(self, index: int) -> EventStream:
+        return self.streams[index]
+
+    @property
+    def num_classes(self) -> int:
+        return int(self.labels.max()) + 1 if len(self.labels) else 0
+
+    @property
+    def grid(self) -> Tuple[int, int]:
+        """(height, width) of the sensor grid (uniform across samples)."""
+        if not self.streams:
+            return (GRID_SIZE, GRID_SIZE)
+        first = self.streams[0]
+        return (first.height, first.width)
+
+
+# ---------------------------------------------------------------------------
+# Pattern rasterization
+# ---------------------------------------------------------------------------
+
+def _occupancy(pattern: str, phase: float, height: int, width: int,
+               jitter: np.ndarray) -> np.ndarray:
+    """Boolean occupancy grid of ``pattern`` at ``phase`` ∈ [0, 1].
+
+    ``jitter`` is a per-sample parameter vector (center offset, size and
+    phase perturbations) so instances vary continuously within a class.
+    """
+    ys, xs = np.mgrid[0:height, 0:width]
+    cy = (height - 1) / 2.0 + jitter[0]
+    cx = (width - 1) / 2.0 + jitter[1]
+    thickness = 1.2 + 0.6 * jitter[2]
+    radius = (min(height, width) / 2.0 - 3.0) * (0.8 + 0.15 * jitter[3])
+    p = (phase + 0.08 * jitter[4]) % 1.0 if pattern.startswith("rotate") else phase
+
+    if pattern == "sweep-right":
+        pos = p * (width - 1)
+        return np.abs(xs - pos) <= thickness
+    if pattern == "sweep-left":
+        pos = (1.0 - p) * (width - 1)
+        return np.abs(xs - pos) <= thickness
+    if pattern == "sweep-down":
+        pos = p * (height - 1)
+        return np.abs(ys - pos) <= thickness
+    if pattern == "sweep-up":
+        pos = (1.0 - p) * (height - 1)
+        return np.abs(ys - pos) <= thickness
+    if pattern in ("rotate-cw", "rotate-ccw"):
+        sign = 1.0 if pattern == "rotate-cw" else -1.0
+        angle = sign * 2.0 * np.pi * p
+        by = cy + radius * 0.8 * np.sin(angle)
+        bx = cx + radius * 0.8 * np.cos(angle)
+        return (ys - by) ** 2 + (xs - bx) ** 2 <= (1.6 + thickness) ** 2
+    if pattern in ("expand", "contract"):
+        r = (p if pattern == "expand" else 1.0 - p) * radius + 1.0
+        distance = np.sqrt((ys - cy) ** 2 + (xs - cx) ** 2)
+        return np.abs(distance - r) <= thickness
+    if pattern in ("converge", "diverge"):
+        d = ((1.0 - p) if pattern == "converge" else p) * radius
+        blobs = np.zeros((height, width), dtype=bool)
+        for sign in (-1.0, 1.0):
+            by = cy + sign * d * 0.7
+            bx = cx + sign * d * 0.7
+            blobs |= (ys - by) ** 2 + (xs - bx) ** 2 <= (1.2 + thickness) ** 2
+        return blobs
+    raise ValueError(f"unknown pattern {pattern!r}")
+
+
+def generate_event_stream(
+    label: int,
+    rng: np.random.Generator,
+    height: int = GRID_SIZE,
+    width: int = GRID_SIZE,
+    duration_us: int = DEFAULT_DURATION_US,
+    steps: int = DEFAULT_STEPS,
+    noise_events_per_step: float = 1.0,
+) -> EventStream:
+    """Generate one labeled gesture as a change-detection event stream.
+
+    Rasterizes the class pattern at ``steps`` phases over ``duration_us``;
+    pixels entering the pattern emit ON events, pixels leaving emit OFF
+    events, timestamps jittered uniformly within the step.  A Poisson
+    number of noise events per step fires at random pixels/polarities.
+    """
+    if not 0 <= label < len(CLASS_PATTERNS):
+        raise ValueError(f"label must be in [0, {len(CLASS_PATTERNS)}), got {label}")
+    if duration_us < steps:
+        raise ValueError("duration_us must be >= steps")
+    pattern = CLASS_PATTERNS[label]
+    jitter = rng.normal(0.0, 1.0, size=5)
+    step_us = duration_us / steps
+
+    ts: List[np.ndarray] = []
+    xs: List[np.ndarray] = []
+    ys: List[np.ndarray] = []
+    ps: List[np.ndarray] = []
+    previous = np.zeros((height, width), dtype=bool)
+    for step in range(steps):
+        phase = step / max(steps - 1, 1)
+        current = _occupancy(pattern, phase, height, width, jitter)
+        t0 = step * step_us
+        for mask, polarity in (((current & ~previous), 1), ((previous & ~current), 0)):
+            yy, xx = np.nonzero(mask)
+            if len(yy) == 0:
+                continue
+            ts.append((t0 + rng.uniform(0.0, step_us, size=len(yy))).astype(np.int64))
+            xs.append(xx.astype(np.int16))
+            ys.append(yy.astype(np.int16))
+            ps.append(np.full(len(yy), polarity, dtype=np.int8))
+        noise = rng.poisson(noise_events_per_step)
+        if noise:
+            ts.append((t0 + rng.uniform(0.0, step_us, size=noise)).astype(np.int64))
+            xs.append(rng.integers(0, width, size=noise).astype(np.int16))
+            ys.append(rng.integers(0, height, size=noise).astype(np.int16))
+            ps.append(rng.integers(0, 2, size=noise).astype(np.int8))
+        previous = current
+
+    t = np.concatenate(ts) if ts else np.empty(0, dtype=np.int64)
+    x = np.concatenate(xs) if xs else np.empty(0, dtype=np.int16)
+    y = np.concatenate(ys) if ys else np.empty(0, dtype=np.int16)
+    p = np.concatenate(ps) if ps else np.empty(0, dtype=np.int8)
+    np.clip(t, 0, duration_us - 1, out=t)
+    order = np.argsort(t, kind="stable")
+    return EventStream(
+        t=t[order], x=x[order], y=y[order], polarity=p[order],
+        label=label, duration_us=duration_us, height=height, width=width,
+    )
+
+
+def generate_event_streams(
+    size: int,
+    seed: int = 0,
+    name: str = "dvs-gesture-like",
+    **stream_kwargs,
+) -> EventStreamDataset:
+    """Generate ``size`` samples balanced across the ten gesture classes.
+
+    Sample ``i`` is drawn from ``substream(seed, "datasets.event-stream",
+    (i,))`` — deterministic regardless of generation order or how many
+    other streams were consumed (the glyph-set reproducibility contract).
+    """
+    if size <= 0:
+        raise ValueError("size must be positive")
+    label_rng = _substream(seed, "datasets.event-stream.labels")
+    labels = np.arange(size) % NUM_CLASSES
+    label_rng.shuffle(labels)
+    streams = [
+        generate_event_stream(
+            int(labels[i]),
+            _substream(seed, "datasets.event-stream", (i,)),
+            **stream_kwargs,
+        )
+        for i in range(size)
+    ]
+    return EventStreamDataset(streams, name=name)
+
+
+def event_stream_like(
+    train_size: int = 200,
+    test_size: int = 50,
+    seed: int = 0,
+    **stream_kwargs,
+) -> Tuple[EventStreamDataset, EventStreamDataset]:
+    """Return ``(train, test)`` event-stream datasets with disjoint seeds."""
+    train = generate_event_streams(train_size, seed=seed, **stream_kwargs)
+    test = generate_event_streams(
+        test_size, seed=seed + 1_000_003, name="dvs-gesture-like-test",
+        **stream_kwargs,
+    )
+    return train, test
+
+
+# ---------------------------------------------------------------------------
+# Event → M-bit count-frame binning
+# ---------------------------------------------------------------------------
+
+def events_to_counts(
+    stream: EventStream,
+    t0_us: int,
+    t1_us: int,
+    bits: int,
+    polarity: str = "merge",
+) -> np.ndarray:
+    """Bin one time window of events into an M-bit count frame.
+
+    Counts per pixel are clipped to ``[0, 2^bits − 1]`` — the M-bit spike
+    window (Eq. 2): a counter driven by an event stream saturates, it
+    does not wrap.  ``polarity="merge"`` counts all events into one
+    channel; ``"split"`` keeps OFF/ON in two channels.  Returns ``int64``
+    of shape ``(C, height, width)``.
+    """
+    if t1_us <= t0_us:
+        raise ValueError(f"need t0_us < t1_us, got [{t0_us}, {t1_us})")
+    if polarity not in ("merge", "split"):
+        raise ValueError(f"polarity must be 'merge' or 'split', got {polarity!r}")
+    window = stream.slice_time(t0_us, t1_us)
+    channels = 1 if polarity == "merge" else 2
+    counts = np.zeros((channels, stream.height, stream.width), dtype=np.int64)
+    if len(window):
+        channel = (
+            np.zeros(len(window), dtype=np.int64)
+            if polarity == "merge"
+            else window.polarity.astype(np.int64)
+        )
+        flat = (
+            channel * (stream.height * stream.width)
+            + window.y.astype(np.int64) * stream.width
+            + window.x.astype(np.int64)
+        )
+        binned = np.bincount(flat, minlength=counts.size)
+        counts = binned.reshape(counts.shape)
+    return np.minimum(counts, _window_length(bits))
+
+
+def num_windows(duration_us: int, window_us: int, stride_us: int) -> int:
+    """How many sliding windows cover a recording of ``duration_us``.
+
+    Windows start at ``k · stride_us`` while the start lies inside the
+    recording; the final window may extend past the end (it just holds
+    fewer events).  At least one window is always produced.
+    """
+    if window_us < 1 or stride_us < 1:
+        raise ValueError("window_us and stride_us must be positive")
+    if duration_us <= window_us:
+        return 1
+    return 1 + (duration_us - window_us + stride_us - 1) // stride_us
+
+
+def sliding_window_counts(
+    stream: EventStream,
+    window_us: int,
+    stride_us: int,
+    bits: int,
+    polarity: str = "merge",
+) -> np.ndarray:
+    """Bin a stream into overlapping M-bit count frames.
+
+    Returns ``int64`` of shape ``(num_windows, C, height, width)`` where
+    window ``k`` covers ``[k·stride_us, k·stride_us + window_us)``.
+    """
+    n = num_windows(stream.duration_us, window_us, stride_us)
+    return np.stack([
+        events_to_counts(
+            stream, k * stride_us, k * stride_us + window_us, bits,
+            polarity=polarity,
+        )
+        for k in range(n)
+    ])
+
+
+def counts_to_frames(counts: np.ndarray, bits: int) -> np.ndarray:
+    """Normalize integer count frames to ``float64`` inputs in [0, 1].
+
+    Deployed networks calibrate their :class:`~repro.core.modules.
+    InputQuantizer` on ``[0, 1]``-ranged images; dividing by the window
+    length maps a saturated pixel to exactly 1.0, so count frames reuse
+    the image input path unchanged.
+    """
+    return np.asarray(counts, dtype=np.float64) / float(_window_length(bits))
+
+
+def max_window_count(
+    streams: Sequence[EventStream],
+    window_us: int,
+    stride_us: int,
+) -> int:
+    """Largest *unclipped* per-pixel event count in any sliding window.
+
+    The measurement behind the temporal saturation rules (QT7xx): if this
+    exceeds ``2^M − 1`` the M-bit binning provably clips.
+    """
+    peak = 0
+    for stream in streams:
+        n = num_windows(stream.duration_us, window_us, stride_us)
+        for k in range(n):
+            window = stream.slice_time(k * stride_us, k * stride_us + window_us)
+            if len(window) == 0:
+                continue
+            flat = window.y.astype(np.int64) * stream.width + window.x.astype(np.int64)
+            peak = max(peak, int(np.bincount(flat).max()))
+    return peak
+
+
+__all__ = [
+    "CLASS_PATTERNS",
+    "EventStream",
+    "EventStreamDataset",
+    "counts_to_frames",
+    "event_stream_like",
+    "events_to_counts",
+    "generate_event_stream",
+    "generate_event_streams",
+    "max_window_count",
+    "num_windows",
+    "sliding_window_counts",
+]

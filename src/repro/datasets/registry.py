@@ -10,12 +10,14 @@ from __future__ import annotations
 from typing import Callable, Dict, Tuple
 
 from repro.datasets.cifar_like import cifar_like
+from repro.datasets.event_stream import event_stream_like
 from repro.datasets.mnist_like import mnist_like
 from repro.nn.data import Dataset
 
 _BUILDERS: Dict[str, Callable[..., Tuple[Dataset, Dataset]]] = {
     "mnist-like": mnist_like,
     "cifar-like": cifar_like,
+    "dvs-gesture-like": event_stream_like,
 }
 
 _CACHE: Dict[tuple, Tuple[Dataset, Dataset]] = {}

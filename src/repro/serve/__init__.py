@@ -18,13 +18,24 @@ system":
   (``submit`` / ``submit_many`` / ``stats`` / ``close``).
 - :mod:`repro.serve.loadgen` — a deterministic closed-loop load
   generator for benchmarking (seeded via :mod:`repro.snc.seeding`).
+- :mod:`repro.serve.stream` — event-driven streaming sessions
+  (:class:`StreamingServer`), sliding-window micro-batching of event
+  streams through the same queue/batcher path.  See
+  ``docs/streaming.md``.
 
 Build one with :func:`repro.core.deployment.make_model_server` or
 :meth:`repro.snc.system.SpikingSystem.serve`; see ``docs/serving.md``.
 """
 
 from repro.serve.batcher import MicroBatch, MicroBatcher
-from repro.serve.loadgen import LoadGenConfig, LoadReport, run_load
+from repro.serve.loadgen import (
+    LoadGenConfig,
+    LoadReport,
+    StreamLoadConfig,
+    StreamLoadReport,
+    run_load,
+    run_stream_load,
+)
 from repro.serve.pool import Replica, ReplicaPool, ReplicaStats
 from repro.serve.queue import (
     AdmissionQueue,
@@ -36,6 +47,15 @@ from repro.serve.queue import (
     ServerOverloaded,
 )
 from repro.serve.server import LatencyWindow, ModelServer, ServeConfig
+from repro.serve.stream import (
+    SessionClosed,
+    SessionExpired,
+    StreamBufferFull,
+    StreamConfig,
+    StreamingServer,
+    StreamSession,
+    TooManySessions,
+)
 
 __all__ = [
     "AdmissionQueue",
@@ -55,5 +75,15 @@ __all__ = [
     "ServeRequest",
     "ServerClosed",
     "ServerOverloaded",
+    "SessionClosed",
+    "SessionExpired",
+    "StreamBufferFull",
+    "StreamConfig",
+    "StreamLoadConfig",
+    "StreamLoadReport",
+    "StreamSession",
+    "StreamingServer",
+    "TooManySessions",
     "run_load",
+    "run_stream_load",
 ]

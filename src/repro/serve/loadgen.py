@@ -25,7 +25,23 @@ import numpy as np
 
 from repro.snc.seeding import substream
 
-__all__ = ["LoadGenConfig", "LoadReport", "run_load"]
+__all__ = [
+    "LoadGenConfig",
+    "LoadReport",
+    "StreamLoadConfig",
+    "StreamLoadReport",
+    "plan_requests",
+    "plan_streams",
+    "request_substream_key",
+    "run_load",
+    "run_stream_load",
+    "stream_substream_key",
+]
+
+#: Substream token for frame-request planning (with ``(client, index)``).
+REQUEST_TOKEN = "serve.loadgen"
+#: Substream token for event-stream generation (with ``(client, index)``).
+STREAM_TOKEN = "serve.loadgen.stream"
 
 
 @dataclass
@@ -71,6 +87,12 @@ class LoadReport:
     rows_served: int
     wall_s: float
     latencies_s: List[float] = field(default_factory=list)
+    #: Per-request provenance: ``{"client", "index", "offset", "rows",
+    #: "substream"}`` for every *scheduled* request, in schedule order.
+    #: The ``substream`` entry is the exact :func:`request_substream_key`
+    #: that generated the request, so any single request can be rebuilt
+    #: in isolation without replanning the whole run.
+    request_log: List[dict] = field(default_factory=list)
 
     @property
     def throughput_rows_per_s(self) -> float:
@@ -103,7 +125,31 @@ class LoadReport:
             "throughput_requests_per_s": self.throughput_requests_per_s,
             "latency_p50_ms": self.latency_ms(50),
             "latency_p99_ms": self.latency_ms(99),
+            "request_log": list(self.request_log),
         }
+
+
+def request_substream_key(config: LoadGenConfig, client: int, index: int) -> dict:
+    """The exact seeding key behind one scheduled request.
+
+    ``substream(**key_without_the_doc_fields)`` — i.e.
+    ``substream(seed, token, coordinates)`` — reproduces the request's
+    RNG in isolation, with no need to replan the other requests.
+    """
+    return {
+        "seed": config.seed,
+        "token": REQUEST_TOKEN,
+        "coordinates": [client, index],
+    }
+
+
+def _plan_one(config: LoadGenConfig, image_pool_size: int,
+              client: int, index: int) -> tuple:
+    rng = substream(config.seed, REQUEST_TOKEN, (client, index))
+    rows = int(rng.integers(config.min_rows, config.max_rows + 1))
+    rows = min(rows, image_pool_size)
+    offset = int(rng.integers(0, image_pool_size - rows + 1))
+    return (offset, rows)
 
 
 def plan_requests(config: LoadGenConfig, image_pool_size: int) -> List[List[tuple]]:
@@ -112,17 +158,13 @@ def plan_requests(config: LoadGenConfig, image_pool_size: int) -> List[List[tupl
     Exposed separately so tests (and bit-exactness checks) can replay
     the exact slices a load run submitted.
     """
-    schedule: List[List[tuple]] = []
-    for client in range(config.clients):
-        plan: List[tuple] = []
-        for index in range(config.requests_per_client):
-            rng = substream(config.seed, "serve.loadgen", (client, index))
-            rows = int(rng.integers(config.min_rows, config.max_rows + 1))
-            rows = min(rows, image_pool_size)
-            offset = int(rng.integers(0, image_pool_size - rows + 1))
-            plan.append((offset, rows))
-        schedule.append(plan)
-    return schedule
+    return [
+        [
+            _plan_one(config, image_pool_size, client, index)
+            for index in range(config.requests_per_client)
+        ]
+        for client in range(config.clients)
+    ]
 
 
 def run_load(server, images: np.ndarray, config: LoadGenConfig) -> LoadReport:
@@ -142,6 +184,19 @@ def run_load(server, images: np.ndarray, config: LoadGenConfig) -> LoadReport:
         requests_deadline_expired=0, requests_failed=0,
         rows_served=0, wall_s=0.0,
     )
+    # Provenance is a property of the schedule, not the run — record it
+    # up front so even rejected/failed requests stay reproducible.
+    report.request_log = [
+        {
+            "client": client,
+            "index": index,
+            "offset": offset,
+            "rows": rows,
+            "substream": request_substream_key(config, client, index),
+        }
+        for client, plan in enumerate(schedule)
+        for index, (offset, rows) in enumerate(plan)
+    ]
     lock = threading.Lock()
 
     def client_loop(client: int) -> None:
@@ -174,6 +229,171 @@ def run_load(server, images: np.ndarray, config: LoadGenConfig) -> LoadReport:
     threads = [
         threading.Thread(target=client_loop, args=(client,), daemon=True,
                          name=f"repro-loadgen-{client}")
+        for client in range(config.clients)
+    ]
+    wall_start = time.perf_counter()
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    report.wall_s = time.perf_counter() - wall_start
+    return report
+
+
+# ---------------------------------------------------------------------------
+# Event-stream traffic mode
+# ---------------------------------------------------------------------------
+
+@dataclass
+class StreamLoadConfig:
+    """Shape of an event-stream (session) load.
+
+    Each client opens one streaming session per generated stream and
+    serves it end-to-end (closed loop).  Streams come from
+    :func:`repro.datasets.event_stream.generate_event_stream`, seeded
+    per ``(client, index)`` via :data:`STREAM_TOKEN` — so any individual
+    stream is reproducible in isolation from its recorded key.
+    """
+
+    clients: int = 2
+    streams_per_client: int = 4
+    duration_us: int = 100_000
+    seed: int = 0
+    timeout_s: float = 120.0
+
+    def __post_init__(self) -> None:
+        if self.clients < 1:
+            raise ValueError(f"clients must be >= 1, got {self.clients}")
+        if self.streams_per_client < 1:
+            raise ValueError(
+                f"streams_per_client must be >= 1, got {self.streams_per_client}"
+            )
+        if self.duration_us < 1:
+            raise ValueError(f"duration_us must be >= 1, got {self.duration_us}")
+
+
+@dataclass
+class StreamLoadReport:
+    """What one event-stream load run measured."""
+
+    clients: int
+    streams_sent: int
+    streams_ok: int
+    streams_failed: int
+    windows_served: int
+    predictions_correct: int
+    wall_s: float
+    session_latencies_s: List[float] = field(default_factory=list)
+    #: Per-stream provenance mirroring :attr:`LoadReport.request_log`:
+    #: ``{"client", "index", "label", "events", "substream"}``.
+    stream_log: List[dict] = field(default_factory=list)
+
+    @property
+    def windows_per_second(self) -> float:
+        """Served event windows per wall-clock second."""
+        return self.windows_served / self.wall_s if self.wall_s > 0 else 0.0
+
+    def latency_ms(self, percentile: float) -> float:
+        """A whole-session latency percentile (push → decision), in ms."""
+        if not self.session_latencies_s:
+            return float("nan")
+        return float(
+            np.percentile(np.array(self.session_latencies_s), percentile) * 1e3
+        )
+
+    def to_dict(self) -> dict:
+        """A JSON-ready summary (percentiles, not raw samples)."""
+        return {
+            "clients": self.clients,
+            "streams_sent": self.streams_sent,
+            "streams_ok": self.streams_ok,
+            "streams_failed": self.streams_failed,
+            "windows_served": self.windows_served,
+            "predictions_correct": self.predictions_correct,
+            "wall_s": self.wall_s,
+            "windows_per_second": self.windows_per_second,
+            "session_p50_ms": self.latency_ms(50),
+            "session_p99_ms": self.latency_ms(99),
+            "stream_log": list(self.stream_log),
+        }
+
+
+def stream_substream_key(config: StreamLoadConfig, client: int, index: int) -> dict:
+    """The exact seeding key behind one generated event stream."""
+    return {
+        "seed": config.seed,
+        "token": STREAM_TOKEN,
+        "coordinates": [client, index],
+    }
+
+
+def plan_streams(config: StreamLoadConfig) -> List[List]:
+    """Deterministic per-client event streams (independent of scheduling).
+
+    Regenerating with the same config yields byte-identical streams;
+    a single stream can be rebuilt from its
+    :func:`stream_substream_key` alone.
+    """
+    from repro.datasets.event_stream import NUM_CLASSES, generate_event_stream
+
+    schedule: List[List] = []
+    for client in range(config.clients):
+        plan = []
+        for index in range(config.streams_per_client):
+            rng = substream(config.seed, STREAM_TOKEN, (client, index))
+            label = int(rng.integers(0, NUM_CLASSES))
+            plan.append(generate_event_stream(
+                label, rng, duration_us=config.duration_us))
+        schedule.append(plan)
+    return schedule
+
+
+def run_stream_load(streaming, config: StreamLoadConfig) -> StreamLoadReport:
+    """Offer closed-loop event-stream traffic to a
+    :class:`~repro.serve.stream.StreamingServer`; measure it.
+
+    Each client thread serves its planned streams one session at a time
+    (push → finish → decision).  Failures are counted, not raised.
+    """
+    schedule = plan_streams(config)
+    report = StreamLoadReport(
+        clients=config.clients,
+        streams_sent=0, streams_ok=0, streams_failed=0,
+        windows_served=0, predictions_correct=0, wall_s=0.0,
+    )
+    report.stream_log = [
+        {
+            "client": client,
+            "index": index,
+            "label": stream.label,
+            "events": len(stream.t),
+            "substream": stream_substream_key(config, client, index),
+        }
+        for client, plan in enumerate(schedule)
+        for index, stream in enumerate(plan)
+    ]
+    lock = threading.Lock()
+
+    def client_loop(client: int) -> None:
+        for stream in schedule[client]:
+            start = time.perf_counter()
+            try:
+                with lock:
+                    report.streams_sent += 1
+                result = streaming.serve_stream(stream, timeout=config.timeout_s)
+                latency = time.perf_counter() - start
+                with lock:
+                    report.streams_ok += 1
+                    report.windows_served += result.total_windows
+                    report.predictions_correct += int(result.correct)
+                    report.session_latencies_s.append(latency)
+            except Exception:
+                with lock:
+                    report.streams_failed += 1
+
+    threads = [
+        threading.Thread(target=client_loop, args=(client,), daemon=True,
+                         name=f"repro-streamgen-{client}")
         for client in range(config.clients)
     ]
     wall_start = time.perf_counter()

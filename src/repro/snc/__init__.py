@@ -85,6 +85,17 @@ from repro.snc.memristor import (
     model_for_bits,
 )
 from repro.snc.montecarlo import YieldReport, estimate_yield, yield_vs_variation
+from repro.snc.nir import (
+    NIR_FORMAT_VERSION,
+    NIRGraph,
+    NIRNode,
+    export_nir,
+    from_nir,
+    import_nir,
+    load_nir,
+    to_nir,
+    validate_nir,
+)
 from repro.snc.pipeline_sim import (
     PipelineStats,
     mixed_precision_speed_mhz,
@@ -118,6 +129,15 @@ from repro.snc.system import (
     SpikingSystem,
     SpikingSystemConfig,
     build_spiking_system,
+)
+from repro.snc.temporal import (
+    StreamTiming,
+    TemporalConfig,
+    TemporalResult,
+    infer_stream,
+    stream_accuracy,
+    stream_timing,
+    stream_to_frames,
 )
 
 __all__ = [
@@ -181,11 +201,27 @@ __all__ = [
     "load_programming_image",
     "program_chip",
     "install_chip",
+    "NIR_FORMAT_VERSION",
+    "NIRGraph",
+    "NIRNode",
+    "export_nir",
+    "from_nir",
+    "import_nir",
+    "load_nir",
+    "to_nir",
+    "validate_nir",
     "PipelineStats",
     "simulate_pipeline",
     "window_cycles",
     "uniform_pipeline_speed_mhz",
     "mixed_precision_speed_mhz",
+    "TemporalConfig",
+    "TemporalResult",
+    "StreamTiming",
+    "infer_stream",
+    "stream_accuracy",
+    "stream_timing",
+    "stream_to_frames",
     "YieldReport",
     "estimate_yield",
     "yield_vs_variation",

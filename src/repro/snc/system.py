@@ -129,6 +129,16 @@ class SpikingSystem:
         """Class predictions for a batch."""
         return self.infer(images).argmax(axis=1)
 
+    def infer_stream(self, stream, temporal_config=None):
+        """Temporal inference over one event stream: sliding M-bit count
+        windows replayed through the compiled engine, rate- or
+        latency-coded readout.  Returns a
+        :class:`~repro.snc.temporal.TemporalResult`.
+        """
+        from repro.snc.temporal import infer_stream
+
+        return infer_stream(self, stream, temporal_config)
+
     def accuracy(self, dataset: Dataset, batch_size: int = 128) -> float:
         """Top-1 accuracy of the hardware twin on a dataset (streamed
         through the compiled engine in micro-batches)."""

@@ -1,0 +1,267 @@
+"""Temporal (event-driven) inference over a deployed spiking system.
+
+The frame path runs one inference per image; this module runs one
+inference per *sliding event window*: an event stream is binned into
+M-bit count frames (:func:`repro.datasets.event_stream.
+sliding_window_counts` — per-pixel counts saturating at ``2^M − 1``,
+exactly the spike window a WL driver can replay), each frame is pushed
+through the system's *compiled* engine, and the per-window logits are
+aggregated into a stream-level decision:
+
+- **rate** decision: sum logits over every window, argmax at the end —
+  the temporal analogue of the paper's rate code (evidence accumulates
+  linearly over the whole recording).
+- **latency** decision: accumulate window by window and stop as soon as
+  the leading class's margin over the runner-up clears a threshold —
+  time-to-first-decision becomes the latency metric, mirroring
+  latency-coded readout where the first sufficiently confident spike
+  wins.
+
+The engine is compiled once and reused for all windows (and all
+streams), so the temporal path inherits the runtime layer's bit-exact
+equivalence guarantees; determinism of the whole path follows from the
+dataset's seed-substream generation plus the engine's fixed float64
+policy.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.datasets.event_stream import (
+    EventStream,
+    counts_to_frames,
+    num_windows,
+    sliding_window_counts,
+)
+from repro.models.specs import NetworkSpec
+from repro.snc.cost import PAPER_SPEED_PROFILES, SpeedProfile, generic_speed_profile
+from repro.snc.pipeline_sim import simulate_pipeline, window_cycles
+
+
+@dataclass(frozen=True)
+class TemporalConfig:
+    """How an event stream becomes a sequence of engine inferences.
+
+    ``signal_bits`` bounds the per-window event counts (M-bit binning);
+    it should match the deployed system's input precision so a saturated
+    pixel maps to the quantizer's full scale.  ``decision`` picks the
+    readout: ``"rate"`` integrates every window, ``"latency"`` stops at
+    the first window whose accumulated top-1 margin reaches
+    ``latency_margin``.
+
+    ``batch_windows`` fixes the engine batch grouping: windows run in
+    consecutive groups of this size.  Grouping is *part of the numeric
+    contract* — BLAS reduction order depends on batch shape, so logits
+    are bit-reproducible only across runs that group identically.  The
+    streaming server uses the same grouping, which is what makes
+    session-served logits bit-equal to a direct replay.
+    """
+
+    window_us: int = 25_000
+    stride_us: int = 12_500
+    signal_bits: int = 4
+    polarity: str = "merge"
+    decision: str = "rate"
+    latency_margin: float = 1.0
+    batch_windows: int = 4
+
+    def __post_init__(self) -> None:
+        if self.window_us < 1 or self.stride_us < 1:
+            raise ValueError("window_us and stride_us must be positive")
+        if self.stride_us > self.window_us:
+            raise ValueError(
+                f"stride_us ({self.stride_us}) must not exceed window_us "
+                f"({self.window_us}) — gaps would drop events"
+            )
+        if self.signal_bits < 1:
+            raise ValueError(f"signal_bits must be >= 1, got {self.signal_bits}")
+        if self.decision not in ("rate", "latency"):
+            raise ValueError(f"decision must be 'rate' or 'latency', got {self.decision!r}")
+        if self.latency_margin <= 0:
+            raise ValueError("latency_margin must be positive")
+        if self.batch_windows < 1:
+            raise ValueError(f"batch_windows must be >= 1, got {self.batch_windows}")
+
+
+@dataclass
+class TemporalResult:
+    """Outcome of one stream's temporal inference.
+
+    ``per_window_logits`` covers every window whose engine group ran —
+    in latency mode that may extend past ``decision_window`` to the end
+    of the deciding group (the decision itself only integrates windows
+    ``0..decision_window``).
+    """
+
+    per_window_logits: np.ndarray   # (windows_run, classes) float64
+    prediction: int
+    label: int
+    decision_window: int            # index of the window that decided
+    total_windows: int              # windows available in the stream
+
+    @property
+    def correct(self) -> bool:
+        return self.prediction == self.label
+
+    @property
+    def windows_used(self) -> int:
+        """Windows consumed before the decision fired (≥ 1)."""
+        return self.decision_window + 1
+
+
+def stream_to_frames(stream: EventStream, config: TemporalConfig) -> np.ndarray:
+    """Bin a stream into engine-ready input frames.
+
+    Returns float64 ``(num_windows, C, H, W)`` normalized to [0, 1] so a
+    saturated count hits the input quantizer's full scale — the exact
+    tensor layout the frame path trains and calibrates on.
+    """
+    counts = sliding_window_counts(
+        stream, config.window_us, config.stride_us, config.signal_bits,
+        polarity=config.polarity,
+    )
+    return counts_to_frames(counts, config.signal_bits)
+
+
+def window_groups(total: int, batch_windows: int) -> List[slice]:
+    """The engine-batch grouping for ``total`` windows: consecutive
+    slices of ``batch_windows`` (last one shorter).  Shared verbatim by
+    direct replay and the streaming server's session micro-batching.
+    """
+    if total < 1:
+        raise ValueError("total must be >= 1")
+    return [
+        slice(start, min(start + batch_windows, total))
+        for start in range(0, total, batch_windows)
+    ]
+
+
+def replay_frames(engine, frames: np.ndarray, batch_windows: int) -> np.ndarray:
+    """Run windows through the engine in the canonical grouping.
+
+    Returns per-window logits ``(len(frames), classes)`` float64.  Two
+    replays with the same ``batch_windows`` are bit-identical; replays
+    with different groupings agree only to float64 rounding.
+    """
+    parts = [
+        np.asarray(engine.run(frames[group]), dtype=np.float64)
+        for group in window_groups(len(frames), batch_windows)
+    ]
+    return parts[0] if len(parts) == 1 else np.concatenate(parts, axis=0)
+
+
+def infer_stream(system, stream: EventStream,
+                 config: Optional[TemporalConfig] = None) -> TemporalResult:
+    """Run one event stream through a :class:`~repro.snc.system.
+    SpikingSystem`'s compiled engine, window group by window group.
+
+    Rate mode replays every window and sums logits.  Latency mode scans
+    the accumulated logits group by group and stops (skipping the
+    remaining groups) once the top-1 margin clears
+    ``config.latency_margin`` — with ``batch_windows=1`` that is true
+    per-window early exit.
+    """
+    config = config or TemporalConfig()
+    frames = stream_to_frames(stream, config)
+    engine = system.engine()
+    total = len(frames)
+    rows: List[np.ndarray] = []
+    accumulated = np.zeros(0, dtype=np.float64)
+    decision_window: Optional[int] = None
+    for group in window_groups(total, config.batch_windows):
+        out = np.asarray(engine.run(frames[group]), dtype=np.float64)
+        rows.append(out)
+        for offset in range(out.shape[0]):
+            accumulated = out[offset] if accumulated.size == 0 \
+                else accumulated + out[offset]
+            if config.decision == "latency" and decision_window is None:
+                top2 = np.sort(accumulated)[-2:]
+                if top2[1] - top2[0] >= config.latency_margin:
+                    decision_window = group.start + offset
+        if decision_window is not None:
+            break
+    logits = rows[0] if len(rows) == 1 else np.concatenate(rows, axis=0)
+    if decision_window is None:
+        decision_window = total - 1
+    prediction = int(logits[: decision_window + 1].sum(axis=0).argmax())
+    return TemporalResult(
+        per_window_logits=logits,
+        prediction=prediction,
+        label=stream.label,
+        decision_window=decision_window,
+        total_windows=total,
+    )
+
+
+def stream_accuracy(system, streams: Sequence[EventStream],
+                    config: Optional[TemporalConfig] = None) -> float:
+    """Top-1 accuracy of temporal inference over a set of event streams."""
+    if not streams:
+        raise ValueError("streams must be non-empty")
+    results = [infer_stream(system, s, config) for s in streams]
+    return sum(r.correct for r in results) / len(results)
+
+
+# ---------------------------------------------------------------------------
+# Streaming timing model (pipeline_sim over windows)
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class StreamTiming:
+    """Simulated hardware timing for a windowed stream (cycle-accurate)."""
+
+    first_window_us: float     # latency until window 0's logits are ready
+    total_us: float            # until the last window completes
+    windows_per_second: float  # steady-state completion rate
+
+    @property
+    def keeps_up_with(self) -> float:
+        """Max real-time stride (µs) this pipeline sustains without lag."""
+        return 1e6 / self.windows_per_second
+
+
+def stream_timing(
+    spec: NetworkSpec,
+    config: TemporalConfig,
+    total_windows: int,
+    profile: Optional[SpeedProfile] = None,
+) -> StreamTiming:
+    """Cycle-level timing of serving ``total_windows`` through the layer
+    pipeline (flow-shop recurrence of :func:`~repro.snc.pipeline_sim.
+    simulate_pipeline`), converted to wall time via the speed profile.
+
+    Each window is one pipelined inference whose stage occupancy is the
+    M-bit spike window, so steady state completes one window per
+    bottleneck window — the paper's Fig. 1a throughput argument applied
+    to the event path.
+    """
+    if total_windows < 2:
+        raise ValueError("need at least 2 windows to measure streaming rate")
+    profile = profile or PAPER_SPEED_PROFILES.get(
+        spec.name, generic_speed_profile(spec.num_layers)
+    )
+    cycles = window_cycles(config.signal_bits, profile.overhead_cycles) + 1
+    stats = simulate_pipeline([cycles] * spec.num_layers, num_inferences=total_windows)
+    us_per_cycle = 1.0 / profile.f_mhz
+    return StreamTiming(
+        first_window_us=stats.first_latency * us_per_cycle,
+        total_us=stats.total_cycles * us_per_cycle,
+        windows_per_second=1e6 * profile.f_mhz * stats.throughput,
+    )
+
+
+__all__ = [
+    "StreamTiming",
+    "TemporalConfig",
+    "TemporalResult",
+    "infer_stream",
+    "replay_frames",
+    "stream_accuracy",
+    "stream_timing",
+    "stream_to_frames",
+    "window_groups",
+]

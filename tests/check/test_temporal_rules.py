@@ -1,0 +1,80 @@
+"""Tests for the temporal serving rules QT701-QT704 (repro.check.temporal)."""
+
+import numpy as np
+
+from repro.check import check_temporal
+from repro.datasets.event_stream import EventStream
+from repro.models.specs import lenet_spec
+
+
+def burst_stream(events_on_one_pixel: int, duration_us: int = 50_000):
+    n = events_on_one_pixel
+    return EventStream(
+        t=np.linspace(0, duration_us // 2, n).astype(np.int64),
+        x=np.full(n, 3, dtype=np.int16),
+        y=np.full(n, 5, dtype=np.int16),
+        polarity=np.ones(n, dtype=np.int8),
+        label=0,
+        duration_us=duration_us,
+    )
+
+
+class TestGeometry:
+    def test_valid_config_passes(self):
+        report = check_temporal(25_000, 12_500, 4)
+        assert report.ok and len(report) == 0
+
+    def test_nonpositive_values_flagged(self):
+        report = check_temporal(0, -5, 4)
+        assert any(d.rule == "QT701" for d in report.errors)
+
+    def test_gapped_stride_flagged(self):
+        report = check_temporal(10_000, 20_000, 4)
+        errors = report.by_rule("QT701")
+        assert errors and "never binned" in errors[0].message
+
+    def test_bad_bits_flagged(self):
+        report = check_temporal(25_000, 12_500, 0)
+        assert any(d.rule == "QT701" for d in report.errors)
+
+
+class TestSaturation:
+    def test_hot_pixel_triggers_qt702(self):
+        report = check_temporal(25_000, 12_500, 2,
+                                streams=[burst_stream(100)])
+        warnings = report.by_rule("QT702")
+        assert warnings and warnings[0].severity == "warning"
+        assert warnings[0].details["window_top"] == 3
+
+    def test_sparse_stream_stays_clean(self):
+        report = check_temporal(25_000, 12_500, 8,
+                                streams=[burst_stream(5)])
+        assert not report.by_rule("QT702")
+
+    def test_saturation_not_measured_on_broken_geometry(self):
+        # QT701 already fired; the measurement would be meaningless.
+        report = check_temporal(10_000, 20_000, 2,
+                                streams=[burst_stream(100)])
+        assert report.by_rule("QT701") and not report.by_rule("QT702")
+
+
+class TestRealTime:
+    def test_unsustainable_stride_triggers_qt703(self):
+        report = check_temporal(10, 1, 8, spec=lenet_spec())
+        errors = report.by_rule("QT703")
+        assert errors and errors[0].details["sustainable_stride_us"] > 1
+
+    def test_paper_stride_keeps_up(self):
+        report = check_temporal(25_000, 12_500, 4, spec=lenet_spec())
+        assert not report.by_rule("QT703")
+
+
+class TestPrecision:
+    def test_bits_mismatch_triggers_qt704(self):
+        report = check_temporal(25_000, 12_500, 4, input_bits=8)
+        errors = report.by_rule("QT704")
+        assert errors and errors[0].details == {"signal_bits": 4, "input_bits": 8}
+
+    def test_matching_bits_pass(self):
+        report = check_temporal(25_000, 12_500, 4, input_bits=4)
+        assert report.ok and len(report) == 0

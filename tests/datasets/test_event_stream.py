@@ -1,0 +1,176 @@
+"""Tests for the procedural DVS-gesture-like event-stream dataset."""
+
+import numpy as np
+import pytest
+
+from repro.datasets import load_dataset
+from repro.datasets.event_stream import (
+    CLASS_PATTERNS,
+    NUM_CLASSES,
+    EventStream,
+    EventStreamDataset,
+    counts_to_frames,
+    event_stream_like,
+    events_to_counts,
+    generate_event_stream,
+    generate_event_streams,
+    max_window_count,
+    num_windows,
+    sliding_window_counts,
+)
+from repro.snc.seeding import substream
+from repro.snc.spikes import window_length
+
+
+class TestEventStream:
+    def test_parallel_arrays_enforced(self):
+        with pytest.raises(ValueError, match="parallel"):
+            EventStream(
+                t=np.zeros(3, dtype=np.int64),
+                x=np.zeros(2, dtype=np.int16),
+                y=np.zeros(3, dtype=np.int16),
+                polarity=np.zeros(3, dtype=np.int8),
+                label=0,
+                duration_us=100,
+            )
+
+    def test_unsorted_timestamps_rejected(self):
+        with pytest.raises(ValueError, match="ascending"):
+            EventStream(
+                t=np.array([5, 3], dtype=np.int64),
+                x=np.zeros(2, dtype=np.int16),
+                y=np.zeros(2, dtype=np.int16),
+                polarity=np.zeros(2, dtype=np.int8),
+                label=0,
+                duration_us=100,
+            )
+
+    def test_slice_time_is_half_open(self):
+        s = EventStream(
+            t=np.array([0, 10, 20, 30], dtype=np.int64),
+            x=np.zeros(4, dtype=np.int16),
+            y=np.zeros(4, dtype=np.int16),
+            polarity=np.zeros(4, dtype=np.int8),
+            label=0,
+            duration_us=100,
+        )
+        window = s.slice_time(10, 30)
+        assert window.t.tolist() == [10, 20]
+        assert window.label == 0 and window.duration_us == 100
+
+
+class TestGeneration:
+    @pytest.mark.parametrize("label", range(len(CLASS_PATTERNS)))
+    def test_every_pattern_generates_events(self, label):
+        stream = generate_event_stream(label, substream(0, "t", (label,)))
+        assert len(stream) > 50
+        assert stream.t.dtype == np.int64
+        assert np.all(np.diff(stream.t) >= 0)
+        assert np.all((stream.t >= 0) & (stream.t < stream.duration_us))
+        assert np.all((stream.x >= 0) & (stream.x < stream.width))
+        assert np.all((stream.y >= 0) & (stream.y < stream.height))
+        assert set(np.unique(stream.polarity)) <= {0, 1}
+
+    def test_bad_label_rejected(self):
+        with pytest.raises(ValueError, match="label"):
+            generate_event_stream(99, substream(0, "t"))
+
+    def test_deterministic_from_seed(self):
+        a = generate_event_streams(8, seed=7)
+        b = generate_event_streams(8, seed=7)
+        for sa, sb in zip(a.streams, b.streams):
+            assert sa.label == sb.label
+            np.testing.assert_array_equal(sa.t, sb.t)
+            np.testing.assert_array_equal(sa.x, sb.x)
+            np.testing.assert_array_equal(sa.y, sb.y)
+            np.testing.assert_array_equal(sa.polarity, sb.polarity)
+
+    def test_different_seed_differs(self):
+        a = generate_event_streams(4, seed=1)
+        b = generate_event_streams(4, seed=2)
+        assert any(
+            len(sa) != len(sb) or not np.array_equal(sa.t, sb.t)
+            for sa, sb in zip(a.streams, b.streams)
+        )
+
+    def test_labels_balanced(self):
+        ds = generate_event_streams(NUM_CLASSES * 3, seed=0)
+        counts = np.bincount(ds.labels, minlength=NUM_CLASSES)
+        assert np.all(counts == 3)
+
+    def test_train_test_disjoint_seeds(self):
+        train, test = event_stream_like(train_size=5, test_size=5, seed=0)
+        assert isinstance(train, EventStreamDataset)
+        assert len(train) == 5 and len(test) == 5
+        assert not np.array_equal(train.streams[0].t, test.streams[0].t)
+
+    def test_registered_in_registry(self):
+        train, test = load_dataset("dvs-gesture-like", train_size=4, test_size=2, seed=3)
+        assert len(train) == 4 and len(test) == 2
+        direct_train, _ = event_stream_like(train_size=4, test_size=2, seed=3)
+        np.testing.assert_array_equal(train.streams[0].t, direct_train.streams[0].t)
+
+
+class TestBinning:
+    @pytest.fixture(scope="class")
+    def stream(self):
+        return generate_event_stream(0, substream(0, "binning"))
+
+    def test_counts_shape_and_clip(self, stream):
+        bits = 2
+        counts = events_to_counts(stream, 0, stream.duration_us, bits)
+        assert counts.shape == (1, stream.height, stream.width)
+        assert counts.dtype == np.int64
+        assert counts.max() <= window_length(bits)
+        assert counts.sum() > 0
+
+    def test_split_polarity_channels(self, stream):
+        merged = events_to_counts(stream, 0, stream.duration_us, bits=8)
+        split = events_to_counts(stream, 0, stream.duration_us, bits=8, polarity="split")
+        assert split.shape == (2, stream.height, stream.width)
+        # With a wide-enough window nothing clips, so channels sum to merge.
+        np.testing.assert_array_equal(split.sum(axis=0, keepdims=True), merged)
+
+    def test_empty_window_is_zero(self, stream):
+        counts = events_to_counts(stream, stream.duration_us + 10,
+                                  stream.duration_us + 20, bits=4)
+        assert counts.sum() == 0
+
+    def test_invalid_window_rejected(self, stream):
+        with pytest.raises(ValueError, match="t0_us < t1_us"):
+            events_to_counts(stream, 10, 10, bits=4)
+        with pytest.raises(ValueError, match="polarity"):
+            events_to_counts(stream, 0, 10, bits=4, polarity="both")
+
+    def test_num_windows(self):
+        assert num_windows(100, 100, 25) == 1
+        assert num_windows(100, 25, 25) == 4
+        assert num_windows(101, 25, 25) == 5
+        assert num_windows(10, 40, 20) == 1
+        with pytest.raises(ValueError):
+            num_windows(100, 0, 25)
+
+    def test_sliding_window_counts_shape(self, stream):
+        window_us, stride_us = 25_000, 12_500
+        frames = sliding_window_counts(stream, window_us, stride_us, bits=4)
+        expected = num_windows(stream.duration_us, window_us, stride_us)
+        assert frames.shape == (expected, 1, stream.height, stream.width)
+        # Windows are consistent with direct binning of the same interval.
+        np.testing.assert_array_equal(
+            frames[2],
+            events_to_counts(stream, 2 * stride_us, 2 * stride_us + window_us, 4),
+        )
+
+    def test_counts_to_frames_range(self, stream):
+        counts = sliding_window_counts(stream, 25_000, 25_000, bits=4)
+        frames = counts_to_frames(counts, bits=4)
+        assert frames.dtype == np.float64
+        assert frames.min() >= 0.0 and frames.max() <= 1.0
+
+    def test_max_window_count_bounds_clipping(self, stream):
+        peak = max_window_count([stream], 25_000, 12_500)
+        assert peak >= 1
+        # With bits chosen so 2^M-1 >= peak, binning never clips.
+        bits = int(np.ceil(np.log2(peak + 1)))
+        counts = sliding_window_counts(stream, 25_000, 12_500, bits=bits)
+        assert counts.max() == peak

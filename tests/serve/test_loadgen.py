@@ -4,8 +4,16 @@ import numpy as np
 import pytest
 
 from repro.serve import LoadGenConfig, ModelServer, ServeConfig, run_load
-from repro.serve.loadgen import plan_requests
+from repro.serve.loadgen import (
+    StreamLoadConfig,
+    plan_requests,
+    plan_streams,
+    request_substream_key,
+    run_stream_load,
+    stream_substream_key,
+)
 from repro.serve.queue import DeadlineExceeded, ServerOverloaded
+from repro.snc.seeding import substream
 
 
 class TestPlanRequests:
@@ -116,3 +124,121 @@ class TestRunLoad:
             report = run_load(server, images, config)
         assert report.requests_failed == 0
         assert report.requests_ok == 12
+
+
+class TestRequestProvenance:
+    """Every scheduled request must be reproducible in isolation from
+    the substream key recorded in the report."""
+
+    def test_request_log_covers_the_whole_schedule(self):
+        images = np.zeros((32, 2, 4, 4))
+        config = LoadGenConfig(clients=2, requests_per_client=3, seed=7)
+        report = run_load(FakeServer(), images, config)
+        assert len(report.request_log) == 6
+        schedule = plan_requests(config, 32)
+        for entry in report.request_log:
+            assert entry["offset"], entry["rows"] == \
+                schedule[entry["client"]][entry["index"]]
+
+    def test_recorded_key_rebuilds_the_request_in_isolation(self):
+        images = np.zeros((32, 2, 4, 4))
+        config = LoadGenConfig(clients=2, requests_per_client=3, seed=7,
+                               min_rows=1, max_rows=8)
+        report = run_load(FakeServer(), images, config)
+        entry = report.request_log[4]
+        key = entry["substream"]
+        assert key == request_substream_key(config, entry["client"], entry["index"])
+        rng = substream(key["seed"], key["token"], tuple(key["coordinates"]))
+        rows = min(int(rng.integers(config.min_rows, config.max_rows + 1)), 32)
+        offset = int(rng.integers(0, 32 - rows + 1))
+        assert (offset, rows) == (entry["offset"], entry["rows"])
+
+    def test_request_log_survives_to_dict(self):
+        images = np.zeros((8, 2, 4, 4))
+        config = LoadGenConfig(clients=1, requests_per_client=2, seed=0)
+        payload = run_load(FakeServer(), images, config).to_dict()
+        assert len(payload["request_log"]) == 2
+        assert payload["request_log"][0]["substream"]["token"] == "serve.loadgen"
+
+
+class FakeStreaming:
+    """Stands in for StreamingServer.serve_stream."""
+
+    def __init__(self):
+        self.served = []
+
+    def serve_stream(self, stream, timeout=None):
+        from repro.snc.temporal import TemporalResult
+
+        self.served.append(stream)
+        return TemporalResult(
+            per_window_logits=np.zeros((7, 10)),
+            prediction=stream.label,
+            label=stream.label,
+            decision_window=6,
+            total_windows=7,
+        )
+
+
+class TestStreamLoad:
+    def test_planned_streams_are_deterministic(self):
+        config = StreamLoadConfig(clients=2, streams_per_client=2, seed=5,
+                                  duration_us=40_000)
+        first = plan_streams(config)
+        second = plan_streams(config)
+        for plan_a, plan_b in zip(first, second):
+            for a, b in zip(plan_a, plan_b):
+                assert a.label == b.label
+                np.testing.assert_array_equal(a.t, b.t)
+                np.testing.assert_array_equal(a.x, b.x)
+
+    def test_stream_log_records_reproducible_keys(self):
+        config = StreamLoadConfig(clients=2, streams_per_client=2, seed=5,
+                                  duration_us=40_000)
+        report = run_stream_load(FakeStreaming(), config)
+        assert len(report.stream_log) == 4
+        entry = report.stream_log[3]
+        assert entry["substream"] == stream_substream_key(
+            config, entry["client"], entry["index"])
+        # Rebuild that one stream from the key alone.
+        from repro.datasets.event_stream import NUM_CLASSES, generate_event_stream
+
+        key = entry["substream"]
+        rng = substream(key["seed"], key["token"], tuple(key["coordinates"]))
+        label = int(rng.integers(0, NUM_CLASSES))
+        rebuilt = generate_event_stream(label, rng, duration_us=config.duration_us)
+        assert rebuilt.label == entry["label"]
+        assert len(rebuilt.t) == entry["events"]
+
+    def test_report_counts_and_dict(self):
+        config = StreamLoadConfig(clients=2, streams_per_client=3, seed=1,
+                                  duration_us=40_000)
+        report = run_stream_load(FakeStreaming(), config)
+        assert report.streams_sent == 6
+        assert report.streams_ok == 6
+        assert report.streams_failed == 0
+        assert report.windows_served == 42
+        assert report.predictions_correct == 6  # fake predicts the label
+        payload = report.to_dict()
+        for key in ("windows_per_second", "session_p50_ms", "session_p99_ms",
+                    "streams_ok", "stream_log"):
+            assert key in payload
+
+    def test_failures_counted_not_raised(self):
+        class Failing:
+            def serve_stream(self, stream, timeout=None):
+                raise RuntimeError("boom")
+
+        config = StreamLoadConfig(clients=1, streams_per_client=2, seed=0,
+                                  duration_us=40_000)
+        report = run_stream_load(Failing(), config)
+        assert report.streams_failed == 2
+        assert report.streams_ok == 0
+
+    def test_config_validated(self):
+        with pytest.raises(ValueError):
+            StreamLoadConfig(clients=0)
+        with pytest.raises(ValueError):
+            StreamLoadConfig(streams_per_client=0)
+        with pytest.raises(ValueError):
+            StreamLoadConfig(duration_us=0)

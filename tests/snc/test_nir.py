@@ -1,0 +1,186 @@
+"""Tests for the NIR-style graph interchange (repro.snc.nir)."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro import datasets
+from repro.core.deployment import DeploymentConfig, deploy_model
+from repro.models.registry import MODEL_DATASET, available_models, build_model
+from repro.nn.modules import ReLU, Sequential
+from repro.nn.tensor import Tensor, no_grad
+from repro.snc.nir import (
+    NIR_FORMAT_VERSION,
+    export_nir,
+    from_nir,
+    import_nir,
+    load_nir,
+    lower_module,
+    to_nir,
+    validate_nir,
+)
+
+
+def _deployed(name):
+    maker = (
+        datasets.mnist_like
+        if MODEL_DATASET[name] == "mnist-like"
+        else datasets.cifar_like
+    )
+    train_set, _ = maker(train_size=16, test_size=4, seed=0)
+    images = np.asarray(train_set.images[:8], dtype=np.float64)
+    model = build_model(name, width_multiplier=0.25, rng=np.random.default_rng(0))
+    model.eval()
+    deployed, _ = deploy_model(
+        model,
+        DeploymentConfig(signal_bits=4, weight_bits=4, input_bits=8,
+                         signal_gain="auto"),
+        images,
+    )
+    return deployed, images
+
+
+@pytest.fixture(scope="module", params=available_models())
+def deployment(request):
+    deployed, images = _deployed(request.param)
+    return request.param, deployed, images
+
+
+class TestRoundTrip:
+    def test_bit_exact_logits(self, deployment, tmp_path):
+        name, deployed, images = deployment
+        path = str(tmp_path / f"{name}.nir.npz")
+        export_nir(deployed, path, model=name)
+        rebuilt = import_nir(path)
+        with no_grad():
+            reference = deployed(Tensor(images)).data
+            imported = rebuilt(Tensor(images)).data
+        np.testing.assert_array_equal(imported, reference)
+
+    def test_reexport_is_stable(self, deployment, tmp_path):
+        """Export → import → export reproduces the same graph and arrays."""
+        name, deployed, _ = deployment
+        first = to_nir(deployed, model=name)
+        path = str(tmp_path / f"{name}.nir.npz")
+        first.save(path)
+        second = to_nir(import_nir(path), model=name)
+        assert first.meta() == second.meta()
+        assert set(first.arrays) == set(second.arrays)
+        for key in first.arrays:
+            np.testing.assert_array_equal(first.arrays[key], second.arrays[key])
+
+    def test_validation_passes(self, deployment):
+        name, deployed, _ = deployment
+        report = validate_nir(to_nir(deployed, model=name))
+        assert report.ok, report.summary()
+
+
+class TestFormat:
+    @pytest.fixture(scope="class")
+    def graph(self):
+        deployed, _ = _deployed("lenet")
+        return to_nir(deployed, model="lenet")
+
+    def test_meta_is_json_serializable(self, graph):
+        payload = json.dumps(graph.meta())
+        parsed = json.loads(payload)
+        assert parsed["format"] == "repro-nir"
+        assert parsed["version"] == NIR_FORMAT_VERSION
+        assert parsed["root"] == "model"
+
+    def test_edges_reference_real_nodes(self, graph):
+        junctions = {f"{n.id}#sum" for n in graph.nodes.values()
+                     if n.kind == "residual"}
+        for src, dst in graph.edges:
+            assert src in graph.nodes or src in junctions
+            assert dst in graph.nodes or dst in junctions
+
+    def test_wrong_version_raises_clear_error(self, graph, tmp_path):
+        path = str(tmp_path / "bad.nir.npz")
+        bumped = to_nir(from_nir(graph))
+        bumped.version = NIR_FORMAT_VERSION + 1
+        bumped.save(path)
+        with pytest.raises(ValueError, match="unsupported NIR format version"):
+            load_nir(path)
+
+    def test_not_a_nir_archive(self, tmp_path):
+        path = str(tmp_path / "plain.npz")
+        np.savez(path, data=np.zeros(3))
+        with pytest.raises(ValueError, match="missing __nir__"):
+            load_nir(path)
+
+    def test_unknown_module_rejected(self):
+        class Exotic(ReLU.__mro__[1]):  # a bare Module subclass
+            def forward(self, x):
+                return x
+
+        with pytest.raises(ValueError, match="not NIR-exportable"):
+            to_nir(Exotic())
+
+
+class TestValidation:
+    @pytest.fixture()
+    def graph(self):
+        deployed, _ = _deployed("lenet")
+        return to_nir(deployed, model="lenet")
+
+    def test_unknown_kind_flagged(self, graph):
+        next(iter(graph.nodes.values())).kind = "lif"  # not in vocabulary
+        report = validate_nir(graph)
+        assert any(d.rule == "QN802" for d in report.errors)
+
+    def test_dangling_child_flagged(self, graph):
+        node = graph.nodes[graph.root]
+        node.children.append("model/ghost")
+        report = validate_nir(graph)
+        assert any(d.rule == "QN804" for d in report.errors)
+
+    def test_missing_array_flagged(self, graph):
+        key = next(k for k in graph.arrays if k.endswith(":weight"))
+        del graph.arrays[key]
+        report = validate_nir(graph)
+        assert any(d.rule == "QN803" for d in report.errors)
+
+    def test_shape_contradiction_flagged(self, graph):
+        key = next(k for k in graph.arrays if k.endswith(":weight"))
+        graph.arrays[key] = graph.arrays[key][..., :1]
+        report = validate_nir(graph)
+        assert any(d.rule == "QN803" for d in report.errors)
+
+    def test_version_mismatch_flagged(self, graph):
+        graph.version = 99
+        report = validate_nir(graph)
+        assert any(d.rule == "QN801" for d in report.errors)
+
+    def test_mixed_bits_flagged(self, graph):
+        quantizers = [n for n in graph.nodes.values()
+                      if n.kind == "quantized_activation"]
+        assert len(quantizers) >= 2
+        quantizers[0].attrs["bits"] = 7
+        report = validate_nir(graph)
+        assert any(d.rule == "QN805" for d in report.warnings)
+
+
+class TestLowering:
+    def test_vocabulary_module_passes_through(self):
+        seq = Sequential(ReLU())
+        assert lower_module(seq) is seq
+
+    def test_lenet_lowering_preserves_forward(self):
+        model = build_model("lenet", width_multiplier=0.25,
+                            rng=np.random.default_rng(1))
+        model.eval()
+        lowered = lower_module(model).eval()
+        x = Tensor(np.random.default_rng(2).normal(size=(2, 1, 28, 28)))
+        with no_grad():
+            np.testing.assert_array_equal(lowered(x).data, model(x).data)
+
+    def test_resnet_lowering_preserves_forward(self):
+        model = build_model("resnet", width_multiplier=0.25,
+                            rng=np.random.default_rng(1))
+        model.eval()
+        lowered = lower_module(model).eval()
+        x = Tensor(np.random.default_rng(2).normal(size=(2, 3, 32, 32)))
+        with no_grad():
+            np.testing.assert_array_equal(lowered(x).data, model(x).data)

@@ -1,0 +1,187 @@
+"""Tests for temporal (event-windowed) inference (repro.snc.temporal)."""
+
+import numpy as np
+import pytest
+
+from repro.datasets.event_stream import generate_event_streams
+from repro.models import LeNet
+from repro.models.specs import lenet_spec
+from repro.snc.system import SpikingSystemConfig, build_spiking_system
+from repro.snc.temporal import (
+    TemporalConfig,
+    infer_stream,
+    replay_frames,
+    stream_accuracy,
+    stream_timing,
+    stream_to_frames,
+    window_groups,
+)
+
+SIGNAL_BITS = 4
+
+
+@pytest.fixture(scope="module")
+def streams():
+    return generate_event_streams(6, seed=11).streams
+
+
+@pytest.fixture(scope="module")
+def system(streams):
+    # Untrained weights are fine: the temporal path's contracts are about
+    # determinism and bit-exact window replay, not accuracy.
+    model = LeNet(width_multiplier=0.25, rng=np.random.default_rng(3))
+    config = SpikingSystemConfig(
+        signal_bits=SIGNAL_BITS, weight_bits=4, input_bits=SIGNAL_BITS,
+        signal_gain="auto",
+    )
+    calibration = stream_to_frames(streams[0], TemporalConfig(signal_bits=SIGNAL_BITS))
+    return build_spiking_system(model, config, calibration)
+
+
+class TestTemporalConfig:
+    def test_defaults_valid(self):
+        TemporalConfig()
+
+    @pytest.mark.parametrize(
+        "kwargs, match",
+        [
+            (dict(window_us=0), "positive"),
+            (dict(stride_us=30_000, window_us=20_000), "exceed"),
+            (dict(signal_bits=0), "signal_bits"),
+            (dict(decision="spike"), "decision"),
+            (dict(latency_margin=0.0), "latency_margin"),
+            (dict(batch_windows=0), "batch_windows"),
+        ],
+    )
+    def test_invalid_rejected(self, kwargs, match):
+        with pytest.raises(ValueError, match=match):
+            TemporalConfig(**kwargs)
+
+
+class TestStreamToFrames:
+    def test_shape_and_range(self, streams):
+        config = TemporalConfig(signal_bits=SIGNAL_BITS)
+        frames = stream_to_frames(streams[0], config)
+        assert frames.ndim == 4 and frames.shape[1] == 1
+        assert frames.dtype == np.float64
+        assert frames.min() >= 0.0 and frames.max() <= 1.0
+
+
+class TestInferStream:
+    def test_rate_decision_runs_every_window(self, system, streams):
+        config = TemporalConfig(signal_bits=SIGNAL_BITS)
+        result = infer_stream(system, streams[0], config)
+        assert result.per_window_logits.shape == (result.total_windows, 10)
+        assert result.decision_window == result.total_windows - 1
+        assert result.label == streams[0].label
+        assert 0 <= result.prediction < 10
+
+    def test_deterministic(self, system, streams):
+        config = TemporalConfig(signal_bits=SIGNAL_BITS)
+        a = infer_stream(system, streams[1], config)
+        b = infer_stream(system, streams[1], config)
+        np.testing.assert_array_equal(a.per_window_logits, b.per_window_logits)
+        assert a.prediction == b.prediction
+
+    def test_replay_matches_infer_stream_same_grouping(self, system, streams):
+        """Direct replay with the canonical grouping is bit-identical."""
+        config = TemporalConfig(signal_bits=SIGNAL_BITS)
+        result = infer_stream(system, streams[2], config)
+        frames = stream_to_frames(streams[2], config)
+        replay = replay_frames(system.engine(), frames, config.batch_windows)
+        np.testing.assert_array_equal(result.per_window_logits, replay)
+
+    def test_single_window_grouping_matches_per_window_runs(self, system, streams):
+        config = TemporalConfig(signal_bits=SIGNAL_BITS, batch_windows=1)
+        frames = stream_to_frames(streams[2], config)
+        replay = replay_frames(system.engine(), frames, 1)
+        engine = system.engine()
+        for k in range(len(frames)):
+            np.testing.assert_array_equal(replay[k], engine.run(frames[k:k + 1])[0])
+
+    def test_different_groupings_agree_to_float_rounding(self, system, streams):
+        frames = stream_to_frames(streams[2], TemporalConfig(signal_bits=SIGNAL_BITS))
+        engine = system.engine()
+        a = replay_frames(engine, frames, 1)
+        b = replay_frames(engine, frames, len(frames))
+        np.testing.assert_allclose(a, b, atol=1e-12)
+
+    def test_window_groups_tile_the_range(self):
+        groups = window_groups(7, 3)
+        assert [(g.start, g.stop) for g in groups] == [(0, 3), (3, 6), (6, 7)]
+        with pytest.raises(ValueError):
+            window_groups(0, 3)
+
+    def test_latency_decision_stops_early_with_tiny_margin(self, system, streams):
+        config = TemporalConfig(
+            signal_bits=SIGNAL_BITS, decision="latency", latency_margin=1e-9,
+            batch_windows=1,
+        )
+        result = infer_stream(system, streams[0], config)
+        assert result.decision_window == 0
+        assert result.windows_used == 1
+        assert len(result.per_window_logits) == 1
+
+    def test_latency_decision_agrees_with_rate_prefix(self, system, streams):
+        """A latency decision equals rate aggregation over the windows it ran."""
+        config = TemporalConfig(
+            signal_bits=SIGNAL_BITS, decision="latency", latency_margin=0.5
+        )
+        result = infer_stream(system, streams[3], config)
+        rate = TemporalConfig(signal_bits=SIGNAL_BITS)
+        full = infer_stream(system, streams[3], rate)
+        ran = len(result.per_window_logits)
+        assert ran >= result.windows_used
+        np.testing.assert_array_equal(
+            result.per_window_logits, full.per_window_logits[:ran]
+        )
+        used = result.windows_used
+        expected = int(full.per_window_logits[:used].sum(axis=0).argmax())
+        assert result.prediction == expected
+
+    def test_huge_margin_consumes_all_windows(self, system, streams):
+        config = TemporalConfig(
+            signal_bits=SIGNAL_BITS, decision="latency", latency_margin=1e12
+        )
+        result = infer_stream(system, streams[0], config)
+        assert result.windows_used == result.total_windows
+
+    def test_system_method_delegates(self, system, streams):
+        config = TemporalConfig(signal_bits=SIGNAL_BITS)
+        direct = infer_stream(system, streams[4], config)
+        via_method = system.infer_stream(streams[4], config)
+        np.testing.assert_array_equal(
+            direct.per_window_logits, via_method.per_window_logits
+        )
+
+
+class TestStreamAccuracy:
+    def test_accuracy_in_unit_interval(self, system, streams):
+        config = TemporalConfig(signal_bits=SIGNAL_BITS)
+        acc = stream_accuracy(system, streams[:3], config)
+        assert 0.0 <= acc <= 1.0
+
+    def test_empty_rejected(self, system):
+        with pytest.raises(ValueError, match="non-empty"):
+            stream_accuracy(system, [])
+
+
+class TestStreamTiming:
+    def test_rate_and_latency_consistent(self):
+        spec = lenet_spec()
+        config = TemporalConfig(signal_bits=SIGNAL_BITS)
+        timing = stream_timing(spec, config, total_windows=16)
+        assert timing.first_window_us > 0
+        assert timing.total_us >= timing.first_window_us
+        assert timing.windows_per_second > 0
+        assert timing.keeps_up_with == pytest.approx(1e6 / timing.windows_per_second)
+
+    def test_more_bits_is_slower(self):
+        spec = lenet_spec()
+        slow = stream_timing(spec, TemporalConfig(signal_bits=8), 16)
+        fast = stream_timing(spec, TemporalConfig(signal_bits=3), 16)
+        assert fast.windows_per_second > slow.windows_per_second
+
+    def test_too_few_windows_rejected(self):
+        with pytest.raises(ValueError, match="at least 2"):
+            stream_timing(lenet_spec(), TemporalConfig(), 1)

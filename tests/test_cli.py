@@ -81,6 +81,23 @@ class TestTrainingFreeCommands:
         )
         assert "backend=graph" in out
 
+    def test_stream_bench_quick(self):
+        out = run_command(
+            build_parser().parse_args(
+                ["stream-bench", "--models", "lenet", "--bits", "4", "--quick"]
+            )
+        )
+        assert "windows_per_s" in out
+        assert "bit-exact" in out and "MISMATCH" not in out
+
+    def test_stream_bench_rejects_non_lenet(self):
+        with pytest.raises(SystemExit, match="lenet"):
+            run_command(
+                build_parser().parse_args(
+                    ["stream-bench", "--models", "resnet", "--bits", "4", "--quick"]
+                )
+            )
+
 
 def _isolated_fast_settings(tmp_path, monkeypatch):
     # Redirect the cache so the test doesn't pollute .bench_cache.

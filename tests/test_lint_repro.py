@@ -450,6 +450,83 @@ class TestExceptionHygieneRule:
         assert findings == []
 
 
+class TestEventModuleCoverage:
+    """PR 9: RL005/RL006 extend over serve/stream.py and the event modules."""
+
+    def test_clock_call_in_stream_module_is_rl005(self, tmp_path):
+        f = _write(tmp_path / "repro" / "serve" / "stream.py", """
+            import time
+
+            def sweep():
+                return time.monotonic()
+        """)
+        assert _rules(lint_repro.lint_paths([f])) == ["RL005"]
+
+    def test_clock_call_in_event_dataset_is_rl005(self, tmp_path):
+        f = _write(tmp_path / "repro" / "datasets" / "event_stream.py", """
+            import time
+
+            def stamp():
+                return time.time_ns()
+        """)
+        assert _rules(lint_repro.lint_paths([f])) == ["RL005"]
+
+    def test_clock_call_in_temporal_module_is_rl005(self, tmp_path):
+        f = _write(tmp_path / "repro" / "snc" / "temporal.py", """
+            from time import perf_counter
+
+            def bin_windows():
+                return perf_counter()
+        """)
+        assert _rules(lint_repro.lint_paths([f])) == ["RL005"]
+
+    def test_bare_except_in_nir_module_is_rl006(self, tmp_path):
+        f = _write(tmp_path / "repro" / "snc" / "nir.py", """
+            def load(path):
+                try:
+                    return open(path)
+                except:
+                    return None
+        """)
+        findings = lint_repro.lint_paths([f])
+        assert _rules(findings) == ["RL006"]
+        assert "bare `except:`" in findings[0].message
+
+    def test_silent_handler_in_event_dataset_is_rl006(self, tmp_path):
+        f = _write(tmp_path / "repro" / "datasets" / "event_stream.py", """
+            def read(archive, key):
+                try:
+                    return archive[key]
+                except KeyError:
+                    pass
+        """)
+        assert _rules(lint_repro.lint_paths([f])) == ["RL006"]
+
+    def test_other_snc_modules_stay_uncovered(self, tmp_path):
+        f = _write(tmp_path / "repro" / "snc" / "mapping.py", """
+            import time
+
+            def measure():
+                try:
+                    return time.monotonic()
+                except OSError:
+                    pass
+        """)
+        assert lint_repro.lint_paths([f]) == []
+
+    def test_actual_event_modules_are_clean(self):
+        src = Path(__file__).resolve().parents[1] / "src" / "repro"
+        targets = [
+            src / "datasets" / "event_stream.py",
+            src / "snc" / "temporal.py",
+            src / "snc" / "nir.py",
+            src / "serve" / "stream.py",
+        ]
+        findings = [f for f in lint_repro.lint_paths(targets)
+                    if f.rule in ("RL005", "RL006")]
+        assert findings == []
+
+
 class TestFlowClockCoverage:
     def test_direct_clock_call_in_flow_is_rl005(self, tmp_path):
         f = _write(tmp_path / "repro" / "flow" / "mod.py", """

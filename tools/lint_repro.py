@@ -35,10 +35,16 @@ Rules
     pays zero syscalls and tests can use a FakeClock.  References
     (``clock=time.monotonic`` as a default) are fine — only calls are
     flagged.  Also covers ``repro/flow/`` — the orchestration layer's
-    retry/timeout machinery must run on injected clocks.
+    retry/timeout machinery must run on injected clocks — and the event
+    modules (``datasets/event_stream.py``, ``snc/temporal.py``,
+    ``snc/nir.py``): event time is carried by the µs timestamps in the
+    streams themselves, so a wall-clock read there would silently couple
+    binning to the host machine.
 ``RL006`` — no bare ``except:`` and no silently swallowed exceptions in
     the robustness-critical layers ``repro/flow/``, ``repro/serve/``,
-    and ``repro/runtime/``.  A bare ``except`` catches
+    ``repro/runtime/``, and the event modules listed under RL005 (a
+    dropped event or a half-read archive must surface, not vanish).
+    A bare ``except`` catches
     ``KeyboardInterrupt``/``SystemExit`` and turns a crash into a hang;
     a handler whose body is only ``pass``/``...`` makes a failure
     unobservable — exactly what the failsink/telemetry machinery exists
@@ -137,6 +143,14 @@ CLOCK_INJECTED_SUFFIXES = (
 #: RL005 exemptions: clock.py IS the injection point; loadgen.py is a
 #: measurement client sitting outside the serving path.
 CLOCK_EXEMPT_SUFFIXES = ("obs/clock.py", "serve/loadgen.py")
+
+#: event/temporal modules (RL005 + RL006): binning and interchange are
+#: driven by event timestamps, never the host clock, and a swallowed
+#: failure there silently drops events or truncates archives.
+EVENT_MODULE_SUFFIXES = (
+    "datasets/event_stream.py", "snc/temporal.py", "snc/nir.py",
+    "serve/stream.py",
+)
 
 #: stdlib queue classes that accept (and default to an unbounded) maxsize.
 BOUNDABLE_QUEUES = frozenset({"Queue", "LifoQueue", "PriorityQueue"})
@@ -414,6 +428,7 @@ def check_injected_clocks(path: Path, tree: ast.Module) -> Iterator[Finding]:
         or "repro/serve/" in posix
         or "repro/flow/" in posix
         or any(posix.endswith(suffix) for suffix in CLOCK_INJECTED_SUFFIXES)
+        or any(posix.endswith(suffix) for suffix in EVENT_MODULE_SUFFIXES)
     )
     if not covered:
         return
@@ -458,7 +473,9 @@ def _handler_body_is_silent(handler: ast.ExceptHandler) -> bool:
 def check_exception_hygiene(path: Path, tree: ast.Module) -> Iterator[Finding]:
     """RL006: bare excepts / silent swallowing in flow, serve, runtime."""
     posix = path.as_posix()
-    if not any(directory in posix for directory in EXCEPTION_STRICT_DIRS):
+    covered = any(directory in posix for directory in EXCEPTION_STRICT_DIRS) \
+        or any(posix.endswith(suffix) for suffix in EVENT_MODULE_SUFFIXES)
+    if not covered:
         return
     for node in ast.walk(tree):
         if not isinstance(node, ast.ExceptHandler):
