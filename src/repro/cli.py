@@ -262,11 +262,12 @@ def run_serve_bench(args: argparse.Namespace) -> str:
         {"config": "engine 1-caller", "rows_per_s": round(engine_rps, 1),
          "p50_ms": "-", "p99_ms": "-"},
     ]
+    pool = getattr(args, "pool", "thread")
     for workers in workers_list:
         server = make_model_server(
             deployed,
             ServeConfig(workers=workers, batch_size=batch_size,
-                        max_wait_ms=args.max_wait_ms),
+                        max_wait_ms=args.max_wait_ms, pool=pool),
             warmup_images=images[:2],
             telemetry=telemetry,
         )
@@ -275,14 +276,16 @@ def run_serve_bench(args: argparse.Namespace) -> str:
         finally:
             server.close()
         rows.append({
-            "config": f"server {workers}w",
+            "config": f"server {workers}w"
+                      + (" (proc)" if pool == "process" else ""),
             "rows_per_s": round(report.throughput_rows_per_s, 1),
             "p50_ms": round(report.latency_ms(50), 2),
             "p99_ms": round(report.latency_ms(99), 2),
         })
     title = (
         f"Serving throughput — {model_name} M=N={bits}, batch {batch_size}, "
-        f"max_wait {args.max_wait_ms}ms, {clients} closed-loop clients"
+        f"max_wait {args.max_wait_ms}ms, {clients} closed-loop clients, "
+        f"{pool} pool"
     )
     output = render_dict_table(rows, ["config", "rows_per_s", "p50_ms", "p99_ms"],
                                title=title)
@@ -842,6 +845,12 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument(
         "--workers", nargs="+", type=int, default=[1, 4],
         help="replica counts to benchmark (one server run per count)",
+    )
+    serve.add_argument(
+        "--pool", choices=["thread", "process"], default="thread",
+        help="replica pool backend for serve-bench: worker threads "
+             "sharing the deployed module, or spawned worker processes "
+             "fed through shared-memory tensors",
     )
     serve.add_argument(
         "--max-wait-ms", type=float, default=2.0,

@@ -289,10 +289,27 @@ def make_model_server(
     bound.  See ``docs/serving.md`` for the architecture and tuning
     guide.  ``telemetry`` (a :class:`repro.obs.Telemetry`) instruments
     the queue, batcher, replicas, and every replica engine.
+
+    With ``serve_config.pool == "process"`` the replicas become worker
+    *processes*: the deployed module is pickled into a
+    :class:`~repro.serve.procpool.WorkerSpec` so every worker rebuilds
+    and traces its own engine, and request tensors travel through
+    shared memory instead of the GIL (see docs/serving.md, "Process
+    pool").  Worker engines run untelemetered; the parent-side queue,
+    batcher, and pool carry all serving metrics.
     """
     # Lazy import: repro.serve sits above this module.
     from repro.serve import ModelServer
 
+    worker_spec = None
+    if serve_config is not None and getattr(serve_config, "pool", "thread") == "process":
+        from repro.serve.procpool import WorkerSpec
+
+        worker_spec = WorkerSpec.for_module(
+            deployed,
+            batch_rows=serve_config.batch_size,
+            **engine_overrides,
+        )
     return ModelServer(
         engine_factory=lambda: make_inference_engine(
             deployed, telemetry=telemetry, **engine_overrides
@@ -302,6 +319,7 @@ def make_model_server(
         health_probe=health_probe,
         warmup_images=warmup_images,
         telemetry=telemetry,
+        worker_spec=worker_spec,
     )
 
 

@@ -14,6 +14,15 @@ system":
 - :mod:`repro.serve.pool` — a replica pool of worker threads, each
   owning its own :class:`~repro.runtime.engine.InferenceEngine`, with
   health probes, degraded-mode fallback, and graceful drain.
+- :mod:`repro.serve.shm` — the shared-memory data plane: a slab
+  allocator with generation-tagged leases plus a per-worker SPSC
+  result ring (every segment in the repo goes through it — lint
+  RL008).
+- :mod:`repro.serve.procpool` — the multi-process replica pool
+  (``ServeConfig(pool="process")``): worker processes rebuilt from a
+  picklable :class:`WorkerSpec`, zero-copy tensors over
+  :mod:`repro.serve.shm`, heartbeat + probe-vector health folded into
+  the same degraded-mode fallback.
 - :mod:`repro.serve.server` — the :class:`ModelServer` facade
   (``submit`` / ``submit_many`` / ``stats`` / ``close``).
 - :mod:`repro.serve.loadgen` — a deterministic closed-loop load
@@ -37,6 +46,12 @@ from repro.serve.loadgen import (
     run_stream_load,
 )
 from repro.serve.pool import Replica, ReplicaPool, ReplicaStats
+from repro.serve.procpool import (
+    ProcessReplicaPool,
+    ProcessWorker,
+    WorkerDied,
+    WorkerSpec,
+)
 from repro.serve.queue import (
     AdmissionQueue,
     DeadlineExceeded,
@@ -47,6 +62,14 @@ from repro.serve.queue import (
     ServerOverloaded,
 )
 from repro.serve.server import LatencyWindow, ModelServer, ServeConfig
+from repro.serve.shm import (
+    ShmError,
+    ShmExhausted,
+    ShmLease,
+    SlabAllocator,
+    SpscRing,
+    StaleLease,
+)
 from repro.serve.stream import (
     SessionClosed,
     SessionExpired,
@@ -66,10 +89,20 @@ __all__ = [
     "MicroBatch",
     "MicroBatcher",
     "ModelServer",
+    "ProcessReplicaPool",
+    "ProcessWorker",
     "Replica",
     "ReplicaPool",
     "ReplicaStats",
     "ServeConfig",
+    "ShmError",
+    "ShmExhausted",
+    "ShmLease",
+    "SlabAllocator",
+    "SpscRing",
+    "StaleLease",
+    "WorkerDied",
+    "WorkerSpec",
     "ServeError",
     "ServeFuture",
     "ServeRequest",

@@ -245,6 +245,16 @@ class Replica:
             self._set_degraded()
         return healthy
 
+    def run_rows(self, images: np.ndarray) -> np.ndarray:
+        """Run rows through the engine with the pool's chunk/pad policy.
+
+        The public face of :meth:`_engine_run`: process-pool workers call
+        this so their logits go through byte-identical bucketing (and
+        therefore byte-identical padding) to a thread replica's — the
+        cross-process conformance suite depends on it.
+        """
+        return self._engine_run(images)
+
     def warmup(self, sample: np.ndarray) -> None:
         """Trace this replica's plan outside the serving path."""
         self._engine_run(sample)
@@ -364,10 +374,21 @@ class ReplicaPool:
                 replica.serve(batch)
 
     def close(self, drain: bool = True, timeout: float = 30.0) -> None:
-        """Stop the pool; with ``drain`` the queue is flushed first."""
+        """Stop the pool; with ``drain`` the queue is flushed first.
+
+        The queue is closed *before* the no-drain failure sweep: closing
+        first means a submit racing with ``close`` either lands before
+        the close (and is failed by the sweep) or is rejected with
+        :class:`ServerClosed` at admission — it can never slip in after
+        the sweep and be served against ``drain=False`` semantics.
+        Idempotent and safe to call concurrently; worker threads release
+        their compute slot exactly once on exit regardless of whether a
+        health probe was in flight when the queue closed.
+        """
         queue = self.batcher.queue
+        queue.close()
         if not drain:
-            # Fail whatever is still queued, then shut the door.
+            # Fail whatever was still queued when the door shut.
             while True:
                 request = queue.pop_nowait()
                 if request is None:
@@ -375,12 +396,11 @@ class ReplicaPool:
                 request.future.set_exception(
                     ServerClosed("server closed without draining")
                 )
-        queue.close()
         with self._lifecycle_lock:
-            for thread in self._threads:
-                thread.join(timeout)
-            self._threads = []
+            threads, self._threads = self._threads, []
             self._started = False
+        for thread in threads:
+            thread.join(timeout)
 
     # -- observability ------------------------------------------------------
     def stats(self) -> PoolStats:

@@ -68,6 +68,21 @@ class ServeConfig:
     latency_window:
         How many recent request latencies the server retains for
         percentile stats (bounded ring buffer).
+    pool:
+        ``"thread"`` (default) keeps replicas in-process;
+        ``"process"`` moves each replica into its own worker process
+        with shared-memory tensor transport (requires a ``worker_spec``
+        — see :func:`repro.core.deployment.make_model_server`).
+    mp_start_method:
+        Start method for process-pool workers.  ``"spawn"`` (default)
+        is safe alongside threads and BLAS pools; ``"fork"`` starts
+        faster but inherits the parent's locks.
+    max_restarts:
+        Times a dead worker process is respawned before it demotes to
+        the in-process fallback (process pool only).
+    worker_timeout_s:
+        Per-batch reply budget for a worker process; a worker that
+        stalls past it is killed and treated as dead.
     """
 
     workers: int = 4
@@ -78,10 +93,24 @@ class ServeConfig:
     probe_every_batches: int = 0
     compute_slots: Optional[int] = None
     latency_window: int = 4096
+    pool: str = "thread"
+    mp_start_method: str = "spawn"
+    max_restarts: int = 2
+    worker_timeout_s: float = 60.0
 
     def __post_init__(self) -> None:
         if self.workers < 1:
             raise ValueError(f"workers must be >= 1, got {self.workers}")
+        if self.pool not in ("thread", "process"):
+            raise ValueError(
+                f"pool must be 'thread' or 'process', got {self.pool!r}"
+            )
+        if self.max_restarts < 0:
+            raise ValueError(f"max_restarts must be >= 0, got {self.max_restarts}")
+        if self.worker_timeout_s <= 0:
+            raise ValueError(
+                f"worker_timeout_s must be positive, got {self.worker_timeout_s}"
+            )
         if self.batch_size < 1:
             raise ValueError(f"batch_size must be >= 1, got {self.batch_size}")
         if self.max_wait_ms < 0:
@@ -133,15 +162,24 @@ class ModelServer:
 
     def __init__(
         self,
-        engine_factory: Callable[[], object],
+        engine_factory: Optional[Callable[[], object]] = None,
         config: Optional[ServeConfig] = None,
         fallback: Optional[Callable[[np.ndarray], np.ndarray]] = None,
         health_probe: Optional[Callable[[], bool]] = None,
         warmup_images: Optional[np.ndarray] = None,
         clock: Optional[Callable[[], float]] = None,
         telemetry: Optional[Telemetry] = None,
+        worker_spec=None,
     ) -> None:
         self.config = config or ServeConfig()
+        if self.config.pool == "process":
+            if worker_spec is None:
+                raise ValueError(
+                    "pool='process' needs a worker_spec (WorkerSpec); build "
+                    "the server via repro.core.deployment.make_model_server"
+                )
+        elif engine_factory is None:
+            raise ValueError("pool='thread' needs an engine_factory")
         self.telemetry = telemetry
         # One clock drives queue, batcher, and latency accounting (RL005:
         # injected, never read from time.* here).
@@ -162,16 +200,35 @@ class ModelServer:
             clock=clock,
             telemetry=telemetry,
         )
-        self.pool = ReplicaPool(
-            engine_factory,
-            self.batcher,
-            workers=self.config.workers,
-            fallback=fallback,
-            health_probe=health_probe,
-            probe_every_batches=self.config.probe_every_batches,
-            compute_slots=self.config.compute_slots,
-            telemetry=telemetry,
-        )
+        if self.config.pool == "process":
+            # Imported here so thread-pool servers never touch
+            # multiprocessing (keeps fork-safety concerns out of the
+            # default path).
+            from repro.serve.procpool import ProcessReplicaPool
+
+            self.pool = ProcessReplicaPool(
+                worker_spec,
+                self.batcher,
+                workers=self.config.workers,
+                fallback=fallback,
+                probe_every_batches=self.config.probe_every_batches,
+                max_restarts=self.config.max_restarts,
+                worker_timeout_s=self.config.worker_timeout_s,
+                mp_start_method=self.config.mp_start_method,
+                telemetry=telemetry,
+                clock=clock,
+            )
+        else:
+            self.pool = ReplicaPool(
+                engine_factory,
+                self.batcher,
+                workers=self.config.workers,
+                fallback=fallback,
+                health_probe=health_probe,
+                probe_every_batches=self.config.probe_every_batches,
+                compute_slots=self.config.compute_slots,
+                telemetry=telemetry,
+            )
         if telemetry is not None:
             registry = telemetry.registry
             self._obs_completed = registry.counter(
@@ -278,5 +335,8 @@ class ModelServer:
             "degraded_replicas": pool.degraded_replicas,
             "replicas": pool.replicas,
         }
+        shm_stats = getattr(self.pool, "shm_stats", None)
+        if shm_stats is not None:  # process pool: slab/lease accounting
+            stats["shm"] = shm_stats()
         stats.update(self.latencies.percentiles())
         return stats

@@ -1,0 +1,516 @@
+"""Shared-memory transport for the multi-process serving pool.
+
+Request rows cross the process boundary as bytes in
+``multiprocessing.shared_memory`` segments, never as pickles: the parent
+scatters a micro-batch into a leased slab region, the worker maps the
+same segment and wraps it in a zero-copy numpy view, and logits return
+through a per-worker :class:`SpscRing`.  Three invariants make that safe
+enough to carry the paper's bit-exact serving guarantee:
+
+- **every segment goes through the lease allocator** — lint rule RL008
+  forbids bare ``SharedMemory`` construction anywhere else in
+  ``src/repro``, so the lease table below is a complete account of live
+  shared memory and the leak checks in the test suite are sound;
+- **generation-tagged leases** — a lease is ``(lease_id, generation,
+  segment, offset, nbytes)``; the allocator recycles a region only when
+  the *exact* lease that covers it is released, and a stale release
+  (e.g. bookkeeping racing a worker restart) raises :class:`StaleLease`
+  instead of silently freeing bytes another worker may still read;
+- **bounded slabs** — at most ``max_slabs`` segments exist; when the
+  working set cannot fit, :class:`ShmExhausted` propagates as explicit
+  backpressure (RL004: the serving layer sheds load, it never grows
+  without bound).
+
+The :class:`SpscRing` is a single-producer single-consumer byte FIFO in
+one shared segment: the worker (sole writer) advances ``tail``, the
+parent (sole reader) advances ``head``, and the control-plane pipe
+message that announces each payload provides the cross-process
+happens-before edge, so no locks are needed.
+"""
+
+from __future__ import annotations
+
+import os
+import secrets
+import struct
+import threading
+from dataclasses import dataclass
+from multiprocessing import shared_memory
+from typing import Dict, List, Optional, Set, Tuple
+
+import numpy as np
+
+from repro.obs import Telemetry
+from repro.obs.clock import SYSTEM_CLOCK, SYSTEM_SLEEP, Clock, Sleep
+
+__all__ = [
+    "ShmError",
+    "ShmExhausted",
+    "ShmLeak",
+    "StaleLease",
+    "ShmLease",
+    "SlabAllocator",
+    "SpscRing",
+    "attach_segment",
+    "active_segment_names",
+]
+
+#: lease offsets/sizes are rounded up to this many bytes (cache line).
+ALIGNMENT = 64
+
+#: ring header: two little-endian u64 monotonic byte counters.
+_RING_HEADER = struct.Struct("<QQ")
+
+
+class ShmError(RuntimeError):
+    """Base class of shared-memory transport errors."""
+
+
+class ShmExhausted(ShmError):
+    """The slab budget cannot hold another lease; shed load and retry."""
+
+
+class StaleLease(ShmError):
+    """A release named a (lease_id, generation) the table does not hold."""
+
+
+class ShmLeak(ShmError):
+    """Leases were still outstanding when the allocator closed."""
+
+
+# -- segment registry ---------------------------------------------------------
+# Every segment this process *created* is recorded here so tests can
+# assert nothing survives a server's close().  Guarded by a module lock:
+# multiple allocators/rings may be created from concurrent tests.
+_SEGMENTS_LOCK = threading.Lock()
+_ACTIVE_SEGMENTS: Set[str] = set()
+
+
+def active_segment_names() -> List[str]:
+    """Names of shared-memory segments created by this process and not
+    yet unlinked — the leak-check fixture asserts this drains to empty."""
+    with _SEGMENTS_LOCK:
+        return sorted(_ACTIVE_SEGMENTS)
+
+
+def _register_segment(name: str) -> None:
+    with _SEGMENTS_LOCK:
+        _ACTIVE_SEGMENTS.add(name)
+
+
+def _forget_segment(name: str) -> None:
+    with _SEGMENTS_LOCK:
+        _ACTIVE_SEGMENTS.discard(name)
+
+
+def _create_segment(nbytes: int, tag: str) -> shared_memory.SharedMemory:
+    """Create a fresh segment with a collision-resistant name."""
+    name = f"repro-{tag}-{os.getpid()}-{secrets.token_hex(4)}"
+    segment = shared_memory.SharedMemory(name=name, create=True, size=nbytes)
+    _register_segment(segment.name)
+    return segment
+
+
+def _destroy_segment(segment: shared_memory.SharedMemory) -> None:
+    """Close and unlink a segment created by this process."""
+    name = segment.name
+    segment.close()
+    try:
+        segment.unlink()
+    except FileNotFoundError:
+        # Already unlinked by a concurrent close; drop it from the
+        # registry all the same so the leak check does not misfire.
+        _forget_segment(name)
+        return
+    _forget_segment(name)
+
+
+def attach_segment(name: str) -> shared_memory.SharedMemory:
+    """Attach to an existing segment *without* adopting ownership.
+
+    CPython's resource tracker registers shared memory on attach as well
+    as on create (bpo-39959).  Spawned workers share the parent's
+    tracker process, where registrations are a *set*: the attach-side
+    re-registration dedups against the creator's entry, and the single
+    balancing unregister happens inside the owner's ``unlink()`` — so
+    attachers must never unregister themselves, or the owner's unlink
+    would hit an empty cache and the tracker would spew KeyErrors at
+    shutdown.  Unlink authority stays with the creating process by
+    convention: attachers only ever ``close()``.
+    """
+    return shared_memory.SharedMemory(name=name)
+
+
+@dataclass(frozen=True)
+class ShmLease:
+    """One leased byte range: the unit the parent may write and recycle.
+
+    ``generation`` is globally unique per lease; the allocator recycles
+    the range only when released with the matching tag, so bytes are
+    never reused while any party could still hold the old descriptor.
+    """
+
+    lease_id: int
+    generation: int
+    segment: str
+    offset: int
+    nbytes: int
+
+    def descriptor(self) -> Tuple[int, int, str, int, int]:
+        """The picklable tuple sent over the control pipe to a worker."""
+        return (self.lease_id, self.generation, self.segment, self.offset,
+                self.nbytes)
+
+
+class _Slab:
+    """One shared segment plus its free list (offset-sorted, coalesced)."""
+
+    def __init__(self, segment: shared_memory.SharedMemory) -> None:
+        self.segment = segment
+        self.free: List[Tuple[int, int]] = [(0, segment.size)]  # (offset, size)
+        self.used_bytes = 0
+
+    def take(self, nbytes: int) -> Optional[int]:
+        """First-fit: carve ``nbytes`` out of the free list, or ``None``."""
+        for i, (offset, size) in enumerate(self.free):
+            if size >= nbytes:
+                if size == nbytes:
+                    self.free.pop(i)
+                else:
+                    self.free[i] = (offset + nbytes, size - nbytes)
+                self.used_bytes += nbytes
+                return offset
+        return None
+
+    def give_back(self, offset: int, nbytes: int) -> None:
+        """Return a range to the free list, coalescing neighbours.
+
+        The free list is bounded by construction: it never holds more
+        entries than outstanding leases + 1, and leases are bounded by
+        the segment size over the alignment grain.
+        """
+        self.free.append((offset, nbytes))  # lint: ignore[RL004]
+        self.free.sort()
+        merged: List[Tuple[int, int]] = []
+        for start, size in self.free:
+            if merged and merged[-1][0] + merged[-1][1] == start:
+                merged[-1] = (merged[-1][0], merged[-1][1] + size)
+            else:
+                merged.append((start, size))
+        self.free = merged
+        self.used_bytes -= nbytes
+
+
+class SlabAllocator:
+    """Lease generation-tagged byte ranges out of bounded shm slabs.
+
+    The parent-side dispatcher leases a range per micro-batch, copies the
+    request rows in, hands the descriptor to a worker, and releases the
+    lease once the worker's reply (or its death certificate) arrives.
+    Oversize requests get a dedicated segment; both kinds count against
+    ``max_slabs``.  All methods are thread-safe.
+    """
+
+    def __init__(
+        self,
+        slab_bytes: int = 8 << 20,
+        max_slabs: int = 16,
+        telemetry: Optional[Telemetry] = None,
+    ) -> None:
+        if slab_bytes < ALIGNMENT:
+            raise ValueError(f"slab_bytes must be >= {ALIGNMENT}, got {slab_bytes}")
+        if max_slabs < 1:
+            raise ValueError(f"max_slabs must be >= 1, got {max_slabs}")
+        self.slab_bytes = int(slab_bytes)
+        self.max_slabs = int(max_slabs)
+        self._slabs: List[_Slab] = []
+        self._leases: Dict[int, ShmLease] = {}
+        self._by_segment: Dict[str, _Slab] = {}
+        self._next_id = 0
+        self._next_generation = 0
+        self._lock = threading.Lock()
+        self._closed = False
+        self.leases_issued_total = 0
+        self.leases_recycled_total = 0
+        self.stale_releases_total = 0
+        self._telemetry = telemetry
+        if telemetry is not None:
+            registry = telemetry.registry
+            self._obs_bytes = registry.gauge(
+                "serve_shm_bytes_in_flight",
+                help="Leased shared-memory bytes awaiting worker replies")
+            self._obs_slabs = registry.gauge(
+                "serve_shm_slabs", help="Live shared-memory slab segments")
+            self._obs_recycled = registry.counter(
+                "serve_shm_lease_recycled_total",
+                help="Leases released back to the slab free lists")
+
+    # -- lease lifecycle ----------------------------------------------------
+    def lease(self, nbytes: int) -> ShmLease:
+        """Lease ``nbytes`` (rounded up to the alignment grain).
+
+        Raises :class:`ShmExhausted` when no slab can hold the request
+        and the slab budget is spent — callers surface that as serving
+        backpressure rather than growing without bound.
+        """
+        if nbytes < 1:
+            raise ValueError(f"cannot lease {nbytes} bytes")
+        need = -(-int(nbytes) // ALIGNMENT) * ALIGNMENT
+        with self._lock:
+            if self._closed:
+                raise ShmError("allocator is closed")
+            offset: Optional[int] = None
+            slab: Optional[_Slab] = None
+            for candidate in self._slabs:
+                offset = candidate.take(need)
+                if offset is not None:
+                    slab = candidate
+                    break
+            if offset is None:
+                if len(self._slabs) >= self.max_slabs:
+                    raise ShmExhausted(
+                        f"{len(self._slabs)} slabs at the max_slabs="
+                        f"{self.max_slabs} budget cannot hold {need} bytes "
+                        f"({self.bytes_in_flight_locked()} in flight)"
+                    )
+                segment = _create_segment(max(need, self.slab_bytes), "slab")
+                slab = _Slab(segment)
+                self._slabs.append(slab)
+                self._by_segment[segment.name] = slab
+                offset = slab.take(need)
+                assert offset is not None  # fresh slab always fits `need`
+            lease = ShmLease(
+                lease_id=self._next_id,
+                generation=self._next_generation,
+                segment=slab.segment.name,
+                offset=offset,
+                nbytes=need,
+            )
+            self._next_id += 1
+            self._next_generation += 1
+            self._leases[lease.lease_id] = lease
+            self.leases_issued_total += 1
+            self._update_gauges_locked()
+            return lease
+
+    def view(self, lease: ShmLease, shape: Tuple[int, ...],
+             dtype=np.float64) -> np.ndarray:
+        """A zero-copy numpy view over the leased range (creator side)."""
+        with self._lock:
+            self._check_lease_locked(lease)
+            slab = self._by_segment[lease.segment]
+        nbytes = int(np.prod(shape)) * np.dtype(dtype).itemsize
+        if nbytes > lease.nbytes:
+            raise ShmError(
+                f"view of {nbytes} bytes exceeds the {lease.nbytes}-byte "
+                f"lease {lease.lease_id}"
+            )
+        return np.ndarray(shape, dtype=dtype, buffer=slab.segment.buf,
+                          offset=lease.offset)
+
+    def release(self, lease: ShmLease) -> None:
+        """Recycle a lease; the range becomes reusable immediately.
+
+        Only call once the worker's reply arrived or the worker is
+        confirmed dead — this is the point where the bytes may be
+        overwritten.  Raises :class:`StaleLease` when the tag does not
+        match the table (double release, or a descriptor from before a
+        worker restart).
+        """
+        with self._lock:
+            self._check_lease_locked(lease)
+            del self._leases[lease.lease_id]
+            self._by_segment[lease.segment].give_back(lease.offset, lease.nbytes)
+            self.leases_recycled_total += 1
+            if self._telemetry is not None:
+                self._obs_recycled.inc()
+            self._update_gauges_locked()
+
+    def _check_lease_locked(self, lease: ShmLease) -> None:
+        held = self._leases.get(lease.lease_id)
+        if held is None or held.generation != lease.generation:
+            self.stale_releases_total += 1
+            raise StaleLease(
+                f"lease {lease.lease_id} (generation {lease.generation}) is "
+                f"not outstanding; held={held}"
+            )
+
+    # -- lifecycle ----------------------------------------------------------
+    def close(self, force: bool = False) -> None:
+        """Unlink every slab.  Outstanding leases raise :class:`ShmLeak`
+        unless ``force`` (shutdown after a worker crash reclaims them)."""
+        with self._lock:
+            if self._closed:
+                return
+            if self._leases and not force:
+                raise ShmLeak(
+                    f"{len(self._leases)} leases still outstanding: "
+                    f"{sorted(self._leases)}"
+                )
+            self._leases.clear()
+            self._closed = True
+            slabs, self._slabs = self._slabs, []
+            self._by_segment.clear()
+            self._update_gauges_locked()
+        for slab in slabs:
+            _destroy_segment(slab.segment)
+
+    # -- observability ------------------------------------------------------
+    def bytes_in_flight_locked(self) -> int:
+        """Leased bytes (callers hold :attr:`_lock`; stats() wraps this)."""
+        return sum(lease.nbytes for lease in self._leases.values())
+
+    def _update_gauges_locked(self) -> None:
+        if self._telemetry is not None:
+            self._obs_bytes.set(float(self.bytes_in_flight_locked()))
+            self._obs_slabs.set(float(len(self._slabs)))
+
+    @property
+    def outstanding(self) -> int:
+        """Number of leases not yet released."""
+        with self._lock:
+            return len(self._leases)
+
+    def stats(self) -> dict:
+        """Point-in-time allocator counters (for server stats / tests)."""
+        with self._lock:
+            return {
+                "slabs": len(self._slabs),
+                "slab_bytes": self.slab_bytes,
+                "leases_outstanding": len(self._leases),
+                "bytes_in_flight": self.bytes_in_flight_locked(),
+                "leases_issued_total": self.leases_issued_total,
+                "leases_recycled_total": self.leases_recycled_total,
+                "stale_releases_total": self.stale_releases_total,
+            }
+
+
+class SpscRing:
+    """A single-producer single-consumer byte FIFO in shared memory.
+
+    Layout: 16-byte header (``head``/``tail`` as monotonically increasing
+    little-endian u64 byte counters) followed by ``capacity`` data bytes.
+    The writer alone advances ``tail``; the reader alone advances
+    ``head``; each side only ever *reads* the other's counter, so the
+    single aligned 8-byte stores need no lock.  The announcing pipe
+    message (sent after the payload is written) is the ordering edge the
+    reader relies on before touching the data.
+    """
+
+    def __init__(
+        self,
+        segment: shared_memory.SharedMemory,
+        owner: bool,
+        clock: Clock = SYSTEM_CLOCK,
+        sleep: Sleep = SYSTEM_SLEEP,
+    ) -> None:
+        self._segment = segment
+        self._owner = owner
+        self.capacity = segment.size - _RING_HEADER.size
+        if self.capacity < 1:
+            raise ValueError(f"segment of {segment.size} bytes is too small")
+        self._clock = clock
+        self._sleep = sleep
+
+    # -- construction -------------------------------------------------------
+    @classmethod
+    def create(cls, capacity: int, clock: Clock = SYSTEM_CLOCK,
+               sleep: Sleep = SYSTEM_SLEEP) -> "SpscRing":
+        """Create the ring segment (reader/owner side: the parent)."""
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        segment = _create_segment(capacity + _RING_HEADER.size, "ring")
+        _RING_HEADER.pack_into(segment.buf, 0, 0, 0)
+        return cls(segment, owner=True, clock=clock, sleep=sleep)
+
+    @classmethod
+    def attach(cls, name: str, clock: Clock = SYSTEM_CLOCK,
+               sleep: Sleep = SYSTEM_SLEEP) -> "SpscRing":
+        """Attach to an existing ring (writer side: the worker)."""
+        return cls(attach_segment(name), owner=False, clock=clock, sleep=sleep)
+
+    @property
+    def name(self) -> str:
+        """The shared segment's name (sent to the worker at spawn)."""
+        return self._segment.name
+
+    # -- counters -----------------------------------------------------------
+    def _read_counters(self) -> Tuple[int, int]:
+        return _RING_HEADER.unpack_from(self._segment.buf, 0)
+
+    def _set_head(self, value: int) -> None:
+        struct.pack_into("<Q", self._segment.buf, 0, value)
+
+    def _set_tail(self, value: int) -> None:
+        struct.pack_into("<Q", self._segment.buf, 8, value)
+
+    # -- data plane ---------------------------------------------------------
+    def write(self, payload: bytes, timeout_s: float = 30.0) -> None:
+        """Append ``payload`` (writer side); waits for reader progress.
+
+        Payloads larger than the ring can never fit: that raises
+        :class:`ShmError` immediately (the worker reports the error
+        instead of deadlocking against a reader that is waiting for it).
+        """
+        view = memoryview(payload)
+        if len(view) > self.capacity:
+            raise ShmError(
+                f"payload of {len(view)} bytes exceeds ring capacity "
+                f"{self.capacity}"
+            )
+        deadline = self._clock() + timeout_s
+        while True:
+            head, tail = self._read_counters()
+            if self.capacity - (tail - head) >= len(view):
+                break
+            if self._clock() >= deadline:
+                raise ShmError(
+                    f"ring full for {timeout_s}s (reader stalled at {head})"
+                )
+            self._sleep(0.0002)
+        data = memoryview(self._segment.buf)[_RING_HEADER.size:]
+        start = tail % self.capacity
+        first = min(len(view), self.capacity - start)
+        data[start:start + first] = view[:first]
+        if first < len(view):
+            data[:len(view) - first] = view[first:]
+        self._set_tail(tail + len(view))
+
+    def read(self, nbytes: int, timeout_s: float = 30.0) -> bytes:
+        """Consume exactly ``nbytes`` (reader side).
+
+        The protocol announces payload sizes over the pipe before the
+        reader calls this, so the wait only covers scheduling skew.
+        """
+        if nbytes > self.capacity:
+            raise ShmError(
+                f"cannot read {nbytes} bytes from a {self.capacity}-byte ring"
+            )
+        deadline = self._clock() + timeout_s
+        while True:
+            head, tail = self._read_counters()
+            if tail - head >= nbytes:
+                break
+            if self._clock() >= deadline:
+                raise ShmError(
+                    f"ring has {tail - head} of {nbytes} bytes after "
+                    f"{timeout_s}s (writer stalled)"
+                )
+            self._sleep(0.0002)
+        data = memoryview(self._segment.buf)[_RING_HEADER.size:]
+        start = head % self.capacity
+        first = min(nbytes, self.capacity - start)
+        out = bytearray(nbytes)
+        out[:first] = data[start:start + first]
+        if first < nbytes:
+            out[first:] = data[:nbytes - first]
+        self._set_head(head + nbytes)
+        return bytes(out)
+
+    # -- lifecycle ----------------------------------------------------------
+    def close(self) -> None:
+        """Detach; the owner also unlinks the segment."""
+        if self._owner:
+            _destroy_segment(self._segment)
+        else:
+            self._segment.close()

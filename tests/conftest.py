@@ -2,6 +2,9 @@
 
 from __future__ import annotations
 
+import multiprocessing
+import threading
+import time
 from typing import Callable, Sequence
 
 import numpy as np
@@ -14,6 +17,52 @@ from repro.nn.tensor import Tensor
 def rng() -> np.random.Generator:
     """Deterministic RNG for tests."""
     return np.random.default_rng(12345)
+
+
+def _live_resources() -> dict:
+    """Snapshot of process-wide resources a serving test could leak."""
+    from repro.serve.shm import active_segment_names
+
+    return {
+        "shm segments": set(active_segment_names()),
+        "threads": {t for t in threading.enumerate() if t.is_alive()},
+        "worker processes": set(multiprocessing.active_children()),
+    }
+
+
+def leak_guard(grace_s: float = 3.0):
+    """Generator for autouse leak-check fixtures (``yield from`` it).
+
+    Snapshots shared-memory segments, live threads, and multiprocessing
+    children before the test; after the test it polls up to ``grace_s``
+    seconds for the snapshot to return to baseline (close paths join
+    asynchronously) and fails the test naming whatever survived.
+
+    Baseline-relative on purpose: module-scoped servers legitimately
+    hold segments, dispatcher threads, and worker processes across the
+    tests that share them — higher-scoped fixtures are set up before
+    this function-scoped guard, so their resources land in the baseline.
+    """
+    baseline = _live_resources()
+    yield
+    deadline = time.monotonic() + grace_s
+    while True:
+        current = _live_resources()
+        leaked = {
+            kind: current[kind] - baseline[kind]
+            for kind in current
+            if current[kind] - baseline[kind]
+        }
+        if not leaked:
+            return
+        if time.monotonic() >= deadline:
+            break
+        time.sleep(0.05)
+    detail = "; ".join(
+        f"{kind}: {sorted(str(item) for item in items)}"
+        for kind, items in sorted(leaked.items())
+    )
+    pytest.fail(f"test leaked serving resources — {detail}")
 
 
 def numerical_gradient(

@@ -1,0 +1,16 @@
+"""Flow-test fixtures: every test here gets the resource-leak guard.
+
+Pipeline-runner tests exercise retries, failsinks, and chaos schedules
+that spin up worker threads; the autouse guard pins responsibility for
+any thread or process that outlives its test on the test that made it.
+"""
+
+import pytest
+
+from tests.conftest import leak_guard
+
+
+@pytest.fixture(autouse=True)
+def no_leaked_serving_resources():
+    """Fail the test if it leaks shm segments, threads, or processes."""
+    yield from leak_guard()

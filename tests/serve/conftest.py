@@ -1,0 +1,16 @@
+"""Serving-test fixtures: every test here gets the resource-leak guard.
+
+Serving tests spawn worker threads and processes and lease shared-memory
+segments; a test that forgets to close its server poisons every test
+after it.  The autouse guard fails the *offending* test instead.
+"""
+
+import pytest
+
+from tests.conftest import leak_guard
+
+
+@pytest.fixture(autouse=True)
+def no_leaked_serving_resources():
+    """Fail the test if it leaks shm segments, threads, or processes."""
+    yield from leak_guard()

@@ -7,7 +7,7 @@ rows — batching must never be observable in the results.
 
 import numpy as np
 import pytest
-from hypothesis import given, settings
+from hypothesis import HealthCheck, given, settings
 from hypothesis import strategies as st
 
 from repro.serve.batcher import MicroBatch, MicroBatcher
@@ -122,7 +122,10 @@ def arrival_case(draw):
 
 class TestScatterGatherProperty:
     @given(arrival_case())
-    @settings(max_examples=60, deadline=None)
+    # The autouse leak guard wraps all examples at once — that's the
+    # granularity we want, so suppress the per-example-reset check.
+    @settings(max_examples=60, deadline=None,
+              suppress_health_check=[HealthCheck.function_scoped_fixture])
     def test_logits_preserved_under_random_arrival_orders(self, case):
         """Any request sizes, any arrival order, any batch size: every
         caller's future holds exactly the model output of its own rows."""

@@ -5,6 +5,7 @@ import threading
 import numpy as np
 import pytest
 
+from repro.obs.clock import FakeClock
 from repro.serve.batcher import MicroBatcher
 from repro.serve.pool import Replica, ReplicaPool
 from repro.serve.queue import AdmissionQueue, ServerClosed
@@ -211,6 +212,93 @@ class TestPoolLifecycle:
         assert stats.degraded_replicas == 0
         assert len(stats.replicas) == 2
         assert {r["backend"] for r in stats.replicas} == {"fake"}
+
+
+class TestCloseRaces:
+    """Regression tests: close() overlapping an in-flight probe or a
+    racing submit must leave the semaphore and queue state consistent."""
+
+    def test_close_during_in_flight_probe_keeps_semaphore_consistent(self):
+        """close() while a worker sits inside its health probe must not
+        double-release the compute-slot semaphore: after close, exactly
+        ``compute_slots`` slots are acquirable — no more, no fewer — and
+        no worker thread dies on a BoundedSemaphore ValueError."""
+        clock = FakeClock()
+        probe_entered = threading.Event()
+        probe_release = threading.Event()
+
+        def slow_probe():
+            # FakeClock-driven probe timing: the probe "takes" 5 clock
+            # seconds and blocks until the test lets it finish, so
+            # close() is guaranteed to overlap it.
+            probe_entered.set()
+            clock.advance(5.0)
+            probe_release.wait(10.0)
+            return True
+
+        queue = AdmissionQueue(max_rows=4096, clock=clock)
+        batcher = MicroBatcher(queue, batch_size=8, max_wait_s=0.0, clock=clock)
+        pool = ReplicaPool(
+            FakeEngine, batcher, workers=2, compute_slots=2,
+            health_probe=slow_probe, probe_every_batches=1,
+        )
+        worker_errors = []
+        base_hook = threading.excepthook
+        threading.excepthook = lambda args: worker_errors.append(args)
+        try:
+            pool.start()
+            request = queue.submit(np.full((2, 4), 1.0))
+            assert probe_entered.wait(10.0), "worker never reached its probe"
+            closer = threading.Thread(target=pool.close, kwargs={"drain": True})
+            closer.start()
+            probe_release.set()
+            closer.join(30.0)
+            assert not closer.is_alive(), "close() hung against the probe"
+            request.future.result(5.0)
+        finally:
+            threading.excepthook = base_hook
+            probe_release.set()
+        assert worker_errors == [], (
+            f"worker thread raised during close: {worker_errors}"
+        )
+        # Exactly compute_slots slots must be acquirable — an extra
+        # release would make a third acquire succeed; a lost slot would
+        # make the second fail.
+        acquired = [pool._compute.acquire(blocking=False) for _ in range(3)]
+        assert acquired == [True, True, False]
+        for _ in range(2):
+            pool._compute.release()
+
+    def test_non_drain_close_shuts_door_before_failing_queued(self):
+        """A submit racing close(drain=False) either lands before the
+        close (failed with ServerClosed by the sweep) or is rejected at
+        admission — it can never be left pending after close returns."""
+        queue, pool = TestPoolLifecycle()._pool()
+        stop = threading.Event()
+        outcomes = []
+
+        def submitter():
+            while not stop.is_set():
+                try:
+                    outcomes.append(queue.submit(np.full((1, 4), 1.0)))
+                except ServerClosed:
+                    stop.set()
+
+        thread = threading.Thread(target=submitter)
+        thread.start()
+        try:
+            while not outcomes:  # let at least one submission land
+                pass
+            pool.close(drain=False)
+        finally:
+            stop.set()
+            thread.join(10.0)
+        for request in outcomes:
+            assert request.future.done(), (
+                "a request admitted during close(drain=False) was stranded"
+            )
+            with pytest.raises(ServerClosed):
+                request.future.result(0)
 
 
 class TestTraceSerialization:

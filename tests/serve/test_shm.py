@@ -1,0 +1,247 @@
+"""Unit tests for the shared-memory data plane (serve/shm.py)."""
+
+import numpy as np
+import pytest
+
+from repro.obs import Telemetry
+from repro.obs.clock import FakeClock
+from repro.serve.shm import (
+    ALIGNMENT,
+    ShmError,
+    ShmExhausted,
+    ShmLeak,
+    SlabAllocator,
+    SpscRing,
+    StaleLease,
+    active_segment_names,
+    attach_segment,
+)
+
+
+class TestSlabAllocator:
+    def test_lease_view_roundtrip(self):
+        allocator = SlabAllocator(slab_bytes=1 << 16, max_slabs=2)
+        try:
+            lease = allocator.lease(1024)
+            view = allocator.view(lease, (16, 8), dtype=np.float64)
+            data = np.arange(128, dtype=np.float64).reshape(16, 8)
+            np.copyto(view, data)
+            again = allocator.view(lease, (16, 8), dtype=np.float64)
+            assert np.array_equal(again, data)
+            allocator.release(lease)
+        finally:
+            allocator.close(force=True)
+
+    def test_alignment(self):
+        allocator = SlabAllocator(slab_bytes=1 << 16, max_slabs=1)
+        try:
+            a = allocator.lease(1)
+            b = allocator.lease(ALIGNMENT + 1)
+            assert a.nbytes == ALIGNMENT
+            assert b.nbytes == 2 * ALIGNMENT
+            assert a.offset % ALIGNMENT == 0
+            assert b.offset % ALIGNMENT == 0
+            allocator.release(a)
+            allocator.release(b)
+        finally:
+            allocator.close()
+
+    def test_double_release_is_stale(self):
+        allocator = SlabAllocator(slab_bytes=1 << 16, max_slabs=1)
+        try:
+            lease = allocator.lease(64)
+            allocator.release(lease)
+            with pytest.raises(StaleLease):
+                allocator.release(lease)
+            assert allocator.stats()["stale_releases_total"] == 1
+        finally:
+            allocator.close()
+
+    def test_generation_prevents_recycled_range_reuse(self):
+        """A released range re-leased under a new generation rejects the
+        old descriptor — bytes can never be freed twice via a stale tag."""
+        allocator = SlabAllocator(slab_bytes=1 << 16, max_slabs=1)
+        try:
+            old = allocator.lease(64)
+            allocator.release(old)
+            new = allocator.lease(64)
+            assert new.offset == old.offset  # same range, recycled
+            assert new.generation != old.generation
+            with pytest.raises(StaleLease):
+                allocator.release(old)
+            allocator.release(new)
+        finally:
+            allocator.close()
+
+    def test_exhaustion_is_explicit(self):
+        allocator = SlabAllocator(slab_bytes=1 << 12, max_slabs=1)
+        try:
+            held = allocator.lease(1 << 12)
+            with pytest.raises(ShmExhausted):
+                allocator.lease(1 << 12)
+            allocator.release(held)
+        finally:
+            allocator.close()
+
+    def test_oversize_request_gets_dedicated_segment(self):
+        allocator = SlabAllocator(slab_bytes=1 << 12, max_slabs=2)
+        try:
+            big = allocator.lease(1 << 14)  # larger than slab_bytes
+            view = allocator.view(big, (1 << 14,), dtype=np.uint8)
+            assert view.nbytes == 1 << 14
+            allocator.release(big)
+        finally:
+            allocator.close()
+
+    def test_free_list_coalesces(self):
+        """Adjacent releases merge back so the full slab is leasable again."""
+        allocator = SlabAllocator(slab_bytes=1 << 12, max_slabs=1)
+        try:
+            leases = [allocator.lease(1 << 10) for _ in range(4)]  # fills slab
+            for lease in leases:
+                allocator.release(lease)
+            whole = allocator.lease(1 << 12)  # only fits if coalesced
+            allocator.release(whole)
+        finally:
+            allocator.close()
+
+    def test_close_with_outstanding_lease_raises_leak(self):
+        allocator = SlabAllocator(slab_bytes=1 << 12, max_slabs=1)
+        lease = allocator.lease(64)
+        with pytest.raises(ShmLeak):
+            allocator.close()
+        allocator.release(lease)
+        allocator.close()
+
+    def test_close_force_reclaims(self):
+        allocator = SlabAllocator(slab_bytes=1 << 12, max_slabs=1)
+        allocator.lease(64)
+        allocator.close(force=True)
+        assert allocator.outstanding == 0
+
+    def test_segments_unlinked_at_close(self):
+        before = set(active_segment_names())
+        allocator = SlabAllocator(slab_bytes=1 << 12, max_slabs=2)
+        lease = allocator.lease(64)
+        assert set(active_segment_names()) - before  # slab is registered
+        allocator.release(lease)
+        allocator.close()
+        assert set(active_segment_names()) <= before
+
+    def test_view_larger_than_lease_rejected(self):
+        allocator = SlabAllocator(slab_bytes=1 << 12, max_slabs=1)
+        try:
+            lease = allocator.lease(64)
+            with pytest.raises(ShmError):
+                allocator.view(lease, (1024,), dtype=np.float64)
+            allocator.release(lease)
+        finally:
+            allocator.close()
+
+    def test_telemetry_gauges_track_flight(self):
+        telemetry = Telemetry()
+        allocator = SlabAllocator(slab_bytes=1 << 12, max_slabs=1,
+                                  telemetry=telemetry)
+        try:
+            lease = allocator.lease(100)
+            registry = telemetry.registry
+            assert registry.gauge("serve_shm_bytes_in_flight").value == lease.nbytes
+            allocator.release(lease)
+            assert registry.gauge("serve_shm_bytes_in_flight").value == 0
+            assert registry.counter("serve_shm_lease_recycled_total").value == 1
+        finally:
+            allocator.close()
+
+    def test_stats_counters(self):
+        allocator = SlabAllocator(slab_bytes=1 << 12, max_slabs=1)
+        try:
+            a = allocator.lease(64)
+            b = allocator.lease(64)
+            allocator.release(a)
+            stats = allocator.stats()
+            assert stats["leases_issued_total"] == 2
+            assert stats["leases_recycled_total"] == 1
+            assert stats["leases_outstanding"] == 1
+            assert stats["bytes_in_flight"] == b.nbytes
+            allocator.release(b)
+        finally:
+            allocator.close()
+
+
+class TestSpscRing:
+    def test_roundtrip(self):
+        ring = SpscRing.create(256)
+        try:
+            ring.write(b"hello")
+            assert ring.read(5) == b"hello"
+        finally:
+            ring.close()
+
+    def test_wraparound_preserves_bytes(self):
+        ring = SpscRing.create(64)
+        try:
+            payload_a = bytes(range(48))
+            ring.write(payload_a)
+            assert ring.read(48) == payload_a
+            payload_b = bytes(reversed(range(40)))  # crosses the seam
+            ring.write(payload_b)
+            assert ring.read(40) == payload_b
+        finally:
+            ring.close()
+
+    def test_attach_sees_writes(self):
+        ring = SpscRing.create(128)
+        try:
+            writer = SpscRing.attach(ring.name)
+            writer.write(b"cross-mapping")
+            assert ring.read(13) == b"cross-mapping"
+            writer.close()
+        finally:
+            ring.close()
+
+    def test_oversized_payload_raises_not_deadlocks(self):
+        ring = SpscRing.create(16)
+        try:
+            with pytest.raises(ShmError):
+                ring.write(b"x" * 17)
+        finally:
+            ring.close()
+
+    def test_full_ring_times_out_on_fake_clock(self):
+        clock = FakeClock()
+        ring = SpscRing.create(8, clock=clock, sleep=clock.sleep)
+        try:
+            ring.write(b"12345678")
+            with pytest.raises(ShmError, match="full"):
+                ring.write(b"9", timeout_s=5.0)
+        finally:
+            ring.close()
+
+    def test_read_underflow_times_out_on_fake_clock(self):
+        clock = FakeClock()
+        ring = SpscRing.create(8, clock=clock, sleep=clock.sleep)
+        try:
+            with pytest.raises(ShmError, match="writer stalled"):
+                ring.read(4, timeout_s=5.0)
+        finally:
+            ring.close()
+
+    def test_owner_close_unlinks(self):
+        before = set(active_segment_names())
+        ring = SpscRing.create(64)
+        assert set(active_segment_names()) - before
+        ring.close()
+        assert set(active_segment_names()) <= before
+
+
+def test_attach_segment_does_not_adopt_ownership():
+    ring = SpscRing.create(64)
+    name = ring.name
+    try:
+        attached = attach_segment(name)
+        attached.close()
+        # The attacher's close must not unlink: the owner still maps it.
+        again = attach_segment(name)
+        again.close()
+    finally:
+        ring.close()

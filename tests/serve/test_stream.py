@@ -7,10 +7,14 @@ per-window logits are bit-equal to a direct engine replay with the
 canonical window grouping.
 """
 
+import threading
+
 import numpy as np
 import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
 
-from repro.datasets.event_stream import generate_event_streams
+from repro.datasets.event_stream import EventStream, generate_event_streams
 from repro.models import LeNet
 from repro.serve import ModelServer, ServeConfig
 from repro.serve.stream import (
@@ -67,7 +71,11 @@ def make_streaming(stream_config=None, clock=None, batch_size=None):
             max_wait_ms=0.0,
         ),
     )
-    return StreamingServer(server, config, clock=clock)
+    try:
+        return StreamingServer(server, config, clock=clock)
+    except BaseException:
+        server.close()  # constructor rejections must not strand workers
+        raise
 
 
 def chunk_of(n, t0_us, t1_us):
@@ -232,6 +240,97 @@ class TestSessionExpiry:
                 clock.advance(6.0)
                 session.push(*chunk_of(1, int(clock.now * 1e3), int(clock.now * 1e3) + 10))
             assert streaming.stats()["sessions_expired"] == 0
+
+
+class TestTTLExpiryProperty:
+    """Hypothesis property: a *fully-buffered* window — events pushed and
+    its group cut before the session idled out — is never dropped.  Not
+    by racing cutter threads, not by the TTL sweep that later reclaims
+    the session: its logits stay retrievable and bit-equal to the
+    canonical binning of the same events."""
+
+    SPAN_US = 12_500  # one stride of the default temporal config
+
+    @settings(max_examples=15, deadline=None,
+              suppress_health_check=[HealthCheck.function_scoped_fixture])
+    @given(
+        chunks=st.lists(st.integers(min_value=1, max_value=12),
+                        min_size=1, max_size=8),
+        idle_s=st.floats(min_value=0.0, max_value=8.0),
+        cutters=st.integers(min_value=1, max_value=3),
+    )
+    def test_fully_buffered_windows_survive_concurrent_cut_and_expiry(
+            self, chunks, idle_s, cutters):
+        clock = FakeClock()
+        config = StreamConfig(session_ttl_s=10.0)
+        temporal = config.temporal
+        span = self.SPAN_US
+        with make_streaming(config, clock=clock) as streaming:
+            session = streaming.open_session()
+            pushed_us = [0]  # single-slot mailbox read by cutter threads
+            done = threading.Event()
+
+            def cut_loop():
+                # Concurrent cut: race advance() against pushes and peer
+                # cutters.  A stale watermark losing the race raises the
+                # may-not-move-backwards ValueError — benign here.
+                while not done.is_set():
+                    target = pushed_us[0]
+                    if target:
+                        try:
+                            session.advance(target)
+                        except ValueError:
+                            pass
+                    done.wait(0.0005)
+
+            threads = [threading.Thread(target=cut_loop)
+                       for _ in range(cutters)]
+            for thread in threads:
+                thread.start()
+            try:
+                for i, n in enumerate(chunks):
+                    session.push(*chunk_of(n, i * span, (i + 1) * span))
+                    pushed_us[0] = (i + 1) * span
+                    clock.advance(idle_s)  # < TTL: pushes refresh activity
+            finally:
+                done.set()
+                for thread in threads:
+                    thread.join(10.0)
+            total_span = len(chunks) * span
+            session.advance(total_span)  # deterministic final cut
+            # Exactly the full groups covered by the watermark are
+            # submitted — no window lost to the racing cutters.
+            ready = 0
+            while ready * temporal.stride_us + temporal.window_us <= total_span:
+                ready += 1
+            submitted = session.windows_submitted
+            assert submitted == ready - ready % temporal.batch_windows
+
+            clock.advance(config.session_ttl_s + 1.0)
+            streaming.open_session()  # any API call runs the TTL sweep
+            with pytest.raises(SessionExpired):
+                session.push(*chunk_of(1, total_span, total_span + 10))
+            assert streaming.stats()["sessions_expired"] >= 1
+
+            # Expiry reclaims the *session*, never its buffered windows.
+            logits = session.logits(timeout=30.0)
+            if submitted == 0:
+                assert logits.size == 0
+                return
+            events = [chunk_of(n, i * span, (i + 1) * span)
+                      for i, n in enumerate(chunks)]
+            stream = EventStream(
+                t=np.concatenate([e[0] for e in events]),
+                x=np.concatenate([e[1] for e in events]).astype(np.int16),
+                y=np.concatenate([e[2] for e in events]).astype(np.int16),
+                polarity=np.concatenate([e[3] for e in events]).astype(np.int8),
+                label=-1,
+                duration_us=total_span,
+                height=config.height,
+                width=config.width,
+            )
+            frames = stream_to_frames(stream, temporal)
+            np.testing.assert_array_equal(logits, logits_of(frames[:submitted]))
 
 
 class TestStreamingConformance:

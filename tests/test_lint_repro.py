@@ -678,7 +678,91 @@ class TestLockDisciplineRule:
 
     def test_actual_contract_files_are_clean(self):
         src = Path(__file__).resolve().parents[1] / "src" / "repro"
-        targets = [src / "runtime" / "guard.py", src / "serve" / "pool.py"]
+        targets = [src / "runtime" / "guard.py", src / "serve" / "pool.py",
+                   src / "serve" / "procpool.py"]
         findings = [f for f in lint_repro.lint_paths(targets)
                     if f.rule == "RL007"]
+        assert findings == []
+
+    def test_procpool_contract_unlocked_workers_is_rl007(self, tmp_path):
+        f = _write(tmp_path / "serve" / "procpool.py", """
+            class Pool:
+                def close(self):
+                    self._workers = []
+                    self._closed = True
+        """)
+        assert _rules(lint_repro.lint_paths([f])) == ["RL007", "RL007"]
+
+
+class TestShmExclusivityRule:
+    """PR 10: RL008 — shared-memory segments only through serve/shm.py."""
+
+    def test_shared_memory_import_is_rl008(self, tmp_path):
+        f = _write(tmp_path / "repro" / "serve" / "mod.py", """
+            from multiprocessing import shared_memory
+        """)
+        findings = lint_repro.lint_paths([f])
+        assert _rules(findings) == ["RL008"]
+        assert "serve/shm.py" in findings[0].message
+
+    def test_submodule_import_is_rl008(self, tmp_path):
+        f = _write(tmp_path / "repro" / "runtime" / "mod.py", """
+            import multiprocessing.shared_memory
+        """)
+        assert _rules(lint_repro.lint_paths([f])) == ["RL008"]
+
+    def test_from_submodule_import_is_rl008(self, tmp_path):
+        f = _write(tmp_path / "repro" / "serve" / "mod.py", """
+            from multiprocessing.shared_memory import SharedMemory
+        """)
+        assert _rules(lint_repro.lint_paths([f])) == ["RL008"]
+
+    def test_constructor_call_is_rl008(self, tmp_path):
+        f = _write(tmp_path / "repro" / "serve" / "mod.py", """
+            import multiprocessing as mp
+
+
+            def grab(name):
+                return mp.shared_memory.SharedMemory(name=name)
+        """)
+        findings = lint_repro.lint_paths([f])
+        # Both the submodule reach-through and the constructor call flag.
+        assert "RL008" in _rules(lint_repro.lint_paths([f]))
+        assert all(r == "RL008" for r in _rules(findings))
+
+    def test_shareable_list_is_rl008(self, tmp_path):
+        f = _write(tmp_path / "repro" / "flow" / "mod.py", """
+            def stash(values):
+                return ShareableList(values)
+        """)
+        assert _rules(lint_repro.lint_paths([f])) == ["RL008"]
+
+    def test_shm_module_is_exempt(self, tmp_path):
+        f = _write(tmp_path / "repro" / "serve" / "shm.py", """
+            from multiprocessing import shared_memory
+
+            def make(nbytes):
+                return shared_memory.SharedMemory(create=True, size=nbytes)
+        """)
+        assert lint_repro.lint_paths([f]) == []
+
+    def test_plain_multiprocessing_use_is_clean(self, tmp_path):
+        f = _write(tmp_path / "repro" / "serve" / "mod.py", """
+            import multiprocessing as mp
+
+            def spawn(target):
+                return mp.get_context("spawn").Process(target=target)
+        """)
+        assert lint_repro.lint_paths([f]) == []
+
+    def test_suppression_comment_works(self, tmp_path):
+        f = _write(tmp_path / "repro" / "serve" / "mod.py", """
+            from multiprocessing import shared_memory  # lint: ignore[RL008]
+        """)
+        assert lint_repro.lint_paths([f]) == []
+
+    def test_actual_source_tree_has_no_rl008(self):
+        src = Path(__file__).resolve().parents[1] / "src"
+        findings = [f for f in lint_repro.lint_paths([src])
+                    if f.rule == "RL008"]
         assert findings == []

@@ -50,6 +50,16 @@ Rules
     unobservable — exactly what the failsink/telemetry machinery exists
     to prevent.  Handlers must name the exceptions they can recover from
     and record, re-raise, or transform what they catch.
+``RL008`` — shared-memory segments are created only in
+    ``serve/shm.py``.  The slab allocator's lease table is the single
+    account of live segments (generation-tagged leases, leak checks,
+    registry-driven unlink at drain); a bare
+    ``multiprocessing.shared_memory.SharedMemory``/``ShareableList``
+    constructed anywhere else would be invisible to it, so both the
+    import of ``multiprocessing.shared_memory`` and the constructor
+    calls are flagged outside that one module.  Attach via
+    :func:`repro.serve.shm.attach_segment`, allocate via
+    :class:`repro.serve.shm.SlabAllocator`.
 ``RL007`` — lock discipline for the concurrency-critical classes in
     ``runtime/guard.py`` and ``serve/pool.py``.  Each file declares a
     contract (lock attribute + the shared attributes it protects) in
@@ -106,7 +116,15 @@ RULES = {
     "RL005": "direct time.* clock call in an obs-instrumented hot path",
     "RL006": "bare except or silently swallowed exception in a robustness-critical layer",
     "RL007": "shared attribute mutated outside its declared lock",
+    "RL008": "shared-memory segment constructed outside serve/shm.py",
 }
+
+#: constructors that create (or attach) raw shared-memory segments;
+#: outside serve/shm.py they bypass the lease table (RL008).
+SHM_CONSTRUCTORS = frozenset({"SharedMemory", "ShareableList"})
+
+#: the one module allowed to touch multiprocessing.shared_memory.
+SHM_MODULE_SUFFIX = "serve/shm.py"
 
 #: RL007 contracts: file suffix → (lock attribute, shared attributes that
 #: must only be mutated while lexically inside ``with self.<lock>``).
@@ -115,6 +133,9 @@ LOCK_CONTRACTS = {
         "counters", "health_log", "last_report", "_requests_since_probe",
     })),
     "serve/pool.py": ("_lifecycle_lock", frozenset({"_threads", "_started"})),
+    "serve/procpool.py": ("_lifecycle_lock", frozenset({
+        "_dispatchers", "_started", "_closed", "_workers",
+    })),
 }
 
 #: container methods that mutate their receiver (RL007 flags
@@ -496,6 +517,45 @@ def check_exception_hygiene(path: Path, tree: ast.Module) -> Iterator[Finding]:
             )
 
 
+def check_shm_exclusivity(path: Path, tree: ast.Module) -> Iterator[Finding]:
+    """RL008: multiprocessing.shared_memory only inside serve/shm.py."""
+    if path.as_posix().endswith(SHM_MODULE_SUFFIX):
+        return
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                if alias.name.startswith("multiprocessing.shared_memory"):
+                    yield Finding(
+                        path, node.lineno, "RL008",
+                        f"import of {alias.name} outside serve/shm.py bypasses "
+                        "the lease allocator; use SlabAllocator / "
+                        "attach_segment from repro.serve.shm",
+                    )
+        elif isinstance(node, ast.ImportFrom) and node.module is not None:
+            names = {alias.name for alias in node.names}
+            offending = (
+                node.module.startswith("multiprocessing.shared_memory")
+                or (node.module == "multiprocessing" and "shared_memory" in names)
+            )
+            if offending:
+                yield Finding(
+                    path, node.lineno, "RL008",
+                    "import of multiprocessing.shared_memory outside "
+                    "serve/shm.py bypasses the lease allocator; use "
+                    "SlabAllocator / attach_segment from repro.serve.shm",
+                )
+        elif isinstance(node, ast.Call):
+            chain = _attr_chain(node.func)
+            if chain is not None and chain[-1] in SHM_CONSTRUCTORS:
+                yield Finding(
+                    path, node.lineno, "RL008",
+                    f"{'.'.join(chain)}() constructs a raw shared-memory "
+                    "segment outside serve/shm.py; every segment must go "
+                    "through the lease allocator so the leak checks stay "
+                    "sound",
+                )
+
+
 def _locks_in_with(node: ast.With, lock: str) -> bool:
     """Whether one of the ``with`` items acquires ``self.…<lock>``."""
     for item in node.items:
@@ -623,6 +683,7 @@ def lint_paths(paths: Sequence[Path]) -> List[Finding]:
             *check_bounded_queues(file, tree),
             *check_injected_clocks(file, tree),
             *check_exception_hygiene(file, tree),
+            *check_shm_exclusivity(file, tree),
             *check_lock_discipline(file, tree),
         ):
             if finding.rule not in ignores.get(finding.line, ()):
